@@ -1,0 +1,475 @@
+// Benchmarks: one per experiment in EXPERIMENTS.md (the paper has no
+// numbered tables/figures; each experiment reproduces a claim — see
+// DESIGN.md §4). The full swept tables are printed by cmd/oppbench; the
+// benchmarks here expose each experiment's core operation to `go test
+// -bench` so regressions are visible in CI.
+package oopp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"oopp"
+	"oopp/internal/cluster"
+	"oopp/internal/core"
+	"oopp/internal/disk"
+	"oopp/internal/exp"
+	"oopp/internal/mp"
+	"oopp/internal/pagedev"
+	"oopp/internal/pfft"
+	"oopp/internal/rmem"
+	"oopp/internal/rmi"
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+func benchLink() transport.LinkModel {
+	return transport.LinkModel{Latency: 20 * time.Microsecond, Bandwidth: 1e9}
+}
+
+func benchCluster(b *testing.B, machines int, tr transport.Transport, disks int, model disk.Model) *cluster.Cluster {
+	b.Helper()
+	cfg := cluster.Config{Machines: machines, Transport: tr}
+	if disks > 0 {
+		cfg.DisksPerMachine = disks
+		cfg.DiskSize = 64 << 20
+		cfg.DiskModel = model
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatalf("cluster: %v", err)
+	}
+	b.Cleanup(func() { cl.Shutdown() })
+	return cl
+}
+
+func machines(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BenchmarkE1_RMILatency — §2: remote method execution round trip, per
+// payload size, over the modeled link.
+func BenchmarkE1_RMILatency(b *testing.B) {
+	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	ref, err := client.New(1, exp.ClassEcho, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{0, 1 << 10, 64 << 10} {
+		payload := make([]byte, size)
+		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Call(ref, "echo", func(e *wire.Encoder) error {
+					e.PutBytes(payload)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE1_MPBaseline — the hand-written message-passing side of E1.
+func BenchmarkE1_MPBaseline(b *testing.B) {
+	world, err := mp.NewWorld(transport.NewInproc(benchLink()), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(world.Close)
+	go func() {
+		c := world.Comm(1)
+		for {
+			m, err := c.Recv(0, 1)
+			if err != nil {
+				return
+			}
+			if err := c.Send(0, 1, m); err != nil {
+				return
+			}
+		}
+	}()
+	c0 := world.Comm(0)
+	for _, size := range []int{0, 1 << 10, 64 << 10} {
+		payload := make([]byte, size)
+		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := c0.Send(1, 1, payload); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c0.Recv(1, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2_ElementVsBulk — §2: per-element remote access vs bulk.
+func BenchmarkE2_ElementVsBulk(b *testing.B) {
+	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
+	const n = 64 << 10
+	arr, err := rmem.NewFloat64Array(cl.Client(), 1, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("element", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arr.Get(i % n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, bs := range []int{256, 65536} {
+		b.Run(fmt.Sprintf("bulk=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(8 * bs))
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.GetRange(0, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3_SplitLoop — §4: one page from each of 8 devices,
+// sequential vs split loop.
+func BenchmarkE3_SplitLoop(b *testing.B) {
+	const n = 8
+	const pageBytes = 64 << 10
+	cl := benchCluster(b, n, transport.NewInproc(transport.LinkModel{}), 1,
+		disk.Model{Seek: 2 * time.Millisecond, ReadBandwidth: 500e6, WriteBandwidth: 500e6})
+	client := cl.Client()
+	devs := make([]*pagedev.Device, n)
+	var err error
+	for i := range devs {
+		devs[i], err = pagedev.NewDevice(client, i, "d", 2, pageBytes, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := devs[i].Write(0, make([]byte, pageBytes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, d := range devs {
+				if _, err := d.Read(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			futs := make([]*rmi.Future, n)
+			for j, d := range devs {
+				futs[j] = d.ReadAsync(0)
+			}
+			if err := rmi.WaitAll(futs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4_MoveDataVsCompute — §3: page sum by fetch+local vs remote.
+func BenchmarkE4_MoveDataVsCompute(b *testing.B) {
+	cl := benchCluster(b, 2,
+		transport.NewInproc(transport.LinkModel{Latency: 50 * time.Microsecond, Bandwidth: 200e6}),
+		1, disk.Model{Seek: 100 * time.Microsecond, ReadBandwidth: 1e9, WriteBandwidth: 1e9})
+	const elems = 16384
+	dev, err := pagedev.NewArrayDevice(cl.Client(), 1, "e4", 2, elems, 1, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dev.FillPage(0, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	page := pagedev.NewArrayPage(elems, 1, 1)
+	b.Run("move-data", func(b *testing.B) {
+		b.SetBytes(elems * 8)
+		for i := 0; i < b.N; i++ {
+			if err := dev.ReadPage(page, 0); err != nil {
+				b.Fatal(err)
+			}
+			_ = page.Sum()
+		}
+	})
+	b.Run("move-compute", func(b *testing.B) {
+		b.SetBytes(elems * 8)
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Sum(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5_ParallelFFT — §4: joint transform, worker counts 1 and 2.
+func BenchmarkE5_ParallelFFT(b *testing.B) {
+	const n = 32
+	x := make([]complex128, n*n*n)
+	for _, p := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
+			f, err := pfft.New(cl.Client(), machines(p), n, n, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			if err := f.Load(x); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Transform(-1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_FFTvsMP — §1/§6: same FFT via RMI and via message passing.
+func BenchmarkE6_FFTvsMP(b *testing.B) {
+	const n = 32
+	const p = 2
+	x := make([]complex128, n*n*n)
+
+	b.Run("oo-process", func(b *testing.B) {
+		cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
+		f, err := pfft.New(cl.Client(), machines(p), n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		z := make([]complex128, len(x))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.Load(x); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Transform(-1); err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Gather(z); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("message-passing", func(b *testing.B) {
+		world, err := mp.NewWorld(transport.NewInproc(transport.LinkModel{}), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer world.Close()
+		y := make([]complex128, len(x))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(y, x)
+			if err := pfft.MPTransform3D(world, y, n, n, n, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7_PageMapLayouts — §5: slab sum under each layout.
+func BenchmarkE7_PageMapLayouts(b *testing.B) {
+	const devices = 8
+	const N, n = 64, 16
+	cl := benchCluster(b, devices, transport.NewInproc(transport.LinkModel{}), 1,
+		disk.Model{Seek: time.Millisecond, ReadBandwidth: 1e9, WriteBandwidth: 1e9})
+	slab := core.NewDomain(0, 16, 0, N, 0, N)
+	for _, layout := range core.PageMapNames() {
+		b.Run(layout, func(b *testing.B) {
+			pm, err := core.NewPageMap(layout, N/n, N/n, N/n, devices)
+			if err != nil {
+				b.Fatal(err)
+			}
+			storage, err := core.CreateBlockStorage(cl.Client(), machines(devices), "e7", pm.PagesPerDevice(), n, n, n, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer storage.Close()
+			arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := arr.Fill(arr.Bounds(), 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.Sum(slab); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_MultiClient — §5: full-array sum split across C clients
+// with sequential per-client semantics.
+func BenchmarkE8_MultiClient(b *testing.B) {
+	const devices = 8
+	const N, n = 64, 16
+	cl := benchCluster(b, devices, transport.NewInproc(transport.LinkModel{}), 1,
+		disk.Model{Seek: time.Millisecond, ReadBandwidth: 1e9, WriteBandwidth: 1e9})
+	pm, err := core.NewPageMap("roundrobin", N/n, N/n, N/n, devices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	storage, err := core.CreateBlockStorage(cl.Client(), machines(devices), "e8", pm.PagesPerDevice(), n, n, n, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer storage.Close()
+	arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := arr.Fill(arr.Bounds(), 1); err != nil {
+		b.Fatal(err)
+	}
+	arr.SetPipeline(false)
+	for _, clients := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			parts := arr.Bounds().SplitAxis1(clients)
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errCh := make(chan error, len(parts))
+				for _, dom := range parts {
+					wg.Add(1)
+					go func(dom core.Domain) {
+						defer wg.Done()
+						_, err := arr.Sum(dom)
+						errCh <- err
+					}(dom)
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9_Barrier — §4: barrier over growing process groups.
+func BenchmarkE9_Barrier(b *testing.B) {
+	const hosts = 8
+	cl := benchCluster(b, hosts, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("group=%d", size), func(b *testing.B) {
+			ms := make([]int, size)
+			for i := range ms {
+				ms[i] = i % hosts
+			}
+			g, err := rmi.SpawnGroup(client, ms, exp.ClassEcho, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Delete()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Barrier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10_Persistence — §5: passivate/activate cycle per state size.
+func BenchmarkE10_Persistence(b *testing.B) {
+	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	st, err := oopp.NewStore(client, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfgCase := range []struct {
+		label    string
+		pages    int
+		pageSize int
+	}{
+		{"64KiB", 4, 16 << 10},
+		{"1MiB", 16, 64 << 10},
+	} {
+		b.Run(cfgCase.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev, err := pagedev.NewDevice(client, 1, "bench", cfgCase.pages, cfgCase.pageSize, pagedev.DiskPrivate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				name := fmt.Sprintf("oop://bench/e10/%d", i)
+				b.StartTimer()
+				if err := st.Passivate(dev.Ref(), name); err != nil {
+					b.Fatal(err)
+				}
+				ref, err := st.Activate(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := client.Delete(ref); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Remove(name); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE11_DeepCopy — §4: group setup with deep vs shallow SetGroup.
+func BenchmarkE11_DeepCopy(b *testing.B) {
+	const hosts = 8
+	const p = 16
+	cl := benchCluster(b, hosts, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	ms := make([]int, p)
+	for i := range ms {
+		ms[i] = i % hosts
+	}
+	b.Run("deep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := pfft.New(client, ms, p, p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shallow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := pfft.NewShallow(client, ms, p, p, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

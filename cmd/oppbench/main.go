@@ -1,0 +1,63 @@
+// oppbench runs the experiment suite of EXPERIMENTS.md and prints one
+// table per experiment. Each experiment reproduces one claim of the
+// paper; see DESIGN.md §4 for the index.
+//
+//	go run ./cmd/oppbench                 # full suite
+//	go run ./cmd/oppbench -quick          # smaller sweeps
+//	go run ./cmd/oppbench -experiment E4  # one experiment
+//	go run ./cmd/oppbench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"oopp/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps and iteration counts")
+	which := flag.String("experiment", "all", "experiment id (E1..E11) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.Config{Quick: *quick}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("oopp experiment suite — mode=%s GOMAXPROCS=%d\n\n", mode, runtime.GOMAXPROCS(0))
+
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("  (%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *which == "all" {
+		for _, e := range exp.Experiments {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.Find(*which)
+	if !ok {
+		log.Fatalf("unknown experiment %q (use -list)", *which)
+	}
+	run(e)
+}

@@ -1,0 +1,54 @@
+// Package oopp is an object-oriented parallel programming framework: a Go
+// implementation of the model in which programming objects are processes
+// (E. Givelberg, "Object-Oriented Parallel Programming").
+//
+// # Model
+//
+// A parallel program is a collection of persistent processes that
+// communicate by executing remote methods. Constructing an object on a
+// remote machine spawns a process there and yields a remote pointer
+// (Ref); method calls through the pointer are client-server round trips
+// whose protocol is generated from the class description (here: a
+// registered method table plus a typed stub); deleting the pointer
+// terminates the process.
+//
+//	cl, _ := oopp.NewLocalCluster(4, 1)        // four machines, one disk each
+//	defer cl.Shutdown()
+//	client := cl.Client()                      // the program "runs on machine 0"
+//
+//	// PageDevice * store = new(machine 1) PageDevice("pagefile", 10, 1024);
+//	store, _ := oopp.NewDevice(client, 1, "pagefile", 10, 1024, oopp.DiskPrivate)
+//	_ = store.Write(7, page)                   // remote method execution
+//	data, _ := store.Read(7)
+//	_ = store.Close()                          // delete -> process terminates
+//
+// Sequential semantics are the default: each remote instruction completes
+// before the next begins. Parallelism is recovered exactly the way the
+// paper's compiler transformation splits loops — issue the calls
+// asynchronously, then collect:
+//
+//	futs := make([]*oopp.Future, n)
+//	for i, d := range devices { futs[i] = d.ReadAsync(addr[i]) }  // send loop
+//	for _, f := range futs   { _, _ = f.Wait() }                  // receive loop
+//
+// # Layers
+//
+// The public surface re-exports the layered implementation:
+//
+//   - Cluster, Machine: the simulated multicomputer (in-process transport
+//     with an optional latency/bandwidth link model, or real TCP).
+//   - Client, Ref, Future, Group: the RMI runtime — remote new, remote
+//     method execution, futures, object groups with barriers.
+//   - Float64Array, ByteArray: remote plain memory
+//     ("new(machine 2) double[1024]").
+//   - Device, ArrayDevice, Page, ArrayPage: the storage process hierarchy
+//     with process inheritance.
+//   - Array, Domain, PageMap, BlockStorage: the distributed 3D array, its
+//     subdomains, and the data layouts that determine I/O parallelism.
+//   - PFFT: the group of FFT processes jointly computing a 3D transform.
+//   - Address, NameService, Store, Manager: persistent processes with
+//     symbolic addresses.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// experiment suite; cmd/oppbench reproduces every experiment table.
+package oopp

@@ -1,0 +1,108 @@
+// Dataset: the §5 endgame — "applications must be able to access
+// previously constructed data sets. In our view large data objects are
+// described as collections of persistent processes."
+//
+// Phase 1 (the producer) builds a distributed array and publishes it
+// under a symbolic address. Phase 2 deactivates the whole collection —
+// every process terminates, state saved. Phase 3 (a consumer that knows
+// only the address) opens the array: member processes reactivate
+// transparently and the data is queried in place.
+//
+//	go run ./examples/dataset
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oopp"
+)
+
+const (
+	devices = 3
+	N       = 24 // array extent
+	n       = 8  // page extent
+)
+
+func main() {
+	cl, err := oopp.NewLocalCluster(devices, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Shutdown()
+	client := cl.Client()
+
+	// Runtime: name service on machine 0, a store on every machine.
+	mgr, err := oopp.NewManager(client, 0, []int{0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// ---- Phase 1: the producer builds and publishes the data set.
+	pm, err := oopp.NewPageMap("roundrobin", N/n, N/n, N/n, devices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	storage, err := oopp.CreateBlockStorage(client, []int{0, 1, 2}, "dataset", pm.PagesPerDevice(), n, n, n, oopp.DiskPrivate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arr, err := oopp.NewArray(storage, pm, N, N, N, n, n, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := oopp.Box(N, N, N)
+	src := make([]float64, full.Size())
+	for i := range src {
+		src[i] = float64(i % 17)
+	}
+	if err := arr.Write(src, full); err != nil {
+		log.Fatal(err)
+	}
+	want, err := arr.Sum(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := oopp.MustParseAddress("oop://data/set/climate-run-42")
+	if err := oopp.PublishArray(mgr, client, 0, base, arr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %dx%dx%d array as %v (+%d device processes)\n", N, N, N, base, devices)
+
+	// ---- Phase 2: the collection goes cold.
+	if err := oopp.DeactivateArray(mgr, base, devices); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := arr.Sum(full); err != nil {
+		fmt.Println("collection deactivated: all member processes terminated")
+	}
+
+	// ---- Phase 3: a consumer that holds only the address.
+	reopened, err := oopp.OpenArray(mgr, client, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := reopened.Sum(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reopened from address: layout=%s sum=%.0f (want %.0f)\n",
+		reopened.Map().Name(), got, want)
+
+	// Compute in place on the reopened data: norm via device-side dots.
+	norm, err := reopened.Norm2(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("||a||2 computed at the data: %.3f\n", norm)
+
+	// Persistent processes die only by explicit destructor (§5).
+	if err := oopp.DestroyArray(mgr, base, devices); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := oopp.OpenArray(mgr, client, base); err != nil {
+		fmt.Println("destroyed: the address is gone for good")
+	}
+}

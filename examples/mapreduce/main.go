@@ -1,0 +1,140 @@
+// Mapreduce: the paper's §6 claim that the framework "is rich enough to
+// include ... map-reduce". Mapper processes are remote objects; the
+// master scatters text shards with asynchronous remote calls (the map
+// phase runs in parallel on all machines), then reduces the per-shard
+// word counts it collects.
+//
+// The mapper class is defined and registered here, in the example — the
+// framework needs nothing built in for new process types.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"oopp"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// wordMapper is the server-side process: it counts words in the shards it
+// is given and hands back its local table on demand.
+type wordMapper struct {
+	counts map[string]int
+}
+
+func init() {
+	rmi.Register("example.WordMapper", func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		return &wordMapper{counts: make(map[string]int)}, nil
+	}).
+		Method("mapShard", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			m := obj.(*wordMapper)
+			text := args.String()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			for _, w := range strings.Fields(text) {
+				w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+				if w != "" {
+					m.counts[w]++
+				}
+			}
+			return nil
+		}).
+		Method("emit", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			m := obj.(*wordMapper)
+			words := make([]string, 0, len(m.counts))
+			for w := range m.counts {
+				words = append(words, w)
+			}
+			sort.Strings(words)
+			reply.PutUvarint(uint64(len(words)))
+			for _, w := range words {
+				reply.PutString(w)
+				reply.PutInt(m.counts[w])
+			}
+			return nil
+		})
+}
+
+var corpus = strings.Repeat(
+	"objects are processes and processes are objects "+
+		"a parallel program is a collection of persistent processes "+
+		"processes communicate by executing remote methods ", 64)
+
+func main() {
+	const mappers = 4
+	cl, err := oopp.NewLocalCluster(mappers, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Shutdown()
+	client := cl.Client()
+
+	// Spawn one mapper process per machine.
+	machines := make([]int, mappers)
+	for i := range machines {
+		machines[i] = i
+	}
+	group, err := oopp.SpawnGroup(client, machines, "example.WordMapper", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer group.Delete()
+
+	// Shard the corpus and scatter shards round-robin with async remote
+	// calls — the map phase.
+	words := strings.Fields(corpus)
+	shardSize := (len(words) + mappers - 1) / mappers
+	var futs []*oopp.Future
+	for i := 0; i < mappers; i++ {
+		lo := i * shardSize
+		hi := min(len(words), lo+shardSize)
+		shard := strings.Join(words[lo:hi], " ")
+		futs = append(futs, client.CallAsync(group.Member(i), "mapShard", func(e *oopp.Encoder) error {
+			e.PutString(shard)
+			return nil
+		}))
+	}
+	if err := oopp.WaitAll(futs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reduce: collect every mapper's table and merge.
+	total := make(map[string]int)
+	if err := group.CallParallelResults("emit", nil, func(i int, d *oopp.Decoder) error {
+		n := d.Uvarint()
+		for j := uint64(0); j < n; j++ {
+			w := d.String()
+			c := d.Int()
+			total[w] += c
+		}
+		return d.Err()
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Report the top words.
+	type wc struct {
+		w string
+		c int
+	}
+	out := make([]wc, 0, len(total))
+	for w, c := range total {
+		out = append(out, wc{w, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].c != out[j].c {
+			return out[i].c > out[j].c
+		}
+		return out[i].w < out[j].w
+	})
+	fmt.Printf("map-reduce over %d words with %d mapper processes\n", len(words), mappers)
+	for i := 0; i < 5 && i < len(out); i++ {
+		fmt.Printf("%3d  %s\n", out[i].c, out[i].w)
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: the paper's §2 worked examples, line for line.
+//
+//	go run ./examples/quickstart
+//
+// It brings up a three-machine cluster in-process, creates a PageDevice
+// process on machine 1, stores and fetches a page through its remote
+// pointer, allocates remote plain memory on machine 2
+// ("new(machine 2) double[1024]"), and finally deletes both processes.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"oopp"
+)
+
+func main() {
+	// "Consider now the situation where multiple computers machine 0,
+	// machine 1, machine 2, etc. are available..."
+	cl, err := oopp.NewLocalCluster(3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Shutdown()
+	client := cl.Client() // this program runs on machine 0
+
+	// PageDevice * PageStore = new(machine 1)
+	//     PageDevice("pagefile", NumberOfPages, PageSize);
+	const (
+		numberOfPages = 10
+		pageSize      = 1024
+	)
+	pageStore, err := oopp.NewDevice(client, 1, "pagefile", numberOfPages, pageSize, oopp.DiskPrivate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %v on machine 1\n", pageStore.Ref())
+
+	// Page * page = GenerateDataPage();
+	page := oopp.NewPage(pageSize)
+	for i := range page.Data {
+		page.Data[i] = byte(i % 251)
+	}
+
+	// PageStore->write(page, PageAddress);
+	const pageAddress = 7
+	if err := pageStore.Write(pageAddress, page.Data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes to page %d of the remote device\n", len(page.Data), pageAddress)
+
+	back, err := pageStore.Read(pageAddress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read it back: identical = %v\n", bytes.Equal(back, page.Data))
+
+	// double * data = new(machine 2) double[1024];
+	data, err := oopp.NewFloat64Array(client, 2, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// data[7] = 3.1415;
+	if err := data.Set(7, 3.1415); err != nil {
+		log.Fatal(err)
+	}
+	// double x = data[2];
+	x, err := data.Get(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v7, err := data.Get(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote memory on machine 2: data[2] = %v, data[7] = %v\n", x, v7)
+
+	// Destruction of a remote object terminates the remote process.
+	if err := data.Free(); err != nil {
+		log.Fatal(err)
+	}
+	if err := pageStore.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pageStore.Read(0); err != nil {
+		fmt.Printf("after delete, the process is gone: %v\n", err)
+	}
+}

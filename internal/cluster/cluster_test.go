@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"oopp/internal/disk"
+	"oopp/internal/transport"
+)
+
+func TestNewLocalDefaults(t *testing.T) {
+	c, err := NewLocal(3, 2)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	defer c.Shutdown()
+
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if len(c.Addrs()) != 3 {
+		t.Fatalf("addrs = %v", c.Addrs())
+	}
+	for i := 0; i < 3; i++ {
+		m := c.Machine(i)
+		if m.ID() != i {
+			t.Errorf("machine %d has id %d", i, m.ID())
+		}
+		if len(m.Disks()) != 2 {
+			t.Errorf("machine %d has %d disks", i, len(m.Disks()))
+		}
+		if m.Client() == nil || m.Server() == nil {
+			t.Errorf("machine %d missing client/server", i)
+		}
+		if m.Env().Machines != 3 {
+			t.Errorf("machine %d env.Machines = %d", i, m.Env().Machines)
+		}
+		for j := 0; j < 2; j++ {
+			if _, ok := m.Env().Resource(fmt.Sprintf("disk/%d", j)); !ok {
+				t.Errorf("machine %d missing disk/%d resource", i, j)
+			}
+		}
+	}
+}
+
+func TestCrossMachinePing(t *testing.T) {
+	c, err := NewLocal(4, 0)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	defer c.Shutdown()
+	// Every machine pings every other through its own client.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if err := c.Machine(i).Client().Ping(j); err != nil {
+				t.Fatalf("machine %d -> %d ping: %v", i, j, err)
+			}
+		}
+	}
+}
+
+func TestTCPCluster(t *testing.T) {
+	c, err := New(Config{Machines: 2, Transport: transport.TCP{}})
+	if err != nil {
+		t.Fatalf("New tcp: %v", err)
+	}
+	defer c.Shutdown()
+	if err := c.Client().Ping(1); err != nil {
+		t.Fatalf("tcp ping: %v", err)
+	}
+}
+
+func TestFileBackedDisks(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Machines: 2, DisksPerMachine: 1, DiskSize: 1 << 16, DataDir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Shutdown()
+	d := c.Machine(1).Disks()[0]
+	if err := d.WriteAt([]byte("persisted"), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if c.Machine(1).Env().DataDir == "" {
+		t.Error("file-backed machine has empty DataDir")
+	}
+}
+
+func TestDiskModelApplied(t *testing.T) {
+	model := disk.Model{Seek: 2 * time.Millisecond}
+	c, err := New(Config{Machines: 1, DisksPerMachine: 1, DiskSize: 1 << 12, DiskModel: model})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Shutdown()
+	d := c.Machine(0).Disks()[0]
+	start := time.Now()
+	buf := make([]byte, 8)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < model.Seek {
+		t.Errorf("modeled seek not applied: %v", elapsed)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{Machines: -1}); err == nil {
+		t.Fatal("expected error for negative machine count")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Machines != 1 {
+		t.Errorf("default machines = %d", cfg.Machines)
+	}
+	if cfg.Transport == nil {
+		t.Error("default transport nil")
+	}
+	cfg = Config{DisksPerMachine: 2}.withDefaults()
+	if cfg.DiskSize == 0 {
+		t.Error("default disk size not applied")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	c, err := NewLocal(2, 1)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := c.Shutdown(); err != nil {
+		t.Fatalf("double shutdown: %v", err)
+	}
+}
+
+// TestShutdownReleasesGoroutines brings a busy cluster up and down and
+// checks the goroutine count returns near baseline — machine processes,
+// object processes, and connection readers must all terminate.
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		c, err := NewLocal(4, 1)
+		if err != nil {
+			t.Fatalf("NewLocal: %v", err)
+		}
+		// Create some traffic so conns and object goroutines exist.
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if err := c.Machine(i).Client().Ping(j); err != nil {
+					t.Fatalf("ping: %v", err)
+				}
+			}
+		}
+		if err := c.Shutdown(); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+func TestDirectory(t *testing.T) {
+	c, err := NewLocal(2, 0)
+	if err != nil {
+		t.Fatalf("NewLocal: %v", err)
+	}
+	defer c.Shutdown()
+	dir := c.Directory()
+	if dir.Size() != 2 {
+		t.Fatalf("directory size = %d", dir.Size())
+	}
+	a, err := dir.Addr(1)
+	if err != nil || a == "" {
+		t.Fatalf("Addr(1) = %q, %v", a, err)
+	}
+	if _, err := dir.Addr(7); err == nil {
+		t.Fatal("expected error for unknown machine")
+	}
+}

@@ -1,0 +1,8 @@
+package cluster
+
+import "os"
+
+// mkdirAll wraps os.MkdirAll with the cluster's directory mode.
+func mkdirAll(path string) error {
+	return os.MkdirAll(path, 0o755)
+}

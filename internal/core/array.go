@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
+)
+
+// Array is the paper's §5 Array class: a large three-dimensional array of
+// float64s on the domain [0,N1)×[0,N2)×[0,N3), broken into n1×n2×n3 pages
+// stored across the device processes of a BlockStorage according to a
+// PageMap.
+//
+// An Array value is a *client* for the distributed data object — "a
+// client process for performing computations on a small subdomain of the
+// array data" (§5). Multiple Array values over the same storage and map
+// may run in parallel (one per goroutine or per machine); experiment E8
+// measures that scaling. Write, Fill and Scale update partially covered
+// pages through sub-page methods that execute inside the device process's
+// serial mailbox, so concurrent clients updating disjoint element regions
+// are safe even when those regions share pages (the Jacobi solver depends
+// on this). Axpy's partial-page path is the one client-side
+// read-modify-write left: concurrent Axpy callers must not share pages.
+type Array struct {
+	n [3]int // array dims N1,N2,N3
+	p [3]int // page dims n1,n2,n3
+	g [3]int // page grid dims P1,P2,P3
+
+	storage *BlockStorage
+	pm      PageMap
+
+	pipeline bool
+	window   int
+}
+
+// DefaultWindow is the default bound on outstanding pipelined requests.
+const DefaultWindow = 32
+
+// NewArray validates geometry and capacity and returns an Array client.
+// Array dims must be multiples of the page dims; every device must have
+// the page dimensions and at least PageMap.PagesPerDevice pages.
+func NewArray(storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
+	if N1 <= 0 || N2 <= 0 || N3 <= 0 || n1 <= 0 || n2 <= 0 || n3 <= 0 {
+		return nil, fmt.Errorf("core: invalid array geometry %dx%dx%d pages %dx%dx%d", N1, N2, N3, n1, n2, n3)
+	}
+	if N1%n1 != 0 || N2%n2 != 0 || N3%n3 != 0 {
+		return nil, fmt.Errorf("core: array dims %dx%dx%d not divisible by page dims %dx%dx%d", N1, N2, N3, n1, n2, n3)
+	}
+	if storage.Len() != pm.Devices() {
+		return nil, fmt.Errorf("core: page map expects %d devices, storage has %d", pm.Devices(), storage.Len())
+	}
+	need := pm.PagesPerDevice()
+	for i := 0; i < storage.Len(); i++ {
+		dev := storage.Device(i)
+		d1, d2, d3 := dev.Dims()
+		if d1 != n1 || d2 != n2 || d3 != n3 {
+			return nil, fmt.Errorf("core: device %d pages are %dx%dx%d, array wants %dx%dx%d", i, d1, d2, d3, n1, n2, n3)
+		}
+		cap, err := dev.NumPages()
+		if err != nil {
+			return nil, fmt.Errorf("core: device %d: %w", i, err)
+		}
+		if cap < need {
+			return nil, fmt.Errorf("core: device %d holds %d pages, page map needs %d", i, cap, need)
+		}
+	}
+	return &Array{
+		n:        [3]int{N1, N2, N3},
+		p:        [3]int{n1, n2, n3},
+		g:        [3]int{N1 / n1, N2 / n2, N3 / n3},
+		storage:  storage,
+		pm:       pm,
+		pipeline: true,
+		window:   DefaultWindow,
+	}, nil
+}
+
+// Dims returns the array extents.
+func (a *Array) Dims() (N1, N2, N3 int) { return a.n[0], a.n[1], a.n[2] }
+
+// PageDims returns the page extents.
+func (a *Array) PageDims() (n1, n2, n3 int) { return a.p[0], a.p[1], a.p[2] }
+
+// GridDims returns the page-grid extents.
+func (a *Array) GridDims() (P1, P2, P3 int) { return a.g[0], a.g[1], a.g[2] }
+
+// Bounds returns the full domain of the array.
+func (a *Array) Bounds() Domain { return Box(a.n[0], a.n[1], a.n[2]) }
+
+// Storage returns the underlying block storage.
+func (a *Array) Storage() *BlockStorage { return a.storage }
+
+// Map returns the page map.
+func (a *Array) Map() PageMap { return a.pm }
+
+// SetPipeline toggles the §4 split-loop pipelining. With it off every
+// page operation is a synchronous §2 round trip — the configuration the
+// experiments use as the sequential baseline.
+func (a *Array) SetPipeline(on bool) { a.pipeline = on }
+
+// SetWindow bounds the number of outstanding pipelined requests
+// (and therefore client buffering). Values < 1 reset to DefaultWindow.
+func (a *Array) SetWindow(w int) {
+	if w < 1 {
+		w = DefaultWindow
+	}
+	a.window = w
+}
+
+// region is one page overlapped by a domain operation.
+type region struct {
+	addr  PageAddress
+	box   Domain // the page's global element box
+	isect Domain // overlap with the operation's domain
+	full  bool   // the whole page is covered
+}
+
+// regions enumerates the pages overlapping dom, with their physical
+// addresses. Page iteration order is row-major in page coordinates, which
+// under a round-robin map alternates devices — maximizing overlap.
+func (a *Array) regions(dom Domain) []region {
+	lo1, hi1 := dom.Lo[0]/a.p[0], (dom.Hi[0]-1)/a.p[0]
+	lo2, hi2 := dom.Lo[1]/a.p[1], (dom.Hi[1]-1)/a.p[1]
+	lo3, hi3 := dom.Lo[2]/a.p[2], (dom.Hi[2]-1)/a.p[2]
+	out := make([]region, 0, (hi1-lo1+1)*(hi2-lo2+1)*(hi3-lo3+1))
+	for p1 := lo1; p1 <= hi1; p1++ {
+		for p2 := lo2; p2 <= hi2; p2++ {
+			for p3 := lo3; p3 <= hi3; p3++ {
+				box := NewDomain(
+					p1*a.p[0], (p1+1)*a.p[0],
+					p2*a.p[1], (p2+1)*a.p[1],
+					p3*a.p[2], (p3+1)*a.p[2],
+				)
+				isect := dom.Intersect(box)
+				if isect.Empty() {
+					continue
+				}
+				out = append(out, region{
+					addr:  a.pm.Locate(p1, p2, p3),
+					box:   box,
+					isect: isect,
+					full:  isect.Equal(box),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (a *Array) checkDomain(dom Domain) error {
+	if err := dom.Validate(); err != nil {
+		return err
+	}
+	if dom.Empty() {
+		return nil
+	}
+	if !dom.Within(a.Bounds()) {
+		return fmt.Errorf("core: domain %v outside array %v", dom, a.Bounds())
+	}
+	return nil
+}
+
+// copyRegion moves the isect block between a page buffer and a
+// dom-shaped subarray. dir=+1 copies page->sub (read), dir=-1 sub->page
+// (write).
+func (a *Array) copyRegion(sub []float64, dom Domain, page []float64, r region, toSub bool) {
+	d2 := dom.Hi[1] - dom.Lo[1]
+	d3 := dom.Hi[2] - dom.Lo[2]
+	runLen := r.isect.Hi[2] - r.isect.Lo[2]
+	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+		li := i - r.box.Lo[0] // local page coord, axis 1
+		si := i - dom.Lo[0]   // subarray coord, axis 1
+		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+			lj := j - r.box.Lo[1]
+			sj := j - dom.Lo[1]
+			pOff := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
+			sOff := (si*d2+sj)*d3 + (r.isect.Lo[2] - dom.Lo[2])
+			if toSub {
+				copy(sub[sOff:sOff+runLen], page[pOff:pOff+runLen])
+			} else {
+				copy(page[pOff:pOff+runLen], sub[sOff:sOff+runLen])
+			}
+		}
+	}
+}
+
+// Read gathers the subdomain dom into subarray (row-major, dom.Dims()
+// shaped) — the paper's Array::read. With pipelining on, page reads from
+// distinct devices overlap (§4); the PageMap decides how many devices
+// that engages (§5).
+func (a *Array) Read(subarray []float64, dom Domain) error {
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	if len(subarray) != dom.Size() {
+		return fmt.Errorf("core: subarray has %d elements, domain %v has %d", len(subarray), dom, dom.Size())
+	}
+	regs := a.regions(dom)
+	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+
+	if !a.pipeline {
+		for _, r := range regs {
+			dev := a.storage.Device(r.addr.Device)
+			if err := dev.ReadPage(scratch, r.addr.Index); err != nil {
+				return err
+			}
+			a.copyRegion(subarray, dom, scratch.Data, r, true)
+		}
+		return nil
+	}
+
+	futs := make([]*rmi.Future, len(regs))
+	issued := 0
+	for done := 0; done < len(regs); done++ {
+		for issued < len(regs) && issued < done+a.window {
+			r := regs[issued]
+			futs[issued] = a.storage.Device(r.addr.Device).ReadPageAsync(r.addr.Index)
+			issued++
+		}
+		if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+			// Drain remaining futures before returning.
+			for i := done + 1; i < issued; i++ {
+				_, _ = futs[i].Wait()
+			}
+			return err
+		}
+		a.copyRegion(subarray, dom, scratch.Data, regs[done], true)
+		futs[done] = nil
+	}
+	return nil
+}
+
+// subBoxFor converts a region's intersection into the device-local
+// sub-box coordinates used by the sub-page methods.
+func subBoxFor(r region) pagedev.SubBox {
+	var b pagedev.SubBox
+	for x := 0; x < 3; x++ {
+		b.Lo[x] = r.isect.Lo[x] - r.box.Lo[x]
+		b.Dim[x] = r.isect.Hi[x] - r.isect.Lo[x]
+	}
+	return b
+}
+
+// extractRegion gathers the region's values out of a dom-shaped subarray
+// into a row-packed buffer (the writeSub wire layout).
+func (a *Array) extractRegion(sub []float64, dom Domain, r region) []float64 {
+	d2 := dom.Hi[1] - dom.Lo[1]
+	d3 := dom.Hi[2] - dom.Lo[2]
+	runLen := r.isect.Hi[2] - r.isect.Lo[2]
+	out := make([]float64, r.isect.Size())
+	pos := 0
+	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+		si := i - dom.Lo[0]
+		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+			sj := j - dom.Lo[1]
+			sOff := (si*d2+sj)*d3 + (r.isect.Lo[2] - dom.Lo[2])
+			copy(out[pos:pos+runLen], sub[sOff:sOff+runLen])
+			pos += runLen
+		}
+	}
+	return out
+}
+
+// Write scatters subarray into the subdomain dom — the paper's
+// Array::write. Fully covered pages are written whole; partially covered
+// pages go through the device's atomic sub-page write. Both paths
+// pipeline.
+func (a *Array) Write(subarray []float64, dom Domain) error {
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	if len(subarray) != dom.Size() {
+		return fmt.Errorf("core: subarray has %d elements, domain %v has %d", len(subarray), dom, dom.Size())
+	}
+	regs := a.regions(dom)
+	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+
+	var futs []*rmi.Future
+	flush := func() error {
+		err := rmi.WaitAll(futs)
+		futs = futs[:0]
+		return err
+	}
+	push := func(fut *rmi.Future) error {
+		futs = append(futs, fut)
+		if len(futs) >= a.window {
+			return flush()
+		}
+		return nil
+	}
+	for _, r := range regs {
+		dev := a.storage.Device(r.addr.Device)
+		if r.full {
+			a.copyRegion(subarray, dom, scratch.Data, r, false)
+			if a.pipeline {
+				if err := push(dev.WritePageAsync(scratch, r.addr.Index)); err != nil {
+					return err
+				}
+			} else if err := dev.WritePage(scratch, r.addr.Index); err != nil {
+				return err
+			}
+			continue
+		}
+		// Partial page: atomic sub-page write on the device (only the
+		// region travels, and concurrent clients can share the page).
+		vals := a.extractRegion(subarray, dom, r)
+		if a.pipeline {
+			if err := push(dev.WriteSubAsync(r.addr.Index, subBoxFor(r), vals)); err != nil {
+				return err
+			}
+		} else if err := dev.WriteSub(r.addr.Index, subBoxFor(r), vals); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// Sum reduces the subdomain dom — the paper's Array::sum. Fully covered
+// pages are summed *on their devices* ("the partial sums are computed by
+// the data server processes and combined together by the Array client",
+// §5); partial pages are fetched and the overlap summed locally.
+func (a *Array) Sum(dom Domain) (float64, error) {
+	if err := a.checkDomain(dom); err != nil {
+		return 0, err
+	}
+	regs := a.regions(dom)
+	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+	var total float64
+
+	if !a.pipeline {
+		for _, r := range regs {
+			dev := a.storage.Device(r.addr.Device)
+			if r.full {
+				s, err := dev.Sum(r.addr.Index)
+				if err != nil {
+					return 0, err
+				}
+				total += s
+				continue
+			}
+			if err := dev.ReadPage(scratch, r.addr.Index); err != nil {
+				return 0, err
+			}
+			total += a.partialSum(scratch.Data, r)
+		}
+		return total, nil
+	}
+
+	futs := make([]*rmi.Future, len(regs))
+	issued := 0
+	issue := func(i int) {
+		r := regs[i]
+		dev := a.storage.Device(r.addr.Device)
+		if r.full {
+			futs[i] = dev.SumAsync(r.addr.Index)
+		} else {
+			futs[i] = dev.ReadPageAsync(r.addr.Index)
+		}
+	}
+	for done := 0; done < len(regs); done++ {
+		for issued < len(regs) && issued < done+a.window {
+			issue(issued)
+			issued++
+		}
+		r := regs[done]
+		if r.full {
+			s, err := pagedev.DecodeSum(futs[done])
+			if err != nil {
+				for i := done + 1; i < issued; i++ {
+					_, _ = futs[i].Wait()
+				}
+				return 0, err
+			}
+			total += s
+		} else {
+			if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+				for i := done + 1; i < issued; i++ {
+					_, _ = futs[i].Wait()
+				}
+				return 0, err
+			}
+			total += a.partialSum(scratch.Data, r)
+		}
+		futs[done] = nil
+	}
+	return total, nil
+}
+
+func (a *Array) partialSum(page []float64, r region) float64 {
+	var s float64
+	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+		li := i - r.box.Lo[0]
+		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+			lj := j - r.box.Lo[1]
+			off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
+			for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
+				s += page[off+k]
+			}
+		}
+	}
+	return s
+}
+
+// Fill sets every element of dom to v. Full pages fill remotely (no
+// element data crosses the network); partial pages fill atomically on
+// their devices.
+func (a *Array) Fill(dom Domain, v float64) error {
+	return a.rewrite(dom,
+		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.FillPageAsync(idx, v) },
+		func(dev *pagedev.ArrayDevice, idx int) error { return dev.FillPage(idx, v) },
+		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
+			return dev.FillSubAsync(idx, box, v)
+		},
+		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
+			return dev.FillSub(idx, box, v)
+		})
+}
+
+// Scale multiplies every element of dom by alpha, remotely for full
+// pages and atomically on-device for partial pages.
+func (a *Array) Scale(dom Domain, alpha float64) error {
+	return a.rewrite(dom,
+		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.ScalePageAsync(idx, alpha) },
+		func(dev *pagedev.ArrayDevice, idx int) error { return dev.ScalePage(idx, alpha) },
+		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
+			return dev.ScaleSubAsync(idx, box, alpha)
+		},
+		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
+			return dev.ScaleSub(idx, box, alpha)
+		})
+}
+
+// rewrite factors the Fill/Scale pattern: whole-page remote op on full
+// pages, atomic sub-page op on partial pages, both pipelined.
+func (a *Array) rewrite(dom Domain,
+	asyncFull func(*pagedev.ArrayDevice, int) *rmi.Future,
+	syncFull func(*pagedev.ArrayDevice, int) error,
+	asyncPartial func(*pagedev.ArrayDevice, int, pagedev.SubBox) *rmi.Future,
+	syncPartial func(*pagedev.ArrayDevice, int, pagedev.SubBox) error) error {
+
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	regs := a.regions(dom)
+	var futs []*rmi.Future
+	push := func(fut *rmi.Future) error {
+		futs = append(futs, fut)
+		if len(futs) >= a.window {
+			err := rmi.WaitAll(futs)
+			futs = futs[:0]
+			return err
+		}
+		return nil
+	}
+	for _, r := range regs {
+		dev := a.storage.Device(r.addr.Device)
+		if r.full {
+			if a.pipeline {
+				if err := push(asyncFull(dev, r.addr.Index)); err != nil {
+					return err
+				}
+			} else if err := syncFull(dev, r.addr.Index); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.pipeline {
+			if err := push(asyncPartial(dev, r.addr.Index, subBoxFor(r))); err != nil {
+				return err
+			}
+		} else if err := syncPartial(dev, r.addr.Index, subBoxFor(r)); err != nil {
+			return err
+		}
+	}
+	return rmi.WaitAll(futs)
+}
+
+func (a *Array) forEach(page []float64, r region, f func(float64) float64) {
+	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+		li := i - r.box.Lo[0]
+		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+			lj := j - r.box.Lo[1]
+			off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
+			for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
+				page[off+k] = f(page[off+k])
+			}
+		}
+	}
+}
+
+// MinMax returns the extrema over dom (remote per-page minmax for full
+// pages). An empty domain yields (+Inf, -Inf).
+func (a *Array) MinMax(dom Domain) (lo, hi float64, err error) {
+	if err := a.checkDomain(dom); err != nil {
+		return 0, 0, err
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	regs := a.regions(dom)
+	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+
+	futs := make([]*rmi.Future, len(regs))
+	issued := 0
+	issue := func(i int) {
+		r := regs[i]
+		dev := a.storage.Device(r.addr.Device)
+		if r.full {
+			futs[i] = dev.MinMaxPageAsync(r.addr.Index)
+		} else {
+			futs[i] = dev.ReadPageAsync(r.addr.Index)
+		}
+	}
+	window := a.window
+	if !a.pipeline {
+		window = 1
+	}
+	for done := 0; done < len(regs); done++ {
+		for issued < len(regs) && issued < done+window {
+			issue(issued)
+			issued++
+		}
+		r := regs[done]
+		if r.full {
+			l, h, err := pagedev.DecodeMinMax(futs[done])
+			if err != nil {
+				for i := done + 1; i < issued; i++ {
+					_, _ = futs[i].Wait()
+				}
+				return 0, 0, err
+			}
+			lo, hi = math.Min(lo, l), math.Max(hi, h)
+		} else {
+			if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+				for i := done + 1; i < issued; i++ {
+					_, _ = futs[i].Wait()
+				}
+				return 0, 0, err
+			}
+			a.forEach(scratch.Data, r, func(x float64) float64 {
+				lo, hi = math.Min(lo, x), math.Max(hi, x)
+				return x
+			})
+		}
+		futs[done] = nil
+	}
+	return lo, hi, nil
+}

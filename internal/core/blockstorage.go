@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
+)
+
+// BlockStorage is the paper's
+//
+//	typedef vector<ArrayPageDevice*> BlockStorage;
+//
+// — the collection of storage device processes an Array spreads its pages
+// over. Each device should live on its own disk (ideally its own
+// machine); the PageMap decides which logical page goes to which device.
+type BlockStorage struct {
+	devices []*pagedev.ArrayDevice
+}
+
+// NewBlockStorage wraps existing device stubs. The slice is not copied.
+func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
+	return &BlockStorage{devices: devices}
+}
+
+// CreateBlockStorage constructs one ArrayPageDevice process per entry of
+// machines (the paper's "for i: device[i] = new(machine i)
+// ArrayPageDevice(...)" loop), each backed by the machine disk diskIndex
+// (or a private memory disk for DiskPrivate). Construction is pipelined.
+func CreateBlockStorage(client *rmi.Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
+	devices := make([]*pagedev.ArrayDevice, len(machines))
+	type result struct {
+		i   int
+		dev *pagedev.ArrayDevice
+		err error
+	}
+	results := make(chan result, len(machines))
+	for i, m := range machines {
+		go func(i, m int) {
+			dev, err := pagedev.NewArrayDevice(client, m, fmt.Sprintf("%s/%d", name, i), pagesPerDevice, n1, n2, n3, diskIndex)
+			results <- result{i, dev, err}
+		}(i, m)
+	}
+	var firstErr error
+	for range machines {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: creating device %d: %w", r.i, r.err)
+		}
+		devices[r.i] = r.dev
+	}
+	if firstErr != nil {
+		for _, d := range devices {
+			if d != nil {
+				_ = d.Close()
+			}
+		}
+		return nil, firstErr
+	}
+	return &BlockStorage{devices: devices}, nil
+}
+
+// Len returns the number of devices.
+func (b *BlockStorage) Len() int { return len(b.devices) }
+
+// Device returns device i.
+func (b *BlockStorage) Device(i int) *pagedev.ArrayDevice { return b.devices[i] }
+
+// Refs returns the remote pointers of all devices (for passing storage to
+// other processes).
+func (b *BlockStorage) Refs() []rmi.Ref {
+	refs := make([]rmi.Ref, len(b.devices))
+	for i, d := range b.devices {
+		refs[i] = d.Ref()
+	}
+	return refs
+}
+
+// Close deletes every device process.
+func (b *BlockStorage) Close() error {
+	var firstErr error
+	for _, d := range b.devices {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

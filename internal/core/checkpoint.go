@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"oopp/internal/pagedev"
+	"oopp/internal/persist"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// This file completes the §5 picture: "applications must be able to
+// access previously constructed data sets. In our view large data objects
+// are described as collections of persistent processes."
+//
+// PublishArray registers a distributed array as a collection of
+// persistent processes: each storage device is bound at a symbolic
+// address derived from the array's address, and a small ArrayMeta process
+// records the geometry and layout. OpenArray reverses it — resolving the
+// addresses (transparently reactivating passivated devices) and
+// reassembling an Array client. DeactivateArray passivates the whole
+// collection.
+
+// ClassArrayMeta is the registered class of the array descriptor process.
+const ClassArrayMeta = "core.ArrayMeta"
+
+// arrayMeta is the server-side descriptor object. It is Persistable, so a
+// published array can be fully passivated, descriptor included.
+type arrayMeta struct {
+	n1, n2, n3 int // array dims
+	p1, p2, p3 int // page dims
+	layout     string
+	devices    int
+}
+
+func (m *arrayMeta) encode(e *wire.Encoder) {
+	e.PutInt(m.n1)
+	e.PutInt(m.n2)
+	e.PutInt(m.n3)
+	e.PutInt(m.p1)
+	e.PutInt(m.p2)
+	e.PutInt(m.p3)
+	e.PutString(m.layout)
+	e.PutInt(m.devices)
+}
+
+func (m *arrayMeta) decode(d *wire.Decoder) error {
+	m.n1, m.n2, m.n3 = d.Int(), d.Int(), d.Int()
+	m.p1, m.p2, m.p3 = d.Int(), d.Int(), d.Int()
+	m.layout = d.String()
+	m.devices = d.Int()
+	return d.Err()
+}
+
+// SaveState implements persist.Persistable.
+func (m *arrayMeta) SaveState(e *wire.Encoder) error {
+	m.encode(e)
+	return nil
+}
+
+// LoadState implements persist.Persistable.
+func (m *arrayMeta) LoadState(env *rmi.Env, d *wire.Decoder) error {
+	return m.decode(d)
+}
+
+func init() {
+	rmi.Register(ClassArrayMeta, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		m := &arrayMeta{}
+		if err := m.decode(args); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}).
+		Method("describe", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			obj.(*arrayMeta).encode(reply)
+			return nil
+		})
+	persist.RegisterRestorable(ClassArrayMeta, func() persist.Persistable { return &arrayMeta{} })
+}
+
+// metaAddr and deviceAddr derive the collection's member addresses.
+func metaAddr(base persist.Address) persist.Address {
+	return persist.Address{Namespace: base.Namespace, Path: base.Path + "/meta"}
+}
+
+func deviceAddr(base persist.Address, i int) persist.Address {
+	return persist.Address{Namespace: base.Namespace, Path: fmt.Sprintf("%s/dev/%d", base.Path, i)}
+}
+
+// PublishArray registers arr as a persistent collection under base: a
+// descriptor process (created on metaMachine) at base/meta and each
+// storage device at base/dev/<i>.
+func PublishArray(mgr *persist.Manager, client *rmi.Client, metaMachine int, base persist.Address, arr *Array) error {
+	N1, N2, N3 := arr.Dims()
+	n1, n2, n3 := arr.PageDims()
+	meta := &arrayMeta{
+		n1: N1, n2: N2, n3: N3,
+		p1: n1, p2: n2, p3: n3,
+		layout:  arr.Map().Name(),
+		devices: arr.Storage().Len(),
+	}
+	metaRef, err := client.New(metaMachine, ClassArrayMeta, func(e *wire.Encoder) error {
+		meta.encode(e)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: creating array descriptor: %w", err)
+	}
+	if err := mgr.Bind(metaAddr(base), metaRef); err != nil {
+		return err
+	}
+	for i := 0; i < arr.Storage().Len(); i++ {
+		if err := mgr.Bind(deviceAddr(base, i), arr.Storage().Device(i).Ref()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenArray reassembles a published array from its symbolic address,
+// transparently reactivating any passivated member processes.
+func OpenArray(mgr *persist.Manager, client *rmi.Client, base persist.Address) (*Array, error) {
+	metaRef, err := mgr.Resolve(metaAddr(base))
+	if err != nil {
+		return nil, fmt.Errorf("core: resolving array descriptor: %w", err)
+	}
+	d, err := client.Call(metaRef, "describe", nil)
+	if err != nil {
+		return nil, err
+	}
+	meta := &arrayMeta{}
+	if err := meta.decode(d); err != nil {
+		return nil, err
+	}
+	pm, err := NewPageMap(meta.layout, meta.n1/meta.p1, meta.n2/meta.p2, meta.n3/meta.p3, meta.devices)
+	if err != nil {
+		return nil, err
+	}
+	devices := make([]*pagedev.ArrayDevice, meta.devices)
+	for i := range devices {
+		ref, err := mgr.Resolve(deviceAddr(base, i))
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving device %d: %w", i, err)
+		}
+		devices[i] = pagedev.AttachArrayDevice(client, ref, meta.p1, meta.p2, meta.p3)
+	}
+	return NewArray(NewBlockStorage(devices), pm, meta.n1, meta.n2, meta.n3, meta.p1, meta.p2, meta.p3)
+}
+
+// DeactivateArray passivates every member process of a published array
+// (devices and descriptor). The storage devices must be persistable
+// (they are, for all pagedev backings).
+func DeactivateArray(mgr *persist.Manager, base persist.Address, devices int) error {
+	for i := 0; i < devices; i++ {
+		if err := mgr.Deactivate(deviceAddr(base, i)); err != nil {
+			return fmt.Errorf("core: deactivating device %d: %w", i, err)
+		}
+	}
+	return mgr.Deactivate(metaAddr(base))
+}
+
+// DestroyArray removes the published collection entirely: processes,
+// stored state, and bindings.
+func DestroyArray(mgr *persist.Manager, base persist.Address, devices int) error {
+	var firstErr error
+	for i := 0; i < devices; i++ {
+		if err := mgr.Destroy(deviceAddr(base, i)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := mgr.Destroy(metaAddr(base)); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"oopp/internal/cluster"
+	"oopp/internal/core"
+	"oopp/internal/pagedev"
+	"oopp/internal/persist"
+)
+
+// TestPublishOpenArray registers an array as a collection of persistent
+// processes, reopens it through its symbolic address, and verifies the
+// data is reachable through the reassembled client.
+func TestPublishOpenArray(t *testing.T) {
+	const devices = 2
+	const N, n = 8, 4
+	cl, err := cluster.NewLocal(devices, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Shutdown()
+	client := cl.Client()
+
+	mgr, err := persist.NewManager(client, 0, []int{0, 1})
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	defer mgr.Close()
+
+	pm, err := core.NewStripedMap(N/n, N/n, N/n, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage, err := core.CreateBlockStorage(client, []int{0, 1}, "pub", pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("storage: %v", err)
+	}
+	arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+	if err != nil {
+		t.Fatalf("array: %v", err)
+	}
+
+	full := core.Box(N, N, N)
+	src := make([]float64, full.Size())
+	for i := range src {
+		src[i] = float64(i % 13)
+	}
+	if err := arr.Write(src, full); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var want float64
+	for _, v := range src {
+		want += v
+	}
+
+	base := persist.MustParseAddress("oop://data/set/bigarray")
+	if err := core.PublishArray(mgr, client, 0, base, arr); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	// A different consumer reopens the array purely from the address.
+	reopened, err := core.OpenArray(mgr, client, base)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if l := reopened.Map().Name(); l != "striped" {
+		t.Fatalf("reopened layout %q", l)
+	}
+	s, err := reopened.Sum(full)
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", s, want)
+	}
+
+	// Deactivate the whole collection: all processes terminate.
+	if err := core.DeactivateArray(mgr, base, devices); err != nil {
+		t.Fatalf("deactivate: %v", err)
+	}
+	if _, err := arr.Sum(full); err == nil {
+		t.Fatal("device processes alive after collection deactivation")
+	}
+
+	// Reopen again: members reactivate transparently, data intact.
+	revived, err := core.OpenArray(mgr, client, base)
+	if err != nil {
+		t.Fatalf("open after deactivate: %v", err)
+	}
+	s, err = revived.Sum(full)
+	if err != nil {
+		t.Fatalf("sum after reactivation: %v", err)
+	}
+	if math.Abs(s-want) > 1e-9 {
+		t.Fatalf("sum after reactivation = %v, want %v", s, want)
+	}
+
+	// Destroy: addresses unbound, processes deleted, state discarded.
+	if err := core.DestroyArray(mgr, base, devices); err != nil {
+		t.Fatalf("destroy: %v", err)
+	}
+	if _, err := core.OpenArray(mgr, client, base); err == nil {
+		t.Fatal("array reopenable after destroy")
+	}
+}
+
+func TestOpenArrayMissing(t *testing.T) {
+	cl, err := cluster.NewLocal(1, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Shutdown()
+	mgr, err := persist.NewManager(cl.Client(), 0, []int{0})
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	defer mgr.Close()
+	if _, err := core.OpenArray(mgr, cl.Client(), persist.MustParseAddress("oop://no/such/array")); err == nil {
+		t.Fatal("opened a non-existent array")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainBasics(t *testing.T) {
+	d := NewDomain(1, 5, 2, 4, 0, 3)
+	n1, n2, n3 := d.Dims()
+	if n1 != 4 || n2 != 2 || n3 != 3 {
+		t.Fatalf("dims = %d,%d,%d", n1, n2, n3)
+	}
+	if d.Size() != 24 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if d.Empty() {
+		t.Fatal("non-empty domain reported empty")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if !d.Contains(1, 2, 0) || d.Contains(5, 2, 0) || d.Contains(1, 4, 0) || d.Contains(0, 2, 0) {
+		t.Fatal("Contains wrong at boundaries")
+	}
+	if d.String() == "" {
+		t.Fatal("empty string")
+	}
+
+	bad := NewDomain(5, 1, 0, 1, 0, 1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted domain validated")
+	}
+
+	empty := NewDomain(2, 2, 0, 4, 0, 4)
+	if !empty.Empty() || empty.Size() != 0 {
+		t.Fatal("degenerate domain not empty")
+	}
+}
+
+func TestDomainWithinIntersect(t *testing.T) {
+	outer := Box(10, 10, 10)
+	inner := NewDomain(2, 5, 3, 7, 0, 10)
+	if !inner.Within(outer) {
+		t.Fatal("inner not within outer")
+	}
+	if outer.Within(inner) {
+		t.Fatal("outer within inner")
+	}
+	// Empty domains are within everything.
+	if !NewDomain(3, 3, 0, 1, 0, 1).Within(inner) {
+		t.Fatal("empty domain not within")
+	}
+
+	a := NewDomain(0, 5, 0, 5, 0, 5)
+	b := NewDomain(3, 8, 4, 9, 5, 10)
+	i := a.Intersect(b)
+	if !i.Equal(NewDomain(3, 5, 4, 5, 5, 5)) {
+		t.Fatalf("intersection = %v", i)
+	}
+	if !i.Empty() {
+		t.Fatal("expected empty intersection (axis 3 disjoint)")
+	}
+	j := a.Intersect(NewDomain(1, 2, 1, 2, 1, 2))
+	if !j.Equal(NewDomain(1, 2, 1, 2, 1, 2)) {
+		t.Fatalf("contained intersection = %v", j)
+	}
+}
+
+func TestSplitAxis1(t *testing.T) {
+	d := Box(10, 4, 4)
+	parts := d.SplitAxis1(3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	prev := 0
+	for _, p := range parts {
+		if p.Lo[0] != prev {
+			t.Fatalf("non-contiguous split at %v", p)
+		}
+		prev = p.Hi[0]
+		total += p.Size()
+		if p.Lo[1] != 0 || p.Hi[1] != 4 || p.Lo[2] != 0 || p.Hi[2] != 4 {
+			t.Fatalf("split altered other axes: %v", p)
+		}
+	}
+	if prev != 10 || total != d.Size() {
+		t.Fatalf("split does not cover: end=%d total=%d", prev, total)
+	}
+	// More parts than planes: degenerate parts dropped.
+	parts = Box(2, 1, 1).SplitAxis1(5)
+	if len(parts) != 2 {
+		t.Fatalf("overs split = %d parts", len(parts))
+	}
+	if got := d.SplitAxis1(0); got != nil {
+		t.Fatal("zero parts should be nil")
+	}
+}
+
+// Property: intersection is commutative, contained in both operands, and
+// idempotent wrt Within.
+func TestQuickIntersectProperties(t *testing.T) {
+	f := func(a1, b1, a2, b2, a3, b3, c1, d1, c2, d2, c3, d3 uint8) bool {
+		norm := func(x, y uint8) (int, int) {
+			lo, hi := int(x%16), int(y%16)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return lo, hi
+		}
+		l1, h1 := norm(a1, b1)
+		l2, h2 := norm(a2, b2)
+		l3, h3 := norm(a3, b3)
+		m1, k1 := norm(c1, d1)
+		m2, k2 := norm(c2, d2)
+		m3, k3 := norm(c3, d3)
+		A := NewDomain(l1, h1, l2, h2, l3, h3)
+		B := NewDomain(m1, k1, m2, k2, m3, k3)
+		I1 := A.Intersect(B)
+		I2 := B.Intersect(A)
+		if I1.Size() != I2.Size() {
+			return false
+		}
+		if !I1.Within(A) || !I1.Within(B) {
+			return false
+		}
+		// Every point in I is in both; sampled via corners.
+		if !I1.Empty() {
+			pts := [][3]int{
+				{I1.Lo[0], I1.Lo[1], I1.Lo[2]},
+				{I1.Hi[0] - 1, I1.Hi[1] - 1, I1.Hi[2] - 1},
+			}
+			for _, p := range pts {
+				if !A.Contains(p[0], p[1], p[2]) || !B.Contains(p[0], p[1], p[2]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SplitAxis1 partitions exactly (disjoint, covering).
+func TestQuickSplitPartition(t *testing.T) {
+	f := func(n uint8, parts uint8) bool {
+		n1 := int(n%32) + 1
+		p := int(parts%8) + 1
+		d := Box(n1, 3, 3)
+		subs := d.SplitAxis1(p)
+		covered := 0
+		prev := 0
+		for _, s := range subs {
+			if s.Lo[0] != prev || s.Hi[0] <= s.Lo[0] {
+				return false
+			}
+			prev = s.Hi[0]
+			covered += s.Size()
+		}
+		return prev == n1 && covered == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

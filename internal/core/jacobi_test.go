@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"oopp/internal/core"
+)
+
+// seedHotFace returns a Laplace problem: zero everywhere except a hot
+// boundary face (i=0) held at 100.
+func seedHotFace(N int) []float64 {
+	u := make([]float64, N*N*N)
+	for j := 0; j < N; j++ {
+		for k := 0; k < N; k++ {
+			u[(0*N+j)*N+k] = 100
+		}
+	}
+	return u
+}
+
+// TestJacobiMatchesLocal runs the distributed solver against the local
+// reference, sweep counts and client counts varied. The two must agree to
+// floating-point noise: identical stencil arithmetic, different data
+// movement.
+func TestJacobiMatchesLocal(t *testing.T) {
+	const N, n = 8, 4
+	for _, clients := range []int{1, 2, 3} {
+		a, b, done := buildPair(t, 2, N, n)
+		u := seedHotFace(N)
+		full := core.Box(N, N, N)
+		if err := a.Write(u, full); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+
+		const iters = 5
+		gotRes, err := core.Jacobi(a, b, iters, clients)
+		if err != nil {
+			t.Fatalf("clients=%d: %v", clients, err)
+		}
+
+		want := seedHotFace(N)
+		wantRes := core.JacobiLocal(want, N, N, N, iters)
+
+		got := make([]float64, full.Size())
+		if err := a.Read(got, full); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("clients=%d element %d: %v != %v", clients, i, got[i], want[i])
+			}
+		}
+		if math.Abs(gotRes-wantRes) > 1e-12 {
+			t.Fatalf("clients=%d residual %v != %v", clients, gotRes, wantRes)
+		}
+		done()
+	}
+}
+
+// TestJacobiConverges checks the physics: residuals shrink monotonically
+// toward the harmonic solution.
+func TestJacobiConverges(t *testing.T) {
+	const N, n = 8, 4
+	a, b, done := buildPair(t, 2, N, n)
+	defer done()
+	full := core.Box(N, N, N)
+	if err := a.Write(seedHotFace(N), full); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	r1, err := core.Jacobi(a, b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Jacobi(a, b, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r2 < r1) {
+		t.Fatalf("residual did not shrink: %v -> %v", r1, r2)
+	}
+	// Boundary face stays pinned at 100.
+	face := core.NewDomain(0, 1, 0, N, 0, N)
+	buf := make([]float64, face.Size())
+	if err := a.Read(buf, face); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf {
+		if v != 100 {
+			t.Fatalf("boundary eroded at %d: %v", i, v)
+		}
+	}
+	// Interior values are bounded by the boundary extremes (discrete
+	// maximum principle).
+	interior := core.NewDomain(1, N-1, 1, N-1, 1, N-1)
+	ibuf := make([]float64, interior.Size())
+	if err := a.Read(ibuf, interior); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ibuf {
+		if v < 0 || v > 100 {
+			t.Fatalf("maximum principle violated at %d: %v", i, v)
+		}
+	}
+}
+
+func TestJacobiErrors(t *testing.T) {
+	a, b, done := buildPair(t, 2, 8, 4)
+	defer done()
+	// Non-conformant scratch.
+	other, _, done2 := buildPair(t, 2, 8, 2)
+	defer done2()
+	if _, err := core.Jacobi(a, other, 1, 1); err == nil {
+		t.Error("non-conformant scratch accepted")
+	}
+	// clients < 1 is clamped, not an error.
+	if err := a.Fill(a.Bounds(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Jacobi(a, b, 1, 0); err != nil {
+		t.Errorf("clients=0: %v", err)
+	}
+}

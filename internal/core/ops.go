@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
+)
+
+// This file extends the Array with two-operand operations (dot product,
+// AXPY). They showcase the §5 pattern at array scale: the operand pages
+// move *between device processes* over RMI, never through the client —
+// the client orchestrates page pairs and collects scalars.
+//
+// Both operations require the two arrays to be conformant: identical
+// array and page geometry. The arrays may live on entirely different
+// devices (that is the point).
+
+// conformant checks that two arrays share geometry.
+func (a *Array) conformant(b *Array) error {
+	if a.n != b.n || a.p != b.p {
+		return fmt.Errorf("core: arrays not conformant: %v/%v pages vs %v/%v",
+			a.n, a.p, b.n, b.p)
+	}
+	return nil
+}
+
+// Dot computes the inner product <a, b> over dom. Fully covered pages are
+// dotted on a's devices, each fetching its partner page directly from b's
+// device process; partially covered pages are fetched to the client and
+// dotted over the intersection.
+func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
+	if err := a.conformant(b); err != nil {
+		return 0, err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return 0, err
+	}
+	regs := a.regions(dom)
+	scratchA := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+	scratchB := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+	var total float64
+
+	window := a.window
+	if !a.pipeline {
+		window = 1
+	}
+	futs := make([]*rmi.Future, len(regs))
+	issued := 0
+	issue := func(i int) {
+		r := regs[i]
+		if r.full {
+			devA := a.storage.Device(r.addr.Device)
+			bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+			futs[i] = devA.DotWithAsync(r.addr.Index, b.storage.Device(bAddr.Device).Ref(), bAddr.Index)
+		}
+	}
+	for done := 0; done < len(regs); done++ {
+		for issued < len(regs) && issued < done+window {
+			issue(issued)
+			issued++
+		}
+		r := regs[done]
+		if r.full {
+			s, err := pagedev.DecodeSum(futs[done])
+			if err != nil {
+				for i := done + 1; i < issued; i++ {
+					if futs[i] != nil {
+						_, _ = futs[i].Wait()
+					}
+				}
+				return 0, err
+			}
+			total += s
+			futs[done] = nil
+			continue
+		}
+		// Partial page: fetch both pages, dot the intersection locally.
+		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		if err := a.storage.Device(r.addr.Device).ReadPage(scratchA, r.addr.Index); err != nil {
+			return 0, err
+		}
+		if err := b.storage.Device(bAddr.Device).ReadPage(scratchB, bAddr.Index); err != nil {
+			return 0, err
+		}
+		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+			li := i - r.box.Lo[0]
+			for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+				lj := j - r.box.Lo[1]
+				off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
+				for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
+					total += scratchA.Data[off+k] * scratchB.Data[off+k]
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Axpy updates a += alpha*b over dom. Fully covered pages update on a's
+// devices, each pulling its partner page from b's device process;
+// partially covered pages go through client-side read-modify-write.
+func (a *Array) Axpy(alpha float64, b *Array, dom Domain) error {
+	if err := a.conformant(b); err != nil {
+		return err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	regs := a.regions(dom)
+	scratchA := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+	scratchB := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
+
+	var futs []*rmi.Future
+	for _, r := range regs {
+		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		devA := a.storage.Device(r.addr.Device)
+		if r.full {
+			peer := b.storage.Device(bAddr.Device).Ref()
+			if a.pipeline {
+				futs = append(futs, devA.AxpyWithAsync(r.addr.Index, alpha, peer, bAddr.Index))
+				if len(futs) >= a.window {
+					if err := rmi.WaitAll(futs); err != nil {
+						return err
+					}
+					futs = futs[:0]
+				}
+			} else if err := devA.AxpyWith(r.addr.Index, alpha, peer, bAddr.Index); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := devA.ReadPage(scratchA, r.addr.Index); err != nil {
+			return err
+		}
+		if err := b.storage.Device(bAddr.Device).ReadPage(scratchB, bAddr.Index); err != nil {
+			return err
+		}
+		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
+			li := i - r.box.Lo[0]
+			for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
+				lj := j - r.box.Lo[1]
+				off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
+				for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
+					scratchA.Data[off+k] += alpha * scratchB.Data[off+k]
+				}
+			}
+		}
+		if err := devA.WritePage(scratchA, r.addr.Index); err != nil {
+			return err
+		}
+	}
+	return rmi.WaitAll(futs)
+}
+
+// Norm2 returns sqrt(<a, a>) over dom.
+func (a *Array) Norm2(dom Domain) (float64, error) {
+	s, err := a.Dot(a, dom)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(s), nil
+}

@@ -1,0 +1,271 @@
+// Package disk simulates the block storage hardware the paper assumes:
+// "a half-petabyte-sized array, stored on hundreds of hard-drives that are
+// attached to multiple computing nodes".
+//
+// We do not have hundreds of hard drives, so we substitute a disk model
+// that preserves the two properties every I/O claim in the paper rests on:
+//
+//  1. A single disk serializes its requests (one head): two reads on the
+//     same device take twice as long as one.
+//  2. Distinct disks operate concurrently: N reads on N devices take as
+//     long as one (this is exactly the §4 parallel-I/O claim).
+//
+// A Disk has a seek time and a bandwidth; an operation on n bytes holds
+// the device for Seek + n/Bandwidth. The zero-cost configuration (both
+// zero) is used by correctness tests; benchmarks install realistic values
+// (e.g. 100µs seek, 200 MB/s) scaled down so suites finish quickly.
+//
+// Backing storage is either memory (default; keeps tests hermetic) or a
+// real file on the host filesystem.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"oopp/internal/metrics"
+	"oopp/internal/simtime"
+)
+
+// Model describes the performance characteristics of a simulated disk.
+type Model struct {
+	// Seek is the fixed cost per operation (head movement + rotational
+	// latency + controller overhead).
+	Seek time.Duration
+	// ReadBandwidth and WriteBandwidth are sustained transfer rates in
+	// bytes per second. Zero means infinitely fast.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+}
+
+// IsZero reports whether the model imposes no simulated delays.
+func (m Model) IsZero() bool {
+	return m.Seek == 0 && m.ReadBandwidth == 0 && m.WriteBandwidth == 0
+}
+
+// ReadTime returns the modeled duration of an n-byte read.
+func (m Model) ReadTime(n int) time.Duration {
+	d := m.Seek
+	if m.ReadBandwidth > 0 {
+		d += time.Duration(float64(n) / m.ReadBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// WriteTime returns the modeled duration of an n-byte write.
+func (m Model) WriteTime(n int) time.Duration {
+	d := m.Seek
+	if m.WriteBandwidth > 0 {
+		d += time.Duration(float64(n) / m.WriteBandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Backing is the byte store under a simulated disk.
+type Backing interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+	Close() error
+}
+
+// Disk is one simulated storage device. All operations serialize on the
+// device mutex — this is the point of the simulation, not a shortcut.
+type Disk struct {
+	name    string
+	model   Model
+	counter *metrics.Counters
+
+	mu      sync.Mutex
+	backing Backing
+	closed  bool
+
+	ops atomic64Pair // reads, writes (for per-disk contention accounting)
+}
+
+type atomic64Pair struct {
+	mu     sync.Mutex
+	reads  int64
+	writes int64
+}
+
+// ErrClosed is returned by operations on a closed disk.
+var ErrClosed = errors.New("disk: closed")
+
+// ErrOutOfRange is returned when an operation exceeds the device size.
+var ErrOutOfRange = errors.New("disk: offset out of range")
+
+// NewMem creates a memory-backed disk of the given size.
+func NewMem(name string, size int64, model Model) *Disk {
+	return &Disk{
+		name:    name,
+		model:   model,
+		counter: metrics.Default,
+		backing: &memBacking{data: make([]byte, size)},
+	}
+}
+
+// NewFile creates (or truncates) a file-backed disk at path.
+func NewFile(name, path string, size int64, model Model) (*Disk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: create %s: %w", path, err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: truncate %s: %w", path, err)
+	}
+	return &Disk{
+		name:    name,
+		model:   model,
+		counter: metrics.Default,
+		backing: &fileBacking{f: f, size: size},
+	}, nil
+}
+
+// OpenFile reattaches an existing disk image without truncating it — the
+// "machine restart" path: the drive's contents survive across processes.
+func OpenFile(name, path string, model Model) (*Disk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disk: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat %s: %w", path, err)
+	}
+	return &Disk{
+		name:    name,
+		model:   model,
+		counter: metrics.Default,
+		backing: &fileBacking{f: f, size: info.Size()},
+	}, nil
+}
+
+// Name returns the device name.
+func (d *Disk) Name() string { return d.name }
+
+// Size returns the device capacity in bytes.
+func (d *Disk) Size() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
+	return d.backing.Size()
+}
+
+// Model returns the performance model.
+func (d *Disk) Model() Model { return d.model }
+
+// ReadAt reads len(p) bytes at offset off, holding the device for the
+// modeled duration.
+func (d *Disk) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if off < 0 || off+int64(len(p)) > d.backing.Size() {
+		return fmt.Errorf("%w: read [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(p)), d.backing.Size())
+	}
+	if !d.model.IsZero() {
+		simtime.Sleep(d.model.ReadTime(len(p)))
+	}
+	if err := d.backing.ReadAt(p, off); err != nil {
+		return err
+	}
+	d.ops.mu.Lock()
+	d.ops.reads++
+	d.ops.mu.Unlock()
+	d.counter.DiskReads.Add(1)
+	d.counter.DiskBytesRead.Add(int64(len(p)))
+	return nil
+}
+
+// WriteAt writes len(p) bytes at offset off, holding the device for the
+// modeled duration.
+func (d *Disk) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if off < 0 || off+int64(len(p)) > d.backing.Size() {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrOutOfRange, off, off+int64(len(p)), d.backing.Size())
+	}
+	if !d.model.IsZero() {
+		simtime.Sleep(d.model.WriteTime(len(p)))
+	}
+	if err := d.backing.WriteAt(p, off); err != nil {
+		return err
+	}
+	d.ops.mu.Lock()
+	d.ops.writes++
+	d.ops.mu.Unlock()
+	d.counter.DiskWrites.Add(1)
+	d.counter.DiskBytesWrit.Add(int64(len(p)))
+	return nil
+}
+
+// Ops returns the lifetime (reads, writes) operation counts.
+func (d *Disk) Ops() (reads, writes int64) {
+	d.ops.mu.Lock()
+	defer d.ops.mu.Unlock()
+	return d.ops.reads, d.ops.writes
+}
+
+// Close releases the backing store. Further operations fail.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.backing.Close()
+}
+
+type memBacking struct {
+	data []byte
+}
+
+func (b *memBacking) ReadAt(p []byte, off int64) error {
+	copy(p, b.data[off:])
+	return nil
+}
+
+func (b *memBacking) WriteAt(p []byte, off int64) error {
+	copy(b.data[off:], p)
+	return nil
+}
+
+func (b *memBacking) Size() int64 { return int64(len(b.data)) }
+
+func (b *memBacking) Close() error {
+	b.data = nil
+	return nil
+}
+
+type fileBacking struct {
+	f    *os.File
+	size int64
+}
+
+func (b *fileBacking) ReadAt(p []byte, off int64) error {
+	_, err := b.f.ReadAt(p, off)
+	return err
+}
+
+func (b *fileBacking) WriteAt(p []byte, off int64) error {
+	_, err := b.f.WriteAt(p, off)
+	return err
+}
+
+func (b *fileBacking) Size() int64 { return b.size }
+
+func (b *fileBacking) Close() error { return b.f.Close() }

@@ -1,0 +1,246 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemReadWrite(t *testing.T) {
+	d := NewMem("d0", 1024, Model{})
+	defer d.Close()
+
+	data := []byte("hello disk")
+	if err := d.WriteAt(data, 100); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 100); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+	r, w := d.Ops()
+	if r != 1 || w != 1 {
+		t.Fatalf("ops = (%d,%d), want (1,1)", r, w)
+	}
+	if d.Size() != 1024 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if d.Name() != "d0" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestFileBacking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk0.img")
+	d, err := NewFile("f0", path, 4096, Model{})
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	defer d.Close()
+
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := d.WriteAt(data, 1024); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, 512)
+	if err := d.ReadAt(got, 1024); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file-backed read mismatch")
+	}
+}
+
+// TestOpenFileReattachesImage writes through one disk handle, closes it
+// ("machine power-off"), reopens the image, and reads the data back.
+func TestOpenFileReattachesImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.img")
+	d1, err := NewFile("gen1", path, 8192, Model{})
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	data := []byte("survives restarts")
+	if err := d1.WriteAt(data, 4000); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2, err := OpenFile("gen2", path, Model{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer d2.Close()
+	if d2.Size() != 8192 {
+		t.Fatalf("reopened size = %d", d2.Size())
+	}
+	got := make([]byte, len(data))
+	if err := d2.ReadAt(got, 4000); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("data lost across reattach: %q", got)
+	}
+	// Opening a missing image fails.
+	if _, err := OpenFile("x", filepath.Join(t.TempDir(), "missing.img"), Model{}); err == nil {
+		t.Fatal("opened a missing image")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := NewMem("d0", 100, Model{})
+	defer d.Close()
+	buf := make([]byte, 10)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"read past end", func() error { return d.ReadAt(buf, 95) }},
+		{"read negative", func() error { return d.ReadAt(buf, -1) }},
+		{"write past end", func() error { return d.WriteAt(buf, 91) }},
+		{"write negative", func() error { return d.WriteAt(buf, -5) }},
+	}
+	for _, c := range cases {
+		if err := c.fn(); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("%s: err = %v, want ErrOutOfRange", c.name, err)
+		}
+	}
+	// Boundary success: exactly at the end.
+	if err := d.WriteAt(buf, 90); err != nil {
+		t.Errorf("write at boundary: %v", err)
+	}
+}
+
+func TestClosed(t *testing.T) {
+	d := NewMem("d0", 100, Model{})
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	buf := make([]byte, 1)
+	if err := d.ReadAt(buf, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("read after close: %v", err)
+	}
+	if err := d.WriteAt(buf, 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	if d.Size() != 0 {
+		t.Errorf("size after close: %d", d.Size())
+	}
+}
+
+func TestModelTimes(t *testing.T) {
+	m := Model{Seek: time.Millisecond, ReadBandwidth: 1e6, WriteBandwidth: 2e6}
+	if got := m.ReadTime(1e6); got != time.Second+time.Millisecond {
+		t.Errorf("ReadTime = %v", got)
+	}
+	if got := m.WriteTime(1e6); got != 500*time.Millisecond+time.Millisecond {
+		t.Errorf("WriteTime = %v", got)
+	}
+	if !(Model{}).IsZero() {
+		t.Error("zero model not zero")
+	}
+	if m.IsZero() {
+		t.Error("non-zero model reported zero")
+	}
+}
+
+// TestDeviceSerialization verifies the core property: one disk serializes
+// its requests, so K concurrent ops on one device take ~K times as long.
+func TestDeviceSerialization(t *testing.T) {
+	const seek = 5 * time.Millisecond
+	d := NewMem("d0", 4096, Model{Seek: seek})
+	defer d.Close()
+
+	const k = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			if err := d.ReadAt(buf, int64(i*16)); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < k*seek {
+		t.Errorf("4 concurrent reads finished in %v; device did not serialize (want >= %v)", elapsed, k*seek)
+	}
+}
+
+// TestDeviceParallelism verifies distinct disks do NOT serialize against
+// each other — the property behind the paper's parallel-I/O claim (§4).
+func TestDeviceParallelism(t *testing.T) {
+	const seek = 30 * time.Millisecond
+	const k = 4
+	disks := make([]*Disk, k)
+	for i := range disks {
+		disks[i] = NewMem("d", 4096, Model{Seek: seek})
+		defer disks[i].Close()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, d := range disks {
+		wg.Add(1)
+		go func(d *Disk) {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			if err := d.ReadAt(buf, 0); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// All four should overlap: clearly under the serialized 4*seek, with
+	// headroom for scheduler noise when test packages run in parallel.
+	if elapsed >= time.Duration(k)*seek {
+		t.Errorf("4 parallel disks took %v; serialized would be %v", elapsed, time.Duration(k)*seek)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	d := NewMem("d0", 1<<16, Model{})
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := []byte{byte(i)}
+			for j := 0; j < 100; j++ {
+				off := int64(i*100 + j)
+				if err := d.WriteAt(buf, off); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got := make([]byte, 1)
+				if err := d.ReadAt(got, off); err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if got[0] != byte(i) {
+					t.Errorf("read back %d, want %d", got[0], i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	r, w := d.Ops()
+	if r != 800 || w != 800 {
+		t.Errorf("ops = (%d,%d), want (800,800)", r, w)
+	}
+}

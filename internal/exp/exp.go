@@ -1,0 +1,184 @@
+// Package exp implements the experiment suite of EXPERIMENTS.md: one
+// experiment per claim of the paper, each producing a table. The paper
+// itself contains no tables or figures (it is an ideas paper), so these
+// experiments are the quantitative reproduction of its qualitative
+// claims; cmd/oppbench prints them, and the root bench_test.go exposes
+// each as a Go benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks sweeps and iteration counts for CI-speed runs.
+	Quick bool
+}
+
+// iters picks an iteration count by mode.
+func (c Config) iters(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is one experiment's rendered result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test, with its section
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-form note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Runner produces one experiment table.
+type Runner func(cfg Config) (*Table, error)
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// Experiments lists the full suite in order.
+var Experiments = []Experiment{
+	{"E1", "Remote method execution vs hand-written message passing", E1RMILatency},
+	{"E2", "Element-wise remote access vs bulk transfer", E2ElementVsBulk},
+	{"E3", "Sequential loop vs compiler-split loop over N devices", E3SplitLoop},
+	{"E4", "Move data to computation vs move computation to data", E4MoveDataVsCompute},
+	{"E5", "Parallel FFT scaling with worker processes", E5ParallelFFT},
+	{"E6", "OO-process FFT vs message-passing FFT", E6FFTvsMP},
+	{"E7", "PageMap layout determines I/O parallelism", E7PageMapLayouts},
+	{"E8", "Multiple Array clients deployed in parallel", E8MultiClient},
+	{"E9", "Barrier cost vs process group size", E9Barrier},
+	{"E10", "Persistent processes: passivation and activation", E10Persistence},
+	{"E11", "Deep copy vs remote dereference in SetGroup", E11DeepCopy},
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- shared helpers -------------------------------------------------------
+
+// ClassEcho is a minimal server class used by the latency and barrier
+// experiments: it returns its payload.
+const ClassEcho = "exp.Echo"
+
+type echoObj struct{}
+
+func init() {
+	rmi.Register(ClassEcho, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		return &echoObj{}, nil
+	}).
+		Method("echo", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutBytes(args.Bytes())
+			return args.Err()
+		}).
+		Method("noop", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			return nil
+		})
+}
+
+// msPrec formats a duration in milliseconds with 3 decimals.
+func msPrec(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// usPrec formats a duration in microseconds with 1 decimal.
+func usPrec(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// machineList returns [0, 1, ..., n-1] modulo m machines.
+func machineList(n, m int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % m
+	}
+	return out
+}
+
+// fillRandom fills a complex slice deterministically.
+func fillRandom(x []complex128, seed uint64) {
+	s := seed
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		re := float64(int64(s>>11))/float64(1<<52) - 1
+		s = s*6364136223846793005 + 1442695040888963407
+		im := float64(int64(s>>11))/float64(1<<52) - 1
+		x[i] = complex(re, im)
+	}
+}

@@ -1,0 +1,259 @@
+// Package fft provides the Fourier transform kernels under the paper's
+// motivating computation: "the problem of computing a Fourier transform
+// on a very large (Petascale) three-dimensional array can be considered
+// as a prototype problem where massive and highly parallel data
+// communications are necessary" (§1).
+//
+// The package is pure sequential math — the local work each FFT process
+// performs. The distributed organisation (worker processes, SetGroup,
+// transpose exchanges) lives in internal/pfft.
+//
+// Conventions: sign=-1 is the forward transform, sign=+1 the inverse;
+// the inverse is normalized by 1/N, so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Forward transforms x in place with sign -1.
+func Forward(x []complex128) error { return Transform(x, -1) }
+
+// Inverse transforms x in place with sign +1 and 1/N normalization.
+func Inverse(x []complex128) error { return Transform(x, +1) }
+
+// Transform runs an in-place 1D FFT of any length (radix-2 for powers of
+// two, Bluestein otherwise).
+func Transform(x []complex128, sign int) error {
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return err
+	}
+	p.Transform(x, sign)
+	return nil
+}
+
+// planCache shares plans across calls. A Plan is immutable after
+// construction (Transform touches only the input and per-call scratch),
+// so one plan per length serves any number of goroutines — this is what
+// makes the multi-axis helpers below cheap to call repeatedly from FFT
+// worker processes.
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns a (possibly shared) plan for length n.
+func PlanFor(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := planCache.LoadOrStore(n, p)
+	return v.(*Plan), nil
+}
+
+// Plan holds precomputed tables for transforms of one length. Plans are
+// safe for concurrent use once built: Transform uses only per-call
+// scratch when needed.
+type Plan struct {
+	n    int
+	pow2 bool
+	// radix-2 tables
+	rev []int        // bit-reversal permutation
+	tw  []complex128 // twiddles e^{-2πi k / n}, k < n/2
+	// Bluestein tables (nil for powers of two)
+	bs *bluestein
+}
+
+// NewPlan builds a plan for length n (n >= 1).
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: invalid length %d", n)
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.rev = bitRevTable(n)
+		p.tw = twiddles(n)
+		return p, nil
+	}
+	bs, err := newBluestein(n)
+	if err != nil {
+		return nil, err
+	}
+	p.bs = bs
+	return p, nil
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Transform runs the planned FFT on x in place. len(x) must equal Len.
+// sign=-1 forward, sign=+1 inverse (normalized).
+func (p *Plan) Transform(x []complex128, sign int) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: plan length %d, input %d", p.n, len(x)))
+	}
+	if p.n == 1 {
+		return
+	}
+	if p.pow2 {
+		p.radix2(x, sign)
+	} else {
+		p.bs.transform(x, sign)
+	}
+	if sign > 0 {
+		scale := 1 / float64(p.n)
+		for i := range x {
+			x[i] = complex(real(x[i])*scale, imag(x[i])*scale)
+		}
+	}
+}
+
+// radix2 is the iterative Cooley-Tukey kernel.
+func (p *Plan) radix2(x []complex128, sign int) {
+	n := p.n
+	for i, j := range p.rev {
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tIdx := 0
+			for k := start; k < start+half; k++ {
+				w := p.tw[tIdx]
+				if sign > 0 {
+					w = complex(real(w), -imag(w))
+				}
+				u := x[k]
+				v := x[k+half] * w
+				x[k] = u + v
+				x[k+half] = u - v
+				tIdx += step
+			}
+		}
+	}
+}
+
+func bitRevTable(n int) []int {
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return rev
+}
+
+func twiddles(n int) []complex128 {
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return tw
+}
+
+// bluestein implements the chirp-z transform for arbitrary lengths via a
+// power-of-two convolution.
+type bluestein struct {
+	n     int
+	m     int // convolution length, power of two >= 2n-1
+	inner *Plan
+	chirp []complex128 // a_k = e^{-iπ k² / n}, k < n (forward sign)
+	bfft  []complex128 // FFT of the filter b (forward chirp conjugate, wrapped)
+}
+
+func newBluestein(n int) (*bluestein, error) {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	inner, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	bs := &bluestein{n: n, m: m, inner: inner}
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k² mod 2n keeps the angle argument small for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := -math.Pi * float64(kk) / float64(n)
+		bs.chirp[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := cmplxConj(bs.chirp[k])
+		b[k] = c
+		if k > 0 {
+			b[m-k] = c
+		}
+	}
+	bs.inner.Transform(b, -1)
+	bs.bfft = b
+	return bs, nil
+}
+
+func cmplxConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// transform computes the length-n DFT of x (unnormalized) with the given
+// sign, in place. The inverse uses the conjugation identity
+// idft(x) = conj(dft(conj(x))) / n, with the 1/n applied by the caller.
+func (bs *bluestein) transform(x []complex128, sign int) {
+	if sign > 0 {
+		for i := range x {
+			x[i] = cmplxConj(x[i])
+		}
+		bs.forward(x)
+		for i := range x {
+			x[i] = cmplxConj(x[i])
+		}
+		return
+	}
+	bs.forward(x)
+}
+
+// forward computes the unnormalized forward DFT via chirp-z: multiply by
+// the chirp, convolve with the chirp filter (one forward + one inverse
+// power-of-two FFT), multiply by the chirp again.
+func (bs *bluestein) forward(x []complex128) {
+	a := make([]complex128, bs.m)
+	for k := 0; k < bs.n; k++ {
+		a[k] = x[k] * bs.chirp[k]
+	}
+	bs.inner.Transform(a, -1)
+	for i := range a {
+		a[i] *= bs.bfft[i]
+	}
+	bs.inner.Transform(a, +1) // normalized inverse of the inner plan
+	for k := 0; k < bs.n; k++ {
+		x[k] = a[k] * bs.chirp[k]
+	}
+}
+
+// DFTNaive is the O(n²) reference transform used by tests. sign=-1
+// forward (unnormalized), sign=+1 inverse (normalized by 1/n).
+func DFTNaive(x []complex128, sign int) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := float64(sign) * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(angle), math.Sin(angle))
+		}
+		out[k] = s
+	}
+	if sign > 0 {
+		for k := range out {
+			out[k] /= complex(float64(n), 0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package fft
+
+import "fmt"
+
+// FFT2D transforms a flat row-major n1×n2 array in place along both axes.
+func FFT2D(x []complex128, n1, n2 int, sign int) error {
+	if len(x) != n1*n2 {
+		return fmt.Errorf("fft: 2D buffer has %d elements, want %dx%d", len(x), n1, n2)
+	}
+	p2, err := PlanFor(n2)
+	if err != nil {
+		return err
+	}
+	p1, err := PlanFor(n1)
+	if err != nil {
+		return err
+	}
+	// Axis 2: contiguous rows.
+	for i := 0; i < n1; i++ {
+		p2.Transform(x[i*n2:(i+1)*n2], sign)
+	}
+	// Axis 1: strided columns via gather/scatter.
+	col := make([]complex128, n1)
+	for j := 0; j < n2; j++ {
+		for i := 0; i < n1; i++ {
+			col[i] = x[i*n2+j]
+		}
+		p1.Transform(col, sign)
+		for i := 0; i < n1; i++ {
+			x[i*n2+j] = col[i]
+		}
+	}
+	return nil
+}
+
+// FFT3D transforms a flat row-major n1×n2×n3 array in place along all
+// three axes — the reference local implementation the distributed pfft
+// result is checked against.
+func FFT3D(x []complex128, n1, n2, n3 int, sign int) error {
+	if len(x) != n1*n2*n3 {
+		return fmt.Errorf("fft: 3D buffer has %d elements, want %dx%dx%d", len(x), n1, n2, n3)
+	}
+	p3, err := PlanFor(n3)
+	if err != nil {
+		return err
+	}
+	p2, err := PlanFor(n2)
+	if err != nil {
+		return err
+	}
+	p1, err := PlanFor(n1)
+	if err != nil {
+		return err
+	}
+
+	// Axis 3: contiguous runs.
+	for i := 0; i < n1*n2; i++ {
+		p3.Transform(x[i*n3:(i+1)*n3], sign)
+	}
+	// Axis 2: stride n3 within each i1-plane.
+	col2 := make([]complex128, n2)
+	for i := 0; i < n1; i++ {
+		plane := x[i*n2*n3 : (i+1)*n2*n3]
+		for k := 0; k < n3; k++ {
+			for j := 0; j < n2; j++ {
+				col2[j] = plane[j*n3+k]
+			}
+			p2.Transform(col2, sign)
+			for j := 0; j < n2; j++ {
+				plane[j*n3+k] = col2[j]
+			}
+		}
+	}
+	// Axis 1: stride n2*n3.
+	col1 := make([]complex128, n1)
+	stride := n2 * n3
+	for jk := 0; jk < stride; jk++ {
+		for i := 0; i < n1; i++ {
+			col1[i] = x[i*stride+jk]
+		}
+		p1.Transform(col1, sign)
+		for i := 0; i < n1; i++ {
+			x[i*stride+jk] = col1[i]
+		}
+	}
+	return nil
+}
+
+// TransformAxis23 applies the 2D transform over axes 2 and 3 to every
+// i1-plane of a flat n1×n2×n3 slab. It is phase 1 of the distributed
+// algorithm: each FFT worker process runs it on its local slab.
+func TransformAxis23(x []complex128, n1, n2, n3 int, sign int) error {
+	if len(x) != n1*n2*n3 {
+		return fmt.Errorf("fft: slab has %d elements, want %dx%dx%d", len(x), n1, n2, n3)
+	}
+	for i := 0; i < n1; i++ {
+		if err := FFT2D(x[i*n2*n3:(i+1)*n2*n3], n2, n3, sign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TransformAxis1 applies length-n1 transforms along the first axis of a
+// flat n1×n2×n3 block (stride n2*n3) — phase 3 of the distributed
+// algorithm, run after the transpose has made axis 1 node-local.
+func TransformAxis1(x []complex128, n1, n2, n3 int, sign int) error {
+	if len(x) != n1*n2*n3 {
+		return fmt.Errorf("fft: block has %d elements, want %dx%dx%d", len(x), n1, n2, n3)
+	}
+	p1, err := PlanFor(n1)
+	if err != nil {
+		return err
+	}
+	col := make([]complex128, n1)
+	stride := n2 * n3
+	for jk := 0; jk < stride; jk++ {
+		for i := 0; i < n1; i++ {
+			col[i] = x[i*stride+jk]
+		}
+		p1.Transform(col, sign)
+		for i := 0; i < n1; i++ {
+			x[i*stride+jk] = col[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func approxEqual(a, b []complex128, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var ref float64
+	for i := range a {
+		ref = math.Max(ref, cmplx.Abs(a[i]))
+	}
+	if ref == 0 {
+		ref = 1
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > eps*ref {
+			return false
+		}
+	}
+	return true
+}
+
+// deterministic pseudo-random data (no math/rand needed).
+func testData(n int, seed uint64) []complex128 {
+	out := make([]complex128, n)
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int64(s>>11))/float64(1<<52) - 1
+	}
+	for i := range out {
+		out[i] = complex(next(), next())
+	}
+	return out
+}
+
+func TestMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 32, 100, 128} {
+		x := testData(n, uint64(n))
+		want := DFTNaive(x, -1)
+		got := append([]complex128(nil), x...)
+		if err := Transform(got, -1); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !approxEqual(got, want, tol) {
+			t.Errorf("n=%d: FFT != naive DFT", n)
+		}
+		// Inverse too.
+		wantInv := DFTNaive(x, +1)
+		gotInv := append([]complex128(nil), x...)
+		if err := Transform(gotInv, +1); err != nil {
+			t.Fatalf("n=%d inverse: %v", n, err)
+		}
+		if !approxEqual(gotInv, wantInv, tol) {
+			t.Errorf("n=%d: inverse FFT != naive inverse", n)
+		}
+	}
+}
+
+func TestRoundTripAllSizes(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		x := testData(n, uint64(2*n+1))
+		y := append([]complex128(nil), x...)
+		if err := Forward(y); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Inverse(y); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !approxEqual(y, x, tol) {
+			t.Errorf("n=%d: inverse(forward(x)) != x", n)
+		}
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	const n = 16
+	// Impulse -> flat spectrum of ones.
+	x := make([]complex128, n)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > tol {
+			t.Fatalf("impulse spectrum[%d] = %v", i, v)
+		}
+	}
+	// Constant -> delta at DC of amplitude n.
+	for i := range x {
+		x[i] = 2
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(2*n, 0)) > tol {
+		t.Fatalf("DC = %v", x[0])
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(x[i]) > tol {
+			t.Fatalf("non-DC bin %d = %v", i, x[i])
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	for _, n := range []int{8, 12, 31, 64} {
+		x := testData(n, 99)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		if math.Abs(timeE-freqE) > tol*(1+timeE) {
+			t.Errorf("n=%d: Parseval violated: %v vs %v", n, timeE, freqE)
+		}
+	}
+}
+
+// Property: linearity F(a·x + y) = a·F(x) + F(y).
+func TestQuickLinearity(t *testing.T) {
+	f := func(seed1, seed2 uint16, aRe, aIm int8) bool {
+		const n = 24 // exercises Bluestein
+		a := complex(float64(aRe)/8, float64(aIm)/8)
+		x := testData(n, uint64(seed1))
+		y := testData(n, uint64(seed2))
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + y[i]
+		}
+		if err := Forward(lhs); err != nil {
+			return false
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		if err := Forward(y); err != nil {
+			return false
+		}
+		rhs := make([]complex128, n)
+		for i := range rhs {
+			rhs[i] = a*x[i] + y[i]
+		}
+		return approxEqual(lhs, rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time shift corresponds to spectral phase rotation.
+func TestShiftTheorem(t *testing.T) {
+	const n = 32
+	x := testData(n, 7)
+	shifted := make([]complex128, n)
+	const s = 5
+	for i := range x {
+		shifted[i] = x[(i+s)%n]
+	}
+	fx := append([]complex128(nil), x...)
+	fs := append([]complex128(nil), shifted...)
+	if err := Forward(fx); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(fs); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		angle := 2 * math.Pi * float64(k) * float64(s) / float64(n)
+		want := fx[k] * complex(math.Cos(angle), math.Sin(angle))
+		if cmplx.Abs(fs[k]-want) > 1e-8*(1+cmplx.Abs(want)) {
+			t.Fatalf("bin %d: got %v want %v", k, fs[k], want)
+		}
+	}
+}
+
+// TestConvolutionTheorem: circular convolution in time equals pointwise
+// multiplication in frequency — a joint property of forward, inverse,
+// and normalization conventions.
+func TestConvolutionTheorem(t *testing.T) {
+	for _, n := range []int{8, 12, 16, 21} {
+		x := testData(n, 5)
+		y := testData(n, 6)
+		// Naive circular convolution.
+		want := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want[i] += x[j] * y[(i-j+n)%n]
+			}
+		}
+		// FFT route: ifft(fft(x) .* fft(y)).
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		if err := Forward(fx); err != nil {
+			t.Fatal(err)
+		}
+		if err := Forward(fy); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, n)
+		for i := range got {
+			got[i] = fx[i] * fy[i]
+		}
+		if err := Inverse(got); err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(got, want, 1e-8) {
+			t.Errorf("n=%d: convolution theorem violated", n)
+		}
+	}
+}
+
+func TestPlanForCachesAndIsConcurrent(t *testing.T) {
+	p1, err := PlanFor(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanFor(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("PlanFor did not cache")
+	}
+	if _, err := PlanFor(0); err == nil {
+		t.Fatal("PlanFor(0) accepted")
+	}
+	// Shared plans must be safe under concurrent transforms.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := testData(48, uint64(g))
+			y := append([]complex128(nil), x...)
+			for i := 0; i < 20; i++ {
+				p1.Transform(y, -1)
+				p1.Transform(y, +1)
+			}
+			if !approxEqual(x, y, 1e-8) {
+				t.Errorf("goroutine %d: concurrent plan use corrupted data", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPlanReuseAndErrors(t *testing.T) {
+	p, err := NewPlan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	// Reuse the plan for several transforms.
+	for trial := 0; trial < 3; trial++ {
+		x := testData(8, uint64(trial))
+		y := append([]complex128(nil), x...)
+		p.Transform(y, -1)
+		p.Transform(y, +1)
+		if !approxEqual(x, y, tol) {
+			t.Fatalf("trial %d: plan reuse broke round trip", trial)
+		}
+	}
+	if _, err := NewPlan(0); err == nil {
+		t.Error("NewPlan(0) accepted")
+	}
+	if _, err := NewPlan(-4); err == nil {
+		t.Error("NewPlan(-4) accepted")
+	}
+	if err := Transform(nil, -1); err == nil {
+		t.Error("empty transform accepted")
+	}
+	// Wrong length panics (programming error).
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	p.Transform(make([]complex128, 4), -1)
+}
+
+func TestFFT2DMatchesNaive(t *testing.T) {
+	const n1, n2 = 4, 6
+	x := testData(n1*n2, 3)
+	got := append([]complex128(nil), x...)
+	if err := FFT2D(got, n1, n2, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Naive: DFT rows then columns.
+	want := append([]complex128(nil), x...)
+	for i := 0; i < n1; i++ {
+		row := DFTNaive(want[i*n2:(i+1)*n2], -1)
+		copy(want[i*n2:], row)
+	}
+	col := make([]complex128, n1)
+	for j := 0; j < n2; j++ {
+		for i := 0; i < n1; i++ {
+			col[i] = want[i*n2+j]
+		}
+		col = DFTNaive(col, -1)
+		for i := 0; i < n1; i++ {
+			want[i*n2+j] = col[i]
+		}
+	}
+	if !approxEqual(got, want, tol) {
+		t.Fatal("2D FFT != naive")
+	}
+	if err := FFT2D(got, 3, 3, -1); err == nil {
+		t.Error("bad 2D geometry accepted")
+	}
+}
+
+func TestFFT3DRoundTripAndAxes(t *testing.T) {
+	const n1, n2, n3 = 4, 8, 6
+	x := testData(n1*n2*n3, 11)
+	y := append([]complex128(nil), x...)
+	if err := FFT3D(y, n1, n2, n3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3D(y, n1, n2, n3, +1); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(x, y, tol) {
+		t.Fatal("3D round trip failed")
+	}
+
+	// FFT3D == TransformAxis23 then TransformAxis1.
+	a := append([]complex128(nil), x...)
+	if err := FFT3D(a, n1, n2, n3, -1); err != nil {
+		t.Fatal(err)
+	}
+	b := append([]complex128(nil), x...)
+	if err := TransformAxis23(b, n1, n2, n3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := TransformAxis1(b, n1, n2, n3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(a, b, tol) {
+		t.Fatal("phase decomposition != direct 3D FFT")
+	}
+
+	if err := FFT3D(x, 5, 5, 5, -1); err == nil {
+		t.Error("bad 3D geometry accepted")
+	}
+	if err := TransformAxis23(x, 5, 5, 5, -1); err == nil {
+		t.Error("bad slab geometry accepted")
+	}
+	if err := TransformAxis1(x, 5, 5, 5, -1); err == nil {
+		t.Error("bad block geometry accepted")
+	}
+}
+
+func BenchmarkFFTPow2(b *testing.B) {
+	x := testData(4096, 1)
+	p, _ := NewPlan(4096)
+	b.SetBytes(int64(16 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, -1)
+	}
+}
+
+func BenchmarkFFTBluestein(b *testing.B) {
+	x := testData(4095, 1)
+	p, _ := NewPlan(4095)
+	b.SetBytes(int64(16 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Transform(x, -1)
+	}
+}
+
+func BenchmarkFFT3D32(b *testing.B) {
+	const n = 32
+	x := testData(n*n*n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := FFT3D(x, n, n, n, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package metrics provides lightweight instrumentation for the OOPP
+// runtime. The experiment harness uses it to report the quantities the
+// paper reasons about — number of client-server messages, bytes moved,
+// remote calls issued — alongside wall-clock time.
+//
+// All counters are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters aggregates the runtime's communication counters. The zero value
+// is ready to use.
+type Counters struct {
+	MessagesSent  atomic.Int64 // frames handed to the transport
+	MessagesRecv  atomic.Int64 // frames received from the transport
+	BytesSent     atomic.Int64 // payload bytes sent
+	BytesRecv     atomic.Int64 // payload bytes received
+	CallsIssued   atomic.Int64 // remote method invocations started
+	CallsServed   atomic.Int64 // remote method invocations executed
+	ObjectsLive   atomic.Int64 // remote objects currently alive
+	ObjectsTotal  atomic.Int64 // remote objects ever constructed
+	DiskReads     atomic.Int64 // simulated disk read operations
+	DiskWrites    atomic.Int64 // simulated disk write operations
+	DiskBytesRead atomic.Int64
+	DiskBytesWrit atomic.Int64
+}
+
+// Default is the process-wide counter set used when no explicit set is
+// wired through.
+var Default = &Counters{}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	MessagesSent  int64
+	MessagesRecv  int64
+	BytesSent     int64
+	BytesRecv     int64
+	CallsIssued   int64
+	CallsServed   int64
+	ObjectsLive   int64
+	ObjectsTotal  int64
+	DiskReads     int64
+	DiskWrites    int64
+	DiskBytesRead int64
+	DiskBytesWrit int64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		MessagesSent:  c.MessagesSent.Load(),
+		MessagesRecv:  c.MessagesRecv.Load(),
+		BytesSent:     c.BytesSent.Load(),
+		BytesRecv:     c.BytesRecv.Load(),
+		CallsIssued:   c.CallsIssued.Load(),
+		CallsServed:   c.CallsServed.Load(),
+		ObjectsLive:   c.ObjectsLive.Load(),
+		ObjectsTotal:  c.ObjectsTotal.Load(),
+		DiskReads:     c.DiskReads.Load(),
+		DiskWrites:    c.DiskWrites.Load(),
+		DiskBytesRead: c.DiskBytesRead.Load(),
+		DiskBytesWrit: c.DiskBytesWrit.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.MessagesSent.Store(0)
+	c.MessagesRecv.Store(0)
+	c.BytesSent.Store(0)
+	c.BytesRecv.Store(0)
+	c.CallsIssued.Store(0)
+	c.CallsServed.Store(0)
+	c.ObjectsLive.Store(0)
+	c.ObjectsTotal.Store(0)
+	c.DiskReads.Store(0)
+	c.DiskWrites.Store(0)
+	c.DiskBytesRead.Store(0)
+	c.DiskBytesWrit.Store(0)
+}
+
+// Sub returns the delta s - prev, counter-wise. Use around a measured
+// region: before := c.Snapshot(); ...; delta := c.Snapshot().Sub(before).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		MessagesSent:  s.MessagesSent - prev.MessagesSent,
+		MessagesRecv:  s.MessagesRecv - prev.MessagesRecv,
+		BytesSent:     s.BytesSent - prev.BytesSent,
+		BytesRecv:     s.BytesRecv - prev.BytesRecv,
+		CallsIssued:   s.CallsIssued - prev.CallsIssued,
+		CallsServed:   s.CallsServed - prev.CallsServed,
+		ObjectsLive:   s.ObjectsLive - prev.ObjectsLive,
+		ObjectsTotal:  s.ObjectsTotal - prev.ObjectsTotal,
+		DiskReads:     s.DiskReads - prev.DiskReads,
+		DiskWrites:    s.DiskWrites - prev.DiskWrites,
+		DiskBytesRead: s.DiskBytesRead - prev.DiskBytesRead,
+		DiskBytesWrit: s.DiskBytesWrit - prev.DiskBytesWrit,
+	}
+}
+
+// String renders the non-zero counters compactly.
+func (s Snapshot) String() string {
+	parts := []string{}
+	add := func(name string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("msgsSent", s.MessagesSent)
+	add("msgsRecv", s.MessagesRecv)
+	add("bytesSent", s.BytesSent)
+	add("bytesRecv", s.BytesRecv)
+	add("calls", s.CallsIssued)
+	add("served", s.CallsServed)
+	add("objLive", s.ObjectsLive)
+	add("objTotal", s.ObjectsTotal)
+	add("diskR", s.DiskReads)
+	add("diskW", s.DiskWrites)
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Timer accumulates named durations (in nanoseconds) for coarse phase
+// breakdowns (e.g. "transpose" vs "local-fft" in the parallel FFT).
+type Timer struct {
+	mu     sync.Mutex
+	phases map[string]int64
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer { return &Timer{phases: make(map[string]int64)} }
+
+// Add accumulates d nanoseconds against phase name.
+func (t *Timer) Add(name string, d int64) {
+	t.mu.Lock()
+	t.phases[name] += d
+	t.mu.Unlock()
+}
+
+// Get returns the accumulated nanoseconds for name.
+func (t *Timer) Get(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.phases[name]
+}
+
+// String lists phases sorted by name.
+func (t *Timer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.phases))
+	for n := range t.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%.3fms", n, float64(t.phases[n])/1e6)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,683 @@
+package pagedev
+
+import (
+	"fmt"
+
+	"oopp/internal/disk"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// Registered class names.
+const (
+	ClassPageDevice      = "pagedev.PageDevice"
+	ClassArrayPageDevice = "pagedev.ArrayPageDevice"
+)
+
+// DiskPrivate as a disk index gives the device a private, unmodeled
+// in-memory disk — the zero-setup mode used by quickstarts and tests.
+const DiskPrivate = -1
+
+// diskRemote marks a device whose backing is another PageDevice process
+// (the §5 construct-from-process mode).
+const diskRemote = -2
+
+// backing abstracts where a device's pages physically live: a machine
+// disk, or another PageDevice process reached over RMI (the §5
+// construct-from-process use case).
+type backing interface {
+	readPage(index int, dst []byte) error
+	writePage(index int, src []byte) error
+	close() error
+}
+
+// diskBacking stores pages on a disk.Disk from offset 0.
+type diskBacking struct {
+	dsk      *disk.Disk
+	pageSize int
+	private  bool // device owns the disk and closes it on destroy
+}
+
+func (b *diskBacking) readPage(index int, dst []byte) error {
+	return b.dsk.ReadAt(dst, int64(index)*int64(b.pageSize))
+}
+
+func (b *diskBacking) writePage(index int, src []byte) error {
+	return b.dsk.WriteAt(src, int64(index)*int64(b.pageSize))
+}
+
+func (b *diskBacking) close() error {
+	if b.private {
+		return b.dsk.Close()
+	}
+	return nil
+}
+
+// remoteBacking delegates page I/O to an existing PageDevice process via
+// RMI — the paper's "new_device may co-exist and communicate with the
+// page_device process" (§5).
+type remoteBacking struct {
+	client *rmi.Client
+	ref    rmi.Ref
+}
+
+func (b *remoteBacking) readPage(index int, dst []byte) error {
+	d, err := b.client.Call(b.ref, "read", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	got := d.Bytes()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(got) != len(dst) {
+		return fmt.Errorf("pagedev: delegated read returned %d bytes, want %d", len(got), len(dst))
+	}
+	copy(dst, got)
+	return nil
+}
+
+func (b *remoteBacking) writePage(index int, src []byte) error {
+	_, err := b.client.Call(b.ref, "write", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutBytes(src)
+		return nil
+	})
+	return err
+}
+
+func (b *remoteBacking) close() error { return nil }
+
+// pageDevice is the server-side object: the storage process of §2. Its
+// methods run serially through the object mailbox, so the scratch buffer
+// and counters need no locks — the object is its process.
+type pageDevice struct {
+	name      string
+	numPages  int
+	pageSize  int
+	diskIndex int // DiskPrivate, diskRemote, or a machine disk index
+	store     backing
+	reads     int64
+	writes    int64
+	scratch   []byte
+}
+
+// base lets inherited method implementations reach the embedded
+// pageDevice regardless of the concrete derived type.
+func (p *pageDevice) base() *pageDevice { return p }
+
+// baser is satisfied by pageDevice and everything embedding it.
+type baser interface{ base() *pageDevice }
+
+func (p *pageDevice) checkIndex(index int) error {
+	if index < 0 || index >= p.numPages {
+		return fmt.Errorf("pagedev: page index %d out of range [0,%d)", index, p.numPages)
+	}
+	return nil
+}
+
+func (p *pageDevice) readInto(index int, dst []byte) error {
+	if err := p.checkIndex(index); err != nil {
+		return err
+	}
+	if err := p.store.readPage(index, dst); err != nil {
+		return err
+	}
+	p.reads++
+	return nil
+}
+
+func (p *pageDevice) write(index int, src []byte) error {
+	if err := p.checkIndex(index); err != nil {
+		return err
+	}
+	if len(src) != p.pageSize {
+		return fmt.Errorf("pagedev: page is %d bytes, device page size is %d", len(src), p.pageSize)
+	}
+	if err := p.store.writePage(index, src); err != nil {
+		return err
+	}
+	p.writes++
+	return nil
+}
+
+// OnDestroy implements rmi.Destroyer: a private disk dies with its
+// process.
+func (p *pageDevice) OnDestroy(env *rmi.Env) error { return p.store.close() }
+
+// newPageDevice constructs the storage process. Shared constructor logic
+// for both the base and the derived class.
+func newPageDevice(env *rmi.Env, name string, numPages, pageSize, diskIndex int) (*pageDevice, error) {
+	if numPages <= 0 || pageSize <= 0 {
+		return nil, fmt.Errorf("pagedev: invalid geometry %d pages x %d bytes", numPages, pageSize)
+	}
+	need := int64(numPages) * int64(pageSize)
+	var store backing
+	if diskIndex == DiskPrivate {
+		store = &diskBacking{
+			dsk:      disk.NewMem(name, need, disk.Model{}),
+			pageSize: pageSize,
+			private:  true,
+		}
+	} else {
+		res, err := env.MustResource(fmt.Sprintf("disk/%d", diskIndex))
+		if err != nil {
+			return nil, err
+		}
+		dsk, ok := res.(*disk.Disk)
+		if !ok {
+			return nil, fmt.Errorf("pagedev: resource disk/%d is %T, not a disk", diskIndex, res)
+		}
+		if dsk.Size() < need {
+			return nil, fmt.Errorf("pagedev: device %q needs %d bytes, disk/%d has %d", name, need, diskIndex, dsk.Size())
+		}
+		store = &diskBacking{dsk: dsk, pageSize: pageSize}
+	}
+	return &pageDevice{
+		name:      name,
+		numPages:  numPages,
+		pageSize:  pageSize,
+		diskIndex: diskIndex,
+		store:     store,
+		scratch:   make([]byte, pageSize),
+	}, nil
+}
+
+// registerBaseMethods installs the PageDevice protocol on a class. Both
+// the base class and (via Extend) the derived class carry these; this
+// function is the "compiler output" for the §2 class declaration.
+func registerBaseMethods(c *rmi.Class) *rmi.Class {
+	return c.
+		Method("write", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.(baser).base()
+			index := args.Int()
+			data := args.Bytes()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			return p.write(index, data)
+		}).
+		Method("read", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.(baser).base()
+			index := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if err := p.readInto(index, p.scratch); err != nil {
+				return err
+			}
+			reply.PutBytes(p.scratch)
+			return nil
+		}).
+		Method("numPages", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(obj.(baser).base().numPages)
+			return nil
+		}).
+		Method("pageSize", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(obj.(baser).base().pageSize)
+			return nil
+		}).
+		Method("name", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutString(obj.(baser).base().name)
+			return nil
+		}).
+		Method("stats", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.(baser).base()
+			reply.PutVarint(p.reads)
+			reply.PutVarint(p.writes)
+			return nil
+		}).
+		Method("copyFrom", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// copyFrom(src Ref, count int): pull count pages from another
+			// device process — the §5 copy-constructor building block.
+			p := obj.(baser).base()
+			src := args.Ref()
+			count := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if env.Client == nil {
+				return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+			}
+			if count > p.numPages {
+				return fmt.Errorf("pagedev: copyFrom %d pages into %d-page device", count, p.numPages)
+			}
+			rb := &remoteBacking{client: env.Client, ref: src}
+			for i := 0; i < count; i++ {
+				if err := rb.readPage(i, p.scratch); err != nil {
+					return fmt.Errorf("pagedev: copyFrom page %d: %w", i, err)
+				}
+				if err := p.write(i, p.scratch); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// PageDeviceClass is the registered base class.
+var PageDeviceClass = registerBaseMethods(rmi.Register(ClassPageDevice,
+	func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		name := args.String()
+		numPages := args.Int()
+		pageSize := args.Int()
+		diskIndex := args.Int()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		return newPageDevice(env, name, numPages, pageSize, diskIndex)
+	}))
+
+// arrayPageDevice is the derived process (§3): same storage protocol,
+// plus structure-aware computation. Embedding pageDevice is Go's
+// rendering of the paper's "class ArrayPageDevice : public PageDevice".
+type arrayPageDevice struct {
+	*pageDevice
+	n1, n2, n3 int
+	elems      []float64 // scratch decode buffer (serial methods, no lock)
+}
+
+// constructor modes for ArrayPageDevice (§3 fresh, §5 from-process).
+const (
+	ctorFresh       = 0
+	ctorFromProcess = 1
+)
+
+// ArrayPageDeviceClass is the registered derived class; it inherits every
+// base method via Extend and adds the structure-aware ones.
+var ArrayPageDeviceClass = newArrayClass()
+
+func newArrayClass() *rmi.Class {
+	c := PageDeviceClass.Extend(ClassArrayPageDevice,
+		func(env *rmi.Env, args *wire.Decoder) (any, error) {
+			mode := args.Int()
+			switch mode {
+			case ctorFresh:
+				name := args.String()
+				numPages := args.Int()
+				n1, n2, n3 := args.Int(), args.Int(), args.Int()
+				diskIndex := args.Int()
+				if err := args.Err(); err != nil {
+					return nil, err
+				}
+				if n1 <= 0 || n2 <= 0 || n3 <= 0 {
+					return nil, fmt.Errorf("pagedev: invalid block dims %dx%dx%d", n1, n2, n3)
+				}
+				// The paper's derived constructor computes the page size
+				// from the block dims: N1*N2*N3*sizeof(double).
+				pd, err := newPageDevice(env, name, numPages, n1*n2*n3*8, diskIndex)
+				if err != nil {
+					return nil, err
+				}
+				return &arrayPageDevice{
+					pageDevice: pd,
+					n1:         n1, n2: n2, n3: n3,
+					elems: make([]float64, n1*n2*n3),
+				}, nil
+			case ctorFromProcess:
+				// §5: ArrayPageDevice(PageDevice * page_device) — the new
+				// process co-exists with and delegates to the existing one.
+				src := args.Ref()
+				numPages := args.Int()
+				n1, n2, n3 := args.Int(), args.Int(), args.Int()
+				if err := args.Err(); err != nil {
+					return nil, err
+				}
+				if env.Client == nil {
+					return nil, fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+				}
+				if n1 <= 0 || n2 <= 0 || n3 <= 0 {
+					return nil, fmt.Errorf("pagedev: invalid block dims %dx%dx%d", n1, n2, n3)
+				}
+				pageSize := n1 * n2 * n3 * 8
+				pd := &pageDevice{
+					name:      src.String(),
+					numPages:  numPages,
+					pageSize:  pageSize,
+					diskIndex: diskRemote,
+					store:     &remoteBacking{client: env.Client, ref: src},
+					scratch:   make([]byte, pageSize),
+				}
+				return &arrayPageDevice{
+					pageDevice: pd,
+					n1:         n1, n2: n2, n3: n3,
+					elems: make([]float64, n1*n2*n3),
+				}, nil
+			default:
+				return nil, fmt.Errorf("pagedev: unknown constructor mode %d", mode)
+			}
+		})
+
+	// loadPage pulls page index into the scratch element buffer.
+	loadPage := func(a *arrayPageDevice, index int) error {
+		if err := a.readInto(index, a.scratch); err != nil {
+			return err
+		}
+		return BytesToFloat64s(a.elems, a.scratch)
+	}
+
+	c.Method("sum", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		// The §3 "move the computation to the data" method: the page never
+		// leaves this machine; only the scalar result crosses the network.
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		var s float64
+		for _, v := range a.elems {
+			s += v
+		}
+		reply.PutFloat64(s)
+		return nil
+	})
+	c.Method("sumAll", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		var s float64
+		for i := 0; i < a.numPages; i++ {
+			if err := loadPage(a, i); err != nil {
+				return err
+			}
+			for _, v := range a.elems {
+				s += v
+			}
+		}
+		reply.PutFloat64(s)
+		return nil
+	})
+	c.Method("readArray", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		reply.PutFloat64s(a.elems)
+		return nil
+	})
+	c.Method("writeArray", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		args.Float64sInto(a.elems)
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(index, a.scratch)
+	})
+	c.Method("scalePage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		alpha := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		for i := range a.elems {
+			a.elems[i] *= alpha
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(index, a.scratch)
+	})
+	c.Method("fillPage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		v := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		for i := range a.elems {
+			a.elems[i] = v
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(index, a.scratch)
+	})
+	c.Method("minmaxPage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		page := ArrayPage{N1: a.n1, N2: a.n2, N3: a.n3, Data: a.elems}
+		lo, hi := page.MinMax()
+		reply.PutFloat64(lo)
+		reply.PutFloat64(hi)
+		return nil
+	})
+	c.Method("dims", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		reply.PutInt(a.n1)
+		reply.PutInt(a.n2)
+		reply.PutInt(a.n3)
+		return nil
+	})
+
+	// decodeSubBox reads a sub-box header (origin + dims in local page
+	// coordinates) and validates it against the page geometry.
+	decodeSubBox := func(a *arrayPageDevice, args *wire.Decoder) (lo [3]int, dim [3]int, err error) {
+		for x := 0; x < 3; x++ {
+			lo[x] = args.Int()
+		}
+		for x := 0; x < 3; x++ {
+			dim[x] = args.Int()
+		}
+		if err := args.Err(); err != nil {
+			return lo, dim, err
+		}
+		page := [3]int{a.n1, a.n2, a.n3}
+		for x := 0; x < 3; x++ {
+			if lo[x] < 0 || dim[x] < 0 || lo[x]+dim[x] > page[x] {
+				return lo, dim, fmt.Errorf("pagedev: sub-box axis %d [%d,%d) outside page [0,%d)", x, lo[x], lo[x]+dim[x], page[x])
+			}
+		}
+		return lo, dim, nil
+	}
+
+	// The sub-page mutators below run as serial methods, so a read-modify-
+	// write of a page region is atomic with respect to every other method
+	// on the device — this is what lets multiple Array clients write
+	// disjoint regions of a shared page concurrently (§5) without lost
+	// updates, and it ships only the region instead of the whole page.
+	subMutator := func(mutate func(a *arrayPageDevice, off int, runLen int, args *wire.Decoder) error,
+	) rmi.MethodFunc {
+		return func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			a := obj.(*arrayPageDevice)
+			index := args.Int()
+			lo, dim, err := decodeSubBox(a, args)
+			if err != nil {
+				return err
+			}
+			if err := loadPage(a, index); err != nil {
+				return err
+			}
+			for i := 0; i < dim[0]; i++ {
+				for j := 0; j < dim[1]; j++ {
+					off := ((lo[0]+i)*a.n2+(lo[1]+j))*a.n3 + lo[2]
+					if err := mutate(a, off, dim[2], args); err != nil {
+						return err
+					}
+				}
+			}
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+				return err
+			}
+			return a.write(index, a.scratch)
+		}
+	}
+
+	// writeSub(index, lo3, dim3, rows...): overlay a sub-box with values.
+	// Values arrive row-packed: dim1*dim2 runs of dim3 float64s.
+	c.Method("writeSub", subMutator(func(a *arrayPageDevice, off, runLen int, args *wire.Decoder) error {
+		args.Float64sInto(a.elems[off : off+runLen])
+		return args.Err()
+	}))
+	// fillSub(index, box, v): set a sub-box to a constant.
+	c.Method("fillSub", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		lo, dim, err := decodeSubBox(a, args)
+		if err != nil {
+			return err
+		}
+		v := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		for i := 0; i < dim[0]; i++ {
+			for j := 0; j < dim[1]; j++ {
+				off := ((lo[0]+i)*a.n2+(lo[1]+j))*a.n3 + lo[2]
+				for k := 0; k < dim[2]; k++ {
+					a.elems[off+k] = v
+				}
+			}
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(index, a.scratch)
+	})
+	// scaleSub(index, box, alpha): multiply a sub-box by a constant.
+	c.Method("scaleSub", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		a := obj.(*arrayPageDevice)
+		index := args.Int()
+		lo, dim, err := decodeSubBox(a, args)
+		if err != nil {
+			return err
+		}
+		alpha := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, index); err != nil {
+			return err
+		}
+		for i := 0; i < dim[0]; i++ {
+			for j := 0; j < dim[1]; j++ {
+				off := ((lo[0]+i)*a.n2+(lo[1]+j))*a.n3 + lo[2]
+				for k := 0; k < dim[2]; k++ {
+					a.elems[off+k] *= alpha
+				}
+			}
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(index, a.scratch)
+	})
+
+	// fetchPeerPage pulls a page from another ArrayPageDevice process via
+	// server-to-server RMI — data objects communicating with data objects
+	// (§5), no client in the data path.
+	//
+	// Self-reference fast path: when the peer is this very process (e.g.
+	// Dot(a, a) under a layout that maps both pages to one device), an RMI
+	// call would queue behind the running method in the object's own
+	// mailbox and deadlock; the page is read directly instead.
+	fetchPeerPage := func(a *arrayPageDevice, env *rmi.Env, peer rmi.Ref, peerIdx int, dst []float64) error {
+		if peer.Machine == env.Machine {
+			if res, ok := env.Resource(rmi.ResourceServer); ok {
+				if srv, ok := res.(*rmi.Server); ok {
+					if inst, ok := srv.Object(peer.Object); ok {
+						if self, ok := inst.(*arrayPageDevice); ok && self == a {
+							buf := make([]byte, a.pageSize)
+							if err := a.readInto(peerIdx, buf); err != nil {
+								return err
+							}
+							return BytesToFloat64s(dst, buf)
+						}
+					}
+				}
+			}
+		}
+		if env.Client == nil {
+			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+		}
+		d, err := env.Client.Call(peer, "readArray", func(e *wire.Encoder) error {
+			e.PutInt(peerIdx)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		d.Float64sInto(dst)
+		return d.Err()
+	}
+
+	c.Method("dotWith", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		// dotWith(localIdx, peerRef, peerIdx): dot product of a local page
+		// with a page held by another device process. The peer page moves
+		// device-to-device; only the scalar returns to the caller.
+		a := obj.(*arrayPageDevice)
+		localIdx := args.Int()
+		peer := args.Ref()
+		peerIdx := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, localIdx); err != nil {
+			return err
+		}
+		peerPage := make([]float64, len(a.elems))
+		if err := fetchPeerPage(a, env, peer, peerIdx, peerPage); err != nil {
+			return err
+		}
+		var s float64
+		for i, v := range a.elems {
+			s += v * peerPage[i]
+		}
+		reply.PutFloat64(s)
+		return nil
+	})
+	c.Method("axpyWith", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		// axpyWith(localIdx, alpha, peerRef, peerIdx): local page +=
+		// alpha * peer page, computed at this device.
+		a := obj.(*arrayPageDevice)
+		localIdx := args.Int()
+		alpha := args.Float64()
+		peer := args.Ref()
+		peerIdx := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := loadPage(a, localIdx); err != nil {
+			return err
+		}
+		peerPage := make([]float64, len(a.elems))
+		if err := fetchPeerPage(a, env, peer, peerIdx, peerPage); err != nil {
+			return err
+		}
+		for i := range a.elems {
+			a.elems[i] += alpha * peerPage[i]
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		return a.write(localIdx, a.scratch)
+	})
+	return c
+}

@@ -1,0 +1,584 @@
+package pagedev_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oopp/internal/cluster"
+	"oopp/internal/disk"
+	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
+)
+
+func startCluster(t testing.TB, machines, disks int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.NewLocal(machines, disks)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(func() { c.Shutdown() })
+	return c
+}
+
+// TestPaperPageDeviceExample reproduces §2's first worked example: create
+// a PageDevice on machine 1 from machine 0, generate a page, store it at
+// address 17, read it back.
+func TestPaperPageDeviceExample(t *testing.T) {
+	c := startCluster(t, 2, 0)
+	client := c.Client()
+
+	const (
+		numberOfPages = 10
+		pageSize      = 1024
+	)
+	pageStore, err := pagedev.NewDevice(client, 1, "pagefile", numberOfPages, pageSize, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("new(machine 1) PageDevice: %v", err)
+	}
+
+	page := pagedev.NewPage(pageSize)
+	for i := range page.Data {
+		page.Data[i] = byte(i % 251)
+	}
+	// The paper writes to PageIndex 17 with NumberOfPages 10 — out of
+	// range; we use a valid address and also verify the range check.
+	const pageAddress = 7
+	if err := pageStore.Write(pageAddress, page.Data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := pageStore.Write(17, page.Data); err == nil {
+		t.Fatal("write at page 17 of a 10-page device must fail")
+	}
+
+	got, err := pageStore.Read(pageAddress)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, page.Data) {
+		t.Fatal("read back mismatch")
+	}
+
+	n, err := pageStore.NumPages()
+	if err != nil || n != numberOfPages {
+		t.Fatalf("NumPages = %d, %v", n, err)
+	}
+	ps, err := pageStore.PageSize()
+	if err != nil || ps != pageSize {
+		t.Fatalf("PageSize = %d, %v", ps, err)
+	}
+	name, err := pageStore.Name()
+	if err != nil || name != "pagefile" {
+		t.Fatalf("Name = %q, %v", name, err)
+	}
+	r, w, err := pageStore.Stats()
+	if err != nil || r != 1 || w != 1 {
+		t.Fatalf("Stats = (%d,%d), %v", r, w, err)
+	}
+
+	// delete PageStore -> process terminates.
+	if err := pageStore.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := pageStore.Read(0); !errors.Is(err, rmi.ErrNoSuchObject) {
+		t.Fatalf("read after delete: %v", err)
+	}
+}
+
+func TestDeviceOnClusterDisk(t *testing.T) {
+	c := startCluster(t, 2, 1)
+	dev, err := pagedev.NewDevice(c.Client(), 1, "d", 16, 512, 0)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	defer dev.Close()
+
+	data := bytes.Repeat([]byte{0x5A}, 512)
+	if err := dev.Write(3, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := dev.Read(3)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch")
+	}
+	// The write really landed on the machine's disk.
+	reads, writes := c.Machine(1).Disks()[0].Ops()
+	if writes == 0 {
+		t.Errorf("disk saw no writes (reads=%d writes=%d)", reads, writes)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	c := startCluster(t, 1, 1)
+	client := c.Client()
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"zero pages", func() error {
+			_, err := pagedev.NewDevice(client, 0, "x", 0, 512, pagedev.DiskPrivate)
+			return err
+		}},
+		{"zero page size", func() error {
+			_, err := pagedev.NewDevice(client, 0, "x", 4, 0, pagedev.DiskPrivate)
+			return err
+		}},
+		{"missing disk", func() error {
+			_, err := pagedev.NewDevice(client, 0, "x", 4, 512, 5)
+			return err
+		}},
+		{"disk too small", func() error {
+			_, err := pagedev.NewDevice(client, 0, "x", 1<<20, 1<<20, 0)
+			return err
+		}},
+		{"bad dims", func() error {
+			_, err := pagedev.NewArrayDevice(client, 0, "x", 4, 0, 2, 2, pagedev.DiskPrivate)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.fn(); err == nil {
+			t.Errorf("%s: expected constructor error", tc.name)
+		}
+	}
+}
+
+func TestWrongPageSizeRejected(t *testing.T) {
+	c := startCluster(t, 1, 0)
+	dev, err := pagedev.NewDevice(c.Client(), 0, "d", 4, 256, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	defer dev.Close()
+	if err := dev.Write(0, make([]byte, 100)); err == nil {
+		t.Fatal("short page accepted")
+	}
+	if err := dev.Write(-1, make([]byte, 256)); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := dev.Read(4); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+// TestArrayDeviceSumBothWays reproduces §3: the sum of a page computed by
+// (a) copying the page to the local machine and summing locally, and
+// (b) executing sum remotely — both must agree.
+func TestArrayDeviceSumBothWays(t *testing.T) {
+	c := startCluster(t, 2, 0)
+	client := c.Client()
+
+	const n1, n2, n3 = 8, 8, 8
+	blocks, err := pagedev.NewArrayDevice(client, 1, "array_blocks", 6, n1, n2, n3, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("new ArrayPageDevice: %v", err)
+	}
+	defer blocks.Close()
+
+	page := pagedev.NewArrayPage(n1, n2, n3)
+	for i := range page.Data {
+		page.Data[i] = float64(i%17) - 8
+	}
+	const addr = 4
+	if err := blocks.WritePage(page, addr); err != nil {
+		t.Fatalf("write page: %v", err)
+	}
+
+	// (a) Move the data to the computation.
+	local := pagedev.NewArrayPage(n1, n2, n3)
+	if err := blocks.ReadPage(local, addr); err != nil {
+		t.Fatalf("read page: %v", err)
+	}
+	localSum := local.Sum()
+
+	// (b) Move the computation to the data.
+	remoteSum, err := blocks.Sum(addr)
+	if err != nil {
+		t.Fatalf("remote sum: %v", err)
+	}
+
+	if math.Abs(localSum-remoteSum) > 1e-9 {
+		t.Fatalf("local %v != remote %v", localSum, remoteSum)
+	}
+	want := page.Sum()
+	if math.Abs(localSum-want) > 1e-9 {
+		t.Fatalf("sum %v, want %v", localSum, want)
+	}
+}
+
+func TestArrayDeviceRemoteOps(t *testing.T) {
+	c := startCluster(t, 2, 0)
+	dev, err := pagedev.NewArrayDevice(c.Client(), 1, "ops", 3, 4, 4, 4, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("NewArrayDevice: %v", err)
+	}
+	defer dev.Close()
+
+	if err := dev.FillPage(0, 2.0); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	if err := dev.FillPage(1, -1.0); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	if err := dev.FillPage(2, 0.5); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	s, err := dev.Sum(0)
+	if err != nil || s != 128 {
+		t.Fatalf("sum page 0 = %v, %v (want 128)", s, err)
+	}
+	total, err := dev.SumAll()
+	if err != nil {
+		t.Fatalf("sumAll: %v", err)
+	}
+	if want := 128.0 - 64.0 + 32.0; math.Abs(total-want) > 1e-9 {
+		t.Fatalf("sumAll = %v, want %v", total, want)
+	}
+	if err := dev.ScalePage(0, 0.25); err != nil {
+		t.Fatalf("scale: %v", err)
+	}
+	s, err = dev.Sum(0)
+	if err != nil || s != 32 {
+		t.Fatalf("after scale sum = %v, %v", s, err)
+	}
+	lo, hi, err := dev.MinMaxPage(1)
+	if err != nil || lo != -1 || hi != -1 {
+		t.Fatalf("minmax = (%v,%v), %v", lo, hi, err)
+	}
+	n1, n2, n3, err := dev.RemoteDims()
+	if err != nil || n1 != 4 || n2 != 4 || n3 != 4 {
+		t.Fatalf("dims = %d,%d,%d, %v", n1, n2, n3, err)
+	}
+	ln1, ln2, ln3 := dev.Dims()
+	if ln1 != 4 || ln2 != 4 || ln3 != 4 {
+		t.Fatalf("local dims = %d,%d,%d", ln1, ln2, ln3)
+	}
+	// Dim-mismatched pages rejected client-side.
+	bad := pagedev.NewArrayPage(2, 2, 2)
+	if err := dev.ReadPage(bad, 0); err == nil {
+		t.Fatal("dim mismatch accepted in ReadPage")
+	}
+	if err := dev.WritePage(bad, 0); err == nil {
+		t.Fatal("dim mismatch accepted in WritePage")
+	}
+}
+
+// TestInheritedMethodsOnDerived verifies process inheritance (§3): the
+// derived ArrayPageDevice still speaks the base PageDevice protocol.
+func TestInheritedMethodsOnDerived(t *testing.T) {
+	c := startCluster(t, 1, 0)
+	dev, err := pagedev.NewArrayDevice(c.Client(), 0, "derived", 2, 2, 2, 2, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("NewArrayDevice: %v", err)
+	}
+	defer dev.Close()
+
+	// Base protocol: raw byte read/write on the derived process.
+	raw := make([]byte, 2*2*2*8)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	if err := dev.Write(0, raw); err != nil {
+		t.Fatalf("base write on derived: %v", err)
+	}
+	got, err := dev.Read(0)
+	if err != nil {
+		t.Fatalf("base read on derived: %v", err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("base round trip mismatch")
+	}
+	n, err := dev.NumPages()
+	if err != nil || n != 2 {
+		t.Fatalf("NumPages = %d, %v", n, err)
+	}
+	ps, err := dev.PageSize()
+	if err != nil || ps != 64 {
+		t.Fatalf("PageSize = %d, %v", ps, err)
+	}
+	// And base devices must NOT have derived methods.
+	base, err := pagedev.NewDevice(c.Client(), 0, "base", 2, 64, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	defer base.Close()
+	attached := pagedev.AttachArrayDevice(c.Client(), base.Ref(), 2, 2, 2)
+	if _, err := attached.Sum(0); !errors.Is(err, rmi.ErrNoSuchMethod) {
+		t.Fatalf("derived method on base process: %v", err)
+	}
+}
+
+// TestConstructFromProcess exercises the §5 use case: a new
+// ArrayPageDevice built around an existing PageDevice process; the two
+// co-exist, and deleting the wrapper leaves the original intact.
+func TestConstructFromProcess(t *testing.T) {
+	c := startCluster(t, 3, 0)
+	client := c.Client()
+
+	const n1, n2, n3 = 4, 4, 2
+	pageSize := n1 * n2 * n3 * 8
+	// A plain PageDevice on machine 1, holding raw bytes.
+	pd, err := pagedev.NewDevice(client, 1, "legacy", 4, pageSize, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	defer pd.Close()
+
+	// Seed page 2 with packed float64s through the raw protocol.
+	vals := make([]float64, n1*n2*n3)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	raw := make([]byte, pageSize)
+	if err := pagedev.Float64sToBytes(raw, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.Write(2, raw); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Wrap it in an ArrayPageDevice on machine 2 (cross-machine
+	// delegation: the wrapper's storage I/O happens over RMI).
+	wrapper, err := pagedev.NewArrayDeviceFromProcess(client, 2, pd.Ref(), 4, n1, n2, n3)
+	if err != nil {
+		t.Fatalf("NewArrayDeviceFromProcess: %v", err)
+	}
+
+	sum, err := wrapper.Sum(2)
+	if err != nil {
+		t.Fatalf("wrapper sum: %v", err)
+	}
+	want := float64(len(vals)*(len(vals)-1)) / 2
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+
+	// Writes through the wrapper land in the original device.
+	page := pagedev.NewArrayPage(n1, n2, n3)
+	page.Fill(1)
+	if err := wrapper.WritePage(page, 0); err != nil {
+		t.Fatalf("wrapper write: %v", err)
+	}
+	got, err := pd.Read(0)
+	if err != nil {
+		t.Fatalf("original read: %v", err)
+	}
+	back := make([]float64, n1*n2*n3)
+	if err := pagedev.BytesToFloat64s(back, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range back {
+		if v != 1 {
+			t.Fatalf("element %d = %v through original device", i, v)
+		}
+	}
+
+	// Deleting the wrapper must not touch the original process.
+	if err := wrapper.Close(); err != nil {
+		t.Fatalf("wrapper close: %v", err)
+	}
+	if _, err := pd.Read(0); err != nil {
+		t.Fatalf("original died with wrapper: %v", err)
+	}
+}
+
+// TestCopyFrom exercises the §5 copy-constructor building block: copy all
+// pages from one device process into another, server-to-server.
+func TestCopyFrom(t *testing.T) {
+	c := startCluster(t, 3, 0)
+	client := c.Client()
+
+	src, err := pagedev.NewDevice(client, 1, "src", 3, 128, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("src: %v", err)
+	}
+	defer src.Close()
+	for i := 0; i < 3; i++ {
+		page := bytes.Repeat([]byte{byte(i + 1)}, 128)
+		if err := src.Write(i, page); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+
+	dst, err := pagedev.NewDevice(client, 2, "dst", 3, 128, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("dst: %v", err)
+	}
+	defer dst.Close()
+
+	if err := dst.CopyFrom(src.Ref(), 3); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := dst.Read(i)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got[0] != byte(i+1) || got[127] != byte(i+1) {
+			t.Fatalf("page %d content wrong: %v", i, got[0])
+		}
+	}
+	// Copying more pages than the destination holds fails.
+	if err := dst.CopyFrom(src.Ref(), 4); err == nil {
+		t.Fatal("oversized CopyFrom accepted")
+	}
+
+	// §5 completion: "delete page_device" — the original can now go.
+	if err := src.Close(); err != nil {
+		t.Fatalf("src close: %v", err)
+	}
+	if _, err := dst.Read(0); err != nil {
+		t.Fatalf("copy not independent of source: %v", err)
+	}
+}
+
+// TestParallelReadsAcrossDevices is the §4 split-loop example at package
+// level: N devices on N machines, one page from each; the async form must
+// overlap device time.
+func TestParallelReadsAcrossDevices(t *testing.T) {
+	const n = 4
+	const seek = 20 * time.Millisecond
+	c, err := cluster.New(cluster.Config{
+		Machines:        n,
+		DisksPerMachine: 1,
+		DiskSize:        1 << 16,
+		DiskModel:       disk.Model{Seek: seek},
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Shutdown()
+	client := c.Client()
+
+	devs := make([]*pagedev.Device, n)
+	for i := range devs {
+		devs[i], err = pagedev.NewDevice(client, i, "d", 4, 1024, 0)
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+	}
+	page := make([]byte, 1024)
+	for _, d := range devs {
+		if err := d.Write(0, page); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+
+	// Sequential loop (§2 semantics): ~n * seek.
+	start := time.Now()
+	for _, d := range devs {
+		if _, err := d.Read(0); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	seq := time.Since(start)
+
+	// Split loop (§4): issue all, then collect all: ~1 * seek.
+	start = time.Now()
+	futs := make([]*rmi.Future, n)
+	for i, d := range devs {
+		futs[i] = d.ReadAsync(0)
+	}
+	for _, f := range futs {
+		if _, err := pagedev.DecodePage(f); err != nil {
+			t.Fatalf("async read: %v", err)
+		}
+	}
+	par := time.Since(start)
+
+	if seq < time.Duration(n)*seek {
+		t.Errorf("sequential too fast: %v", seq)
+	}
+	if par >= seq*3/4 {
+		t.Errorf("split loop did not parallelize I/O: seq=%v par=%v", seq, par)
+	}
+}
+
+// Property: ArrayPage indexing is a bijection onto [0, N1*N2*N3).
+func TestQuickArrayPageIndexBijection(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		n1 := int(a%4) + 1
+		n2 := int(b%4) + 1
+		n3 := int(c%4) + 1
+		p := pagedev.NewArrayPage(n1, n2, n3)
+		seen := make(map[int]bool)
+		for i := 0; i < n1; i++ {
+			for j := 0; j < n2; j++ {
+				for k := 0; k < n3; k++ {
+					idx := p.Index(i, j, k)
+					if idx < 0 || idx >= p.Elems() || seen[idx] {
+						return false
+					}
+					seen[idx] = true
+				}
+			}
+		}
+		return len(seen) == p.Elems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Float64sToBytes / BytesToFloat64s are inverse bijections.
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(vals []float64) bool {
+		buf := make([]byte, 8*len(vals))
+		if err := pagedev.Float64sToBytes(buf, vals); err != nil {
+			return false
+		}
+		out := make([]float64, len(vals))
+		if err := pagedev.BytesToFloat64s(out, buf); err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(out[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched sizes error.
+	if err := pagedev.Float64sToBytes(make([]byte, 7), make([]float64, 1)); err == nil {
+		t.Fatal("bad pack size accepted")
+	}
+	if err := pagedev.BytesToFloat64s(make([]float64, 1), make([]byte, 9)); err == nil {
+		t.Fatal("bad unpack size accepted")
+	}
+}
+
+func TestArrayPageValueOps(t *testing.T) {
+	p := pagedev.NewArrayPage(2, 3, 4)
+	if p.Elems() != 24 || p.SizeBytes() != 192 {
+		t.Fatalf("geometry: %d elems %d bytes", p.Elems(), p.SizeBytes())
+	}
+	p.Set(1, 2, 3, 42)
+	if p.At(1, 2, 3) != 42 {
+		t.Fatal("At/Set mismatch")
+	}
+	p.Fill(2)
+	if s := p.Sum(); s != 48 {
+		t.Fatalf("sum = %v", s)
+	}
+	p.Scale(0.5)
+	if s := p.Sum(); s != 24 {
+		t.Fatalf("scaled sum = %v", s)
+	}
+	lo, hi := p.MinMax()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("minmax = %v,%v", lo, hi)
+	}
+	pg := pagedev.NewPage(16)
+	if pg.Len() != 16 {
+		t.Fatalf("page len = %d", pg.Len())
+	}
+}

@@ -1,0 +1,133 @@
+package pagedev
+
+import (
+	"fmt"
+
+	"oopp/internal/persist"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// This file makes the storage processes persistent (§5): a PageDevice or
+// ArrayPageDevice can be passivated — its representation saved, its
+// process terminated — and activated again later, possibly after a
+// machine restart.
+//
+// What "representation" means depends on the backing:
+//   - private memory disk: the full page contents are serialized;
+//   - machine disk: only the geometry is serialized — the page data is
+//     already durable on the disk and is reattached on activation;
+//   - remote (construct-from-process): the remote pointer is serialized
+//     and the delegation is re-established.
+
+// SaveState implements persist.Persistable.
+func (p *pageDevice) SaveState(e *wire.Encoder) error {
+	e.PutString(p.name)
+	e.PutInt(p.numPages)
+	e.PutInt(p.pageSize)
+	e.PutInt(p.diskIndex)
+	switch p.diskIndex {
+	case DiskPrivate:
+		// Dump the entire private device.
+		all := make([]byte, p.numPages*p.pageSize)
+		for i := 0; i < p.numPages; i++ {
+			if err := p.store.readPage(i, all[i*p.pageSize:(i+1)*p.pageSize]); err != nil {
+				return fmt.Errorf("pagedev: dumping page %d: %w", i, err)
+			}
+		}
+		e.PutBytes(all)
+	case diskRemote:
+		rb, ok := p.store.(*remoteBacking)
+		if !ok {
+			return fmt.Errorf("pagedev: remote device with %T backing", p.store)
+		}
+		e.PutRef(rb.ref)
+	}
+	return nil
+}
+
+// LoadState implements persist.Persistable.
+func (p *pageDevice) LoadState(env *rmi.Env, d *wire.Decoder) error {
+	name := d.String()
+	numPages := d.Int()
+	pageSize := d.Int()
+	diskIndex := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	switch diskIndex {
+	case diskRemote:
+		src := d.Ref()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if env.Client == nil {
+			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+		}
+		*p = pageDevice{
+			name:      name,
+			numPages:  numPages,
+			pageSize:  pageSize,
+			diskIndex: diskRemote,
+			store:     &remoteBacking{client: env.Client, ref: src},
+			scratch:   make([]byte, pageSize),
+		}
+		return nil
+	default:
+		fresh, err := newPageDevice(env, name, numPages, pageSize, diskIndex)
+		if err != nil {
+			return err
+		}
+		if diskIndex == DiskPrivate {
+			all := d.Bytes()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			if len(all) != numPages*pageSize {
+				return fmt.Errorf("pagedev: state blob has %d data bytes, want %d", len(all), numPages*pageSize)
+			}
+			for i := 0; i < numPages; i++ {
+				if err := fresh.store.writePage(i, all[i*pageSize:(i+1)*pageSize]); err != nil {
+					return fmt.Errorf("pagedev: restoring page %d: %w", i, err)
+				}
+			}
+		}
+		*p = *fresh
+		return nil
+	}
+}
+
+// SaveState implements persist.Persistable for the derived process.
+func (a *arrayPageDevice) SaveState(e *wire.Encoder) error {
+	e.PutInt(a.n1)
+	e.PutInt(a.n2)
+	e.PutInt(a.n3)
+	return a.pageDevice.SaveState(e)
+}
+
+// LoadState implements persist.Persistable for the derived process.
+func (a *arrayPageDevice) LoadState(env *rmi.Env, d *wire.Decoder) error {
+	a.n1 = d.Int()
+	a.n2 = d.Int()
+	a.n3 = d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if a.pageDevice == nil {
+		a.pageDevice = &pageDevice{}
+	}
+	if err := a.pageDevice.LoadState(env, d); err != nil {
+		return err
+	}
+	a.elems = make([]float64, a.n1*a.n2*a.n3)
+	return nil
+}
+
+func init() {
+	persist.RegisterRestorable(ClassPageDevice, func() persist.Persistable {
+		return &pageDevice{}
+	})
+	persist.RegisterRestorable(ClassArrayPageDevice, func() persist.Persistable {
+		return &arrayPageDevice{pageDevice: &pageDevice{}}
+	})
+}

@@ -1,0 +1,522 @@
+package pagedev
+
+import (
+	"fmt"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// Device is the client stub — the remote pointer a user program holds to
+// a PageDevice process on another machine. Every method is one remote
+// instruction with the paper's §2 sequential semantics; the *Async
+// variants are the §4 compiler-split form.
+type Device struct {
+	client *rmi.Client
+	ref    rmi.Ref
+}
+
+// NewDevice creates a PageDevice process on machine m — the paper's
+//
+//	PageDevice * PageStore = new(machine m)
+//	    PageDevice("pagefile", NumberOfPages, PageSize);
+//
+// diskIndex selects which of the machine's disks backs the device;
+// DiskPrivate gives it a private in-memory disk.
+func NewDevice(client *rmi.Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
+	ref, err := client.New(m, ClassPageDevice, func(e *wire.Encoder) error {
+		e.PutString(name)
+		e.PutInt(numPages)
+		e.PutInt(pageSize)
+		e.PutInt(diskIndex)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Device{client: client, ref: ref}, nil
+}
+
+// AttachDevice wraps an existing remote pointer (e.g. one resolved from a
+// persistent symbolic address) in a client stub.
+func AttachDevice(client *rmi.Client, ref rmi.Ref) *Device {
+	return &Device{client: client, ref: ref}
+}
+
+// Ref returns the remote pointer.
+func (d *Device) Ref() rmi.Ref { return d.ref }
+
+// Write stores page data at the given page index.
+func (d *Device) Write(index int, data []byte) error {
+	_, err := d.client.Call(d.ref, "write", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutBytes(data)
+		return nil
+	})
+	return err
+}
+
+// WriteAsync begins a page write and returns its future.
+func (d *Device) WriteAsync(index int, data []byte) *rmi.Future {
+	return d.client.CallAsync(d.ref, "write", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutBytes(data)
+		return nil
+	})
+}
+
+// Read fetches the page at the given index.
+func (d *Device) Read(index int) ([]byte, error) {
+	dec, err := d.client.Call(d.ref, "read", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := dec.BytesCopy()
+	return data, dec.Err()
+}
+
+// ReadAsync begins a page read; decode the result with DecodePage.
+func (d *Device) ReadAsync(index int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "read", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+}
+
+// DecodePage extracts the page bytes from a completed ReadAsync future.
+func DecodePage(fut *rmi.Future) ([]byte, error) {
+	dec, err := fut.Wait()
+	if err != nil {
+		return nil, err
+	}
+	data := dec.BytesCopy()
+	return data, dec.Err()
+}
+
+// NumPages returns the device capacity in pages.
+func (d *Device) NumPages() (int, error) {
+	dec, err := d.client.Call(d.ref, "numPages", nil)
+	if err != nil {
+		return 0, err
+	}
+	n := dec.Int()
+	return n, dec.Err()
+}
+
+// PageSize returns the device page size in bytes.
+func (d *Device) PageSize() (int, error) {
+	dec, err := d.client.Call(d.ref, "pageSize", nil)
+	if err != nil {
+		return 0, err
+	}
+	n := dec.Int()
+	return n, dec.Err()
+}
+
+// Name returns the device label.
+func (d *Device) Name() (string, error) {
+	dec, err := d.client.Call(d.ref, "name", nil)
+	if err != nil {
+		return "", err
+	}
+	s := dec.String()
+	return s, dec.Err()
+}
+
+// Stats returns the device's served (reads, writes).
+func (d *Device) Stats() (reads, writes int64, err error) {
+	dec, err := d.client.Call(d.ref, "stats", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	reads = dec.Varint()
+	writes = dec.Varint()
+	return reads, writes, dec.Err()
+}
+
+// CopyFrom pulls count pages from another device process into this one —
+// the transfer happens directly between the two server processes; the
+// client only orchestrates (§5 copy-construction).
+func (d *Device) CopyFrom(src rmi.Ref, count int) error {
+	_, err := d.client.Call(d.ref, "copyFrom", func(e *wire.Encoder) error {
+		e.PutRef(src)
+		e.PutInt(count)
+		return nil
+	})
+	return err
+}
+
+// Close destroys the remote process — "delete PageStore".
+func (d *Device) Close() error { return d.client.Delete(d.ref) }
+
+// ArrayDevice is the client stub for the derived ArrayPageDevice process.
+// It embeds Device: the stub inheritance mirrors the process inheritance.
+type ArrayDevice struct {
+	Device
+	n1, n2, n3 int
+}
+
+// NewArrayDevice creates an ArrayPageDevice process on machine m — the
+// paper's
+//
+//	ArrayPageDevice * blocks = new(machine m)
+//	    ArrayPageDevice("array_blocks", NumberOfPages, n1, n2, n3);
+func NewArrayDevice(client *rmi.Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
+	ref, err := client.New(m, ClassArrayPageDevice, func(e *wire.Encoder) error {
+		e.PutInt(ctorFresh)
+		e.PutString(name)
+		e.PutInt(numPages)
+		e.PutInt(n1)
+		e.PutInt(n2)
+		e.PutInt(n3)
+		e.PutInt(diskIndex)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ArrayDevice{Device: Device{client: client, ref: ref}, n1: n1, n2: n2, n3: n3}, nil
+}
+
+// NewArrayDeviceFromProcess creates an ArrayPageDevice on machine m that
+// delegates its storage to an existing PageDevice process — the §5
+//
+//	ArrayPageDevice * new_device = new ArrayPageDevice(page_device);
+//
+// The new process co-exists and communicates with the old one.
+func NewArrayDeviceFromProcess(client *rmi.Client, m int, src rmi.Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
+	ref, err := client.New(m, ClassArrayPageDevice, func(e *wire.Encoder) error {
+		e.PutInt(ctorFromProcess)
+		e.PutRef(src)
+		e.PutInt(numPages)
+		e.PutInt(n1)
+		e.PutInt(n2)
+		e.PutInt(n3)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ArrayDevice{Device: Device{client: client, ref: ref}, n1: n1, n2: n2, n3: n3}, nil
+}
+
+// AttachArrayDevice wraps an existing remote pointer in an array stub.
+func AttachArrayDevice(client *rmi.Client, ref rmi.Ref, n1, n2, n3 int) *ArrayDevice {
+	return &ArrayDevice{Device: Device{client: client, ref: ref}, n1: n1, n2: n2, n3: n3}
+}
+
+// Dims returns the locally known block dimensions.
+func (d *ArrayDevice) Dims() (n1, n2, n3 int) { return d.n1, d.n2, d.n3 }
+
+// RemoteDims asks the process for its block dimensions.
+func (d *ArrayDevice) RemoteDims() (n1, n2, n3 int, err error) {
+	dec, err := d.client.Call(d.ref, "dims", nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n1, n2, n3 = dec.Int(), dec.Int(), dec.Int()
+	return n1, n2, n3, dec.Err()
+}
+
+// Sum computes the page's element sum on the remote machine — "moving the
+// computation to the data" (§3): only the scalar crosses the network.
+func (d *ArrayDevice) Sum(index int) (float64, error) {
+	dec, err := d.client.Call(d.ref, "sum", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	v := dec.Float64()
+	return v, dec.Err()
+}
+
+// SumAsync begins a remote page sum.
+func (d *ArrayDevice) SumAsync(index int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "sum", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+}
+
+// DecodeSum extracts the scalar from a completed SumAsync future.
+func DecodeSum(fut *rmi.Future) (float64, error) {
+	dec, err := fut.Wait()
+	if err != nil {
+		return 0, err
+	}
+	v := dec.Float64()
+	return v, dec.Err()
+}
+
+// SumAll sums every page on the device remotely.
+func (d *ArrayDevice) SumAll() (float64, error) {
+	dec, err := d.client.Call(d.ref, "sumAll", nil)
+	if err != nil {
+		return 0, err
+	}
+	v := dec.Float64()
+	return v, dec.Err()
+}
+
+// ReadPage fetches page index into p — "moving the data to the
+// computation" (§3): the whole page crosses the network, then the caller
+// computes locally (e.g. p.Sum()).
+func (d *ArrayDevice) ReadPage(p *ArrayPage, index int) error {
+	if p.N1 != d.n1 || p.N2 != d.n2 || p.N3 != d.n3 {
+		return fmt.Errorf("pagedev: page dims %dx%dx%d, device dims %dx%dx%d",
+			p.N1, p.N2, p.N3, d.n1, d.n2, d.n3)
+	}
+	dec, err := d.client.Call(d.ref, "readArray", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	dec.Float64sInto(p.Data)
+	return dec.Err()
+}
+
+// ReadPageAsync begins an array page read; decode into a page with
+// DecodeArrayPage.
+func (d *ArrayDevice) ReadPageAsync(index int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "readArray", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+}
+
+// DecodeArrayPage fills p from a completed ReadPageAsync future.
+func DecodeArrayPage(fut *rmi.Future, p *ArrayPage) error {
+	dec, err := fut.Wait()
+	if err != nil {
+		return err
+	}
+	dec.Float64sInto(p.Data)
+	return dec.Err()
+}
+
+// WritePage stores p at page index.
+func (d *ArrayDevice) WritePage(p *ArrayPage, index int) error {
+	if p.N1 != d.n1 || p.N2 != d.n2 || p.N3 != d.n3 {
+		return fmt.Errorf("pagedev: page dims %dx%dx%d, device dims %dx%dx%d",
+			p.N1, p.N2, p.N3, d.n1, d.n2, d.n3)
+	}
+	_, err := d.client.Call(d.ref, "writeArray", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64s(p.Data)
+		return nil
+	})
+	return err
+}
+
+// WritePageAsync begins an array page write.
+func (d *ArrayDevice) WritePageAsync(p *ArrayPage, index int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "writeArray", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64s(p.Data)
+		return nil
+	})
+}
+
+// ScalePage multiplies page index by alpha, remotely.
+func (d *ArrayDevice) ScalePage(index int, alpha float64) error {
+	_, err := d.client.Call(d.ref, "scalePage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(alpha)
+		return nil
+	})
+	return err
+}
+
+// FillPage sets every element of page index to v, remotely.
+func (d *ArrayDevice) FillPage(index int, v float64) error {
+	_, err := d.client.Call(d.ref, "fillPage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(v)
+		return nil
+	})
+	return err
+}
+
+// FillPageAsync begins a remote page fill.
+func (d *ArrayDevice) FillPageAsync(index int, v float64) *rmi.Future {
+	return d.client.CallAsync(d.ref, "fillPage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(v)
+		return nil
+	})
+}
+
+// SubBox identifies a region inside a page, in local page coordinates:
+// the box [Lo[a], Lo[a]+Dim[a]) per axis.
+type SubBox struct {
+	Lo  [3]int
+	Dim [3]int
+}
+
+// Size returns the region's element count.
+func (b SubBox) Size() int { return b.Dim[0] * b.Dim[1] * b.Dim[2] }
+
+func putSubBox(e *wire.Encoder, index int, box SubBox) {
+	e.PutInt(index)
+	for x := 0; x < 3; x++ {
+		e.PutInt(box.Lo[x])
+	}
+	for x := 0; x < 3; x++ {
+		e.PutInt(box.Dim[x])
+	}
+}
+
+// WriteSubAsync overlays the region box of page index with vals
+// (row-packed: Dim[0]*Dim[1] runs of Dim[2] values). The read-modify-
+// write happens inside the device process's serial method, so concurrent
+// clients updating disjoint regions of one page cannot lose updates.
+func (d *ArrayDevice) WriteSubAsync(index int, box SubBox, vals []float64) *rmi.Future {
+	return d.client.CallAsync(d.ref, "writeSub", func(e *wire.Encoder) error {
+		if len(vals) != box.Size() {
+			return fmt.Errorf("pagedev: sub-box %v wants %d values, got %d", box, box.Size(), len(vals))
+		}
+		putSubBox(e, index, box)
+		run := box.Dim[2]
+		for off := 0; off < len(vals); off += run {
+			e.PutFloat64s(vals[off : off+run])
+		}
+		return nil
+	})
+}
+
+// WriteSub is the synchronous WriteSubAsync.
+func (d *ArrayDevice) WriteSub(index int, box SubBox, vals []float64) error {
+	return d.WriteSubAsync(index, box, vals).Err()
+}
+
+// FillSubAsync sets the region box of page index to v, atomically on the
+// device.
+func (d *ArrayDevice) FillSubAsync(index int, box SubBox, v float64) *rmi.Future {
+	return d.client.CallAsync(d.ref, "fillSub", func(e *wire.Encoder) error {
+		putSubBox(e, index, box)
+		e.PutFloat64(v)
+		return nil
+	})
+}
+
+// FillSub is the synchronous FillSubAsync.
+func (d *ArrayDevice) FillSub(index int, box SubBox, v float64) error {
+	return d.FillSubAsync(index, box, v).Err()
+}
+
+// ScaleSubAsync multiplies the region box of page index by alpha,
+// atomically on the device.
+func (d *ArrayDevice) ScaleSubAsync(index int, box SubBox, alpha float64) *rmi.Future {
+	return d.client.CallAsync(d.ref, "scaleSub", func(e *wire.Encoder) error {
+		putSubBox(e, index, box)
+		e.PutFloat64(alpha)
+		return nil
+	})
+}
+
+// ScaleSub is the synchronous ScaleSubAsync.
+func (d *ArrayDevice) ScaleSub(index int, box SubBox, alpha float64) error {
+	return d.ScaleSubAsync(index, box, alpha).Err()
+}
+
+// ScalePageAsync begins a remote page scale.
+func (d *ArrayDevice) ScalePageAsync(index int, alpha float64) *rmi.Future {
+	return d.client.CallAsync(d.ref, "scalePage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(alpha)
+		return nil
+	})
+}
+
+// MinMaxPageAsync begins a remote page min/max; decode with DecodeMinMax.
+func (d *ArrayDevice) MinMaxPageAsync(index int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "minmaxPage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+}
+
+// DecodeMinMax extracts the extrema from a completed MinMaxPageAsync
+// future.
+func DecodeMinMax(fut *rmi.Future) (lo, hi float64, err error) {
+	dec, err := fut.Wait()
+	if err != nil {
+		return 0, 0, err
+	}
+	lo = dec.Float64()
+	hi = dec.Float64()
+	return lo, hi, dec.Err()
+}
+
+// DotWith computes the dot product of local page index with page peerIdx
+// of another device process. The peer page travels device-to-device; the
+// caller receives only the scalar.
+func (d *ArrayDevice) DotWith(index int, peer rmi.Ref, peerIdx int) (float64, error) {
+	dec, err := d.client.Call(d.ref, "dotWith", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutRef(peer)
+		e.PutInt(peerIdx)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	v := dec.Float64()
+	return v, dec.Err()
+}
+
+// DotWithAsync begins a device-to-device page dot product; decode with
+// DecodeSum.
+func (d *ArrayDevice) DotWithAsync(index int, peer rmi.Ref, peerIdx int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "dotWith", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutRef(peer)
+		e.PutInt(peerIdx)
+		return nil
+	})
+}
+
+// AxpyWith updates local page index += alpha * (peer page peerIdx),
+// computed at this device.
+func (d *ArrayDevice) AxpyWith(index int, alpha float64, peer rmi.Ref, peerIdx int) error {
+	_, err := d.client.Call(d.ref, "axpyWith", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(alpha)
+		e.PutRef(peer)
+		e.PutInt(peerIdx)
+		return nil
+	})
+	return err
+}
+
+// AxpyWithAsync begins a device-to-device page AXPY.
+func (d *ArrayDevice) AxpyWithAsync(index int, alpha float64, peer rmi.Ref, peerIdx int) *rmi.Future {
+	return d.client.CallAsync(d.ref, "axpyWith", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		e.PutFloat64(alpha)
+		e.PutRef(peer)
+		e.PutInt(peerIdx)
+		return nil
+	})
+}
+
+// MinMaxPage returns the extrema of page index, computed remotely.
+func (d *ArrayDevice) MinMaxPage(index int) (lo, hi float64, err error) {
+	dec, err := d.client.Call(d.ref, "minmaxPage", func(e *wire.Encoder) error {
+		e.PutInt(index)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	lo = dec.Float64()
+	hi = dec.Float64()
+	return lo, hi, dec.Err()
+}

@@ -1,0 +1,285 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// ClassNameService is the registered class of the address directory.
+const ClassNameService = "persist.NameService"
+
+// nameService is the server-side directory object mapping symbolic
+// addresses to remote pointers.
+type nameService struct {
+	bindings map[string]rmi.Ref
+}
+
+func init() {
+	rmi.Register(ClassNameService, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		return &nameService{bindings: make(map[string]rmi.Ref)}, nil
+	}).
+		Method("bind", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			ns := obj.(*nameService)
+			addr := args.String()
+			ref := args.Ref()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if _, err := ParseAddress(addr); err != nil {
+				return err
+			}
+			ns.bindings[addr] = ref
+			return nil
+		}).
+		Method("resolve", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			ns := obj.(*nameService)
+			addr := args.String()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			ref, ok := ns.bindings[addr]
+			if !ok {
+				return fmt.Errorf("persist: address %q not bound", addr)
+			}
+			reply.PutRef(ref)
+			return nil
+		}).
+		Method("unbind", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			ns := obj.(*nameService)
+			addr := args.String()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			delete(ns.bindings, addr)
+			return nil
+		}).
+		Method("list", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			ns := obj.(*nameService)
+			prefix := args.String()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			var names []string
+			for n := range ns.bindings {
+				if strings.HasPrefix(n, prefix) {
+					names = append(names, n)
+				}
+			}
+			sort.Strings(names)
+			reply.PutUvarint(uint64(len(names)))
+			for _, n := range names {
+				reply.PutString(n)
+			}
+			return nil
+		})
+}
+
+// NameService is the client stub for the address directory process.
+type NameService struct {
+	client *rmi.Client
+	ref    rmi.Ref
+}
+
+// NewNameService creates the directory process on machine m.
+func NewNameService(client *rmi.Client, m int) (*NameService, error) {
+	ref, err := client.New(m, ClassNameService, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &NameService{client: client, ref: ref}, nil
+}
+
+// AttachNameService wraps an existing directory ref.
+func AttachNameService(client *rmi.Client, ref rmi.Ref) *NameService {
+	return &NameService{client: client, ref: ref}
+}
+
+// Ref returns the directory's remote pointer.
+func (n *NameService) Ref() rmi.Ref { return n.ref }
+
+// Bind associates addr with a remote pointer.
+func (n *NameService) Bind(addr Address, ref rmi.Ref) error {
+	_, err := n.client.Call(n.ref, "bind", func(e *wire.Encoder) error {
+		e.PutString(addr.String())
+		e.PutRef(ref)
+		return nil
+	})
+	return err
+}
+
+// Resolve looks up the remote pointer bound to addr — the paper's
+// 'PageDevice * pd = "http://data/set/PageDevice/34"'.
+func (n *NameService) Resolve(addr Address) (rmi.Ref, error) {
+	d, err := n.client.Call(n.ref, "resolve", func(e *wire.Encoder) error {
+		e.PutString(addr.String())
+		return nil
+	})
+	if err != nil {
+		return rmi.Ref{}, err
+	}
+	ref := d.Ref()
+	return ref, d.Err()
+}
+
+// Unbind removes a binding (missing bindings are not an error).
+func (n *NameService) Unbind(addr Address) error {
+	_, err := n.client.Call(n.ref, "unbind", func(e *wire.Encoder) error {
+		e.PutString(addr.String())
+		return nil
+	})
+	return err
+}
+
+// List returns all bound addresses with the given string prefix
+// (pass "" for everything).
+func (n *NameService) List(prefix string) ([]string, error) {
+	d, err := n.client.Call(n.ref, "list", func(e *wire.Encoder) error {
+		e.PutString(prefix)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cnt := d.Uvarint()
+	out := make([]string, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		out = append(out, d.String())
+	}
+	return out, d.Err()
+}
+
+// Close deletes the directory process.
+func (n *NameService) Close() error { return n.client.Delete(n.ref) }
+
+// Manager composes a NameService with per-machine Stores into the usage
+// pattern of §5: persistent processes are reached by address; a resolve
+// that finds the process passivated reactivates it transparently ("the
+// runtime system is responsible for storing process representation, and
+// activating and de-activating processes, as needed").
+type Manager struct {
+	ns     *NameService
+	stores map[int]*Store // by machine
+	client *rmi.Client
+}
+
+// NewManager creates a name service on machine nsMachine and a store on
+// each listed machine.
+func NewManager(client *rmi.Client, nsMachine int, storeMachines []int) (*Manager, error) {
+	ns, err := NewNameService(client, nsMachine)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{ns: ns, stores: make(map[int]*Store), client: client}
+	for _, sm := range storeMachines {
+		st, err := NewStore(client, sm)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.stores[sm] = st
+	}
+	return m, nil
+}
+
+// NameService returns the underlying directory stub.
+func (m *Manager) NameService() *NameService { return m.ns }
+
+// StoreOn returns the store for a machine.
+func (m *Manager) StoreOn(machine int) (*Store, error) {
+	st, ok := m.stores[machine]
+	if !ok {
+		return nil, fmt.Errorf("persist: no store on machine %d", machine)
+	}
+	return st, nil
+}
+
+// Bind registers a live process under addr.
+func (m *Manager) Bind(addr Address, ref rmi.Ref) error { return m.ns.Bind(addr, ref) }
+
+// Deactivate passivates the process bound to addr: its state is saved on
+// its machine's store, the process terminates, and the binding is marked
+// passivated (machine retained, object zeroed).
+func (m *Manager) Deactivate(addr Address) error {
+	ref, err := m.ns.Resolve(addr)
+	if err != nil {
+		return err
+	}
+	st, err := m.StoreOn(ref.Machine)
+	if err != nil {
+		return err
+	}
+	if err := st.Passivate(ref, addr.String()); err != nil {
+		return err
+	}
+	// Tombstone: remember machine and class with a nil object id.
+	return m.ns.Bind(addr, rmi.Ref{Machine: ref.Machine, Object: 0, Class: ref.Class})
+}
+
+// Resolve returns a live remote pointer for addr, reactivating the
+// process from its stored state when necessary.
+func (m *Manager) Resolve(addr Address) (rmi.Ref, error) {
+	ref, err := m.ns.Resolve(addr)
+	if err != nil {
+		return rmi.Ref{}, err
+	}
+	if ref.Object != 0 {
+		return ref, nil
+	}
+	// Passivated: reactivate on its home machine.
+	st, err := m.StoreOn(ref.Machine)
+	if err != nil {
+		return rmi.Ref{}, err
+	}
+	live, err := st.Activate(addr.String())
+	if err != nil {
+		return rmi.Ref{}, err
+	}
+	if err := m.ns.Bind(addr, live); err != nil {
+		return rmi.Ref{}, err
+	}
+	return live, nil
+}
+
+// Destroy removes addr entirely: unbinds it, deletes the live process if
+// any, and discards stored state — the paper's "persistent processes are
+// objects that can be destroyed only by explicitly calling the
+// destructor".
+func (m *Manager) Destroy(addr Address) error {
+	ref, err := m.ns.Resolve(addr)
+	if err != nil {
+		return err
+	}
+	if err := m.ns.Unbind(addr); err != nil {
+		return err
+	}
+	if ref.Object != 0 {
+		if err := m.client.Delete(ref); err != nil {
+			return err
+		}
+	}
+	if st, err := m.StoreOn(ref.Machine); err == nil {
+		return st.Remove(addr.String())
+	}
+	return nil
+}
+
+// Close deletes the manager's directory and store processes. Stored blobs
+// on disk survive.
+func (m *Manager) Close() error {
+	var firstErr error
+	if m.ns != nil {
+		if err := m.ns.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, st := range m.stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,365 @@
+// Package pfft implements the paper's §4 worked example: "a collection of
+// processes for a joint computation of a Fourier transform".
+//
+// A master creates N FFT worker processes, one per machine
+// ("fft[id] = new(machine id) FFT(id)"), tells each about the group
+// ("fft[id]->SetGroup(N, fft)" — with the §4 deep copy of the remote
+// pointer array), and triggers the joint transform
+// ("fft[id]->transform(sign, a)"). Workers exchange transpose blocks by
+// executing methods on each other — inter-process communication as remote
+// method execution, no explicit messages.
+//
+// Algorithm: slab decomposition of an N1×N2×N3 array along axis 1.
+//
+//	phase 1  local 2D FFTs over axes (2,3) of each worker's slab
+//	phase 2  all-to-all transpose: worker w pushes the (S1w × S2v × N3)
+//	         block to each peer v via v.storeBlock(...)
+//	phase 3  local 1D FFTs along the now-local axis 1
+//	phase 4  all-to-all transpose back to the original slab layout
+//
+// storeBlock is a concurrent method (see rmi package doc): every worker
+// is inside its serial transform method during the exchange, so the data
+// pushes must bypass the mailbox or the group would deadlock.
+package pfft
+
+import (
+	"fmt"
+	"sync"
+
+	"oopp/internal/fft"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// ClassWorker is the registered class name of the FFT worker process.
+const ClassWorker = "pfft.Worker"
+
+// ClassRefTable is a tiny holder process used by the shallow SetGroup
+// variant (experiment E11): it owns the group's remote pointer array, and
+// workers fetch members one remote call at a time — the §4 anti-pattern.
+const ClassRefTable = "pfft.RefTable"
+
+// transpose phases used as staging keys.
+const (
+	phaseForward = 0
+	phaseBack    = 1
+)
+
+// worker is the server-side FFT process.
+type worker struct {
+	id         int
+	groupSize  int
+	n1, n2, n3 int // global dims
+	h1, h2     int // slab heights: n1/P (axis-1 slabs), n2/P (axis-2 slabs)
+
+	slab []complex128 // layout A: [h1][n2][n3]
+	tr   []complex128 // layout B: [h2][n1][n3]
+
+	peers []rmi.Ref
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	staged map[int]map[int][]complex128 // phase -> sender -> block
+}
+
+func newWorker(id, n1, n2, n3 int) (*worker, error) {
+	if n1 <= 0 || n2 <= 0 || n3 <= 0 {
+		return nil, fmt.Errorf("pfft: invalid dims %dx%dx%d", n1, n2, n3)
+	}
+	w := &worker{id: id, n1: n1, n2: n2, n3: n3, staged: make(map[int]map[int][]complex128)}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// setGroup installs the member table and sizes the buffers. It mirrors
+// the paper's deep-copy SetGroup: the refs arrive by value, so later peer
+// access costs no extra round trips.
+func (w *worker) setGroup(n int, refs []rmi.Ref) error {
+	if n != len(refs) {
+		return fmt.Errorf("pfft: group size %d but %d refs", n, len(refs))
+	}
+	if w.id < 0 || w.id >= n {
+		return fmt.Errorf("pfft: worker id %d outside group of %d", w.id, n)
+	}
+	if w.n1%n != 0 || w.n2%n != 0 {
+		return fmt.Errorf("pfft: dims %dx%d not divisible by group size %d", w.n1, w.n2, n)
+	}
+	w.groupSize = n
+	w.peers = refs
+	w.h1 = w.n1 / n
+	w.h2 = w.n2 / n
+	w.slab = make([]complex128, w.h1*w.n2*w.n3)
+	w.tr = make([]complex128, w.h2*w.n1*w.n3)
+	return nil
+}
+
+// storeBlock accepts a transpose block pushed by a peer. Runs as a
+// concurrent method; the mutex-guarded staging area and condition
+// variable synchronize with the serial transform method.
+func (w *worker) storeBlock(phase, from int, block []complex128) {
+	w.mu.Lock()
+	if w.staged[phase] == nil {
+		w.staged[phase] = make(map[int][]complex128)
+	}
+	w.staged[phase][from] = block
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// waitBlocks blocks until every peer's block for phase has arrived, then
+// consumes and returns them.
+func (w *worker) waitBlocks(phase int) map[int][]complex128 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.staged[phase]) < w.groupSize-1 {
+		w.cond.Wait()
+	}
+	blocks := w.staged[phase]
+	delete(w.staged, phase)
+	return blocks
+}
+
+// packForward extracts the block destined for peer v from the slab:
+// shape [h2][h1][n3], covering i2 in v's stripe.
+func (w *worker) packForward(v int) []complex128 {
+	out := make([]complex128, w.h2*w.h1*w.n3)
+	for i2loc := 0; i2loc < w.h2; i2loc++ {
+		i2 := v*w.h2 + i2loc
+		for i1 := 0; i1 < w.h1; i1++ {
+			src := (i1*w.n2 + i2) * w.n3
+			dst := (i2loc*w.h1 + i1) * w.n3
+			copy(out[dst:dst+w.n3], w.slab[src:src+w.n3])
+		}
+	}
+	return out
+}
+
+// placeForward installs a forward block from sender u into the transposed
+// buffer tr at rows S1u.
+func (w *worker) placeForward(u int, block []complex128) error {
+	if len(block) != w.h2*w.h1*w.n3 {
+		return fmt.Errorf("pfft: forward block from %d has %d elements, want %d", u, len(block), w.h2*w.h1*w.n3)
+	}
+	for i2loc := 0; i2loc < w.h2; i2loc++ {
+		for i1loc := 0; i1loc < w.h1; i1loc++ {
+			i1 := u*w.h1 + i1loc
+			src := (i2loc*w.h1 + i1loc) * w.n3
+			dst := (i2loc*w.n1 + i1) * w.n3
+			copy(w.tr[dst:dst+w.n3], block[src:src+w.n3])
+		}
+	}
+	return nil
+}
+
+// packBack extracts the block destined for peer u from tr: shape
+// [h1][h2][n3], covering i1 in u's stripe.
+func (w *worker) packBack(u int) []complex128 {
+	out := make([]complex128, w.h1*w.h2*w.n3)
+	for i1loc := 0; i1loc < w.h1; i1loc++ {
+		i1 := u*w.h1 + i1loc
+		for i2loc := 0; i2loc < w.h2; i2loc++ {
+			src := (i2loc*w.n1 + i1) * w.n3
+			dst := (i1loc*w.h2 + i2loc) * w.n3
+			copy(out[dst:dst+w.n3], w.tr[src:src+w.n3])
+		}
+	}
+	return out
+}
+
+// placeBack installs a back block from sender v into the slab at columns
+// S2v.
+func (w *worker) placeBack(v int, block []complex128) error {
+	if len(block) != w.h1*w.h2*w.n3 {
+		return fmt.Errorf("pfft: back block from %d has %d elements, want %d", v, len(block), w.h1*w.h2*w.n3)
+	}
+	for i1loc := 0; i1loc < w.h1; i1loc++ {
+		for i2loc := 0; i2loc < w.h2; i2loc++ {
+			i2 := v*w.h2 + i2loc
+			src := (i1loc*w.h2 + i2loc) * w.n3
+			dst := (i1loc*w.n2 + i2) * w.n3
+			copy(w.slab[dst:dst+w.n3], block[src:src+w.n3])
+		}
+	}
+	return nil
+}
+
+// exchange pushes phase blocks to all peers (pipelined), places the local
+// block directly, then waits for and places all inbound blocks.
+func (w *worker) exchange(env *rmi.Env, phase int, pack func(int) []complex128, place func(int, []complex128) error) error {
+	if w.groupSize == 1 {
+		return place(0, pack(0))
+	}
+	if env.Client == nil {
+		return fmt.Errorf("pfft: machine %d has no outbound client", env.Machine)
+	}
+	futs := make([]*rmi.Future, 0, w.groupSize-1)
+	for v := 0; v < w.groupSize; v++ {
+		if v == w.id {
+			continue
+		}
+		block := pack(v)
+		futs = append(futs, env.Client.CallAsync(w.peers[v], "storeBlock", func(e *wire.Encoder) error {
+			e.PutInt(phase)
+			e.PutInt(w.id)
+			e.PutComplex128s(block)
+			return nil
+		}))
+	}
+	if err := place(w.id, pack(w.id)); err != nil {
+		return err
+	}
+	if err := rmi.WaitAll(futs); err != nil {
+		return err
+	}
+	for from, block := range w.waitBlocks(phase) {
+		if err := place(from, block); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// transform runs the joint FFT protocol from this worker's perspective.
+func (w *worker) transform(env *rmi.Env, sign int) error {
+	if w.groupSize == 0 {
+		return fmt.Errorf("pfft: transform before setGroup")
+	}
+	// Phase 1: local FFTs over axes 2,3 of the slab.
+	if err := fft.TransformAxis23(w.slab, w.h1, w.n2, w.n3, sign); err != nil {
+		return err
+	}
+	// Phase 2: forward transpose.
+	if err := w.exchange(env, phaseForward, w.packForward, w.placeForward); err != nil {
+		return err
+	}
+	// Phase 3: axis-1 FFTs, now node-local: tr is [h2][n1][n3].
+	for i2loc := 0; i2loc < w.h2; i2loc++ {
+		blk := w.tr[i2loc*w.n1*w.n3 : (i2loc+1)*w.n1*w.n3]
+		if err := fft.TransformAxis1(blk, w.n1, 1, w.n3, sign); err != nil {
+			return err
+		}
+	}
+	// Phase 4: transpose back to the original slab layout.
+	return w.exchange(env, phaseBack, w.packBack, w.placeBack)
+}
+
+// refTable is the holder process for the shallow SetGroup experiment.
+type refTable struct {
+	refs []rmi.Ref
+}
+
+func init() {
+	rmi.Register(ClassWorker, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		id := args.Int()
+		n1, n2, n3 := args.Int(), args.Int(), args.Int()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		return newWorker(id, n1, n2, n3)
+	}).
+		Method("setGroup", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*worker)
+			n := args.Int()
+			refs := args.Refs()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			return w.setGroup(n, refs)
+		}).
+		Method("setGroupShallow", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// The §4 anti-pattern: the argument is a remote pointer to a
+			// table of remote pointers; every member access is a further
+			// round trip.
+			w := obj.(*worker)
+			table := args.Ref()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if env.Client == nil {
+				return fmt.Errorf("pfft: machine %d has no outbound client", env.Machine)
+			}
+			d, err := env.Client.Call(table, "size", nil)
+			if err != nil {
+				return err
+			}
+			n := d.Int()
+			if err := d.Err(); err != nil {
+				return err
+			}
+			refs := make([]rmi.Ref, n)
+			for i := 0; i < n; i++ {
+				d, err := env.Client.Call(table, "getRef", func(e *wire.Encoder) error {
+					e.PutInt(i)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				refs[i] = d.Ref()
+				if err := d.Err(); err != nil {
+					return err
+				}
+			}
+			return w.setGroup(n, refs)
+		}).
+		Method("loadSlab", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*worker)
+			data := args.Complex128s()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if len(data) != len(w.slab) {
+				return fmt.Errorf("pfft: slab is %d elements, got %d", len(w.slab), len(data))
+			}
+			copy(w.slab, data)
+			return nil
+		}).
+		Method("readSlab", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*worker)
+			reply.PutComplex128s(w.slab)
+			return nil
+		}).
+		Method("transform", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*worker)
+			sign := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			return w.transform(env, sign)
+		}).
+		ConcurrentMethod("storeBlock", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*worker)
+			phase := args.Int()
+			from := args.Int()
+			block := args.Complex128s()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			w.storeBlock(phase, from, block)
+			return nil
+		})
+
+	rmi.Register(ClassRefTable, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		refs := args.Refs()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		return &refTable{refs: refs}, nil
+	}).
+		Method("size", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(len(obj.(*refTable).refs))
+			return nil
+		}).
+		Method("getRef", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			t := obj.(*refTable)
+			i := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if i < 0 || i >= len(t.refs) {
+				return fmt.Errorf("pfft: ref index %d of %d", i, len(t.refs))
+			}
+			reply.PutRef(t.refs[i])
+			return nil
+		})
+}

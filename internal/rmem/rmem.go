@@ -1,0 +1,342 @@
+// Package rmem implements the paper's remote plain memory:
+//
+//	double * data = new(machine 2) double[1024];
+//	data[7] = 3.1415;
+//	double x = data[2];
+//
+// A block of memory allocated on a remote machine is itself a process
+// (§2): element reads and writes are remote method executions, each a
+// full client-server round trip — correct, sequential, and slow. Bulk
+// range operations amortize the round trip; experiment E2 measures the
+// gap, which is the paper's motivation for "moving the computation to the
+// data".
+package rmem
+
+import (
+	"fmt"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// ClassFloat64 is the registered class name for float64 blocks.
+const ClassFloat64 = "rmem.Float64Block"
+
+// ClassBytes is the registered class name for byte blocks.
+const ClassBytes = "rmem.ByteBlock"
+
+// float64Block is the server-side object: the process that owns the
+// memory. Methods run serially through its mailbox, so no further locking
+// is needed — the object *is* its process (§2).
+type float64Block struct {
+	data []float64
+}
+
+// byteBlock is the byte-typed variant.
+type byteBlock struct {
+	data []byte
+}
+
+func init() {
+	rmi.Register(ClassFloat64, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		n := args.Int()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || n > (1<<31) {
+			return nil, fmt.Errorf("rmem: invalid block size %d", n)
+		}
+		return &float64Block{data: make([]float64, n)}, nil
+	}).
+		Method("get", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			i := args.Int()
+			if i < 0 || i >= len(b.data) {
+				return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
+			}
+			reply.PutFloat64(b.data[i])
+			return nil
+		}).
+		Method("set", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			i := args.Int()
+			v := args.Float64()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if i < 0 || i >= len(b.data) {
+				return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
+			}
+			b.data[i] = v
+			return nil
+		}).
+		Method("getRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			off := args.Int()
+			n := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if off < 0 || n < 0 || off+n > len(b.data) {
+				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
+			}
+			reply.PutFloat64s(b.data[off : off+n])
+			return nil
+		}).
+		Method("setRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			off := args.Int()
+			vals := args.Float64s()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if off < 0 || off+len(vals) > len(b.data) {
+				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
+			}
+			copy(b.data[off:], vals)
+			return nil
+		}).
+		Method("len", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(len(obj.(*float64Block).data))
+			return nil
+		}).
+		Method("fill", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			v := args.Float64()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			for i := range b.data {
+				b.data[i] = v
+			}
+			return nil
+		}).
+		Method("sum", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*float64Block)
+			var s float64
+			for _, v := range b.data {
+				s += v
+			}
+			reply.PutFloat64(s)
+			return nil
+		})
+
+	rmi.Register(ClassBytes, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		n := args.Int()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		if n < 0 || n > (1<<31) {
+			return nil, fmt.Errorf("rmem: invalid block size %d", n)
+		}
+		return &byteBlock{data: make([]byte, n)}, nil
+	}).
+		Method("getRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*byteBlock)
+			off := args.Int()
+			n := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if off < 0 || n < 0 || off+n > len(b.data) {
+				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
+			}
+			reply.PutBytes(b.data[off : off+n])
+			return nil
+		}).
+		Method("setRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			b := obj.(*byteBlock)
+			off := args.Int()
+			vals := args.Bytes()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if off < 0 || off+len(vals) > len(b.data) {
+				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
+			}
+			copy(b.data[off:], vals)
+			return nil
+		}).
+		Method("len", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(len(obj.(*byteBlock).data))
+			return nil
+		})
+}
+
+// Float64Array is the client stub — the "remote pointer" the paper's user
+// program holds. Each method is one remote instruction with §2 semantics.
+type Float64Array struct {
+	client *rmi.Client
+	ref    rmi.Ref
+	n      int
+}
+
+// NewFloat64Array allocates n float64s on machine m — the paper's
+// "new(machine m) double[n]".
+func NewFloat64Array(client *rmi.Client, m int, n int) (*Float64Array, error) {
+	ref, err := client.New(m, ClassFloat64, func(e *wire.Encoder) error {
+		e.PutInt(n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Float64Array{client: client, ref: ref, n: n}, nil
+}
+
+// Attach wraps an existing remote pointer (received from another process
+// or resolved from a persistent address) in a client stub. n is the
+// locally cached length.
+func Attach(client *rmi.Client, ref rmi.Ref, n int) *Float64Array {
+	return &Float64Array{client: client, ref: ref, n: n}
+}
+
+// Ref returns the remote pointer.
+func (a *Float64Array) Ref() rmi.Ref { return a.ref }
+
+// Len returns the (locally cached) element count.
+func (a *Float64Array) Len() int { return a.n }
+
+// Get reads element i — "double x = data[i]": one round trip.
+func (a *Float64Array) Get(i int) (float64, error) {
+	d, err := a.client.Call(a.ref, "get", func(e *wire.Encoder) error {
+		e.PutInt(i)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	v := d.Float64()
+	return v, d.Err()
+}
+
+// Set writes element i — "data[i] = v": one round trip.
+func (a *Float64Array) Set(i int, v float64) error {
+	_, err := a.client.Call(a.ref, "set", func(e *wire.Encoder) error {
+		e.PutInt(i)
+		e.PutFloat64(v)
+		return nil
+	})
+	return err
+}
+
+// GetRange reads n elements starting at off in one round trip.
+func (a *Float64Array) GetRange(off, n int) ([]float64, error) {
+	d, err := a.client.Call(a.ref, "getRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutInt(n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := d.Float64s()
+	return out, d.Err()
+}
+
+// SetRange writes vals starting at off in one round trip.
+func (a *Float64Array) SetRange(off int, vals []float64) error {
+	_, err := a.client.Call(a.ref, "setRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutFloat64s(vals)
+		return nil
+	})
+	return err
+}
+
+// Fill sets every element to v remotely (computation at the data).
+func (a *Float64Array) Fill(v float64) error {
+	_, err := a.client.Call(a.ref, "fill", func(e *wire.Encoder) error {
+		e.PutFloat64(v)
+		return nil
+	})
+	return err
+}
+
+// Sum reduces the block remotely and ships back only the scalar.
+func (a *Float64Array) Sum() (float64, error) {
+	d, err := a.client.Call(a.ref, "sum", nil)
+	if err != nil {
+		return 0, err
+	}
+	v := d.Float64()
+	return v, d.Err()
+}
+
+// RemoteLen asks the process for its length (vs the cached Len).
+func (a *Float64Array) RemoteLen() (int, error) {
+	d, err := a.client.Call(a.ref, "len", nil)
+	if err != nil {
+		return 0, err
+	}
+	n := d.Int()
+	return n, d.Err()
+}
+
+// Free destroys the remote block — the paper's delete, terminating the
+// memory's process.
+func (a *Float64Array) Free() error {
+	return a.client.Delete(a.ref)
+}
+
+// ByteArray is the byte-typed client stub.
+type ByteArray struct {
+	client *rmi.Client
+	ref    rmi.Ref
+	n      int
+}
+
+// NewByteArray allocates n bytes on machine m.
+func NewByteArray(client *rmi.Client, m int, n int) (*ByteArray, error) {
+	ref, err := client.New(m, ClassBytes, func(e *wire.Encoder) error {
+		e.PutInt(n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ByteArray{client: client, ref: ref, n: n}, nil
+}
+
+// Ref returns the remote pointer.
+func (a *ByteArray) Ref() rmi.Ref { return a.ref }
+
+// Len returns the (locally cached) length.
+func (a *ByteArray) Len() int { return a.n }
+
+// GetRange reads n bytes at off.
+func (a *ByteArray) GetRange(off, n int) ([]byte, error) {
+	d, err := a.client.Call(a.ref, "getRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutInt(n)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := d.BytesCopy()
+	return out, d.Err()
+}
+
+// SetRange writes vals at off.
+func (a *ByteArray) SetRange(off int, vals []byte) error {
+	_, err := a.client.Call(a.ref, "setRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutBytes(vals)
+		return nil
+	})
+	return err
+}
+
+// RemoteLen asks the process for its length (vs the cached Len).
+func (a *ByteArray) RemoteLen() (int, error) {
+	d, err := a.client.Call(a.ref, "len", nil)
+	if err != nil {
+		return 0, err
+	}
+	n := d.Int()
+	return n, d.Err()
+}
+
+// Free destroys the remote block.
+func (a *ByteArray) Free() error { return a.client.Delete(a.ref) }

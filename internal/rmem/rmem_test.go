@@ -1,0 +1,261 @@
+package rmem_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oopp/internal/cluster"
+	"oopp/internal/rmem"
+	"oopp/internal/rmi"
+)
+
+func startCluster(t testing.TB, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.NewLocal(n, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(func() { c.Shutdown() })
+	return c
+}
+
+// TestPaperExample reproduces §2's remote memory example verbatim:
+//
+//	double * data = new(machine 2) double[1024];
+//	data[7] = 3.1415;
+//	double x = data[2];
+func TestPaperExample(t *testing.T) {
+	c := startCluster(t, 3)
+	client := c.Client() // the program runs on machine 0
+
+	data, err := rmem.NewFloat64Array(client, 2, 1024)
+	if err != nil {
+		t.Fatalf("new(machine 2) double[1024]: %v", err)
+	}
+	if err := data.Set(7, 3.1415); err != nil {
+		t.Fatalf("data[7] = 3.1415: %v", err)
+	}
+	x, err := data.Get(2)
+	if err != nil {
+		t.Fatalf("x = data[2]: %v", err)
+	}
+	if x != 0 {
+		t.Errorf("fresh element = %v, want 0", x)
+	}
+	v, err := data.Get(7)
+	if err != nil {
+		t.Fatalf("get(7): %v", err)
+	}
+	if v != 3.1415 {
+		t.Errorf("data[7] = %v, want 3.1415", v)
+	}
+	if data.Len() != 1024 {
+		t.Errorf("Len = %d", data.Len())
+	}
+	n, err := data.RemoteLen()
+	if err != nil || n != 1024 {
+		t.Errorf("RemoteLen = %d, %v", n, err)
+	}
+	if err := data.Free(); err != nil {
+		t.Fatalf("free: %v", err)
+	}
+	if _, err := data.Get(0); err == nil {
+		t.Error("get after free should fail")
+	}
+}
+
+func TestRangeOps(t *testing.T) {
+	c := startCluster(t, 2)
+	a, err := rmem.NewFloat64Array(c.Client(), 1, 100)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer a.Free()
+
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	if err := a.SetRange(10, vals); err != nil {
+		t.Fatalf("SetRange: %v", err)
+	}
+	got, err := a.GetRange(10, 40)
+	if err != nil {
+		t.Fatalf("GetRange: %v", err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	// Untouched prefix still zero.
+	head, err := a.GetRange(0, 10)
+	if err != nil {
+		t.Fatalf("GetRange head: %v", err)
+	}
+	for i, v := range head {
+		if v != 0 {
+			t.Fatalf("head[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFillAndSum(t *testing.T) {
+	c := startCluster(t, 2)
+	a, err := rmem.NewFloat64Array(c.Client(), 1, 1000)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer a.Free()
+	if err := a.Fill(0.5); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	s, err := a.Sum()
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	if math.Abs(s-500) > 1e-9 {
+		t.Errorf("sum = %v, want 500", s)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	c := startCluster(t, 1)
+	a, err := rmem.NewFloat64Array(c.Client(), 0, 10)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer a.Free()
+
+	cases := []func() error{
+		func() error { _, err := a.Get(-1); return err },
+		func() error { _, err := a.Get(10); return err },
+		func() error { return a.Set(10, 1) },
+		func() error { _, err := a.GetRange(5, 6); return err },
+		func() error { _, err := a.GetRange(-1, 2); return err },
+		func() error { return a.SetRange(8, []float64{1, 2, 3}) },
+	}
+	for i, f := range cases {
+		if err := f(); err == nil {
+			t.Errorf("case %d: expected bounds error", i)
+		}
+	}
+	// Negative allocation size.
+	if _, err := rmem.NewFloat64Array(c.Client(), 0, -5); err == nil {
+		t.Error("expected error for negative size")
+	}
+}
+
+func TestByteArray(t *testing.T) {
+	c := startCluster(t, 2)
+	b, err := rmem.NewByteArray(c.Client(), 1, 256)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer b.Free()
+	if b.Len() != 256 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Ref().IsNil() {
+		t.Error("nil ref")
+	}
+	payload := []byte{1, 2, 3, 4, 5}
+	if err := b.SetRange(100, payload); err != nil {
+		t.Fatalf("SetRange: %v", err)
+	}
+	got, err := b.GetRange(100, 5)
+	if err != nil {
+		t.Fatalf("GetRange: %v", err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+	if err := b.SetRange(255, []byte{1, 2}); err == nil {
+		t.Error("expected bounds error")
+	}
+	if _, err := b.GetRange(-1, 1); err == nil {
+		t.Error("expected bounds error")
+	}
+	n, err := b.RemoteLen()
+	if err != nil || n != 256 {
+		t.Errorf("RemoteLen = %d, %v", n, err)
+	}
+}
+
+// Property: a random sequence of in-bounds Set operations followed by Gets
+// behaves exactly like a local []float64.
+func TestQuickShadowModel(t *testing.T) {
+	c := startCluster(t, 2)
+	const n = 64
+	a, err := rmem.NewFloat64Array(c.Client(), 1, n)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer a.Free()
+	shadow := make([]float64, n)
+
+	f := func(idx uint8, val float64) bool {
+		i := int(idx) % n
+		if err := a.Set(i, val); err != nil {
+			return false
+		}
+		shadow[i] = val
+		got, err := a.Get(i)
+		if err != nil {
+			return false
+		}
+		return math.Float64bits(got) == math.Float64bits(shadow[i])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Final full-state comparison.
+	got, err := a.GetRange(0, n)
+	if err != nil {
+		t.Fatalf("GetRange: %v", err)
+	}
+	for i := range shadow {
+		if math.Float64bits(got[i]) != math.Float64bits(shadow[i]) {
+			t.Fatalf("element %d: got %v want %v", i, got[i], shadow[i])
+		}
+	}
+}
+
+// TestSharedBlockAcrossClients mirrors the paper's shared-memory sketch:
+// several "computing processes" on different machines access one block.
+func TestSharedBlockAcrossClients(t *testing.T) {
+	c := startCluster(t, 4)
+	// The block lives on machine 3.
+	a, err := rmem.NewFloat64Array(c.Client(), 3, 16)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	defer a.Free()
+
+	// Machines 0..2 each write their slot through their own client,
+	// sharing the same remote pointer (Ref).
+	for m := 0; m < 3; m++ {
+		stub := attach(c.Machine(m).Client(), a.Ref(), 16)
+		if err := stub.Set(m, float64(m+1)); err != nil {
+			t.Fatalf("machine %d set: %v", m, err)
+		}
+	}
+	for m := 0; m < 3; m++ {
+		v, err := a.Get(m)
+		if err != nil {
+			t.Fatalf("get %d: %v", m, err)
+		}
+		if v != float64(m+1) {
+			t.Errorf("slot %d = %v, want %d", m, v, m+1)
+		}
+	}
+}
+
+// attach builds a Float64Array stub around an existing ref, exercising the
+// "remote pointers travel between processes" property.
+func attach(client *rmi.Client, ref rmi.Ref, n int) *rmem.Float64Array {
+	return rmem.Attach(client, ref, n)
+}

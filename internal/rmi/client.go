@@ -1,0 +1,374 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+
+	"oopp/internal/metrics"
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+// Directory resolves machine indices to dialable addresses. The cluster
+// package implements it; a static list is provided for daemon deployments.
+type Directory interface {
+	// Addr returns the address of machine m.
+	Addr(m int) (string, error)
+	// Size returns the number of machines.
+	Size() int
+}
+
+// StaticDirectory is a fixed address list: machine i lives at addrs[i].
+type StaticDirectory []string
+
+// Addr implements Directory.
+func (d StaticDirectory) Addr(m int) (string, error) {
+	if m < 0 || m >= len(d) {
+		return "", fmt.Errorf("rmi: no machine %d (cluster size %d)", m, len(d))
+	}
+	return d[m], nil
+}
+
+// Size implements Directory.
+func (d StaticDirectory) Size() int { return len(d) }
+
+// ArgEncoder appends a call's arguments to the request frame. The typed
+// stubs in substrate packages pass closures over their argument values —
+// this is the client half of the compiler-generated protocol.
+type ArgEncoder func(e *wire.Encoder) error
+
+// NoArgs is the ArgEncoder for nullary calls.
+func NoArgs(*wire.Encoder) error { return nil }
+
+// Client issues remote constructions and method calls. One Client
+// multiplexes any number of concurrent calls over one connection per
+// machine; responses are matched to callers by request id, which is what
+// makes the §4 send-loop/receive-loop split effective.
+type Client struct {
+	tr       transport.Transport
+	dir      Directory
+	counters *metrics.Counters
+
+	mu     sync.Mutex
+	conns  map[int]*clientConn
+	nextID uint64
+	closed bool
+}
+
+// NewClient returns a client over tr, resolving machines through dir.
+func NewClient(tr transport.Transport, dir Directory) *Client {
+	return &Client{
+		tr:       tr,
+		dir:      dir,
+		counters: metrics.Default,
+		conns:    make(map[int]*clientConn),
+	}
+}
+
+// Directory returns the client's machine directory.
+func (c *Client) Directory() Directory { return c.dir }
+
+// Close shuts down all connections. In-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = make(map[int]*clientConn)
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.close(ErrClientClosed)
+	}
+	return nil
+}
+
+// conn returns (dialing if necessary) the connection to machine m.
+func (c *Client) conn(m int) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if cc, ok := c.conns[m]; ok {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	addr, err := c.dir.Addr(m)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.tr.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
+	}
+	cc := newClientConn(raw, c.counters)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cc.close(ErrClientClosed)
+		return nil, ErrClientClosed
+	}
+	if existing, ok := c.conns[m]; ok {
+		// Lost the dial race; use the established connection.
+		cc.close(ErrClientClosed)
+		return existing, nil
+	}
+	c.conns[m] = cc
+	return cc, nil
+}
+
+// nextReqID allocates a request id.
+func (c *Client) nextReqID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// New constructs an object of the registered class on machine m — the
+// paper's "new(machine m) Class(args)". It blocks until the remote
+// constructor finishes and returns the remote pointer.
+func (c *Client) New(m int, class string, args ArgEncoder) (Ref, error) {
+	fut, err := c.NewAsync(m, class, args)
+	if err != nil {
+		return Ref{}, err
+	}
+	return fut.Ref()
+}
+
+// NewAsync begins a remote construction and returns immediately.
+func (c *Client) NewAsync(m int, class string, args ArgEncoder) (*Future, error) {
+	e := wire.NewEncoder(64)
+	reqID := c.nextReqID()
+	e.PutUvarint(reqID)
+	e.PutUvarint(opNew)
+	e.PutString(class)
+	if args != nil {
+		if err := args(e); err != nil {
+			return nil, err
+		}
+	}
+	fut := &Future{done: make(chan struct{}), machine: m, class: class}
+	if err := c.send(m, reqID, e, fut); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// NewArgs is New with the tagged generic argument encoding.
+func (c *Client) NewArgs(m int, class string, args ...any) (Ref, error) {
+	return c.New(m, class, func(e *wire.Encoder) error { return e.PutAnys(args) })
+}
+
+// Call invokes a method on a remote object and blocks until its results
+// arrive (§2 sequential semantics). The returned decoder is positioned at
+// the method's results.
+func (c *Client) Call(ref Ref, method string, args ArgEncoder) (*wire.Decoder, error) {
+	fut := c.CallAsync(ref, method, args)
+	return fut.Wait()
+}
+
+// CallAsync begins a method invocation and returns a Future immediately.
+// This is the primitive under the paper's §4 loop-splitting transformation.
+func (c *Client) CallAsync(ref Ref, method string, args ArgEncoder) *Future {
+	fut := &Future{done: make(chan struct{}), machine: ref.Machine, class: ref.Class, method: method}
+	if ref.IsNil() {
+		fut.fail(fmt.Errorf("rmi: call %s on nil ref", method))
+		return fut
+	}
+	e := wire.NewEncoder(64)
+	reqID := c.nextReqID()
+	e.PutUvarint(reqID)
+	e.PutUvarint(opCall)
+	e.PutUvarint(ref.Object)
+	e.PutString(method)
+	if args != nil {
+		if err := args(e); err != nil {
+			fut.fail(err)
+			return fut
+		}
+	}
+	c.counters.CallsIssued.Add(1)
+	if err := c.send(ref.Machine, reqID, e, fut); err != nil {
+		fut.fail(err)
+	}
+	return fut
+}
+
+// CallArgs invokes a method using the tagged generic encoding for both
+// arguments and results: results written by the method as PutAnys are
+// decoded into []any.
+func (c *Client) CallArgs(ref Ref, method string, args ...any) ([]any, error) {
+	d, err := c.Call(ref, method, func(e *wire.Encoder) error { return e.PutAnys(args) })
+	if err != nil {
+		return nil, err
+	}
+	if d.Remaining() == 0 {
+		return nil, nil
+	}
+	return d.Anys()
+}
+
+// Delete destroys a remote object: queued calls complete, the destructor
+// runs, the process terminates (§2).
+func (c *Client) Delete(ref Ref) error {
+	if ref.IsNil() {
+		return fmt.Errorf("rmi: delete of nil ref")
+	}
+	e := wire.NewEncoder(16)
+	reqID := c.nextReqID()
+	e.PutUvarint(reqID)
+	e.PutUvarint(opDelete)
+	e.PutUvarint(ref.Object)
+	fut := &Future{done: make(chan struct{}), machine: ref.Machine, class: ref.Class, method: "~"}
+	if err := c.send(ref.Machine, reqID, e, fut); err != nil {
+		return err
+	}
+	_, err := fut.Wait()
+	return err
+}
+
+// Ping round-trips an empty frame to machine m.
+func (c *Client) Ping(m int) error {
+	e := wire.NewEncoder(8)
+	reqID := c.nextReqID()
+	e.PutUvarint(reqID)
+	e.PutUvarint(opPing)
+	fut := &Future{done: make(chan struct{}), machine: m}
+	if err := c.send(m, reqID, e, fut); err != nil {
+		return err
+	}
+	_, err := fut.Wait()
+	return err
+}
+
+// PingObject sends the built-in no-op through an object's mailbox; its
+// completion proves all earlier messages to that object were processed.
+func (c *Client) PingObject(ref Ref) error {
+	_, err := c.Call(ref, methodPing, nil)
+	return err
+}
+
+// Stat returns (live, total) object counts for machine m.
+func (c *Client) Stat(m int) (live, total uint64, err error) {
+	e := wire.NewEncoder(8)
+	reqID := c.nextReqID()
+	e.PutUvarint(reqID)
+	e.PutUvarint(opStat)
+	fut := &Future{done: make(chan struct{}), machine: m}
+	if err := c.send(m, reqID, e, fut); err != nil {
+		return 0, 0, err
+	}
+	d, err := fut.Wait()
+	if err != nil {
+		return 0, 0, err
+	}
+	live = d.Uvarint()
+	total = d.Uvarint()
+	return live, total, d.Err()
+}
+
+func (c *Client) send(m int, reqID uint64, e *wire.Encoder, fut *Future) error {
+	cc, err := c.conn(m)
+	if err != nil {
+		return err
+	}
+	cc.register(reqID, fut)
+	frame := e.Bytes()
+	c.counters.MessagesSent.Add(1)
+	c.counters.BytesSent.Add(int64(len(frame)))
+	if err := cc.conn.Send(frame); err != nil {
+		cc.unregister(reqID)
+		return fmt.Errorf("rmi: send to machine %d: %w", m, err)
+	}
+	return nil
+}
+
+// clientConn is one multiplexed connection: a send side shared by callers
+// and a single receive loop matching responses to pending futures.
+type clientConn struct {
+	conn     transport.Conn
+	counters *metrics.Counters
+
+	mu      sync.Mutex
+	pending map[uint64]*Future
+	dead    error
+}
+
+func newClientConn(conn transport.Conn, counters *metrics.Counters) *clientConn {
+	cc := &clientConn{conn: conn, counters: counters, pending: make(map[uint64]*Future)}
+	go cc.recvLoop()
+	return cc
+}
+
+func (cc *clientConn) register(reqID uint64, fut *Future) {
+	cc.mu.Lock()
+	if cc.dead != nil {
+		err := cc.dead
+		cc.mu.Unlock()
+		fut.fail(err)
+		return
+	}
+	cc.pending[reqID] = fut
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) unregister(reqID uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, reqID)
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) recvLoop() {
+	for {
+		frame, err := cc.conn.Recv()
+		if err != nil {
+			cc.close(fmt.Errorf("rmi: connection lost: %w", err))
+			return
+		}
+		cc.counters.MessagesRecv.Add(1)
+		cc.counters.BytesRecv.Add(int64(len(frame)))
+		d := wire.NewDecoder(frame)
+		reqID := d.Uvarint()
+		status := d.Uvarint()
+		if d.Err() != nil {
+			continue // unparseable response header; drop
+		}
+		cc.mu.Lock()
+		fut, ok := cc.pending[reqID]
+		delete(cc.pending, reqID)
+		cc.mu.Unlock()
+		if !ok {
+			continue // response to an abandoned request
+		}
+		if status == statusOK {
+			fut.succeed(d)
+		} else {
+			msg := d.String()
+			fut.fail(&RemoteError{Machine: fut.machine, Class: fut.class, Method: fut.method, Msg: msg})
+		}
+	}
+}
+
+// close fails every pending future and closes the socket.
+func (cc *clientConn) close(cause error) {
+	cc.mu.Lock()
+	if cc.dead != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.dead = cause
+	pending := cc.pending
+	cc.pending = make(map[uint64]*Future)
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, fut := range pending {
+		fut.fail(cause)
+	}
+}

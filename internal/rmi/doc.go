@@ -1,0 +1,53 @@
+// Package rmi is the OOPP runtime: it implements the paper's central idea
+// that programming objects are processes.
+//
+// # Model
+//
+// A remote object lives on a machine, inside that machine's Server. It is
+// created with New (the paper's "new(machine k) T(args)"), invoked through
+// a remote pointer (Ref) with Call, and terminated with Delete (the
+// paper's destructor semantics: "destruction of a remote object causes
+// termination of the remote process").
+//
+// Faithful to the paper, every object *is* a process: construction spawns
+// a dedicated goroutine with a FIFO mailbox; method invocations on the
+// object execute one at a time, in arrival order, on that goroutine.
+// Distinct objects run concurrently.
+//
+// # Sequential semantics and the §4 transformation
+//
+// Call is synchronous: it returns only when the remote method has executed
+// and its results have arrived, matching §2 ("each instruction, and all
+// communications associated with it, is completed before the following
+// instruction is executed"). CallAsync returns a Future immediately; the
+// paper's compiler transformation that splits a loop of remote calls into
+// a send-loop and a receive-loop is exactly
+//
+//	futs := make([]*rmi.Future, n)
+//	for i := range devs { futs[i] = client.CallAsync(devs[i], "read", ...) } // send loop
+//	for i := range futs { futs[i].Wait() }                                  // receive loop
+//
+// # Classes and the "compiler-generated" protocol
+//
+// The paper relegates protocol generation to the compiler. Here a class
+// registers, once, a constructor and a method table (see Register); the
+// registered encoder/decoder pairs and the typed client stubs in the
+// substrate packages are precisely the code a compiler would emit from the
+// class declaration.
+//
+// Methods are serial by default (mailbox order). A method may instead be
+// registered as concurrent: it runs outside the object's mailbox and the
+// object must synchronize its own state. This is required for
+// peer-to-peer exchange patterns (the §4 FFT transpose) where two objects
+// are simultaneously inside long-running methods and must still accept
+// data pushes from each other; with pure mailbox serialization such
+// exchanges deadlock.
+//
+// # Groups
+//
+// Group models the paper's arrays of processes ("FFT * fft[N]") and
+// provides the compiler-supported barrier the paper proposes
+// ("fft->barrier()"): Barrier sends a no-op message through every member's
+// mailbox, so its completion proves every earlier message has been
+// processed.
+package rmi

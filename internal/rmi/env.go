@@ -1,0 +1,69 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Env is the per-machine environment visible to server-side objects. It is
+// how an object reaches the resources of the machine it runs on (its
+// disks, its scratch directory) and the rest of the cluster (the machine's
+// outbound Client, used by objects that call methods on other remote
+// objects — e.g. FFT workers exchanging transpose blocks, §4).
+type Env struct {
+	// Machine is the index of the hosting machine.
+	Machine int
+	// Machines is the cluster size, when known (0 otherwise).
+	Machines int
+	// Client is the machine's outbound RMI client. Objects use it to
+	// construct and invoke objects on other machines. May be nil on
+	// standalone servers.
+	Client *Client
+	// DataDir is a machine-local scratch directory for persistent state.
+	DataDir string
+
+	mu        sync.RWMutex
+	resources map[string]any
+}
+
+// NewEnv returns an environment for the given machine index.
+func NewEnv(machine int) *Env {
+	return &Env{Machine: machine, resources: make(map[string]any)}
+}
+
+// PutResource installs a named machine-local resource (e.g. "disk/0" ->
+// *disk.Disk). Resources are installed at machine bring-up, before any
+// object can run, but the map is locked anyway for safety.
+func (e *Env) PutResource(name string, v any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.resources[name] = v
+}
+
+// Resource looks up a named resource.
+func (e *Env) Resource(name string) (any, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	v, ok := e.resources[name]
+	return v, ok
+}
+
+// MustResource looks up a named resource and returns an error naming the
+// machine when it is absent — constructors use this to fail informatively.
+func (e *Env) MustResource(name string) (any, error) {
+	if v, ok := e.Resource(name); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("rmi: machine %d has no resource %q", e.Machine, name)
+}
+
+// ResourceNames returns the installed resource names (unordered).
+func (e *Env) ResourceNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.resources))
+	for n := range e.resources {
+		names = append(names, n)
+	}
+	return names
+}

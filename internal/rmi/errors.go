@@ -1,0 +1,66 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSuchObject is returned when a call targets an object that does not
+// exist (never created, or already deleted — the paper's terminated
+// process).
+var ErrNoSuchObject = errors.New("rmi: no such object")
+
+// ErrNoSuchClass is returned when New names an unregistered class.
+var ErrNoSuchClass = errors.New("rmi: no such class")
+
+// ErrNoSuchMethod is returned when Call names a method absent from the
+// class's method table.
+var ErrNoSuchMethod = errors.New("rmi: no such method")
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("rmi: client closed")
+
+// RemoteError is an error that occurred on the remote machine while
+// constructing an object or executing a method. It travels back to the
+// caller as part of the response frame.
+type RemoteError struct {
+	Machine int    // machine where the error occurred
+	Class   string // class involved, if known
+	Method  string // method involved ("" for constructors)
+	Msg     string // error text
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Method == "" {
+		return fmt.Sprintf("rmi: remote error on machine %d constructing %s: %s", e.Machine, e.Class, e.Msg)
+	}
+	return fmt.Sprintf("rmi: remote error on machine %d in %s.%s: %s", e.Machine, e.Class, e.Method, e.Msg)
+}
+
+// Is reports sentinel matches so callers can use errors.Is against the
+// exported sentinels even though the error crossed the wire as text.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrNoSuchObject:
+		return containsSentinel(e.Msg, ErrNoSuchObject)
+	case ErrNoSuchClass:
+		return containsSentinel(e.Msg, ErrNoSuchClass)
+	case ErrNoSuchMethod:
+		return containsSentinel(e.Msg, ErrNoSuchMethod)
+	}
+	return false
+}
+
+func containsSentinel(msg string, sentinel error) bool {
+	s := sentinel.Error()
+	if len(msg) < len(s) {
+		return false
+	}
+	for i := 0; i+len(s) <= len(msg); i++ {
+		if msg[i:i+len(s)] == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,344 @@
+package rmi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+// This file injects failures into the runtime: dead servers, garbage
+// frames, races between deletion and invocation, connection loss with
+// calls in flight. The invariant under test is uniform: errors are
+// reported, nothing hangs, nothing panics.
+
+func TestServerCloseFailsInflightCalls(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+
+	ref, err := c.New(0, "test.Slowpoke", nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// A call that blocks inside the object...
+	fut := c.CallAsync(ref, "block", nil)
+	time.Sleep(20 * time.Millisecond)
+	// ...then the machine goes down.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+
+	select {
+	case err := <-fut.Done():
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung after server close")
+	}
+	if err := fut.Err(); err == nil {
+		t.Fatal("in-flight call succeeded on a dead machine")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server close hung on a blocked object method")
+	}
+}
+
+func TestCallsAfterServerClose(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+	ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+		e.PutInt(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Close()
+	if _, err := c.Call(ref, "get", nil); err == nil {
+		t.Fatal("call to closed machine succeeded")
+	}
+	if _, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+		e.PutInt(0)
+		return nil
+	}); err == nil {
+		t.Fatal("construction on closed machine succeeded")
+	}
+}
+
+// TestGarbageFramesDoNotKillServer feeds raw garbage into a server
+// connection; the server must survive and keep serving well-formed
+// requests.
+func TestGarbageFramesDoNotKillServer(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+
+	// Raw connection speaking nonsense.
+	raw, err := tr.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	garbage := [][]byte{
+		{},
+		{0xFF},
+		{0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		[]byte("hello, is this the object server?"),
+		{0x05, 0x02, 0x00}, // plausible header, truncated body
+	}
+	for _, g := range garbage {
+		if err := raw.Send(g); err != nil {
+			t.Fatalf("send garbage: %v", err)
+		}
+	}
+	// An unknown opcode with a valid reqID gets an error response rather
+	// than silence. (Garbage frames whose headers happened to parse also
+	// earn error replies, so scan for ours.)
+	e := wire.NewEncoder(8)
+	e.PutUvarint(42)  // reqID
+	e.PutUvarint(200) // bogus op
+	if err := raw.Send(e.Bytes()); err != nil {
+		t.Fatalf("send bogus op: %v", err)
+	}
+	found := false
+	for tries := 0; tries < 10 && !found; tries++ {
+		resp, err := raw.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		d := wire.NewDecoder(resp)
+		reqID := d.Uvarint()
+		status := d.Uvarint()
+		if d.Err() != nil {
+			t.Fatalf("unparseable response")
+		}
+		if status != statusErr {
+			t.Fatalf("garbage earned a success response (reqID %d)", reqID)
+		}
+		if reqID == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no error response for the bogus opcode")
+	}
+	raw.Close()
+
+	// The server still works for a real client.
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+	if err := c.Ping(0); err != nil {
+		t.Fatalf("server dead after garbage: %v", err)
+	}
+}
+
+// TestDeleteCallRace fires deletes and calls at one object concurrently;
+// every operation must return (success or ErrNoSuchObject), never hang.
+func TestDeleteCallRace(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+
+	for round := 0; round < 20; round++ {
+		ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+			e.PutInt(0)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var wg sync.WaitGroup
+		results := make(chan error, 8)
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := c.Call(ref, "get", nil)
+				results <- err
+			}(i)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			results <- c.Delete(ref)
+		}()
+		go func() {
+			defer wg.Done()
+			results <- c.Delete(ref)
+		}()
+		wg.Wait()
+		close(results)
+		var deleteOK int
+		for err := range results {
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, ErrNoSuchObject) {
+				t.Fatalf("round %d: unexpected error %v", round, err)
+			}
+		}
+		_ = deleteOK
+	}
+}
+
+// TestDestructorErrorPropagates delivers a destructor failure to the
+// deleting client.
+func TestDestructorErrorPropagates(t *testing.T) {
+	Register("test.BadDestructor", func(env *Env, args *wire.Decoder) (any, error) {
+		return &badDestructor{}, nil
+	})
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+	ref, err := c.New(0, "test.BadDestructor", nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	err = c.Delete(ref)
+	if err == nil {
+		t.Fatal("destructor error swallowed")
+	}
+}
+
+type badDestructor struct{}
+
+func (b *badDestructor) OnDestroy(env *Env) error {
+	return errors.New("refusing to die")
+}
+
+// TestManyPendingFuturesOnClose verifies every outstanding future is
+// failed when the client closes.
+func TestManyPendingFuturesOnClose(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	ref, err := c.New(0, "test.Slowpoke", nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// One call occupies the object; the rest queue in its mailbox.
+	futs := make([]*Future, 16)
+	futs[0] = c.CallAsync(ref, "block", nil)
+	for i := 1; i < len(futs); i++ {
+		futs[i] = c.CallAsync(ref, "sleep", func(e *wire.Encoder) error {
+			e.PutInt(1)
+			return nil
+		})
+	}
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+			if f.Err() == nil {
+				t.Fatalf("future %d succeeded after client close", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("future %d hung after client close", i)
+		}
+	}
+}
+
+// TestPutBackRestoresService verifies the passivation-rollback primitive:
+// after TakeObject + PutBack under the same id, existing refs keep
+// working.
+func TestPutBackRestoresService(t *testing.T) {
+	tr := transport.NewInproc(transport.LinkModel{})
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+
+	ref, err := srv.AddObject("test.Counter", &counter{n: 7})
+	if err != nil {
+		t.Fatalf("AddObject: %v", err)
+	}
+	obj, err := srv.TakeObject(ref.Object)
+	if err != nil {
+		t.Fatalf("TakeObject: %v", err)
+	}
+	// While taken, calls fail.
+	if _, err := c.Call(ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("call while taken: %v", err)
+	}
+	if err := srv.PutBack(ref.Object, ref.Class, obj); err != nil {
+		t.Fatalf("PutBack: %v", err)
+	}
+	d, err := c.Call(ref, "get", nil)
+	if err != nil {
+		t.Fatalf("call after PutBack: %v", err)
+	}
+	if got := d.Varint(); got != 7 {
+		t.Fatalf("state lost across take/putback: %d", got)
+	}
+	// Double PutBack must fail.
+	if err := srv.PutBack(ref.Object, ref.Class, obj); err == nil {
+		t.Fatal("double PutBack accepted")
+	}
+	// PutBack with unknown class must fail.
+	if err := srv.PutBack(9999, "no.such.class", obj); !errors.Is(err, ErrNoSuchClass) {
+		t.Fatalf("PutBack unknown class: %v", err)
+	}
+}
+
+// TestTCPConnectionDropMidCall kills the raw TCP connection under a
+// client with calls pending.
+func TestTCPConnectionDropMidCall(t *testing.T) {
+	tr := transport.TCP{}
+	srv, err := NewServer(0, tr, "", nil)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	c := NewClient(tr, StaticDirectory{srv.Addr()})
+	defer c.Close()
+	ref, err := c.New(0, "test.Slowpoke", nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fut := c.CallAsync(ref, "block", nil)
+	time.Sleep(20 * time.Millisecond)
+	srv.Close() // tears down the TCP connection server-side
+	select {
+	case <-fut.Done():
+		if fut.Err() == nil {
+			t.Fatal("call succeeded across dropped connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("future hung after connection drop")
+	}
+}

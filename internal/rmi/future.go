@@ -1,0 +1,84 @@
+package rmi
+
+import (
+	"sync"
+
+	"oopp/internal/wire"
+)
+
+// Future is the pending result of an asynchronous remote operation. It is
+// the runtime mechanism behind the paper's §4 transformation: a loop of
+// synchronous calls becomes a loop issuing futures (the send loop)
+// followed by a loop of Waits (the receive loop).
+type Future struct {
+	done chan struct{}
+
+	// call site metadata for error reporting
+	machine int
+	class   string
+	method  string
+
+	once   sync.Once
+	result *wire.Decoder
+	err    error
+}
+
+// Wait blocks until the operation completes and returns a decoder
+// positioned at the method's results (empty for void methods).
+func (f *Future) Wait() (*wire.Decoder, error) {
+	<-f.done
+	return f.result, f.err
+}
+
+// Done returns a channel closed when the result is available, for use in
+// select statements.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err waits for completion and returns only the error (void methods).
+func (f *Future) Err() error {
+	_, err := f.Wait()
+	return err
+}
+
+// Ref waits for a construction future and decodes the new object's remote
+// pointer.
+func (f *Future) Ref() (Ref, error) {
+	d, err := f.Wait()
+	if err != nil {
+		return Ref{}, err
+	}
+	id := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return Ref{}, err
+	}
+	return Ref{Machine: f.machine, Object: id, Class: f.class}, nil
+}
+
+func (f *Future) succeed(d *wire.Decoder) {
+	f.once.Do(func() {
+		f.result = d
+		close(f.done)
+	})
+}
+
+func (f *Future) fail(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.done)
+	})
+}
+
+// WaitAll waits for every future and returns the first error encountered
+// (but always waits for all, so no goroutine is left racing).
+func WaitAll(futs []*Future) error {
+	var first error
+	for _, f := range futs {
+		if f == nil {
+			continue
+		}
+		if _, err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

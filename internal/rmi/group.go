@@ -1,0 +1,161 @@
+package rmi
+
+import (
+	"fmt"
+
+	"oopp/internal/wire"
+)
+
+// Group is an array of remote processes operated on collectively — the
+// paper's "FFT * fft[N]" pattern (§4). It provides the broadcast-call
+// idiom and the compiler-supported barrier the paper proposes.
+type Group struct {
+	client *Client
+	refs   []Ref
+}
+
+// NewGroup wraps refs into a group. The slice is not copied.
+func NewGroup(client *Client, refs []Ref) *Group {
+	return &Group{client: client, refs: refs}
+}
+
+// SpawnGroup constructs one object of class on each of the given machines
+// (the paper's "for id: fft[id] = new(machine id) FFT(id)" loop),
+// in parallel. args is invoked with the member index so each member can
+// receive distinct constructor arguments.
+func SpawnGroup(client *Client, machines []int, class string, args func(i int, e *wire.Encoder) error) (*Group, error) {
+	futs := make([]*Future, len(machines))
+	for i, m := range machines {
+		var enc ArgEncoder
+		if args != nil {
+			i := i
+			enc = func(e *wire.Encoder) error { return args(i, e) }
+		}
+		fut, err := client.NewAsync(m, class, enc)
+		if err != nil {
+			// Best effort cleanup of the members already being built.
+			for j := 0; j < i; j++ {
+				if r, rerr := futs[j].Ref(); rerr == nil {
+					_ = client.Delete(r)
+				}
+			}
+			return nil, err
+		}
+		futs[i] = fut
+	}
+	refs := make([]Ref, len(machines))
+	var firstErr error
+	for i, fut := range futs {
+		r, err := fut.Ref()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rmi: spawning group member %d: %w", i, err)
+		}
+		refs[i] = r
+	}
+	if firstErr != nil {
+		for _, r := range refs {
+			if !r.IsNil() {
+				_ = client.Delete(r)
+			}
+		}
+		return nil, firstErr
+	}
+	return NewGroup(client, refs), nil
+}
+
+// Refs returns the member refs (not a copy).
+func (g *Group) Refs() []Ref { return g.refs }
+
+// Len returns the number of members.
+func (g *Group) Len() int { return len(g.refs) }
+
+// Member returns the i-th member.
+func (g *Group) Member(i int) Ref { return g.refs[i] }
+
+// Call invokes method on every member sequentially — the paper's plain
+// "for (id...) fft[id]->transform(...)" loop with §2 semantics.
+func (g *Group) Call(method string, args func(i int, e *wire.Encoder) error) error {
+	for i, ref := range g.refs {
+		var enc ArgEncoder
+		if args != nil {
+			i := i
+			enc = func(e *wire.Encoder) error { return args(i, e) }
+		}
+		if _, err := g.client.Call(ref, method, enc); err != nil {
+			return fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
+		}
+	}
+	return nil
+}
+
+// CallParallel is the §4 compiler-split version of Call: issue every
+// request (send loop), then collect every response (receive loop).
+func (g *Group) CallParallel(method string, args func(i int, e *wire.Encoder) error) error {
+	futs := make([]*Future, len(g.refs))
+	for i, ref := range g.refs {
+		var enc ArgEncoder
+		if args != nil {
+			i := i
+			enc = func(e *wire.Encoder) error { return args(i, e) }
+		}
+		futs[i] = g.client.CallAsync(ref, method, enc)
+	}
+	return WaitAll(futs)
+}
+
+// CallParallelResults is CallParallel for methods with results: collect
+// applies each member's reply decoder in member order.
+func (g *Group) CallParallelResults(method string, args func(i int, e *wire.Encoder) error, collect func(i int, d *wire.Decoder) error) error {
+	futs := make([]*Future, len(g.refs))
+	for i, ref := range g.refs {
+		var enc ArgEncoder
+		if args != nil {
+			i := i
+			enc = func(e *wire.Encoder) error { return args(i, e) }
+		}
+		futs[i] = g.client.CallAsync(ref, method, enc)
+	}
+	var firstErr error
+	for i, fut := range futs {
+		d, err := fut.Wait()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
+			}
+			continue
+		}
+		if collect != nil && firstErr == nil {
+			if err := collect(i, d); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Barrier synchronizes with every member process: it completes when each
+// member has processed all messages sent to it before the barrier — the
+// paper's "fft->barrier()" (§4). Implementation: a no-op message through
+// each member's FIFO mailbox, issued in parallel.
+func (g *Group) Barrier() error {
+	futs := make([]*Future, len(g.refs))
+	for i, ref := range g.refs {
+		futs[i] = g.client.CallAsync(ref, methodPing, nil)
+	}
+	return WaitAll(futs)
+}
+
+// Delete destroys every member, in parallel, returning the first error.
+func (g *Group) Delete() error {
+	errs := make(chan error, len(g.refs))
+	for _, ref := range g.refs {
+		go func(r Ref) { errs <- g.client.Delete(r) }(ref)
+	}
+	var first error
+	for range g.refs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

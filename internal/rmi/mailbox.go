@@ -1,0 +1,76 @@
+package rmi
+
+import "sync"
+
+// task is one unit of work delivered to an object's process goroutine.
+type task func()
+
+// mailbox is an unbounded FIFO queue feeding an object's goroutine. It is
+// the object's "process" inbox: pushes never block (so a server read loop
+// can always make progress), pops block until work or close.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []task
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues t. It reports false if the mailbox is closed (the process
+// has terminated or is terminating).
+func (m *mailbox) push(t task) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, t)
+	m.cond.Signal()
+	return true
+}
+
+// pop dequeues the next task, blocking while the mailbox is empty. It
+// returns ok=false once the mailbox is closed and drained.
+func (m *mailbox) pop() (task, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	t := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return t, true
+}
+
+// close marks the mailbox closed. Tasks already queued still run; new
+// pushes are refused. Safe to call more than once.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// run processes tasks until the mailbox closes and drains. It is the body
+// of the object's process goroutine.
+func (m *mailbox) run() {
+	for {
+		t, ok := m.pop()
+		if !ok {
+			return
+		}
+		t()
+	}
+}

@@ -1,0 +1,33 @@
+package rmi
+
+// Wire protocol opcodes. A request frame is:
+//
+//	reqID uvarint | op uvarint | op-specific header | argument payload
+//
+// and a response frame is:
+//
+//	reqID uvarint | status uvarint | error string (status!=0) or results
+//
+// Frames ride on transport.Conn messages; framing is the transport's job.
+const (
+	opNew    = 1 // class string, ctor args        -> object id
+	opCall   = 2 // object uvarint, method string, args -> results
+	opDelete = 3 // object uvarint                 -> (empty)
+	opPing   = 4 // (empty)                        -> (empty)
+	opStat   = 5 // (empty)                        -> live uvarint, total uvarint
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Reserved method names, handled by the server ahead of the class method
+// table. Objects cannot register names starting with '_'.
+const (
+	// methodPing is a no-op serial method available on every object. A
+	// ping response proves every earlier mailbox message was processed —
+	// the primitive under Group.Barrier.
+	methodPing = "_ping"
+)

@@ -1,0 +1,502 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oopp/internal/metrics"
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+// ResourceServer is the Env resource name under which a machine's own
+// Server is installed, for infrastructure objects (e.g. the persistence
+// store) that must manage local processes. The cluster package installs
+// it at machine bring-up.
+const ResourceServer = "rmi/server"
+
+// Server hosts the remote objects of one machine. It accepts connections,
+// decodes request frames, and routes them: constructions spawn object
+// processes, serial calls flow through object mailboxes, concurrent calls
+// and constructors run on their own goroutines.
+type Server struct {
+	machine  int
+	env      *Env
+	listener transport.Listener
+	counters *metrics.Counters
+
+	mu      sync.Mutex
+	objects map[uint64]*objEntry
+	nextID  uint64
+	total   uint64
+	closed  bool
+	conns   map[transport.Conn]struct{}
+
+	// connWG tracks transport goroutines (accept loop, per-connection
+	// readers): Close always drains these. objWG tracks object work
+	// (process goroutines, constructors, concurrent methods): Close waits
+	// for these only up to closeGrace, because a method blocked forever
+	// inside an object cannot be preempted — like a real process ignoring
+	// SIGTERM — and must not wedge machine shutdown.
+	connWG sync.WaitGroup
+	objWG  sync.WaitGroup
+}
+
+// closeGrace bounds how long Close waits for object goroutines to finish
+// their queued work (including destructors).
+const closeGrace = 2 * time.Second
+
+// objEntry is one live object: its instance, class, and process mailbox.
+type objEntry struct {
+	id    uint64
+	class *Class
+	obj   any
+	mb    *mailbox
+}
+
+// NewServer creates a server for machine `machine`, listening on addr via
+// tr, and starts its accept loop. Pass addr "" for an automatic address.
+// env may be nil, in which case a bare environment is created.
+func NewServer(machine int, tr transport.Transport, addr string, env *Env) (*Server, error) {
+	if env == nil {
+		env = NewEnv(machine)
+	}
+	l, err := tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: machine %d listen: %w", machine, err)
+	}
+	s := &Server{
+		machine:  machine,
+		env:      env,
+		listener: l,
+		counters: metrics.Default,
+		objects:  make(map[uint64]*objEntry),
+		conns:    make(map[transport.Conn]struct{}),
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address clients dial.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Machine returns the machine index.
+func (s *Server) Machine() int { return s.machine }
+
+// Env returns the server's environment (for installing resources).
+func (s *Server) Env() *Env { return s.env }
+
+// NumObjects returns the number of live objects.
+func (s *Server) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Close shuts the server down: stop accepting, close connections,
+// terminate every object process (running destructors), wait for
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	entries := make([]*objEntry, 0, len(s.objects))
+	for _, e := range s.objects {
+		entries = append(entries, e)
+	}
+	s.objects = make(map[uint64]*objEntry)
+	s.mu.Unlock()
+
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, e := range entries {
+		e.mb.push(func() { s.destroyObject(e) })
+		e.mb.close()
+	}
+	s.connWG.Wait()
+	objDone := make(chan struct{})
+	go func() {
+		s.objWG.Wait()
+		close(objDone)
+	}()
+	select {
+	case <-objDone:
+	case <-time.After(closeGrace):
+		// One or more object methods are blocked indefinitely; their
+		// goroutines are abandoned (they exit if the method ever returns).
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn transport.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn is the per-connection read loop. It must never block on object
+// work: serial calls are enqueued, everything long-running gets its own
+// goroutine.
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		s.counters.MessagesRecv.Add(1)
+		s.counters.BytesRecv.Add(int64(len(frame)))
+		s.dispatch(conn, frame)
+	}
+}
+
+// dispatch decodes one request frame and routes it.
+func (s *Server) dispatch(conn transport.Conn, frame []byte) {
+	d := wire.NewDecoder(frame)
+	reqID := d.Uvarint()
+	op := d.Uvarint()
+	if d.Err() != nil {
+		// No usable request id: nothing sensible to reply to.
+		return
+	}
+	switch op {
+	case opPing:
+		s.reply(conn, reqID, nil, nil)
+	case opStat:
+		e := wire.NewEncoder(16)
+		s.mu.Lock()
+		e.PutUvarint(uint64(len(s.objects)))
+		e.PutUvarint(s.total)
+		s.mu.Unlock()
+		s.reply(conn, reqID, e, nil)
+	case opNew:
+		class := d.String()
+		if d.Err() != nil {
+			s.reply(conn, reqID, nil, d.Err())
+			return
+		}
+		// Constructors may do arbitrary work (open devices, call other
+		// machines), so they run on their own goroutine — this is the
+		// birth of the new process.
+		s.objWG.Add(1)
+		go func() {
+			defer s.objWG.Done()
+			s.handleNew(conn, reqID, class, d)
+		}()
+	case opCall:
+		objID := d.Uvarint()
+		method := d.String()
+		if d.Err() != nil {
+			s.reply(conn, reqID, nil, d.Err())
+			return
+		}
+		s.handleCall(conn, reqID, objID, method, d)
+	case opDelete:
+		objID := d.Uvarint()
+		if d.Err() != nil {
+			s.reply(conn, reqID, nil, d.Err())
+			return
+		}
+		s.handleDelete(conn, reqID, objID)
+	default:
+		s.reply(conn, reqID, nil, fmt.Errorf("rmi: unknown opcode %d", op))
+	}
+}
+
+func (s *Server) handleNew(conn transport.Conn, reqID uint64, class string, args *wire.Decoder) {
+	cl, ok := LookupClass(class)
+	if !ok {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: %q", ErrNoSuchClass, class))
+		return
+	}
+	obj, err := s.construct(cl, args)
+	if err != nil {
+		s.reply(conn, reqID, nil, fmt.Errorf("constructing %s: %w", class, err))
+		return
+	}
+	id, err := s.adopt(cl, obj)
+	if err != nil {
+		s.reply(conn, reqID, nil, err)
+		return
+	}
+	e := wire.NewEncoder(16)
+	e.PutUvarint(id)
+	s.reply(conn, reqID, e, nil)
+}
+
+// construct runs a constructor, converting panics into errors: a buggy
+// remote constructor must not take down the machine.
+func (s *Server) construct(cl *Class, args *wire.Decoder) (obj any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("constructor panic: %v", r)
+		}
+	}()
+	return cl.ctor(s.env, args)
+}
+
+// adopt registers an already-built object and starts its process
+// goroutine. It is also used directly (via Server.AddObject) for objects
+// created server-side, e.g. reactivated persistent processes.
+func (s *Server) adopt(cl *Class, obj any) (uint64, error) {
+	entry := &objEntry{class: cl, obj: obj, mb: newMailbox()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("rmi: machine %d is shut down", s.machine)
+	}
+	s.nextID++
+	s.total++
+	entry.id = s.nextID
+	s.objects[entry.id] = entry
+	s.mu.Unlock()
+
+	s.counters.ObjectsLive.Add(1)
+	s.counters.ObjectsTotal.Add(1)
+
+	// The object's process: a goroutine draining its mailbox.
+	s.objWG.Add(1)
+	go func() {
+		defer s.objWG.Done()
+		entry.mb.run()
+	}()
+	return entry.id, nil
+}
+
+// AddObject installs a locally-constructed object of the named class and
+// returns its Ref. Used by persistence (process activation) and by tests.
+func (s *Server) AddObject(class string, obj any) (Ref, error) {
+	cl, ok := LookupClass(class)
+	if !ok {
+		return Ref{}, fmt.Errorf("%w: %q", ErrNoSuchClass, class)
+	}
+	id, err := s.adopt(cl, obj)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Machine: s.machine, Object: id, Class: class}, nil
+}
+
+// TakeObject removes an object from the server *without* running its
+// destructor and returns the instance. Used by persistence to passivate a
+// process: the object leaves the live table, its goroutine stops, and its
+// state is serialized by the caller.
+func (s *Server) TakeObject(id uint64) (any, error) {
+	s.mu.Lock()
+	entry, ok := s.objects[id]
+	if ok {
+		delete(s.objects, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, id)
+	}
+	// Let queued work finish, then stop the process goroutine.
+	done := make(chan struct{})
+	if entry.mb.push(func() { close(done) }) {
+		<-done
+	}
+	entry.mb.close()
+	s.counters.ObjectsLive.Add(-1)
+	return entry.obj, nil
+}
+
+// PutBack reinstalls an object previously removed with TakeObject under
+// its original id — the rollback path for a failed passivation, so the
+// remote pointers other processes hold stay valid.
+func (s *Server) PutBack(id uint64, class string, obj any) error {
+	cl, ok := LookupClass(class)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchClass, class)
+	}
+	entry := &objEntry{id: id, class: cl, obj: obj, mb: newMailbox()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("rmi: machine %d is shut down", s.machine)
+	}
+	if _, exists := s.objects[id]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("rmi: object %d already live on machine %d", id, s.machine)
+	}
+	s.objects[id] = entry
+	s.mu.Unlock()
+	s.counters.ObjectsLive.Add(1)
+	s.objWG.Add(1)
+	go func() {
+		defer s.objWG.Done()
+		entry.mb.run()
+	}()
+	return nil
+}
+
+// Object returns the live instance with the given id (used by tests and
+// same-machine fast paths).
+func (s *Server) Object(id uint64) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return e.obj, true
+}
+
+func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method string, args *wire.Decoder) {
+	s.mu.Lock()
+	entry, ok := s.objects[objID]
+	s.mu.Unlock()
+	if !ok {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, objID))
+		return
+	}
+
+	// Built-in methods first.
+	if method == methodPing {
+		if !entry.mb.push(func() { s.reply(conn, reqID, nil, nil) }) {
+			s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
+		}
+		return
+	}
+
+	me, ok := entry.class.lookup(method)
+	if !ok {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, entry.class.name, method))
+		return
+	}
+
+	run := func() {
+		s.counters.CallsServed.Add(1)
+		reply := wire.NewEncoder(64)
+		err := s.invoke(me.fn, entry, args, reply)
+		if err != nil {
+			s.reply(conn, reqID, nil, fmt.Errorf("%s.%s: %w", entry.class.name, method, err))
+			return
+		}
+		s.reply(conn, reqID, reply, nil)
+	}
+
+	if me.concurrent {
+		// Concurrent method: runs outside the mailbox so the object can
+		// accept peer pushes while busy in a long serial method.
+		s.objWG.Add(1)
+		go func() {
+			defer s.objWG.Done()
+			run()
+		}()
+		return
+	}
+	if !entry.mb.push(run) {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
+	}
+}
+
+// invoke runs a method, converting panics into errors.
+func (s *Server) invoke(fn MethodFunc, entry *objEntry, args *wire.Decoder, reply *wire.Encoder) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("method panic: %v", r)
+		}
+	}()
+	if err := fn(entry.obj, s.env, args, reply); err != nil {
+		return err
+	}
+	if args.Err() != nil {
+		return fmt.Errorf("argument decode: %w", args.Err())
+	}
+	return nil
+}
+
+func (s *Server) handleDelete(conn transport.Conn, reqID uint64, objID uint64) {
+	s.mu.Lock()
+	entry, ok := s.objects[objID]
+	if ok {
+		delete(s.objects, objID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, objID))
+		return
+	}
+	// Destructor semantics (§2): pending communications complete (they are
+	// ahead of us in the mailbox), the destructor runs, the process
+	// terminates.
+	pushed := entry.mb.push(func() {
+		err := s.destroyObject(entry)
+		s.reply(conn, reqID, nil, err)
+	})
+	entry.mb.close()
+	if !pushed {
+		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (already terminating)", ErrNoSuchObject, s.machine, objID))
+	}
+}
+
+func (s *Server) destroyObject(entry *objEntry) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("destructor panic: %v", r)
+		}
+	}()
+	s.counters.ObjectsLive.Add(-1)
+	if d, ok := entry.obj.(Destroyer); ok {
+		return d.OnDestroy(s.env)
+	}
+	return nil
+}
+
+// reply sends a response frame. result may be nil (empty payload).
+func (s *Server) reply(conn transport.Conn, reqID uint64, result *wire.Encoder, err error) {
+	size := 32
+	if result != nil {
+		size += result.Len()
+	}
+	e := wire.NewEncoder(size)
+	e.PutUvarint(reqID)
+	if err != nil {
+		e.PutUvarint(statusErr)
+		e.PutString(err.Error())
+	} else {
+		e.PutUvarint(statusOK)
+		if result != nil {
+			e.AppendRaw(result.Bytes())
+		}
+	}
+	frame := e.Bytes()
+	s.counters.MessagesSent.Add(1)
+	s.counters.BytesSent.Add(int64(len(frame)))
+	// Best effort: if the connection died the client sees ErrClosed.
+	_ = conn.Send(frame)
+}

@@ -1,0 +1,33 @@
+// Package simtime provides the timing primitive shared by the simulated
+// hardware models (network links, disks).
+package simtime
+
+import "time"
+
+// Sleep blocks for d, trading between two failure modes of modeled
+// delays:
+//
+//   - time.Sleep has millisecond-scale granularity on many kernels
+//     (measured ~1.3ms wakeup on the reference host), which would inflate
+//     a 20µs modeled link cost a hundredfold;
+//   - spinning holds a CPU, so concurrent spins beyond GOMAXPROCS
+//     serialize and destroy the very parallelism the simulation exists to
+//     expose.
+//
+// Sub-millisecond delays therefore spin on the monotonic clock (they are
+// brief and granularity would otherwise dominate); millisecond-scale
+// delays use the real sleep (the proportional overshoot is small, and
+// sleeps overlap freely across any number of simulated devices).
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	const spinBelow = time.Millisecond
+	if d >= spinBelow {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

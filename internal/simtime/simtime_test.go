@@ -1,0 +1,48 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepShortIsPrecise(t *testing.T) {
+	// Sub-millisecond sleeps spin: they must not exhibit the kernel's
+	// ~1.3ms wakeup granularity.
+	const d = 100 * time.Microsecond
+	const n = 20
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		Sleep(d)
+		total += time.Since(start)
+	}
+	avg := total / n
+	if avg < d {
+		t.Fatalf("slept %v on average, want >= %v", avg, d)
+	}
+	if avg > 5*d {
+		t.Fatalf("slept %v on average for a %v request: spin path not taken", avg, d)
+	}
+}
+
+func TestSleepLongUsesRealSleep(t *testing.T) {
+	start := time.Now()
+	Sleep(3 * time.Millisecond)
+	elapsed := time.Since(start)
+	if elapsed < 3*time.Millisecond {
+		t.Fatalf("slept %v, want >= 3ms", elapsed)
+	}
+	// Generous upper bound: granularity overshoot, not runaway.
+	if elapsed > 30*time.Millisecond {
+		t.Fatalf("slept %v for a 3ms request", elapsed)
+	}
+}
+
+func TestSleepNonPositive(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if elapsed := time.Since(start); elapsed > 10*time.Millisecond {
+		t.Fatalf("non-positive sleeps took %v", elapsed)
+	}
+}

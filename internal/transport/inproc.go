@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Inproc is an in-process transport: addresses name rendezvous points in a
+// shared registry, connections are pairs of buffered channels. It is the
+// default substrate for tests and benchmarks — deterministic, dependency
+// free, and optionally network-shaped via a LinkModel.
+type Inproc struct {
+	model LinkModel
+
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+}
+
+// NewInproc returns a fresh in-process transport whose links all follow
+// model. Distinct Inproc instances have distinct address namespaces.
+func NewInproc(model LinkModel) *Inproc {
+	return &Inproc{
+		model:     model,
+		listeners: make(map[string]*inprocListener),
+	}
+}
+
+// Name implements Transport.
+func (t *Inproc) Name() string { return "inproc" }
+
+// Listen binds a listener to addr. The empty address allocates a unique
+// one ("inproc-N").
+func (t *Inproc) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" {
+		t.nextAuto++
+		addr = fmt.Sprintf("inproc-%d", t.nextAuto)
+	}
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &inprocListener{
+		transport: t,
+		addr:      addr,
+		backlog:   make(chan *inprocConn, 64),
+		closed:    make(chan struct{}),
+	}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a listener previously bound with Listen.
+func (t *Inproc) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
+	}
+
+	// A connection is two directed channels; each side sees (send, recv).
+	a2b := make(chan []byte, 64)
+	b2a := make(chan []byte, 64)
+	shared := &inprocShared{
+		closed: make(chan struct{}),
+		link:   &link{model: t.model},
+	}
+	client := &inprocConn{send: a2b, recv: b2a, shared: shared}
+	server := &inprocConn{send: b2a, recv: a2b, shared: shared}
+
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (t *Inproc) remove(addr string) {
+	t.mu.Lock()
+	delete(t.listeners, addr)
+	t.mu.Unlock()
+}
+
+type inprocListener struct {
+	transport *Inproc
+	addr      string
+	backlog   chan *inprocConn
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.transport.remove(l.addr)
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+// inprocShared is the state common to both endpoints of a connection.
+type inprocShared struct {
+	closed    chan struct{}
+	closeOnce sync.Once
+	link      *link
+}
+
+type inprocConn struct {
+	send   chan []byte
+	recv   chan []byte
+	shared *inprocShared
+}
+
+func (c *inprocConn) Send(msg []byte) error {
+	// Copy: the contract says the callee does not retain msg, and the
+	// receiving side owns what it gets. This mirrors a real network, where
+	// the bytes leave the sender's address space.
+	out := make([]byte, len(msg))
+	copy(out, msg)
+	c.shared.link.delay(len(msg))
+	select {
+	case c.send <- out:
+		return nil
+	case <-c.shared.closed:
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-c.shared.closed:
+		// Drain any message that raced with close so orderly shutdown
+		// does not drop a response that already arrived.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.shared.closeOnce.Do(func() { close(c.shared.closed) })
+	return nil
+}

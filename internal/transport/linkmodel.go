@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"oopp/internal/simtime"
+)
+
+// LinkModel describes the cost of moving a message across a simulated
+// network link. It substitutes for the paper's physical interconnect: the
+// experiments depend on the *relative* cost of round trips versus bulk
+// bandwidth, which two parameters capture.
+//
+// A message of n bytes occupies the link for
+//
+//	Latency + n / Bandwidth
+//
+// The zero LinkModel is a free, infinitely fast link (no delays), which is
+// what correctness tests use; benchmark configurations install a modeled
+// link (e.g. 20µs latency, 1 GiB/s) to recover network-shaped behaviour.
+type LinkModel struct {
+	// Latency is the fixed per-message cost (propagation + protocol).
+	Latency time.Duration
+	// Bandwidth is the link throughput in bytes per second. Zero means
+	// infinite bandwidth.
+	Bandwidth float64
+	// Serialize, if true, makes the link half-duplex per direction: a
+	// message must finish transmitting before the next one starts, so
+	// concurrent senders queue. This models a shared NIC. If false each
+	// message is delayed independently (an idealized switch fabric).
+	Serialize bool
+}
+
+// IsZero reports whether the model imposes no costs.
+func (m LinkModel) IsZero() bool {
+	return m.Latency == 0 && m.Bandwidth == 0
+}
+
+// TransferTime returns the modeled time for a message of n bytes.
+func (m LinkModel) TransferTime(n int) time.Duration {
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(n) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// link applies a LinkModel to one direction of a connection.
+type link struct {
+	model LinkModel
+	mu    sync.Mutex // used only when model.Serialize
+}
+
+// delay blocks for the modeled transfer time of an n-byte message.
+func (l *link) delay(n int) {
+	if l.model.IsZero() {
+		return
+	}
+	d := l.model.TransferTime(n)
+	if l.model.Serialize {
+		// Hold the link for the duration: concurrent senders queue up,
+		// which is what makes bandwidth contention observable.
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	simtime.Sleep(d)
+}

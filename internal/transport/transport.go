@@ -1,0 +1,69 @@
+// Package transport provides the byte-level message transports the OOPP
+// runtime runs over. A transport moves opaque framed messages between a
+// client and the server process of a remote object.
+//
+// Two implementations are provided:
+//
+//   - "inproc": machines live inside one OS process and exchange messages
+//     over channels. An optional LinkModel imposes per-message latency and
+//     bandwidth costs so that communication-dependent experiments (element
+//     access vs bulk transfer, move-data vs move-compute, transpose cost)
+//     have realistic, deterministic shape on a single host.
+//   - "tcp": real sockets on localhost (or a network), with
+//     length-prefixed framing. Used by integration tests and by
+//     cmd/oppcluster, which runs one machine per OS process.
+//
+// Both satisfy the same interfaces, so every layer above — RMI runtime,
+// page devices, distributed arrays, parallel FFT — is transport-agnostic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a reliable, ordered, message-oriented duplex connection.
+// Send and Recv are safe for concurrent use by multiple goroutines
+// (sends are serialized internally; typically one goroutine receives).
+type Conn interface {
+	// Send transmits one message. The callee does not retain msg.
+	Send(msg []byte) error
+	// Recv blocks until the next message arrives. The returned slice is
+	// owned by the caller.
+	Recv() ([]byte, error)
+	// Close tears the connection down. Pending and future calls fail with
+	// ErrClosed (or io.EOF translated to ErrClosed).
+	Close() error
+}
+
+// Listener accepts inbound connections at an address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the bound address in a form Dial accepts.
+	Addr() string
+}
+
+// Transport creates listeners and outbound connections.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+	// Name identifies the transport ("inproc", "tcp") in logs and tables.
+	Name() string
+}
+
+// New returns a transport by name. The inproc transport returned here has
+// no link model; use NewInproc for a modeled network.
+func New(name string) (Transport, error) {
+	switch name {
+	case "inproc":
+		return NewInproc(LinkModel{}), nil
+	case "tcp":
+		return TCP{}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown transport %q", name)
+	}
+}

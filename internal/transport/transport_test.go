@@ -1,0 +1,390 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// forEachTransport runs f against every transport implementation.
+func forEachTransport(t *testing.T, f func(t *testing.T, tr Transport)) {
+	t.Helper()
+	t.Run("inproc", func(t *testing.T) { f(t, NewInproc(LinkModel{})) })
+	t.Run("tcp", func(t *testing.T) { f(t, TCP{}) })
+}
+
+func startEcho(t *testing.T, tr Transport) (addr string, stop func()) {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				for {
+					msg, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(msg); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr(), func() {
+		l.Close()
+		wg.Wait()
+	}
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+
+		c, err := tr.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+
+		payloads := [][]byte{
+			{},
+			[]byte("x"),
+			bytes.Repeat([]byte("abc"), 10000),
+		}
+		for _, p := range payloads {
+			if err := c.Send(p); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			if !bytes.Equal(got, p) {
+				t.Fatalf("echo mismatch: got %d bytes, want %d", len(got), len(p))
+			}
+		}
+	})
+}
+
+func TestMessageBoundariesPreserved(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+		c, err := tr.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+
+		// Pipeline 50 distinct messages, then read 50 echoes; framing must
+		// keep them distinct and ordered.
+		const n = 50
+		for i := 0; i < n; i++ {
+			if err := c.Send([]byte(fmt.Sprintf("msg-%04d", i))); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if want := fmt.Sprintf("msg-%04d", i); string(got) != want {
+				t.Fatalf("message %d: got %q want %q", i, got, want)
+			}
+		}
+	})
+}
+
+func TestSenderDoesNotRetainBuffer(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+		c, err := tr.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+
+		buf := []byte("original")
+		if err := c.Send(buf); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		copy(buf, "CLOBBER!") // mutate after send
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if string(got) != "original" {
+			t.Fatalf("send aliased caller buffer: got %q", got)
+		}
+	})
+}
+
+func TestConcurrentClients(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+
+		const clients = 8
+		const msgs = 40
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c, err := tr.Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				for j := 0; j < msgs; j++ {
+					want := fmt.Sprintf("c%d-%d", id, j)
+					if err := c.Send([]byte(want)); err != nil {
+						errs <- err
+						return
+					}
+					got, err := c.Recv()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if string(got) != want {
+						errs <- fmt.Errorf("client %d: got %q want %q", id, got, want)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	tr := NewInproc(LinkModel{})
+	if _, err := tr.Dial("nowhere"); err == nil {
+		t.Fatal("expected error dialing unknown inproc address")
+	}
+}
+
+func TestListenDuplicateAddress(t *testing.T) {
+	tr := NewInproc(LinkModel{})
+	l, err := tr.Listen("dup")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	if _, err := tr.Listen("dup"); err == nil {
+		t.Fatal("expected duplicate address error")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		l, err := tr.Listen("")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := l.Accept()
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		l.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Accept returned nil error after Close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Accept did not unblock after Close")
+		}
+	})
+}
+
+func TestConnCloseUnblocksRecv(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+		c, err := tr.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.Recv()
+			done <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		c.Close()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("Recv returned nil after Close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Recv did not unblock after Close")
+		}
+	})
+}
+
+func TestInprocListenerCloseReleasesAddress(t *testing.T) {
+	tr := NewInproc(LinkModel{})
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l.Close()
+	l2, err := tr.Listen("a")
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"inproc", "tcp"} {
+		tr, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if tr.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, tr.Name())
+		}
+	}
+	if _, err := New("carrier-pigeon"); err == nil {
+		t.Fatal("expected error for unknown transport")
+	}
+}
+
+func TestLinkModelTransferTime(t *testing.T) {
+	m := LinkModel{Latency: time.Millisecond, Bandwidth: 1e6} // 1 MB/s
+	if got := m.TransferTime(0); got != time.Millisecond {
+		t.Fatalf("latency-only transfer: %v", got)
+	}
+	// 1 MB at 1 MB/s = 1s + 1ms latency.
+	if got := m.TransferTime(1e6); got != time.Second+time.Millisecond {
+		t.Fatalf("1MB transfer: %v", got)
+	}
+	if !(LinkModel{}).IsZero() {
+		t.Fatal("zero model should be zero")
+	}
+	if m.IsZero() {
+		t.Fatal("non-zero model reported zero")
+	}
+}
+
+func TestLinkModelImposesLatency(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	tr := NewInproc(LinkModel{Latency: lat})
+	addr, stop := startEcho(t, tr)
+	defer stop()
+	c, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if err := c.Send([]byte("ping")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if _, err := c.Recv(); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Each round trip crosses the link twice.
+	if min := time.Duration(rounds) * 2 * lat; elapsed < min {
+		t.Fatalf("round trips too fast for modeled link: %v < %v", elapsed, min)
+	}
+}
+
+func TestTCPRejectsOversizedFrame(t *testing.T) {
+	tr := TCP{}
+	addr, stop := startEcho(t, tr)
+	defer stop()
+	c, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	huge := make([]byte, maxFrame+1)
+	if err := c.Send(huge); err == nil {
+		t.Fatal("expected oversized frame rejection")
+	}
+}
+
+func BenchmarkInprocRoundTrip(b *testing.B) {
+	tr := NewInproc(LinkModel{})
+	benchRoundTrip(b, tr)
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	benchRoundTrip(b, TCP{})
+}
+
+func benchRoundTrip(b *testing.B, tr Transport) {
+	l, err := tr.Listen("")
+	if err != nil {
+		b.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			if err := c.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package oopp
+
+import (
+	"oopp/internal/cluster"
+	"oopp/internal/core"
+	"oopp/internal/disk"
+	"oopp/internal/fft"
+	"oopp/internal/pagedev"
+	"oopp/internal/persist"
+	"oopp/internal/pfft"
+	"oopp/internal/rmem"
+	"oopp/internal/rmi"
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+// Re-exported types. Aliases (not definitions) so values flow freely
+// between the facade and the internal packages.
+type (
+	// Cluster is a set of machines sharing a transport and directory.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures machines, transport, disks.
+	ClusterConfig = cluster.Config
+	// Machine is one node: object server, outbound client, local disks.
+	Machine = cluster.Machine
+
+	// Client issues remote constructions and method calls.
+	Client = rmi.Client
+	// Ref is a remote pointer to an object (process) on a machine.
+	Ref = rmi.Ref
+	// Future is the pending result of an asynchronous remote operation.
+	Future = rmi.Future
+	// Group is an array of remote processes operated on collectively.
+	Group = rmi.Group
+	// Env is the per-machine environment visible to server-side objects.
+	Env = rmi.Env
+	// Encoder appends values to a request frame (typed stubs).
+	Encoder = wire.Encoder
+	// Decoder reads values from a reply frame (typed stubs).
+	Decoder = wire.Decoder
+
+	// Float64Array is remote plain memory of float64s.
+	Float64Array = rmem.Float64Array
+	// ByteArray is remote plain memory of bytes.
+	ByteArray = rmem.ByteArray
+
+	// Page is a block of unstructured data.
+	Page = pagedev.Page
+	// ArrayPage is a structured N1×N2×N3 block of float64s.
+	ArrayPage = pagedev.ArrayPage
+	// Device is the client stub for a PageDevice process.
+	Device = pagedev.Device
+	// ArrayDevice is the client stub for an ArrayPageDevice process.
+	ArrayDevice = pagedev.ArrayDevice
+
+	// Domain is a half-open box of array indices.
+	Domain = core.Domain
+	// PageAddress locates a logical page on a device.
+	PageAddress = core.PageAddress
+	// PageMap maps logical pages to physical addresses (the data layout).
+	PageMap = core.PageMap
+	// BlockStorage is the vector of storage device processes.
+	BlockStorage = core.BlockStorage
+	// Array is the distributed 3D array client.
+	Array = core.Array
+
+	// PFFT is a group of FFT processes jointly transforming a 3D array.
+	PFFT = pfft.PFFT
+
+	// Address is a symbolic object address ("oop://data/set/X/34").
+	Address = persist.Address
+	// NameService is the address directory process stub.
+	NameService = persist.NameService
+	// Store is the per-machine passivation store stub.
+	Store = persist.Store
+	// Manager composes NameService and Stores into transparent
+	// deactivate/reactivate.
+	Manager = persist.Manager
+	// Persistable is implemented by passivatable server-side objects.
+	Persistable = persist.Persistable
+
+	// LinkModel is the simulated network cost model.
+	LinkModel = transport.LinkModel
+	// DiskModel is the simulated disk cost model.
+	DiskModel = disk.Model
+	// Transport moves framed messages between machines.
+	Transport = transport.Transport
+)
+
+// DiskPrivate, as a disk index, gives a device a private in-memory disk.
+const DiskPrivate = pagedev.DiskPrivate
+
+// NewCluster brings up a cluster per cfg.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewLocalCluster brings up n machines with d memory disks each over a
+// cost-free in-process transport — the quickstart configuration.
+func NewLocalCluster(n, d int) (*Cluster, error) { return cluster.NewLocal(n, d) }
+
+// NewInprocTransport returns an in-process transport whose links follow
+// model (zero model = free links).
+func NewInprocTransport(model LinkModel) Transport { return transport.NewInproc(model) }
+
+// TCPTransport returns the real-socket transport.
+func TCPTransport() Transport { return transport.TCP{} }
+
+// NewFloat64Array allocates n float64s on machine m — the paper's
+// "new(machine m) double[n]".
+func NewFloat64Array(client *Client, m, n int) (*Float64Array, error) {
+	return rmem.NewFloat64Array(client, m, n)
+}
+
+// NewByteArray allocates n bytes on machine m.
+func NewByteArray(client *Client, m, n int) (*ByteArray, error) {
+	return rmem.NewByteArray(client, m, n)
+}
+
+// NewPage allocates an n-byte page.
+func NewPage(n int) *Page { return pagedev.NewPage(n) }
+
+// NewArrayPage allocates an n1×n2×n3 array page.
+func NewArrayPage(n1, n2, n3 int) *ArrayPage { return pagedev.NewArrayPage(n1, n2, n3) }
+
+// NewDevice creates a PageDevice process on machine m.
+func NewDevice(client *Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
+	return pagedev.NewDevice(client, m, name, numPages, pageSize, diskIndex)
+}
+
+// NewArrayDevice creates an ArrayPageDevice process on machine m.
+func NewArrayDevice(client *Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
+	return pagedev.NewArrayDevice(client, m, name, numPages, n1, n2, n3, diskIndex)
+}
+
+// NewArrayDeviceFromProcess wraps an existing PageDevice process in a new
+// ArrayPageDevice process (§5 construct-from-process).
+func NewArrayDeviceFromProcess(client *Client, m int, src Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
+	return pagedev.NewArrayDeviceFromProcess(client, m, src, numPages, n1, n2, n3)
+}
+
+// AttachDevice wraps an existing remote pointer in a Device stub.
+func AttachDevice(client *Client, ref Ref) *Device { return pagedev.AttachDevice(client, ref) }
+
+// AttachArrayDevice wraps an existing remote pointer in an ArrayDevice
+// stub.
+func AttachArrayDevice(client *Client, ref Ref, n1, n2, n3 int) *ArrayDevice {
+	return pagedev.AttachArrayDevice(client, ref, n1, n2, n3)
+}
+
+// NewDomain builds the box [l1,h1) × [l2,h2) × [l3,h3).
+func NewDomain(l1, h1, l2, h2, l3, h3 int) Domain { return core.NewDomain(l1, h1, l2, h2, l3, h3) }
+
+// Box is the full domain [0,n1) × [0,n2) × [0,n3).
+func Box(n1, n2, n3 int) Domain { return core.Box(n1, n2, n3) }
+
+// NewPageMap builds a layout by name: "roundrobin", "blocked", "striped",
+// "hash".
+func NewPageMap(name string, p1, p2, p3, devices int) (PageMap, error) {
+	return core.NewPageMap(name, p1, p2, p3, devices)
+}
+
+// PageMapNames lists the available layouts.
+func PageMapNames() []string { return core.PageMapNames() }
+
+// NewBlockStorage wraps existing device stubs.
+func NewBlockStorage(devices []*ArrayDevice) *BlockStorage { return core.NewBlockStorage(devices) }
+
+// CreateBlockStorage constructs one ArrayPageDevice process per machine.
+func CreateBlockStorage(client *Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
+	return core.CreateBlockStorage(client, machines, name, pagesPerDevice, n1, n2, n3, diskIndex)
+}
+
+// NewArray validates geometry and returns a distributed array client.
+func NewArray(storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
+	return core.NewArray(storage, pm, N1, N2, N3, n1, n2, n3)
+}
+
+// PublishArray registers arr as a collection of persistent processes
+// under the symbolic address base (§5: large data objects as collections
+// of persistent processes).
+func PublishArray(mgr *Manager, client *Client, metaMachine int, base Address, arr *Array) error {
+	return core.PublishArray(mgr, client, metaMachine, base, arr)
+}
+
+// OpenArray reassembles a published array from its symbolic address,
+// transparently reactivating passivated member processes.
+func OpenArray(mgr *Manager, client *Client, base Address) (*Array, error) {
+	return core.OpenArray(mgr, client, base)
+}
+
+// DeactivateArray passivates every member process of a published array.
+func DeactivateArray(mgr *Manager, base Address, devices int) error {
+	return core.DeactivateArray(mgr, base, devices)
+}
+
+// DestroyArray removes a published collection: processes, state, bindings.
+func DestroyArray(mgr *Manager, base Address, devices int) error {
+	return core.DestroyArray(mgr, base, devices)
+}
+
+// SpawnGroup constructs one object of class on each machine, in parallel.
+func SpawnGroup(client *Client, machines []int, class string, args func(i int, e *Encoder) error) (*Group, error) {
+	return rmi.SpawnGroup(client, machines, class, args)
+}
+
+// NewGroup wraps refs into a group.
+func NewGroup(client *Client, refs []Ref) *Group { return rmi.NewGroup(client, refs) }
+
+// WaitAll waits for every future and returns the first error.
+func WaitAll(futs []*Future) error { return rmi.WaitAll(futs) }
+
+// NewPFFT spawns FFT worker processes (deep-copy SetGroup) for an
+// n1×n2×n3 transform.
+func NewPFFT(client *Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
+	return pfft.New(client, machines, n1, n2, n3)
+}
+
+// FFT3DLocal runs the sequential local 3D FFT (the correctness
+// reference). sign=-1 forward, +1 normalized inverse.
+func FFT3DLocal(x []complex128, n1, n2, n3, sign int) error {
+	return fft.FFT3D(x, n1, n2, n3, sign)
+}
+
+// ParseAddress parses "oop://namespace/path".
+func ParseAddress(s string) (Address, error) { return persist.ParseAddress(s) }
+
+// MustParseAddress is ParseAddress that panics on error.
+func MustParseAddress(s string) Address { return persist.MustParseAddress(s) }
+
+// NewNameService creates the address directory process on machine m.
+func NewNameService(client *Client, m int) (*NameService, error) {
+	return persist.NewNameService(client, m)
+}
+
+// NewStore creates a passivation store process on machine m.
+func NewStore(client *Client, m int) (*Store, error) { return persist.NewStore(client, m) }
+
+// NewManager creates a name service plus per-machine stores.
+func NewManager(client *Client, nsMachine int, storeMachines []int) (*Manager, error) {
+	return persist.NewManager(client, nsMachine, storeMachines)
+}
