@@ -58,7 +58,7 @@ func machines(n int) []int {
 func BenchmarkE1_RMILatency(b *testing.B) {
 	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
 	client := cl.Client()
-	ref, err := client.New(1, exp.ClassEcho, nil)
+	ref, err := client.New(bg, 1, exp.ClassEcho, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func BenchmarkE1_RMILatency(b *testing.B) {
 		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
 			b.SetBytes(int64(size))
 			for i := 0; i < b.N; i++ {
-				if _, err := client.Call(ref, "echo", func(e *wire.Encoder) error {
+				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
 					e.PutBytes(payload)
 					return nil
 				}); err != nil {
@@ -118,13 +118,13 @@ func BenchmarkE1_MPBaseline(b *testing.B) {
 func BenchmarkE2_ElementVsBulk(b *testing.B) {
 	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
 	const n = 64 << 10
-	arr, err := rmem.NewFloat64Array(cl.Client(), 1, n)
+	arr, err := rmem.NewFloat64Array(bg, cl.Client(), 1, n)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("element", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := arr.Get(i % n); err != nil {
+			if _, err := arr.Get(bg, i%n); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -133,7 +133,7 @@ func BenchmarkE2_ElementVsBulk(b *testing.B) {
 		b.Run(fmt.Sprintf("bulk=%d", bs), func(b *testing.B) {
 			b.SetBytes(int64(8 * bs))
 			for i := 0; i < b.N; i++ {
-				if _, err := arr.GetRange(0, bs); err != nil {
+				if _, err := arr.GetRange(bg, 0, bs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -152,18 +152,18 @@ func BenchmarkE3_SplitLoop(b *testing.B) {
 	devs := make([]*pagedev.Device, n)
 	var err error
 	for i := range devs {
-		devs[i], err = pagedev.NewDevice(client, i, "d", 2, pageBytes, 0)
+		devs[i], err = pagedev.NewDevice(bg, client, i, "d", 2, pageBytes, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := devs[i].Write(0, make([]byte, pageBytes)); err != nil {
+		if err := devs[i].Write(bg, 0, make([]byte, pageBytes)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, d := range devs {
-				if _, err := d.Read(0); err != nil {
+				if _, err := d.Read(bg, 0); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -173,9 +173,9 @@ func BenchmarkE3_SplitLoop(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			futs := make([]*rmi.Future, n)
 			for j, d := range devs {
-				futs[j] = d.ReadAsync(0)
+				futs[j] = d.ReadAsync(bg, 0)
 			}
-			if err := rmi.WaitAll(futs); err != nil {
+			if err := rmi.WaitAll(bg, futs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -188,18 +188,18 @@ func BenchmarkE4_MoveDataVsCompute(b *testing.B) {
 		transport.NewInproc(transport.LinkModel{Latency: 50 * time.Microsecond, Bandwidth: 200e6}),
 		1, disk.Model{Seek: 100 * time.Microsecond, ReadBandwidth: 1e9, WriteBandwidth: 1e9})
 	const elems = 16384
-	dev, err := pagedev.NewArrayDevice(cl.Client(), 1, "e4", 2, elems, 1, 1, 0)
+	dev, err := pagedev.NewArrayDevice(bg, cl.Client(), 1, "e4", 2, elems, 1, 1, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := dev.FillPage(0, 0.5); err != nil {
+	if err := dev.FillPage(bg, 0, 0.5); err != nil {
 		b.Fatal(err)
 	}
 	page := pagedev.NewArrayPage(elems, 1, 1)
 	b.Run("move-data", func(b *testing.B) {
 		b.SetBytes(elems * 8)
 		for i := 0; i < b.N; i++ {
-			if err := dev.ReadPage(page, 0); err != nil {
+			if err := dev.ReadPage(bg, page, 0); err != nil {
 				b.Fatal(err)
 			}
 			_ = page.Sum()
@@ -208,7 +208,7 @@ func BenchmarkE4_MoveDataVsCompute(b *testing.B) {
 	b.Run("move-compute", func(b *testing.B) {
 		b.SetBytes(elems * 8)
 		for i := 0; i < b.N; i++ {
-			if _, err := dev.Sum(0); err != nil {
+			if _, err := dev.Sum(bg, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -222,17 +222,17 @@ func BenchmarkE5_ParallelFFT(b *testing.B) {
 	for _, p := range []int{1, 2} {
 		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
 			cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
-			f, err := pfft.New(cl.Client(), machines(p), n, n, n)
+			f, err := pfft.New(bg, cl.Client(), machines(p), n, n, n)
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer f.Close()
-			if err := f.Load(x); err != nil {
+			defer f.Close(bg)
+			if err := f.Load(bg, x); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := f.Transform(-1); err != nil {
+				if err := f.Transform(bg, -1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -248,21 +248,21 @@ func BenchmarkE6_FFTvsMP(b *testing.B) {
 
 	b.Run("oo-process", func(b *testing.B) {
 		cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
-		f, err := pfft.New(cl.Client(), machines(p), n, n, n)
+		f, err := pfft.New(bg, cl.Client(), machines(p), n, n, n)
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer f.Close()
+		defer f.Close(bg)
 		z := make([]complex128, len(x))
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := f.Load(x); err != nil {
+			if err := f.Load(bg, x); err != nil {
 				b.Fatal(err)
 			}
-			if err := f.Transform(-1); err != nil {
+			if err := f.Transform(bg, -1); err != nil {
 				b.Fatal(err)
 			}
-			if err := f.Gather(z); err != nil {
+			if err := f.Gather(bg, z); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -297,21 +297,21 @@ func BenchmarkE7_PageMapLayouts(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			storage, err := core.CreateBlockStorage(cl.Client(), machines(devices), "e7", pm.PagesPerDevice(), n, n, n, 0)
+			storage, err := core.CreateBlockStorage(bg, cl.Client(), machines(devices), "e7", pm.PagesPerDevice(), n, n, n, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer storage.Close()
-			arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+			defer storage.Close(bg)
+			arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := arr.Fill(arr.Bounds(), 1); err != nil {
+			if err := arr.Fill(bg, arr.Bounds(), 1); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := arr.Sum(slab); err != nil {
+				if _, err := arr.Sum(bg, slab); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -330,16 +330,16 @@ func BenchmarkE8_MultiClient(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	storage, err := core.CreateBlockStorage(cl.Client(), machines(devices), "e8", pm.PagesPerDevice(), n, n, n, 0)
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), machines(devices), "e8", pm.PagesPerDevice(), n, n, n, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer storage.Close()
-	arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+	defer storage.Close(bg)
+	arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := arr.Fill(arr.Bounds(), 1); err != nil {
+	if err := arr.Fill(bg, arr.Bounds(), 1); err != nil {
 		b.Fatal(err)
 	}
 	arr.SetPipeline(false)
@@ -353,7 +353,7 @@ func BenchmarkE8_MultiClient(b *testing.B) {
 					wg.Add(1)
 					go func(dom core.Domain) {
 						defer wg.Done()
-						_, err := arr.Sum(dom)
+						_, err := arr.Sum(bg, dom)
 						errCh <- err
 					}(dom)
 				}
@@ -380,14 +380,14 @@ func BenchmarkE9_Barrier(b *testing.B) {
 			for i := range ms {
 				ms[i] = i % hosts
 			}
-			g, err := rmi.SpawnGroup(client, ms, exp.ClassEcho, nil)
+			g, err := rmi.SpawnGroup(bg, client, ms, exp.ClassEcho, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			defer g.Delete()
+			defer g.Delete(bg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := g.Barrier(); err != nil {
+				if err := g.Barrier(bg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -399,7 +399,7 @@ func BenchmarkE9_Barrier(b *testing.B) {
 func BenchmarkE10_Persistence(b *testing.B) {
 	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
 	client := cl.Client()
-	st, err := oopp.NewStore(client, 1)
+	st, err := oopp.NewStore(bg, client, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -414,24 +414,24 @@ func BenchmarkE10_Persistence(b *testing.B) {
 		b.Run(cfgCase.label, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				dev, err := pagedev.NewDevice(client, 1, "bench", cfgCase.pages, cfgCase.pageSize, pagedev.DiskPrivate)
+				dev, err := pagedev.NewDevice(bg, client, 1, "bench", cfgCase.pages, cfgCase.pageSize, pagedev.DiskPrivate)
 				if err != nil {
 					b.Fatal(err)
 				}
 				name := fmt.Sprintf("oop://bench/e10/%d", i)
 				b.StartTimer()
-				if err := st.Passivate(dev.Ref(), name); err != nil {
+				if err := st.Passivate(bg, dev.Ref(), name); err != nil {
 					b.Fatal(err)
 				}
-				ref, err := st.Activate(name)
+				ref, err := st.Activate(bg, name)
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
-				if err := client.Delete(ref); err != nil {
+				if err := client.Delete(bg, ref); err != nil {
 					b.Fatal(err)
 				}
-				if err := st.Remove(name); err != nil {
+				if err := st.Remove(bg, name); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -452,22 +452,22 @@ func BenchmarkE11_DeepCopy(b *testing.B) {
 	}
 	b.Run("deep", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			f, err := pfft.New(client, ms, p, p, 1)
+			f, err := pfft.New(bg, client, ms, p, p, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := f.Close(); err != nil {
+			if err := f.Close(bg); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("shallow", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			f, err := pfft.NewShallow(client, ms, p, p, 1)
+			f, err := pfft.NewShallow(bg, client, ms, p, p, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := f.Close(); err != nil {
+			if err := f.Close(bg); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n := flag.Int("n", 64, "array extent per axis")
 	workers := flag.Int("workers", 4, "number of FFT worker processes")
 	transportName := flag.String("transport", "inproc", "inproc or tcp")
@@ -53,17 +55,17 @@ func main() {
 		x[i] = complex(float64(int64(s>>11))/float64(1<<52), 0)
 	}
 
-	f, err := oopp.NewPFFT(cl.Client(), machines, *n, *n, *n)
+	f, err := oopp.NewPFFT(ctx, cl.Client(), machines, *n, *n, *n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	defer f.Close(ctx)
 
-	if err := f.Load(x); err != nil {
+	if err := f.Load(ctx, x); err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	if err := f.Transform(-1); err != nil {
+	if err := f.Transform(ctx, -1); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -71,7 +73,7 @@ func main() {
 
 	if *verify {
 		got := make([]complex128, len(x))
-		if err := f.Gather(got); err != nil {
+		if err := f.Gather(ctx, got); err != nil {
 			log.Fatal(err)
 		}
 		want := append([]complex128(nil), x...)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -84,6 +85,7 @@ func runServer(machine int, addr string, peers []string, disks int, diskSize int
 }
 
 func runDemo(peers []string) {
+	ctx := context.Background()
 	if len(peers) < 2 {
 		log.Fatal("demo needs at least 2 peers")
 	}
@@ -91,14 +93,14 @@ func runDemo(peers []string) {
 	defer client.Close()
 
 	for i := range peers {
-		if err := client.Ping(i); err != nil {
+		if err := client.Ping(ctx, i); err != nil {
 			log.Fatalf("machine %d unreachable: %v", i, err)
 		}
 	}
 	fmt.Printf("all %d machines reachable\n", len(peers))
 
 	// The §2 quickstart against real remote processes.
-	dev, err := pagedev.NewDevice(client, 1, "pagefile", 10, 1024, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(ctx, client, 1, "pagefile", 10, 1024, pagedev.DiskPrivate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,10 +108,10 @@ func runDemo(peers []string) {
 	for i := range page {
 		page[i] = byte(i)
 	}
-	if err := dev.Write(7, page); err != nil {
+	if err := dev.Write(ctx, 7, page); err != nil {
 		log.Fatal(err)
 	}
-	back, err := dev.Read(7)
+	back, err := dev.Read(ctx, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,23 +122,23 @@ func runDemo(peers []string) {
 		}
 	}
 	fmt.Printf("page round trip through machine 1: identical=%v\n", ok)
-	if err := dev.Close(); err != nil {
+	if err := dev.Close(ctx); err != nil {
 		log.Fatal(err)
 	}
 
-	data, err := rmem.NewFloat64Array(client, 1, 1024)
+	data, err := rmem.NewFloat64Array(ctx, client, 1, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := data.Set(7, 3.1415); err != nil {
+	if err := data.Set(ctx, 7, 3.1415); err != nil {
 		log.Fatal(err)
 	}
-	v, err := data.Get(7)
+	v, err := data.Get(ctx, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("remote memory on machine 1: data[7] = %v\n", v)
-	if err := data.Free(); err != nil {
+	if err := data.Free(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("demo complete")

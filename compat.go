@@ -1,0 +1,63 @@
+package oopp
+
+import "context"
+
+// Thin deprecated shims preserving the pre-context facade signatures.
+// Each delegates to its context-aware replacement with a background
+// context — no deadline, no cancellation. New code should call the
+// ctx-first functions directly; these exist so programs written against
+// the stringly, context-free surface keep a one-line migration path.
+
+// NewFloat64ArrayNoCtx is the old NewFloat64Array signature.
+//
+// Deprecated: use NewFloat64Array with a context.
+func NewFloat64ArrayNoCtx(client *Client, m, n int) (*Float64Array, error) {
+	return NewFloat64Array(context.Background(), client, m, n)
+}
+
+// NewByteArrayNoCtx is the old NewByteArray signature.
+//
+// Deprecated: use NewByteArray with a context.
+func NewByteArrayNoCtx(client *Client, m, n int) (*ByteArray, error) {
+	return NewByteArray(context.Background(), client, m, n)
+}
+
+// NewDeviceNoCtx is the old NewDevice signature.
+//
+// Deprecated: use NewDevice with a context.
+func NewDeviceNoCtx(client *Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
+	return NewDevice(context.Background(), client, m, name, numPages, pageSize, diskIndex)
+}
+
+// NewArrayDeviceNoCtx is the old NewArrayDevice signature.
+//
+// Deprecated: use NewArrayDevice with a context.
+func NewArrayDeviceNoCtx(client *Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
+	return NewArrayDevice(context.Background(), client, m, name, numPages, n1, n2, n3, diskIndex)
+}
+
+// SpawnGroupNoCtx is the old SpawnGroup signature.
+//
+// Deprecated: use SpawnGroup with a context.
+func SpawnGroupNoCtx(client *Client, machines []int, class string, args func(i int, e *Encoder) error) (*Group, error) {
+	return SpawnGroup(context.Background(), client, machines, class, args)
+}
+
+// WaitAllNoCtx is the old WaitAll signature.
+//
+// Deprecated: use WaitAll with a context.
+func WaitAllNoCtx(futs []*Future) error { return WaitAll(context.Background(), futs) }
+
+// NewPFFTNoCtx is the old NewPFFT signature.
+//
+// Deprecated: use NewPFFT with a context.
+func NewPFFTNoCtx(client *Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
+	return NewPFFT(context.Background(), client, machines, n1, n2, n3)
+}
+
+// NewManagerNoCtx is the old NewManager signature.
+//
+// Deprecated: use NewManager with a context.
+func NewManagerNoCtx(client *Client, nsMachine int, storeMachines []int) (*Manager, error) {
+	return NewManager(context.Background(), client, nsMachine, storeMachines)
+}

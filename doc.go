@@ -8,19 +8,20 @@
 // communicate by executing remote methods. Constructing an object on a
 // remote machine spawns a process there and yields a remote pointer
 // (Ref); method calls through the pointer are client-server round trips
-// whose protocol is generated from the class description (here: a
-// registered method table plus a typed stub); deleting the pointer
-// terminates the process.
+// whose protocol is generated from the class description (here: a typed
+// registered method table plus generic invocation helpers); deleting the
+// pointer terminates the process.
 //
+//	ctx := context.Background()
 //	cl, _ := oopp.NewLocalCluster(4, 1)        // four machines, one disk each
 //	defer cl.Shutdown()
 //	client := cl.Client()                      // the program "runs on machine 0"
 //
 //	// PageDevice * store = new(machine 1) PageDevice("pagefile", 10, 1024);
-//	store, _ := oopp.NewDevice(client, 1, "pagefile", 10, 1024, oopp.DiskPrivate)
-//	_ = store.Write(7, page)                   // remote method execution
-//	data, _ := store.Read(7)
-//	_ = store.Close()                          // delete -> process terminates
+//	store, _ := oopp.NewDevice(ctx, client, 1, "pagefile", 10, 1024, oopp.DiskPrivate)
+//	_ = store.Write(ctx, 7, page)              // remote method execution
+//	data, _ := store.Read(ctx, 7)
+//	_ = store.Close(ctx)                       // delete -> process terminates
 //
 // Sequential semantics are the default: each remote instruction completes
 // before the next begins. Parallelism is recovered exactly the way the
@@ -28,8 +29,45 @@
 // asynchronously, then collect:
 //
 //	futs := make([]*oopp.Future, n)
-//	for i, d := range devices { futs[i] = d.ReadAsync(addr[i]) }  // send loop
-//	for _, f := range futs   { _, _ = f.Wait() }                  // receive loop
+//	for i, d := range devices { futs[i] = d.ReadAsync(ctx, addr[i]) }  // send loop
+//	for _, f := range futs   { _, _ = f.Wait(ctx) }                    // receive loop
+//
+// # The typed, context-aware surface
+//
+// User-defined classes register with the generic surface and are used
+// without string class names or manual decoding:
+//
+//	ref, _ := oopp.NewOn[Counter](ctx, client, m, 100)      // construction by type
+//	n, _ := oopp.Invoke[int](ctx, client, ref, "add", 23)   // decoded, type-checked result
+//	fut := oopp.InvokeAsync[int](ctx, client, ref, "get")   // §4 send half
+//	n, _ = fut.Wait(ctx)                                    // §4 receive half
+//
+// Every remote operation takes a context.Context — cancellation aborts
+// the in-flight call promptly — and accepts CallOptions: WithTimeout /
+// WithDeadline (a per-call deadline that travels with the future),
+// WithRetryDial (redial on dial failure; requests are never resent), and
+// WithLabel (a trace label woven into failure text).
+//
+// # Migrating from the pre-context API
+//
+// The old stringly surface maps onto the typed one mechanically:
+//
+//	old (deprecated)                          new
+//	----------------------------------------  ----------------------------------------------
+//	client.New(m, "pkg.Class", enc)           class.New(ctx, client, m, enc)  // typed handle
+//	client.NewArgs(m, "pkg.Class", a, b)      oopp.NewOn[T](ctx, client, m, a, b)
+//	client.Call(ref, "m", enc)                client.Call(ctx, ref, "m", enc, opts...)
+//	client.CallArgs(ref, "m", a)              oopp.Invoke[R](ctx, client, ref, "m", a)
+//	client.CallAsync(ref, "m", enc)           client.CallAsync(ctx, ref, "m", enc, opts...)
+//	fut.Wait() / fut.Err()                    fut.Wait(ctx) / fut.Err(ctx)
+//	oopp.WaitAll(futs)                        oopp.WaitAll(ctx, futs)
+//	oopp.NewDevice(client, ...)               oopp.NewDevice(ctx, client, ...)
+//	oopp.SpawnGroup(client, ms, "cls", f)     class.SpawnGroup(ctx, client, ms, f)
+//	rmi.Register(name, ctor) + obj.(*T)       rmi.RegisterClass(name, typedCtor)  // no asserts
+//
+// Thin deprecated shims with the old context-free signatures remain under
+// *NoCtx names (NewDeviceNoCtx, WaitAllNoCtx, ...); they pass
+// context.Background() and exist only to stage migrations.
 //
 // # Layers
 //
@@ -37,8 +75,9 @@
 //
 //   - Cluster, Machine: the simulated multicomputer (in-process transport
 //     with an optional latency/bandwidth link model, or real TCP).
-//   - Client, Ref, Future, Group: the RMI runtime — remote new, remote
-//     method execution, futures, object groups with barriers.
+//   - Client, Ref, Future, TypedFuture, Group, CallOption: the RMI
+//     runtime — remote new, remote method execution, typed futures,
+//     object groups with barriers, per-call policy.
 //   - Float64Array, ByteArray: remote plain memory
 //     ("new(machine 2) double[1024]").
 //   - Device, ArrayDevice, Page, ArrayPage: the storage process hierarchy

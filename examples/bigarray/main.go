@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,6 +23,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := oopp.NewCluster(oopp.ClusterConfig{
 		Machines:        devices,
 		DisksPerMachine: 1,
@@ -43,17 +45,17 @@ func main() {
 		}
 		// BlockStorage: one ArrayPageDevice process per machine, each on
 		// its own disk.
-		storage, err := oopp.CreateBlockStorage(client, machines, "bigarray", pm.PagesPerDevice(), n, n, n, 0)
+		storage, err := oopp.CreateBlockStorage(ctx, client, machines, "bigarray", pm.PagesPerDevice(), n, n, n, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		arr, err := oopp.NewArray(storage, pm, N, N, N, n, n, n)
+		arr, err := oopp.NewArray(ctx, storage, pm, N, N, N, n, n, n)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		full := oopp.Box(N, N, N)
-		if err := arr.Fill(full, 1); err != nil {
+		if err := arr.Fill(ctx, full, 1); err != nil {
 			log.Fatal(err)
 		}
 		// A subdomain write through the read-modify-write path.
@@ -62,7 +64,7 @@ func main() {
 		for i := range sub {
 			sub[i] = 2
 		}
-		if err := arr.Write(sub, hot); err != nil {
+		if err := arr.Write(ctx, sub, hot); err != nil {
 			log.Fatal(err)
 		}
 
@@ -73,7 +75,7 @@ func main() {
 			opsBefore[i], _ = cl.Machine(i).Disks()[0].Ops()
 		}
 		start := time.Now()
-		total, err := arr.Sum(full)
+		total, err := arr.Sum(ctx, full)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,13 +95,13 @@ func main() {
 		dev := storage.Device(0)
 		page := oopp.NewArrayPage(n, n, n)
 		start = time.Now()
-		if err := dev.ReadPage(page, 0); err != nil {
+		if err := dev.ReadPage(ctx, page, 0); err != nil {
 			log.Fatal(err)
 		}
 		localSum := page.Sum()
 		moveData := time.Since(start)
 		start = time.Now()
-		remoteSum, err := dev.Sum(0)
+		remoteSum, err := dev.Sum(ctx, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func main() {
 			layout, moveData, moveCompute, localSum)
 		_ = remoteSum
 
-		if err := storage.Close(); err != nil {
+		if err := storage.Close(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := oopp.NewLocalCluster(devices, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -33,22 +35,22 @@ func main() {
 	client := cl.Client()
 
 	// Runtime: name service on machine 0, a store on every machine.
-	mgr, err := oopp.NewManager(client, 0, []int{0, 1, 2})
+	mgr, err := oopp.NewManager(ctx, client, 0, []int{0, 1, 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(ctx)
 
 	// ---- Phase 1: the producer builds and publishes the data set.
 	pm, err := oopp.NewPageMap("roundrobin", N/n, N/n, N/n, devices)
 	if err != nil {
 		log.Fatal(err)
 	}
-	storage, err := oopp.CreateBlockStorage(client, []int{0, 1, 2}, "dataset", pm.PagesPerDevice(), n, n, n, oopp.DiskPrivate)
+	storage, err := oopp.CreateBlockStorage(ctx, client, []int{0, 1, 2}, "dataset", pm.PagesPerDevice(), n, n, n, oopp.DiskPrivate)
 	if err != nil {
 		log.Fatal(err)
 	}
-	arr, err := oopp.NewArray(storage, pm, N, N, N, n, n, n)
+	arr, err := oopp.NewArray(ctx, storage, pm, N, N, N, n, n, n)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,34 +59,34 @@ func main() {
 	for i := range src {
 		src[i] = float64(i % 17)
 	}
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(ctx, src, full); err != nil {
 		log.Fatal(err)
 	}
-	want, err := arr.Sum(full)
+	want, err := arr.Sum(ctx, full)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	base := oopp.MustParseAddress("oop://data/set/climate-run-42")
-	if err := oopp.PublishArray(mgr, client, 0, base, arr); err != nil {
+	if err := oopp.PublishArray(ctx, mgr, client, 0, base, arr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("published %dx%dx%d array as %v (+%d device processes)\n", N, N, N, base, devices)
 
 	// ---- Phase 2: the collection goes cold.
-	if err := oopp.DeactivateArray(mgr, base, devices); err != nil {
+	if err := oopp.DeactivateArray(ctx, mgr, base, devices); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := arr.Sum(full); err != nil {
+	if _, err := arr.Sum(ctx, full); err != nil {
 		fmt.Println("collection deactivated: all member processes terminated")
 	}
 
 	// ---- Phase 3: a consumer that holds only the address.
-	reopened, err := oopp.OpenArray(mgr, client, base)
+	reopened, err := oopp.OpenArray(ctx, mgr, client, base)
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err := reopened.Sum(full)
+	got, err := reopened.Sum(ctx, full)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,17 +94,17 @@ func main() {
 		reopened.Map().Name(), got, want)
 
 	// Compute in place on the reopened data: norm via device-side dots.
-	norm, err := reopened.Norm2(full)
+	norm, err := reopened.Norm2(ctx, full)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("||a||2 computed at the data: %.3f\n", norm)
 
 	// Persistent processes die only by explicit destructor (§5).
-	if err := oopp.DestroyArray(mgr, base, devices); err != nil {
+	if err := oopp.DestroyArray(ctx, mgr, base, devices); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := oopp.OpenArray(mgr, client, base); err != nil {
+	if _, err := oopp.OpenArray(ctx, mgr, client, base); err != nil {
 		fmt.Println("destroyed: the address is gone for good")
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	nFlag := flag.Int("n", 32, "array extent per axis (power of two)")
 	workers := flag.Int("workers", 4, "number of FFT worker processes")
 	flag.Parse()
@@ -56,27 +58,27 @@ func main() {
 	localTime := time.Since(start)
 
 	// fft[id] = new(machine id) FFT(id);  fft[id]->SetGroup(N, fft);
-	f, err := oopp.NewPFFT(client, machines, n, n, n)
+	f, err := oopp.NewPFFT(ctx, client, machines, n, n, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	defer f.Close(ctx)
 
-	if err := f.Load(x); err != nil {
+	if err := f.Load(ctx, x); err != nil {
 		log.Fatal(err)
 	}
 	start = time.Now()
 	// for id: fft[id]->transform(sign, a);
-	if err := f.Transform(-1); err != nil {
+	if err := f.Transform(ctx, -1); err != nil {
 		log.Fatal(err)
 	}
-	if err := f.Barrier(); err != nil { // fft->barrier();
+	if err := f.Barrier(ctx); err != nil { // fft->barrier();
 		log.Fatal(err)
 	}
 	distTime := time.Since(start)
 
 	got := make([]complex128, len(x))
-	if err := f.Gather(got); err != nil {
+	if err := f.Gather(ctx, got); err != nil {
 		log.Fatal(err)
 	}
 
@@ -91,10 +93,10 @@ func main() {
 	fmt.Printf("max relative error  : %.2e\n", maxErr/ref)
 
 	// Inverse round trip through the same worker group.
-	if err := f.Transform(+1); err != nil {
+	if err := f.Transform(ctx, +1); err != nil {
 		log.Fatal(err)
 	}
-	if err := f.Gather(got); err != nil {
+	if err := f.Gather(ctx, got); err != nil {
 		log.Fatal(err)
 	}
 	maxErr = 0

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	nFlag := flag.Int("n", 32, "grid extent per axis (multiple of 8)")
 	iters := flag.Int("iters", 50, "Jacobi sweeps")
 	clients := flag.Int("clients", 4, "parallel Array clients")
@@ -43,11 +45,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		storage, err := oopp.CreateBlockStorage(client, machines, name, pm.PagesPerDevice(), page, page, page, oopp.DiskPrivate)
+		storage, err := oopp.CreateBlockStorage(ctx, client, machines, name, pm.PagesPerDevice(), page, page, page, oopp.DiskPrivate)
 		if err != nil {
 			log.Fatal(err)
 		}
-		arr, err := oopp.NewArray(storage, pm, N, N, N, page, page, page)
+		arr, err := oopp.NewArray(ctx, storage, pm, N, N, N, page, page, page)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +60,7 @@ func main() {
 
 	// Boundary condition: face i=0 at 100°, everything else 0°.
 	full := oopp.Box(N, N, N)
-	if err := u.Fill(full, 0); err != nil {
+	if err := u.Fill(ctx, full, 0); err != nil {
 		log.Fatal(err)
 	}
 	hot := oopp.NewDomain(0, 1, 0, N, 0, N)
@@ -66,7 +68,7 @@ func main() {
 	for i := range face {
 		face[i] = 100
 	}
-	if err := u.Write(face, hot); err != nil {
+	if err := u.Write(ctx, face, hot); err != nil {
 		log.Fatal(err)
 	}
 
@@ -74,11 +76,11 @@ func main() {
 	const batch = 10
 	for done := 0; done < *iters; done += batch {
 		steps := min(batch, *iters-done)
-		res, err := core.Jacobi(u, scratch, steps, *clients)
+		res, err := core.Jacobi(ctx, u, scratch, steps, *clients)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mean, err := u.Sum(full)
+		mean, err := u.Sum(ctx, full)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,7 +93,7 @@ func main() {
 	for _, i := range []int{0, N / 8, N / 4, N / 2, N - 1} {
 		probe := oopp.NewDomain(i, i+1, N/2, N/2+1, N/2, N/2+1)
 		v := make([]float64, 1)
-		if err := u.Read(v, probe); err != nil {
+		if err := u.Read(ctx, v, probe); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  u[%2d, mid, mid] = %7.3f°\n", i, v[0])

@@ -5,61 +5,71 @@
 // word counts it collects.
 //
 // The mapper class is defined and registered here, in the example — the
-// framework needs nothing built in for new process types.
+// framework needs nothing built in for new process types. Registration
+// uses the typed Class[T] surface: method bodies receive *wordMapper
+// directly, construction goes through the class handle, and the per-
+// mapper shard count comes back through a typed Invoke — no string class
+// names and no hand-rolled assertions at any call site.
 //
 //	go run ./examples/mapreduce
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 	"strings"
 
 	"oopp"
-	"oopp/internal/rmi"
-	"oopp/internal/wire"
 )
 
 // wordMapper is the server-side process: it counts words in the shards it
 // is given and hands back its local table on demand.
 type wordMapper struct {
 	counts map[string]int
+	shards int
 }
 
-func init() {
-	rmi.Register("example.WordMapper", func(env *rmi.Env, args *wire.Decoder) (any, error) {
+// mapperClass is the typed handle — the "compiler output" for the class
+// declaration. Everything the master does below goes through it or
+// through the typed invocation helpers.
+var mapperClass = oopp.RegisterClass("example.WordMapper",
+	func(env *oopp.Env, args *oopp.Decoder) (*wordMapper, error) {
 		return &wordMapper{counts: make(map[string]int)}, nil
 	}).
-		Method("mapShard", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			m := obj.(*wordMapper)
-			text := args.String()
-			if err := args.Err(); err != nil {
-				return err
+	Method("mapShard", func(m *wordMapper, env *oopp.Env, args *oopp.Decoder, reply *oopp.Encoder) error {
+		text := args.String()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		for _, w := range strings.Fields(text) {
+			w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
+			if w != "" {
+				m.counts[w]++
 			}
-			for _, w := range strings.Fields(text) {
-				w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
-				if w != "" {
-					m.counts[w]++
-				}
-			}
-			return nil
-		}).
-		Method("emit", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			m := obj.(*wordMapper)
-			words := make([]string, 0, len(m.counts))
-			for w := range m.counts {
-				words = append(words, w)
-			}
-			sort.Strings(words)
-			reply.PutUvarint(uint64(len(words)))
-			for _, w := range words {
-				reply.PutString(w)
-				reply.PutInt(m.counts[w])
-			}
-			return nil
-		})
-}
+		}
+		m.shards++
+		return nil
+	}).
+	// shards replies in the tagged encoding so the master can read it
+	// with a typed Invoke[int].
+	Method("shards", func(m *wordMapper, env *oopp.Env, args *oopp.Decoder, reply *oopp.Encoder) error {
+		return reply.PutAny(m.shards)
+	}).
+	Method("emit", func(m *wordMapper, env *oopp.Env, args *oopp.Decoder, reply *oopp.Encoder) error {
+		words := make([]string, 0, len(m.counts))
+		for w := range m.counts {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		reply.PutUvarint(uint64(len(words)))
+		for _, w := range words {
+			reply.PutString(w)
+			reply.PutInt(m.counts[w])
+		}
+		return nil
+	})
 
 var corpus = strings.Repeat(
 	"objects are processes and processes are objects "+
@@ -67,6 +77,7 @@ var corpus = strings.Repeat(
 		"processes communicate by executing remote methods ", 64)
 
 func main() {
+	ctx := context.Background()
 	const mappers = 4
 	cl, err := oopp.NewLocalCluster(mappers, 0)
 	if err != nil {
@@ -75,16 +86,16 @@ func main() {
 	defer cl.Shutdown()
 	client := cl.Client()
 
-	// Spawn one mapper process per machine.
+	// Spawn one mapper process per machine, through the typed handle.
 	machines := make([]int, mappers)
 	for i := range machines {
 		machines[i] = i
 	}
-	group, err := oopp.SpawnGroup(client, machines, "example.WordMapper", nil)
+	group, err := mapperClass.SpawnGroup(ctx, client, machines, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer group.Delete()
+	defer group.Delete(ctx)
 
 	// Shard the corpus and scatter shards round-robin with async remote
 	// calls — the map phase.
@@ -95,18 +106,28 @@ func main() {
 		lo := i * shardSize
 		hi := min(len(words), lo+shardSize)
 		shard := strings.Join(words[lo:hi], " ")
-		futs = append(futs, client.CallAsync(group.Member(i), "mapShard", func(e *oopp.Encoder) error {
+		futs = append(futs, client.CallAsync(ctx, group.Member(i), "mapShard", func(e *oopp.Encoder) error {
 			e.PutString(shard)
 			return nil
 		}))
 	}
-	if err := oopp.WaitAll(futs); err != nil {
+	if err := oopp.WaitAll(ctx, futs); err != nil {
 		log.Fatal(err)
+	}
+
+	// Typed invocation: each mapper reports how many shards it processed,
+	// decoded straight into an int.
+	for i := 0; i < mappers; i++ {
+		n, err := oopp.Invoke[int](ctx, client, group.Member(i), "shards")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mapper %d processed %d shard(s)\n", i, n)
 	}
 
 	// Reduce: collect every mapper's table and merge.
 	total := make(map[string]int)
-	if err := group.CallParallelResults("emit", nil, func(i int, d *oopp.Decoder) error {
+	if err := group.CallParallelResults(ctx, "emit", nil, func(i int, d *oopp.Decoder) error {
 		n := d.Uvarint()
 		for j := uint64(0); j < n; j++ {
 			w := d.String()

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	devices := flag.Int("devices", 8, "number of storage devices (machines)")
 	pageBytes := flag.Int("pagesize", 32*1024, "page size in bytes")
 	flag.Parse()
@@ -44,14 +46,14 @@ func main() {
 	n3 := *pageBytes / 8
 	devs := make([]*oopp.Device, *devices)
 	for i := range devs {
-		devs[i], err = oopp.NewDevice(client, i, "array_blocks", 4, *pageBytes, 0)
+		devs[i], err = oopp.NewDevice(ctx, client, i, "array_blocks", 4, *pageBytes, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	page := make([]byte, *pageBytes)
 	for _, d := range devs {
-		if err := d.Write(0, page); err != nil {
+		if err := d.Write(ctx, 0, page); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -60,7 +62,7 @@ func main() {
 	// Sequential loop: each read completes before the next begins (§2).
 	start := time.Now()
 	for i, d := range devs {
-		if _, err := d.Read(0); err != nil {
+		if _, err := d.Read(ctx, 0); err != nil {
 			log.Fatalf("device %d: %v", i, err)
 		}
 	}
@@ -70,9 +72,9 @@ func main() {
 	start = time.Now()
 	futs := make([]*oopp.Future, len(devs))
 	for i, d := range devs {
-		futs[i] = d.ReadAsync(0)
+		futs[i] = d.ReadAsync(ctx, 0)
 	}
-	if err := oopp.WaitAll(futs); err != nil {
+	if err := oopp.WaitAll(ctx, futs); err != nil {
 		log.Fatal(err)
 	}
 	par := time.Since(start)

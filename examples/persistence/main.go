@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cl, err := oopp.NewLocalCluster(3, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -23,45 +25,45 @@ func main() {
 
 	// Runtime pieces: a name service on machine 0, a passivation store on
 	// every machine.
-	mgr, err := oopp.NewManager(client, 0, []int{0, 1, 2})
+	mgr, err := oopp.NewManager(ctx, client, 0, []int{0, 1, 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(ctx)
 
 	// A PageDevice process on machine 1 holding real data.
 	const n1, n2, n3 = 8, 8, 4
-	dev, err := oopp.NewArrayDevice(client, 1, "dataset", 4, n1, n2, n3, oopp.DiskPrivate)
+	dev, err := oopp.NewArrayDevice(ctx, client, 1, "dataset", 4, n1, n2, n3, oopp.DiskPrivate)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dev.FillPage(2, 1.25); err != nil {
+	if err := dev.FillPage(ctx, 2, 1.25); err != nil {
 		log.Fatal(err)
 	}
 
 	// PageDevice * page_device = "oop://data/set/PageDevice/34";
 	addr := oopp.MustParseAddress("oop://data/set/PageDevice/34")
-	if err := mgr.Bind(addr, dev.Ref()); err != nil {
+	if err := mgr.Bind(ctx, addr, dev.Ref()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bound %v to %v\n", addr, dev.Ref())
 
 	// Deactivate: the runtime stores the process representation and
 	// terminates the process.
-	if err := mgr.Deactivate(addr); err != nil {
+	if err := mgr.Deactivate(ctx, addr); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := dev.Sum(2); err != nil {
+	if _, err := dev.Sum(ctx, 2); err != nil {
 		fmt.Printf("after deactivation the process is gone: remote call fails\n")
 	}
 
 	// A later resolve reactivates it, state intact.
-	ref, err := mgr.Resolve(addr)
+	ref, err := mgr.Resolve(ctx, addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	revived := oopp.AttachArrayDevice(client, ref, n1, n2, n3)
-	sum, err := revived.Sum(2)
+	sum, err := revived.Sum(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,24 +72,24 @@ func main() {
 	// §5 inheritance + persistence: construct a new process from the
 	// existing one. The wrapper lives on machine 2 and delegates its
 	// storage I/O to the original process on machine 1.
-	wrapper, err := oopp.NewArrayDeviceFromProcess(client, 2, ref, 4, n1, n2, n3)
+	wrapper, err := oopp.NewArrayDeviceFromProcess(ctx, client, 2, ref, 4, n1, n2, n3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	wsum, err := wrapper.Sum(2)
+	wsum, err := wrapper.Sum(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrapper process on machine 2 sees the same data: sum = %v\n", wsum)
-	if err := wrapper.Close(); err != nil {
+	if err := wrapper.Close(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// Persistent processes are destroyed only by explicit destructor call.
-	if err := mgr.Destroy(addr); err != nil {
+	if err := mgr.Destroy(ctx, addr); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := mgr.Resolve(addr); err != nil {
+	if _, err := mgr.Resolve(ctx, addr); err != nil {
 		fmt.Printf("after destroy the address is unbound: %v\n", err)
 	}
 }

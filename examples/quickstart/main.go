@@ -1,22 +1,70 @@
-// Quickstart: the paper's §2 worked examples, line for line.
+// Quickstart: the paper's §2 worked examples, line for line, on the
+// typed, context-aware RMI surface.
 //
 //	go run ./examples/quickstart
 //
 // It brings up a three-machine cluster in-process, creates a PageDevice
 // process on machine 1, stores and fetches a page through its remote
 // pointer, allocates remote plain memory on machine 2
-// ("new(machine 2) double[1024]"), and finally deletes both processes.
+// ("new(machine 2) double[1024]"), defines and uses a typed Counter class
+// (construction by type, invocation with decoded results, a per-call
+// deadline), and finally deletes the processes.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"oopp"
 )
 
+// counter is a user-defined remote class: the §2 "objects are processes"
+// in its smallest form. It is declared with the typed registration
+// surface; construction below goes through the type itself
+// (NewOn[counter]), so no string class name appears at any call site.
+type counter struct{ n int }
+
+var _ = oopp.RegisterClass("example.Counter",
+	func(env *oopp.Env, args *oopp.Decoder) (*counter, error) {
+		vals, err := args.Anys()
+		if err != nil {
+			return nil, err
+		}
+		c := &counter{}
+		if len(vals) == 1 {
+			n, ok := vals[0].(int)
+			if !ok {
+				return nil, fmt.Errorf("Counter wants an int start, got %T", vals[0])
+			}
+			c.n = n
+		}
+		return c, nil
+	}).
+	Method("add", func(c *counter, env *oopp.Env, args *oopp.Decoder, reply *oopp.Encoder) error {
+		vals, err := args.Anys()
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 {
+			return fmt.Errorf("add wants 1 arg, got %d", len(vals))
+		}
+		d, ok := vals[0].(int)
+		if !ok {
+			return fmt.Errorf("add wants an int, got %T", vals[0])
+		}
+		c.n += d
+		return reply.PutAny(c.n)
+	}).
+	Method("get", func(c *counter, env *oopp.Env, args *oopp.Decoder, reply *oopp.Encoder) error {
+		return reply.PutAny(c.n)
+	})
+
 func main() {
+	ctx := context.Background()
+
 	// "Consider now the situation where multiple computers machine 0,
 	// machine 1, machine 2, etc. are available..."
 	cl, err := oopp.NewLocalCluster(3, 0)
@@ -32,7 +80,7 @@ func main() {
 		numberOfPages = 10
 		pageSize      = 1024
 	)
-	pageStore, err := oopp.NewDevice(client, 1, "pagefile", numberOfPages, pageSize, oopp.DiskPrivate)
+	pageStore, err := oopp.NewDevice(ctx, client, 1, "pagefile", numberOfPages, pageSize, oopp.DiskPrivate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,45 +94,70 @@ func main() {
 
 	// PageStore->write(page, PageAddress);
 	const pageAddress = 7
-	if err := pageStore.Write(pageAddress, page.Data); err != nil {
+	if err := pageStore.Write(ctx, pageAddress, page.Data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d bytes to page %d of the remote device\n", len(page.Data), pageAddress)
 
-	back, err := pageStore.Read(pageAddress)
+	back, err := pageStore.Read(ctx, pageAddress)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read it back: identical = %v\n", bytes.Equal(back, page.Data))
 
 	// double * data = new(machine 2) double[1024];
-	data, err := oopp.NewFloat64Array(client, 2, 1024)
+	data, err := oopp.NewFloat64Array(ctx, client, 2, 1024)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// data[7] = 3.1415;
-	if err := data.Set(7, 3.1415); err != nil {
+	if err := data.Set(ctx, 7, 3.1415); err != nil {
 		log.Fatal(err)
 	}
 	// double x = data[2];
-	x, err := data.Get(2)
+	x, err := data.Get(ctx, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v7, err := data.Get(7)
+	v7, err := data.Get(ctx, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("remote memory on machine 2: data[2] = %v, data[7] = %v\n", x, v7)
 
+	// The typed surface: "new(machine 1) Counter(100)" is construction by
+	// type — no string class name — and calls come back decoded.
+	ref, err := oopp.NewOn[counter](ctx, client, 1, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := oopp.Invoke[int](ctx, client, ref, "add", 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("typed counter on machine 1: add(23) -> %d\n", n)
+
+	// The §4 split form, typed: issue now, wait (with ctx) later. A
+	// per-call deadline and trace label ride along as options.
+	fut := oopp.InvokeAsync[int](ctx, client, ref, "get")
+	got, err := fut.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pinged := client.Ping(ctx, 1, oopp.WithTimeout(time.Second), oopp.WithLabel("quickstart")) == nil
+	fmt.Printf("typed counter: get() -> %d (1s-deadline ping ok: %v)\n", got, pinged)
+
 	// Destruction of a remote object terminates the remote process.
-	if err := data.Free(); err != nil {
+	if err := client.Delete(ctx, ref); err != nil {
 		log.Fatal(err)
 	}
-	if err := pageStore.Close(); err != nil {
+	if err := data.Free(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := pageStore.Read(0); err != nil {
+	if err := pageStore.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pageStore.Read(ctx, 0); err != nil {
 		fmt.Printf("after delete, the process is gone: %v\n", err)
 	}
 }

@@ -1,0 +1,3 @@
+module oopp
+
+go 1.24

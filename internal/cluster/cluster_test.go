@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -9,6 +10,9 @@ import (
 	"oopp/internal/disk"
 	"oopp/internal/transport"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func TestNewLocalDefaults(t *testing.T) {
 	c, err := NewLocal(3, 2)
@@ -54,7 +58,7 @@ func TestCrossMachinePing(t *testing.T) {
 	// Every machine pings every other through its own client.
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			if err := c.Machine(i).Client().Ping(j); err != nil {
+			if err := c.Machine(i).Client().Ping(bg, j); err != nil {
 				t.Fatalf("machine %d -> %d ping: %v", i, j, err)
 			}
 		}
@@ -67,7 +71,7 @@ func TestTCPCluster(t *testing.T) {
 		t.Fatalf("New tcp: %v", err)
 	}
 	defer c.Shutdown()
-	if err := c.Client().Ping(1); err != nil {
+	if err := c.Client().Ping(bg, 1); err != nil {
 		t.Fatalf("tcp ping: %v", err)
 	}
 }
@@ -152,7 +156,7 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 		// Create some traffic so conns and object goroutines exist.
 		for i := 0; i < 4; i++ {
 			for j := 0; j < 4; j++ {
-				if err := c.Machine(i).Client().Ping(j); err != nil {
+				if err := c.Machine(i).Client().Ping(bg, j); err != nil {
 					t.Fatalf("ping: %v", err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,7 +42,7 @@ const DefaultWindow = 32
 // NewArray validates geometry and capacity and returns an Array client.
 // Array dims must be multiples of the page dims; every device must have
 // the page dimensions and at least PageMap.PagesPerDevice pages.
-func NewArray(storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
+func NewArray(ctx context.Context, storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
 	if N1 <= 0 || N2 <= 0 || N3 <= 0 || n1 <= 0 || n2 <= 0 || n3 <= 0 {
 		return nil, fmt.Errorf("core: invalid array geometry %dx%dx%d pages %dx%dx%d", N1, N2, N3, n1, n2, n3)
 	}
@@ -58,7 +59,7 @@ func NewArray(storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*A
 		if d1 != n1 || d2 != n2 || d3 != n3 {
 			return nil, fmt.Errorf("core: device %d pages are %dx%dx%d, array wants %dx%dx%d", i, d1, d2, d3, n1, n2, n3)
 		}
-		cap, err := dev.NumPages()
+		cap, err := dev.NumPages(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: device %d: %w", i, err)
 		}
@@ -190,7 +191,7 @@ func (a *Array) copyRegion(sub []float64, dom Domain, page []float64, r region, 
 // shaped) — the paper's Array::read. With pipelining on, page reads from
 // distinct devices overlap (§4); the PageMap decides how many devices
 // that engages (§5).
-func (a *Array) Read(subarray []float64, dom Domain) error {
+func (a *Array) Read(ctx context.Context, subarray []float64, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
@@ -203,7 +204,7 @@ func (a *Array) Read(subarray []float64, dom Domain) error {
 	if !a.pipeline {
 		for _, r := range regs {
 			dev := a.storage.Device(r.addr.Device)
-			if err := dev.ReadPage(scratch, r.addr.Index); err != nil {
+			if err := dev.ReadPage(ctx, scratch, r.addr.Index); err != nil {
 				return err
 			}
 			a.copyRegion(subarray, dom, scratch.Data, r, true)
@@ -216,13 +217,13 @@ func (a *Array) Read(subarray []float64, dom Domain) error {
 	for done := 0; done < len(regs); done++ {
 		for issued < len(regs) && issued < done+a.window {
 			r := regs[issued]
-			futs[issued] = a.storage.Device(r.addr.Device).ReadPageAsync(r.addr.Index)
+			futs[issued] = a.storage.Device(r.addr.Device).ReadPageAsync(ctx, r.addr.Index)
 			issued++
 		}
-		if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+		if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 			// Drain remaining futures before returning.
 			for i := done + 1; i < issued; i++ {
-				_, _ = futs[i].Wait()
+				_, _ = futs[i].Wait(ctx)
 			}
 			return err
 		}
@@ -267,7 +268,7 @@ func (a *Array) extractRegion(sub []float64, dom Domain, r region) []float64 {
 // Array::write. Fully covered pages are written whole; partially covered
 // pages go through the device's atomic sub-page write. Both paths
 // pipeline.
-func (a *Array) Write(subarray []float64, dom Domain) error {
+func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
@@ -279,7 +280,7 @@ func (a *Array) Write(subarray []float64, dom Domain) error {
 
 	var futs []*rmi.Future
 	flush := func() error {
-		err := rmi.WaitAll(futs)
+		err := rmi.WaitAll(ctx, futs)
 		futs = futs[:0]
 		return err
 	}
@@ -295,10 +296,10 @@ func (a *Array) Write(subarray []float64, dom Domain) error {
 		if r.full {
 			a.copyRegion(subarray, dom, scratch.Data, r, false)
 			if a.pipeline {
-				if err := push(dev.WritePageAsync(scratch, r.addr.Index)); err != nil {
+				if err := push(dev.WritePageAsync(ctx, scratch, r.addr.Index)); err != nil {
 					return err
 				}
-			} else if err := dev.WritePage(scratch, r.addr.Index); err != nil {
+			} else if err := dev.WritePage(ctx, scratch, r.addr.Index); err != nil {
 				return err
 			}
 			continue
@@ -307,10 +308,10 @@ func (a *Array) Write(subarray []float64, dom Domain) error {
 		// region travels, and concurrent clients can share the page).
 		vals := a.extractRegion(subarray, dom, r)
 		if a.pipeline {
-			if err := push(dev.WriteSubAsync(r.addr.Index, subBoxFor(r), vals)); err != nil {
+			if err := push(dev.WriteSubAsync(ctx, r.addr.Index, subBoxFor(r), vals)); err != nil {
 				return err
 			}
-		} else if err := dev.WriteSub(r.addr.Index, subBoxFor(r), vals); err != nil {
+		} else if err := dev.WriteSub(ctx, r.addr.Index, subBoxFor(r), vals); err != nil {
 			return err
 		}
 	}
@@ -321,7 +322,7 @@ func (a *Array) Write(subarray []float64, dom Domain) error {
 // pages are summed *on their devices* ("the partial sums are computed by
 // the data server processes and combined together by the Array client",
 // §5); partial pages are fetched and the overlap summed locally.
-func (a *Array) Sum(dom Domain) (float64, error) {
+func (a *Array) Sum(ctx context.Context, dom Domain) (float64, error) {
 	if err := a.checkDomain(dom); err != nil {
 		return 0, err
 	}
@@ -333,14 +334,14 @@ func (a *Array) Sum(dom Domain) (float64, error) {
 		for _, r := range regs {
 			dev := a.storage.Device(r.addr.Device)
 			if r.full {
-				s, err := dev.Sum(r.addr.Index)
+				s, err := dev.Sum(ctx, r.addr.Index)
 				if err != nil {
 					return 0, err
 				}
 				total += s
 				continue
 			}
-			if err := dev.ReadPage(scratch, r.addr.Index); err != nil {
+			if err := dev.ReadPage(ctx, scratch, r.addr.Index); err != nil {
 				return 0, err
 			}
 			total += a.partialSum(scratch.Data, r)
@@ -354,9 +355,9 @@ func (a *Array) Sum(dom Domain) (float64, error) {
 		r := regs[i]
 		dev := a.storage.Device(r.addr.Device)
 		if r.full {
-			futs[i] = dev.SumAsync(r.addr.Index)
+			futs[i] = dev.SumAsync(ctx, r.addr.Index)
 		} else {
-			futs[i] = dev.ReadPageAsync(r.addr.Index)
+			futs[i] = dev.ReadPageAsync(ctx, r.addr.Index)
 		}
 	}
 	for done := 0; done < len(regs); done++ {
@@ -366,18 +367,18 @@ func (a *Array) Sum(dom Domain) (float64, error) {
 		}
 		r := regs[done]
 		if r.full {
-			s, err := pagedev.DecodeSum(futs[done])
+			s, err := pagedev.DecodeSum(ctx, futs[done])
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait()
+					_, _ = futs[i].Wait(ctx)
 				}
 				return 0, err
 			}
 			total += s
 		} else {
-			if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait()
+					_, _ = futs[i].Wait(ctx)
 				}
 				return 0, err
 			}
@@ -406,35 +407,35 @@ func (a *Array) partialSum(page []float64, r region) float64 {
 // Fill sets every element of dom to v. Full pages fill remotely (no
 // element data crosses the network); partial pages fill atomically on
 // their devices.
-func (a *Array) Fill(dom Domain, v float64) error {
-	return a.rewrite(dom,
-		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.FillPageAsync(idx, v) },
-		func(dev *pagedev.ArrayDevice, idx int) error { return dev.FillPage(idx, v) },
+func (a *Array) Fill(ctx context.Context, dom Domain, v float64) error {
+	return a.rewrite(ctx, dom,
+		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.FillPageAsync(ctx, idx, v) },
+		func(dev *pagedev.ArrayDevice, idx int) error { return dev.FillPage(ctx, idx, v) },
 		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
-			return dev.FillSubAsync(idx, box, v)
+			return dev.FillSubAsync(ctx, idx, box, v)
 		},
 		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
-			return dev.FillSub(idx, box, v)
+			return dev.FillSub(ctx, idx, box, v)
 		})
 }
 
 // Scale multiplies every element of dom by alpha, remotely for full
 // pages and atomically on-device for partial pages.
-func (a *Array) Scale(dom Domain, alpha float64) error {
-	return a.rewrite(dom,
-		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.ScalePageAsync(idx, alpha) },
-		func(dev *pagedev.ArrayDevice, idx int) error { return dev.ScalePage(idx, alpha) },
+func (a *Array) Scale(ctx context.Context, dom Domain, alpha float64) error {
+	return a.rewrite(ctx, dom,
+		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.ScalePageAsync(ctx, idx, alpha) },
+		func(dev *pagedev.ArrayDevice, idx int) error { return dev.ScalePage(ctx, idx, alpha) },
 		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
-			return dev.ScaleSubAsync(idx, box, alpha)
+			return dev.ScaleSubAsync(ctx, idx, box, alpha)
 		},
 		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
-			return dev.ScaleSub(idx, box, alpha)
+			return dev.ScaleSub(ctx, idx, box, alpha)
 		})
 }
 
 // rewrite factors the Fill/Scale pattern: whole-page remote op on full
 // pages, atomic sub-page op on partial pages, both pipelined.
-func (a *Array) rewrite(dom Domain,
+func (a *Array) rewrite(ctx context.Context, dom Domain,
 	asyncFull func(*pagedev.ArrayDevice, int) *rmi.Future,
 	syncFull func(*pagedev.ArrayDevice, int) error,
 	asyncPartial func(*pagedev.ArrayDevice, int, pagedev.SubBox) *rmi.Future,
@@ -448,7 +449,7 @@ func (a *Array) rewrite(dom Domain,
 	push := func(fut *rmi.Future) error {
 		futs = append(futs, fut)
 		if len(futs) >= a.window {
-			err := rmi.WaitAll(futs)
+			err := rmi.WaitAll(ctx, futs)
 			futs = futs[:0]
 			return err
 		}
@@ -474,7 +475,7 @@ func (a *Array) rewrite(dom Domain,
 			return err
 		}
 	}
-	return rmi.WaitAll(futs)
+	return rmi.WaitAll(ctx, futs)
 }
 
 func (a *Array) forEach(page []float64, r region, f func(float64) float64) {
@@ -492,7 +493,7 @@ func (a *Array) forEach(page []float64, r region, f func(float64) float64) {
 
 // MinMax returns the extrema over dom (remote per-page minmax for full
 // pages). An empty domain yields (+Inf, -Inf).
-func (a *Array) MinMax(dom Domain) (lo, hi float64, err error) {
+func (a *Array) MinMax(ctx context.Context, dom Domain) (lo, hi float64, err error) {
 	if err := a.checkDomain(dom); err != nil {
 		return 0, 0, err
 	}
@@ -506,9 +507,9 @@ func (a *Array) MinMax(dom Domain) (lo, hi float64, err error) {
 		r := regs[i]
 		dev := a.storage.Device(r.addr.Device)
 		if r.full {
-			futs[i] = dev.MinMaxPageAsync(r.addr.Index)
+			futs[i] = dev.MinMaxPageAsync(ctx, r.addr.Index)
 		} else {
-			futs[i] = dev.ReadPageAsync(r.addr.Index)
+			futs[i] = dev.ReadPageAsync(ctx, r.addr.Index)
 		}
 	}
 	window := a.window
@@ -522,18 +523,18 @@ func (a *Array) MinMax(dom Domain) (lo, hi float64, err error) {
 		}
 		r := regs[done]
 		if r.full {
-			l, h, err := pagedev.DecodeMinMax(futs[done])
+			l, h, err := pagedev.DecodeMinMax(ctx, futs[done])
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait()
+					_, _ = futs[i].Wait(ctx)
 				}
 				return 0, 0, err
 			}
 			lo, hi = math.Min(lo, l), math.Max(hi, h)
 		} else {
-			if err := pagedev.DecodeArrayPage(futs[done], scratch); err != nil {
+			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait()
+					_, _ = futs[i].Wait(ctx)
 				}
 				return 0, 0, err
 			}

@@ -80,18 +80,18 @@ func buildArray(t testing.TB, layout string, devices, N1, N2, N3, n1, n2, n3 int
 	for i := range machines {
 		machines[i] = i
 	}
-	storage, err := core.CreateBlockStorage(cl.Client(), machines, "arr", pm.PagesPerDevice(), n1, n2, n3, pagedev.DiskPrivate)
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), machines, "arr", pm.PagesPerDevice(), n1, n2, n3, pagedev.DiskPrivate)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatalf("storage: %v", err)
 	}
-	arr, err := core.NewArray(storage, pm, N1, N2, N3, n1, n2, n3)
+	arr, err := core.NewArray(bg, storage, pm, N1, N2, N3, n1, n2, n3)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatalf("array: %v", err)
 	}
 	return arr, func() {
-		storage.Close()
+		storage.Close(bg)
 		cl.Shutdown()
 	}
 }
@@ -108,7 +108,7 @@ func TestArrayWriteReadRoundTrip(t *testing.T) {
 			for i := range src {
 				src[i] = float64(i%23) - 11
 			}
-			if err := arr.Write(src, full); err != nil {
+			if err := arr.Write(bg, src, full); err != nil {
 				t.Fatalf("write: %v", err)
 			}
 			ref.write(src, full)
@@ -124,7 +124,7 @@ func TestArrayWriteReadRoundTrip(t *testing.T) {
 			}
 			for _, dom := range doms {
 				got := make([]float64, dom.Size())
-				if err := arr.Read(got, dom); err != nil {
+				if err := arr.Read(bg, got, dom); err != nil {
 					t.Fatalf("read %v: %v", dom, err)
 				}
 				want := ref.read(dom)
@@ -149,7 +149,7 @@ func TestArrayPartialWrites(t *testing.T) {
 	for i := range seed {
 		seed[i] = 1
 	}
-	if err := arr.Write(seed, full); err != nil {
+	if err := arr.Write(bg, seed, full); err != nil {
 		t.Fatalf("seed: %v", err)
 	}
 	ref.write(seed, full)
@@ -165,14 +165,14 @@ func TestArrayPartialWrites(t *testing.T) {
 		for i := range sub {
 			sub[i] = float64(100*n + i)
 		}
-		if err := arr.Write(sub, dom); err != nil {
+		if err := arr.Write(bg, sub, dom); err != nil {
 			t.Fatalf("partial write %v: %v", dom, err)
 		}
 		ref.write(sub, dom)
 	}
 
 	got := make([]float64, full.Size())
-	if err := arr.Read(got, full); err != nil {
+	if err := arr.Read(bg, got, full); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	for i := range got {
@@ -192,7 +192,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 	for i := range src {
 		src[i] = float64(i%7) - 3
 	}
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(bg, src, full); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	ref.write(src, full)
@@ -203,7 +203,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 		core.NewDomain(1, 7, 1, 3, 0, 4), // partial pages
 	}
 	for _, dom := range doms {
-		got, err := arr.Sum(dom)
+		got, err := arr.Sum(bg, dom)
 		if err != nil {
 			t.Fatalf("sum %v: %v", dom, err)
 		}
@@ -214,7 +214,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 
 	// Fill a straddling domain, verify against shadow.
 	fillDom := core.NewDomain(1, 5, 0, 4, 1, 3)
-	if err := arr.Fill(fillDom, 9.5); err != nil {
+	if err := arr.Fill(bg, fillDom, 9.5); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 	fillVals := make([]float64, fillDom.Size())
@@ -225,7 +225,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 
 	// Scale a different straddling domain.
 	scaleDom := core.NewDomain(0, 8, 2, 4, 0, 2)
-	if err := arr.Scale(scaleDom, -2); err != nil {
+	if err := arr.Scale(bg, scaleDom, -2); err != nil {
 		t.Fatalf("scale: %v", err)
 	}
 	scaled := ref.read(scaleDom)
@@ -235,7 +235,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 	ref.write(scaled, scaleDom)
 
 	got := make([]float64, full.Size())
-	if err := arr.Read(got, full); err != nil {
+	if err := arr.Read(bg, got, full); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	for i := range got {
@@ -244,7 +244,7 @@ func TestArraySumFillScaleMinMax(t *testing.T) {
 		}
 	}
 
-	lo, hi, err := arr.MinMax(full)
+	lo, hi, err := arr.MinMax(bg, full)
 	if err != nil {
 		t.Fatalf("minmax: %v", err)
 	}
@@ -265,26 +265,26 @@ func TestPipelineParity(t *testing.T) {
 	for i := range src {
 		src[i] = float64(i)
 	}
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(bg, src, full); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 
 	dom := core.NewDomain(1, 7, 2, 8, 0, 3)
 	pipelined := make([]float64, dom.Size())
-	if err := arr.Read(pipelined, dom); err != nil {
+	if err := arr.Read(bg, pipelined, dom); err != nil {
 		t.Fatalf("pipelined read: %v", err)
 	}
-	sumP, err := arr.Sum(dom)
+	sumP, err := arr.Sum(bg, dom)
 	if err != nil {
 		t.Fatalf("pipelined sum: %v", err)
 	}
 
 	arr.SetPipeline(false)
 	sequential := make([]float64, dom.Size())
-	if err := arr.Read(sequential, dom); err != nil {
+	if err := arr.Read(bg, sequential, dom); err != nil {
 		t.Fatalf("sequential read: %v", err)
 	}
-	sumS, err := arr.Sum(dom)
+	sumS, err := arr.Sum(bg, dom)
 	if err != nil {
 		t.Fatalf("sequential sum: %v", err)
 	}
@@ -302,7 +302,7 @@ func TestPipelineParity(t *testing.T) {
 	arr.SetPipeline(true)
 	arr.SetWindow(1)
 	tiny := make([]float64, dom.Size())
-	if err := arr.Read(tiny, dom); err != nil {
+	if err := arr.Read(bg, tiny, dom); err != nil {
 		t.Fatalf("window-1 read: %v", err)
 	}
 	for i := range tiny {
@@ -332,7 +332,7 @@ func TestMultipleClientsDisjointDomains(t *testing.T) {
 			for i := range sub {
 				sub[i] = float64(c + 1)
 			}
-			errs <- arr.Write(sub, dom)
+			errs <- arr.Write(bg, sub, dom)
 		}(c, dom)
 	}
 	wg.Wait()
@@ -343,7 +343,7 @@ func TestMultipleClientsDisjointDomains(t *testing.T) {
 		}
 	}
 
-	total, err := arr.Sum(full)
+	total, err := arr.Sum(bg, full)
 	if err != nil {
 		t.Fatalf("sum: %v", err)
 	}
@@ -361,23 +361,23 @@ func TestArrayValidation(t *testing.T) {
 	defer done()
 
 	buf := make([]float64, 10)
-	if err := arr.Read(buf, core.NewDomain(0, 16, 0, 4, 0, 4)); err == nil {
+	if err := arr.Read(bg, buf, core.NewDomain(0, 16, 0, 4, 0, 4)); err == nil {
 		t.Error("out-of-bounds domain accepted")
 	}
-	if err := arr.Read(buf, core.NewDomain(0, 4, 0, 4, 0, 4)); err == nil {
+	if err := arr.Read(bg, buf, core.NewDomain(0, 4, 0, 4, 0, 4)); err == nil {
 		t.Error("wrong subarray size accepted")
 	}
-	if err := arr.Write(buf, core.NewDomain(4, 0, 0, 4, 0, 4)); err == nil {
+	if err := arr.Write(bg, buf, core.NewDomain(4, 0, 0, 4, 0, 4)); err == nil {
 		t.Error("inverted domain accepted")
 	}
-	if _, err := arr.Sum(core.NewDomain(-1, 4, 0, 4, 0, 4)); err == nil {
+	if _, err := arr.Sum(bg, core.NewDomain(-1, 4, 0, 4, 0, 4)); err == nil {
 		t.Error("negative domain accepted")
 	}
 	// Empty domain is a no-op, not an error.
-	if err := arr.Read(nil, core.NewDomain(2, 2, 0, 4, 0, 4)); err != nil {
+	if err := arr.Read(bg, nil, core.NewDomain(2, 2, 0, 4, 0, 4)); err != nil {
 		t.Errorf("empty domain read: %v", err)
 	}
-	s, err := arr.Sum(core.NewDomain(2, 2, 0, 4, 0, 4))
+	s, err := arr.Sum(bg, core.NewDomain(2, 2, 0, 4, 0, 4))
 	if err != nil || s != 0 {
 		t.Errorf("empty domain sum = %v, %v", s, err)
 	}
@@ -407,33 +407,33 @@ func TestNewArrayGeometryErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	storage, err := core.CreateBlockStorage(cl.Client(), []int{0, 1}, "x", pm.PagesPerDevice(), 4, 4, 4, pagedev.DiskPrivate)
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), []int{0, 1}, "x", pm.PagesPerDevice(), 4, 4, 4, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("storage: %v", err)
 	}
-	defer storage.Close()
+	defer storage.Close(bg)
 
 	// Non-divisible dims.
-	if _, err := core.NewArray(storage, pm, 9, 8, 8, 4, 4, 4); err == nil {
+	if _, err := core.NewArray(bg, storage, pm, 9, 8, 8, 4, 4, 4); err == nil {
 		t.Error("non-divisible dims accepted")
 	}
 	// Mismatched device count.
 	pm3, _ := core.NewRoundRobinMap(2, 2, 2, 3)
-	if _, err := core.NewArray(storage, pm3, 8, 8, 8, 4, 4, 4); err == nil {
+	if _, err := core.NewArray(bg, storage, pm3, 8, 8, 8, 4, 4, 4); err == nil {
 		t.Error("device count mismatch accepted")
 	}
 	// Mismatched page dims.
-	if _, err := core.NewArray(storage, pm, 8, 8, 8, 2, 2, 2); err == nil {
+	if _, err := core.NewArray(bg, storage, pm, 8, 8, 8, 2, 2, 2); err == nil {
 		t.Error("page dim mismatch accepted")
 	}
 	// Insufficient capacity: map needs more pages per device than devices
 	// provide.
 	bigpm, _ := core.NewRoundRobinMap(8, 8, 8, 2) // 256 pages/device
-	if _, err := core.NewArray(storage, bigpm, 32, 32, 32, 4, 4, 4); err == nil {
+	if _, err := core.NewArray(bg, storage, bigpm, 32, 32, 32, 4, 4, 4); err == nil {
 		t.Error("capacity overflow accepted")
 	}
 	// Zero geometry.
-	if _, err := core.NewArray(storage, pm, 0, 8, 8, 4, 4, 4); err == nil {
+	if _, err := core.NewArray(bg, storage, pm, 0, 8, 8, 4, 4, 4); err == nil {
 		t.Error("zero dims accepted")
 	}
 }
@@ -447,7 +447,7 @@ func TestConcurrentWritesSharingPages(t *testing.T) {
 	arr, done := buildArray(t, "roundrobin", 1, 8, 8, 8, 8, 8, 8)
 	defer done()
 	full := core.Box(8, 8, 8)
-	if err := arr.Fill(full, 0); err != nil {
+	if err := arr.Fill(bg, full, 0); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 
@@ -464,7 +464,7 @@ func TestConcurrentWritesSharingPages(t *testing.T) {
 				for i := range sub {
 					sub[i] = float64(trial*100 + c)
 				}
-				errCh <- arr.Write(sub, dom)
+				errCh <- arr.Write(bg, sub, dom)
 			}(c)
 		}
 		wg.Wait()
@@ -475,7 +475,7 @@ func TestConcurrentWritesSharingPages(t *testing.T) {
 			}
 		}
 		got := make([]float64, full.Size())
-		if err := arr.Read(got, full); err != nil {
+		if err := arr.Read(bg, got, full); err != nil {
 			t.Fatalf("read: %v", err)
 		}
 		for i := 0; i < 8; i++ {
@@ -496,28 +496,28 @@ func TestFailureMidPipeline(t *testing.T) {
 	defer done()
 	full := core.Box(8, 8, 8)
 	src := make([]float64, full.Size())
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(bg, src, full); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 
 	// Kill device 1; reads that touch its pages must fail.
-	if err := arr.Storage().Device(1).Close(); err != nil {
+	if err := arr.Storage().Device(1).Close(bg); err != nil {
 		t.Fatalf("close device: %v", err)
 	}
 	buf := make([]float64, full.Size())
-	if err := arr.Read(buf, full); err == nil {
+	if err := arr.Read(bg, buf, full); err == nil {
 		t.Fatal("read over a dead device succeeded")
 	}
-	if _, err := arr.Sum(full); err == nil {
+	if _, err := arr.Sum(bg, full); err == nil {
 		t.Fatal("sum over a dead device succeeded")
 	}
-	if err := arr.Fill(full, 1); err == nil {
+	if err := arr.Fill(bg, full, 1); err == nil {
 		t.Fatal("fill over a dead device succeeded")
 	}
 	// Pages wholly on the surviving device still work.
 	lo := core.NewDomain(0, 4, 0, 4, 0, 4) // page (0,0,0) -> device 0 under roundrobin
 	small := make([]float64, lo.Size())
-	if err := arr.Read(small, lo); err != nil {
+	if err := arr.Read(bg, small, lo); err != nil {
 		t.Fatalf("surviving device unusable: %v", err)
 	}
 }
@@ -533,12 +533,12 @@ func TestArrayOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	storage, err := core.CreateBlockStorage(cl.Client(), []int{0, 1}, "tcp", pm.PagesPerDevice(), 4, 4, 4, pagedev.DiskPrivate)
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), []int{0, 1}, "tcp", pm.PagesPerDevice(), 4, 4, 4, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("storage: %v", err)
 	}
-	defer storage.Close()
-	arr, err := core.NewArray(storage, pm, 8, 8, 8, 4, 4, 4)
+	defer storage.Close(bg)
+	arr, err := core.NewArray(bg, storage, pm, 8, 8, 8, 4, 4, 4)
 	if err != nil {
 		t.Fatalf("array: %v", err)
 	}
@@ -547,11 +547,11 @@ func TestArrayOverTCP(t *testing.T) {
 	for i := range src {
 		src[i] = float64(i % 9)
 	}
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(bg, src, full); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	got := make([]float64, full.Size())
-	if err := arr.Read(got, full); err != nil {
+	if err := arr.Read(bg, got, full); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	for i := range src {
@@ -559,7 +559,7 @@ func TestArrayOverTCP(t *testing.T) {
 			t.Fatalf("element %d over TCP: %v != %v", i, got[i], src[i])
 		}
 	}
-	s, err := arr.Sum(full)
+	s, err := arr.Sum(bg, full)
 	if err != nil {
 		t.Fatalf("sum: %v", err)
 	}
@@ -599,7 +599,7 @@ func TestQuickArrayShadow(t *testing.T) {
 			for i := range sub {
 				sub[i] = v + float64(i)
 			}
-			if err := arr.Write(sub, dom); err != nil {
+			if err := arr.Write(bg, sub, dom); err != nil {
 				t.Logf("write %v: %v", dom, err)
 				return false
 			}
@@ -607,7 +607,7 @@ func TestQuickArrayShadow(t *testing.T) {
 			return true
 		}
 		got := make([]float64, dom.Size())
-		if err := arr.Read(got, dom); err != nil {
+		if err := arr.Read(bg, got, dom); err != nil {
 			t.Logf("read %v: %v", dom, err)
 			return false
 		}
@@ -618,7 +618,7 @@ func TestQuickArrayShadow(t *testing.T) {
 				return false
 			}
 		}
-		s, err := arr.Sum(dom)
+		s, err := arr.Sum(bg, dom)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/pagedev"
@@ -27,7 +28,7 @@ func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
 // machines (the paper's "for i: device[i] = new(machine i)
 // ArrayPageDevice(...)" loop), each backed by the machine disk diskIndex
 // (or a private memory disk for DiskPrivate). Construction is pipelined.
-func CreateBlockStorage(client *rmi.Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
+func CreateBlockStorage(ctx context.Context, client *rmi.Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
 	devices := make([]*pagedev.ArrayDevice, len(machines))
 	type result struct {
 		i   int
@@ -37,7 +38,7 @@ func CreateBlockStorage(client *rmi.Client, machines []int, name string, pagesPe
 	results := make(chan result, len(machines))
 	for i, m := range machines {
 		go func(i, m int) {
-			dev, err := pagedev.NewArrayDevice(client, m, fmt.Sprintf("%s/%d", name, i), pagesPerDevice, n1, n2, n3, diskIndex)
+			dev, err := pagedev.NewArrayDevice(ctx, client, m, fmt.Sprintf("%s/%d", name, i), pagesPerDevice, n1, n2, n3, diskIndex)
 			results <- result{i, dev, err}
 		}(i, m)
 	}
@@ -52,7 +53,7 @@ func CreateBlockStorage(client *rmi.Client, machines []int, name string, pagesPe
 	if firstErr != nil {
 		for _, d := range devices {
 			if d != nil {
-				_ = d.Close()
+				_ = d.Close(ctx)
 			}
 		}
 		return nil, firstErr
@@ -77,10 +78,10 @@ func (b *BlockStorage) Refs() []rmi.Ref {
 }
 
 // Close deletes every device process.
-func (b *BlockStorage) Close() error {
+func (b *BlockStorage) Close(ctx context.Context) error {
 	var firstErr error
 	for _, d := range b.devices {
-		if err := d.Close(); err != nil && firstErr == nil {
+		if err := d.Close(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

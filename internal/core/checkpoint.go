@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/pagedev"
@@ -90,7 +91,7 @@ func deviceAddr(base persist.Address, i int) persist.Address {
 // PublishArray registers arr as a persistent collection under base: a
 // descriptor process (created on metaMachine) at base/meta and each
 // storage device at base/dev/<i>.
-func PublishArray(mgr *persist.Manager, client *rmi.Client, metaMachine int, base persist.Address, arr *Array) error {
+func PublishArray(ctx context.Context, mgr *persist.Manager, client *rmi.Client, metaMachine int, base persist.Address, arr *Array) error {
 	N1, N2, N3 := arr.Dims()
 	n1, n2, n3 := arr.PageDims()
 	meta := &arrayMeta{
@@ -99,18 +100,18 @@ func PublishArray(mgr *persist.Manager, client *rmi.Client, metaMachine int, bas
 		layout:  arr.Map().Name(),
 		devices: arr.Storage().Len(),
 	}
-	metaRef, err := client.New(metaMachine, ClassArrayMeta, func(e *wire.Encoder) error {
+	metaRef, err := client.New(ctx, metaMachine, ClassArrayMeta, func(e *wire.Encoder) error {
 		meta.encode(e)
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("core: creating array descriptor: %w", err)
 	}
-	if err := mgr.Bind(metaAddr(base), metaRef); err != nil {
+	if err := mgr.Bind(ctx, metaAddr(base), metaRef); err != nil {
 		return err
 	}
 	for i := 0; i < arr.Storage().Len(); i++ {
-		if err := mgr.Bind(deviceAddr(base, i), arr.Storage().Device(i).Ref()); err != nil {
+		if err := mgr.Bind(ctx, deviceAddr(base, i), arr.Storage().Device(i).Ref()); err != nil {
 			return err
 		}
 	}
@@ -119,12 +120,12 @@ func PublishArray(mgr *persist.Manager, client *rmi.Client, metaMachine int, bas
 
 // OpenArray reassembles a published array from its symbolic address,
 // transparently reactivating any passivated member processes.
-func OpenArray(mgr *persist.Manager, client *rmi.Client, base persist.Address) (*Array, error) {
-	metaRef, err := mgr.Resolve(metaAddr(base))
+func OpenArray(ctx context.Context, mgr *persist.Manager, client *rmi.Client, base persist.Address) (*Array, error) {
+	metaRef, err := mgr.Resolve(ctx, metaAddr(base))
 	if err != nil {
 		return nil, fmt.Errorf("core: resolving array descriptor: %w", err)
 	}
-	d, err := client.Call(metaRef, "describe", nil)
+	d, err := client.Call(ctx, metaRef, "describe", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,37 +139,37 @@ func OpenArray(mgr *persist.Manager, client *rmi.Client, base persist.Address) (
 	}
 	devices := make([]*pagedev.ArrayDevice, meta.devices)
 	for i := range devices {
-		ref, err := mgr.Resolve(deviceAddr(base, i))
+		ref, err := mgr.Resolve(ctx, deviceAddr(base, i))
 		if err != nil {
 			return nil, fmt.Errorf("core: resolving device %d: %w", i, err)
 		}
 		devices[i] = pagedev.AttachArrayDevice(client, ref, meta.p1, meta.p2, meta.p3)
 	}
-	return NewArray(NewBlockStorage(devices), pm, meta.n1, meta.n2, meta.n3, meta.p1, meta.p2, meta.p3)
+	return NewArray(ctx, NewBlockStorage(devices), pm, meta.n1, meta.n2, meta.n3, meta.p1, meta.p2, meta.p3)
 }
 
 // DeactivateArray passivates every member process of a published array
 // (devices and descriptor). The storage devices must be persistable
 // (they are, for all pagedev backings).
-func DeactivateArray(mgr *persist.Manager, base persist.Address, devices int) error {
+func DeactivateArray(ctx context.Context, mgr *persist.Manager, base persist.Address, devices int) error {
 	for i := 0; i < devices; i++ {
-		if err := mgr.Deactivate(deviceAddr(base, i)); err != nil {
+		if err := mgr.Deactivate(ctx, deviceAddr(base, i)); err != nil {
 			return fmt.Errorf("core: deactivating device %d: %w", i, err)
 		}
 	}
-	return mgr.Deactivate(metaAddr(base))
+	return mgr.Deactivate(ctx, metaAddr(base))
 }
 
 // DestroyArray removes the published collection entirely: processes,
 // stored state, and bindings.
-func DestroyArray(mgr *persist.Manager, base persist.Address, devices int) error {
+func DestroyArray(ctx context.Context, mgr *persist.Manager, base persist.Address, devices int) error {
 	var firstErr error
 	for i := 0; i < devices; i++ {
-		if err := mgr.Destroy(deviceAddr(base, i)); err != nil && firstErr == nil {
+		if err := mgr.Destroy(ctx, deviceAddr(base, i)); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if err := mgr.Destroy(metaAddr(base)); err != nil && firstErr == nil {
+	if err := mgr.Destroy(ctx, metaAddr(base)); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr

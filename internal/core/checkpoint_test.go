@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,6 +10,9 @@ import (
 	"oopp/internal/pagedev"
 	"oopp/internal/persist"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 // TestPublishOpenArray registers an array as a collection of persistent
 // processes, reopens it through its symbolic address, and verifies the
@@ -23,21 +27,21 @@ func TestPublishOpenArray(t *testing.T) {
 	defer cl.Shutdown()
 	client := cl.Client()
 
-	mgr, err := persist.NewManager(client, 0, []int{0, 1})
+	mgr, err := persist.NewManager(bg, client, 0, []int{0, 1})
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(bg)
 
 	pm, err := core.NewStripedMap(N/n, N/n, N/n, devices)
 	if err != nil {
 		t.Fatal(err)
 	}
-	storage, err := core.CreateBlockStorage(client, []int{0, 1}, "pub", pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+	storage, err := core.CreateBlockStorage(bg, client, []int{0, 1}, "pub", pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("storage: %v", err)
 	}
-	arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+	arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
 	if err != nil {
 		t.Fatalf("array: %v", err)
 	}
@@ -47,7 +51,7 @@ func TestPublishOpenArray(t *testing.T) {
 	for i := range src {
 		src[i] = float64(i % 13)
 	}
-	if err := arr.Write(src, full); err != nil {
+	if err := arr.Write(bg, src, full); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	var want float64
@@ -56,19 +60,19 @@ func TestPublishOpenArray(t *testing.T) {
 	}
 
 	base := persist.MustParseAddress("oop://data/set/bigarray")
-	if err := core.PublishArray(mgr, client, 0, base, arr); err != nil {
+	if err := core.PublishArray(bg, mgr, client, 0, base, arr); err != nil {
 		t.Fatalf("publish: %v", err)
 	}
 
 	// A different consumer reopens the array purely from the address.
-	reopened, err := core.OpenArray(mgr, client, base)
+	reopened, err := core.OpenArray(bg, mgr, client, base)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
 	if l := reopened.Map().Name(); l != "striped" {
 		t.Fatalf("reopened layout %q", l)
 	}
-	s, err := reopened.Sum(full)
+	s, err := reopened.Sum(bg, full)
 	if err != nil {
 		t.Fatalf("sum: %v", err)
 	}
@@ -77,19 +81,19 @@ func TestPublishOpenArray(t *testing.T) {
 	}
 
 	// Deactivate the whole collection: all processes terminate.
-	if err := core.DeactivateArray(mgr, base, devices); err != nil {
+	if err := core.DeactivateArray(bg, mgr, base, devices); err != nil {
 		t.Fatalf("deactivate: %v", err)
 	}
-	if _, err := arr.Sum(full); err == nil {
+	if _, err := arr.Sum(bg, full); err == nil {
 		t.Fatal("device processes alive after collection deactivation")
 	}
 
 	// Reopen again: members reactivate transparently, data intact.
-	revived, err := core.OpenArray(mgr, client, base)
+	revived, err := core.OpenArray(bg, mgr, client, base)
 	if err != nil {
 		t.Fatalf("open after deactivate: %v", err)
 	}
-	s, err = revived.Sum(full)
+	s, err = revived.Sum(bg, full)
 	if err != nil {
 		t.Fatalf("sum after reactivation: %v", err)
 	}
@@ -98,10 +102,10 @@ func TestPublishOpenArray(t *testing.T) {
 	}
 
 	// Destroy: addresses unbound, processes deleted, state discarded.
-	if err := core.DestroyArray(mgr, base, devices); err != nil {
+	if err := core.DestroyArray(bg, mgr, base, devices); err != nil {
 		t.Fatalf("destroy: %v", err)
 	}
-	if _, err := core.OpenArray(mgr, client, base); err == nil {
+	if _, err := core.OpenArray(bg, mgr, client, base); err == nil {
 		t.Fatal("array reopenable after destroy")
 	}
 }
@@ -112,12 +116,12 @@ func TestOpenArrayMissing(t *testing.T) {
 		t.Fatalf("cluster: %v", err)
 	}
 	defer cl.Shutdown()
-	mgr, err := persist.NewManager(cl.Client(), 0, []int{0})
+	mgr, err := persist.NewManager(bg, cl.Client(), 0, []int{0})
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
-	defer mgr.Close()
-	if _, err := core.OpenArray(mgr, cl.Client(), persist.MustParseAddress("oop://no/such/array")); err == nil {
+	defer mgr.Close(bg)
+	if _, err := core.OpenArray(bg, mgr, cl.Client(), persist.MustParseAddress("oop://no/such/array")); err == nil {
 		t.Fatal("opened a non-existent array")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -19,7 +20,7 @@ import (
 // scratch array (same geometry, may live on different devices). clients
 // sets how many parallel Array clients sweep (≥1). Returns the final
 // residual (max |update|) after iters sweeps.
-func Jacobi(a, b *Array, iters, clients int) (float64, error) {
+func Jacobi(ctx context.Context, a, b *Array, iters, clients int) (float64, error) {
 	if err := a.conformant(b); err != nil {
 		return 0, err
 	}
@@ -34,7 +35,7 @@ func Jacobi(a, b *Array, iters, clients int) (float64, error) {
 
 	// b starts as a copy of a so that boundary values (never rewritten)
 	// are correct in both buffers.
-	if err := copyArray(b, a, a.Bounds()); err != nil {
+	if err := copyArray(ctx, b, a, a.Bounds()); err != nil {
 		return 0, err
 	}
 
@@ -49,7 +50,7 @@ func Jacobi(a, b *Array, iters, clients int) (float64, error) {
 			wg.Add(1)
 			go func(s int, slab Domain) {
 				defer wg.Done()
-				results[s], errs[s] = jacobiSweepSlab(src, dst, slab)
+				results[s], errs[s] = jacobiSweepSlab(ctx, src, dst, slab)
 			}(s, slab)
 		}
 		wg.Wait()
@@ -65,7 +66,7 @@ func Jacobi(a, b *Array, iters, clients int) (float64, error) {
 	// Ensure the result ends up in a (src holds the latest iterate after
 	// the final swap).
 	if src != a {
-		if err := copyArray(a, src, interior); err != nil {
+		if err := copyArray(ctx, a, src, interior); err != nil {
 			return 0, err
 		}
 	}
@@ -74,7 +75,7 @@ func Jacobi(a, b *Array, iters, clients int) (float64, error) {
 
 // jacobiSweepSlab updates dst over slab from src, reading src with a
 // one-point halo. Returns the slab's max |update|.
-func jacobiSweepSlab(src, dst *Array, slab Domain) (float64, error) {
+func jacobiSweepSlab(ctx context.Context, src, dst *Array, slab Domain) (float64, error) {
 	// Halo-expanded read domain, clamped to the array bounds.
 	halo := Domain{
 		Lo: [3]int{slab.Lo[0] - 1, slab.Lo[1] - 1, slab.Lo[2] - 1},
@@ -84,7 +85,7 @@ func jacobiSweepSlab(src, dst *Array, slab Domain) (float64, error) {
 	halo = halo.Intersect(bounds)
 
 	in := make([]float64, halo.Size())
-	if err := src.Read(in, halo); err != nil {
+	if err := src.Read(ctx, in, halo); err != nil {
 		return 0, err
 	}
 	h2 := halo.Hi[1] - halo.Lo[1]
@@ -108,7 +109,7 @@ func jacobiSweepSlab(src, dst *Array, slab Domain) (float64, error) {
 			}
 		}
 	}
-	if err := dst.Write(out, slab); err != nil {
+	if err := dst.Write(ctx, out, slab); err != nil {
 		return 0, err
 	}
 	return residual, nil
@@ -116,15 +117,15 @@ func jacobiSweepSlab(src, dst *Array, slab Domain) (float64, error) {
 
 // copyArray copies dom from src to dst through the client (both arrays
 // must be conformant). Used to seed the Jacobi scratch buffer.
-func copyArray(dst, src *Array, dom Domain) error {
+func copyArray(ctx context.Context, dst, src *Array, dom Domain) error {
 	if err := dst.conformant(src); err != nil {
 		return err
 	}
 	buf := make([]float64, dom.Size())
-	if err := src.Read(buf, dom); err != nil {
+	if err := src.Read(ctx, buf, dom); err != nil {
 		return err
 	}
-	return dst.Write(buf, dom)
+	return dst.Write(ctx, buf, dom)
 }
 
 // JacobiLocal is the single-machine reference implementation, used by

@@ -29,12 +29,12 @@ func TestJacobiMatchesLocal(t *testing.T) {
 		a, b, done := buildPair(t, 2, N, n)
 		u := seedHotFace(N)
 		full := core.Box(N, N, N)
-		if err := a.Write(u, full); err != nil {
+		if err := a.Write(bg, u, full); err != nil {
 			t.Fatalf("seed: %v", err)
 		}
 
 		const iters = 5
-		gotRes, err := core.Jacobi(a, b, iters, clients)
+		gotRes, err := core.Jacobi(bg, a, b, iters, clients)
 		if err != nil {
 			t.Fatalf("clients=%d: %v", clients, err)
 		}
@@ -43,7 +43,7 @@ func TestJacobiMatchesLocal(t *testing.T) {
 		wantRes := core.JacobiLocal(want, N, N, N, iters)
 
 		got := make([]float64, full.Size())
-		if err := a.Read(got, full); err != nil {
+		if err := a.Read(bg, got, full); err != nil {
 			t.Fatalf("read: %v", err)
 		}
 		for i := range want {
@@ -65,14 +65,14 @@ func TestJacobiConverges(t *testing.T) {
 	a, b, done := buildPair(t, 2, N, n)
 	defer done()
 	full := core.Box(N, N, N)
-	if err := a.Write(seedHotFace(N), full); err != nil {
+	if err := a.Write(bg, seedHotFace(N), full); err != nil {
 		t.Fatalf("seed: %v", err)
 	}
-	r1, err := core.Jacobi(a, b, 2, 2)
+	r1, err := core.Jacobi(bg, a, b, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := core.Jacobi(a, b, 10, 2)
+	r2, err := core.Jacobi(bg, a, b, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestJacobiConverges(t *testing.T) {
 	// Boundary face stays pinned at 100.
 	face := core.NewDomain(0, 1, 0, N, 0, N)
 	buf := make([]float64, face.Size())
-	if err := a.Read(buf, face); err != nil {
+	if err := a.Read(bg, buf, face); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range buf {
@@ -94,7 +94,7 @@ func TestJacobiConverges(t *testing.T) {
 	// maximum principle).
 	interior := core.NewDomain(1, N-1, 1, N-1, 1, N-1)
 	ibuf := make([]float64, interior.Size())
-	if err := a.Read(ibuf, interior); err != nil {
+	if err := a.Read(bg, ibuf, interior); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range ibuf {
@@ -110,14 +110,14 @@ func TestJacobiErrors(t *testing.T) {
 	// Non-conformant scratch.
 	other, _, done2 := buildPair(t, 2, 8, 2)
 	defer done2()
-	if _, err := core.Jacobi(a, other, 1, 1); err == nil {
+	if _, err := core.Jacobi(bg, a, other, 1, 1); err == nil {
 		t.Error("non-conformant scratch accepted")
 	}
 	// clients < 1 is clamped, not an error.
-	if err := a.Fill(a.Bounds(), 0); err != nil {
+	if err := a.Fill(bg, a.Bounds(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.Jacobi(a, b, 1, 0); err != nil {
+	if _, err := core.Jacobi(bg, a, b, 1, 0); err != nil {
 		t.Errorf("clients=0: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,7 @@ func (a *Array) conformant(b *Array) error {
 // dotted on a's devices, each fetching its partner page directly from b's
 // device process; partially covered pages are fetched to the client and
 // dotted over the intersection.
-func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
+func (a *Array) Dot(ctx context.Context, b *Array, dom Domain) (float64, error) {
 	if err := a.conformant(b); err != nil {
 		return 0, err
 	}
@@ -53,7 +54,7 @@ func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
 		if r.full {
 			devA := a.storage.Device(r.addr.Device)
 			bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-			futs[i] = devA.DotWithAsync(r.addr.Index, b.storage.Device(bAddr.Device).Ref(), bAddr.Index)
+			futs[i] = devA.DotWithAsync(ctx, r.addr.Index, b.storage.Device(bAddr.Device).Ref(), bAddr.Index)
 		}
 	}
 	for done := 0; done < len(regs); done++ {
@@ -63,11 +64,11 @@ func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
 		}
 		r := regs[done]
 		if r.full {
-			s, err := pagedev.DecodeSum(futs[done])
+			s, err := pagedev.DecodeSum(ctx, futs[done])
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
 					if futs[i] != nil {
-						_, _ = futs[i].Wait()
+						_, _ = futs[i].Wait(ctx)
 					}
 				}
 				return 0, err
@@ -78,10 +79,10 @@ func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
 		}
 		// Partial page: fetch both pages, dot the intersection locally.
 		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-		if err := a.storage.Device(r.addr.Device).ReadPage(scratchA, r.addr.Index); err != nil {
+		if err := a.storage.Device(r.addr.Device).ReadPage(ctx, scratchA, r.addr.Index); err != nil {
 			return 0, err
 		}
-		if err := b.storage.Device(bAddr.Device).ReadPage(scratchB, bAddr.Index); err != nil {
+		if err := b.storage.Device(bAddr.Device).ReadPage(ctx, scratchB, bAddr.Index); err != nil {
 			return 0, err
 		}
 		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
@@ -101,7 +102,7 @@ func (a *Array) Dot(b *Array, dom Domain) (float64, error) {
 // Axpy updates a += alpha*b over dom. Fully covered pages update on a's
 // devices, each pulling its partner page from b's device process;
 // partially covered pages go through client-side read-modify-write.
-func (a *Array) Axpy(alpha float64, b *Array, dom Domain) error {
+func (a *Array) Axpy(ctx context.Context, alpha float64, b *Array, dom Domain) error {
 	if err := a.conformant(b); err != nil {
 		return err
 	}
@@ -119,22 +120,22 @@ func (a *Array) Axpy(alpha float64, b *Array, dom Domain) error {
 		if r.full {
 			peer := b.storage.Device(bAddr.Device).Ref()
 			if a.pipeline {
-				futs = append(futs, devA.AxpyWithAsync(r.addr.Index, alpha, peer, bAddr.Index))
+				futs = append(futs, devA.AxpyWithAsync(ctx, r.addr.Index, alpha, peer, bAddr.Index))
 				if len(futs) >= a.window {
-					if err := rmi.WaitAll(futs); err != nil {
+					if err := rmi.WaitAll(ctx, futs); err != nil {
 						return err
 					}
 					futs = futs[:0]
 				}
-			} else if err := devA.AxpyWith(r.addr.Index, alpha, peer, bAddr.Index); err != nil {
+			} else if err := devA.AxpyWith(ctx, r.addr.Index, alpha, peer, bAddr.Index); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := devA.ReadPage(scratchA, r.addr.Index); err != nil {
+		if err := devA.ReadPage(ctx, scratchA, r.addr.Index); err != nil {
 			return err
 		}
-		if err := b.storage.Device(bAddr.Device).ReadPage(scratchB, bAddr.Index); err != nil {
+		if err := b.storage.Device(bAddr.Device).ReadPage(ctx, scratchB, bAddr.Index); err != nil {
 			return err
 		}
 		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
@@ -147,16 +148,16 @@ func (a *Array) Axpy(alpha float64, b *Array, dom Domain) error {
 				}
 			}
 		}
-		if err := devA.WritePage(scratchA, r.addr.Index); err != nil {
+		if err := devA.WritePage(ctx, scratchA, r.addr.Index); err != nil {
 			return err
 		}
 	}
-	return rmi.WaitAll(futs)
+	return rmi.WaitAll(ctx, futs)
 }
 
 // Norm2 returns sqrt(<a, a>) over dom.
-func (a *Array) Norm2(dom Domain) (float64, error) {
-	s, err := a.Dot(a, dom)
+func (a *Array) Norm2(ctx context.Context, dom Domain) (float64, error) {
+	s, err := a.Dot(ctx, a, dom)
 	if err != nil {
 		return 0, err
 	}

@@ -34,29 +34,29 @@ func buildPair(t testing.TB, devices, N, n int) (*core.Array, *core.Array, func(
 	for i := range machines {
 		machines[i] = i
 	}
-	storageA, err := core.CreateBlockStorage(cl.Client(), machines, "a", pmA.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+	storageA, err := core.CreateBlockStorage(bg, cl.Client(), machines, "a", pmA.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatal(err)
 	}
-	storageB, err := core.CreateBlockStorage(cl.Client(), machines, "b", pmB.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+	storageB, err := core.CreateBlockStorage(bg, cl.Client(), machines, "b", pmB.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatal(err)
 	}
-	a, err := core.NewArray(storageA, pmA, N, N, N, n, n, n)
+	a, err := core.NewArray(bg, storageA, pmA, N, N, N, n, n, n)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatal(err)
 	}
-	b, err := core.NewArray(storageB, pmB, N, N, N, n, n, n)
+	b, err := core.NewArray(bg, storageB, pmB, N, N, N, n, n, n)
 	if err != nil {
 		cl.Shutdown()
 		t.Fatal(err)
 	}
 	return a, b, func() {
-		storageA.Close()
-		storageB.Close()
+		storageA.Close(bg)
+		storageB.Close(bg)
 		cl.Shutdown()
 	}
 }
@@ -73,10 +73,10 @@ func TestDotAgainstShadow(t *testing.T) {
 		av[i] = float64(i%11) - 5
 		bv[i] = float64(i%7) - 3
 	}
-	if err := a.Write(av, full); err != nil {
+	if err := a.Write(bg, av, full); err != nil {
 		t.Fatalf("write a: %v", err)
 	}
-	if err := b.Write(bv, full); err != nil {
+	if err := b.Write(bg, bv, full); err != nil {
 		t.Fatalf("write b: %v", err)
 	}
 
@@ -87,7 +87,7 @@ func TestDotAgainstShadow(t *testing.T) {
 		core.NewDomain(2, 2, 0, 4, 0, 4), // empty
 	}
 	for _, dom := range doms {
-		got, err := a.Dot(b, dom)
+		got, err := a.Dot(bg, b, dom)
 		if err != nil {
 			t.Fatalf("dot %v: %v", dom, err)
 		}
@@ -116,18 +116,18 @@ func TestDotSelfAndNorm(t *testing.T) {
 	a, _, done := buildPair(t, 2, N, n)
 	defer done()
 	full := core.Box(N, N, N)
-	if err := a.Fill(full, 2); err != nil {
+	if err := a.Fill(bg, full, 2); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 	// <a, a> with itself: exercises the same-process fetch fast path.
-	s, err := a.Dot(a, full)
+	s, err := a.Dot(bg, a, full)
 	if err != nil {
 		t.Fatalf("self dot: %v", err)
 	}
 	if want := 4.0 * float64(full.Size()); math.Abs(s-want) > 1e-9 {
 		t.Fatalf("self dot = %v, want %v", s, want)
 	}
-	norm, err := a.Norm2(full)
+	norm, err := a.Norm2(bg, full)
 	if err != nil {
 		t.Fatalf("norm: %v", err)
 	}
@@ -148,10 +148,10 @@ func TestAxpyAgainstShadow(t *testing.T) {
 		av[i] = float64(i % 5)
 		bv[i] = float64(i % 3)
 	}
-	if err := a.Write(av, full); err != nil {
+	if err := a.Write(bg, av, full); err != nil {
 		t.Fatalf("write a: %v", err)
 	}
-	if err := b.Write(bv, full); err != nil {
+	if err := b.Write(bg, bv, full); err != nil {
 		t.Fatalf("write b: %v", err)
 	}
 
@@ -163,7 +163,7 @@ func TestAxpyAgainstShadow(t *testing.T) {
 	}
 	shadow := append([]float64(nil), av...)
 	for _, dom := range doms {
-		if err := a.Axpy(alpha, b, dom); err != nil {
+		if err := a.Axpy(bg, alpha, b, dom); err != nil {
 			t.Fatalf("axpy %v: %v", dom, err)
 		}
 		for i := dom.Lo[0]; i < dom.Hi[0]; i++ {
@@ -176,7 +176,7 @@ func TestAxpyAgainstShadow(t *testing.T) {
 		}
 	}
 	got := make([]float64, full.Size())
-	if err := a.Read(got, full); err != nil {
+	if err := a.Read(bg, got, full); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	for i := range got {
@@ -186,7 +186,7 @@ func TestAxpyAgainstShadow(t *testing.T) {
 	}
 	// b must be untouched.
 	gotB := make([]float64, full.Size())
-	if err := b.Read(gotB, full); err != nil {
+	if err := b.Read(bg, gotB, full); err != nil {
 		t.Fatalf("read b: %v", err)
 	}
 	for i := range gotB {
@@ -201,28 +201,28 @@ func TestOpsSequentialModeParity(t *testing.T) {
 	a, b, done := buildPair(t, 2, N, n)
 	defer done()
 	full := core.Box(N, N, N)
-	if err := a.Fill(full, 3); err != nil {
+	if err := a.Fill(bg, full, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Fill(full, 2); err != nil {
+	if err := b.Fill(bg, full, 2); err != nil {
 		t.Fatal(err)
 	}
-	pipelined, err := a.Dot(b, full)
+	pipelined, err := a.Dot(bg, b, full)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a.SetPipeline(false)
-	sequential, err := a.Dot(b, full)
+	sequential, err := a.Dot(bg, b, full)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pipelined != sequential {
 		t.Fatalf("dot differs across modes: %v vs %v", pipelined, sequential)
 	}
-	if err := a.Axpy(1, b, full); err != nil { // sequential-mode axpy
+	if err := a.Axpy(bg, 1, b, full); err != nil { // sequential-mode axpy
 		t.Fatal(err)
 	}
-	s, err := a.Sum(full)
+	s, err := a.Sum(bg, full)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,13 +239,13 @@ func TestOpsConformanceErrors(t *testing.T) {
 	other, _, done2 := buildPair(t, 2, 8, 2)
 	defer done2()
 
-	if _, err := a.Dot(other, core.Box(8, 8, 8)); err == nil {
+	if _, err := a.Dot(bg, other, core.Box(8, 8, 8)); err == nil {
 		t.Error("non-conformant dot accepted")
 	}
-	if err := a.Axpy(1, other, core.Box(8, 8, 8)); err == nil {
+	if err := a.Axpy(bg, 1, other, core.Box(8, 8, 8)); err == nil {
 		t.Error("non-conformant axpy accepted")
 	}
-	if _, err := a.Dot(a, core.NewDomain(0, 99, 0, 1, 0, 1)); err == nil {
+	if _, err := a.Dot(bg, a, core.NewDomain(0, 99, 0, 1, 0, 1)); err == nil {
 		t.Error("out-of-bounds dot accepted")
 	}
 }

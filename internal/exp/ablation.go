@@ -45,9 +45,9 @@ func A1PipelineWindow(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer storage.Close()
+	defer storage.Close(bg)
 	full := arr.Bounds()
-	if err := arr.Fill(full, 1); err != nil {
+	if err := arr.Fill(bg, full, 1); err != nil {
 		return nil, err
 	}
 
@@ -60,7 +60,7 @@ func A1PipelineWindow(cfg Config) (*Table, error) {
 	for _, w := range windows {
 		arr.SetWindow(w)
 		start := time.Now()
-		if err := arr.Read(buf, full); err != nil {
+		if err := arr.Read(bg, buf, full); err != nil {
 			return nil, err
 		}
 		elapsed := time.Since(start)
@@ -107,7 +107,7 @@ func A2DispatchModes(cfg Config) (*Table, error) {
 				defer wg.Done()
 				ref := refs[c%len(refs)]
 				for i := 0; i < iters; i++ {
-					if _, err := client.Call(ref, method, func(e *wire.Encoder) error {
+					if _, err := client.Call(bg, ref, method, func(e *wire.Encoder) error {
 						e.PutInt(100) // 100µs simulated body
 						return nil
 					}); err != nil {
@@ -127,7 +127,7 @@ func A2DispatchModes(cfg Config) (*Table, error) {
 	}
 
 	// One object, serial method.
-	one, err := client.New(0, ClassBusy, nil)
+	one, err := client.New(bg, 0, ClassBusy, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +143,7 @@ func A2DispatchModes(cfg Config) (*Table, error) {
 	// K objects, serial methods.
 	refs := make([]rmi.Ref, callers)
 	for i := range refs {
-		refs[i], err = client.New(0, ClassBusy, nil)
+		refs[i], err = client.New(bg, 0, ClassBusy, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -180,13 +180,13 @@ func busyBody(args *wire.Decoder) error {
 }
 
 func init() {
-	rmi.Register(ClassBusy, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassBusy, func(env *rmi.Env, args *wire.Decoder) (*busyObj, error) {
 		return &busyObj{}, nil
 	}).
-		Method("workSerial", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		Method("workSerial", func(obj *busyObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			return busyBody(args)
 		}).
-		ConcurrentMethod("workConcurrent", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		ConcurrentMethod("workConcurrent", func(obj *busyObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			return busyBody(args)
 		})
 

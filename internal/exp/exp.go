@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -139,15 +140,19 @@ const ClassEcho = "exp.Echo"
 
 type echoObj struct{}
 
+// bg is the neutral context used by experiment-harness call sites: each
+// experiment is a top-level entry point with no caller context.
+var bg = context.Background()
+
 func init() {
-	rmi.Register(ClassEcho, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassEcho, func(env *rmi.Env, args *wire.Decoder) (*echoObj, error) {
 		return &echoObj{}, nil
 	}).
-		Method("echo", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		Method("echo", func(obj *echoObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			reply.PutBytes(args.Bytes())
 			return args.Err()
 		}).
-		Method("noop", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		Method("noop", func(obj *echoObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			return nil
 		})
 }

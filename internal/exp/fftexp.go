@@ -48,33 +48,33 @@ func E5ParallelFFT(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := pfft.New(cl.Client(), machineList(p, p), n, n, n)
+		f, err := pfft.New(bg, cl.Client(), machineList(p, p), n, n, n)
 		if err != nil {
 			cl.Shutdown()
 			return nil, err
 		}
-		if err := f.Load(x); err != nil {
+		if err := f.Load(bg, x); err != nil {
 			cl.Shutdown()
 			return nil, err
 		}
 		// Warm-up + measurement (forward/inverse pairs keep data bounded).
-		if err := f.Transform(-1); err != nil {
+		if err := f.Transform(bg, -1); err != nil {
 			cl.Shutdown()
 			return nil, err
 		}
-		if err := f.Transform(+1); err != nil {
+		if err := f.Transform(bg, +1); err != nil {
 			cl.Shutdown()
 			return nil, err
 		}
 		var total time.Duration
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			if err := f.Transform(-1); err != nil {
+			if err := f.Transform(bg, -1); err != nil {
 				cl.Shutdown()
 				return nil, err
 			}
 			total += time.Since(start)
-			if err := f.Transform(+1); err != nil {
+			if err := f.Transform(bg, +1); err != nil {
 				cl.Shutdown()
 				return nil, err
 			}
@@ -86,7 +86,7 @@ func E5ParallelFFT(cfg Config) (*Table, error) {
 		speedup := float64(base) / float64(per)
 		t.AddRow(fmt.Sprintf("%d", p), msPrec(per),
 			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.0f%%", 100*speedup/float64(p)))
-		f.Close()
+		f.Close(bg)
 		cl.Shutdown()
 	}
 	t.Note("expected shape: near-linear speedup while local FFT dominates, flattening as the transpose becomes the bottleneck")
@@ -159,21 +159,21 @@ func E6FFTvsMP(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	defer cl.Shutdown()
-	f, err := pfft.New(cl.Client(), machineList(p, p), n, n, n)
+	f, err := pfft.New(bg, cl.Client(), machineList(p, p), n, n, n)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close(bg)
 	// End-to-end like the mp side: scatter + transform + gather.
 	z := make([]complex128, len(x))
 	runRMI := func() error {
-		if err := f.Load(x); err != nil {
+		if err := f.Load(bg, x); err != nil {
 			return err
 		}
-		if err := f.Transform(-1); err != nil {
+		if err := f.Transform(bg, -1); err != nil {
 			return err
 		}
-		return f.Gather(z)
+		return f.Gather(bg, z)
 	}
 	if err := runRMI(); err != nil { // warm-up
 		return nil, err
@@ -228,25 +228,25 @@ func E11DeepCopy(cfg Config) (*Table, error) {
 		// Worker dims: tiny slabs (p×p×1) — we only measure group setup.
 		before := metrics.Default.Snapshot()
 		start := time.Now()
-		fDeep, err := pfft.New(client, machineList(p, machines), p, p, 1)
+		fDeep, err := pfft.New(bg, client, machineList(p, machines), p, p, 1)
 		if err != nil {
 			return nil, err
 		}
 		deepTime := time.Since(start)
 		deepMsgs := metrics.Default.Snapshot().Sub(before).MessagesSent
-		if err := fDeep.Close(); err != nil {
+		if err := fDeep.Close(bg); err != nil {
 			return nil, err
 		}
 
 		before = metrics.Default.Snapshot()
 		start = time.Now()
-		fShallow, err := pfft.NewShallow(client, machineList(p, machines), p, p, 1)
+		fShallow, err := pfft.NewShallow(bg, client, machineList(p, machines), p, p, 1)
 		if err != nil {
 			return nil, err
 		}
 		shallowTime := time.Since(start)
 		shallowMsgs := metrics.Default.Snapshot().Sub(before).MessagesSent
-		if err := fShallow.Close(); err != nil {
+		if err := fShallow.Close(bg); err != nil {
 			return nil, err
 		}
 

@@ -49,7 +49,7 @@ func E3SplitLoop(cfg Config) (*Table, error) {
 		client := cl.Client()
 		devs := make([]*pagedev.Device, n)
 		for i := range devs {
-			devs[i], err = pagedev.NewDevice(client, i, "d", 4, pageBytes, 0)
+			devs[i], err = pagedev.NewDevice(bg, client, i, "d", 4, pageBytes, 0)
 			if err != nil {
 				cl.Shutdown()
 				return nil, err
@@ -57,7 +57,7 @@ func E3SplitLoop(cfg Config) (*Table, error) {
 		}
 		page := make([]byte, pageBytes)
 		for _, d := range devs {
-			if err := d.Write(0, page); err != nil {
+			if err := d.Write(bg, 0, page); err != nil {
 				cl.Shutdown()
 				return nil, err
 			}
@@ -68,7 +68,7 @@ func E3SplitLoop(cfg Config) (*Table, error) {
 		for r := 0; r < reps; r++ {
 			start := time.Now()
 			for _, d := range devs {
-				if _, err := d.Read(0); err != nil {
+				if _, err := d.Read(bg, 0); err != nil {
 					cl.Shutdown()
 					return nil, err
 				}
@@ -78,9 +78,9 @@ func E3SplitLoop(cfg Config) (*Table, error) {
 			start = time.Now()
 			futs := make([]*rmi.Future, n)
 			for i, d := range devs {
-				futs[i] = d.ReadAsync(0)
+				futs[i] = d.ReadAsync(bg, 0)
 			}
-			if err := rmi.WaitAll(futs); err != nil {
+			if err := rmi.WaitAll(bg, futs); err != nil {
 				cl.Shutdown()
 				return nil, err
 			}
@@ -128,11 +128,11 @@ func E4MoveDataVsCompute(cfg Config) (*Table, error) {
 	iters := cfg.iters(10, 40)
 	for _, elems := range sizes {
 		// One page of elems doubles, laid out as elems×1×1.
-		dev, err := pagedev.NewArrayDevice(client, 1, "e4", 2, elems, 1, 1, 0)
+		dev, err := pagedev.NewArrayDevice(bg, client, 1, "e4", 2, elems, 1, 1, 0)
 		if err != nil {
 			return nil, err
 		}
-		if err := dev.FillPage(0, 0.5); err != nil {
+		if err := dev.FillPage(bg, 0, 0.5); err != nil {
 			return nil, err
 		}
 		page := pagedev.NewArrayPage(elems, 1, 1)
@@ -140,7 +140,7 @@ func E4MoveDataVsCompute(cfg Config) (*Table, error) {
 		// Move data: fetch the page, sum locally.
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if err := dev.ReadPage(page, 0); err != nil {
+			if err := dev.ReadPage(bg, page, 0); err != nil {
 				return nil, err
 			}
 			_ = page.Sum()
@@ -150,7 +150,7 @@ func E4MoveDataVsCompute(cfg Config) (*Table, error) {
 		// Move computation: remote sum, ship the scalar.
 		start = time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := dev.Sum(0); err != nil {
+			if _, err := dev.Sum(bg, 0); err != nil {
 				return nil, err
 			}
 		}
@@ -159,7 +159,7 @@ func E4MoveDataVsCompute(cfg Config) (*Table, error) {
 		t.AddRow(fmt.Sprintf("%d", elems), fmt.Sprintf("%d", elems*8),
 			usPrec(moveData), usPrec(moveCompute),
 			fmt.Sprintf("%.2f", float64(moveData)/float64(moveCompute)))
-		if err := dev.Close(); err != nil {
+		if err := dev.Close(bg); err != nil {
 			return nil, err
 		}
 	}
@@ -184,13 +184,13 @@ func buildE7Array(cl *cluster.Cluster, layout string, devices, N, n int) (*core.
 	if err != nil {
 		return nil, nil, err
 	}
-	storage, err := core.CreateBlockStorage(cl.Client(), machineList(devices, devices), "e7", pm.PagesPerDevice(), n, n, n, 0)
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), machineList(devices, devices), "e7", pm.PagesPerDevice(), n, n, n, 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	arr, err := core.NewArray(storage, pm, N, N, N, n, n, n)
+	arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
 	if err != nil {
-		storage.Close()
+		storage.Close(bg)
 		return nil, nil, err
 	}
 	return arr, storage, nil
@@ -225,12 +225,12 @@ func E7PageMapLayouts(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		full := arr.Bounds()
-		if err := arr.Fill(full, 1); err != nil {
+		if err := arr.Fill(bg, full, 1); err != nil {
 			return nil, err
 		}
 
 		start := time.Now()
-		if _, err := arr.Sum(full); err != nil {
+		if _, err := arr.Sum(bg, full); err != nil {
 			return nil, err
 		}
 		fullTime := time.Since(start)
@@ -241,7 +241,7 @@ func E7PageMapLayouts(cfg Config) (*Table, error) {
 			before[i], _ = cl.Machine(i).Disks()[0].Ops()
 		}
 		start = time.Now()
-		if _, err := arr.Sum(slab); err != nil {
+		if _, err := arr.Sum(bg, slab); err != nil {
 			return nil, err
 		}
 		slabTime := time.Since(start)
@@ -254,7 +254,7 @@ func E7PageMapLayouts(cfg Config) (*Table, error) {
 		}
 
 		t.AddRow(layout, msPrec(fullTime), msPrec(slabTime), fmt.Sprintf("%d/%d", hit, devices))
-		if err := storage.Close(); err != nil {
+		if err := storage.Close(bg); err != nil {
 			return nil, err
 		}
 	}
@@ -287,9 +287,9 @@ func E8MultiClient(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer storage.Close()
+	defer storage.Close(bg)
 	full := arr.Bounds()
-	if err := arr.Fill(full, 1); err != nil {
+	if err := arr.Fill(bg, full, 1); err != nil {
 		return nil, err
 	}
 	// Sequential §2 semantics inside each client; parallelism comes only
@@ -306,7 +306,7 @@ func E8MultiClient(cfg Config) (*Table, error) {
 			wg.Add(1)
 			go func(dom core.Domain) {
 				defer wg.Done()
-				_, err := arr.Sum(dom)
+				_, err := arr.Sum(bg, dom)
 				errCh <- err
 			}(dom)
 		}

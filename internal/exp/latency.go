@@ -49,7 +49,7 @@ func E1RMILatency(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		client := cl.Client()
-		ref, err := client.New(1, ClassEcho, nil)
+		ref, err := client.New(bg, 1, ClassEcho, nil)
 		if err != nil {
 			cl.Shutdown()
 			return nil, err
@@ -82,7 +82,7 @@ func E1RMILatency(cfg Config) (*Table, error) {
 
 			// Warm up then measure RMI.
 			for i := 0; i < 10; i++ {
-				if _, err := client.Call(ref, "echo", func(e *wire.Encoder) error {
+				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
 					e.PutBytes(payload)
 					return nil
 				}); err != nil {
@@ -93,7 +93,7 @@ func E1RMILatency(cfg Config) (*Table, error) {
 			}
 			start := time.Now()
 			for i := 0; i < iters; i++ {
-				if _, err := client.Call(ref, "echo", func(e *wire.Encoder) error {
+				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
 					e.PutBytes(payload)
 					return nil
 				}); err != nil {
@@ -161,11 +161,11 @@ func E2ElementVsBulk(cfg Config) (*Table, error) {
 	}
 	defer cl.Shutdown()
 	const n = 64 << 10
-	arr, err := rmem.NewFloat64Array(cl.Client(), 1, n)
+	arr, err := rmem.NewFloat64Array(bg, cl.Client(), 1, n)
 	if err != nil {
 		return nil, err
 	}
-	defer arr.Free()
+	defer arr.Free(bg)
 
 	blocks := []int{1, 16, 256, 4096, 65536}
 	for _, bs := range blocks {
@@ -177,13 +177,13 @@ func E2ElementVsBulk(cfg Config) (*Table, error) {
 		start := time.Now()
 		if bs == 1 {
 			for i := 0; i < ops; i++ {
-				if _, err := arr.Get(i % n); err != nil {
+				if _, err := arr.Get(bg, i%n); err != nil {
 					return nil, err
 				}
 			}
 		} else {
 			for i := 0; i < ops; i++ {
-				if _, err := arr.GetRange((i*bs)%(n-bs+1), bs); err != nil {
+				if _, err := arr.GetRange(bg, (i*bs)%(n-bs+1), bs); err != nil {
 					return nil, err
 				}
 			}
@@ -219,26 +219,26 @@ func E9Barrier(cfg Config) (*Table, error) {
 	iters := cfg.iters(50, 400)
 
 	for _, size := range []int{1, 2, 4, 8, 16, 32, 64} {
-		g, err := rmi.SpawnGroup(client, machineList(size, machines), ClassEcho, nil)
+		g, err := rmi.SpawnGroup(bg, client, machineList(size, machines), ClassEcho, nil)
 		if err != nil {
 			return nil, err
 		}
 		// Warm-up.
 		for i := 0; i < 5; i++ {
-			if err := g.Barrier(); err != nil {
+			if err := g.Barrier(bg); err != nil {
 				return nil, err
 			}
 		}
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if err := g.Barrier(); err != nil {
+			if err := g.Barrier(bg); err != nil {
 				return nil, err
 			}
 		}
 		per := time.Since(start) / time.Duration(iters)
 		t.AddRow(fmt.Sprintf("%d", size), usPrec(per),
 			fmt.Sprintf("%.2f", float64(per.Nanoseconds())/1e3/float64(size)))
-		if err := g.Delete(); err != nil {
+		if err := g.Delete(bg); err != nil {
 			return nil, err
 		}
 	}

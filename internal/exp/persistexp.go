@@ -30,11 +30,11 @@ func E10Persistence(cfg Config) (*Table, error) {
 	defer cl.Shutdown()
 	client := cl.Client()
 
-	mgr, err := persist.NewManager(client, 0, []int{0, 1})
+	mgr, err := persist.NewManager(bg, client, 0, []int{0, 1})
 	if err != nil {
 		return nil, err
 	}
-	defer mgr.Close()
+	defer mgr.Close(bg)
 
 	iters := cfg.iters(5, 20)
 	type sz struct {
@@ -50,7 +50,7 @@ func E10Persistence(cfg Config) (*Table, error) {
 	for _, s := range sizes {
 		var bindT, resolveT, passT, actT time.Duration
 		for i := 0; i < iters; i++ {
-			dev, err := pagedev.NewDevice(client, 1, "e10", s.pages, s.pageSize, pagedev.DiskPrivate)
+			dev, err := pagedev.NewDevice(bg, client, 1, "e10", s.pages, s.pageSize, pagedev.DiskPrivate)
 			if err != nil {
 				return nil, err
 			}
@@ -58,39 +58,39 @@ func E10Persistence(cfg Config) (*Table, error) {
 			page := make([]byte, s.pageSize)
 			for p := 0; p < s.pages; p++ {
 				page[0] = byte(p)
-				if err := dev.Write(p, page); err != nil {
+				if err := dev.Write(bg, p, page); err != nil {
 					return nil, err
 				}
 			}
 			addr := persist.MustParseAddress(fmt.Sprintf("oop://exp/e10/%s/%d", s.label, i))
 
 			start := time.Now()
-			if err := mgr.Bind(addr, dev.Ref()); err != nil {
+			if err := mgr.Bind(bg, addr, dev.Ref()); err != nil {
 				return nil, err
 			}
 			bindT += time.Since(start)
 
 			start = time.Now()
-			if _, err := mgr.Resolve(addr); err != nil {
+			if _, err := mgr.Resolve(bg, addr); err != nil {
 				return nil, err
 			}
 			resolveT += time.Since(start)
 
 			start = time.Now()
-			if err := mgr.Deactivate(addr); err != nil {
+			if err := mgr.Deactivate(bg, addr); err != nil {
 				return nil, err
 			}
 			passT += time.Since(start)
 
 			start = time.Now()
-			ref, err := mgr.Resolve(addr) // transparently reactivates
+			ref, err := mgr.Resolve(bg, addr) // transparently reactivates
 			if err != nil {
 				return nil, err
 			}
 			actT += time.Since(start)
 
 			// Clean up this iteration's process and blob.
-			if err := mgr.Destroy(addr); err != nil {
+			if err := mgr.Destroy(bg, addr); err != nil {
 				return nil, err
 			}
 			_ = ref

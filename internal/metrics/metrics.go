@@ -29,6 +29,9 @@ type Counters struct {
 	DiskWrites    atomic.Int64 // simulated disk write operations
 	DiskBytesRead atomic.Int64
 	DiskBytesWrit atomic.Int64
+	RespDropped   atomic.Int64 // response frames with unparseable headers, discarded
+	RespOrphaned  atomic.Int64 // responses to abandoned (canceled/timed-out) requests
+	DialRetries   atomic.Int64 // redials performed under the WithRetryDial call option
 }
 
 // Default is the process-wide counter set used when no explicit set is
@@ -49,6 +52,9 @@ type Snapshot struct {
 	DiskWrites    int64
 	DiskBytesRead int64
 	DiskBytesWrit int64
+	RespDropped   int64
+	RespOrphaned  int64
+	DialRetries   int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -66,6 +72,9 @@ func (c *Counters) Snapshot() Snapshot {
 		DiskWrites:    c.DiskWrites.Load(),
 		DiskBytesRead: c.DiskBytesRead.Load(),
 		DiskBytesWrit: c.DiskBytesWrit.Load(),
+		RespDropped:   c.RespDropped.Load(),
+		RespOrphaned:  c.RespOrphaned.Load(),
+		DialRetries:   c.DialRetries.Load(),
 	}
 }
 
@@ -83,6 +92,9 @@ func (c *Counters) Reset() {
 	c.DiskWrites.Store(0)
 	c.DiskBytesRead.Store(0)
 	c.DiskBytesWrit.Store(0)
+	c.RespDropped.Store(0)
+	c.RespOrphaned.Store(0)
+	c.DialRetries.Store(0)
 }
 
 // Sub returns the delta s - prev, counter-wise. Use around a measured
@@ -101,6 +113,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		DiskWrites:    s.DiskWrites - prev.DiskWrites,
 		DiskBytesRead: s.DiskBytesRead - prev.DiskBytesRead,
 		DiskBytesWrit: s.DiskBytesWrit - prev.DiskBytesWrit,
+		RespDropped:   s.RespDropped - prev.RespDropped,
+		RespOrphaned:  s.RespOrphaned - prev.RespOrphaned,
+		DialRetries:   s.DialRetries - prev.DialRetries,
 	}
 }
 
@@ -122,6 +137,9 @@ func (s Snapshot) String() string {
 	add("objTotal", s.ObjectsTotal)
 	add("diskR", s.DiskReads)
 	add("diskW", s.DiskWrites)
+	add("respDropped", s.RespDropped)
+	add("respOrphaned", s.RespOrphaned)
+	add("dialRetries", s.DialRetries)
 	if len(parts) == 0 {
 		return "{}"
 	}

@@ -1,6 +1,7 @@
 package pagedev
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/disk"
@@ -62,7 +63,7 @@ type remoteBacking struct {
 }
 
 func (b *remoteBacking) readPage(index int, dst []byte) error {
-	d, err := b.client.Call(b.ref, "read", func(e *wire.Encoder) error {
+	d, err := b.client.Call(context.Background(), b.ref, "read", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
@@ -81,7 +82,7 @@ func (b *remoteBacking) readPage(index int, dst []byte) error {
 }
 
 func (b *remoteBacking) writePage(index int, src []byte) error {
-	_, err := b.client.Call(b.ref, "write", func(e *wire.Encoder) error {
+	_, err := b.client.Call(context.Background(), b.ref, "write", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutBytes(src)
 		return nil
@@ -189,10 +190,10 @@ func newPageDevice(env *rmi.Env, name string, numPages, pageSize, diskIndex int)
 // registerBaseMethods installs the PageDevice protocol on a class. Both
 // the base class and (via Extend) the derived class carry these; this
 // function is the "compiler output" for the §2 class declaration.
-func registerBaseMethods(c *rmi.Class) *rmi.Class {
+func registerBaseMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
 	return c.
-		Method("write", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			p := obj.(baser).base()
+		Method("write", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.base()
 			index := args.Int()
 			data := args.Bytes()
 			if err := args.Err(); err != nil {
@@ -200,8 +201,8 @@ func registerBaseMethods(c *rmi.Class) *rmi.Class {
 			}
 			return p.write(index, data)
 		}).
-		Method("read", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			p := obj.(baser).base()
+		Method("read", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.base()
 			index := args.Int()
 			if err := args.Err(); err != nil {
 				return err
@@ -212,28 +213,28 @@ func registerBaseMethods(c *rmi.Class) *rmi.Class {
 			reply.PutBytes(p.scratch)
 			return nil
 		}).
-		Method("numPages", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutInt(obj.(baser).base().numPages)
+		Method("numPages", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(obj.base().numPages)
 			return nil
 		}).
-		Method("pageSize", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutInt(obj.(baser).base().pageSize)
+		Method("pageSize", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(obj.base().pageSize)
 			return nil
 		}).
-		Method("name", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutString(obj.(baser).base().name)
+		Method("name", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutString(obj.base().name)
 			return nil
 		}).
-		Method("stats", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			p := obj.(baser).base()
+		Method("stats", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			p := obj.base()
 			reply.PutVarint(p.reads)
 			reply.PutVarint(p.writes)
 			return nil
 		}).
-		Method("copyFrom", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		Method("copyFrom", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			// copyFrom(src Ref, count int): pull count pages from another
 			// device process — the §5 copy-constructor building block.
-			p := obj.(baser).base()
+			p := obj.base()
 			src := args.Ref()
 			count := args.Int()
 			if err := args.Err(); err != nil {
@@ -259,8 +260,8 @@ func registerBaseMethods(c *rmi.Class) *rmi.Class {
 }
 
 // PageDeviceClass is the registered base class.
-var PageDeviceClass = registerBaseMethods(rmi.Register(ClassPageDevice,
-	func(env *rmi.Env, args *wire.Decoder) (any, error) {
+var PageDeviceClass = registerBaseMethods(rmi.RegisterClass(ClassPageDevice,
+	func(env *rmi.Env, args *wire.Decoder) (baser, error) {
 		name := args.String()
 		numPages := args.Int()
 		pageSize := args.Int()
@@ -290,9 +291,9 @@ const (
 // base method via Extend and adds the structure-aware ones.
 var ArrayPageDeviceClass = newArrayClass()
 
-func newArrayClass() *rmi.Class {
-	c := PageDeviceClass.Extend(ClassArrayPageDevice,
-		func(env *rmi.Env, args *wire.Decoder) (any, error) {
+func newArrayClass() *rmi.Class[*arrayPageDevice] {
+	c := rmi.ExtendClass(PageDeviceClass, ClassArrayPageDevice,
+		func(env *rmi.Env, args *wire.Decoder) (*arrayPageDevice, error) {
 			mode := args.Int()
 			switch mode {
 			case ctorFresh:
@@ -359,10 +360,9 @@ func newArrayClass() *rmi.Class {
 		return BytesToFloat64s(a.elems, a.scratch)
 	}
 
-	c.Method("sum", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+	c.Method("sum", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		// The §3 "move the computation to the data" method: the page never
 		// leaves this machine; only the scalar result crosses the network.
-		a := obj.(*arrayPageDevice)
 		index := args.Int()
 		if err := args.Err(); err != nil {
 			return err
@@ -377,8 +377,7 @@ func newArrayClass() *rmi.Class {
 		reply.PutFloat64(s)
 		return nil
 	})
-	c.Method("sumAll", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("sumAll", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		var s float64
 		for i := 0; i < a.numPages; i++ {
 			if err := loadPage(a, i); err != nil {
@@ -391,8 +390,7 @@ func newArrayClass() *rmi.Class {
 		reply.PutFloat64(s)
 		return nil
 	})
-	c.Method("readArray", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("readArray", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		if err := args.Err(); err != nil {
 			return err
@@ -403,8 +401,7 @@ func newArrayClass() *rmi.Class {
 		reply.PutFloat64s(a.elems)
 		return nil
 	})
-	c.Method("writeArray", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("writeArray", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		args.Float64sInto(a.elems)
 		if err := args.Err(); err != nil {
@@ -415,8 +412,7 @@ func newArrayClass() *rmi.Class {
 		}
 		return a.write(index, a.scratch)
 	})
-	c.Method("scalePage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("scalePage", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		alpha := args.Float64()
 		if err := args.Err(); err != nil {
@@ -433,8 +429,7 @@ func newArrayClass() *rmi.Class {
 		}
 		return a.write(index, a.scratch)
 	})
-	c.Method("fillPage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("fillPage", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		v := args.Float64()
 		if err := args.Err(); err != nil {
@@ -448,8 +443,7 @@ func newArrayClass() *rmi.Class {
 		}
 		return a.write(index, a.scratch)
 	})
-	c.Method("minmaxPage", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("minmaxPage", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		if err := args.Err(); err != nil {
 			return err
@@ -463,8 +457,7 @@ func newArrayClass() *rmi.Class {
 		reply.PutFloat64(hi)
 		return nil
 	})
-	c.Method("dims", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("dims", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		reply.PutInt(a.n1)
 		reply.PutInt(a.n2)
 		reply.PutInt(a.n3)
@@ -498,9 +491,8 @@ func newArrayClass() *rmi.Class {
 	// disjoint regions of a shared page concurrently (§5) without lost
 	// updates, and it ships only the region instead of the whole page.
 	subMutator := func(mutate func(a *arrayPageDevice, off int, runLen int, args *wire.Decoder) error,
-	) rmi.MethodFunc {
-		return func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			a := obj.(*arrayPageDevice)
+	) func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		return func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			index := args.Int()
 			lo, dim, err := decodeSubBox(a, args)
 			if err != nil {
@@ -534,8 +526,7 @@ func newArrayClass() *rmi.Class {
 		return args.Err()
 	}))
 	// fillSub(index, box, v): set a sub-box to a constant.
-	c.Method("fillSub", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("fillSub", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		lo, dim, err := decodeSubBox(a, args)
 		if err != nil {
@@ -562,8 +553,7 @@ func newArrayClass() *rmi.Class {
 		return a.write(index, a.scratch)
 	})
 	// scaleSub(index, box, alpha): multiply a sub-box by a constant.
-	c.Method("scaleSub", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-		a := obj.(*arrayPageDevice)
+	c.Method("scaleSub", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		lo, dim, err := decodeSubBox(a, args)
 		if err != nil {
@@ -617,7 +607,7 @@ func newArrayClass() *rmi.Class {
 		if env.Client == nil {
 			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
 		}
-		d, err := env.Client.Call(peer, "readArray", func(e *wire.Encoder) error {
+		d, err := env.Client.Call(context.Background(), peer, "readArray", func(e *wire.Encoder) error {
 			e.PutInt(peerIdx)
 			return nil
 		})
@@ -628,11 +618,10 @@ func newArrayClass() *rmi.Class {
 		return d.Err()
 	}
 
-	c.Method("dotWith", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+	c.Method("dotWith", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		// dotWith(localIdx, peerRef, peerIdx): dot product of a local page
 		// with a page held by another device process. The peer page moves
 		// device-to-device; only the scalar returns to the caller.
-		a := obj.(*arrayPageDevice)
 		localIdx := args.Int()
 		peer := args.Ref()
 		peerIdx := args.Int()
@@ -653,10 +642,9 @@ func newArrayClass() *rmi.Class {
 		reply.PutFloat64(s)
 		return nil
 	})
-	c.Method("axpyWith", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+	c.Method("axpyWith", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		// axpyWith(localIdx, alpha, peerRef, peerIdx): local page +=
 		// alpha * peer page, computed at this device.
-		a := obj.(*arrayPageDevice)
 		localIdx := args.Int()
 		alpha := args.Float64()
 		peer := args.Ref()

@@ -2,6 +2,7 @@ package pagedev_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -13,6 +14,9 @@ import (
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func startCluster(t testing.TB, machines, disks int) *cluster.Cluster {
 	t.Helper()
@@ -35,7 +39,7 @@ func TestPaperPageDeviceExample(t *testing.T) {
 		numberOfPages = 10
 		pageSize      = 1024
 	)
-	pageStore, err := pagedev.NewDevice(client, 1, "pagefile", numberOfPages, pageSize, pagedev.DiskPrivate)
+	pageStore, err := pagedev.NewDevice(bg, client, 1, "pagefile", numberOfPages, pageSize, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("new(machine 1) PageDevice: %v", err)
 	}
@@ -47,14 +51,14 @@ func TestPaperPageDeviceExample(t *testing.T) {
 	// The paper writes to PageIndex 17 with NumberOfPages 10 — out of
 	// range; we use a valid address and also verify the range check.
 	const pageAddress = 7
-	if err := pageStore.Write(pageAddress, page.Data); err != nil {
+	if err := pageStore.Write(bg, pageAddress, page.Data); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	if err := pageStore.Write(17, page.Data); err == nil {
+	if err := pageStore.Write(bg, 17, page.Data); err == nil {
 		t.Fatal("write at page 17 of a 10-page device must fail")
 	}
 
-	got, err := pageStore.Read(pageAddress)
+	got, err := pageStore.Read(bg, pageAddress)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -62,45 +66,45 @@ func TestPaperPageDeviceExample(t *testing.T) {
 		t.Fatal("read back mismatch")
 	}
 
-	n, err := pageStore.NumPages()
+	n, err := pageStore.NumPages(bg)
 	if err != nil || n != numberOfPages {
 		t.Fatalf("NumPages = %d, %v", n, err)
 	}
-	ps, err := pageStore.PageSize()
+	ps, err := pageStore.PageSize(bg)
 	if err != nil || ps != pageSize {
 		t.Fatalf("PageSize = %d, %v", ps, err)
 	}
-	name, err := pageStore.Name()
+	name, err := pageStore.Name(bg)
 	if err != nil || name != "pagefile" {
 		t.Fatalf("Name = %q, %v", name, err)
 	}
-	r, w, err := pageStore.Stats()
+	r, w, err := pageStore.Stats(bg)
 	if err != nil || r != 1 || w != 1 {
 		t.Fatalf("Stats = (%d,%d), %v", r, w, err)
 	}
 
 	// delete PageStore -> process terminates.
-	if err := pageStore.Close(); err != nil {
+	if err := pageStore.Close(bg); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := pageStore.Read(0); !errors.Is(err, rmi.ErrNoSuchObject) {
+	if _, err := pageStore.Read(bg, 0); !errors.Is(err, rmi.ErrNoSuchObject) {
 		t.Fatalf("read after delete: %v", err)
 	}
 }
 
 func TestDeviceOnClusterDisk(t *testing.T) {
 	c := startCluster(t, 2, 1)
-	dev, err := pagedev.NewDevice(c.Client(), 1, "d", 16, 512, 0)
+	dev, err := pagedev.NewDevice(bg, c.Client(), 1, "d", 16, 512, 0)
 	if err != nil {
 		t.Fatalf("NewDevice: %v", err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 
 	data := bytes.Repeat([]byte{0x5A}, 512)
-	if err := dev.Write(3, data); err != nil {
+	if err := dev.Write(bg, 3, data); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, err := dev.Read(3)
+	got, err := dev.Read(bg, 3)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -122,23 +126,23 @@ func TestConstructorValidation(t *testing.T) {
 		fn   func() error
 	}{
 		{"zero pages", func() error {
-			_, err := pagedev.NewDevice(client, 0, "x", 0, 512, pagedev.DiskPrivate)
+			_, err := pagedev.NewDevice(bg, client, 0, "x", 0, 512, pagedev.DiskPrivate)
 			return err
 		}},
 		{"zero page size", func() error {
-			_, err := pagedev.NewDevice(client, 0, "x", 4, 0, pagedev.DiskPrivate)
+			_, err := pagedev.NewDevice(bg, client, 0, "x", 4, 0, pagedev.DiskPrivate)
 			return err
 		}},
 		{"missing disk", func() error {
-			_, err := pagedev.NewDevice(client, 0, "x", 4, 512, 5)
+			_, err := pagedev.NewDevice(bg, client, 0, "x", 4, 512, 5)
 			return err
 		}},
 		{"disk too small", func() error {
-			_, err := pagedev.NewDevice(client, 0, "x", 1<<20, 1<<20, 0)
+			_, err := pagedev.NewDevice(bg, client, 0, "x", 1<<20, 1<<20, 0)
 			return err
 		}},
 		{"bad dims", func() error {
-			_, err := pagedev.NewArrayDevice(client, 0, "x", 4, 0, 2, 2, pagedev.DiskPrivate)
+			_, err := pagedev.NewArrayDevice(bg, client, 0, "x", 4, 0, 2, 2, pagedev.DiskPrivate)
 			return err
 		}},
 	}
@@ -151,18 +155,18 @@ func TestConstructorValidation(t *testing.T) {
 
 func TestWrongPageSizeRejected(t *testing.T) {
 	c := startCluster(t, 1, 0)
-	dev, err := pagedev.NewDevice(c.Client(), 0, "d", 4, 256, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, c.Client(), 0, "d", 4, 256, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewDevice: %v", err)
 	}
-	defer dev.Close()
-	if err := dev.Write(0, make([]byte, 100)); err == nil {
+	defer dev.Close(bg)
+	if err := dev.Write(bg, 0, make([]byte, 100)); err == nil {
 		t.Fatal("short page accepted")
 	}
-	if err := dev.Write(-1, make([]byte, 256)); err == nil {
+	if err := dev.Write(bg, -1, make([]byte, 256)); err == nil {
 		t.Fatal("negative index accepted")
 	}
-	if _, err := dev.Read(4); err == nil {
+	if _, err := dev.Read(bg, 4); err == nil {
 		t.Fatal("out-of-range read accepted")
 	}
 }
@@ -175,30 +179,30 @@ func TestArrayDeviceSumBothWays(t *testing.T) {
 	client := c.Client()
 
 	const n1, n2, n3 = 8, 8, 8
-	blocks, err := pagedev.NewArrayDevice(client, 1, "array_blocks", 6, n1, n2, n3, pagedev.DiskPrivate)
+	blocks, err := pagedev.NewArrayDevice(bg, client, 1, "array_blocks", 6, n1, n2, n3, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("new ArrayPageDevice: %v", err)
 	}
-	defer blocks.Close()
+	defer blocks.Close(bg)
 
 	page := pagedev.NewArrayPage(n1, n2, n3)
 	for i := range page.Data {
 		page.Data[i] = float64(i%17) - 8
 	}
 	const addr = 4
-	if err := blocks.WritePage(page, addr); err != nil {
+	if err := blocks.WritePage(bg, page, addr); err != nil {
 		t.Fatalf("write page: %v", err)
 	}
 
 	// (a) Move the data to the computation.
 	local := pagedev.NewArrayPage(n1, n2, n3)
-	if err := blocks.ReadPage(local, addr); err != nil {
+	if err := blocks.ReadPage(bg, local, addr); err != nil {
 		t.Fatalf("read page: %v", err)
 	}
 	localSum := local.Sum()
 
 	// (b) Move the computation to the data.
-	remoteSum, err := blocks.Sum(addr)
+	remoteSum, err := blocks.Sum(bg, addr)
 	if err != nil {
 		t.Fatalf("remote sum: %v", err)
 	}
@@ -214,44 +218,44 @@ func TestArrayDeviceSumBothWays(t *testing.T) {
 
 func TestArrayDeviceRemoteOps(t *testing.T) {
 	c := startCluster(t, 2, 0)
-	dev, err := pagedev.NewArrayDevice(c.Client(), 1, "ops", 3, 4, 4, 4, pagedev.DiskPrivate)
+	dev, err := pagedev.NewArrayDevice(bg, c.Client(), 1, "ops", 3, 4, 4, 4, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewArrayDevice: %v", err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 
-	if err := dev.FillPage(0, 2.0); err != nil {
+	if err := dev.FillPage(bg, 0, 2.0); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
-	if err := dev.FillPage(1, -1.0); err != nil {
+	if err := dev.FillPage(bg, 1, -1.0); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
-	if err := dev.FillPage(2, 0.5); err != nil {
+	if err := dev.FillPage(bg, 2, 0.5); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
-	s, err := dev.Sum(0)
+	s, err := dev.Sum(bg, 0)
 	if err != nil || s != 128 {
 		t.Fatalf("sum page 0 = %v, %v (want 128)", s, err)
 	}
-	total, err := dev.SumAll()
+	total, err := dev.SumAll(bg)
 	if err != nil {
 		t.Fatalf("sumAll: %v", err)
 	}
 	if want := 128.0 - 64.0 + 32.0; math.Abs(total-want) > 1e-9 {
 		t.Fatalf("sumAll = %v, want %v", total, want)
 	}
-	if err := dev.ScalePage(0, 0.25); err != nil {
+	if err := dev.ScalePage(bg, 0, 0.25); err != nil {
 		t.Fatalf("scale: %v", err)
 	}
-	s, err = dev.Sum(0)
+	s, err = dev.Sum(bg, 0)
 	if err != nil || s != 32 {
 		t.Fatalf("after scale sum = %v, %v", s, err)
 	}
-	lo, hi, err := dev.MinMaxPage(1)
+	lo, hi, err := dev.MinMaxPage(bg, 1)
 	if err != nil || lo != -1 || hi != -1 {
 		t.Fatalf("minmax = (%v,%v), %v", lo, hi, err)
 	}
-	n1, n2, n3, err := dev.RemoteDims()
+	n1, n2, n3, err := dev.RemoteDims(bg)
 	if err != nil || n1 != 4 || n2 != 4 || n3 != 4 {
 		t.Fatalf("dims = %d,%d,%d, %v", n1, n2, n3, err)
 	}
@@ -261,10 +265,10 @@ func TestArrayDeviceRemoteOps(t *testing.T) {
 	}
 	// Dim-mismatched pages rejected client-side.
 	bad := pagedev.NewArrayPage(2, 2, 2)
-	if err := dev.ReadPage(bad, 0); err == nil {
+	if err := dev.ReadPage(bg, bad, 0); err == nil {
 		t.Fatal("dim mismatch accepted in ReadPage")
 	}
-	if err := dev.WritePage(bad, 0); err == nil {
+	if err := dev.WritePage(bg, bad, 0); err == nil {
 		t.Fatal("dim mismatch accepted in WritePage")
 	}
 }
@@ -273,43 +277,43 @@ func TestArrayDeviceRemoteOps(t *testing.T) {
 // derived ArrayPageDevice still speaks the base PageDevice protocol.
 func TestInheritedMethodsOnDerived(t *testing.T) {
 	c := startCluster(t, 1, 0)
-	dev, err := pagedev.NewArrayDevice(c.Client(), 0, "derived", 2, 2, 2, 2, pagedev.DiskPrivate)
+	dev, err := pagedev.NewArrayDevice(bg, c.Client(), 0, "derived", 2, 2, 2, 2, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewArrayDevice: %v", err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 
 	// Base protocol: raw byte read/write on the derived process.
 	raw := make([]byte, 2*2*2*8)
 	for i := range raw {
 		raw[i] = byte(i)
 	}
-	if err := dev.Write(0, raw); err != nil {
+	if err := dev.Write(bg, 0, raw); err != nil {
 		t.Fatalf("base write on derived: %v", err)
 	}
-	got, err := dev.Read(0)
+	got, err := dev.Read(bg, 0)
 	if err != nil {
 		t.Fatalf("base read on derived: %v", err)
 	}
 	if !bytes.Equal(got, raw) {
 		t.Fatal("base round trip mismatch")
 	}
-	n, err := dev.NumPages()
+	n, err := dev.NumPages(bg)
 	if err != nil || n != 2 {
 		t.Fatalf("NumPages = %d, %v", n, err)
 	}
-	ps, err := dev.PageSize()
+	ps, err := dev.PageSize(bg)
 	if err != nil || ps != 64 {
 		t.Fatalf("PageSize = %d, %v", ps, err)
 	}
 	// And base devices must NOT have derived methods.
-	base, err := pagedev.NewDevice(c.Client(), 0, "base", 2, 64, pagedev.DiskPrivate)
+	base, err := pagedev.NewDevice(bg, c.Client(), 0, "base", 2, 64, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewDevice: %v", err)
 	}
-	defer base.Close()
+	defer base.Close(bg)
 	attached := pagedev.AttachArrayDevice(c.Client(), base.Ref(), 2, 2, 2)
-	if _, err := attached.Sum(0); !errors.Is(err, rmi.ErrNoSuchMethod) {
+	if _, err := attached.Sum(bg, 0); !errors.Is(err, rmi.ErrNoSuchMethod) {
 		t.Fatalf("derived method on base process: %v", err)
 	}
 }
@@ -324,11 +328,11 @@ func TestConstructFromProcess(t *testing.T) {
 	const n1, n2, n3 = 4, 4, 2
 	pageSize := n1 * n2 * n3 * 8
 	// A plain PageDevice on machine 1, holding raw bytes.
-	pd, err := pagedev.NewDevice(client, 1, "legacy", 4, pageSize, pagedev.DiskPrivate)
+	pd, err := pagedev.NewDevice(bg, client, 1, "legacy", 4, pageSize, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewDevice: %v", err)
 	}
-	defer pd.Close()
+	defer pd.Close(bg)
 
 	// Seed page 2 with packed float64s through the raw protocol.
 	vals := make([]float64, n1*n2*n3)
@@ -339,18 +343,18 @@ func TestConstructFromProcess(t *testing.T) {
 	if err := pagedev.Float64sToBytes(raw, vals); err != nil {
 		t.Fatal(err)
 	}
-	if err := pd.Write(2, raw); err != nil {
+	if err := pd.Write(bg, 2, raw); err != nil {
 		t.Fatalf("seed write: %v", err)
 	}
 
 	// Wrap it in an ArrayPageDevice on machine 2 (cross-machine
 	// delegation: the wrapper's storage I/O happens over RMI).
-	wrapper, err := pagedev.NewArrayDeviceFromProcess(client, 2, pd.Ref(), 4, n1, n2, n3)
+	wrapper, err := pagedev.NewArrayDeviceFromProcess(bg, client, 2, pd.Ref(), 4, n1, n2, n3)
 	if err != nil {
 		t.Fatalf("NewArrayDeviceFromProcess: %v", err)
 	}
 
-	sum, err := wrapper.Sum(2)
+	sum, err := wrapper.Sum(bg, 2)
 	if err != nil {
 		t.Fatalf("wrapper sum: %v", err)
 	}
@@ -362,10 +366,10 @@ func TestConstructFromProcess(t *testing.T) {
 	// Writes through the wrapper land in the original device.
 	page := pagedev.NewArrayPage(n1, n2, n3)
 	page.Fill(1)
-	if err := wrapper.WritePage(page, 0); err != nil {
+	if err := wrapper.WritePage(bg, page, 0); err != nil {
 		t.Fatalf("wrapper write: %v", err)
 	}
-	got, err := pd.Read(0)
+	got, err := pd.Read(bg, 0)
 	if err != nil {
 		t.Fatalf("original read: %v", err)
 	}
@@ -380,10 +384,10 @@ func TestConstructFromProcess(t *testing.T) {
 	}
 
 	// Deleting the wrapper must not touch the original process.
-	if err := wrapper.Close(); err != nil {
+	if err := wrapper.Close(bg); err != nil {
 		t.Fatalf("wrapper close: %v", err)
 	}
-	if _, err := pd.Read(0); err != nil {
+	if _, err := pd.Read(bg, 0); err != nil {
 		t.Fatalf("original died with wrapper: %v", err)
 	}
 }
@@ -394,29 +398,29 @@ func TestCopyFrom(t *testing.T) {
 	c := startCluster(t, 3, 0)
 	client := c.Client()
 
-	src, err := pagedev.NewDevice(client, 1, "src", 3, 128, pagedev.DiskPrivate)
+	src, err := pagedev.NewDevice(bg, client, 1, "src", 3, 128, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("src: %v", err)
 	}
-	defer src.Close()
+	defer src.Close(bg)
 	for i := 0; i < 3; i++ {
 		page := bytes.Repeat([]byte{byte(i + 1)}, 128)
-		if err := src.Write(i, page); err != nil {
+		if err := src.Write(bg, i, page); err != nil {
 			t.Fatalf("seed %d: %v", i, err)
 		}
 	}
 
-	dst, err := pagedev.NewDevice(client, 2, "dst", 3, 128, pagedev.DiskPrivate)
+	dst, err := pagedev.NewDevice(bg, client, 2, "dst", 3, 128, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("dst: %v", err)
 	}
-	defer dst.Close()
+	defer dst.Close(bg)
 
-	if err := dst.CopyFrom(src.Ref(), 3); err != nil {
+	if err := dst.CopyFrom(bg, src.Ref(), 3); err != nil {
 		t.Fatalf("CopyFrom: %v", err)
 	}
 	for i := 0; i < 3; i++ {
-		got, err := dst.Read(i)
+		got, err := dst.Read(bg, i)
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
 		}
@@ -425,15 +429,15 @@ func TestCopyFrom(t *testing.T) {
 		}
 	}
 	// Copying more pages than the destination holds fails.
-	if err := dst.CopyFrom(src.Ref(), 4); err == nil {
+	if err := dst.CopyFrom(bg, src.Ref(), 4); err == nil {
 		t.Fatal("oversized CopyFrom accepted")
 	}
 
 	// §5 completion: "delete page_device" — the original can now go.
-	if err := src.Close(); err != nil {
+	if err := src.Close(bg); err != nil {
 		t.Fatalf("src close: %v", err)
 	}
-	if _, err := dst.Read(0); err != nil {
+	if _, err := dst.Read(bg, 0); err != nil {
 		t.Fatalf("copy not independent of source: %v", err)
 	}
 }
@@ -458,14 +462,14 @@ func TestParallelReadsAcrossDevices(t *testing.T) {
 
 	devs := make([]*pagedev.Device, n)
 	for i := range devs {
-		devs[i], err = pagedev.NewDevice(client, i, "d", 4, 1024, 0)
+		devs[i], err = pagedev.NewDevice(bg, client, i, "d", 4, 1024, 0)
 		if err != nil {
 			t.Fatalf("device %d: %v", i, err)
 		}
 	}
 	page := make([]byte, 1024)
 	for _, d := range devs {
-		if err := d.Write(0, page); err != nil {
+		if err := d.Write(bg, 0, page); err != nil {
 			t.Fatalf("seed: %v", err)
 		}
 	}
@@ -473,7 +477,7 @@ func TestParallelReadsAcrossDevices(t *testing.T) {
 	// Sequential loop (§2 semantics): ~n * seek.
 	start := time.Now()
 	for _, d := range devs {
-		if _, err := d.Read(0); err != nil {
+		if _, err := d.Read(bg, 0); err != nil {
 			t.Fatalf("read: %v", err)
 		}
 	}
@@ -483,10 +487,10 @@ func TestParallelReadsAcrossDevices(t *testing.T) {
 	start = time.Now()
 	futs := make([]*rmi.Future, n)
 	for i, d := range devs {
-		futs[i] = d.ReadAsync(0)
+		futs[i] = d.ReadAsync(bg, 0)
 	}
 	for _, f := range futs {
-		if _, err := pagedev.DecodePage(f); err != nil {
+		if _, err := pagedev.DecodePage(bg, f); err != nil {
 			t.Fatalf("async read: %v", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package pagedev
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/rmi"
@@ -23,8 +24,8 @@ type Device struct {
 //
 // diskIndex selects which of the machine's disks backs the device;
 // DiskPrivate gives it a private in-memory disk.
-func NewDevice(client *rmi.Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
-	ref, err := client.New(m, ClassPageDevice, func(e *wire.Encoder) error {
+func NewDevice(ctx context.Context, client *rmi.Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
+	ref, err := PageDeviceClass.New(ctx, client, m, func(e *wire.Encoder) error {
 		e.PutString(name)
 		e.PutInt(numPages)
 		e.PutInt(pageSize)
@@ -47,8 +48,8 @@ func AttachDevice(client *rmi.Client, ref rmi.Ref) *Device {
 func (d *Device) Ref() rmi.Ref { return d.ref }
 
 // Write stores page data at the given page index.
-func (d *Device) Write(index int, data []byte) error {
-	_, err := d.client.Call(d.ref, "write", func(e *wire.Encoder) error {
+func (d *Device) Write(ctx context.Context, index int, data []byte) error {
+	_, err := d.client.Call(ctx, d.ref, "write", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutBytes(data)
 		return nil
@@ -57,8 +58,8 @@ func (d *Device) Write(index int, data []byte) error {
 }
 
 // WriteAsync begins a page write and returns its future.
-func (d *Device) WriteAsync(index int, data []byte) *rmi.Future {
-	return d.client.CallAsync(d.ref, "write", func(e *wire.Encoder) error {
+func (d *Device) WriteAsync(ctx context.Context, index int, data []byte) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "write", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutBytes(data)
 		return nil
@@ -66,8 +67,8 @@ func (d *Device) WriteAsync(index int, data []byte) *rmi.Future {
 }
 
 // Read fetches the page at the given index.
-func (d *Device) Read(index int) ([]byte, error) {
-	dec, err := d.client.Call(d.ref, "read", func(e *wire.Encoder) error {
+func (d *Device) Read(ctx context.Context, index int) ([]byte, error) {
+	dec, err := d.client.Call(ctx, d.ref, "read", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
@@ -79,16 +80,16 @@ func (d *Device) Read(index int) ([]byte, error) {
 }
 
 // ReadAsync begins a page read; decode the result with DecodePage.
-func (d *Device) ReadAsync(index int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "read", func(e *wire.Encoder) error {
+func (d *Device) ReadAsync(ctx context.Context, index int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "read", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
 }
 
 // DecodePage extracts the page bytes from a completed ReadAsync future.
-func DecodePage(fut *rmi.Future) ([]byte, error) {
-	dec, err := fut.Wait()
+func DecodePage(ctx context.Context, fut *rmi.Future) ([]byte, error) {
+	dec, err := fut.Wait(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -97,8 +98,8 @@ func DecodePage(fut *rmi.Future) ([]byte, error) {
 }
 
 // NumPages returns the device capacity in pages.
-func (d *Device) NumPages() (int, error) {
-	dec, err := d.client.Call(d.ref, "numPages", nil)
+func (d *Device) NumPages(ctx context.Context) (int, error) {
+	dec, err := d.client.Call(ctx, d.ref, "numPages", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -107,8 +108,8 @@ func (d *Device) NumPages() (int, error) {
 }
 
 // PageSize returns the device page size in bytes.
-func (d *Device) PageSize() (int, error) {
-	dec, err := d.client.Call(d.ref, "pageSize", nil)
+func (d *Device) PageSize(ctx context.Context) (int, error) {
+	dec, err := d.client.Call(ctx, d.ref, "pageSize", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -117,8 +118,8 @@ func (d *Device) PageSize() (int, error) {
 }
 
 // Name returns the device label.
-func (d *Device) Name() (string, error) {
-	dec, err := d.client.Call(d.ref, "name", nil)
+func (d *Device) Name(ctx context.Context) (string, error) {
+	dec, err := d.client.Call(ctx, d.ref, "name", nil)
 	if err != nil {
 		return "", err
 	}
@@ -127,8 +128,8 @@ func (d *Device) Name() (string, error) {
 }
 
 // Stats returns the device's served (reads, writes).
-func (d *Device) Stats() (reads, writes int64, err error) {
-	dec, err := d.client.Call(d.ref, "stats", nil)
+func (d *Device) Stats(ctx context.Context) (reads, writes int64, err error) {
+	dec, err := d.client.Call(ctx, d.ref, "stats", nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -140,8 +141,8 @@ func (d *Device) Stats() (reads, writes int64, err error) {
 // CopyFrom pulls count pages from another device process into this one —
 // the transfer happens directly between the two server processes; the
 // client only orchestrates (§5 copy-construction).
-func (d *Device) CopyFrom(src rmi.Ref, count int) error {
-	_, err := d.client.Call(d.ref, "copyFrom", func(e *wire.Encoder) error {
+func (d *Device) CopyFrom(ctx context.Context, src rmi.Ref, count int) error {
+	_, err := d.client.Call(ctx, d.ref, "copyFrom", func(e *wire.Encoder) error {
 		e.PutRef(src)
 		e.PutInt(count)
 		return nil
@@ -150,7 +151,7 @@ func (d *Device) CopyFrom(src rmi.Ref, count int) error {
 }
 
 // Close destroys the remote process — "delete PageStore".
-func (d *Device) Close() error { return d.client.Delete(d.ref) }
+func (d *Device) Close(ctx context.Context) error { return d.client.Delete(ctx, d.ref) }
 
 // ArrayDevice is the client stub for the derived ArrayPageDevice process.
 // It embeds Device: the stub inheritance mirrors the process inheritance.
@@ -164,8 +165,8 @@ type ArrayDevice struct {
 //
 //	ArrayPageDevice * blocks = new(machine m)
 //	    ArrayPageDevice("array_blocks", NumberOfPages, n1, n2, n3);
-func NewArrayDevice(client *rmi.Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
-	ref, err := client.New(m, ClassArrayPageDevice, func(e *wire.Encoder) error {
+func NewArrayDevice(ctx context.Context, client *rmi.Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
+	ref, err := ArrayPageDeviceClass.New(ctx, client, m, func(e *wire.Encoder) error {
 		e.PutInt(ctorFresh)
 		e.PutString(name)
 		e.PutInt(numPages)
@@ -187,8 +188,8 @@ func NewArrayDevice(client *rmi.Client, m int, name string, numPages, n1, n2, n3
 //	ArrayPageDevice * new_device = new ArrayPageDevice(page_device);
 //
 // The new process co-exists and communicates with the old one.
-func NewArrayDeviceFromProcess(client *rmi.Client, m int, src rmi.Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
-	ref, err := client.New(m, ClassArrayPageDevice, func(e *wire.Encoder) error {
+func NewArrayDeviceFromProcess(ctx context.Context, client *rmi.Client, m int, src rmi.Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
+	ref, err := ArrayPageDeviceClass.New(ctx, client, m, func(e *wire.Encoder) error {
 		e.PutInt(ctorFromProcess)
 		e.PutRef(src)
 		e.PutInt(numPages)
@@ -212,8 +213,8 @@ func AttachArrayDevice(client *rmi.Client, ref rmi.Ref, n1, n2, n3 int) *ArrayDe
 func (d *ArrayDevice) Dims() (n1, n2, n3 int) { return d.n1, d.n2, d.n3 }
 
 // RemoteDims asks the process for its block dimensions.
-func (d *ArrayDevice) RemoteDims() (n1, n2, n3 int, err error) {
-	dec, err := d.client.Call(d.ref, "dims", nil)
+func (d *ArrayDevice) RemoteDims(ctx context.Context) (n1, n2, n3 int, err error) {
+	dec, err := d.client.Call(ctx, d.ref, "dims", nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -223,8 +224,8 @@ func (d *ArrayDevice) RemoteDims() (n1, n2, n3 int, err error) {
 
 // Sum computes the page's element sum on the remote machine — "moving the
 // computation to the data" (§3): only the scalar crosses the network.
-func (d *ArrayDevice) Sum(index int) (float64, error) {
-	dec, err := d.client.Call(d.ref, "sum", func(e *wire.Encoder) error {
+func (d *ArrayDevice) Sum(ctx context.Context, index int) (float64, error) {
+	dec, err := d.client.Call(ctx, d.ref, "sum", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
@@ -236,16 +237,16 @@ func (d *ArrayDevice) Sum(index int) (float64, error) {
 }
 
 // SumAsync begins a remote page sum.
-func (d *ArrayDevice) SumAsync(index int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "sum", func(e *wire.Encoder) error {
+func (d *ArrayDevice) SumAsync(ctx context.Context, index int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "sum", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
 }
 
 // DecodeSum extracts the scalar from a completed SumAsync future.
-func DecodeSum(fut *rmi.Future) (float64, error) {
-	dec, err := fut.Wait()
+func DecodeSum(ctx context.Context, fut *rmi.Future) (float64, error) {
+	dec, err := fut.Wait(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -254,8 +255,8 @@ func DecodeSum(fut *rmi.Future) (float64, error) {
 }
 
 // SumAll sums every page on the device remotely.
-func (d *ArrayDevice) SumAll() (float64, error) {
-	dec, err := d.client.Call(d.ref, "sumAll", nil)
+func (d *ArrayDevice) SumAll(ctx context.Context) (float64, error) {
+	dec, err := d.client.Call(ctx, d.ref, "sumAll", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -266,12 +267,12 @@ func (d *ArrayDevice) SumAll() (float64, error) {
 // ReadPage fetches page index into p — "moving the data to the
 // computation" (§3): the whole page crosses the network, then the caller
 // computes locally (e.g. p.Sum()).
-func (d *ArrayDevice) ReadPage(p *ArrayPage, index int) error {
+func (d *ArrayDevice) ReadPage(ctx context.Context, p *ArrayPage, index int) error {
 	if p.N1 != d.n1 || p.N2 != d.n2 || p.N3 != d.n3 {
 		return fmt.Errorf("pagedev: page dims %dx%dx%d, device dims %dx%dx%d",
 			p.N1, p.N2, p.N3, d.n1, d.n2, d.n3)
 	}
-	dec, err := d.client.Call(d.ref, "readArray", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "readArray", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
@@ -284,16 +285,16 @@ func (d *ArrayDevice) ReadPage(p *ArrayPage, index int) error {
 
 // ReadPageAsync begins an array page read; decode into a page with
 // DecodeArrayPage.
-func (d *ArrayDevice) ReadPageAsync(index int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "readArray", func(e *wire.Encoder) error {
+func (d *ArrayDevice) ReadPageAsync(ctx context.Context, index int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "readArray", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
 }
 
 // DecodeArrayPage fills p from a completed ReadPageAsync future.
-func DecodeArrayPage(fut *rmi.Future, p *ArrayPage) error {
-	dec, err := fut.Wait()
+func DecodeArrayPage(ctx context.Context, fut *rmi.Future, p *ArrayPage) error {
+	dec, err := fut.Wait(ctx)
 	if err != nil {
 		return err
 	}
@@ -302,12 +303,12 @@ func DecodeArrayPage(fut *rmi.Future, p *ArrayPage) error {
 }
 
 // WritePage stores p at page index.
-func (d *ArrayDevice) WritePage(p *ArrayPage, index int) error {
+func (d *ArrayDevice) WritePage(ctx context.Context, p *ArrayPage, index int) error {
 	if p.N1 != d.n1 || p.N2 != d.n2 || p.N3 != d.n3 {
 		return fmt.Errorf("pagedev: page dims %dx%dx%d, device dims %dx%dx%d",
 			p.N1, p.N2, p.N3, d.n1, d.n2, d.n3)
 	}
-	_, err := d.client.Call(d.ref, "writeArray", func(e *wire.Encoder) error {
+	_, err := d.client.Call(ctx, d.ref, "writeArray", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64s(p.Data)
 		return nil
@@ -316,8 +317,8 @@ func (d *ArrayDevice) WritePage(p *ArrayPage, index int) error {
 }
 
 // WritePageAsync begins an array page write.
-func (d *ArrayDevice) WritePageAsync(p *ArrayPage, index int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "writeArray", func(e *wire.Encoder) error {
+func (d *ArrayDevice) WritePageAsync(ctx context.Context, p *ArrayPage, index int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "writeArray", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64s(p.Data)
 		return nil
@@ -325,8 +326,8 @@ func (d *ArrayDevice) WritePageAsync(p *ArrayPage, index int) *rmi.Future {
 }
 
 // ScalePage multiplies page index by alpha, remotely.
-func (d *ArrayDevice) ScalePage(index int, alpha float64) error {
-	_, err := d.client.Call(d.ref, "scalePage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) ScalePage(ctx context.Context, index int, alpha float64) error {
+	_, err := d.client.Call(ctx, d.ref, "scalePage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		return nil
@@ -335,8 +336,8 @@ func (d *ArrayDevice) ScalePage(index int, alpha float64) error {
 }
 
 // FillPage sets every element of page index to v, remotely.
-func (d *ArrayDevice) FillPage(index int, v float64) error {
-	_, err := d.client.Call(d.ref, "fillPage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) FillPage(ctx context.Context, index int, v float64) error {
+	_, err := d.client.Call(ctx, d.ref, "fillPage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(v)
 		return nil
@@ -345,8 +346,8 @@ func (d *ArrayDevice) FillPage(index int, v float64) error {
 }
 
 // FillPageAsync begins a remote page fill.
-func (d *ArrayDevice) FillPageAsync(index int, v float64) *rmi.Future {
-	return d.client.CallAsync(d.ref, "fillPage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) FillPageAsync(ctx context.Context, index int, v float64) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "fillPage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(v)
 		return nil
@@ -377,8 +378,8 @@ func putSubBox(e *wire.Encoder, index int, box SubBox) {
 // (row-packed: Dim[0]*Dim[1] runs of Dim[2] values). The read-modify-
 // write happens inside the device process's serial method, so concurrent
 // clients updating disjoint regions of one page cannot lose updates.
-func (d *ArrayDevice) WriteSubAsync(index int, box SubBox, vals []float64) *rmi.Future {
-	return d.client.CallAsync(d.ref, "writeSub", func(e *wire.Encoder) error {
+func (d *ArrayDevice) WriteSubAsync(ctx context.Context, index int, box SubBox, vals []float64) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "writeSub", func(e *wire.Encoder) error {
 		if len(vals) != box.Size() {
 			return fmt.Errorf("pagedev: sub-box %v wants %d values, got %d", box, box.Size(), len(vals))
 		}
@@ -392,14 +393,14 @@ func (d *ArrayDevice) WriteSubAsync(index int, box SubBox, vals []float64) *rmi.
 }
 
 // WriteSub is the synchronous WriteSubAsync.
-func (d *ArrayDevice) WriteSub(index int, box SubBox, vals []float64) error {
-	return d.WriteSubAsync(index, box, vals).Err()
+func (d *ArrayDevice) WriteSub(ctx context.Context, index int, box SubBox, vals []float64) error {
+	return d.WriteSubAsync(ctx, index, box, vals).Err(ctx)
 }
 
 // FillSubAsync sets the region box of page index to v, atomically on the
 // device.
-func (d *ArrayDevice) FillSubAsync(index int, box SubBox, v float64) *rmi.Future {
-	return d.client.CallAsync(d.ref, "fillSub", func(e *wire.Encoder) error {
+func (d *ArrayDevice) FillSubAsync(ctx context.Context, index int, box SubBox, v float64) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "fillSub", func(e *wire.Encoder) error {
 		putSubBox(e, index, box)
 		e.PutFloat64(v)
 		return nil
@@ -407,14 +408,14 @@ func (d *ArrayDevice) FillSubAsync(index int, box SubBox, v float64) *rmi.Future
 }
 
 // FillSub is the synchronous FillSubAsync.
-func (d *ArrayDevice) FillSub(index int, box SubBox, v float64) error {
-	return d.FillSubAsync(index, box, v).Err()
+func (d *ArrayDevice) FillSub(ctx context.Context, index int, box SubBox, v float64) error {
+	return d.FillSubAsync(ctx, index, box, v).Err(ctx)
 }
 
 // ScaleSubAsync multiplies the region box of page index by alpha,
 // atomically on the device.
-func (d *ArrayDevice) ScaleSubAsync(index int, box SubBox, alpha float64) *rmi.Future {
-	return d.client.CallAsync(d.ref, "scaleSub", func(e *wire.Encoder) error {
+func (d *ArrayDevice) ScaleSubAsync(ctx context.Context, index int, box SubBox, alpha float64) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "scaleSub", func(e *wire.Encoder) error {
 		putSubBox(e, index, box)
 		e.PutFloat64(alpha)
 		return nil
@@ -422,13 +423,13 @@ func (d *ArrayDevice) ScaleSubAsync(index int, box SubBox, alpha float64) *rmi.F
 }
 
 // ScaleSub is the synchronous ScaleSubAsync.
-func (d *ArrayDevice) ScaleSub(index int, box SubBox, alpha float64) error {
-	return d.ScaleSubAsync(index, box, alpha).Err()
+func (d *ArrayDevice) ScaleSub(ctx context.Context, index int, box SubBox, alpha float64) error {
+	return d.ScaleSubAsync(ctx, index, box, alpha).Err(ctx)
 }
 
 // ScalePageAsync begins a remote page scale.
-func (d *ArrayDevice) ScalePageAsync(index int, alpha float64) *rmi.Future {
-	return d.client.CallAsync(d.ref, "scalePage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) ScalePageAsync(ctx context.Context, index int, alpha float64) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "scalePage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		return nil
@@ -436,8 +437,8 @@ func (d *ArrayDevice) ScalePageAsync(index int, alpha float64) *rmi.Future {
 }
 
 // MinMaxPageAsync begins a remote page min/max; decode with DecodeMinMax.
-func (d *ArrayDevice) MinMaxPageAsync(index int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "minmaxPage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) MinMaxPageAsync(ctx context.Context, index int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "minmaxPage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})
@@ -445,8 +446,8 @@ func (d *ArrayDevice) MinMaxPageAsync(index int) *rmi.Future {
 
 // DecodeMinMax extracts the extrema from a completed MinMaxPageAsync
 // future.
-func DecodeMinMax(fut *rmi.Future) (lo, hi float64, err error) {
-	dec, err := fut.Wait()
+func DecodeMinMax(ctx context.Context, fut *rmi.Future) (lo, hi float64, err error) {
+	dec, err := fut.Wait(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -458,8 +459,8 @@ func DecodeMinMax(fut *rmi.Future) (lo, hi float64, err error) {
 // DotWith computes the dot product of local page index with page peerIdx
 // of another device process. The peer page travels device-to-device; the
 // caller receives only the scalar.
-func (d *ArrayDevice) DotWith(index int, peer rmi.Ref, peerIdx int) (float64, error) {
-	dec, err := d.client.Call(d.ref, "dotWith", func(e *wire.Encoder) error {
+func (d *ArrayDevice) DotWith(ctx context.Context, index int, peer rmi.Ref, peerIdx int) (float64, error) {
+	dec, err := d.client.Call(ctx, d.ref, "dotWith", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutRef(peer)
 		e.PutInt(peerIdx)
@@ -474,8 +475,8 @@ func (d *ArrayDevice) DotWith(index int, peer rmi.Ref, peerIdx int) (float64, er
 
 // DotWithAsync begins a device-to-device page dot product; decode with
 // DecodeSum.
-func (d *ArrayDevice) DotWithAsync(index int, peer rmi.Ref, peerIdx int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "dotWith", func(e *wire.Encoder) error {
+func (d *ArrayDevice) DotWithAsync(ctx context.Context, index int, peer rmi.Ref, peerIdx int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "dotWith", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutRef(peer)
 		e.PutInt(peerIdx)
@@ -485,8 +486,8 @@ func (d *ArrayDevice) DotWithAsync(index int, peer rmi.Ref, peerIdx int) *rmi.Fu
 
 // AxpyWith updates local page index += alpha * (peer page peerIdx),
 // computed at this device.
-func (d *ArrayDevice) AxpyWith(index int, alpha float64, peer rmi.Ref, peerIdx int) error {
-	_, err := d.client.Call(d.ref, "axpyWith", func(e *wire.Encoder) error {
+func (d *ArrayDevice) AxpyWith(ctx context.Context, index int, alpha float64, peer rmi.Ref, peerIdx int) error {
+	_, err := d.client.Call(ctx, d.ref, "axpyWith", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		e.PutRef(peer)
@@ -497,8 +498,8 @@ func (d *ArrayDevice) AxpyWith(index int, alpha float64, peer rmi.Ref, peerIdx i
 }
 
 // AxpyWithAsync begins a device-to-device page AXPY.
-func (d *ArrayDevice) AxpyWithAsync(index int, alpha float64, peer rmi.Ref, peerIdx int) *rmi.Future {
-	return d.client.CallAsync(d.ref, "axpyWith", func(e *wire.Encoder) error {
+func (d *ArrayDevice) AxpyWithAsync(ctx context.Context, index int, alpha float64, peer rmi.Ref, peerIdx int) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "axpyWith", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		e.PutRef(peer)
@@ -508,8 +509,8 @@ func (d *ArrayDevice) AxpyWithAsync(index int, alpha float64, peer rmi.Ref, peer
 }
 
 // MinMaxPage returns the extrema of page index, computed remotely.
-func (d *ArrayDevice) MinMaxPage(index int) (lo, hi float64, err error) {
-	dec, err := d.client.Call(d.ref, "minmaxPage", func(e *wire.Encoder) error {
+func (d *ArrayDevice) MinMaxPage(ctx context.Context, index int) (lo, hi float64, err error) {
+	dec, err := d.client.Call(ctx, d.ref, "minmaxPage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		return nil
 	})

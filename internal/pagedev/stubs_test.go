@@ -12,18 +12,18 @@ import (
 
 func TestAsyncStubVariants(t *testing.T) {
 	c := startCluster(t, 2, 0)
-	dev, err := pagedev.NewArrayDevice(c.Client(), 1, "async", 3, 2, 2, 2, pagedev.DiskPrivate)
+	dev, err := pagedev.NewArrayDevice(bg, c.Client(), 1, "async", 3, 2, 2, 2, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 
 	// WriteAsync on the raw byte protocol.
 	raw := bytes.Repeat([]byte{0x11}, 64)
-	if err := dev.WriteAsync(0, raw).Err(); err != nil {
+	if err := dev.WriteAsync(bg, 0, raw).Err(bg); err != nil {
 		t.Fatalf("WriteAsync: %v", err)
 	}
-	got, err := pagedev.DecodePage(dev.ReadAsync(0))
+	got, err := pagedev.DecodePage(bg, dev.ReadAsync(bg, 0))
 	if err != nil || !bytes.Equal(got, raw) {
 		t.Fatalf("ReadAsync: %v", err)
 	}
@@ -31,11 +31,11 @@ func TestAsyncStubVariants(t *testing.T) {
 	// Array-typed async path.
 	page := pagedev.NewArrayPage(2, 2, 2)
 	page.Fill(2.5)
-	if err := dev.WritePageAsync(page, 1).Err(); err != nil {
+	if err := dev.WritePageAsync(bg, page, 1).Err(bg); err != nil {
 		t.Fatalf("WritePageAsync: %v", err)
 	}
 	back := pagedev.NewArrayPage(2, 2, 2)
-	if err := pagedev.DecodeArrayPage(dev.ReadPageAsync(1), back); err != nil {
+	if err := pagedev.DecodeArrayPage(bg, dev.ReadPageAsync(bg, 1), back); err != nil {
 		t.Fatalf("ReadPageAsync: %v", err)
 	}
 	for i, v := range back.Data {
@@ -43,24 +43,24 @@ func TestAsyncStubVariants(t *testing.T) {
 			t.Fatalf("element %d = %v", i, v)
 		}
 	}
-	s, err := pagedev.DecodeSum(dev.SumAsync(1))
+	s, err := pagedev.DecodeSum(bg, dev.SumAsync(bg, 1))
 	if err != nil || s != 2.5*8 {
 		t.Fatalf("SumAsync = %v, %v", s, err)
 	}
-	if err := dev.FillPageAsync(2, -1).Err(); err != nil {
+	if err := dev.FillPageAsync(bg, 2, -1).Err(bg); err != nil {
 		t.Fatalf("FillPageAsync: %v", err)
 	}
-	if err := dev.ScalePageAsync(2, 3).Err(); err != nil {
+	if err := dev.ScalePageAsync(bg, 2, 3).Err(bg); err != nil {
 		t.Fatalf("ScalePageAsync: %v", err)
 	}
-	lo, hi, err := pagedev.DecodeMinMax(dev.MinMaxPageAsync(2))
+	lo, hi, err := pagedev.DecodeMinMax(bg, dev.MinMaxPageAsync(bg, 2))
 	if err != nil || lo != -3 || hi != -3 {
 		t.Fatalf("MinMaxPageAsync = (%v,%v), %v", lo, hi, err)
 	}
 
 	// AttachDevice round trip.
 	attached := pagedev.AttachDevice(c.Client(), dev.Ref())
-	n, err := attached.NumPages()
+	n, err := attached.NumPages(bg)
 	if err != nil || n != 3 {
 		t.Fatalf("attached NumPages = %d, %v", n, err)
 	}
@@ -69,43 +69,43 @@ func TestAsyncStubVariants(t *testing.T) {
 func TestDeviceDotAndAxpy(t *testing.T) {
 	c := startCluster(t, 2, 0)
 	client := c.Client()
-	a, err := pagedev.NewArrayDevice(client, 0, "a", 2, 2, 2, 2, pagedev.DiskPrivate)
+	a, err := pagedev.NewArrayDevice(bg, client, 0, "a", 2, 2, 2, 2, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("a: %v", err)
 	}
-	defer a.Close()
-	b, err := pagedev.NewArrayDevice(client, 1, "b", 2, 2, 2, 2, pagedev.DiskPrivate)
+	defer a.Close(bg)
+	b, err := pagedev.NewArrayDevice(bg, client, 1, "b", 2, 2, 2, 2, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("b: %v", err)
 	}
-	defer b.Close()
+	defer b.Close(bg)
 
-	if err := a.FillPage(0, 3); err != nil {
+	if err := a.FillPage(bg, 0, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.FillPage(1, 4); err != nil {
+	if err := b.FillPage(bg, 1, 4); err != nil {
 		t.Fatal(err)
 	}
 
 	// Cross-machine dot: page a[0] · page b[1] = 8 * 12.
-	s, err := a.DotWith(0, b.Ref(), 1)
+	s, err := a.DotWith(bg, 0, b.Ref(), 1)
 	if err != nil {
 		t.Fatalf("DotWith: %v", err)
 	}
 	if s != 8*12 {
 		t.Fatalf("dot = %v, want 96", s)
 	}
-	sAsync, err := pagedev.DecodeSum(a.DotWithAsync(0, b.Ref(), 1))
+	sAsync, err := pagedev.DecodeSum(bg, a.DotWithAsync(bg, 0, b.Ref(), 1))
 	if err != nil || sAsync != s {
 		t.Fatalf("DotWithAsync = %v, %v", sAsync, err)
 	}
 
 	// Self dot: same device object on both sides (the fast path that
 	// avoids a mailbox deadlock).
-	if err := a.FillPage(1, 2); err != nil {
+	if err := a.FillPage(bg, 1, 2); err != nil {
 		t.Fatal(err)
 	}
-	self, err := a.DotWith(0, a.Ref(), 1)
+	self, err := a.DotWith(bg, 0, a.Ref(), 1)
 	if err != nil {
 		t.Fatalf("self DotWith: %v", err)
 	}
@@ -114,18 +114,18 @@ func TestDeviceDotAndAxpy(t *testing.T) {
 	}
 
 	// AXPY: a[0] += -0.5 * b[1]  => 3 - 2 = 1 everywhere.
-	if err := a.AxpyWith(0, -0.5, b.Ref(), 1); err != nil {
+	if err := a.AxpyWith(bg, 0, -0.5, b.Ref(), 1); err != nil {
 		t.Fatalf("AxpyWith: %v", err)
 	}
-	sum, err := a.Sum(0)
+	sum, err := a.Sum(bg, 0)
 	if err != nil || math.Abs(sum-8) > 1e-12 {
 		t.Fatalf("after axpy sum = %v, %v", sum, err)
 	}
 	// Async variant too: a[0] += 1 * b[1] => 1 + 4 = 5 everywhere.
-	if err := a.AxpyWithAsync(0, 1, b.Ref(), 1).Err(); err != nil {
+	if err := a.AxpyWithAsync(bg, 0, 1, b.Ref(), 1).Err(bg); err != nil {
 		t.Fatalf("AxpyWithAsync: %v", err)
 	}
-	sum, err = a.Sum(0)
+	sum, err = a.Sum(bg, 0)
 	if err != nil || math.Abs(sum-40) > 1e-12 {
 		t.Fatalf("after async axpy sum = %v, %v", sum, err)
 	}
@@ -136,75 +136,75 @@ func TestDeviceDotAndAxpy(t *testing.T) {
 func TestPersistAllBackings(t *testing.T) {
 	c := startCluster(t, 2, 1)
 	client := c.Client()
-	st, err := persist.NewStore(client, 0)
+	st, err := persist.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatalf("store: %v", err)
 	}
-	defer st.Close()
+	defer st.Close(bg)
 
 	// Private memory backing: contents serialize into the blob.
-	priv, err := pagedev.NewArrayDevice(client, 0, "priv", 2, 2, 2, 2, pagedev.DiskPrivate)
+	priv, err := pagedev.NewArrayDevice(bg, client, 0, "priv", 2, 2, 2, 2, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := priv.FillPage(1, 7); err != nil {
+	if err := priv.FillPage(bg, 1, 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Passivate(priv.Ref(), "oop://b/priv"); err != nil {
+	if err := st.Passivate(bg, priv.Ref(), "oop://b/priv"); err != nil {
 		t.Fatalf("passivate private: %v", err)
 	}
-	ref, err := st.Activate("oop://b/priv")
+	ref, err := st.Activate(bg, "oop://b/priv")
 	if err != nil {
 		t.Fatalf("activate private: %v", err)
 	}
 	revived := pagedev.AttachArrayDevice(client, ref, 2, 2, 2)
-	if s, err := revived.Sum(1); err != nil || s != 7*8 {
+	if s, err := revived.Sum(bg, 1); err != nil || s != 7*8 {
 		t.Fatalf("private revived sum = %v, %v", s, err)
 	}
 
 	// Machine disk backing: geometry serializes, data stays on the disk.
-	onDisk, err := pagedev.NewArrayDevice(client, 0, "disk", 2, 2, 2, 2, 0)
+	onDisk, err := pagedev.NewArrayDevice(bg, client, 0, "disk", 2, 2, 2, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := onDisk.FillPage(0, -2); err != nil {
+	if err := onDisk.FillPage(bg, 0, -2); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Passivate(onDisk.Ref(), "oop://b/disk"); err != nil {
+	if err := st.Passivate(bg, onDisk.Ref(), "oop://b/disk"); err != nil {
 		t.Fatalf("passivate disk: %v", err)
 	}
-	ref, err = st.Activate("oop://b/disk")
+	ref, err = st.Activate(bg, "oop://b/disk")
 	if err != nil {
 		t.Fatalf("activate disk: %v", err)
 	}
 	revived = pagedev.AttachArrayDevice(client, ref, 2, 2, 2)
-	if s, err := revived.Sum(0); err != nil || s != -2*8 {
+	if s, err := revived.Sum(bg, 0); err != nil || s != -2*8 {
 		t.Fatalf("disk revived sum = %v, %v", s, err)
 	}
 
 	// Remote delegation backing: the wrapper's ref serializes; the
 	// original process keeps the data.
-	origin, err := pagedev.NewDevice(client, 1, "origin", 2, 64, pagedev.DiskPrivate)
+	origin, err := pagedev.NewDevice(bg, client, 1, "origin", 2, 64, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer origin.Close()
-	wrapper, err := pagedev.NewArrayDeviceFromProcess(client, 0, origin.Ref(), 2, 2, 2, 2)
+	defer origin.Close(bg)
+	wrapper, err := pagedev.NewArrayDeviceFromProcess(bg, client, 0, origin.Ref(), 2, 2, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := wrapper.FillPage(0, 5); err != nil {
+	if err := wrapper.FillPage(bg, 0, 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Passivate(wrapper.Ref(), "oop://b/remote"); err != nil {
+	if err := st.Passivate(bg, wrapper.Ref(), "oop://b/remote"); err != nil {
 		t.Fatalf("passivate remote-backed: %v", err)
 	}
-	ref, err = st.Activate("oop://b/remote")
+	ref, err = st.Activate(bg, "oop://b/remote")
 	if err != nil {
 		t.Fatalf("activate remote-backed: %v", err)
 	}
 	revived = pagedev.AttachArrayDevice(client, ref, 2, 2, 2)
-	if s, err := revived.Sum(0); err != nil || s != 5*8 {
+	if s, err := revived.Sum(bg, 0); err != nil || s != 5*8 {
 		t.Fatalf("remote-backed revived sum = %v, %v", s, err)
 	}
 }
@@ -213,21 +213,21 @@ func TestPersistAllBackings(t *testing.T) {
 // across stub reattachment.
 func TestStatsAndRefSurvival(t *testing.T) {
 	c := startCluster(t, 1, 0)
-	dev, err := pagedev.NewDevice(c.Client(), 0, "stats", 2, 32, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, c.Client(), 0, "stats", 2, 32, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 	buf := make([]byte, 32)
 	for i := 0; i < 3; i++ {
-		if err := dev.Write(0, buf); err != nil {
+		if err := dev.Write(bg, 0, buf); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := dev.Read(0); err != nil {
+	if _, err := dev.Read(bg, 0); err != nil {
 		t.Fatal(err)
 	}
-	r, w, err := dev.Stats()
+	r, w, err := dev.Stats(bg)
 	if err != nil || r != 1 || w != 3 {
 		t.Fatalf("stats = (%d,%d), %v", r, w, err)
 	}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,11 +20,10 @@ type nameService struct {
 }
 
 func init() {
-	rmi.Register(ClassNameService, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassNameService, func(env *rmi.Env, args *wire.Decoder) (*nameService, error) {
 		return &nameService{bindings: make(map[string]rmi.Ref)}, nil
 	}).
-		Method("bind", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			ns := obj.(*nameService)
+		Method("bind", func(ns *nameService, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			addr := args.String()
 			ref := args.Ref()
 			if err := args.Err(); err != nil {
@@ -35,8 +35,7 @@ func init() {
 			ns.bindings[addr] = ref
 			return nil
 		}).
-		Method("resolve", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			ns := obj.(*nameService)
+		Method("resolve", func(ns *nameService, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			addr := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -48,8 +47,7 @@ func init() {
 			reply.PutRef(ref)
 			return nil
 		}).
-		Method("unbind", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			ns := obj.(*nameService)
+		Method("unbind", func(ns *nameService, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			addr := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -57,8 +55,7 @@ func init() {
 			delete(ns.bindings, addr)
 			return nil
 		}).
-		Method("list", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			ns := obj.(*nameService)
+		Method("list", func(ns *nameService, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			prefix := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -85,8 +82,8 @@ type NameService struct {
 }
 
 // NewNameService creates the directory process on machine m.
-func NewNameService(client *rmi.Client, m int) (*NameService, error) {
-	ref, err := client.New(m, ClassNameService, nil)
+func NewNameService(ctx context.Context, client *rmi.Client, m int) (*NameService, error) {
+	ref, err := client.New(ctx, m, ClassNameService, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -102,8 +99,8 @@ func AttachNameService(client *rmi.Client, ref rmi.Ref) *NameService {
 func (n *NameService) Ref() rmi.Ref { return n.ref }
 
 // Bind associates addr with a remote pointer.
-func (n *NameService) Bind(addr Address, ref rmi.Ref) error {
-	_, err := n.client.Call(n.ref, "bind", func(e *wire.Encoder) error {
+func (n *NameService) Bind(ctx context.Context, addr Address, ref rmi.Ref) error {
+	_, err := n.client.Call(ctx, n.ref, "bind", func(e *wire.Encoder) error {
 		e.PutString(addr.String())
 		e.PutRef(ref)
 		return nil
@@ -113,8 +110,8 @@ func (n *NameService) Bind(addr Address, ref rmi.Ref) error {
 
 // Resolve looks up the remote pointer bound to addr — the paper's
 // 'PageDevice * pd = "http://data/set/PageDevice/34"'.
-func (n *NameService) Resolve(addr Address) (rmi.Ref, error) {
-	d, err := n.client.Call(n.ref, "resolve", func(e *wire.Encoder) error {
+func (n *NameService) Resolve(ctx context.Context, addr Address) (rmi.Ref, error) {
+	d, err := n.client.Call(ctx, n.ref, "resolve", func(e *wire.Encoder) error {
 		e.PutString(addr.String())
 		return nil
 	})
@@ -126,8 +123,8 @@ func (n *NameService) Resolve(addr Address) (rmi.Ref, error) {
 }
 
 // Unbind removes a binding (missing bindings are not an error).
-func (n *NameService) Unbind(addr Address) error {
-	_, err := n.client.Call(n.ref, "unbind", func(e *wire.Encoder) error {
+func (n *NameService) Unbind(ctx context.Context, addr Address) error {
+	_, err := n.client.Call(ctx, n.ref, "unbind", func(e *wire.Encoder) error {
 		e.PutString(addr.String())
 		return nil
 	})
@@ -136,8 +133,8 @@ func (n *NameService) Unbind(addr Address) error {
 
 // List returns all bound addresses with the given string prefix
 // (pass "" for everything).
-func (n *NameService) List(prefix string) ([]string, error) {
-	d, err := n.client.Call(n.ref, "list", func(e *wire.Encoder) error {
+func (n *NameService) List(ctx context.Context, prefix string) ([]string, error) {
+	d, err := n.client.Call(ctx, n.ref, "list", func(e *wire.Encoder) error {
 		e.PutString(prefix)
 		return nil
 	})
@@ -153,7 +150,7 @@ func (n *NameService) List(prefix string) ([]string, error) {
 }
 
 // Close deletes the directory process.
-func (n *NameService) Close() error { return n.client.Delete(n.ref) }
+func (n *NameService) Close(ctx context.Context) error { return n.client.Delete(ctx, n.ref) }
 
 // Manager composes a NameService with per-machine Stores into the usage
 // pattern of §5: persistent processes are reached by address; a resolve
@@ -168,16 +165,16 @@ type Manager struct {
 
 // NewManager creates a name service on machine nsMachine and a store on
 // each listed machine.
-func NewManager(client *rmi.Client, nsMachine int, storeMachines []int) (*Manager, error) {
-	ns, err := NewNameService(client, nsMachine)
+func NewManager(ctx context.Context, client *rmi.Client, nsMachine int, storeMachines []int) (*Manager, error) {
+	ns, err := NewNameService(ctx, client, nsMachine)
 	if err != nil {
 		return nil, err
 	}
 	m := &Manager{ns: ns, stores: make(map[int]*Store), client: client}
 	for _, sm := range storeMachines {
-		st, err := NewStore(client, sm)
+		st, err := NewStore(ctx, client, sm)
 		if err != nil {
-			m.Close()
+			m.Close(ctx)
 			return nil, err
 		}
 		m.stores[sm] = st
@@ -189,7 +186,7 @@ func NewManager(client *rmi.Client, nsMachine int, storeMachines []int) (*Manage
 func (m *Manager) NameService() *NameService { return m.ns }
 
 // StoreOn returns the store for a machine.
-func (m *Manager) StoreOn(machine int) (*Store, error) {
+func (m *Manager) StoreOn(ctx context.Context, machine int) (*Store, error) {
 	st, ok := m.stores[machine]
 	if !ok {
 		return nil, fmt.Errorf("persist: no store on machine %d", machine)
@@ -198,31 +195,33 @@ func (m *Manager) StoreOn(machine int) (*Store, error) {
 }
 
 // Bind registers a live process under addr.
-func (m *Manager) Bind(addr Address, ref rmi.Ref) error { return m.ns.Bind(addr, ref) }
+func (m *Manager) Bind(ctx context.Context, addr Address, ref rmi.Ref) error {
+	return m.ns.Bind(ctx, addr, ref)
+}
 
 // Deactivate passivates the process bound to addr: its state is saved on
 // its machine's store, the process terminates, and the binding is marked
 // passivated (machine retained, object zeroed).
-func (m *Manager) Deactivate(addr Address) error {
-	ref, err := m.ns.Resolve(addr)
+func (m *Manager) Deactivate(ctx context.Context, addr Address) error {
+	ref, err := m.ns.Resolve(ctx, addr)
 	if err != nil {
 		return err
 	}
-	st, err := m.StoreOn(ref.Machine)
+	st, err := m.StoreOn(ctx, ref.Machine)
 	if err != nil {
 		return err
 	}
-	if err := st.Passivate(ref, addr.String()); err != nil {
+	if err := st.Passivate(ctx, ref, addr.String()); err != nil {
 		return err
 	}
 	// Tombstone: remember machine and class with a nil object id.
-	return m.ns.Bind(addr, rmi.Ref{Machine: ref.Machine, Object: 0, Class: ref.Class})
+	return m.ns.Bind(ctx, addr, rmi.Ref{Machine: ref.Machine, Object: 0, Class: ref.Class})
 }
 
 // Resolve returns a live remote pointer for addr, reactivating the
 // process from its stored state when necessary.
-func (m *Manager) Resolve(addr Address) (rmi.Ref, error) {
-	ref, err := m.ns.Resolve(addr)
+func (m *Manager) Resolve(ctx context.Context, addr Address) (rmi.Ref, error) {
+	ref, err := m.ns.Resolve(ctx, addr)
 	if err != nil {
 		return rmi.Ref{}, err
 	}
@@ -230,15 +229,15 @@ func (m *Manager) Resolve(addr Address) (rmi.Ref, error) {
 		return ref, nil
 	}
 	// Passivated: reactivate on its home machine.
-	st, err := m.StoreOn(ref.Machine)
+	st, err := m.StoreOn(ctx, ref.Machine)
 	if err != nil {
 		return rmi.Ref{}, err
 	}
-	live, err := st.Activate(addr.String())
+	live, err := st.Activate(ctx, addr.String())
 	if err != nil {
 		return rmi.Ref{}, err
 	}
-	if err := m.ns.Bind(addr, live); err != nil {
+	if err := m.ns.Bind(ctx, addr, live); err != nil {
 		return rmi.Ref{}, err
 	}
 	return live, nil
@@ -248,36 +247,36 @@ func (m *Manager) Resolve(addr Address) (rmi.Ref, error) {
 // any, and discards stored state — the paper's "persistent processes are
 // objects that can be destroyed only by explicitly calling the
 // destructor".
-func (m *Manager) Destroy(addr Address) error {
-	ref, err := m.ns.Resolve(addr)
+func (m *Manager) Destroy(ctx context.Context, addr Address) error {
+	ref, err := m.ns.Resolve(ctx, addr)
 	if err != nil {
 		return err
 	}
-	if err := m.ns.Unbind(addr); err != nil {
+	if err := m.ns.Unbind(ctx, addr); err != nil {
 		return err
 	}
 	if ref.Object != 0 {
-		if err := m.client.Delete(ref); err != nil {
+		if err := m.client.Delete(ctx, ref); err != nil {
 			return err
 		}
 	}
-	if st, err := m.StoreOn(ref.Machine); err == nil {
-		return st.Remove(addr.String())
+	if st, err := m.StoreOn(ctx, ref.Machine); err == nil {
+		return st.Remove(ctx, addr.String())
 	}
 	return nil
 }
 
 // Close deletes the manager's directory and store processes. Stored blobs
 // on disk survive.
-func (m *Manager) Close() error {
+func (m *Manager) Close(ctx context.Context) error {
 	var firstErr error
 	if m.ns != nil {
-		if err := m.ns.Close(); err != nil {
+		if err := m.ns.Close(ctx); err != nil {
 			firstErr = err
 		}
 	}
 	for _, st := range m.stores {
-		if err := st.Close(); err != nil && firstErr == nil {
+		if err := st.Close(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -1,6 +1,7 @@
 package persist_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,6 +10,9 @@ import (
 	"oopp/internal/persist"
 	"oopp/internal/rmi"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func startCluster(t testing.TB, machines int) *cluster.Cluster {
 	t.Helper()
@@ -66,18 +70,18 @@ func TestAddressParsing(t *testing.T) {
 
 func TestNameServiceBindResolveList(t *testing.T) {
 	c := startCluster(t, 2)
-	ns, err := persist.NewNameService(c.Client(), 0)
+	ns, err := persist.NewNameService(bg, c.Client(), 0)
 	if err != nil {
 		t.Fatalf("name service: %v", err)
 	}
-	defer ns.Close()
+	defer ns.Close(bg)
 
 	ref := rmi.Ref{Machine: 1, Object: 42, Class: "pagedev.PageDevice"}
 	addr := persist.MustParseAddress("oop://data/set/PageDevice/34")
-	if err := ns.Bind(addr, ref); err != nil {
+	if err := ns.Bind(bg, addr, ref); err != nil {
 		t.Fatalf("bind: %v", err)
 	}
-	got, err := ns.Resolve(addr)
+	got, err := ns.Resolve(bg, addr)
 	if err != nil {
 		t.Fatalf("resolve: %v", err)
 	}
@@ -88,13 +92,13 @@ func TestNameServiceBindResolveList(t *testing.T) {
 	// More bindings + prefix listing.
 	addr2 := persist.MustParseAddress("oop://data/set/PageDevice/35")
 	addr3 := persist.MustParseAddress("oop://other/thing")
-	if err := ns.Bind(addr2, ref); err != nil {
+	if err := ns.Bind(bg, addr2, ref); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.Bind(addr3, ref); err != nil {
+	if err := ns.Bind(bg, addr3, ref); err != nil {
 		t.Fatal(err)
 	}
-	names, err := ns.List("oop://data/")
+	names, err := ns.List(bg, "oop://data/")
 	if err != nil {
 		t.Fatalf("list: %v", err)
 	}
@@ -106,24 +110,24 @@ func TestNameServiceBindResolveList(t *testing.T) {
 			t.Fatalf("listed %q outside prefix", n)
 		}
 	}
-	all, err := ns.List("")
+	all, err := ns.List(bg, "")
 	if err != nil || len(all) != 3 {
 		t.Fatalf("list all = %v, %v", all, err)
 	}
 
 	// Unbind.
-	if err := ns.Unbind(addr); err != nil {
+	if err := ns.Unbind(bg, addr); err != nil {
 		t.Fatalf("unbind: %v", err)
 	}
-	if _, err := ns.Resolve(addr); err == nil {
+	if _, err := ns.Resolve(bg, addr); err == nil {
 		t.Fatal("resolve after unbind succeeded")
 	}
 	// Unbind of missing binding is not an error.
-	if err := ns.Unbind(addr); err != nil {
+	if err := ns.Unbind(bg, addr); err != nil {
 		t.Fatalf("double unbind: %v", err)
 	}
 	// Binding a malformed address is rejected server-side.
-	if _, err := c.Client().Call(ns.Ref(), "bind", nil); err == nil {
+	if _, err := c.Client().Call(bg, ns.Ref(), "bind", nil); err == nil {
 		t.Fatal("bind with no args accepted")
 	}
 }
@@ -132,7 +136,7 @@ func TestPassivateActivatePageDevice(t *testing.T) {
 	c := startCluster(t, 2)
 	client := c.Client()
 
-	dev, err := pagedev.NewDevice(client, 1, "persisted", 4, 256, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, client, 1, "persisted", 4, 256, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
@@ -140,40 +144,40 @@ func TestPassivateActivatePageDevice(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	if err := dev.Write(2, payload); err != nil {
+	if err := dev.Write(bg, 2, payload); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 
-	st, err := persist.NewStore(client, 1)
+	st, err := persist.NewStore(bg, client, 1)
 	if err != nil {
 		t.Fatalf("store: %v", err)
 	}
-	defer st.Close()
+	defer st.Close(bg)
 
 	const name = "oop://data/pd/0"
-	if err := st.Passivate(dev.Ref(), name); err != nil {
+	if err := st.Passivate(bg, dev.Ref(), name); err != nil {
 		t.Fatalf("passivate: %v", err)
 	}
 	// The process is gone.
-	if _, err := dev.Read(2); err == nil {
+	if _, err := dev.Read(bg, 2); err == nil {
 		t.Fatal("device alive after passivation")
 	}
-	ok, err := st.Exists(name)
+	ok, err := st.Exists(bg, name)
 	if err != nil || !ok {
 		t.Fatalf("exists = %v, %v", ok, err)
 	}
-	names, err := st.List()
+	names, err := st.List(bg)
 	if err != nil || len(names) != 1 || names[0] != name {
 		t.Fatalf("list = %v, %v", names, err)
 	}
 
 	// Reactivate: a new process with the same state.
-	ref, err := st.Activate(name)
+	ref, err := st.Activate(bg, name)
 	if err != nil {
 		t.Fatalf("activate: %v", err)
 	}
 	revived := pagedev.AttachDevice(client, ref)
-	got, err := revived.Read(2)
+	got, err := revived.Read(bg, 2)
 	if err != nil {
 		t.Fatalf("read revived: %v", err)
 	}
@@ -182,17 +186,17 @@ func TestPassivateActivatePageDevice(t *testing.T) {
 			t.Fatalf("revived byte %d = %d, want %d", i, got[i], payload[i])
 		}
 	}
-	devName, err := revived.Name()
+	devName, err := revived.Name(bg)
 	if err != nil || devName != "persisted" {
 		t.Fatalf("revived name = %q, %v", devName, err)
 	}
-	if err := revived.Close(); err != nil {
+	if err := revived.Close(bg); err != nil {
 		t.Fatalf("close revived: %v", err)
 	}
-	if err := st.Remove(name); err != nil {
+	if err := st.Remove(bg, name); err != nil {
 		t.Fatalf("remove: %v", err)
 	}
-	ok, err = st.Exists(name)
+	ok, err = st.Exists(bg, name)
 	if err != nil || ok {
 		t.Fatalf("exists after remove = %v, %v", ok, err)
 	}
@@ -208,29 +212,29 @@ func TestPassivateActivateArrayDeviceOnMachineDisk(t *testing.T) {
 	defer c.Shutdown()
 	client := c.Client()
 
-	dev, err := pagedev.NewArrayDevice(client, 0, "onDisk", 2, 4, 4, 2, 0)
+	dev, err := pagedev.NewArrayDevice(bg, client, 0, "onDisk", 2, 4, 4, 2, 0)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
-	if err := dev.FillPage(1, 3.5); err != nil {
+	if err := dev.FillPage(bg, 1, 3.5); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 
-	st, err := persist.NewStore(client, 0)
+	st, err := persist.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatalf("store: %v", err)
 	}
-	defer st.Close()
+	defer st.Close(bg)
 	const name = "oop://data/arr/0"
-	if err := st.Passivate(dev.Ref(), name); err != nil {
+	if err := st.Passivate(bg, dev.Ref(), name); err != nil {
 		t.Fatalf("passivate: %v", err)
 	}
-	ref, err := st.Activate(name)
+	ref, err := st.Activate(bg, name)
 	if err != nil {
 		t.Fatalf("activate: %v", err)
 	}
 	revived := pagedev.AttachArrayDevice(client, ref, 4, 4, 2)
-	sum, err := revived.Sum(1)
+	sum, err := revived.Sum(bg, 1)
 	if err != nil {
 		t.Fatalf("sum: %v", err)
 	}
@@ -249,48 +253,48 @@ func TestStoreDiskPersistenceAcrossStoreProcesses(t *testing.T) {
 	defer c.Shutdown()
 	client := c.Client()
 
-	dev, err := pagedev.NewDevice(client, 0, "durable", 2, 128, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, client, 0, "durable", 2, 128, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
 	blob := make([]byte, 128)
 	blob[0] = 0xEE
-	if err := dev.Write(0, blob); err != nil {
+	if err := dev.Write(bg, 0, blob); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 
-	st1, err := persist.NewStore(client, 0)
+	st1, err := persist.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatalf("store1: %v", err)
 	}
 	const name = "oop://data/durable/0"
-	if err := st1.Passivate(dev.Ref(), name); err != nil {
+	if err := st1.Passivate(bg, dev.Ref(), name); err != nil {
 		t.Fatalf("passivate: %v", err)
 	}
-	if err := st1.Close(); err != nil {
+	if err := st1.Close(bg); err != nil {
 		t.Fatalf("close store1: %v", err)
 	}
 
 	// A second store process on the same machine finds the blob on disk.
-	st2, err := persist.NewStore(client, 0)
+	st2, err := persist.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatalf("store2: %v", err)
 	}
-	defer st2.Close()
-	ok, err := st2.Exists(name)
+	defer st2.Close(bg)
+	ok, err := st2.Exists(bg, name)
 	if err != nil || !ok {
 		t.Fatalf("blob lost across store processes: %v %v", ok, err)
 	}
-	names, err := st2.List()
+	names, err := st2.List(bg)
 	if err != nil || len(names) != 1 {
 		t.Fatalf("list across processes = %v, %v", names, err)
 	}
-	ref, err := st2.Activate(name)
+	ref, err := st2.Activate(bg, name)
 	if err != nil {
 		t.Fatalf("activate: %v", err)
 	}
 	revived := pagedev.AttachDevice(client, ref)
-	got, err := revived.Read(0)
+	got, err := revived.Read(bg, 0)
 	if err != nil || got[0] != 0xEE {
 		t.Fatalf("revived read = %v, %v", got[0], err)
 	}
@@ -299,41 +303,41 @@ func TestStoreDiskPersistenceAcrossStoreProcesses(t *testing.T) {
 func TestStoreErrors(t *testing.T) {
 	c := startCluster(t, 2)
 	client := c.Client()
-	st, err := persist.NewStore(client, 0)
+	st, err := persist.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatalf("store: %v", err)
 	}
-	defer st.Close()
+	defer st.Close(bg)
 
 	// Passivating an object on another machine fails.
-	dev, err := pagedev.NewDevice(client, 1, "far", 1, 64, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, client, 1, "far", 1, 64, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
-	defer dev.Close()
-	if err := st.Passivate(dev.Ref(), "oop://x/y"); err == nil {
+	defer dev.Close(bg)
+	if err := st.Passivate(bg, dev.Ref(), "oop://x/y"); err == nil {
 		t.Fatal("cross-machine passivation accepted")
 	}
 
 	// Passivating a non-persistable class fails and the object survives.
-	nsvc, err := persist.NewNameService(client, 0)
+	nsvc, err := persist.NewNameService(bg, client, 0)
 	if err != nil {
 		t.Fatalf("ns: %v", err)
 	}
-	defer nsvc.Close()
-	if err := st.Passivate(nsvc.Ref(), "oop://x/ns"); err == nil {
+	defer nsvc.Close(bg)
+	if err := st.Passivate(bg, nsvc.Ref(), "oop://x/ns"); err == nil {
 		t.Fatal("non-persistable passivation accepted")
 	}
-	if err := nsvc.Bind(persist.MustParseAddress("oop://a/b"), rmi.Ref{Machine: 0, Object: 1, Class: "c"}); err != nil {
+	if err := nsvc.Bind(bg, persist.MustParseAddress("oop://a/b"), rmi.Ref{Machine: 0, Object: 1, Class: "c"}); err != nil {
 		t.Fatalf("name service dead after failed passivation: %v", err)
 	}
 
 	// Activating a missing name fails.
-	if _, err := st.Activate("oop://missing/name"); err == nil {
+	if _, err := st.Activate(bg, "oop://missing/name"); err == nil {
 		t.Fatal("activate of missing blob accepted")
 	}
 	// Passivating a dangling ref fails.
-	if err := st.Passivate(rmi.Ref{Machine: 0, Object: 9999, Class: "x"}, "oop://x/z"); err == nil {
+	if err := st.Passivate(bg, rmi.Ref{Machine: 0, Object: 9999, Class: "x"}, "oop://x/z"); err == nil {
 		t.Fatal("dangling passivation accepted")
 	}
 }
@@ -342,43 +346,43 @@ func TestManagerLifecycle(t *testing.T) {
 	c := startCluster(t, 3)
 	client := c.Client()
 
-	mgr, err := persist.NewManager(client, 0, []int{0, 1, 2})
+	mgr, err := persist.NewManager(bg, client, 0, []int{0, 1, 2})
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(bg)
 
 	// Create a device on machine 2 and register it.
-	dev, err := pagedev.NewDevice(client, 2, "managed", 2, 64, pagedev.DiskPrivate)
+	dev, err := pagedev.NewDevice(bg, client, 2, "managed", 2, 64, pagedev.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
 	data := make([]byte, 64)
 	data[7] = 0x77
-	if err := dev.Write(1, data); err != nil {
+	if err := dev.Write(bg, 1, data); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	addr := persist.MustParseAddress("oop://data/set/PageDevice/34")
-	if err := mgr.Bind(addr, dev.Ref()); err != nil {
+	if err := mgr.Bind(bg, addr, dev.Ref()); err != nil {
 		t.Fatalf("bind: %v", err)
 	}
 
 	// Live resolve returns the same process.
-	ref, err := mgr.Resolve(addr)
+	ref, err := mgr.Resolve(bg, addr)
 	if err != nil || ref != dev.Ref() {
 		t.Fatalf("live resolve = %v, %v", ref, err)
 	}
 
 	// Deactivate; the process terminates.
-	if err := mgr.Deactivate(addr); err != nil {
+	if err := mgr.Deactivate(bg, addr); err != nil {
 		t.Fatalf("deactivate: %v", err)
 	}
-	if _, err := dev.Read(1); err == nil {
+	if _, err := dev.Read(bg, 1); err == nil {
 		t.Fatal("process alive after deactivation")
 	}
 
 	// Resolve transparently reactivates.
-	ref2, err := mgr.Resolve(addr)
+	ref2, err := mgr.Resolve(bg, addr)
 	if err != nil {
 		t.Fatalf("resolve-reactivate: %v", err)
 	}
@@ -386,36 +390,36 @@ func TestManagerLifecycle(t *testing.T) {
 		t.Fatalf("reactivated ref = %v", ref2)
 	}
 	revived := pagedev.AttachDevice(client, ref2)
-	got, err := revived.Read(1)
+	got, err := revived.Read(bg, 1)
 	if err != nil || got[7] != 0x77 {
 		t.Fatalf("revived state: %v, %v", got[7], err)
 	}
 	// Second resolve returns the same live ref (no double activation).
-	ref3, err := mgr.Resolve(addr)
+	ref3, err := mgr.Resolve(bg, addr)
 	if err != nil || ref3 != ref2 {
 		t.Fatalf("second resolve = %v, %v", ref3, err)
 	}
 
 	// Destroy removes everything.
-	if err := mgr.Destroy(addr); err != nil {
+	if err := mgr.Destroy(bg, addr); err != nil {
 		t.Fatalf("destroy: %v", err)
 	}
-	if _, err := mgr.Resolve(addr); err == nil {
+	if _, err := mgr.Resolve(bg, addr); err == nil {
 		t.Fatal("resolve after destroy succeeded")
 	}
-	if _, err := revived.Read(1); err == nil {
+	if _, err := revived.Read(bg, 1); err == nil {
 		t.Fatal("process alive after destroy")
 	}
-	st, err := mgr.StoreOn(2)
+	st, err := mgr.StoreOn(bg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := st.Exists(addr.String())
+	ok, err := st.Exists(bg, addr.String())
 	if err != nil || ok {
 		t.Fatalf("blob survives destroy: %v %v", ok, err)
 	}
 
-	if _, err := mgr.StoreOn(9); err == nil {
+	if _, err := mgr.StoreOn(bg, 9); err == nil {
 		t.Fatal("store on unknown machine")
 	}
 }

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"os"
@@ -120,15 +121,14 @@ func localServer(env *rmi.Env) (*rmi.Server, error) {
 }
 
 func init() {
-	rmi.Register(ClassStore, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassStore, func(env *rmi.Env, args *wire.Decoder) (*store, error) {
 		dir := ""
 		if env.DataDir != "" {
 			dir = filepath.Join(env.DataDir, "persist")
 		}
 		return &store{dir: dir, blobs: make(map[string]blob)}, nil
 	}).
-		Method("passivate", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			s := obj.(*store)
+		Method("passivate", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			ref := args.Ref()
 			name := args.String()
 			if err := args.Err(); err != nil {
@@ -170,8 +170,7 @@ func init() {
 			}
 			return s.put(name, blob{class: ref.Class, state: e.Bytes()})
 		}).
-		Method("activate", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			s := obj.(*store)
+		Method("activate", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			name := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -202,8 +201,7 @@ func init() {
 			reply.PutRef(ref)
 			return nil
 		}).
-		Method("exists", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			s := obj.(*store)
+		Method("exists", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			name := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -215,8 +213,7 @@ func init() {
 			reply.PutBool(ok)
 			return nil
 		}).
-		Method("remove", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			s := obj.(*store)
+		Method("remove", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			name := args.String()
 			if err := args.Err(); err != nil {
 				return err
@@ -224,8 +221,7 @@ func init() {
 			s.remove(name)
 			return nil
 		}).
-		Method("list", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			s := obj.(*store)
+		Method("list", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			names := s.names()
 			reply.PutUvarint(uint64(len(names)))
 			for _, n := range names {
@@ -242,8 +238,8 @@ type Store struct {
 }
 
 // NewStore creates the store process on machine m.
-func NewStore(client *rmi.Client, m int) (*Store, error) {
-	ref, err := client.New(m, ClassStore, nil)
+func NewStore(ctx context.Context, client *rmi.Client, m int) (*Store, error) {
+	ref, err := client.New(ctx, m, ClassStore, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -260,8 +256,8 @@ func (s *Store) Ref() rmi.Ref { return s.ref }
 
 // Passivate saves the state of the (machine-local) process ref under name
 // and terminates the process. The ref becomes dangling.
-func (s *Store) Passivate(ref rmi.Ref, name string) error {
-	_, err := s.client.Call(s.ref, "passivate", func(e *wire.Encoder) error {
+func (s *Store) Passivate(ctx context.Context, ref rmi.Ref, name string) error {
+	_, err := s.client.Call(ctx, s.ref, "passivate", func(e *wire.Encoder) error {
 		e.PutRef(ref)
 		e.PutString(name)
 		return nil
@@ -271,8 +267,8 @@ func (s *Store) Passivate(ref rmi.Ref, name string) error {
 
 // Activate reconstructs the passivated process named name and returns the
 // new remote pointer.
-func (s *Store) Activate(name string) (rmi.Ref, error) {
-	d, err := s.client.Call(s.ref, "activate", func(e *wire.Encoder) error {
+func (s *Store) Activate(ctx context.Context, name string) (rmi.Ref, error) {
+	d, err := s.client.Call(ctx, s.ref, "activate", func(e *wire.Encoder) error {
 		e.PutString(name)
 		return nil
 	})
@@ -284,8 +280,8 @@ func (s *Store) Activate(name string) (rmi.Ref, error) {
 }
 
 // Exists reports whether a passivated process named name is stored.
-func (s *Store) Exists(name string) (bool, error) {
-	d, err := s.client.Call(s.ref, "exists", func(e *wire.Encoder) error {
+func (s *Store) Exists(ctx context.Context, name string) (bool, error) {
+	d, err := s.client.Call(ctx, s.ref, "exists", func(e *wire.Encoder) error {
 		e.PutString(name)
 		return nil
 	})
@@ -297,8 +293,8 @@ func (s *Store) Exists(name string) (bool, error) {
 }
 
 // Remove discards a passivated process's stored state.
-func (s *Store) Remove(name string) error {
-	_, err := s.client.Call(s.ref, "remove", func(e *wire.Encoder) error {
+func (s *Store) Remove(ctx context.Context, name string) error {
+	_, err := s.client.Call(ctx, s.ref, "remove", func(e *wire.Encoder) error {
 		e.PutString(name)
 		return nil
 	})
@@ -306,8 +302,8 @@ func (s *Store) Remove(name string) error {
 }
 
 // List returns the names of all passivated processes on the machine.
-func (s *Store) List() ([]string, error) {
-	d, err := s.client.Call(s.ref, "list", nil)
+func (s *Store) List(ctx context.Context) ([]string, error) {
+	d, err := s.client.Call(ctx, s.ref, "list", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -320,4 +316,4 @@ func (s *Store) List() ([]string, error) {
 }
 
 // Close deletes the store process (stored blobs on disk survive).
-func (s *Store) Close() error { return s.client.Delete(s.ref) }
+func (s *Store) Close(ctx context.Context) error { return s.client.Delete(ctx, s.ref) }

@@ -1,6 +1,7 @@
 package pfft_test
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -13,6 +14,9 @@ import (
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func testData(n int, seed uint64) []complex128 {
 	out := make([]complex128, n)
@@ -74,26 +78,26 @@ func TestDistributedMatchesLocal(t *testing.T) {
 			}
 			defer cl.Shutdown()
 
-			f, err := pfft.New(cl.Client(), machineList(p), n1, n2, n3)
+			f, err := pfft.New(bg, cl.Client(), machineList(p), n1, n2, n3)
 			if err != nil {
 				t.Fatalf("pfft.New: %v", err)
 			}
-			defer f.Close()
+			defer f.Close(bg)
 			if f.Workers() != p {
 				t.Fatalf("workers = %d", f.Workers())
 			}
 
-			if err := f.Load(x); err != nil {
+			if err := f.Load(bg, x); err != nil {
 				t.Fatalf("load: %v", err)
 			}
-			if err := f.Transform(-1); err != nil {
+			if err := f.Transform(bg, -1); err != nil {
 				t.Fatalf("transform: %v", err)
 			}
-			if err := f.Barrier(); err != nil {
+			if err := f.Barrier(bg); err != nil {
 				t.Fatalf("barrier: %v", err)
 			}
 			got := make([]complex128, len(x))
-			if err := f.Gather(got); err != nil {
+			if err := f.Gather(bg, got); err != nil {
 				t.Fatalf("gather: %v", err)
 			}
 			if !approxEqual(got, want, 1e-9) {
@@ -101,10 +105,10 @@ func TestDistributedMatchesLocal(t *testing.T) {
 			}
 
 			// Inverse returns the original.
-			if err := f.Transform(+1); err != nil {
+			if err := f.Transform(bg, +1); err != nil {
 				t.Fatalf("inverse: %v", err)
 			}
-			if err := f.Gather(got); err != nil {
+			if err := f.Gather(bg, got); err != nil {
 				t.Fatalf("gather: %v", err)
 			}
 			if !approxEqual(got, x, 1e-9) {
@@ -130,19 +134,19 @@ func TestDistributedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f, err := pfft.New(cl.Client(), machineList(p), n1, n2, n3)
+	f, err := pfft.New(bg, cl.Client(), machineList(p), n1, n2, n3)
 	if err != nil {
 		t.Fatalf("pfft.New: %v", err)
 	}
-	defer f.Close()
-	if err := f.Load(x); err != nil {
+	defer f.Close(bg)
+	if err := f.Load(bg, x); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if err := f.Transform(-1); err != nil {
+	if err := f.Transform(bg, -1); err != nil {
 		t.Fatalf("transform: %v", err)
 	}
 	got := make([]complex128, len(x))
-	if err := f.Gather(got); err != nil {
+	if err := f.Gather(bg, got); err != nil {
 		t.Fatalf("gather: %v", err)
 	}
 	if !approxEqual(got, want, 1e-9) {
@@ -167,19 +171,19 @@ func TestShallowSetGroupEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f, err := pfft.NewShallow(cl.Client(), machineList(p), n1, n2, n3)
+	f, err := pfft.NewShallow(bg, cl.Client(), machineList(p), n1, n2, n3)
 	if err != nil {
 		t.Fatalf("NewShallow: %v", err)
 	}
-	defer f.Close()
-	if err := f.Load(x); err != nil {
+	defer f.Close(bg)
+	if err := f.Load(bg, x); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if err := f.Transform(-1); err != nil {
+	if err := f.Transform(bg, -1); err != nil {
 		t.Fatalf("transform: %v", err)
 	}
 	got := make([]complex128, len(x))
-	if err := f.Gather(got); err != nil {
+	if err := f.Gather(bg, got); err != nil {
 		t.Fatalf("gather: %v", err)
 	}
 	if !approxEqual(got, want, 1e-9) {
@@ -227,27 +231,27 @@ func TestGeometryErrors(t *testing.T) {
 	defer cl.Shutdown()
 
 	// Dims not divisible by worker count.
-	if _, err := pfft.New(cl.Client(), machineList(3), 8, 8, 8); err == nil {
+	if _, err := pfft.New(bg, cl.Client(), machineList(3), 8, 8, 8); err == nil {
 		t.Error("indivisible dims accepted")
 	}
-	if _, err := pfft.New(cl.Client(), nil, 8, 8, 8); err == nil {
+	if _, err := pfft.New(bg, cl.Client(), nil, 8, 8, 8); err == nil {
 		t.Error("empty machine list accepted")
 	}
 
-	f, err := pfft.New(cl.Client(), machineList(2), 8, 8, 8)
+	f, err := pfft.New(bg, cl.Client(), machineList(2), 8, 8, 8)
 	if err != nil {
 		t.Fatalf("pfft.New: %v", err)
 	}
-	defer f.Close()
-	if err := f.Load(make([]complex128, 10)); err == nil {
+	defer f.Close(bg)
+	if err := f.Load(bg, make([]complex128, 10)); err == nil {
 		t.Error("wrong-size load accepted")
 	}
-	if err := f.Gather(make([]complex128, 10)); err == nil {
+	if err := f.Gather(bg, make([]complex128, 10)); err == nil {
 		t.Error("wrong-size gather accepted")
 	}
 
 	// transform before setGroup on a raw worker.
-	ref, err := cl.Client().New(0, pfft.ClassWorker, func(e *wire.Encoder) error {
+	ref, err := cl.Client().New(bg, 0, pfft.ClassWorker, func(e *wire.Encoder) error {
 		e.PutInt(0)
 		e.PutInt(4)
 		e.PutInt(4)
@@ -257,15 +261,15 @@ func TestGeometryErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("raw worker: %v", err)
 	}
-	defer cl.Client().Delete(ref)
-	if _, err := cl.Client().Call(ref, "transform", func(e *wire.Encoder) error {
+	defer cl.Client().Delete(bg, ref)
+	if _, err := cl.Client().Call(bg, ref, "transform", func(e *wire.Encoder) error {
 		e.PutInt(-1)
 		return nil
 	}); err == nil {
 		t.Error("transform before setGroup accepted")
 	}
 	// Bad constructor dims.
-	if _, err := cl.Client().New(0, pfft.ClassWorker, func(e *wire.Encoder) error {
+	if _, err := cl.Client().New(bg, 0, pfft.ClassWorker, func(e *wire.Encoder) error {
 		e.PutInt(0)
 		e.PutInt(0)
 		e.PutInt(4)
@@ -286,25 +290,25 @@ func TestRepeatedTransforms(t *testing.T) {
 		t.Fatalf("cluster: %v", err)
 	}
 	defer cl.Shutdown()
-	f, err := pfft.New(cl.Client(), machineList(p), n1, n2, n3)
+	f, err := pfft.New(bg, cl.Client(), machineList(p), n1, n2, n3)
 	if err != nil {
 		t.Fatalf("pfft.New: %v", err)
 	}
-	defer f.Close()
+	defer f.Close(bg)
 
 	for trial := 0; trial < 3; trial++ {
 		x := testData(n1*n2*n3, uint64(100+trial))
-		if err := f.Load(x); err != nil {
+		if err := f.Load(bg, x); err != nil {
 			t.Fatalf("trial %d load: %v", trial, err)
 		}
-		if err := f.Transform(-1); err != nil {
+		if err := f.Transform(bg, -1); err != nil {
 			t.Fatalf("trial %d forward: %v", trial, err)
 		}
-		if err := f.Transform(+1); err != nil {
+		if err := f.Transform(bg, +1); err != nil {
 			t.Fatalf("trial %d inverse: %v", trial, err)
 		}
 		got := make([]complex128, len(x))
-		if err := f.Gather(got); err != nil {
+		if err := f.Gather(bg, got); err != nil {
 			t.Fatalf("trial %d gather: %v", trial, err)
 		}
 		if !approxEqual(got, x, 1e-9) {
@@ -322,19 +326,19 @@ func TestRefTableBounds(t *testing.T) {
 	}
 	defer cl.Shutdown()
 	refs := []rmi.Ref{{Machine: 0, Object: 1, Class: "x"}}
-	table, err := cl.Client().New(0, pfft.ClassRefTable, func(e *wire.Encoder) error {
+	table, err := cl.Client().New(bg, 0, pfft.ClassRefTable, func(e *wire.Encoder) error {
 		e.PutRefs(refs)
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("table: %v", err)
 	}
-	defer cl.Client().Delete(table)
-	d, err := cl.Client().Call(table, "size", nil)
+	defer cl.Client().Delete(bg, table)
+	d, err := cl.Client().Call(bg, table, "size", nil)
 	if err != nil || d.Int() != 1 {
 		t.Fatalf("size: %v", err)
 	}
-	if _, err := cl.Client().Call(table, "getRef", func(e *wire.Encoder) error {
+	if _, err := cl.Client().Call(bg, table, "getRef", func(e *wire.Encoder) error {
 		e.PutInt(5)
 		return nil
 	}); err == nil {

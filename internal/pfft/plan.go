@@ -1,6 +1,7 @@
 package pfft
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/rmi"
@@ -20,18 +21,18 @@ type PFFT struct {
 // New spawns one FFT worker process on each machine of machines and wires
 // the group (deep-copy SetGroup). n1 and n2 must be divisible by the
 // worker count.
-func New(client *rmi.Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
-	return newPFFT(client, machines, n1, n2, n3, false)
+func New(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
+	return newPFFT(ctx, client, machines, n1, n2, n3, false)
 }
 
 // NewShallow is New with the §4 anti-pattern group setup (members fetched
 // one remote call at a time through a RefTable process). It exists for
 // experiment E11; prefer New.
-func NewShallow(client *rmi.Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
-	return newPFFT(client, machines, n1, n2, n3, true)
+func NewShallow(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
+	return newPFFT(ctx, client, machines, n1, n2, n3, true)
 }
 
-func newPFFT(client *rmi.Client, machines []int, n1, n2, n3 int, shallow bool) (*PFFT, error) {
+func newPFFT(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3 int, shallow bool) (*PFFT, error) {
 	p := len(machines)
 	if p == 0 {
 		return nil, fmt.Errorf("pfft: no machines")
@@ -40,7 +41,7 @@ func newPFFT(client *rmi.Client, machines []int, n1, n2, n3 int, shallow bool) (
 		return nil, fmt.Errorf("pfft: dims %dx%dx%d not divisible by %d workers", n1, n2, n3, p)
 	}
 	// The master process creates N parallel processes, assigning ids (§4).
-	g, err := rmi.SpawnGroup(client, machines, ClassWorker, func(i int, e *wire.Encoder) error {
+	g, err := rmi.SpawnGroup(ctx, client, machines, ClassWorker, func(i int, e *wire.Encoder) error {
 		e.PutInt(i)
 		e.PutInt(n1)
 		e.PutInt(n2)
@@ -55,23 +56,23 @@ func newPFFT(client *rmi.Client, machines []int, n1, n2, n3 int, shallow bool) (
 	if shallow {
 		// Create the RefTable process next to worker 0 and hand every
 		// worker the table's remote pointer only.
-		tableRef, err := client.New(machines[0], ClassRefTable, func(e *wire.Encoder) error {
+		tableRef, err := client.New(ctx, machines[0], ClassRefTable, func(e *wire.Encoder) error {
 			e.PutRefs(g.Refs())
 			return nil
 		})
 		if err != nil {
-			f.Close()
+			f.Close(ctx)
 			return nil, err
 		}
-		err = g.CallParallel("setGroupShallow", func(i int, e *wire.Encoder) error {
+		err = g.CallParallel(ctx, "setGroupShallow", func(i int, e *wire.Encoder) error {
 			e.PutRef(tableRef)
 			return nil
 		})
-		if derr := client.Delete(tableRef); derr != nil && err == nil {
+		if derr := client.Delete(ctx, tableRef); derr != nil && err == nil {
 			err = derr
 		}
 		if err != nil {
-			f.Close()
+			f.Close(ctx)
 			return nil, err
 		}
 		return f, nil
@@ -79,12 +80,12 @@ func newPFFT(client *rmi.Client, machines []int, n1, n2, n3 int, shallow bool) (
 
 	// "It informs each process in the group that it is a part of a group
 	// of N concurrent processes" — deep copy of the remote pointer array.
-	if err := g.CallParallel("setGroup", func(i int, e *wire.Encoder) error {
+	if err := g.CallParallel(ctx, "setGroup", func(i int, e *wire.Encoder) error {
 		e.PutInt(p)
 		e.PutRefs(g.Refs())
 		return nil
 	}); err != nil {
-		f.Close()
+		f.Close(ctx)
 		return nil, err
 	}
 	return f, nil
@@ -98,24 +99,24 @@ func (f *PFFT) Group() *rmi.Group { return f.group }
 
 // Load scatters a full n1×n2×n3 row-major array to the workers' slabs
 // (pipelined).
-func (f *PFFT) Load(x []complex128) error {
+func (f *PFFT) Load(ctx context.Context, x []complex128) error {
 	if len(x) != f.n1*f.n2*f.n3 {
 		return fmt.Errorf("pfft: array has %d elements, want %d", len(x), f.n1*f.n2*f.n3)
 	}
 	slabLen := f.h1 * f.n2 * f.n3
-	return f.group.CallParallel("loadSlab", func(i int, e *wire.Encoder) error {
+	return f.group.CallParallel(ctx, "loadSlab", func(i int, e *wire.Encoder) error {
 		e.PutComplex128s(x[i*slabLen : (i+1)*slabLen])
 		return nil
 	})
 }
 
 // Gather collects the workers' slabs into x (pipelined).
-func (f *PFFT) Gather(x []complex128) error {
+func (f *PFFT) Gather(ctx context.Context, x []complex128) error {
 	if len(x) != f.n1*f.n2*f.n3 {
 		return fmt.Errorf("pfft: array has %d elements, want %d", len(x), f.n1*f.n2*f.n3)
 	}
 	slabLen := f.h1 * f.n2 * f.n3
-	return f.group.CallParallelResults("readSlab", nil, func(i int, d *wire.Decoder) error {
+	return f.group.CallParallelResults(ctx, "readSlab", nil, func(i int, d *wire.Decoder) error {
 		slab := d.Complex128s()
 		if err := d.Err(); err != nil {
 			return err
@@ -131,15 +132,15 @@ func (f *PFFT) Gather(x []complex128) error {
 // Transform runs the joint parallel FFT: every worker executes its
 // transform method concurrently, exchanging transpose blocks peer to
 // peer. sign=-1 forward, sign=+1 normalized inverse.
-func (f *PFFT) Transform(sign int) error {
-	return f.group.CallParallel("transform", func(i int, e *wire.Encoder) error {
+func (f *PFFT) Transform(ctx context.Context, sign int) error {
+	return f.group.CallParallel(ctx, "transform", func(i int, e *wire.Encoder) error {
 		e.PutInt(sign)
 		return nil
 	})
 }
 
 // Barrier synchronizes with every worker process ("fft->barrier()", §4).
-func (f *PFFT) Barrier() error { return f.group.Barrier() }
+func (f *PFFT) Barrier(ctx context.Context) error { return f.group.Barrier(ctx) }
 
 // Close deletes all worker processes.
-func (f *PFFT) Close() error { return f.group.Delete() }
+func (f *PFFT) Close(ctx context.Context) error { return f.group.Delete(ctx) }

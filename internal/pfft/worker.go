@@ -23,6 +23,7 @@
 package pfft
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -198,7 +199,7 @@ func (w *worker) exchange(env *rmi.Env, phase int, pack func(int) []complex128, 
 			continue
 		}
 		block := pack(v)
-		futs = append(futs, env.Client.CallAsync(w.peers[v], "storeBlock", func(e *wire.Encoder) error {
+		futs = append(futs, env.Client.CallAsync(context.Background(), w.peers[v], "storeBlock", func(e *wire.Encoder) error {
 			e.PutInt(phase)
 			e.PutInt(w.id)
 			e.PutComplex128s(block)
@@ -208,7 +209,7 @@ func (w *worker) exchange(env *rmi.Env, phase int, pack func(int) []complex128, 
 	if err := place(w.id, pack(w.id)); err != nil {
 		return err
 	}
-	if err := rmi.WaitAll(futs); err != nil {
+	if err := rmi.WaitAll(context.Background(), futs); err != nil {
 		return err
 	}
 	for from, block := range w.waitBlocks(phase) {
@@ -249,7 +250,7 @@ type refTable struct {
 }
 
 func init() {
-	rmi.Register(ClassWorker, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassWorker, func(env *rmi.Env, args *wire.Decoder) (*worker, error) {
 		id := args.Int()
 		n1, n2, n3 := args.Int(), args.Int(), args.Int()
 		if err := args.Err(); err != nil {
@@ -257,8 +258,7 @@ func init() {
 		}
 		return newWorker(id, n1, n2, n3)
 	}).
-		Method("setGroup", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			w := obj.(*worker)
+		Method("setGroup", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			n := args.Int()
 			refs := args.Refs()
 			if err := args.Err(); err != nil {
@@ -266,11 +266,10 @@ func init() {
 			}
 			return w.setGroup(n, refs)
 		}).
-		Method("setGroupShallow", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		Method("setGroupShallow", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			// The §4 anti-pattern: the argument is a remote pointer to a
 			// table of remote pointers; every member access is a further
 			// round trip.
-			w := obj.(*worker)
 			table := args.Ref()
 			if err := args.Err(); err != nil {
 				return err
@@ -278,7 +277,7 @@ func init() {
 			if env.Client == nil {
 				return fmt.Errorf("pfft: machine %d has no outbound client", env.Machine)
 			}
-			d, err := env.Client.Call(table, "size", nil)
+			d, err := env.Client.Call(context.Background(), table, "size", nil)
 			if err != nil {
 				return err
 			}
@@ -288,7 +287,7 @@ func init() {
 			}
 			refs := make([]rmi.Ref, n)
 			for i := 0; i < n; i++ {
-				d, err := env.Client.Call(table, "getRef", func(e *wire.Encoder) error {
+				d, err := env.Client.Call(context.Background(), table, "getRef", func(e *wire.Encoder) error {
 					e.PutInt(i)
 					return nil
 				})
@@ -302,8 +301,7 @@ func init() {
 			}
 			return w.setGroup(n, refs)
 		}).
-		Method("loadSlab", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			w := obj.(*worker)
+		Method("loadSlab", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			data := args.Complex128s()
 			if err := args.Err(); err != nil {
 				return err
@@ -314,21 +312,18 @@ func init() {
 			copy(w.slab, data)
 			return nil
 		}).
-		Method("readSlab", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			w := obj.(*worker)
+		Method("readSlab", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			reply.PutComplex128s(w.slab)
 			return nil
 		}).
-		Method("transform", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			w := obj.(*worker)
+		Method("transform", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			sign := args.Int()
 			if err := args.Err(); err != nil {
 				return err
 			}
 			return w.transform(env, sign)
 		}).
-		ConcurrentMethod("storeBlock", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			w := obj.(*worker)
+		ConcurrentMethod("storeBlock", func(w *worker, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			phase := args.Int()
 			from := args.Int()
 			block := args.Complex128s()
@@ -339,19 +334,18 @@ func init() {
 			return nil
 		})
 
-	rmi.Register(ClassRefTable, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+	rmi.RegisterClass(ClassRefTable, func(env *rmi.Env, args *wire.Decoder) (*refTable, error) {
 		refs := args.Refs()
 		if err := args.Err(); err != nil {
 			return nil, err
 		}
 		return &refTable{refs: refs}, nil
 	}).
-		Method("size", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutInt(len(obj.(*refTable).refs))
+		Method("size", func(t *refTable, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(len(t.refs))
 			return nil
 		}).
-		Method("getRef", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			t := obj.(*refTable)
+		Method("getRef", func(t *refTable, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			i := args.Int()
 			if err := args.Err(); err != nil {
 				return err

@@ -13,6 +13,7 @@
 package rmem
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/rmi"
@@ -37,131 +38,124 @@ type byteBlock struct {
 	data []byte
 }
 
-func init() {
-	rmi.Register(ClassFloat64, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+// Float64BlockClass is the typed handle for float64 blocks; stubs
+// construct through it instead of naming the class.
+var Float64BlockClass = rmi.RegisterClass(ClassFloat64, func(env *rmi.Env, args *wire.Decoder) (*float64Block, error) {
+	n := args.Int()
+	if err := args.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > (1<<31) {
+		return nil, fmt.Errorf("rmem: invalid block size %d", n)
+	}
+	return &float64Block{data: make([]float64, n)}, nil
+}).
+	Method("get", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		i := args.Int()
+		if i < 0 || i >= len(b.data) {
+			return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
+		}
+		reply.PutFloat64(b.data[i])
+		return nil
+	}).
+	Method("set", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		i := args.Int()
+		v := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if i < 0 || i >= len(b.data) {
+			return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
+		}
+		b.data[i] = v
+		return nil
+	}).
+	Method("getRange", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		off := args.Int()
 		n := args.Int()
 		if err := args.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		if n < 0 || n > (1<<31) {
-			return nil, fmt.Errorf("rmem: invalid block size %d", n)
+		if off < 0 || n < 0 || off+n > len(b.data) {
+			return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
 		}
-		return &float64Block{data: make([]float64, n)}, nil
+		reply.PutFloat64s(b.data[off : off+n])
+		return nil
 	}).
-		Method("get", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			i := args.Int()
-			if i < 0 || i >= len(b.data) {
-				return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
-			}
-			reply.PutFloat64(b.data[i])
-			return nil
-		}).
-		Method("set", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			i := args.Int()
-			v := args.Float64()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			if i < 0 || i >= len(b.data) {
-				return fmt.Errorf("rmem: index %d out of range [0,%d)", i, len(b.data))
-			}
+	Method("setRange", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		off := args.Int()
+		vals := args.Float64s()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if off < 0 || off+len(vals) > len(b.data) {
+			return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
+		}
+		copy(b.data[off:], vals)
+		return nil
+	}).
+	Method("len", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		reply.PutInt(len(b.data))
+		return nil
+	}).
+	Method("fill", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		v := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		for i := range b.data {
 			b.data[i] = v
-			return nil
-		}).
-		Method("getRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			off := args.Int()
-			n := args.Int()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			if off < 0 || n < 0 || off+n > len(b.data) {
-				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
-			}
-			reply.PutFloat64s(b.data[off : off+n])
-			return nil
-		}).
-		Method("setRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			off := args.Int()
-			vals := args.Float64s()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			if off < 0 || off+len(vals) > len(b.data) {
-				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
-			}
-			copy(b.data[off:], vals)
-			return nil
-		}).
-		Method("len", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutInt(len(obj.(*float64Block).data))
-			return nil
-		}).
-		Method("fill", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			v := args.Float64()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			for i := range b.data {
-				b.data[i] = v
-			}
-			return nil
-		}).
-		Method("sum", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*float64Block)
-			var s float64
-			for _, v := range b.data {
-				s += v
-			}
-			reply.PutFloat64(s)
-			return nil
-		})
+		}
+		return nil
+	}).
+	Method("sum", func(b *float64Block, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		var s float64
+		for _, v := range b.data {
+			s += v
+		}
+		reply.PutFloat64(s)
+		return nil
+	})
 
-	rmi.Register(ClassBytes, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+// ByteBlockClass is the typed handle for byte blocks.
+var ByteBlockClass = rmi.RegisterClass(ClassBytes, func(env *rmi.Env, args *wire.Decoder) (*byteBlock, error) {
+	n := args.Int()
+	if err := args.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > (1<<31) {
+		return nil, fmt.Errorf("rmem: invalid block size %d", n)
+	}
+	return &byteBlock{data: make([]byte, n)}, nil
+}).
+	Method("getRange", func(b *byteBlock, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		off := args.Int()
 		n := args.Int()
 		if err := args.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		if n < 0 || n > (1<<31) {
-			return nil, fmt.Errorf("rmem: invalid block size %d", n)
+		if off < 0 || n < 0 || off+n > len(b.data) {
+			return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
 		}
-		return &byteBlock{data: make([]byte, n)}, nil
+		reply.PutBytes(b.data[off : off+n])
+		return nil
 	}).
-		Method("getRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*byteBlock)
-			off := args.Int()
-			n := args.Int()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			if off < 0 || n < 0 || off+n > len(b.data) {
-				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+n, len(b.data))
-			}
-			reply.PutBytes(b.data[off : off+n])
-			return nil
-		}).
-		Method("setRange", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			b := obj.(*byteBlock)
-			off := args.Int()
-			vals := args.Bytes()
-			if err := args.Err(); err != nil {
-				return err
-			}
-			if off < 0 || off+len(vals) > len(b.data) {
-				return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
-			}
-			copy(b.data[off:], vals)
-			return nil
-		}).
-		Method("len", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
-			reply.PutInt(len(obj.(*byteBlock).data))
-			return nil
-		})
-}
+	Method("setRange", func(b *byteBlock, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		off := args.Int()
+		vals := args.Bytes()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if off < 0 || off+len(vals) > len(b.data) {
+			return fmt.Errorf("rmem: range [%d,%d) out of [0,%d)", off, off+len(vals), len(b.data))
+		}
+		copy(b.data[off:], vals)
+		return nil
+	}).
+	Method("len", func(b *byteBlock, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		reply.PutInt(len(b.data))
+		return nil
+	})
 
 // Float64Array is the client stub — the "remote pointer" the paper's user
 // program holds. Each method is one remote instruction with §2 semantics.
@@ -173,8 +167,8 @@ type Float64Array struct {
 
 // NewFloat64Array allocates n float64s on machine m — the paper's
 // "new(machine m) double[n]".
-func NewFloat64Array(client *rmi.Client, m int, n int) (*Float64Array, error) {
-	ref, err := client.New(m, ClassFloat64, func(e *wire.Encoder) error {
+func NewFloat64Array(ctx context.Context, client *rmi.Client, m int, n int) (*Float64Array, error) {
+	ref, err := Float64BlockClass.New(ctx, client, m, func(e *wire.Encoder) error {
 		e.PutInt(n)
 		return nil
 	})
@@ -198,8 +192,8 @@ func (a *Float64Array) Ref() rmi.Ref { return a.ref }
 func (a *Float64Array) Len() int { return a.n }
 
 // Get reads element i — "double x = data[i]": one round trip.
-func (a *Float64Array) Get(i int) (float64, error) {
-	d, err := a.client.Call(a.ref, "get", func(e *wire.Encoder) error {
+func (a *Float64Array) Get(ctx context.Context, i int) (float64, error) {
+	d, err := a.client.Call(ctx, a.ref, "get", func(e *wire.Encoder) error {
 		e.PutInt(i)
 		return nil
 	})
@@ -211,8 +205,8 @@ func (a *Float64Array) Get(i int) (float64, error) {
 }
 
 // Set writes element i — "data[i] = v": one round trip.
-func (a *Float64Array) Set(i int, v float64) error {
-	_, err := a.client.Call(a.ref, "set", func(e *wire.Encoder) error {
+func (a *Float64Array) Set(ctx context.Context, i int, v float64) error {
+	_, err := a.client.Call(ctx, a.ref, "set", func(e *wire.Encoder) error {
 		e.PutInt(i)
 		e.PutFloat64(v)
 		return nil
@@ -221,8 +215,8 @@ func (a *Float64Array) Set(i int, v float64) error {
 }
 
 // GetRange reads n elements starting at off in one round trip.
-func (a *Float64Array) GetRange(off, n int) ([]float64, error) {
-	d, err := a.client.Call(a.ref, "getRange", func(e *wire.Encoder) error {
+func (a *Float64Array) GetRange(ctx context.Context, off, n int) ([]float64, error) {
+	d, err := a.client.Call(ctx, a.ref, "getRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutInt(n)
 		return nil
@@ -235,8 +229,8 @@ func (a *Float64Array) GetRange(off, n int) ([]float64, error) {
 }
 
 // SetRange writes vals starting at off in one round trip.
-func (a *Float64Array) SetRange(off int, vals []float64) error {
-	_, err := a.client.Call(a.ref, "setRange", func(e *wire.Encoder) error {
+func (a *Float64Array) SetRange(ctx context.Context, off int, vals []float64) error {
+	_, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutFloat64s(vals)
 		return nil
@@ -245,8 +239,8 @@ func (a *Float64Array) SetRange(off int, vals []float64) error {
 }
 
 // Fill sets every element to v remotely (computation at the data).
-func (a *Float64Array) Fill(v float64) error {
-	_, err := a.client.Call(a.ref, "fill", func(e *wire.Encoder) error {
+func (a *Float64Array) Fill(ctx context.Context, v float64) error {
+	_, err := a.client.Call(ctx, a.ref, "fill", func(e *wire.Encoder) error {
 		e.PutFloat64(v)
 		return nil
 	})
@@ -254,8 +248,8 @@ func (a *Float64Array) Fill(v float64) error {
 }
 
 // Sum reduces the block remotely and ships back only the scalar.
-func (a *Float64Array) Sum() (float64, error) {
-	d, err := a.client.Call(a.ref, "sum", nil)
+func (a *Float64Array) Sum(ctx context.Context) (float64, error) {
+	d, err := a.client.Call(ctx, a.ref, "sum", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -264,8 +258,8 @@ func (a *Float64Array) Sum() (float64, error) {
 }
 
 // RemoteLen asks the process for its length (vs the cached Len).
-func (a *Float64Array) RemoteLen() (int, error) {
-	d, err := a.client.Call(a.ref, "len", nil)
+func (a *Float64Array) RemoteLen(ctx context.Context) (int, error) {
+	d, err := a.client.Call(ctx, a.ref, "len", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -275,8 +269,8 @@ func (a *Float64Array) RemoteLen() (int, error) {
 
 // Free destroys the remote block — the paper's delete, terminating the
 // memory's process.
-func (a *Float64Array) Free() error {
-	return a.client.Delete(a.ref)
+func (a *Float64Array) Free(ctx context.Context) error {
+	return a.client.Delete(ctx, a.ref)
 }
 
 // ByteArray is the byte-typed client stub.
@@ -287,8 +281,8 @@ type ByteArray struct {
 }
 
 // NewByteArray allocates n bytes on machine m.
-func NewByteArray(client *rmi.Client, m int, n int) (*ByteArray, error) {
-	ref, err := client.New(m, ClassBytes, func(e *wire.Encoder) error {
+func NewByteArray(ctx context.Context, client *rmi.Client, m int, n int) (*ByteArray, error) {
+	ref, err := ByteBlockClass.New(ctx, client, m, func(e *wire.Encoder) error {
 		e.PutInt(n)
 		return nil
 	})
@@ -305,8 +299,8 @@ func (a *ByteArray) Ref() rmi.Ref { return a.ref }
 func (a *ByteArray) Len() int { return a.n }
 
 // GetRange reads n bytes at off.
-func (a *ByteArray) GetRange(off, n int) ([]byte, error) {
-	d, err := a.client.Call(a.ref, "getRange", func(e *wire.Encoder) error {
+func (a *ByteArray) GetRange(ctx context.Context, off, n int) ([]byte, error) {
+	d, err := a.client.Call(ctx, a.ref, "getRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutInt(n)
 		return nil
@@ -319,8 +313,8 @@ func (a *ByteArray) GetRange(off, n int) ([]byte, error) {
 }
 
 // SetRange writes vals at off.
-func (a *ByteArray) SetRange(off int, vals []byte) error {
-	_, err := a.client.Call(a.ref, "setRange", func(e *wire.Encoder) error {
+func (a *ByteArray) SetRange(ctx context.Context, off int, vals []byte) error {
+	_, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutBytes(vals)
 		return nil
@@ -329,8 +323,8 @@ func (a *ByteArray) SetRange(off int, vals []byte) error {
 }
 
 // RemoteLen asks the process for its length (vs the cached Len).
-func (a *ByteArray) RemoteLen() (int, error) {
-	d, err := a.client.Call(a.ref, "len", nil)
+func (a *ByteArray) RemoteLen(ctx context.Context) (int, error) {
+	d, err := a.client.Call(ctx, a.ref, "len", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -339,4 +333,4 @@ func (a *ByteArray) RemoteLen() (int, error) {
 }
 
 // Free destroys the remote block.
-func (a *ByteArray) Free() error { return a.client.Delete(a.ref) }
+func (a *ByteArray) Free(ctx context.Context) error { return a.client.Delete(ctx, a.ref) }

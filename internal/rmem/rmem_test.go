@@ -1,6 +1,7 @@
 package rmem_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -9,6 +10,9 @@ import (
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func startCluster(t testing.TB, n int) *cluster.Cluster {
 	t.Helper()
@@ -29,21 +33,21 @@ func TestPaperExample(t *testing.T) {
 	c := startCluster(t, 3)
 	client := c.Client() // the program runs on machine 0
 
-	data, err := rmem.NewFloat64Array(client, 2, 1024)
+	data, err := rmem.NewFloat64Array(bg, client, 2, 1024)
 	if err != nil {
 		t.Fatalf("new(machine 2) double[1024]: %v", err)
 	}
-	if err := data.Set(7, 3.1415); err != nil {
+	if err := data.Set(bg, 7, 3.1415); err != nil {
 		t.Fatalf("data[7] = 3.1415: %v", err)
 	}
-	x, err := data.Get(2)
+	x, err := data.Get(bg, 2)
 	if err != nil {
 		t.Fatalf("x = data[2]: %v", err)
 	}
 	if x != 0 {
 		t.Errorf("fresh element = %v, want 0", x)
 	}
-	v, err := data.Get(7)
+	v, err := data.Get(bg, 7)
 	if err != nil {
 		t.Fatalf("get(7): %v", err)
 	}
@@ -53,34 +57,34 @@ func TestPaperExample(t *testing.T) {
 	if data.Len() != 1024 {
 		t.Errorf("Len = %d", data.Len())
 	}
-	n, err := data.RemoteLen()
+	n, err := data.RemoteLen(bg)
 	if err != nil || n != 1024 {
 		t.Errorf("RemoteLen = %d, %v", n, err)
 	}
-	if err := data.Free(); err != nil {
+	if err := data.Free(bg); err != nil {
 		t.Fatalf("free: %v", err)
 	}
-	if _, err := data.Get(0); err == nil {
+	if _, err := data.Get(bg, 0); err == nil {
 		t.Error("get after free should fail")
 	}
 }
 
 func TestRangeOps(t *testing.T) {
 	c := startCluster(t, 2)
-	a, err := rmem.NewFloat64Array(c.Client(), 1, 100)
+	a, err := rmem.NewFloat64Array(bg, c.Client(), 1, 100)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer a.Free()
+	defer a.Free(bg)
 
 	vals := make([]float64, 40)
 	for i := range vals {
 		vals[i] = float64(i) * 1.5
 	}
-	if err := a.SetRange(10, vals); err != nil {
+	if err := a.SetRange(bg, 10, vals); err != nil {
 		t.Fatalf("SetRange: %v", err)
 	}
-	got, err := a.GetRange(10, 40)
+	got, err := a.GetRange(bg, 10, 40)
 	if err != nil {
 		t.Fatalf("GetRange: %v", err)
 	}
@@ -90,7 +94,7 @@ func TestRangeOps(t *testing.T) {
 		}
 	}
 	// Untouched prefix still zero.
-	head, err := a.GetRange(0, 10)
+	head, err := a.GetRange(bg, 0, 10)
 	if err != nil {
 		t.Fatalf("GetRange head: %v", err)
 	}
@@ -103,15 +107,15 @@ func TestRangeOps(t *testing.T) {
 
 func TestFillAndSum(t *testing.T) {
 	c := startCluster(t, 2)
-	a, err := rmem.NewFloat64Array(c.Client(), 1, 1000)
+	a, err := rmem.NewFloat64Array(bg, c.Client(), 1, 1000)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer a.Free()
-	if err := a.Fill(0.5); err != nil {
+	defer a.Free(bg)
+	if err := a.Fill(bg, 0.5); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
-	s, err := a.Sum()
+	s, err := a.Sum(bg)
 	if err != nil {
 		t.Fatalf("sum: %v", err)
 	}
@@ -122,19 +126,19 @@ func TestFillAndSum(t *testing.T) {
 
 func TestBoundsErrors(t *testing.T) {
 	c := startCluster(t, 1)
-	a, err := rmem.NewFloat64Array(c.Client(), 0, 10)
+	a, err := rmem.NewFloat64Array(bg, c.Client(), 0, 10)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer a.Free()
+	defer a.Free(bg)
 
 	cases := []func() error{
-		func() error { _, err := a.Get(-1); return err },
-		func() error { _, err := a.Get(10); return err },
-		func() error { return a.Set(10, 1) },
-		func() error { _, err := a.GetRange(5, 6); return err },
-		func() error { _, err := a.GetRange(-1, 2); return err },
-		func() error { return a.SetRange(8, []float64{1, 2, 3}) },
+		func() error { _, err := a.Get(bg, -1); return err },
+		func() error { _, err := a.Get(bg, 10); return err },
+		func() error { return a.Set(bg, 10, 1) },
+		func() error { _, err := a.GetRange(bg, 5, 6); return err },
+		func() error { _, err := a.GetRange(bg, -1, 2); return err },
+		func() error { return a.SetRange(bg, 8, []float64{1, 2, 3}) },
 	}
 	for i, f := range cases {
 		if err := f(); err == nil {
@@ -142,18 +146,18 @@ func TestBoundsErrors(t *testing.T) {
 		}
 	}
 	// Negative allocation size.
-	if _, err := rmem.NewFloat64Array(c.Client(), 0, -5); err == nil {
+	if _, err := rmem.NewFloat64Array(bg, c.Client(), 0, -5); err == nil {
 		t.Error("expected error for negative size")
 	}
 }
 
 func TestByteArray(t *testing.T) {
 	c := startCluster(t, 2)
-	b, err := rmem.NewByteArray(c.Client(), 1, 256)
+	b, err := rmem.NewByteArray(bg, c.Client(), 1, 256)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer b.Free()
+	defer b.Free(bg)
 	if b.Len() != 256 {
 		t.Errorf("Len = %d", b.Len())
 	}
@@ -161,10 +165,10 @@ func TestByteArray(t *testing.T) {
 		t.Error("nil ref")
 	}
 	payload := []byte{1, 2, 3, 4, 5}
-	if err := b.SetRange(100, payload); err != nil {
+	if err := b.SetRange(bg, 100, payload); err != nil {
 		t.Fatalf("SetRange: %v", err)
 	}
-	got, err := b.GetRange(100, 5)
+	got, err := b.GetRange(bg, 100, 5)
 	if err != nil {
 		t.Fatalf("GetRange: %v", err)
 	}
@@ -173,13 +177,13 @@ func TestByteArray(t *testing.T) {
 			t.Fatalf("byte %d = %d", i, got[i])
 		}
 	}
-	if err := b.SetRange(255, []byte{1, 2}); err == nil {
+	if err := b.SetRange(bg, 255, []byte{1, 2}); err == nil {
 		t.Error("expected bounds error")
 	}
-	if _, err := b.GetRange(-1, 1); err == nil {
+	if _, err := b.GetRange(bg, -1, 1); err == nil {
 		t.Error("expected bounds error")
 	}
-	n, err := b.RemoteLen()
+	n, err := b.RemoteLen(bg)
 	if err != nil || n != 256 {
 		t.Errorf("RemoteLen = %d, %v", n, err)
 	}
@@ -190,20 +194,20 @@ func TestByteArray(t *testing.T) {
 func TestQuickShadowModel(t *testing.T) {
 	c := startCluster(t, 2)
 	const n = 64
-	a, err := rmem.NewFloat64Array(c.Client(), 1, n)
+	a, err := rmem.NewFloat64Array(bg, c.Client(), 1, n)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer a.Free()
+	defer a.Free(bg)
 	shadow := make([]float64, n)
 
 	f := func(idx uint8, val float64) bool {
 		i := int(idx) % n
-		if err := a.Set(i, val); err != nil {
+		if err := a.Set(bg, i, val); err != nil {
 			return false
 		}
 		shadow[i] = val
-		got, err := a.Get(i)
+		got, err := a.Get(bg, i)
 		if err != nil {
 			return false
 		}
@@ -213,7 +217,7 @@ func TestQuickShadowModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Final full-state comparison.
-	got, err := a.GetRange(0, n)
+	got, err := a.GetRange(bg, 0, n)
 	if err != nil {
 		t.Fatalf("GetRange: %v", err)
 	}
@@ -229,22 +233,22 @@ func TestQuickShadowModel(t *testing.T) {
 func TestSharedBlockAcrossClients(t *testing.T) {
 	c := startCluster(t, 4)
 	// The block lives on machine 3.
-	a, err := rmem.NewFloat64Array(c.Client(), 3, 16)
+	a, err := rmem.NewFloat64Array(bg, c.Client(), 3, 16)
 	if err != nil {
 		t.Fatalf("alloc: %v", err)
 	}
-	defer a.Free()
+	defer a.Free(bg)
 
 	// Machines 0..2 each write their slot through their own client,
 	// sharing the same remote pointer (Ref).
 	for m := 0; m < 3; m++ {
 		stub := attach(c.Machine(m).Client(), a.Ref(), 16)
-		if err := stub.Set(m, float64(m+1)); err != nil {
+		if err := stub.Set(bg, m, float64(m+1)); err != nil {
 			t.Fatalf("machine %d set: %v", m, err)
 		}
 	}
 	for m := 0; m < 3; m++ {
-		v, err := a.Get(m)
+		v, err := a.Get(bg, m)
 		if err != nil {
 			t.Fatalf("get %d: %v", m, err)
 		}

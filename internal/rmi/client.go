@@ -1,8 +1,11 @@
 package rmi
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"oopp/internal/metrics"
 	"oopp/internal/transport"
@@ -40,18 +43,34 @@ type ArgEncoder func(e *wire.Encoder) error
 // NoArgs is the ArgEncoder for nullary calls.
 func NoArgs(*wire.Encoder) error { return nil }
 
+// AnyArgs is the ArgEncoder for the tagged generic encoding — the layer
+// under NewOn/Invoke.
+func AnyArgs(args ...any) ArgEncoder {
+	return func(e *wire.Encoder) error { return e.PutAnys(args) }
+}
+
+// dialBackoff is the base delay between dial retries (WithRetryDial);
+// attempt k waits k*dialBackoff, capped loosely by the call's context.
+const dialBackoff = 10 * time.Millisecond
+
 // Client issues remote constructions and method calls. One Client
 // multiplexes any number of concurrent calls over one connection per
 // machine; responses are matched to callers by request id, which is what
 // makes the §4 send-loop/receive-loop split effective.
+//
+// Every operation takes a context.Context and optional CallOptions. The
+// context governs dialing and sending and — for the synchronous forms —
+// waiting; cancellation aborts the in-flight call promptly and the late
+// response, if any, is dropped and counted (see metrics.Counters).
 type Client struct {
 	tr       transport.Transport
 	dir      Directory
 	counters *metrics.Counters
 
+	nextID atomic.Uint64
+
 	mu     sync.Mutex
 	conns  map[int]*clientConn
-	nextID uint64
 	closed bool
 }
 
@@ -67,6 +86,10 @@ func NewClient(tr transport.Transport, dir Directory) *Client {
 
 // Directory returns the client's machine directory.
 func (c *Client) Directory() Directory { return c.dir }
+
+// Counters returns the client's metrics, including the dropped-response
+// accounting (RespDropped, RespOrphaned) fed by the receive loops.
+func (c *Client) Counters() *metrics.Counters { return c.counters }
 
 // Close shuts down all connections. In-flight calls fail with ErrClosed.
 func (c *Client) Close() error {
@@ -85,8 +108,9 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn returns (dialing if necessary) the connection to machine m.
-func (c *Client) conn(m int) (*clientConn, error) {
+// conn returns (dialing if necessary) the connection to machine m,
+// retrying failed dials per opts and aborting on context cancellation.
+func (c *Client) conn(ctx context.Context, m int, opts *callOptions) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -102,9 +126,24 @@ func (c *Client) conn(m int) (*clientConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.tr.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
+	var raw transport.Conn
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
+		}
+		raw, err = c.tr.Dial(addr)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.retryDial {
+			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
+		}
+		c.counters.DialRetries.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, ctx.Err())
+		case <-time.After(time.Duration(attempt+1) * dialBackoff):
+		}
 	}
 	cc := newClientConn(raw, c.counters)
 
@@ -123,29 +162,24 @@ func (c *Client) conn(m int) (*clientConn, error) {
 	return cc, nil
 }
 
-// nextReqID allocates a request id.
-func (c *Client) nextReqID() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	return c.nextID
-}
-
 // New constructs an object of the registered class on machine m — the
 // paper's "new(machine m) Class(args)". It blocks until the remote
 // constructor finishes and returns the remote pointer.
-func (c *Client) New(m int, class string, args ArgEncoder) (Ref, error) {
-	fut, err := c.NewAsync(m, class, args)
+func (c *Client) New(ctx context.Context, m int, class string, args ArgEncoder, opts ...CallOption) (Ref, error) {
+	fut, err := c.NewAsync(ctx, m, class, args, opts...)
 	if err != nil {
 		return Ref{}, err
 	}
-	return fut.Ref()
+	return fut.Ref(ctx)
 }
 
-// NewAsync begins a remote construction and returns immediately.
-func (c *Client) NewAsync(m int, class string, args ArgEncoder) (*Future, error) {
+// NewAsync begins a remote construction and returns immediately. The
+// context governs dialing/sending now and, if cancelable, aborts the
+// pending future later; per-call deadlines travel via WithTimeout.
+func (c *Client) NewAsync(ctx context.Context, m int, class string, args ArgEncoder, opts ...CallOption) (*Future, error) {
+	o := resolveOptions(opts)
 	e := wire.NewEncoder(64)
-	reqID := c.nextReqID()
+	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opNew)
 	e.PutString(class)
@@ -154,36 +188,38 @@ func (c *Client) NewAsync(m int, class string, args ArgEncoder) (*Future, error)
 			return nil, err
 		}
 	}
-	fut := &Future{done: make(chan struct{}), machine: m, class: class}
-	if err := c.send(m, reqID, e, fut); err != nil {
+	fut := newFuture(m, class, "", o.label)
+	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
 		return nil, err
 	}
 	return fut, nil
 }
 
-// NewArgs is New with the tagged generic argument encoding.
-func (c *Client) NewArgs(m int, class string, args ...any) (Ref, error) {
-	return c.New(m, class, func(e *wire.Encoder) error { return e.PutAnys(args) })
+// NewArgs is New with the tagged generic argument encoding. Prefer the
+// typed NewOn[T].
+func (c *Client) NewArgs(ctx context.Context, m int, class string, args ...any) (Ref, error) {
+	return c.New(ctx, m, class, AnyArgs(args...))
 }
 
 // Call invokes a method on a remote object and blocks until its results
 // arrive (§2 sequential semantics). The returned decoder is positioned at
 // the method's results.
-func (c *Client) Call(ref Ref, method string, args ArgEncoder) (*wire.Decoder, error) {
-	fut := c.CallAsync(ref, method, args)
-	return fut.Wait()
+func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncoder, opts ...CallOption) (*wire.Decoder, error) {
+	fut := c.CallAsync(ctx, ref, method, args, opts...)
+	return fut.Wait(ctx)
 }
 
 // CallAsync begins a method invocation and returns a Future immediately.
 // This is the primitive under the paper's §4 loop-splitting transformation.
-func (c *Client) CallAsync(ref Ref, method string, args ArgEncoder) *Future {
-	fut := &Future{done: make(chan struct{}), machine: ref.Machine, class: ref.Class, method: method}
+func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args ArgEncoder, opts ...CallOption) *Future {
+	o := resolveOptions(opts)
+	fut := newFuture(ref.Machine, ref.Class, method, o.label)
 	if ref.IsNil() {
 		fut.fail(fmt.Errorf("rmi: call %s on nil ref", method))
 		return fut
 	}
 	e := wire.NewEncoder(64)
-	reqID := c.nextReqID()
+	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
 	e.PutUvarint(ref.Object)
@@ -195,7 +231,7 @@ func (c *Client) CallAsync(ref Ref, method string, args ArgEncoder) *Future {
 		}
 	}
 	c.counters.CallsIssued.Add(1)
-	if err := c.send(ref.Machine, reqID, e, fut); err != nil {
+	if err := c.send(ctx, ref.Machine, reqID, e, fut, &o); err != nil {
 		fut.fail(err)
 	}
 	return fut
@@ -203,9 +239,9 @@ func (c *Client) CallAsync(ref Ref, method string, args ArgEncoder) *Future {
 
 // CallArgs invokes a method using the tagged generic encoding for both
 // arguments and results: results written by the method as PutAnys are
-// decoded into []any.
-func (c *Client) CallArgs(ref Ref, method string, args ...any) ([]any, error) {
-	d, err := c.Call(ref, method, func(e *wire.Encoder) error { return e.PutAnys(args) })
+// decoded into []any. Prefer the typed Invoke[R].
+func (c *Client) CallArgs(ctx context.Context, ref Ref, method string, args ...any) ([]any, error) {
+	d, err := c.Call(ctx, ref, method, AnyArgs(args...))
 	if err != nil {
 		return nil, err
 	}
@@ -217,55 +253,58 @@ func (c *Client) CallArgs(ref Ref, method string, args ...any) ([]any, error) {
 
 // Delete destroys a remote object: queued calls complete, the destructor
 // runs, the process terminates (§2).
-func (c *Client) Delete(ref Ref) error {
+func (c *Client) Delete(ctx context.Context, ref Ref, opts ...CallOption) error {
+	o := resolveOptions(opts)
 	if ref.IsNil() {
 		return fmt.Errorf("rmi: delete of nil ref")
 	}
 	e := wire.NewEncoder(16)
-	reqID := c.nextReqID()
+	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opDelete)
 	e.PutUvarint(ref.Object)
-	fut := &Future{done: make(chan struct{}), machine: ref.Machine, class: ref.Class, method: "~"}
-	if err := c.send(ref.Machine, reqID, e, fut); err != nil {
+	fut := newFuture(ref.Machine, ref.Class, "~", o.label)
+	if err := c.send(ctx, ref.Machine, reqID, e, fut, &o); err != nil {
 		return err
 	}
-	_, err := fut.Wait()
+	_, err := fut.Wait(ctx)
 	return err
 }
 
 // Ping round-trips an empty frame to machine m.
-func (c *Client) Ping(m int) error {
+func (c *Client) Ping(ctx context.Context, m int, opts ...CallOption) error {
+	o := resolveOptions(opts)
 	e := wire.NewEncoder(8)
-	reqID := c.nextReqID()
+	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opPing)
-	fut := &Future{done: make(chan struct{}), machine: m}
-	if err := c.send(m, reqID, e, fut); err != nil {
+	fut := newFuture(m, "", "", o.label)
+	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
 		return err
 	}
-	_, err := fut.Wait()
+	_, err := fut.Wait(ctx)
 	return err
 }
 
 // PingObject sends the built-in no-op through an object's mailbox; its
 // completion proves all earlier messages to that object were processed.
-func (c *Client) PingObject(ref Ref) error {
-	_, err := c.Call(ref, methodPing, nil)
+func (c *Client) PingObject(ctx context.Context, ref Ref) error {
+	_, err := c.Call(ctx, ref, methodPing, nil)
 	return err
 }
 
 // Stat returns (live, total) object counts for machine m.
-func (c *Client) Stat(m int) (live, total uint64, err error) {
+func (c *Client) Stat(ctx context.Context, m int) (live, total uint64, err error) {
+	var o callOptions
 	e := wire.NewEncoder(8)
-	reqID := c.nextReqID()
+	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opStat)
-	fut := &Future{done: make(chan struct{}), machine: m}
-	if err := c.send(m, reqID, e, fut); err != nil {
+	fut := newFuture(m, "", "", "")
+	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
 		return 0, 0, err
 	}
-	d, err := fut.Wait()
+	d, err := fut.Wait(ctx)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -274,12 +313,43 @@ func (c *Client) Stat(m int) (live, total uint64, err error) {
 	return live, total, d.Err()
 }
 
-func (c *Client) send(m int, reqID uint64, e *wire.Encoder, fut *Future) error {
-	cc, err := c.conn(m)
+func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder, fut *Future, o *callOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("rmi: send to machine %d: %w", m, err)
+	}
+	// Arm the per-call deadline before dialing so WithTimeout bounds the
+	// whole operation — including the dial/retry phase. The dial loop gets
+	// a derived context with the same deadline; the future keeps the
+	// caller's context (a derived one would be canceled when send returns).
+	fut.arm(o.timeout)
+	dialCtx := ctx
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	cc, err := c.conn(dialCtx, m, o)
 	if err != nil {
 		return err
 	}
+	// Wire the future for cancellation before it can complete: the issue
+	// context aborts it from Wait, the per-call timer aborts it anywhere.
+	fut.bind(cc, reqID)
+	if ctx.Done() != nil {
+		fut.sendCtx = ctx
+	}
 	cc.register(reqID, fut)
+	select {
+	case <-fut.done:
+		// The per-call timer fired while we were dialing: the future
+		// already failed; don't leave a registration or send the frame.
+		cc.unregister(reqID)
+		return nil
+	default:
+	}
 	frame := e.Bytes()
 	c.counters.MessagesSent.Add(1)
 	c.counters.BytesSent.Add(int64(len(frame)))
@@ -338,14 +408,21 @@ func (cc *clientConn) recvLoop() {
 		reqID := d.Uvarint()
 		status := d.Uvarint()
 		if d.Err() != nil {
-			continue // unparseable response header; drop
+			// Unparseable response header: nothing to match it to. Count it
+			// — a nonzero RespDropped means a peer is speaking garbage.
+			cc.counters.RespDropped.Add(1)
+			continue
 		}
 		cc.mu.Lock()
 		fut, ok := cc.pending[reqID]
 		delete(cc.pending, reqID)
 		cc.mu.Unlock()
 		if !ok {
-			continue // response to an abandoned request
+			// Response to an abandoned request (canceled, timed out, or
+			// never registered). Expected under cancellation, but counted
+			// so operators can see the orphan rate.
+			cc.counters.RespOrphaned.Add(1)
+			continue
 		}
 		if status == statusOK {
 			fut.succeed(d)

@@ -24,12 +24,12 @@ func TestServerCloseFailsInflightCalls(t *testing.T) {
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	defer c.Close()
 
-	ref, err := c.New(0, "test.Slowpoke", nil)
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	// A call that blocks inside the object...
-	fut := c.CallAsync(ref, "block", nil)
+	fut := c.CallAsync(bg, ref, "block", nil)
 	time.Sleep(20 * time.Millisecond)
 	// ...then the machine goes down.
 	done := make(chan error, 1)
@@ -41,7 +41,7 @@ func TestServerCloseFailsInflightCalls(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("in-flight call hung after server close")
 	}
-	if err := fut.Err(); err == nil {
+	if err := fut.Err(bg); err == nil {
 		t.Fatal("in-flight call succeeded on a dead machine")
 	}
 	select {
@@ -62,7 +62,7 @@ func TestCallsAfterServerClose(t *testing.T) {
 	}
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	defer c.Close()
-	ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+	ref, err := c.New(bg, 0, "test.Counter", func(e *wire.Encoder) error {
 		e.PutInt(0)
 		return nil
 	})
@@ -70,10 +70,10 @@ func TestCallsAfterServerClose(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	srv.Close()
-	if _, err := c.Call(ref, "get", nil); err == nil {
+	if _, err := c.Call(bg, ref, "get", nil); err == nil {
 		t.Fatal("call to closed machine succeeded")
 	}
-	if _, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+	if _, err := c.New(bg, 0, "test.Counter", func(e *wire.Encoder) error {
 		e.PutInt(0)
 		return nil
 	}); err == nil {
@@ -145,7 +145,7 @@ func TestGarbageFramesDoNotKillServer(t *testing.T) {
 	// The server still works for a real client.
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	defer c.Close()
-	if err := c.Ping(0); err != nil {
+	if err := c.Ping(bg, 0); err != nil {
 		t.Fatalf("server dead after garbage: %v", err)
 	}
 }
@@ -163,7 +163,7 @@ func TestDeleteCallRace(t *testing.T) {
 	defer c.Close()
 
 	for round := 0; round < 20; round++ {
-		ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error {
+		ref, err := c.New(bg, 0, "test.Counter", func(e *wire.Encoder) error {
 			e.PutInt(0)
 			return nil
 		})
@@ -176,18 +176,18 @@ func TestDeleteCallRace(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				_, err := c.Call(ref, "get", nil)
+				_, err := c.Call(bg, ref, "get", nil)
 				results <- err
 			}(i)
 		}
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			results <- c.Delete(ref)
+			results <- c.Delete(bg, ref)
 		}()
 		go func() {
 			defer wg.Done()
-			results <- c.Delete(ref)
+			results <- c.Delete(bg, ref)
 		}()
 		wg.Wait()
 		close(results)
@@ -218,11 +218,11 @@ func TestDestructorErrorPropagates(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	defer c.Close()
-	ref, err := c.New(0, "test.BadDestructor", nil)
+	ref, err := c.New(bg, 0, "test.BadDestructor", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	err = c.Delete(ref)
+	err = c.Delete(bg, ref)
 	if err == nil {
 		t.Fatal("destructor error swallowed")
 	}
@@ -244,15 +244,15 @@ func TestManyPendingFuturesOnClose(t *testing.T) {
 	}
 	defer srv.Close()
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
-	ref, err := c.New(0, "test.Slowpoke", nil)
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	// One call occupies the object; the rest queue in its mailbox.
 	futs := make([]*Future, 16)
-	futs[0] = c.CallAsync(ref, "block", nil)
+	futs[0] = c.CallAsync(bg, ref, "block", nil)
 	for i := 1; i < len(futs); i++ {
-		futs[i] = c.CallAsync(ref, "sleep", func(e *wire.Encoder) error {
+		futs[i] = c.CallAsync(bg, ref, "sleep", func(e *wire.Encoder) error {
 			e.PutInt(1)
 			return nil
 		})
@@ -262,7 +262,7 @@ func TestManyPendingFuturesOnClose(t *testing.T) {
 	for i, f := range futs {
 		select {
 		case <-f.Done():
-			if f.Err() == nil {
+			if f.Err(bg) == nil {
 				t.Fatalf("future %d succeeded after client close", i)
 			}
 		case <-time.After(5 * time.Second):
@@ -293,13 +293,13 @@ func TestPutBackRestoresService(t *testing.T) {
 		t.Fatalf("TakeObject: %v", err)
 	}
 	// While taken, calls fail.
-	if _, err := c.Call(ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
+	if _, err := c.Call(bg, ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
 		t.Fatalf("call while taken: %v", err)
 	}
 	if err := srv.PutBack(ref.Object, ref.Class, obj); err != nil {
 		t.Fatalf("PutBack: %v", err)
 	}
-	d, err := c.Call(ref, "get", nil)
+	d, err := c.Call(bg, ref, "get", nil)
 	if err != nil {
 		t.Fatalf("call after PutBack: %v", err)
 	}
@@ -326,16 +326,16 @@ func TestTCPConnectionDropMidCall(t *testing.T) {
 	}
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	defer c.Close()
-	ref, err := c.New(0, "test.Slowpoke", nil)
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	fut := c.CallAsync(ref, "block", nil)
+	fut := c.CallAsync(bg, ref, "block", nil)
 	time.Sleep(20 * time.Millisecond)
 	srv.Close() // tears down the TCP connection server-side
 	select {
 	case <-fut.Done():
-		if fut.Err() == nil {
+		if fut.Err(bg) == nil {
 			t.Fatal("call succeeded across dropped connection")
 		}
 	case <-time.After(5 * time.Second):

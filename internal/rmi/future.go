@@ -1,7 +1,10 @@
 package rmi
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"oopp/internal/wire"
 )
@@ -10,6 +13,11 @@ import (
 // the runtime mechanism behind the paper's §4 transformation: a loop of
 // synchronous calls becomes a loop issuing futures (the send loop)
 // followed by a loop of Waits (the receive loop).
+//
+// A future is context-aware on both ends: the context passed when the
+// operation was issued and the context passed to Wait both abort the call
+// promptly. Aborting unregisters the pending request, so a late response
+// is dropped (and counted as orphaned) instead of resurrecting the call.
 type Future struct {
 	done chan struct{}
 
@@ -17,17 +25,85 @@ type Future struct {
 	machine int
 	class   string
 	method  string
+	label   string
+
+	// cancellation plumbing. cc/reqID are bound only after dialing
+	// succeeds, which can race with an already-armed per-call timer, so
+	// they are guarded by regMu; the rest is written before sharing.
+	regMu   sync.Mutex
+	cc      *clientConn
+	reqID   uint64
+	sendCtx context.Context
+	timer   *time.Timer
 
 	once   sync.Once
 	result *wire.Decoder
 	err    error
 }
 
-// Wait blocks until the operation completes and returns a decoder
-// positioned at the method's results (empty for void methods).
-func (f *Future) Wait() (*wire.Decoder, error) {
+func newFuture(machine int, class, method, label string) *Future {
+	return &Future{done: make(chan struct{}), machine: machine, class: class, method: method, label: label}
+}
+
+// Wait blocks until the operation completes, the context is canceled, or
+// the operation's issue-time context is canceled, and returns a decoder
+// positioned at the method's results (empty for void methods). On
+// cancellation the in-flight call is aborted: the pending request is
+// unregistered and the future fails with an error wrapping ctx.Err().
+func (f *Future) Wait(ctx context.Context) (*wire.Decoder, error) {
+	var waitDone, sendDone <-chan struct{}
+	if ctx != nil {
+		waitDone = ctx.Done()
+	}
+	if f.sendCtx != nil {
+		sendDone = f.sendCtx.Done()
+	}
+	select {
+	case <-f.done:
+	case <-waitDone:
+		f.cancel(ctx.Err())
+	case <-sendDone:
+		f.cancel(f.sendCtx.Err())
+	}
 	<-f.done
 	return f.result, f.err
+}
+
+// bind records the connection and request id once dialing succeeds, so
+// cancel can unregister the pending request.
+func (f *Future) bind(cc *clientConn, reqID uint64) {
+	f.regMu.Lock()
+	f.cc = cc
+	f.reqID = reqID
+	f.regMu.Unlock()
+}
+
+// cancel aborts a pending operation: the request is unregistered from its
+// connection (a late response becomes an orphan) and the future fails. If
+// the response already arrived, cancel is a no-op.
+func (f *Future) cancel(cause error) {
+	f.regMu.Lock()
+	cc, reqID := f.cc, f.reqID
+	f.regMu.Unlock()
+	if cc != nil {
+		cc.unregister(reqID)
+	}
+	f.fail(fmt.Errorf("rmi: %s aborted: %w", f.describe(), cause))
+}
+
+// describe renders the call site for error messages.
+func (f *Future) describe() string {
+	name := f.class
+	if f.method != "" {
+		name += "." + f.method
+	}
+	if name == "" {
+		name = "operation"
+	}
+	if f.label != "" {
+		return fmt.Sprintf("%s [%s] on machine %d", name, f.label, f.machine)
+	}
+	return fmt.Sprintf("%s on machine %d", name, f.machine)
 }
 
 // Done returns a channel closed when the result is available, for use in
@@ -35,15 +111,15 @@ func (f *Future) Wait() (*wire.Decoder, error) {
 func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Err waits for completion and returns only the error (void methods).
-func (f *Future) Err() error {
-	_, err := f.Wait()
+func (f *Future) Err(ctx context.Context) error {
+	_, err := f.Wait(ctx)
 	return err
 }
 
 // Ref waits for a construction future and decodes the new object's remote
 // pointer.
-func (f *Future) Ref() (Ref, error) {
-	d, err := f.Wait()
+func (f *Future) Ref(ctx context.Context) (Ref, error) {
+	d, err := f.Wait(ctx)
 	if err != nil {
 		return Ref{}, err
 	}
@@ -54,31 +130,89 @@ func (f *Future) Ref() (Ref, error) {
 	return Ref{Machine: f.machine, Object: id, Class: f.class}, nil
 }
 
-func (f *Future) succeed(d *wire.Decoder) {
-	f.once.Do(func() {
-		f.result = d
-		close(f.done)
+// arm installs the per-call timeout (WithTimeout/WithDeadline). Called
+// before the future is shared, so the field writes need no lock.
+func (f *Future) arm(timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	f.timer = time.AfterFunc(timeout, func() {
+		f.cancel(context.DeadlineExceeded)
 	})
 }
 
-func (f *Future) fail(err error) {
+func (f *Future) complete(d *wire.Decoder, err error) {
 	f.once.Do(func() {
+		if f.timer != nil {
+			f.timer.Stop()
+		}
+		f.result = d
 		f.err = err
 		close(f.done)
 	})
 }
 
-// WaitAll waits for every future and returns the first error encountered
-// (but always waits for all, so no goroutine is left racing).
-func WaitAll(futs []*Future) error {
+func (f *Future) succeed(d *wire.Decoder) { f.complete(d, nil) }
+
+func (f *Future) fail(err error) { f.complete(nil, err) }
+
+// WaitAll waits for every future (nil entries are skipped) and returns the
+// first error encountered — but always waits for all, so no goroutine is
+// left racing. Cancellation of ctx aborts every remaining future.
+func WaitAll(ctx context.Context, futs []*Future) error {
 	var first error
 	for _, f := range futs {
 		if f == nil {
 			continue
 		}
-		if _, err := f.Wait(); err != nil && first == nil {
+		if _, err := f.Wait(ctx); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// TypedFuture is the generic, decoded view of a Future: Wait returns the
+// call's single tagged result as R instead of a raw decoder. It is
+// produced by InvokeAsync and by Class[T] construction helpers.
+type TypedFuture[R any] struct {
+	fut *Future
+}
+
+// Wait blocks (honoring ctx like Future.Wait) and decodes the result. A
+// method that returned a value of a different dynamic type fails with a
+// descriptive mismatch error rather than a zero value.
+func (t *TypedFuture[R]) Wait(ctx context.Context) (R, error) {
+	var zero R
+	if t == nil || t.fut == nil {
+		return zero, fmt.Errorf("rmi: wait on nil typed future")
+	}
+	d, err := t.fut.Wait(ctx)
+	if err != nil {
+		return zero, err
+	}
+	return decodeResult[R](t.fut, d)
+}
+
+// Done returns the underlying completion channel.
+func (t *TypedFuture[R]) Done() <-chan struct{} { return t.fut.Done() }
+
+// Future returns the untyped future, for WaitAll-style aggregation.
+func (t *TypedFuture[R]) Future() *Future { return t.fut }
+
+// decodeResult reads one tagged value from d and asserts it to R.
+func decodeResult[R any](f *Future, d *wire.Decoder) (R, error) {
+	var zero R
+	if d.Remaining() == 0 {
+		return zero, fmt.Errorf("rmi: %s returned no result, want %T", f.describe(), zero)
+	}
+	v, err := d.Any()
+	if err != nil {
+		return zero, fmt.Errorf("rmi: %s: decoding result: %w", f.describe(), err)
+	}
+	r, ok := v.(R)
+	if !ok {
+		return zero, fmt.Errorf("rmi: %s returned %T, want %T", f.describe(), v, zero)
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"context"
 	"fmt"
 
 	"oopp/internal/wire"
@@ -23,7 +24,7 @@ func NewGroup(client *Client, refs []Ref) *Group {
 // (the paper's "for id: fft[id] = new(machine id) FFT(id)" loop),
 // in parallel. args is invoked with the member index so each member can
 // receive distinct constructor arguments.
-func SpawnGroup(client *Client, machines []int, class string, args func(i int, e *wire.Encoder) error) (*Group, error) {
+func SpawnGroup(ctx context.Context, client *Client, machines []int, class string, args func(i int, e *wire.Encoder) error, opts ...CallOption) (*Group, error) {
 	futs := make([]*Future, len(machines))
 	for i, m := range machines {
 		var enc ArgEncoder
@@ -31,12 +32,12 @@ func SpawnGroup(client *Client, machines []int, class string, args func(i int, e
 			i := i
 			enc = func(e *wire.Encoder) error { return args(i, e) }
 		}
-		fut, err := client.NewAsync(m, class, enc)
+		fut, err := client.NewAsync(ctx, m, class, enc, opts...)
 		if err != nil {
 			// Best effort cleanup of the members already being built.
 			for j := 0; j < i; j++ {
-				if r, rerr := futs[j].Ref(); rerr == nil {
-					_ = client.Delete(r)
+				if r, rerr := futs[j].Ref(ctx); rerr == nil {
+					_ = client.Delete(ctx, r)
 				}
 			}
 			return nil, err
@@ -46,7 +47,7 @@ func SpawnGroup(client *Client, machines []int, class string, args func(i int, e
 	refs := make([]Ref, len(machines))
 	var firstErr error
 	for i, fut := range futs {
-		r, err := fut.Ref()
+		r, err := fut.Ref(ctx)
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("rmi: spawning group member %d: %w", i, err)
 		}
@@ -55,7 +56,7 @@ func SpawnGroup(client *Client, machines []int, class string, args func(i int, e
 	if firstErr != nil {
 		for _, r := range refs {
 			if !r.IsNil() {
-				_ = client.Delete(r)
+				_ = client.Delete(ctx, r)
 			}
 		}
 		return nil, firstErr
@@ -74,14 +75,14 @@ func (g *Group) Member(i int) Ref { return g.refs[i] }
 
 // Call invokes method on every member sequentially — the paper's plain
 // "for (id...) fft[id]->transform(...)" loop with §2 semantics.
-func (g *Group) Call(method string, args func(i int, e *wire.Encoder) error) error {
+func (g *Group) Call(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, opts ...CallOption) error {
 	for i, ref := range g.refs {
 		var enc ArgEncoder
 		if args != nil {
 			i := i
 			enc = func(e *wire.Encoder) error { return args(i, e) }
 		}
-		if _, err := g.client.Call(ref, method, enc); err != nil {
+		if _, err := g.client.Call(ctx, ref, method, enc, opts...); err != nil {
 			return fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
 		}
 	}
@@ -90,7 +91,7 @@ func (g *Group) Call(method string, args func(i int, e *wire.Encoder) error) err
 
 // CallParallel is the §4 compiler-split version of Call: issue every
 // request (send loop), then collect every response (receive loop).
-func (g *Group) CallParallel(method string, args func(i int, e *wire.Encoder) error) error {
+func (g *Group) CallParallel(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, opts ...CallOption) error {
 	futs := make([]*Future, len(g.refs))
 	for i, ref := range g.refs {
 		var enc ArgEncoder
@@ -98,14 +99,14 @@ func (g *Group) CallParallel(method string, args func(i int, e *wire.Encoder) er
 			i := i
 			enc = func(e *wire.Encoder) error { return args(i, e) }
 		}
-		futs[i] = g.client.CallAsync(ref, method, enc)
+		futs[i] = g.client.CallAsync(ctx, ref, method, enc, opts...)
 	}
-	return WaitAll(futs)
+	return WaitAll(ctx, futs)
 }
 
 // CallParallelResults is CallParallel for methods with results: collect
 // applies each member's reply decoder in member order.
-func (g *Group) CallParallelResults(method string, args func(i int, e *wire.Encoder) error, collect func(i int, d *wire.Decoder) error) error {
+func (g *Group) CallParallelResults(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, collect func(i int, d *wire.Decoder) error, opts ...CallOption) error {
 	futs := make([]*Future, len(g.refs))
 	for i, ref := range g.refs {
 		var enc ArgEncoder
@@ -113,11 +114,11 @@ func (g *Group) CallParallelResults(method string, args func(i int, e *wire.Enco
 			i := i
 			enc = func(e *wire.Encoder) error { return args(i, e) }
 		}
-		futs[i] = g.client.CallAsync(ref, method, enc)
+		futs[i] = g.client.CallAsync(ctx, ref, method, enc, opts...)
 	}
 	var firstErr error
 	for i, fut := range futs {
-		d, err := fut.Wait()
+		d, err := fut.Wait(ctx)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
@@ -137,19 +138,19 @@ func (g *Group) CallParallelResults(method string, args func(i int, e *wire.Enco
 // member has processed all messages sent to it before the barrier — the
 // paper's "fft->barrier()" (§4). Implementation: a no-op message through
 // each member's FIFO mailbox, issued in parallel.
-func (g *Group) Barrier() error {
+func (g *Group) Barrier(ctx context.Context) error {
 	futs := make([]*Future, len(g.refs))
 	for i, ref := range g.refs {
-		futs[i] = g.client.CallAsync(ref, methodPing, nil)
+		futs[i] = g.client.CallAsync(ctx, ref, methodPing, nil)
 	}
-	return WaitAll(futs)
+	return WaitAll(ctx, futs)
 }
 
 // Delete destroys every member, in parallel, returning the first error.
-func (g *Group) Delete() error {
+func (g *Group) Delete(ctx context.Context) error {
 	errs := make(chan error, len(g.refs))
 	for _, ref := range g.refs {
-		go func(r Ref) { errs <- g.client.Delete(r) }(ref)
+		go func(r Ref) { errs <- g.client.Delete(ctx, r) }(ref)
 	}
 	var first error
 	for range g.refs {

@@ -1,0 +1,66 @@
+package rmi
+
+import "time"
+
+// CallOption tunes one remote operation (construction, call, delete).
+// Options compose with the context.Context passed to the same operation:
+// the context carries cancellation and caller-scoped deadlines, options
+// carry per-call policy that should travel with the future even when the
+// caller waits on it later with a different context.
+type CallOption func(*callOptions)
+
+// callOptions is the resolved option set for one operation.
+type callOptions struct {
+	timeout   time.Duration // per-call deadline, enforced even on async futures
+	retryDial int           // extra dial attempts on dial failure
+	label     string        // trace label woven into errors and drop accounting
+}
+
+func resolveOptions(opts []CallOption) callOptions {
+	var o callOptions
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// WithTimeout bounds the whole operation (dial, send, remote execution,
+// response) to d. Unlike a context deadline, the timeout is armed at issue
+// time and travels with the Future, so a §4 send-loop can stamp deadlines
+// on calls it will only Wait on much later.
+func WithTimeout(d time.Duration) CallOption {
+	return func(o *callOptions) { o.timeout = d }
+}
+
+// WithDeadline is WithTimeout anchored at an absolute time. A deadline
+// already in the past fails the operation immediately rather than
+// silently disabling the bound.
+func WithDeadline(t time.Time) CallOption {
+	return func(o *callOptions) {
+		o.timeout = time.Until(t)
+		if o.timeout <= 0 {
+			o.timeout = time.Nanosecond
+		}
+	}
+}
+
+// WithRetryDial retries a failed dial up to n additional times (with a
+// short backoff) before failing the operation. Only dialing is retried —
+// a request that may have reached the remote machine is never resent,
+// preserving the paper's exactly-once mailbox semantics.
+func WithRetryDial(n int) CallOption {
+	return func(o *callOptions) {
+		if n > 0 {
+			o.retryDial = n
+		}
+	}
+}
+
+// WithLabel attaches a trace label to the operation. The label appears in
+// timeout/cancellation errors, making a failed future attributable when
+// hundreds are in flight.
+func WithLabel(label string) CallOption {
+	return func(o *callOptions) { o.label = label }
+}

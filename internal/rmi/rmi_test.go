@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,9 @@ import (
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
+
+// bg is the neutral context for test call sites with no deadline.
+var bg = context.Background()
 
 // ---- test classes -------------------------------------------------------
 //
@@ -143,7 +147,7 @@ func init() {
 				if peer.Machine == env.Machine {
 					continue // skip self by machine (one peer per machine in tests)
 				}
-				if _, err := env.Client.Call(peer, "deliver", func(e *wire.Encoder) error {
+				if _, err := env.Client.Call(bg, peer, "deliver", func(e *wire.Encoder) error {
 					e.PutInt(p.id)
 					return nil
 				}); err != nil {
@@ -239,7 +243,7 @@ func TestNewCallDelete(t *testing.T) {
 		defer stop()
 		c := nodes[0].client
 
-		ref, err := c.New(1, "test.Counter", func(e *wire.Encoder) error {
+		ref, err := c.New(bg, 1, "test.Counter", func(e *wire.Encoder) error {
 			e.PutInt(10)
 			return nil
 		})
@@ -250,7 +254,7 @@ func TestNewCallDelete(t *testing.T) {
 			t.Fatalf("bad ref: %v", ref)
 		}
 
-		d, err := c.Call(ref, "add", func(e *wire.Encoder) error {
+		d, err := c.Call(bg, ref, "add", func(e *wire.Encoder) error {
 			e.PutInt(5)
 			e.PutInt(0)
 			return nil
@@ -262,7 +266,7 @@ func TestNewCallDelete(t *testing.T) {
 			t.Fatalf("add result = %d, want 15", got)
 		}
 
-		d, err = c.Call(ref, "get", nil)
+		d, err = c.Call(bg, ref, "get", nil)
 		if err != nil {
 			t.Fatalf("get: %v", err)
 		}
@@ -270,13 +274,13 @@ func TestNewCallDelete(t *testing.T) {
 			t.Fatalf("get = %d, want 15", got)
 		}
 
-		if err := c.Delete(ref); err != nil {
+		if err := c.Delete(bg, ref); err != nil {
 			t.Fatalf("delete: %v", err)
 		}
-		if _, err := c.Call(ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
+		if _, err := c.Call(bg, ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
 			t.Fatalf("call after delete: err = %v, want ErrNoSuchObject", err)
 		}
-		if err := c.Delete(ref); !errors.Is(err, ErrNoSuchObject) {
+		if err := c.Delete(bg, ref); !errors.Is(err, ErrNoSuchObject) {
 			t.Fatalf("double delete: err = %v, want ErrNoSuchObject", err)
 		}
 	})
@@ -287,29 +291,29 @@ func TestRemoteErrors(t *testing.T) {
 	defer stop()
 	c := nodes[0].client
 
-	if _, err := c.New(1, "test.NoSuchClass", nil); !errors.Is(err, ErrNoSuchClass) {
+	if _, err := c.New(bg, 1, "test.NoSuchClass", nil); !errors.Is(err, ErrNoSuchClass) {
 		t.Errorf("unknown class: %v", err)
 	}
 	// Constructor returns error.
-	if _, err := c.New(1, "test.Counter", func(e *wire.Encoder) error {
+	if _, err := c.New(bg, 1, "test.Counter", func(e *wire.Encoder) error {
 		e.PutInt(-1)
 		return nil
 	}); err == nil {
 		t.Error("expected constructor error")
 	}
 	// Constructor panics.
-	if _, err := c.New(1, "test.CounterBoom", nil); err == nil {
+	if _, err := c.New(bg, 1, "test.CounterBoom", nil); err == nil {
 		t.Error("expected constructor panic -> error")
 	}
 
-	ref, err := c.New(1, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
+	ref, err := c.New(bg, 1, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := c.Call(ref, "nonexistent", nil); !errors.Is(err, ErrNoSuchMethod) {
+	if _, err := c.Call(bg, ref, "nonexistent", nil); !errors.Is(err, ErrNoSuchMethod) {
 		t.Errorf("unknown method: %v", err)
 	}
-	if _, err := c.Call(ref, "fail", nil); err == nil {
+	if _, err := c.Call(bg, ref, "fail", nil); err == nil {
 		t.Error("expected method error")
 	} else {
 		var re *RemoteError
@@ -320,17 +324,17 @@ func TestRemoteErrors(t *testing.T) {
 		}
 	}
 	// Panicking method becomes an error, object survives.
-	if _, err := c.Call(ref, "explode", nil); err == nil {
+	if _, err := c.Call(bg, ref, "explode", nil); err == nil {
 		t.Error("expected panic -> error")
 	}
-	if _, err := c.Call(ref, "get", nil); err != nil {
+	if _, err := c.Call(bg, ref, "get", nil); err != nil {
 		t.Errorf("object dead after method panic: %v", err)
 	}
 	// Call on nil ref.
-	if _, err := c.Call(Ref{}, "get", nil); err == nil {
+	if _, err := c.Call(bg, Ref{}, "get", nil); err == nil {
 		t.Error("expected error calling nil ref")
 	}
-	if err := c.Delete(Ref{}); err == nil {
+	if err := c.Delete(bg, Ref{}); err == nil {
 		t.Error("expected error deleting nil ref")
 	}
 }
@@ -339,13 +343,13 @@ func TestArgumentDecodeErrorReported(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
 	defer stop()
 	c := nodes[0].client
-	ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
+	ref, err := c.New(bg, 0, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	// add expects two ints; send none. The method reads garbage and the
 	// server must report the decode error rather than succeed silently.
-	if _, err := c.Call(ref, "add", nil); err == nil {
+	if _, err := c.Call(bg, ref, "add", nil); err == nil {
 		t.Fatal("expected argument decode error")
 	}
 }
@@ -356,7 +360,7 @@ func TestMailboxFIFO(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 2)
 	defer stop()
 	c := nodes[0].client
-	ref, err := c.New(1, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
+	ref, err := c.New(bg, 1, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -364,16 +368,16 @@ func TestMailboxFIFO(t *testing.T) {
 	futs := make([]*Future, n)
 	for i := 0; i < n; i++ {
 		i := i
-		futs[i] = c.CallAsync(ref, "add", func(e *wire.Encoder) error {
+		futs[i] = c.CallAsync(bg, ref, "add", func(e *wire.Encoder) error {
 			e.PutInt(1)
 			e.PutInt(i)
 			return nil
 		})
 	}
-	if err := WaitAll(futs); err != nil {
+	if err := WaitAll(bg, futs); err != nil {
 		t.Fatalf("WaitAll: %v", err)
 	}
-	d, err := c.Call(ref, "order", nil)
+	d, err := c.Call(bg, ref, "order", nil)
 	if err != nil {
 		t.Fatalf("order: %v", err)
 	}
@@ -395,15 +399,15 @@ func TestConcurrentMethodRunsDuringSerial(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
 	defer stop()
 	c := nodes[0].client
-	ref, err := c.New(0, "test.Slowpoke", nil)
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	blockFut := c.CallAsync(ref, "block", nil)
+	blockFut := c.CallAsync(bg, ref, "block", nil)
 	// unblock waits for block to be entered, then releases it. If
 	// "unblock" were serial this would deadlock.
 	done := make(chan error, 1)
-	go func() { done <- c.CallAsync(ref, "unblock", nil).Err() }()
+	go func() { done <- c.CallAsync(bg, ref, "unblock", nil).Err(bg) }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -412,7 +416,7 @@ func TestConcurrentMethodRunsDuringSerial(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("deadlock: concurrent method did not run during serial method")
 	}
-	if err := blockFut.Err(); err != nil {
+	if err := blockFut.Err(bg); err != nil {
 		t.Fatalf("block: %v", err)
 	}
 }
@@ -429,7 +433,7 @@ func TestAsyncOverlap(t *testing.T) {
 	refs := make([]Ref, k)
 	for i := range refs {
 		var err error
-		refs[i], err = c.New(i, "test.Slowpoke", nil)
+		refs[i], err = c.New(bg, i, "test.Slowpoke", nil)
 		if err != nil {
 			t.Fatalf("New %d: %v", i, err)
 		}
@@ -437,12 +441,12 @@ func TestAsyncOverlap(t *testing.T) {
 	start := time.Now()
 	futs := make([]*Future, k)
 	for i, ref := range refs {
-		futs[i] = c.CallAsync(ref, "sleep", func(e *wire.Encoder) error {
+		futs[i] = c.CallAsync(bg, ref, "sleep", func(e *wire.Encoder) error {
 			e.PutInt(ms)
 			return nil
 		})
 	}
-	if err := WaitAll(futs); err != nil {
+	if err := WaitAll(bg, futs); err != nil {
 		t.Fatalf("WaitAll: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -453,7 +457,7 @@ func TestAsyncOverlap(t *testing.T) {
 	// And the sequential §2 form takes ~sum, for contrast.
 	start = time.Now()
 	for _, ref := range refs {
-		if _, err := c.Call(ref, "sleep", func(e *wire.Encoder) error {
+		if _, err := c.Call(bg, ref, "sleep", func(e *wire.Encoder) error {
 			e.PutInt(ms)
 			return nil
 		}); err != nil {
@@ -472,7 +476,7 @@ func TestGroupSpawnCallBarrierDelete(t *testing.T) {
 		c := nodes[0].client
 
 		machines := []int{0, 1, 2, 3}
-		g, err := SpawnGroup(c, machines, "test.Counter", func(i int, e *wire.Encoder) error {
+		g, err := SpawnGroup(bg, c, machines, "test.Counter", func(i int, e *wire.Encoder) error {
 			e.PutInt(i * 100)
 			return nil
 		})
@@ -488,19 +492,19 @@ func TestGroupSpawnCallBarrierDelete(t *testing.T) {
 			}
 		}
 
-		if err := g.CallParallel("add", func(i int, e *wire.Encoder) error {
+		if err := g.CallParallel(bg, "add", func(i int, e *wire.Encoder) error {
 			e.PutInt(i)
 			e.PutInt(0)
 			return nil
 		}); err != nil {
 			t.Fatalf("CallParallel: %v", err)
 		}
-		if err := g.Barrier(); err != nil {
+		if err := g.Barrier(bg); err != nil {
 			t.Fatalf("Barrier: %v", err)
 		}
 
 		sums := make([]int64, g.Len())
-		if err := g.CallParallelResults("get", nil, func(i int, d *wire.Decoder) error {
+		if err := g.CallParallelResults(bg, "get", nil, func(i int, d *wire.Decoder) error {
 			sums[i] = d.Varint()
 			return d.Err()
 		}); err != nil {
@@ -512,11 +516,11 @@ func TestGroupSpawnCallBarrierDelete(t *testing.T) {
 			}
 		}
 
-		if err := g.Delete(); err != nil {
+		if err := g.Delete(bg); err != nil {
 			t.Fatalf("group delete: %v", err)
 		}
 		for i := 0; i < g.Len(); i++ {
-			if _, err := c.Call(g.Member(i), "get", nil); !errors.Is(err, ErrNoSuchObject) {
+			if _, err := c.Call(bg, g.Member(i), "get", nil); !errors.Is(err, ErrNoSuchObject) {
 				t.Errorf("member %d alive after delete: %v", i, err)
 			}
 		}
@@ -527,22 +531,22 @@ func TestGroupSequentialCall(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 2)
 	defer stop()
 	c := nodes[0].client
-	g, err := SpawnGroup(c, []int{0, 1}, "test.Counter", func(i int, e *wire.Encoder) error {
+	g, err := SpawnGroup(bg, c, []int{0, 1}, "test.Counter", func(i int, e *wire.Encoder) error {
 		e.PutInt(0)
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("SpawnGroup: %v", err)
 	}
-	defer g.Delete()
-	if err := g.Call("add", func(i int, e *wire.Encoder) error {
+	defer g.Delete(bg)
+	if err := g.Call(bg, "add", func(i int, e *wire.Encoder) error {
 		e.PutInt(i + 1)
 		e.PutInt(0)
 		return nil
 	}); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
-	d, err := c.Call(g.Member(1), "get", nil)
+	d, err := c.Call(bg, g.Member(1), "get", nil)
 	if err != nil {
 		t.Fatalf("get: %v", err)
 	}
@@ -556,7 +560,7 @@ func TestSpawnGroupFailureCleansUp(t *testing.T) {
 	defer stop()
 	c := nodes[0].client
 	// Second member's constructor fails (negative start).
-	_, err := SpawnGroup(c, []int{0, 1}, "test.Counter", func(i int, e *wire.Encoder) error {
+	_, err := SpawnGroup(bg, c, []int{0, 1}, "test.Counter", func(i int, e *wire.Encoder) error {
 		if i == 1 {
 			e.PutInt(-1)
 		} else {
@@ -568,7 +572,7 @@ func TestSpawnGroupFailureCleansUp(t *testing.T) {
 		t.Fatal("expected spawn failure")
 	}
 	// The successfully spawned member must have been deleted.
-	live, _, err := c.Stat(0)
+	live, _, err := c.Stat(bg, 0)
 	if err != nil {
 		t.Fatalf("stat: %v", err)
 	}
@@ -585,17 +589,17 @@ func TestRefsTravel(t *testing.T) {
 		defer stop()
 		c := nodes[0].client
 
-		g, err := SpawnGroup(c, []int{0, 1, 2}, "test.Peer", func(i int, e *wire.Encoder) error {
+		g, err := SpawnGroup(bg, c, []int{0, 1, 2}, "test.Peer", func(i int, e *wire.Encoder) error {
 			e.PutInt(i)
 			return nil
 		})
 		if err != nil {
 			t.Fatalf("SpawnGroup: %v", err)
 		}
-		defer g.Delete()
+		defer g.Delete(bg)
 
 		// Deep-copy distribution of the member table (§4 SetGroup).
-		if err := g.CallParallel("setGroup", func(i int, e *wire.Encoder) error {
+		if err := g.CallParallel(bg, "setGroup", func(i int, e *wire.Encoder) error {
 			e.PutRefs(g.Refs())
 			return nil
 		}); err != nil {
@@ -603,13 +607,13 @@ func TestRefsTravel(t *testing.T) {
 		}
 
 		// Every member tells every other member its id, via peer RMI.
-		if err := g.CallParallel("tellPeers", nil); err != nil {
+		if err := g.CallParallel(bg, "tellPeers", nil); err != nil {
 			t.Fatalf("tellPeers: %v", err)
 		}
 
 		// Each inbox must contain the other two ids.
 		for i := 0; i < 3; i++ {
-			d, err := c.Call(g.Member(i), "inbox", nil)
+			d, err := c.Call(bg, g.Member(i), "inbox", nil)
 			if err != nil {
 				t.Fatalf("inbox %d: %v", i, err)
 			}
@@ -651,11 +655,11 @@ func TestDestructorRuns(t *testing.T) {
 	defer stop()
 	c := nodes[0].client
 	before := destructions.Load()
-	ref, err := c.New(0, "test.Destructible", nil)
+	ref, err := c.New(bg, 0, "test.Destructible", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if err := c.Delete(ref); err != nil {
+	if err := c.Delete(bg, ref); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
 	if got := destructions.Load() - before; got != 1 {
@@ -671,7 +675,7 @@ func TestServerCloseRunsDestructors(t *testing.T) {
 	}
 	c := NewClient(tr, StaticDirectory{srv.Addr()})
 	before := destructions.Load()
-	if _, err := c.New(0, "test.Destructible", nil); err != nil {
+	if _, err := c.New(bg, 0, "test.Destructible", nil); err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	c.Close()
@@ -691,29 +695,29 @@ func TestPingStatAndBuiltins(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 2)
 	defer stop()
 	c := nodes[0].client
-	if err := c.Ping(1); err != nil {
+	if err := c.Ping(bg, 1); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	live0, total0, err := c.Stat(1)
+	live0, total0, err := c.Stat(bg, 1)
 	if err != nil {
 		t.Fatalf("stat: %v", err)
 	}
-	ref, err := c.New(1, "test.Echo", nil)
+	ref, err := c.New(bg, 1, "test.Echo", nil)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	live, total, err := c.Stat(1)
+	live, total, err := c.Stat(bg, 1)
 	if err != nil {
 		t.Fatalf("stat: %v", err)
 	}
 	if live != live0+1 || total != total0+1 {
 		t.Errorf("stat after new: live %d->%d total %d->%d", live0, live, total0, total)
 	}
-	if err := c.PingObject(ref); err != nil {
+	if err := c.PingObject(bg, ref); err != nil {
 		t.Fatalf("ping object: %v", err)
 	}
 	// Echo round trip, and env.Machine visible to methods.
-	d, err := c.Call(ref, "machine", nil)
+	d, err := c.Call(bg, ref, "machine", nil)
 	if err != nil {
 		t.Fatalf("machine: %v", err)
 	}
@@ -773,21 +777,21 @@ func TestCallArgsGenericLayer(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
 	defer stop()
 	c := nodes[0].client
-	ref, err := c.NewArgs(0, "test.GenericKV", "seed")
+	ref, err := c.NewArgs(bg, 0, "test.GenericKV", "seed")
 	if err != nil {
 		t.Fatalf("NewArgs: %v", err)
 	}
-	if _, err := c.CallArgs(ref, "set", "pi", 3.14159); err != nil {
+	if _, err := c.CallArgs(bg, ref, "set", "pi", 3.14159); err != nil {
 		t.Fatalf("set: %v", err)
 	}
-	out, err := c.CallArgs(ref, "get", "pi")
+	out, err := c.CallArgs(bg, ref, "get", "pi")
 	if err != nil {
 		t.Fatalf("get: %v", err)
 	}
 	if len(out) != 2 || out[0].(float64) != 3.14159 || out[1].(bool) != true {
 		t.Fatalf("get result: %v", out)
 	}
-	out, err = c.CallArgs(ref, "get", "absent")
+	out, err = c.CallArgs(bg, ref, "get", "absent")
 	if err != nil {
 		t.Fatalf("get absent: %v", err)
 	}
@@ -817,7 +821,7 @@ func TestClientCloseFailsInflight(t *testing.T) {
 	defer stop()
 	c := NewClient(transport.NewInproc(transport.LinkModel{}), StaticDirectory{})
 	c.Close()
-	if _, err := c.New(0, "test.Counter", nil); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.New(bg, 0, "test.Counter", nil); !errors.Is(err, ErrClientClosed) {
 		t.Errorf("New on closed client: %v", err)
 	}
 	// Close is idempotent.
@@ -830,10 +834,10 @@ func TestClientCloseFailsInflight(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	c := NewClient(transport.NewInproc(transport.LinkModel{}), StaticDirectory{"nowhere"})
 	defer c.Close()
-	if _, err := c.New(0, "test.Counter", nil); err == nil {
+	if _, err := c.New(bg, 0, "test.Counter", nil); err == nil {
 		t.Fatal("expected dial failure")
 	}
-	if err := c.Ping(0); err == nil {
+	if err := c.Ping(bg, 0); err == nil {
 		t.Fatal("expected ping failure")
 	}
 }
@@ -867,12 +871,12 @@ func TestInheritanceExtendOverride(t *testing.T) {
 	defer stop()
 	c := nodes[0].client
 
-	bref, _ := c.New(0, "test.Base", nil)
-	dref, _ := c.New(0, "test.Derived", nil)
+	bref, _ := c.New(bg, 0, "test.Base", nil)
+	dref, _ := c.New(bg, 0, "test.Derived", nil)
 
 	check := func(ref Ref, method, want string) {
 		t.Helper()
-		d, err := c.Call(ref, method, nil)
+		d, err := c.Call(bg, ref, method, nil)
 		if err != nil {
 			t.Fatalf("%s.%s: %v", ref.Class, method, err)
 		}
@@ -884,7 +888,7 @@ func TestInheritanceExtendOverride(t *testing.T) {
 	check(dref, "who", "derived")   // override
 	check(dref, "shared", "shared") // inherited
 	check(dref, "extra", "extra")   // added
-	if _, err := c.Call(bref, "extra", nil); !errors.Is(err, ErrNoSuchMethod) {
+	if _, err := c.Call(bg, bref, "extra", nil); !errors.Is(err, ErrNoSuchMethod) {
 		t.Errorf("base must not have derived method: %v", err)
 	}
 	if names := derived.MethodNames(); len(names) != 3 {
@@ -948,7 +952,7 @@ func TestAddTakeObject(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AddObject: %v", err)
 	}
-	d, err := c.Call(ref, "get", nil)
+	d, err := c.Call(bg, ref, "get", nil)
 	if err != nil {
 		t.Fatalf("call: %v", err)
 	}
@@ -963,7 +967,7 @@ func TestAddTakeObject(t *testing.T) {
 		t.Fatalf("taken object state wrong")
 	}
 	// Object is gone from the server.
-	if _, err := c.Call(ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
+	if _, err := c.Call(bg, ref, "get", nil); !errors.Is(err, ErrNoSuchObject) {
 		t.Fatalf("call after take: %v", err)
 	}
 	if _, err := srv.TakeObject(ref.Object); err == nil {
@@ -1013,7 +1017,7 @@ func TestManyObjectsManyClients(t *testing.T) {
 			c := nodes[w].client
 			for i := 0; i < 25; i++ {
 				m := (w + i) % 4
-				ref, err := c.New(m, "test.Counter", func(e *wire.Encoder) error {
+				ref, err := c.New(bg, m, "test.Counter", func(e *wire.Encoder) error {
 					e.PutInt(i)
 					return nil
 				})
@@ -1021,7 +1025,7 @@ func TestManyObjectsManyClients(t *testing.T) {
 					errCh <- err
 					return
 				}
-				d, err := c.Call(ref, "add", func(e *wire.Encoder) error {
+				d, err := c.Call(bg, ref, "add", func(e *wire.Encoder) error {
 					e.PutInt(1)
 					e.PutInt(0)
 					return nil
@@ -1034,7 +1038,7 @@ func TestManyObjectsManyClients(t *testing.T) {
 					errCh <- fmt.Errorf("worker %d obj %d: got %d", w, i, got)
 					return
 				}
-				if err := c.Delete(ref); err != nil {
+				if err := c.Delete(bg, ref); err != nil {
 					errCh <- err
 					return
 				}
@@ -1052,20 +1056,20 @@ func TestFutureDoneChannel(t *testing.T) {
 	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
 	defer stop()
 	c := nodes[0].client
-	ref, err := c.New(0, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
+	ref, err := c.New(bg, 0, "test.Counter", func(e *wire.Encoder) error { e.PutInt(0); return nil })
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	fut := c.CallAsync(ref, "get", nil)
+	fut := c.CallAsync(bg, ref, "get", nil)
 	select {
 	case <-fut.Done():
 	case <-time.After(5 * time.Second):
 		t.Fatal("future never completed")
 	}
-	if _, err := fut.Wait(); err != nil {
+	if _, err := fut.Wait(bg); err != nil {
 		t.Fatalf("wait: %v", err)
 	}
-	if err := fut.Err(); err != nil {
+	if err := fut.Err(bg); err != nil {
 		t.Fatalf("err: %v", err)
 	}
 }

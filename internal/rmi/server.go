@@ -50,7 +50,7 @@ const closeGrace = 2 * time.Second
 // objEntry is one live object: its instance, class, and process mailbox.
 type objEntry struct {
 	id    uint64
-	class *Class
+	class *ClassSpec
 	obj   any
 	mb    *mailbox
 }
@@ -259,7 +259,7 @@ func (s *Server) handleNew(conn transport.Conn, reqID uint64, class string, args
 
 // construct runs a constructor, converting panics into errors: a buggy
 // remote constructor must not take down the machine.
-func (s *Server) construct(cl *Class, args *wire.Decoder) (obj any, err error) {
+func (s *Server) construct(cl *ClassSpec, args *wire.Decoder) (obj any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("constructor panic: %v", r)
@@ -271,7 +271,7 @@ func (s *Server) construct(cl *Class, args *wire.Decoder) (obj any, err error) {
 // adopt registers an already-built object and starts its process
 // goroutine. It is also used directly (via Server.AddObject) for objects
 // created server-side, e.g. reactivated persistent processes.
-func (s *Server) adopt(cl *Class, obj any) (uint64, error) {
+func (s *Server) adopt(cl *ClassSpec, obj any) (uint64, error) {
 	entry := &objEntry{class: cl, obj: obj, mb: newMailbox()}
 	s.mu.Lock()
 	if s.closed {

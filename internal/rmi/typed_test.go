@@ -1,0 +1,384 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"oopp/internal/metrics"
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+// typedCounter is a class written against the typed surface: registration
+// returns a Class[*typedCounter] handle, methods receive the object
+// without assertions, and results use the tagged encoding so clients can
+// Invoke with decoded results.
+type typedCounter struct{ n int }
+
+var typedCounterClass = RegisterClass("test.TypedCounter",
+	func(env *Env, args *wire.Decoder) (*typedCounter, error) {
+		vals, err := args.Anys()
+		if err != nil {
+			return nil, err
+		}
+		c := &typedCounter{}
+		if len(vals) == 1 {
+			start, ok := vals[0].(int)
+			if !ok {
+				return nil, fmt.Errorf("counter wants an int start, got %T", vals[0])
+			}
+			c.n = start
+		}
+		return c, nil
+	}).
+	Method("add", func(c *typedCounter, env *Env, args *wire.Decoder, reply *wire.Encoder) error {
+		vals, err := args.Anys()
+		if err != nil {
+			return err
+		}
+		if len(vals) != 1 {
+			return fmt.Errorf("add wants 1 arg, got %d", len(vals))
+		}
+		d, ok := vals[0].(int)
+		if !ok {
+			return fmt.Errorf("add wants an int, got %T", vals[0])
+		}
+		c.n += d
+		return reply.PutAny(c.n)
+	}).
+	Method("get", func(c *typedCounter, env *Env, args *wire.Decoder, reply *wire.Encoder) error {
+		return reply.PutAny(c.n)
+	}).
+	Method("label", func(c *typedCounter, env *Env, args *wire.Decoder, reply *wire.Encoder) error {
+		return reply.PutAny(fmt.Sprintf("counter(%d)", c.n))
+	}).
+	Method("void", func(c *typedCounter, env *Env, args *wire.Decoder, reply *wire.Encoder) error {
+		return nil
+	})
+
+// TestTypedRoundTrip drives the tentpole surface end to end: construction
+// by type (NewOn), typed invocation (Invoke), the §4 split form
+// (InvokeAsync + TypedFuture.Wait), and handle-based construction.
+func TestTypedRoundTrip(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 2)
+	defer stop()
+	c := nodes[0].client
+
+	ref, err := NewOn[typedCounter](bg, c, 1, 40)
+	if err != nil {
+		t.Fatalf("NewOn: %v", err)
+	}
+	if ref.Class != "test.TypedCounter" {
+		t.Fatalf("ref class = %q", ref.Class)
+	}
+
+	n, err := Invoke[int](bg, c, ref, "add", 2)
+	if err != nil {
+		t.Fatalf("Invoke add: %v", err)
+	}
+	if n != 42 {
+		t.Fatalf("add result = %d, want 42", n)
+	}
+
+	fut := InvokeAsync[int](bg, c, ref, "get")
+	got, err := fut.Wait(bg)
+	if err != nil || got != 42 {
+		t.Fatalf("InvokeAsync get = %d, %v", got, err)
+	}
+
+	if err := InvokeVoid(bg, c, ref, "void"); err != nil {
+		t.Fatalf("InvokeVoid: %v", err)
+	}
+
+	// Handle-based construction with an explicit encoder.
+	ref2, err := typedCounterClass.New(bg, c, 0, AnyArgs(7))
+	if err != nil {
+		t.Fatalf("handle New: %v", err)
+	}
+	if v, err := Invoke[int](bg, c, ref2, "get"); err != nil || v != 7 {
+		t.Fatalf("handle-built counter get = %d, %v", v, err)
+	}
+	if err := c.Delete(bg, ref); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := c.Delete(bg, ref2); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+}
+
+// TestNewOnUnknownType verifies the typed lookup failure mode.
+func TestNewOnUnknownType(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	type unregistered struct{}
+	_, err := NewOn[unregistered](bg, nodes[0].client, 0)
+	if !errors.Is(err, ErrNoSuchClass) {
+		t.Fatalf("NewOn of unregistered type: %v, want ErrNoSuchClass", err)
+	}
+}
+
+// TestInvokeDecodeMismatch checks that a typed future surfaces a wrong
+// result type as a descriptive error instead of a zero value.
+func TestInvokeDecodeMismatch(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	ref, err := NewOn[typedCounter](bg, c, 0, 1)
+	if err != nil {
+		t.Fatalf("NewOn: %v", err)
+	}
+	// label returns a string; asking for an int must fail loudly.
+	_, err = Invoke[int](bg, c, ref, "label")
+	if err == nil {
+		t.Fatal("decode mismatch succeeded")
+	}
+	if want := "returned string, want int"; !contains(err.Error(), want) {
+		t.Fatalf("mismatch error %q does not mention %q", err, want)
+	}
+	// void returns nothing; asking for a result must fail loudly.
+	_, err = Invoke[int](bg, c, ref, "void")
+	if err == nil || !contains(err.Error(), "no result") {
+		t.Fatalf("void invoke error = %v, want no-result error", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestContextCancelAbortsInFlightCall proves the acceptance criterion:
+// canceling the context aborts an in-flight remote call promptly, and the
+// late response is dropped and counted as orphaned.
+func TestContextCancelAbortsInFlightCall(t *testing.T) {
+	eachTransport(t, func(t *testing.T, tr transport.Transport) {
+		nodes, stop := startCluster(t, tr, 1)
+		defer stop()
+		c := nodes[0].client
+
+		ref, err := c.New(bg, 0, "test.Slowpoke", nil)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		before := metrics.Default.Snapshot()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		fut := c.CallAsync(ctx, ref, "sleep", func(e *wire.Encoder) error {
+			e.PutInt(250) // the remote method sleeps 250ms
+			return nil
+		})
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err = fut.Wait(bg) // waiting with a fresh context: the ISSUE ctx aborts it
+		if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+			t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+
+		// The remote call still completes server-side; its response must
+		// be dropped and counted, not delivered.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if metrics.Default.Snapshot().Sub(before).RespOrphaned > 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := metrics.Default.Snapshot().Sub(before).RespOrphaned; got == 0 {
+			t.Fatal("orphaned response was not counted")
+		}
+		// The object is still alive and serviceable after the abort.
+		if err := c.PingObject(bg, ref); err != nil {
+			t.Fatalf("object unusable after canceled call: %v", err)
+		}
+	})
+}
+
+// TestWaitCtxCancelAbortsCall covers the other cancellation path: the
+// context passed to Wait (not the issue-time one) is canceled.
+func TestWaitCtxCancelAbortsCall(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	fut := c.CallAsync(bg, ref, "sleep", func(e *wire.Encoder) error {
+		e.PutInt(250)
+		return nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := fut.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestWithTimeoutArmsAsyncFutures checks that a per-call deadline fails
+// the future even when nobody is waiting with a deadline-carrying
+// context, and that the trace label appears in the error.
+func TestWithTimeoutArmsAsyncFutures(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	ref, err := c.New(bg, 0, "test.Slowpoke", nil)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	fut := c.CallAsync(bg, ref, "sleep", func(e *wire.Encoder) error {
+		e.PutInt(500)
+		return nil
+	}, WithTimeout(25*time.Millisecond), WithLabel("slow-op"))
+	start := time.Now()
+	_, err = fut.Wait(bg)
+	if time.Since(start) > 300*time.Millisecond {
+		t.Fatal("per-call timeout did not fire promptly")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !contains(err.Error(), "slow-op") {
+		t.Fatalf("error %q does not carry the trace label", err)
+	}
+}
+
+// TestWaitAllMixed exercises WaitAll over nil entries, failed futures,
+// and successful futures together.
+func TestWaitAllMixed(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	ref, err := NewOn[typedCounter](bg, c, 0, 0)
+	if err != nil {
+		t.Fatalf("NewOn: %v", err)
+	}
+	ok1 := c.CallAsync(bg, ref, "get", AnyArgs())
+	failed := c.CallAsync(bg, ref, "nonexistent", nil)
+	ok2 := c.CallAsync(bg, ref, "get", AnyArgs())
+
+	err = WaitAll(bg, []*Future{nil, ok1, nil, failed, ok2})
+	if !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("WaitAll err = %v, want ErrNoSuchMethod", err)
+	}
+	// All-nil and empty slices are fine.
+	if err := WaitAll(bg, nil); err != nil {
+		t.Fatalf("WaitAll(nil) = %v", err)
+	}
+	if err := WaitAll(bg, []*Future{nil, nil}); err != nil {
+		t.Fatalf("WaitAll(all nil) = %v", err)
+	}
+	// Already-completed futures are idempotent to re-wait.
+	if err := WaitAll(bg, []*Future{ok1, ok2}); err != nil {
+		t.Fatalf("re-wait = %v", err)
+	}
+}
+
+// TestCanceledContextFailsSendFast verifies send-side context checks: a
+// pre-canceled context never reaches the wire.
+func TestCanceledContextFailsSendFast(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := metrics.Default.Snapshot()
+	if _, err := c.New(ctx, 0, "test.TypedCounter", AnyArgs(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("New on canceled ctx: %v", err)
+	}
+	if d := metrics.Default.Snapshot().Sub(before); d.MessagesSent != 0 {
+		t.Fatalf("canceled send still wrote %d frames", d.MessagesSent)
+	}
+}
+
+// TestDialRetryOption exercises WithRetryDial against a machine whose
+// address only becomes dialable after the first attempts fail.
+func TestDialRetryOption(t *testing.T) {
+	tr := transport.TCP{}
+	// Reserve an address, then close it so the first dials fail.
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr()
+	l.Close()
+
+	c := NewClient(tr, StaticDirectory{addr})
+	defer c.Close()
+	before := metrics.Default.Snapshot()
+	if err := c.Ping(bg, 0); err == nil {
+		t.Fatal("ping of dead address succeeded")
+	}
+	// Bring a real server up at that address, racing the retry backoff.
+	env := NewEnv(0)
+	srv, err := NewServer(0, tr, addr, env)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv.Close()
+	if err := c.Ping(bg, 0, WithRetryDial(10)); err != nil {
+		t.Fatalf("ping with retry: %v", err)
+	}
+	if metrics.Default.Snapshot().Sub(before).DialRetries == 0 {
+		// The first dial may have succeeded if the server came up fast;
+		// only assert when retries were actually needed.
+		t.Log("dial succeeded without retries (server bound quickly)")
+	}
+}
+
+// TestTimeoutBoundsDialPhase pins the fix for per-call deadlines not
+// covering dialing: a WithTimeout call against an undialable machine
+// must fail within the timeout even with a large retry budget.
+func TestTimeoutBoundsDialPhase(t *testing.T) {
+	tr := transport.TCP{}
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr()
+	l.Close() // nothing is listening here anymore
+
+	c := NewClient(tr, StaticDirectory{addr})
+	defer c.Close()
+	start := time.Now()
+	err = c.Ping(bg, 0, WithTimeout(100*time.Millisecond), WithRetryDial(1000))
+	if err == nil {
+		t.Fatal("ping of dead address succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial retries ran %v, want bounded by the 100ms call timeout", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded through the dial phase", err)
+	}
+}
+
+// TestExpiredDeadlineFailsFast pins the fix for WithDeadline in the
+// past: it must fail the call immediately, not disable the bound.
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 1)
+	defer stop()
+	c := nodes[0].client
+
+	err := c.Ping(bg, 0, WithDeadline(time.Now().Add(-time.Second)))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package oopp
 
 import (
+	"context"
 	"oopp/internal/cluster"
 	"oopp/internal/core"
 	"oopp/internal/disk"
@@ -34,6 +35,11 @@ type (
 	Group = rmi.Group
 	// Env is the per-machine environment visible to server-side objects.
 	Env = rmi.Env
+	// CallOption tunes one remote operation (deadline, dial retry, trace
+	// label); see WithTimeout, WithRetryDial, WithLabel.
+	CallOption = rmi.CallOption
+	// ClassSpec is the untyped descriptor of a registered remote class.
+	ClassSpec = rmi.ClassSpec
 	// Encoder appends values to a request frame (typed stubs).
 	Encoder = wire.Encoder
 	// Decoder reads values from a reply frame (typed stubs).
@@ -106,13 +112,13 @@ func TCPTransport() Transport { return transport.TCP{} }
 
 // NewFloat64Array allocates n float64s on machine m — the paper's
 // "new(machine m) double[n]".
-func NewFloat64Array(client *Client, m, n int) (*Float64Array, error) {
-	return rmem.NewFloat64Array(client, m, n)
+func NewFloat64Array(ctx context.Context, client *Client, m, n int) (*Float64Array, error) {
+	return rmem.NewFloat64Array(ctx, client, m, n)
 }
 
 // NewByteArray allocates n bytes on machine m.
-func NewByteArray(client *Client, m, n int) (*ByteArray, error) {
-	return rmem.NewByteArray(client, m, n)
+func NewByteArray(ctx context.Context, client *Client, m, n int) (*ByteArray, error) {
+	return rmem.NewByteArray(ctx, client, m, n)
 }
 
 // NewPage allocates an n-byte page.
@@ -122,19 +128,19 @@ func NewPage(n int) *Page { return pagedev.NewPage(n) }
 func NewArrayPage(n1, n2, n3 int) *ArrayPage { return pagedev.NewArrayPage(n1, n2, n3) }
 
 // NewDevice creates a PageDevice process on machine m.
-func NewDevice(client *Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
-	return pagedev.NewDevice(client, m, name, numPages, pageSize, diskIndex)
+func NewDevice(ctx context.Context, client *Client, m int, name string, numPages, pageSize, diskIndex int) (*Device, error) {
+	return pagedev.NewDevice(ctx, client, m, name, numPages, pageSize, diskIndex)
 }
 
 // NewArrayDevice creates an ArrayPageDevice process on machine m.
-func NewArrayDevice(client *Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
-	return pagedev.NewArrayDevice(client, m, name, numPages, n1, n2, n3, diskIndex)
+func NewArrayDevice(ctx context.Context, client *Client, m int, name string, numPages, n1, n2, n3, diskIndex int) (*ArrayDevice, error) {
+	return pagedev.NewArrayDevice(ctx, client, m, name, numPages, n1, n2, n3, diskIndex)
 }
 
 // NewArrayDeviceFromProcess wraps an existing PageDevice process in a new
 // ArrayPageDevice process (§5 construct-from-process).
-func NewArrayDeviceFromProcess(client *Client, m int, src Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
-	return pagedev.NewArrayDeviceFromProcess(client, m, src, numPages, n1, n2, n3)
+func NewArrayDeviceFromProcess(ctx context.Context, client *Client, m int, src Ref, numPages, n1, n2, n3 int) (*ArrayDevice, error) {
+	return pagedev.NewArrayDeviceFromProcess(ctx, client, m, src, numPages, n1, n2, n3)
 }
 
 // AttachDevice wraps an existing remote pointer in a Device stub.
@@ -165,53 +171,53 @@ func PageMapNames() []string { return core.PageMapNames() }
 func NewBlockStorage(devices []*ArrayDevice) *BlockStorage { return core.NewBlockStorage(devices) }
 
 // CreateBlockStorage constructs one ArrayPageDevice process per machine.
-func CreateBlockStorage(client *Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
-	return core.CreateBlockStorage(client, machines, name, pagesPerDevice, n1, n2, n3, diskIndex)
+func CreateBlockStorage(ctx context.Context, client *Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
+	return core.CreateBlockStorage(ctx, client, machines, name, pagesPerDevice, n1, n2, n3, diskIndex)
 }
 
 // NewArray validates geometry and returns a distributed array client.
-func NewArray(storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
-	return core.NewArray(storage, pm, N1, N2, N3, n1, n2, n3)
+func NewArray(ctx context.Context, storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
+	return core.NewArray(ctx, storage, pm, N1, N2, N3, n1, n2, n3)
 }
 
 // PublishArray registers arr as a collection of persistent processes
 // under the symbolic address base (§5: large data objects as collections
 // of persistent processes).
-func PublishArray(mgr *Manager, client *Client, metaMachine int, base Address, arr *Array) error {
-	return core.PublishArray(mgr, client, metaMachine, base, arr)
+func PublishArray(ctx context.Context, mgr *Manager, client *Client, metaMachine int, base Address, arr *Array) error {
+	return core.PublishArray(ctx, mgr, client, metaMachine, base, arr)
 }
 
 // OpenArray reassembles a published array from its symbolic address,
 // transparently reactivating passivated member processes.
-func OpenArray(mgr *Manager, client *Client, base Address) (*Array, error) {
-	return core.OpenArray(mgr, client, base)
+func OpenArray(ctx context.Context, mgr *Manager, client *Client, base Address) (*Array, error) {
+	return core.OpenArray(ctx, mgr, client, base)
 }
 
 // DeactivateArray passivates every member process of a published array.
-func DeactivateArray(mgr *Manager, base Address, devices int) error {
-	return core.DeactivateArray(mgr, base, devices)
+func DeactivateArray(ctx context.Context, mgr *Manager, base Address, devices int) error {
+	return core.DeactivateArray(ctx, mgr, base, devices)
 }
 
 // DestroyArray removes a published collection: processes, state, bindings.
-func DestroyArray(mgr *Manager, base Address, devices int) error {
-	return core.DestroyArray(mgr, base, devices)
+func DestroyArray(ctx context.Context, mgr *Manager, base Address, devices int) error {
+	return core.DestroyArray(ctx, mgr, base, devices)
 }
 
 // SpawnGroup constructs one object of class on each machine, in parallel.
-func SpawnGroup(client *Client, machines []int, class string, args func(i int, e *Encoder) error) (*Group, error) {
-	return rmi.SpawnGroup(client, machines, class, args)
+func SpawnGroup(ctx context.Context, client *Client, machines []int, class string, args func(i int, e *Encoder) error, opts ...CallOption) (*Group, error) {
+	return rmi.SpawnGroup(ctx, client, machines, class, args, opts...)
 }
 
 // NewGroup wraps refs into a group.
 func NewGroup(client *Client, refs []Ref) *Group { return rmi.NewGroup(client, refs) }
 
 // WaitAll waits for every future and returns the first error.
-func WaitAll(futs []*Future) error { return rmi.WaitAll(futs) }
+func WaitAll(ctx context.Context, futs []*Future) error { return rmi.WaitAll(ctx, futs) }
 
 // NewPFFT spawns FFT worker processes (deep-copy SetGroup) for an
 // n1×n2×n3 transform.
-func NewPFFT(client *Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
-	return pfft.New(client, machines, n1, n2, n3)
+func NewPFFT(ctx context.Context, client *Client, machines []int, n1, n2, n3 int) (*PFFT, error) {
+	return pfft.New(ctx, client, machines, n1, n2, n3)
 }
 
 // FFT3DLocal runs the sequential local 3D FFT (the correctness
@@ -227,14 +233,16 @@ func ParseAddress(s string) (Address, error) { return persist.ParseAddress(s) }
 func MustParseAddress(s string) Address { return persist.MustParseAddress(s) }
 
 // NewNameService creates the address directory process on machine m.
-func NewNameService(client *Client, m int) (*NameService, error) {
-	return persist.NewNameService(client, m)
+func NewNameService(ctx context.Context, client *Client, m int) (*NameService, error) {
+	return persist.NewNameService(ctx, client, m)
 }
 
 // NewStore creates a passivation store process on machine m.
-func NewStore(client *Client, m int) (*Store, error) { return persist.NewStore(client, m) }
+func NewStore(ctx context.Context, client *Client, m int) (*Store, error) {
+	return persist.NewStore(ctx, client, m)
+}
 
 // NewManager creates a name service plus per-machine stores.
-func NewManager(client *Client, nsMachine int, storeMachines []int) (*Manager, error) {
-	return persist.NewManager(client, nsMachine, storeMachines)
+func NewManager(ctx context.Context, client *Client, nsMachine int, storeMachines []int) (*Manager, error) {
+	return persist.NewManager(ctx, client, nsMachine, storeMachines)
 }

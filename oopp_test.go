@@ -5,6 +5,7 @@ package oopp_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"math/cmplx"
@@ -12,6 +13,9 @@ import (
 
 	"oopp"
 )
+
+// bg is the neutral context for call sites with no deadline.
+var bg = context.Background()
 
 func TestFacadeQuickstartScenario(t *testing.T) {
 	cl, err := oopp.NewLocalCluster(3, 0)
@@ -22,7 +26,7 @@ func TestFacadeQuickstartScenario(t *testing.T) {
 	client := cl.Client()
 
 	// §2: remote PageDevice.
-	store, err := oopp.NewDevice(client, 1, "pagefile", 10, 1024, oopp.DiskPrivate)
+	store, err := oopp.NewDevice(bg, client, 1, "pagefile", 10, 1024, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatalf("NewDevice: %v", err)
 	}
@@ -30,10 +34,10 @@ func TestFacadeQuickstartScenario(t *testing.T) {
 	for i := range page.Data {
 		page.Data[i] = byte(i)
 	}
-	if err := store.Write(7, page.Data); err != nil {
+	if err := store.Write(bg, 7, page.Data); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, err := store.Read(7)
+	got, err := store.Read(bg, 7)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -42,24 +46,24 @@ func TestFacadeQuickstartScenario(t *testing.T) {
 	}
 
 	// §2: remote memory.
-	data, err := oopp.NewFloat64Array(client, 2, 1024)
+	data, err := oopp.NewFloat64Array(bg, client, 2, 1024)
 	if err != nil {
 		t.Fatalf("NewFloat64Array: %v", err)
 	}
-	if err := data.Set(7, 3.1415); err != nil {
+	if err := data.Set(bg, 7, 3.1415); err != nil {
 		t.Fatalf("set: %v", err)
 	}
-	v, err := data.Get(7)
+	v, err := data.Get(bg, 7)
 	if err != nil || v != 3.1415 {
 		t.Fatalf("get: %v %v", v, err)
 	}
-	if err := data.Free(); err != nil {
+	if err := data.Free(bg); err != nil {
 		t.Fatalf("free: %v", err)
 	}
-	if err := store.Close(); err != nil {
+	if err := store.Close(bg); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	if _, err := store.Read(0); err == nil {
+	if _, err := store.Read(bg, 0); err == nil {
 		t.Fatal("process alive after delete")
 	}
 }
@@ -77,23 +81,23 @@ func TestFacadeArrayScenario(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pagemap: %v", err)
 	}
-	storage, err := oopp.CreateBlockStorage(cl.Client(), []int{0, 1}, "arr", pm.PagesPerDevice(), n, n, n, oopp.DiskPrivate)
+	storage, err := oopp.CreateBlockStorage(bg, cl.Client(), []int{0, 1}, "arr", pm.PagesPerDevice(), n, n, n, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatalf("storage: %v", err)
 	}
-	defer storage.Close()
-	arr, err := oopp.NewArray(storage, pm, N, N, N, n, n, n)
+	defer storage.Close(bg)
+	arr, err := oopp.NewArray(bg, storage, pm, N, N, N, n, n, n)
 	if err != nil {
 		t.Fatalf("array: %v", err)
 	}
 
 	full := oopp.Box(N, N, N)
-	if err := arr.Fill(full, 2); err != nil {
+	if err := arr.Fill(bg, full, 2); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 	dom := oopp.NewDomain(3, 13, 2, 12, 0, 16)
 	sub := make([]float64, dom.Size())
-	if err := arr.Read(sub, dom); err != nil {
+	if err := arr.Read(bg, sub, dom); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	for i, v := range sub {
@@ -101,14 +105,14 @@ func TestFacadeArrayScenario(t *testing.T) {
 			t.Fatalf("element %d = %v", i, v)
 		}
 	}
-	s, err := arr.Sum(full)
+	s, err := arr.Sum(bg, full)
 	if err != nil || s != float64(2*full.Size()) {
 		t.Fatalf("sum = %v, %v", s, err)
 	}
-	if err := arr.Scale(full, 0.5); err != nil {
+	if err := arr.Scale(bg, full, 0.5); err != nil {
 		t.Fatalf("scale: %v", err)
 	}
-	lo, hi, err := arr.MinMax(full)
+	lo, hi, err := arr.MinMax(bg, full)
 	if err != nil || lo != 1 || hi != 1 {
 		t.Fatalf("minmax = %v %v, %v", lo, hi, err)
 	}
@@ -132,19 +136,19 @@ func TestFacadeFFTScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f, err := oopp.NewPFFT(cl.Client(), []int{0, 1}, n, n, n)
+	f, err := oopp.NewPFFT(bg, cl.Client(), []int{0, 1}, n, n, n)
 	if err != nil {
 		t.Fatalf("pfft: %v", err)
 	}
-	defer f.Close()
-	if err := f.Load(x); err != nil {
+	defer f.Close(bg)
+	if err := f.Load(bg, x); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if err := f.Transform(-1); err != nil {
+	if err := f.Transform(bg, -1); err != nil {
 		t.Fatalf("transform: %v", err)
 	}
 	got := make([]complex128, len(x))
-	if err := f.Gather(got); err != nil {
+	if err := f.Gather(bg, got); err != nil {
 		t.Fatalf("gather: %v", err)
 	}
 	for i := range got {
@@ -162,36 +166,36 @@ func TestFacadePersistenceScenario(t *testing.T) {
 	defer cl.Shutdown()
 	client := cl.Client()
 
-	mgr, err := oopp.NewManager(client, 0, []int{0, 1})
+	mgr, err := oopp.NewManager(bg, client, 0, []int{0, 1})
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(bg)
 
-	dev, err := oopp.NewArrayDevice(client, 1, "ds", 2, 4, 4, 4, oopp.DiskPrivate)
+	dev, err := oopp.NewArrayDevice(bg, client, 1, "ds", 2, 4, 4, 4, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
-	if err := dev.FillPage(0, 3); err != nil {
+	if err := dev.FillPage(bg, 0, 3); err != nil {
 		t.Fatalf("fill: %v", err)
 	}
 	addr := oopp.MustParseAddress("oop://test/facade/dev")
-	if err := mgr.Bind(addr, dev.Ref()); err != nil {
+	if err := mgr.Bind(bg, addr, dev.Ref()); err != nil {
 		t.Fatalf("bind: %v", err)
 	}
-	if err := mgr.Deactivate(addr); err != nil {
+	if err := mgr.Deactivate(bg, addr); err != nil {
 		t.Fatalf("deactivate: %v", err)
 	}
-	ref, err := mgr.Resolve(addr)
+	ref, err := mgr.Resolve(bg, addr)
 	if err != nil {
 		t.Fatalf("resolve: %v", err)
 	}
 	revived := oopp.AttachArrayDevice(client, ref, 4, 4, 4)
-	s, err := revived.Sum(0)
+	s, err := revived.Sum(bg, 0)
 	if err != nil || s != 3*64 {
 		t.Fatalf("sum = %v, %v", s, err)
 	}
-	if err := mgr.Destroy(addr); err != nil {
+	if err := mgr.Destroy(bg, addr); err != nil {
 		t.Fatalf("destroy: %v", err)
 	}
 }
@@ -207,19 +211,19 @@ func TestFacadeGroupsAndFutures(t *testing.T) {
 	// Spawn a group of remote memory blocks and drive them via futures.
 	arrays := make([]*oopp.Float64Array, 4)
 	for i := range arrays {
-		arrays[i], err = oopp.NewFloat64Array(client, i, 100)
+		arrays[i], err = oopp.NewFloat64Array(bg, client, i, 100)
 		if err != nil {
 			t.Fatalf("alloc %d: %v", i, err)
 		}
 	}
 	for i, a := range arrays {
-		if err := a.Fill(float64(i + 1)); err != nil {
+		if err := a.Fill(bg, float64(i+1)); err != nil {
 			t.Fatalf("fill: %v", err)
 		}
 	}
 	total := 0.0
 	for _, a := range arrays {
-		s, err := a.Sum()
+		s, err := a.Sum(bg)
 		if err != nil {
 			t.Fatalf("sum: %v", err)
 		}
@@ -234,11 +238,11 @@ func TestFacadeGroupsAndFutures(t *testing.T) {
 	_ = stub // devices and arrays share the ref concept; just type-check
 
 	g := oopp.NewGroup(client, []oopp.Ref{arrays[0].Ref(), arrays[1].Ref()})
-	if err := g.Barrier(); err != nil {
+	if err := g.Barrier(bg); err != nil {
 		t.Fatalf("barrier: %v", err)
 	}
 	for _, a := range arrays {
-		if err := a.Free(); err != nil {
+		if err := a.Free(bg); err != nil {
 			t.Fatalf("free: %v", err)
 		}
 	}
@@ -250,16 +254,16 @@ func TestFacadeTCPCluster(t *testing.T) {
 		t.Fatalf("cluster: %v", err)
 	}
 	defer cl.Shutdown()
-	dev, err := oopp.NewDevice(cl.Client(), 1, "tcp-dev", 2, 256, oopp.DiskPrivate)
+	dev, err := oopp.NewDevice(bg, cl.Client(), 1, "tcp-dev", 2, 256, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatalf("device: %v", err)
 	}
-	defer dev.Close()
+	defer dev.Close(bg)
 	payload := bytes.Repeat([]byte{7}, 256)
-	if err := dev.Write(0, payload); err != nil {
+	if err := dev.Write(bg, 0, payload); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, err := dev.Read(0)
+	got, err := dev.Read(bg, 0)
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("read: %v", err)
 	}
@@ -272,100 +276,100 @@ func TestFacadePublishedDataset(t *testing.T) {
 	}
 	defer cl.Shutdown()
 	client := cl.Client()
-	mgr, err := oopp.NewManager(client, 0, []int{0, 1})
+	mgr, err := oopp.NewManager(bg, client, 0, []int{0, 1})
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
-	defer mgr.Close()
+	defer mgr.Close(bg)
 
 	pm, err := oopp.NewPageMap("hash", 2, 2, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	storage, err := oopp.CreateBlockStorage(client, []int{0, 1}, "pub", pm.PagesPerDevice(), 4, 4, 4, oopp.DiskPrivate)
+	storage, err := oopp.CreateBlockStorage(bg, client, []int{0, 1}, "pub", pm.PagesPerDevice(), 4, 4, 4, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	arr, err := oopp.NewArray(storage, pm, 8, 8, 8, 4, 4, 4)
+	arr, err := oopp.NewArray(bg, storage, pm, 8, 8, 8, 4, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	full := oopp.Box(8, 8, 8)
-	if err := arr.Fill(full, 1.5); err != nil {
+	if err := arr.Fill(bg, full, 1.5); err != nil {
 		t.Fatal(err)
 	}
 	base := oopp.MustParseAddress("oop://facade/ds")
-	if err := oopp.PublishArray(mgr, client, 0, base, arr); err != nil {
+	if err := oopp.PublishArray(bg, mgr, client, 0, base, arr); err != nil {
 		t.Fatalf("publish: %v", err)
 	}
-	if err := oopp.DeactivateArray(mgr, base, 2); err != nil {
+	if err := oopp.DeactivateArray(bg, mgr, base, 2); err != nil {
 		t.Fatalf("deactivate: %v", err)
 	}
-	reopened, err := oopp.OpenArray(mgr, client, base)
+	reopened, err := oopp.OpenArray(bg, mgr, client, base)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
-	s, err := reopened.Sum(full)
+	s, err := reopened.Sum(bg, full)
 	if err != nil || s != 1.5*float64(full.Size()) {
 		t.Fatalf("sum = %v, %v", s, err)
 	}
 	// Dot/Norm through the facade-visible Array methods.
-	d, err := reopened.Dot(reopened, full)
+	d, err := reopened.Dot(bg, reopened, full)
 	if err != nil || math.Abs(d-2.25*float64(full.Size())) > 1e-9 {
 		t.Fatalf("dot = %v, %v", d, err)
 	}
-	if err := oopp.DestroyArray(mgr, base, 2); err != nil {
+	if err := oopp.DestroyArray(bg, mgr, base, 2); err != nil {
 		t.Fatalf("destroy: %v", err)
 	}
 
 	// Remaining wrappers: attach, byte arrays, stores, name service.
-	ba, err := oopp.NewByteArray(client, 1, 64)
+	ba, err := oopp.NewByteArray(bg, client, 1, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ba.SetRange(0, []byte{1, 2, 3}); err != nil {
+	if err := ba.SetRange(bg, 0, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ba.Free(); err != nil {
+	if err := ba.Free(bg); err != nil {
 		t.Fatal(err)
 	}
-	ns, err := oopp.NewNameService(client, 0)
+	ns, err := oopp.NewNameService(bg, client, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ns.Close()
-	st, err := oopp.NewStore(client, 0)
+	defer ns.Close(bg)
+	st, err := oopp.NewStore(bg, client, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer st.Close()
+	defer st.Close(bg)
 	page := oopp.NewArrayPage(2, 2, 2)
 	if page.Elems() != 8 {
 		t.Fatal("array page geometry")
 	}
-	group, err := oopp.SpawnGroup(client, []int{0, 1}, "rmem.Float64Block", func(i int, e *oopp.Encoder) error {
+	group, err := oopp.SpawnGroup(bg, client, []int{0, 1}, "rmem.Float64Block", func(i int, e *oopp.Encoder) error {
 		e.PutInt(4)
 		return nil
 	})
 	if err != nil {
 		t.Fatalf("spawn group: %v", err)
 	}
-	if err := group.Barrier(); err != nil {
+	if err := group.Barrier(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := group.Delete(); err != nil {
+	if err := group.Delete(bg); err != nil {
 		t.Fatal(err)
 	}
-	wrapped, err := oopp.NewDevice(client, 0, "w", 1, 64, oopp.DiskPrivate)
+	wrapped, err := oopp.NewDevice(bg, client, 0, "w", 1, 64, oopp.DiskPrivate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer wrapped.Close()
-	fromProc, err := oopp.NewArrayDeviceFromProcess(client, 1, wrapped.Ref(), 1, 2, 2, 2)
+	defer wrapped.Close(bg)
+	fromProc, err := oopp.NewArrayDeviceFromProcess(bg, client, 1, wrapped.Ref(), 1, 2, 2, 2)
 	if err != nil {
 		t.Fatalf("from process: %v", err)
 	}
-	if err := fromProc.Close(); err != nil {
+	if err := fromProc.Close(bg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -377,7 +381,7 @@ func TestFacadeErrorsSurface(t *testing.T) {
 	}
 	defer cl.Shutdown()
 
-	if _, err := oopp.NewDevice(cl.Client(), 0, "bad", -1, 0, oopp.DiskPrivate); err == nil {
+	if _, err := oopp.NewDevice(bg, cl.Client(), 0, "bad", -1, 0, oopp.DiskPrivate); err == nil {
 		t.Error("invalid geometry accepted")
 	}
 	if _, err := oopp.NewPageMap("nope", 1, 1, 1, 1); err == nil {
