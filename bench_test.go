@@ -64,15 +64,21 @@ func BenchmarkE1_RMILatency(b *testing.B) {
 	}
 	for _, size := range []int{0, 1 << 10, 64 << 10} {
 		payload := make([]byte, size)
+		// Steady-state shape: the argument encoder is hoisted out of the
+		// loop and every response decoder is released back to the pool.
+		args := func(e *wire.Encoder) error {
+			e.PutBytes(payload)
+			return nil
+		}
 		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(size))
 			for i := 0; i < b.N; i++ {
-				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
-					e.PutBytes(payload)
-					return nil
-				}); err != nil {
+				d, err := client.Call(bg, ref, "echo", args)
+				if err != nil {
 					b.Fatal(err)
 				}
+				d.Release()
 			}
 		})
 	}
@@ -101,6 +107,7 @@ func BenchmarkE1_MPBaseline(b *testing.B) {
 	for _, size := range []int{0, 1 << 10, 64 << 10} {
 		payload := make([]byte, size)
 		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(size))
 			for i := 0; i < b.N; i++ {
 				if err := c0.Send(1, 1, payload); err != nil {
@@ -123,6 +130,7 @@ func BenchmarkE2_ElementVsBulk(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("element", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := arr.Get(bg, i%n); err != nil {
 				b.Fatal(err)
@@ -131,9 +139,23 @@ func BenchmarkE2_ElementVsBulk(b *testing.B) {
 	})
 	for _, bs := range []int{256, 65536} {
 		b.Run(fmt.Sprintf("bulk=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(int64(8 * bs))
 			for i := 0; i < b.N; i++ {
 				if _, err := arr.GetRange(bg, 0, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// The zero-allocation lane: same transfer, caller-owned buffer,
+		// exactly one copy (wire -> dst).
+		b.Run(fmt.Sprintf("bulkinto=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * bs))
+			dst := make([]float64, bs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := arr.GetRangeInto(bg, 0, dst); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -161,6 +183,7 @@ func BenchmarkE3_SplitLoop(b *testing.B) {
 		}
 	}
 	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, d := range devs {
 				if _, err := d.Read(bg, 0); err != nil {
@@ -170,12 +193,13 @@ func BenchmarkE3_SplitLoop(b *testing.B) {
 		}
 	})
 	b.Run("split", func(b *testing.B) {
+		b.ReportAllocs()
+		futs := make([]*rmi.Future, n)
 		for i := 0; i < b.N; i++ {
-			futs := make([]*rmi.Future, n)
 			for j, d := range devs {
 				futs[j] = d.ReadAsync(bg, 0)
 			}
-			if err := rmi.WaitAll(bg, futs); err != nil {
+			if err := rmi.WaitAllReleased(bg, futs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -197,6 +221,7 @@ func BenchmarkE4_MoveDataVsCompute(b *testing.B) {
 	}
 	page := pagedev.NewArrayPage(elems, 1, 1)
 	b.Run("move-data", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(elems * 8)
 		for i := 0; i < b.N; i++ {
 			if err := dev.ReadPage(bg, page, 0); err != nil {
@@ -206,6 +231,7 @@ func BenchmarkE4_MoveDataVsCompute(b *testing.B) {
 		}
 	})
 	b.Run("move-compute", func(b *testing.B) {
+		b.ReportAllocs()
 		b.SetBytes(elems * 8)
 		for i := 0; i < b.N; i++ {
 			if _, err := dev.Sum(bg, 0); err != nil {
@@ -221,6 +247,7 @@ func BenchmarkE5_ParallelFFT(b *testing.B) {
 	x := make([]complex128, n*n*n)
 	for _, p := range []int{1, 2} {
 		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
 			f, err := pfft.New(bg, cl.Client(), machines(p), n, n, n)
 			if err != nil {
@@ -247,6 +274,7 @@ func BenchmarkE6_FFTvsMP(b *testing.B) {
 	x := make([]complex128, n*n*n)
 
 	b.Run("oo-process", func(b *testing.B) {
+		b.ReportAllocs()
 		cl := benchCluster(b, p, transport.NewInproc(transport.LinkModel{}), 0, disk.Model{})
 		f, err := pfft.New(bg, cl.Client(), machines(p), n, n, n)
 		if err != nil {
@@ -268,6 +296,7 @@ func BenchmarkE6_FFTvsMP(b *testing.B) {
 		}
 	})
 	b.Run("message-passing", func(b *testing.B) {
+		b.ReportAllocs()
 		world, err := mp.NewWorld(transport.NewInproc(transport.LinkModel{}), p)
 		if err != nil {
 			b.Fatal(err)
@@ -293,6 +322,7 @@ func BenchmarkE7_PageMapLayouts(b *testing.B) {
 	slab := core.NewDomain(0, 16, 0, N, 0, N)
 	for _, layout := range core.PageMapNames() {
 		b.Run(layout, func(b *testing.B) {
+			b.ReportAllocs()
 			pm, err := core.NewPageMap(layout, N/n, N/n, N/n, devices)
 			if err != nil {
 				b.Fatal(err)
@@ -345,6 +375,7 @@ func BenchmarkE8_MultiClient(b *testing.B) {
 	arr.SetPipeline(false)
 	for _, clients := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
 			parts := arr.Bounds().SplitAxis1(clients)
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup
@@ -376,6 +407,7 @@ func BenchmarkE9_Barrier(b *testing.B) {
 	client := cl.Client()
 	for _, size := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("group=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			ms := make([]int, size)
 			for i := range ms {
 				ms[i] = i % hosts
@@ -412,6 +444,7 @@ func BenchmarkE10_Persistence(b *testing.B) {
 		{"1MiB", 16, 64 << 10},
 	} {
 		b.Run(cfgCase.label, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				dev, err := pagedev.NewDevice(bg, client, 1, "bench", cfgCase.pages, cfgCase.pageSize, pagedev.DiskPrivate)
@@ -451,6 +484,7 @@ func BenchmarkE11_DeepCopy(b *testing.B) {
 		ms[i] = i % hosts
 	}
 	b.Run("deep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f, err := pfft.New(bg, client, ms, p, p, 1)
 			if err != nil {
@@ -462,6 +496,7 @@ func BenchmarkE11_DeepCopy(b *testing.B) {
 		}
 	})
 	b.Run("shallow", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f, err := pfft.NewShallow(bg, client, ms, p, p, 1)
 			if err != nil {

@@ -69,6 +69,35 @@
 // *NoCtx names (NewDeviceNoCtx, WaitAllNoCtx, ...); they pass
 // context.Background() and exist only to stage migrations.
 //
+// # Performance & buffer ownership
+//
+// The paper's cost model requires remote invocation overhead to be
+// negligible next to data movement, so the hot path recycles everything:
+// a warmed-up synchronous call performs zero heap allocations end to end,
+// and a bulk read copies its payload exactly once (wire to user buffer).
+// Three rules make that safe:
+//
+//   - Send transfers ownership. A frame handed to a transport Send (or
+//     SendBuffers) belongs to the transport afterwards: the in-process
+//     transport forwards the very slice to the peer, the TCP transport
+//     writes it vectored (header + payload, no join) and recycles it.
+//     Never touch a buffer you have sent.
+//   - Receive then Release. The decoder returned by Call / Future.Wait
+//     owns its response frame; call Release once decoding is done to
+//     return the frame to the shared pool. Forgetting Release is safe —
+//     the garbage collector takes over — it just stops the recycling.
+//     Err, Ref, WaitAllReleased and the typed Invoke surface release for
+//     you; the bulk stubs (GetRangeInto, ReadPage, ...) do too.
+//   - Views die with their frame. BytesView/Bytes/StringBytes return
+//     slices aliasing the response frame, valid only until Release; copy
+//     (BytesCopy) anything that must outlive the decode. Encoders
+//     obtained from wire.GetEncoder panic if used after PutEncoder.
+//
+// The *Into decode forms (Float64sInto, Complex128sInto, BytesInto) and
+// the stub fast lanes built on them (rmem GetRangeInto, pagedev ReadPage)
+// fill caller-owned buffers in a single pass — the bulk-data path the E2
+// experiment measures against the modeled link bandwidth.
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:

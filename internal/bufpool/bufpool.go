@@ -1,0 +1,103 @@
+// Package bufpool is the process-wide recycling pool for message buffers.
+// It is the allocation backbone of the zero-allocation RMI hot path: wire
+// encoders grow through it, transports acquire and release frames from it,
+// and the RMI runtime returns response frames to it once decoding is done.
+//
+// Buffers are recycled in capacity classes (powers of four from 64 B to
+// 4 MiB). Get returns a buffer drawn from the smallest class that fits;
+// Put files a buffer under the largest class it can serve. Because classes
+// are shared process-wide, a 1 MiB response frame released by a client
+// decode is the very buffer the next server reply grows into —
+// steady-state bulk traffic recycles a handful of buffers instead of
+// allocating per message.
+//
+// Each class is a bounded free list built on a buffered channel rather
+// than a sync.Pool: storing a []byte in a sync.Pool boxes the slice header
+// into an interface, which itself allocates — one hidden allocation per
+// recycle is exactly what this package exists to remove. Channel send and
+// receive copy the header without boxing, so Get and Put are
+// allocation-free. The bound keeps worst-case retention small (a full
+// idle pool holds ~25 MiB); overflow buffers are simply dropped to the GC.
+//
+// Requests larger than the top class fall through to plain make and are
+// dropped on Put: pathological messages must not pin pathological memory.
+package bufpool
+
+// classSizes are the pool capacity classes. Spacing by 4x keeps the class
+// count small while bounding internal fragmentation (a buffer is at most
+// 4x larger than the request it serves).
+var classSizes = [...]int{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// classCaps bound how many idle buffers each class retains. Small frames
+// (request/response headers) are plentiful and cheap; bulk classes are
+// capped harder so an idle pool cannot pin tens of megabytes.
+var classCaps = [...]int{64, 64, 64, 32, 32, 16, 8, 4, 2}
+
+// MaxPooled is the largest capacity the pool recycles. Larger buffers are
+// allocated directly and garbage collected.
+const MaxPooled = 4 << 20
+
+var classes [len(classSizes)]chan []byte
+
+func init() {
+	for i := range classes {
+		classes[i] = make(chan []byte, classCaps[i])
+	}
+}
+
+// classFor returns the index of the smallest class with size >= n, or -1
+// if n exceeds the largest class.
+func classFor(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a zero-length buffer with capacity at least n, recycled if
+// possible. The caller owns the buffer until it hands it to Put (or to an
+// API documented to take ownership, such as transport.Conn.Send).
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	select {
+	case b := <-classes[ci]:
+		return b
+	default:
+		return make([]byte, 0, classSizes[ci])
+	}
+}
+
+// GetLen is Get with the buffer pre-sized to length n. The contents are
+// unspecified (recycled buffers are not zeroed); callers must overwrite
+// the full length before reading it.
+func GetLen(n int) []byte {
+	return Get(n)[:n]
+}
+
+// Put recycles b. Passing a buffer that is still referenced elsewhere is a
+// use-after-free waiting to happen: callers must guarantee exclusive
+// ownership. Put files b under the largest class its capacity can serve,
+// so grown buffers return to the class matching their real size. Nil,
+// undersized, and oversized buffers are dropped, as is anything beyond a
+// class's retention bound.
+func Put(b []byte) {
+	c := cap(b)
+	if c < classSizes[0] || c > 2*MaxPooled {
+		return
+	}
+	ci := 0
+	for i, s := range classSizes {
+		if c >= s {
+			ci = i
+		}
+	}
+	select {
+	case classes[ci] <- b[:0]:
+	default:
+	}
+}

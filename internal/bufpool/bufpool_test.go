@@ -1,0 +1,125 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+// drain empties every class so tests see deterministic pool state.
+func drain() {
+	for i := range classes {
+		for {
+			select {
+			case <-classes[i]:
+			default:
+			}
+			if len(classes[i]) == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestGetCapacityClasses(t *testing.T) {
+	drain()
+	for _, n := range []int{0, 1, 64, 65, 1000, 4096, 100_000, 4 << 20} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d): len %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d): cap %d too small", n, cap(b))
+		}
+	}
+	// Oversized requests fall through to exact make.
+	huge := Get(MaxPooled + 1)
+	if cap(huge) != MaxPooled+1 {
+		t.Fatalf("oversized Get: cap %d, want exact %d", cap(huge), MaxPooled+1)
+	}
+}
+
+func TestPutGetRecycles(t *testing.T) {
+	drain()
+	b := Get(1 << 10)
+	b = append(b, make([]byte, 700)...)
+	Put(b)
+	b2 := Get(1 << 10)
+	if cap(b2) != cap(b) {
+		t.Fatalf("recycled buffer not returned: cap %d, want %d", cap(b2), cap(b))
+	}
+	if len(b2) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(b2))
+	}
+}
+
+func TestPutFilesGrownBufferUnderLargerClass(t *testing.T) {
+	drain()
+	// A buffer grown to 1 MiB must come back from the 1 MiB class, not the
+	// class it was born in — this is what lets a bulk reply reuse the bulk
+	// frame the previous decode released.
+	b := make([]byte, 0, 1<<20)
+	Put(b)
+	got := Get(600_000)
+	if cap(got) != 1<<20 {
+		t.Fatalf("grown buffer not recycled by capacity: cap %d", cap(got))
+	}
+}
+
+func TestPutDropsJunk(t *testing.T) {
+	drain()
+	Put(nil)
+	Put(make([]byte, 0, 8))           // under smallest class
+	Put(make([]byte, 0, 3*MaxPooled)) // over the retention ceiling
+	if b := Get(64); cap(b) != classSizes[0] {
+		t.Fatalf("junk entered the pool: cap %d", cap(b))
+	}
+}
+
+func TestGetLen(t *testing.T) {
+	b := GetLen(100)
+	if len(b) != 100 || cap(b) < 100 {
+		t.Fatalf("GetLen(100): len %d cap %d", len(b), cap(b))
+	}
+}
+
+func TestRetentionBounded(t *testing.T) {
+	drain()
+	ci := classFor(64 << 10)
+	for i := 0; i < classCaps[ci]+10; i++ {
+		Put(make([]byte, 0, 64<<10))
+	}
+	if got := len(classes[ci]); got > classCaps[ci] {
+		t.Fatalf("class retains %d buffers, bound is %d", got, classCaps[ci])
+	}
+}
+
+func TestGetPutAllocationFree(t *testing.T) {
+	drain()
+	Put(make([]byte, 0, 4<<10))
+	allocs := testing.AllocsPerRun(100, func() {
+		b := Get(4 << 10)
+		Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get/Put cycle allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	drain()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := 64 << (uint(seed+i) % 10)
+				b := GetLen(n)
+				b[0] = byte(i)
+				b[n-1] = byte(i)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -223,7 +223,7 @@ func (a *Array) Read(ctx context.Context, subarray []float64, dom Domain) error 
 		if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 			// Drain remaining futures before returning.
 			for i := done + 1; i < issued; i++ {
-				_, _ = futs[i].Wait(ctx)
+				_ = futs[i].Err(ctx)
 			}
 			return err
 		}
@@ -280,7 +280,7 @@ func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error
 
 	var futs []*rmi.Future
 	flush := func() error {
-		err := rmi.WaitAll(ctx, futs)
+		err := rmi.WaitAllReleased(ctx, futs)
 		futs = futs[:0]
 		return err
 	}
@@ -370,7 +370,7 @@ func (a *Array) Sum(ctx context.Context, dom Domain) (float64, error) {
 			s, err := pagedev.DecodeSum(ctx, futs[done])
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait(ctx)
+					_ = futs[i].Err(ctx)
 				}
 				return 0, err
 			}
@@ -378,7 +378,7 @@ func (a *Array) Sum(ctx context.Context, dom Domain) (float64, error) {
 		} else {
 			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait(ctx)
+					_ = futs[i].Err(ctx)
 				}
 				return 0, err
 			}
@@ -449,7 +449,7 @@ func (a *Array) rewrite(ctx context.Context, dom Domain,
 	push := func(fut *rmi.Future) error {
 		futs = append(futs, fut)
 		if len(futs) >= a.window {
-			err := rmi.WaitAll(ctx, futs)
+			err := rmi.WaitAllReleased(ctx, futs)
 			futs = futs[:0]
 			return err
 		}
@@ -475,7 +475,7 @@ func (a *Array) rewrite(ctx context.Context, dom Domain,
 			return err
 		}
 	}
-	return rmi.WaitAll(ctx, futs)
+	return rmi.WaitAllReleased(ctx, futs)
 }
 
 func (a *Array) forEach(page []float64, r region, f func(float64) float64) {
@@ -526,7 +526,7 @@ func (a *Array) MinMax(ctx context.Context, dom Domain) (lo, hi float64, err err
 			l, h, err := pagedev.DecodeMinMax(ctx, futs[done])
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait(ctx)
+					_ = futs[i].Err(ctx)
 				}
 				return 0, 0, err
 			}
@@ -534,7 +534,7 @@ func (a *Array) MinMax(ctx context.Context, dom Domain) (lo, hi float64, err err
 		} else {
 			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
 				for i := done + 1; i < issued; i++ {
-					_, _ = futs[i].Wait(ctx)
+					_ = futs[i].Err(ctx)
 				}
 				return 0, 0, err
 			}

@@ -129,6 +129,7 @@ func OpenArray(ctx context.Context, mgr *persist.Manager, client *rmi.Client, ba
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	meta := &arrayMeta{}
 	if err := meta.decode(d); err != nil {
 		return nil, err

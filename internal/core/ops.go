@@ -68,7 +68,7 @@ func (a *Array) Dot(ctx context.Context, b *Array, dom Domain) (float64, error) 
 			if err != nil {
 				for i := done + 1; i < issued; i++ {
 					if futs[i] != nil {
-						_, _ = futs[i].Wait(ctx)
+						_ = futs[i].Err(ctx)
 					}
 				}
 				return 0, err
@@ -122,7 +122,7 @@ func (a *Array) Axpy(ctx context.Context, alpha float64, b *Array, dom Domain) e
 			if a.pipeline {
 				futs = append(futs, devA.AxpyWithAsync(ctx, r.addr.Index, alpha, peer, bAddr.Index))
 				if len(futs) >= a.window {
-					if err := rmi.WaitAll(ctx, futs); err != nil {
+					if err := rmi.WaitAllReleased(ctx, futs); err != nil {
 						return err
 					}
 					futs = futs[:0]
@@ -152,7 +152,7 @@ func (a *Array) Axpy(ctx context.Context, alpha float64, b *Array, dom Domain) e
 			return err
 		}
 	}
-	return rmi.WaitAll(ctx, futs)
+	return rmi.WaitAllReleased(ctx, futs)
 }
 
 // Norm2 returns sqrt(<a, a>) over dom.

@@ -106,11 +106,14 @@ func A2DispatchModes(cfg Config) (*Table, error) {
 			go func(c int) {
 				defer wg.Done()
 				ref := refs[c%len(refs)]
+				args := func(e *wire.Encoder) error {
+					e.PutInt(100) // 100µs simulated body
+					return nil
+				}
 				for i := 0; i < iters; i++ {
-					if _, err := client.Call(bg, ref, method, func(e *wire.Encoder) error {
-						e.PutInt(100) // 100µs simulated body
-						return nil
-					}); err != nil {
+					d, err := client.Call(bg, ref, method, args)
+					d.Release()
+					if err != nil {
 						errCh <- err
 						return
 					}

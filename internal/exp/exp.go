@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 	"unicode/utf8"
@@ -155,6 +156,37 @@ func init() {
 		Method("noop", func(obj *echoObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			return nil
 		})
+}
+
+// AllocTimer measures a benchmark loop's wall time and heap allocations,
+// so experiment tables can report allocs/op next to ns/op — the metric
+// the zero-allocation RMI hot path is judged by.
+type AllocTimer struct {
+	start   time.Time
+	mallocs uint64
+}
+
+// Start snapshots the clock and the allocation counter.
+func (t *AllocTimer) Start() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.mallocs = ms.Mallocs
+	t.start = time.Now()
+}
+
+// Stop returns per-op wall time and per-op allocation count for a loop of
+// iters operations. The timer is read before the (stop-the-world) memory
+// stats so the timing is not polluted by the measurement itself.
+func (t *AllocTimer) Stop(iters int) (perOp time.Duration, allocsPerOp float64) {
+	elapsed := time.Since(t.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if iters <= 0 {
+		return 0, 0
+	}
+	perOp = elapsed / time.Duration(iters)
+	allocsPerOp = float64(ms.Mallocs-t.mallocs) / float64(iters)
+	return perOp, allocsPerOp
 }
 
 // msPrec formats a duration in milliseconds with 3 decimals.

@@ -80,7 +80,7 @@ func E3SplitLoop(cfg Config) (*Table, error) {
 			for i, d := range devs {
 				futs[i] = d.ReadAsync(bg, 0)
 			}
-			if err := rmi.WaitAll(bg, futs); err != nil {
+			if err := rmi.WaitAllReleased(bg, futs); err != nil {
 				cl.Shutdown()
 				return nil, err
 			}

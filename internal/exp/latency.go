@@ -30,7 +30,7 @@ func E1RMILatency(cfg Config) (*Table, error) {
 		Title: "Remote method execution vs hand-written message passing",
 		Claim: "§2: method execution through remote pointers costs one client-server" +
 			" round trip; the generated protocol is competitive with hand-written messaging",
-		Columns: []string{"transport", "payload", "rmi µs/op", "mp µs/op", "rmi/mp"},
+		Columns: []string{"transport", "payload", "rmi µs/op", "mp µs/op", "rmi/mp", "rmi allocs/op", "mp allocs/op"},
 	}
 	iters := cfg.iters(300, 3000)
 	payloads := []int{0, 1 << 10, 64 << 10}
@@ -80,29 +80,34 @@ func E1RMILatency(cfg Config) (*Table, error) {
 		for _, size := range payloads {
 			payload := make([]byte, size)
 
-			// Warm up then measure RMI.
+			// Warm up then measure RMI. The echo closure is hoisted and the
+			// response decoders released, matching how a steady-state caller
+			// uses the pooled hot path.
+			echoArgs := func(e *wire.Encoder) error {
+				e.PutBytes(payload)
+				return nil
+			}
 			for i := 0; i < 10; i++ {
-				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
-					e.PutBytes(payload)
-					return nil
-				}); err != nil {
+				d, err := client.Call(bg, ref, "echo", echoArgs)
+				d.Release()
+				if err != nil {
 					cl.Shutdown()
 					world.Close()
 					return nil, err
 				}
 			}
-			start := time.Now()
+			var rmiStats AllocTimer
+			rmiStats.Start()
 			for i := 0; i < iters; i++ {
-				if _, err := client.Call(bg, ref, "echo", func(e *wire.Encoder) error {
-					e.PutBytes(payload)
-					return nil
-				}); err != nil {
+				d, err := client.Call(bg, ref, "echo", echoArgs)
+				d.Release()
+				if err != nil {
 					cl.Shutdown()
 					world.Close()
 					return nil, err
 				}
 			}
-			rmiPer := time.Since(start) / time.Duration(iters)
+			rmiPer, rmiAllocs := rmiStats.Stop(iters)
 
 			// Measure MP.
 			c0 := world.Comm(0)
@@ -118,7 +123,8 @@ func E1RMILatency(cfg Config) (*Table, error) {
 					return nil, err
 				}
 			}
-			start = time.Now()
+			var mpStats AllocTimer
+			mpStats.Start()
 			for i := 0; i < iters; i++ {
 				if err := c0.Send(1, 1, payload); err != nil {
 					cl.Shutdown()
@@ -131,10 +137,11 @@ func E1RMILatency(cfg Config) (*Table, error) {
 					return nil, err
 				}
 			}
-			mpPer := time.Since(start) / time.Duration(iters)
+			mpPer, mpAllocs := mpStats.Stop(iters)
 
 			t.AddRow(tpc.name, fmt.Sprintf("%dB", size), usPrec(rmiPer), usPrec(mpPer),
-				fmt.Sprintf("%.2f", float64(rmiPer)/float64(mpPer)))
+				fmt.Sprintf("%.2f", float64(rmiPer)/float64(mpPer)),
+				fmt.Sprintf("%.1f", rmiAllocs), fmt.Sprintf("%.1f", mpAllocs))
 		}
 		world.Close()
 		<-serverDone
@@ -153,7 +160,7 @@ func E2ElementVsBulk(cfg Config) (*Table, error) {
 		Title: "Element-wise remote access vs bulk transfer",
 		Claim: "§2: each element access on remote memory is one sequential round trip;" +
 			" bulk range operations amortize it by orders of magnitude",
-		Columns: []string{"block (f64s)", "ops", "µs/element", "MB/s"},
+		Columns: []string{"block (f64s)", "ops", "µs/element", "MB/s", "allocs/op"},
 	}
 	cl, err := cluster.New(cluster.Config{Machines: 2, Transport: transport.NewInproc(modeledLink())})
 	if err != nil {
@@ -174,7 +181,11 @@ func E2ElementVsBulk(cfg Config) (*Table, error) {
 		if bs >= 4096 {
 			ops = cfg.iters(20, 100)
 		}
-		start := time.Now()
+		// Bulk reads land in a reused buffer (GetRangeInto): the only copy
+		// is wire -> dst, and the steady state allocates nothing.
+		dst := make([]float64, bs)
+		var stats AllocTimer
+		stats.Start()
 		if bs == 1 {
 			for i := 0; i < ops; i++ {
 				if _, err := arr.Get(bg, i%n); err != nil {
@@ -183,16 +194,17 @@ func E2ElementVsBulk(cfg Config) (*Table, error) {
 			}
 		} else {
 			for i := 0; i < ops; i++ {
-				if _, err := arr.GetRange(bg, (i*bs)%(n-bs+1), bs); err != nil {
+				if err := arr.GetRangeInto(bg, (i*bs)%(n-bs+1), dst); err != nil {
 					return nil, err
 				}
 			}
 		}
-		elapsed := time.Since(start)
-		perElem := float64(elapsed.Nanoseconds()) / 1e3 / float64(ops*bs)
-		mbps := float64(ops*bs*8) / elapsed.Seconds() / 1e6
+		perOp, allocs := stats.Stop(ops)
+		perElem := float64(perOp.Nanoseconds()) / 1e3 / float64(bs)
+		mbps := float64(bs*8) / perOp.Seconds() / 1e6
 		t.AddRow(fmt.Sprintf("%d", bs), fmt.Sprintf("%d", ops),
-			fmt.Sprintf("%.3f", perElem), fmt.Sprintf("%.1f", mbps))
+			fmt.Sprintf("%.3f", perElem), fmt.Sprintf("%.1f", mbps),
+			fmt.Sprintf("%.1f", allocs))
 	}
 	t.Note("expected shape: flat ~RTT cost per element at block=1, dropping toward the link bandwidth limit as blocks grow")
 	return t, nil

@@ -226,8 +226,11 @@ func (c *Comm) recvLoop(from int, conn transport.Conn) {
 		d := wire.NewDecoder(frame)
 		tag := d.Int()
 		payload := d.BytesCopy()
-		if d.Err() != nil {
-			c.fail(d.Err())
+		err = d.Err()
+		// The frame was copied out; recycle it into the shared pool.
+		transport.ReleaseFrame(frame)
+		if err != nil {
+			c.fail(err)
 			return
 		}
 		c.deliver(from, tag, payload)

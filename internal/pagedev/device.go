@@ -70,7 +70,10 @@ func (b *remoteBacking) readPage(index int, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	got := d.Bytes()
+	defer d.Release()
+	// Zero-copy view of the response frame, copied once into the caller's
+	// page buffer; the frame recycles on release.
+	got := d.BytesView()
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -82,11 +85,12 @@ func (b *remoteBacking) readPage(index int, dst []byte) error {
 }
 
 func (b *remoteBacking) writePage(index int, src []byte) error {
-	_, err := b.client.Call(context.Background(), b.ref, "write", func(e *wire.Encoder) error {
+	d, err := b.client.Call(context.Background(), b.ref, "write", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutBytes(src)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -614,6 +618,7 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		if err != nil {
 			return err
 		}
+		defer d.Release()
 		d.Float64sInto(dst)
 		return d.Err()
 	}

@@ -49,11 +49,12 @@ func (d *Device) Ref() rmi.Ref { return d.ref }
 
 // Write stores page data at the given page index.
 func (d *Device) Write(ctx context.Context, index int, data []byte) error {
-	_, err := d.client.Call(ctx, d.ref, "write", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "write", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutBytes(data)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
@@ -75,6 +76,7 @@ func (d *Device) Read(ctx context.Context, index int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer dec.Release()
 	data := dec.BytesCopy()
 	return data, dec.Err()
 }
@@ -93,6 +95,7 @@ func DecodePage(ctx context.Context, fut *rmi.Future) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer dec.Release()
 	data := dec.BytesCopy()
 	return data, dec.Err()
 }
@@ -103,6 +106,7 @@ func (d *Device) NumPages(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	n := dec.Int()
 	return n, dec.Err()
 }
@@ -113,6 +117,7 @@ func (d *Device) PageSize(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	n := dec.Int()
 	return n, dec.Err()
 }
@@ -123,6 +128,7 @@ func (d *Device) Name(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer dec.Release()
 	s := dec.String()
 	return s, dec.Err()
 }
@@ -133,6 +139,7 @@ func (d *Device) Stats(ctx context.Context) (reads, writes int64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	defer dec.Release()
 	reads = dec.Varint()
 	writes = dec.Varint()
 	return reads, writes, dec.Err()
@@ -142,11 +149,12 @@ func (d *Device) Stats(ctx context.Context) (reads, writes int64, err error) {
 // the transfer happens directly between the two server processes; the
 // client only orchestrates (§5 copy-construction).
 func (d *Device) CopyFrom(ctx context.Context, src rmi.Ref, count int) error {
-	_, err := d.client.Call(ctx, d.ref, "copyFrom", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "copyFrom", func(e *wire.Encoder) error {
 		e.PutRef(src)
 		e.PutInt(count)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
@@ -218,6 +226,7 @@ func (d *ArrayDevice) RemoteDims(ctx context.Context) (n1, n2, n3 int, err error
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	defer dec.Release()
 	n1, n2, n3 = dec.Int(), dec.Int(), dec.Int()
 	return n1, n2, n3, dec.Err()
 }
@@ -232,6 +241,7 @@ func (d *ArrayDevice) Sum(ctx context.Context, index int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	v := dec.Float64()
 	return v, dec.Err()
 }
@@ -250,6 +260,7 @@ func DecodeSum(ctx context.Context, fut *rmi.Future) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	v := dec.Float64()
 	return v, dec.Err()
 }
@@ -260,6 +271,7 @@ func (d *ArrayDevice) SumAll(ctx context.Context) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	v := dec.Float64()
 	return v, dec.Err()
 }
@@ -279,6 +291,7 @@ func (d *ArrayDevice) ReadPage(ctx context.Context, p *ArrayPage, index int) err
 	if err != nil {
 		return err
 	}
+	defer dec.Release()
 	dec.Float64sInto(p.Data)
 	return dec.Err()
 }
@@ -298,6 +311,7 @@ func DecodeArrayPage(ctx context.Context, fut *rmi.Future, p *ArrayPage) error {
 	if err != nil {
 		return err
 	}
+	defer dec.Release()
 	dec.Float64sInto(p.Data)
 	return dec.Err()
 }
@@ -308,11 +322,12 @@ func (d *ArrayDevice) WritePage(ctx context.Context, p *ArrayPage, index int) er
 		return fmt.Errorf("pagedev: page dims %dx%dx%d, device dims %dx%dx%d",
 			p.N1, p.N2, p.N3, d.n1, d.n2, d.n3)
 	}
-	_, err := d.client.Call(ctx, d.ref, "writeArray", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "writeArray", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64s(p.Data)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
@@ -327,21 +342,23 @@ func (d *ArrayDevice) WritePageAsync(ctx context.Context, p *ArrayPage, index in
 
 // ScalePage multiplies page index by alpha, remotely.
 func (d *ArrayDevice) ScalePage(ctx context.Context, index int, alpha float64) error {
-	_, err := d.client.Call(ctx, d.ref, "scalePage", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "scalePage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
 // FillPage sets every element of page index to v, remotely.
 func (d *ArrayDevice) FillPage(ctx context.Context, index int, v float64) error {
-	_, err := d.client.Call(ctx, d.ref, "fillPage", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "fillPage", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(v)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
@@ -451,6 +468,7 @@ func DecodeMinMax(ctx context.Context, fut *rmi.Future) (lo, hi float64, err err
 	if err != nil {
 		return 0, 0, err
 	}
+	defer dec.Release()
 	lo = dec.Float64()
 	hi = dec.Float64()
 	return lo, hi, dec.Err()
@@ -469,6 +487,7 @@ func (d *ArrayDevice) DotWith(ctx context.Context, index int, peer rmi.Ref, peer
 	if err != nil {
 		return 0, err
 	}
+	defer dec.Release()
 	v := dec.Float64()
 	return v, dec.Err()
 }
@@ -487,13 +506,14 @@ func (d *ArrayDevice) DotWithAsync(ctx context.Context, index int, peer rmi.Ref,
 // AxpyWith updates local page index += alpha * (peer page peerIdx),
 // computed at this device.
 func (d *ArrayDevice) AxpyWith(ctx context.Context, index int, alpha float64, peer rmi.Ref, peerIdx int) error {
-	_, err := d.client.Call(ctx, d.ref, "axpyWith", func(e *wire.Encoder) error {
+	dec, err := d.client.Call(ctx, d.ref, "axpyWith", func(e *wire.Encoder) error {
 		e.PutInt(index)
 		e.PutFloat64(alpha)
 		e.PutRef(peer)
 		e.PutInt(peerIdx)
 		return nil
 	})
+	dec.Release()
 	return err
 }
 
@@ -517,6 +537,7 @@ func (d *ArrayDevice) MinMaxPage(ctx context.Context, index int) (lo, hi float64
 	if err != nil {
 		return 0, 0, err
 	}
+	defer dec.Release()
 	lo = dec.Float64()
 	hi = dec.Float64()
 	return lo, hi, dec.Err()

@@ -100,11 +100,12 @@ func (n *NameService) Ref() rmi.Ref { return n.ref }
 
 // Bind associates addr with a remote pointer.
 func (n *NameService) Bind(ctx context.Context, addr Address, ref rmi.Ref) error {
-	_, err := n.client.Call(ctx, n.ref, "bind", func(e *wire.Encoder) error {
+	d, err := n.client.Call(ctx, n.ref, "bind", func(e *wire.Encoder) error {
 		e.PutString(addr.String())
 		e.PutRef(ref)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -118,16 +119,18 @@ func (n *NameService) Resolve(ctx context.Context, addr Address) (rmi.Ref, error
 	if err != nil {
 		return rmi.Ref{}, err
 	}
+	defer d.Release()
 	ref := d.Ref()
 	return ref, d.Err()
 }
 
 // Unbind removes a binding (missing bindings are not an error).
 func (n *NameService) Unbind(ctx context.Context, addr Address) error {
-	_, err := n.client.Call(ctx, n.ref, "unbind", func(e *wire.Encoder) error {
+	d, err := n.client.Call(ctx, n.ref, "unbind", func(e *wire.Encoder) error {
 		e.PutString(addr.String())
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -141,6 +144,7 @@ func (n *NameService) List(ctx context.Context, prefix string) ([]string, error)
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	cnt := d.Uvarint()
 	out := make([]string, 0, cnt)
 	for i := uint64(0); i < cnt; i++ {

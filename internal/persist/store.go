@@ -257,11 +257,12 @@ func (s *Store) Ref() rmi.Ref { return s.ref }
 // Passivate saves the state of the (machine-local) process ref under name
 // and terminates the process. The ref becomes dangling.
 func (s *Store) Passivate(ctx context.Context, ref rmi.Ref, name string) error {
-	_, err := s.client.Call(ctx, s.ref, "passivate", func(e *wire.Encoder) error {
+	d, err := s.client.Call(ctx, s.ref, "passivate", func(e *wire.Encoder) error {
 		e.PutRef(ref)
 		e.PutString(name)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -275,6 +276,7 @@ func (s *Store) Activate(ctx context.Context, name string) (rmi.Ref, error) {
 	if err != nil {
 		return rmi.Ref{}, err
 	}
+	defer d.Release()
 	ref := d.Ref()
 	return ref, d.Err()
 }
@@ -288,16 +290,18 @@ func (s *Store) Exists(ctx context.Context, name string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer d.Release()
 	ok := d.Bool()
 	return ok, d.Err()
 }
 
 // Remove discards a passivated process's stored state.
 func (s *Store) Remove(ctx context.Context, name string) error {
-	_, err := s.client.Call(ctx, s.ref, "remove", func(e *wire.Encoder) error {
+	d, err := s.client.Call(ctx, s.ref, "remove", func(e *wire.Encoder) error {
 		e.PutString(name)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -307,6 +311,7 @@ func (s *Store) List(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	n := d.Uvarint()
 	out := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {

@@ -209,7 +209,7 @@ func (w *worker) exchange(env *rmi.Env, phase int, pack func(int) []complex128, 
 	if err := place(w.id, pack(w.id)); err != nil {
 		return err
 	}
-	if err := rmi.WaitAll(context.Background(), futs); err != nil {
+	if err := rmi.WaitAllReleased(context.Background(), futs); err != nil {
 		return err
 	}
 	for from, block := range w.waitBlocks(phase) {
@@ -282,7 +282,9 @@ func init() {
 				return err
 			}
 			n := d.Int()
-			if err := d.Err(); err != nil {
+			err = d.Err()
+			d.Release()
+			if err != nil {
 				return err
 			}
 			refs := make([]rmi.Ref, n)
@@ -295,7 +297,9 @@ func init() {
 					return err
 				}
 				refs[i] = d.Ref()
-				if err := d.Err(); err != nil {
+				err = d.Err()
+				d.Release()
+				if err != nil {
 					return err
 				}
 			}

@@ -200,21 +200,25 @@ func (a *Float64Array) Get(ctx context.Context, i int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer d.Release()
 	v := d.Float64()
 	return v, d.Err()
 }
 
 // Set writes element i — "data[i] = v": one round trip.
 func (a *Float64Array) Set(ctx context.Context, i int, v float64) error {
-	_, err := a.client.Call(ctx, a.ref, "set", func(e *wire.Encoder) error {
+	d, err := a.client.Call(ctx, a.ref, "set", func(e *wire.Encoder) error {
 		e.PutInt(i)
 		e.PutFloat64(v)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
-// GetRange reads n elements starting at off in one round trip.
+// GetRange reads n elements starting at off in one round trip. The result
+// is freshly allocated and filled straight from the wire — one copy; use
+// GetRangeInto to reuse a caller buffer and skip even the allocation.
 func (a *Float64Array) GetRange(ctx context.Context, off, n int) ([]float64, error) {
 	d, err := a.client.Call(ctx, a.ref, "getRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
@@ -224,26 +228,47 @@ func (a *Float64Array) GetRange(ctx context.Context, off, n int) ([]float64, err
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	out := d.Float64s()
 	return out, d.Err()
 }
 
-// SetRange writes vals starting at off in one round trip.
+// GetRangeInto reads len(dst) elements starting at off into dst in one
+// round trip — the bulk fast lane: the only copy is wire to dst, and the
+// steady state allocates nothing.
+func (a *Float64Array) GetRangeInto(ctx context.Context, off int, dst []float64) error {
+	d, err := a.client.Call(ctx, a.ref, "getRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutInt(len(dst))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	d.Float64sInto(dst)
+	return d.Err()
+}
+
+// SetRange writes vals starting at off in one round trip. vals are packed
+// straight into the request frame — one copy, no intermediate staging.
 func (a *Float64Array) SetRange(ctx context.Context, off int, vals []float64) error {
-	_, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
+	d, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutFloat64s(vals)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
 // Fill sets every element to v remotely (computation at the data).
 func (a *Float64Array) Fill(ctx context.Context, v float64) error {
-	_, err := a.client.Call(ctx, a.ref, "fill", func(e *wire.Encoder) error {
+	d, err := a.client.Call(ctx, a.ref, "fill", func(e *wire.Encoder) error {
 		e.PutFloat64(v)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -253,6 +278,7 @@ func (a *Float64Array) Sum(ctx context.Context) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer d.Release()
 	v := d.Float64()
 	return v, d.Err()
 }
@@ -263,6 +289,7 @@ func (a *Float64Array) RemoteLen(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer d.Release()
 	n := d.Int()
 	return n, d.Err()
 }
@@ -308,17 +335,35 @@ func (a *ByteArray) GetRange(ctx context.Context, off, n int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	out := d.BytesCopy()
 	return out, d.Err()
 }
 
+// GetRangeInto reads len(dst) bytes at off straight into dst — one copy,
+// wire to user buffer, nothing allocated in steady state.
+func (a *ByteArray) GetRangeInto(ctx context.Context, off int, dst []byte) error {
+	d, err := a.client.Call(ctx, a.ref, "getRange", func(e *wire.Encoder) error {
+		e.PutInt(off)
+		e.PutInt(len(dst))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	d.BytesInto(dst)
+	return d.Err()
+}
+
 // SetRange writes vals at off.
 func (a *ByteArray) SetRange(ctx context.Context, off int, vals []byte) error {
-	_, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
+	d, err := a.client.Call(ctx, a.ref, "setRange", func(e *wire.Encoder) error {
 		e.PutInt(off)
 		e.PutBytes(vals)
 		return nil
 	})
+	d.Release()
 	return err
 }
 
@@ -328,6 +373,7 @@ func (a *ByteArray) RemoteLen(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer d.Release()
 	n := d.Int()
 	return n, d.Err()
 }

@@ -62,6 +62,13 @@ const dialBackoff = 10 * time.Millisecond
 // context governs dialing and sending and — for the synchronous forms —
 // waiting; cancellation aborts the in-flight call promptly and the late
 // response, if any, is dropped and counted (see metrics.Counters).
+//
+// The synchronous Call path is allocation-free in steady state: request
+// frames come from pooled encoders, the transport takes ownership of them
+// (no copy on inproc), responses arrive in pooled frames, and the decoder
+// handed back to the caller returns everything to the pools via
+// wire.Decoder.Release. Callers that drop the decoder instead merely fall
+// back to the garbage collector.
 type Client struct {
 	tr       transport.Transport
 	dir      Directory
@@ -110,7 +117,7 @@ func (c *Client) Close() error {
 
 // conn returns (dialing if necessary) the connection to machine m,
 // retrying failed dials per opts and aborting on context cancellation.
-func (c *Client) conn(ctx context.Context, m int, opts *callOptions) (*clientConn, error) {
+func (c *Client) conn(ctx context.Context, m int, retryDial int) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -135,7 +142,7 @@ func (c *Client) conn(ctx context.Context, m int, opts *callOptions) (*clientCon
 		if err == nil {
 			break
 		}
-		if attempt >= opts.retryDial {
+		if attempt >= retryDial {
 			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
 		}
 		c.counters.DialRetries.Add(1)
@@ -178,13 +185,14 @@ func (c *Client) New(ctx context.Context, m int, class string, args ArgEncoder, 
 // pending future later; per-call deadlines travel via WithTimeout.
 func (c *Client) NewAsync(ctx context.Context, m int, class string, args ArgEncoder, opts ...CallOption) (*Future, error) {
 	o := resolveOptions(opts)
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opNew)
 	e.PutString(class)
 	if args != nil {
 		if err := args(e); err != nil {
+			wire.PutEncoder(e)
 			return nil, err
 		}
 	}
@@ -204,9 +212,81 @@ func (c *Client) NewArgs(ctx context.Context, m int, class string, args ...any) 
 // Call invokes a method on a remote object and blocks until its results
 // arrive (§2 sequential semantics). The returned decoder is positioned at
 // the method's results.
+//
+// The decoder owns the response frame: call its Release method once
+// decoding is finished to recycle the frame (views from BytesView become
+// invalid at that point). Dropping the decoder without Release is safe
+// but allocates garbage instead of recycling.
 func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncoder, opts ...CallOption) (*wire.Decoder, error) {
-	fut := c.CallAsync(ctx, ref, method, args, opts...)
-	return fut.Wait(ctx)
+	o := resolveOptions(opts)
+	if ref.IsNil() {
+		return nil, fmt.Errorf("rmi: call %s on nil ref", method)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("rmi: send to machine %d: %w", ref.Machine, err)
+	}
+	// Bound the whole operation — dialing included — by the per-call
+	// timeout, mirroring the future path: the timer starts before the
+	// dial, so dial time and response wait share one budget.
+	var timeoutCh <-chan time.Time
+	dialCtx := ctx
+	if o.timeout > 0 {
+		timer := time.NewTimer(o.timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+		var cancel context.CancelFunc
+		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	cc, err := c.conn(dialCtx, ref.Machine, o.retryDial)
+	if err != nil {
+		return nil, err
+	}
+
+	e := wire.GetEncoder(64)
+	reqID := c.nextID.Add(1)
+	e.PutUvarint(reqID)
+	e.PutUvarint(opCall)
+	e.PutUvarint(ref.Object)
+	e.PutString(method)
+	if args != nil {
+		if err := args(e); err != nil {
+			wire.PutEncoder(e)
+			return nil, err
+		}
+	}
+
+	// The pooled waiter stands in for a Future on this synchronous path:
+	// a reusable one-slot channel instead of a once-closed one, so the
+	// steady state allocates nothing.
+	w := getWaiter(ref.Machine, ref.Class, method, o.label)
+	cc.register(reqID, w)
+	frame := e.Detach()
+	wire.PutEncoder(e)
+	c.counters.CallsIssued.Add(1)
+	c.counters.MessagesSent.Add(1)
+	c.counters.BytesSent.Add(int64(len(frame)))
+	if err := cc.conn.Send(frame); err != nil {
+		cc.unregister(reqID)
+		// The waiter is not pooled here: a connection-death failure may
+		// race in behind the unregister and deliver into its channel.
+		return nil, fmt.Errorf("rmi: send to machine %d: %w", ref.Machine, err)
+	}
+
+	select {
+	case r := <-w.ch:
+		putWaiter(w)
+		return r.d, r.err
+	case <-ctx.Done():
+		cc.unregister(reqID)
+		return nil, fmt.Errorf("rmi: %s aborted: %w", w.describe(), ctx.Err())
+	case <-timeoutCh:
+		cc.unregister(reqID)
+		return nil, fmt.Errorf("rmi: %s aborted: %w", w.describe(), context.DeadlineExceeded)
+	}
 }
 
 // CallAsync begins a method invocation and returns a Future immediately.
@@ -218,7 +298,7 @@ func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args Arg
 		fut.fail(fmt.Errorf("rmi: call %s on nil ref", method))
 		return fut
 	}
-	e := wire.NewEncoder(64)
+	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
@@ -226,6 +306,7 @@ func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args Arg
 	e.PutString(method)
 	if args != nil {
 		if err := args(e); err != nil {
+			wire.PutEncoder(e)
 			fut.fail(err)
 			return fut
 		}
@@ -245,6 +326,7 @@ func (c *Client) CallArgs(ctx context.Context, ref Ref, method string, args ...a
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	if d.Remaining() == 0 {
 		return nil, nil
 	}
@@ -258,7 +340,7 @@ func (c *Client) Delete(ctx context.Context, ref Ref, opts ...CallOption) error 
 	if ref.IsNil() {
 		return fmt.Errorf("rmi: delete of nil ref")
 	}
-	e := wire.NewEncoder(16)
+	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opDelete)
@@ -267,14 +349,13 @@ func (c *Client) Delete(ctx context.Context, ref Ref, opts ...CallOption) error 
 	if err := c.send(ctx, ref.Machine, reqID, e, fut, &o); err != nil {
 		return err
 	}
-	_, err := fut.Wait(ctx)
-	return err
+	return fut.Err(ctx)
 }
 
 // Ping round-trips an empty frame to machine m.
 func (c *Client) Ping(ctx context.Context, m int, opts ...CallOption) error {
 	o := resolveOptions(opts)
-	e := wire.NewEncoder(8)
+	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opPing)
@@ -282,21 +363,21 @@ func (c *Client) Ping(ctx context.Context, m int, opts ...CallOption) error {
 	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
 		return err
 	}
-	_, err := fut.Wait(ctx)
-	return err
+	return fut.Err(ctx)
 }
 
 // PingObject sends the built-in no-op through an object's mailbox; its
 // completion proves all earlier messages to that object were processed.
 func (c *Client) PingObject(ctx context.Context, ref Ref) error {
-	_, err := c.Call(ctx, ref, methodPing, nil)
+	d, err := c.Call(ctx, ref, methodPing, nil)
+	d.Release()
 	return err
 }
 
 // Stat returns (live, total) object counts for machine m.
 func (c *Client) Stat(ctx context.Context, m int) (live, total uint64, err error) {
 	var o callOptions
-	e := wire.NewEncoder(8)
+	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opStat)
@@ -308,16 +389,20 @@ func (c *Client) Stat(ctx context.Context, m int) (live, total uint64, err error
 	if err != nil {
 		return 0, 0, err
 	}
+	defer fut.Release()
 	live = d.Uvarint()
 	total = d.Uvarint()
 	return live, total, d.Err()
 }
 
+// send transmits the request in e — whose ownership it takes — and wires
+// fut for the response.
 func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder, fut *Future, o *callOptions) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
+		wire.PutEncoder(e)
 		return fmt.Errorf("rmi: send to machine %d: %w", m, err)
 	}
 	// Arm the per-call deadline before dialing so WithTimeout bounds the
@@ -331,8 +416,9 @@ func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder,
 		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	cc, err := c.conn(dialCtx, m, o)
+	cc, err := c.conn(dialCtx, m, o.retryDial)
 	if err != nil {
+		wire.PutEncoder(e)
 		return err
 	}
 	// Wire the future for cancellation before it can complete: the issue
@@ -347,10 +433,12 @@ func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder,
 		// The per-call timer fired while we were dialing: the future
 		// already failed; don't leave a registration or send the frame.
 		cc.unregister(reqID)
+		wire.PutEncoder(e)
 		return nil
 	default:
 	}
-	frame := e.Bytes()
+	frame := e.Detach()
+	wire.PutEncoder(e)
 	c.counters.MessagesSent.Add(1)
 	c.counters.BytesSent.Add(int64(len(frame)))
 	if err := cc.conn.Send(frame); err != nil {
@@ -360,32 +448,97 @@ func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder,
 	return nil
 }
 
+// pendingCall is a registered response consumer: a *Future (asynchronous
+// path) or a pooled *callWaiter (synchronous Call path). Exactly one of
+// its completion methods is invoked per registration.
+type pendingCall interface {
+	succeed(d *wire.Decoder)
+	fail(err error)
+	// remoteFail reports a statusErr response; implementations wrap msg in
+	// a RemoteError carrying their call-site metadata.
+	remoteFail(msg string)
+}
+
+// waitResult is the outcome delivered to a synchronous caller.
+type waitResult struct {
+	d   *wire.Decoder
+	err error
+}
+
+// callWaiter is the synchronous counterpart of a Future: a reusable
+// one-slot channel plus call-site metadata for error text. Waiters
+// recycle through a pool — but only when their result was consumed on the
+// normal path; abandoned waiters (cancellation, send failure) are left to
+// the garbage collector because a late delivery may still land in them.
+type callWaiter struct {
+	ch      chan waitResult
+	machine int
+	class   string
+	method  string
+	label   string
+}
+
+var waiterPool = sync.Pool{
+	New: func() any { return &callWaiter{ch: make(chan waitResult, 1)} },
+}
+
+func getWaiter(machine int, class, method, label string) *callWaiter {
+	w := waiterPool.Get().(*callWaiter)
+	w.machine, w.class, w.method, w.label = machine, class, method, label
+	return w
+}
+
+func putWaiter(w *callWaiter) { waiterPool.Put(w) }
+
+func (w *callWaiter) succeed(d *wire.Decoder) { w.ch <- waitResult{d: d} }
+
+func (w *callWaiter) fail(err error) { w.ch <- waitResult{err: err} }
+
+func (w *callWaiter) remoteFail(msg string) {
+	w.ch <- waitResult{err: &RemoteError{Machine: w.machine, Class: w.class, Method: w.method, Msg: msg}}
+}
+
+func (w *callWaiter) describe() string {
+	name := w.class
+	if w.method != "" {
+		name += "." + w.method
+	}
+	if name == "" {
+		name = "operation"
+	}
+	if w.label != "" {
+		return fmt.Sprintf("%s [%s] on machine %d", name, w.label, w.machine)
+	}
+	return fmt.Sprintf("%s on machine %d", name, w.machine)
+}
+
 // clientConn is one multiplexed connection: a send side shared by callers
-// and a single receive loop matching responses to pending futures.
+// and a single receive loop matching responses to pending futures and
+// waiters.
 type clientConn struct {
 	conn     transport.Conn
 	counters *metrics.Counters
 
 	mu      sync.Mutex
-	pending map[uint64]*Future
+	pending map[uint64]pendingCall
 	dead    error
 }
 
 func newClientConn(conn transport.Conn, counters *metrics.Counters) *clientConn {
-	cc := &clientConn{conn: conn, counters: counters, pending: make(map[uint64]*Future)}
+	cc := &clientConn{conn: conn, counters: counters, pending: make(map[uint64]pendingCall)}
 	go cc.recvLoop()
 	return cc
 }
 
-func (cc *clientConn) register(reqID uint64, fut *Future) {
+func (cc *clientConn) register(reqID uint64, pc pendingCall) {
 	cc.mu.Lock()
 	if cc.dead != nil {
 		err := cc.dead
 		cc.mu.Unlock()
-		fut.fail(err)
+		pc.fail(err)
 		return
 	}
-	cc.pending[reqID] = fut
+	cc.pending[reqID] = pc
 	cc.mu.Unlock()
 }
 
@@ -404,17 +557,20 @@ func (cc *clientConn) recvLoop() {
 		}
 		cc.counters.MessagesRecv.Add(1)
 		cc.counters.BytesRecv.Add(int64(len(frame)))
-		d := wire.NewDecoder(frame)
+		// The decoder takes ownership of the pooled frame; it travels to
+		// the caller on success and is released here on every other path.
+		d := wire.GetFrameDecoder(frame)
 		reqID := d.Uvarint()
 		status := d.Uvarint()
 		if d.Err() != nil {
 			// Unparseable response header: nothing to match it to. Count it
 			// — a nonzero RespDropped means a peer is speaking garbage.
 			cc.counters.RespDropped.Add(1)
+			d.Release()
 			continue
 		}
 		cc.mu.Lock()
-		fut, ok := cc.pending[reqID]
+		pc, ok := cc.pending[reqID]
 		delete(cc.pending, reqID)
 		cc.mu.Unlock()
 		if !ok {
@@ -422,13 +578,14 @@ func (cc *clientConn) recvLoop() {
 			// never registered). Expected under cancellation, but counted
 			// so operators can see the orphan rate.
 			cc.counters.RespOrphaned.Add(1)
+			d.Release()
 			continue
 		}
 		if status == statusOK {
-			fut.succeed(d)
+			pc.succeed(d)
 		} else {
-			msg := d.String()
-			fut.fail(&RemoteError{Machine: fut.machine, Class: fut.class, Method: fut.method, Msg: msg})
+			pc.remoteFail(d.String())
+			d.Release()
 		}
 	}
 }
@@ -442,10 +599,10 @@ func (cc *clientConn) close(cause error) {
 	}
 	cc.dead = cause
 	pending := cc.pending
-	cc.pending = make(map[uint64]*Future)
+	cc.pending = make(map[uint64]pendingCall)
 	cc.mu.Unlock()
 	cc.conn.Close()
-	for _, fut := range pending {
-		fut.fail(cause)
+	for _, pc := range pending {
+		pc.fail(cause)
 	}
 }

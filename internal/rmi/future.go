@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oopp/internal/wire"
@@ -39,6 +40,11 @@ type Future struct {
 	once   sync.Once
 	result *wire.Decoder
 	err    error
+
+	// released latches the one Release of the response frame. It cannot be
+	// inferred from the decoder itself: once released, the pooled decoder
+	// struct may already belong to another in-flight call.
+	released atomic.Bool
 }
 
 func newFuture(machine int, class, method, label string) *Future {
@@ -111,18 +117,22 @@ func (f *Future) describe() string {
 func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Err waits for completion and returns only the error (void methods).
+// The response frame is recycled: do not decode results through Wait
+// after calling Err.
 func (f *Future) Err(ctx context.Context) error {
 	_, err := f.Wait(ctx)
+	f.Release()
 	return err
 }
 
 // Ref waits for a construction future and decodes the new object's remote
-// pointer.
+// pointer. The response frame is recycled.
 func (f *Future) Ref(ctx context.Context) (Ref, error) {
 	d, err := f.Wait(ctx)
 	if err != nil {
 		return Ref{}, err
 	}
+	defer f.Release()
 	id := d.Uvarint()
 	if err := d.Err(); err != nil {
 		return Ref{}, err
@@ -130,21 +140,31 @@ func (f *Future) Ref(ctx context.Context) (Ref, error) {
 	return Ref{Machine: f.machine, Object: id, Class: f.class}, nil
 }
 
-// arm installs the per-call timeout (WithTimeout/WithDeadline). Called
-// before the future is shared, so the field writes need no lock.
+// arm installs the per-call timeout (WithTimeout/WithDeadline). The timer
+// field is guarded by regMu: an immediately-expiring timer (WithDeadline
+// in the past clamps to 1ns) can fire — and complete the future — before
+// arm's store would otherwise be visible.
 func (f *Future) arm(timeout time.Duration) {
 	if timeout <= 0 {
 		return
 	}
-	f.timer = time.AfterFunc(timeout, func() {
+	t := time.AfterFunc(timeout, func() {
 		f.cancel(context.DeadlineExceeded)
 	})
+	f.regMu.Lock()
+	f.timer = t
+	f.regMu.Unlock()
 }
 
 func (f *Future) complete(d *wire.Decoder, err error) {
 	f.once.Do(func() {
-		if f.timer != nil {
-			f.timer.Stop()
+		f.regMu.Lock()
+		t := f.timer
+		f.regMu.Unlock()
+		if t != nil {
+			// If completion raced ahead of arm's store, the timer is not
+			// stopped here; its late cancel is a no-op behind f.once.
+			t.Stop()
 		}
 		f.result = d
 		f.err = err
@@ -155,6 +175,29 @@ func (f *Future) complete(d *wire.Decoder, err error) {
 func (f *Future) succeed(d *wire.Decoder) { f.complete(d, nil) }
 
 func (f *Future) fail(err error) { f.complete(nil, err) }
+
+// remoteFail implements pendingCall for statusErr responses.
+func (f *Future) remoteFail(msg string) {
+	f.fail(&RemoteError{Machine: f.machine, Class: f.class, Method: f.method, Msg: msg})
+}
+
+// Release recycles the response frame held by a completed future. Call it
+// once the result decoder (from Wait) is fully decoded and no views of it
+// are retained; afterwards that decoder reads as released. Release on a
+// pending, failed, or already-released future is a no-op (a latch inside
+// the future guarantees this even after the pooled decoder is reassigned
+// to another call). Do not mix it with releasing the decoder directly —
+// use one or the other. Futures that are never released simply leave
+// their frame to the garbage collector.
+func (f *Future) Release() {
+	select {
+	case <-f.done:
+		if f.released.CompareAndSwap(false, true) {
+			f.result.Release()
+		}
+	default:
+	}
+}
 
 // WaitAll waits for every future (nil entries are skipped) and returns the
 // first error encountered — but always waits for all, so no goroutine is
@@ -172,6 +215,19 @@ func WaitAll(ctx context.Context, futs []*Future) error {
 	return first
 }
 
+// WaitAllReleased is WaitAll for fan-outs whose responses nobody decodes
+// (void methods, discarded reads): after waiting it recycles every
+// future's response frame, keeping pipelined §4 loops allocation-free.
+func WaitAllReleased(ctx context.Context, futs []*Future) error {
+	err := WaitAll(ctx, futs)
+	for _, f := range futs {
+		if f != nil {
+			f.Release()
+		}
+	}
+	return err
+}
+
 // TypedFuture is the generic, decoded view of a Future: Wait returns the
 // call's single tagged result as R instead of a raw decoder. It is
 // produced by InvokeAsync and by Class[T] construction helpers.
@@ -181,7 +237,9 @@ type TypedFuture[R any] struct {
 
 // Wait blocks (honoring ctx like Future.Wait) and decodes the result. A
 // method that returned a value of a different dynamic type fails with a
-// descriptive mismatch error rather than a zero value.
+// descriptive mismatch error rather than a zero value. The response frame
+// is recycled once the result is decoded (tagged results are copies, so
+// nothing aliases it).
 func (t *TypedFuture[R]) Wait(ctx context.Context) (R, error) {
 	var zero R
 	if t == nil || t.fut == nil {
@@ -191,7 +249,9 @@ func (t *TypedFuture[R]) Wait(ctx context.Context) (R, error) {
 	if err != nil {
 		return zero, err
 	}
-	return decodeResult[R](t.fut, d)
+	r, err := decodeResult[R](t.fut, d)
+	t.fut.Release()
+	return r, err
 }
 
 // Done returns the underlying completion channel.

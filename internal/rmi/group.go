@@ -82,7 +82,9 @@ func (g *Group) Call(ctx context.Context, method string, args func(i int, e *wir
 			i := i
 			enc = func(e *wire.Encoder) error { return args(i, e) }
 		}
-		if _, err := g.client.Call(ctx, ref, method, enc, opts...); err != nil {
+		d, err := g.client.Call(ctx, ref, method, enc, opts...)
+		d.Release()
+		if err != nil {
 			return fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
 		}
 	}
@@ -130,6 +132,7 @@ func (g *Group) CallParallelResults(ctx context.Context, method string, args fun
 				firstErr = err
 			}
 		}
+		d.Release()
 	}
 	return firstErr
 }
@@ -143,7 +146,11 @@ func (g *Group) Barrier(ctx context.Context) error {
 	for i, ref := range g.refs {
 		futs[i] = g.client.CallAsync(ctx, ref, methodPing, nil)
 	}
-	return WaitAll(ctx, futs)
+	err := WaitAll(ctx, futs)
+	for _, f := range futs {
+		f.Release() // ping responses are empty; recycle their frames
+	}
+	return err
 }
 
 // Delete destroys every member, in parallel, returning the first error.

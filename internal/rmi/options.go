@@ -7,7 +7,11 @@ import "time"
 // the context carries cancellation and caller-scoped deadlines, options
 // carry per-call policy that should travel with the future even when the
 // caller waits on it later with a different context.
-type CallOption func(*callOptions)
+//
+// An option is a value transform (rather than a pointer mutator) so that
+// resolving the common no-option case never forces the option set onto
+// the heap — the zero-allocation hot path resolves options on the stack.
+type CallOption func(callOptions) callOptions
 
 // callOptions is the resolved option set for one operation.
 type callOptions struct {
@@ -20,7 +24,7 @@ func resolveOptions(opts []CallOption) callOptions {
 	var o callOptions
 	for _, fn := range opts {
 		if fn != nil {
-			fn(&o)
+			o = fn(o)
 		}
 	}
 	return o
@@ -31,18 +35,19 @@ func resolveOptions(opts []CallOption) callOptions {
 // time and travels with the Future, so a §4 send-loop can stamp deadlines
 // on calls it will only Wait on much later.
 func WithTimeout(d time.Duration) CallOption {
-	return func(o *callOptions) { o.timeout = d }
+	return func(o callOptions) callOptions { o.timeout = d; return o }
 }
 
 // WithDeadline is WithTimeout anchored at an absolute time. A deadline
 // already in the past fails the operation immediately rather than
 // silently disabling the bound.
 func WithDeadline(t time.Time) CallOption {
-	return func(o *callOptions) {
+	return func(o callOptions) callOptions {
 		o.timeout = time.Until(t)
 		if o.timeout <= 0 {
 			o.timeout = time.Nanosecond
 		}
+		return o
 	}
 }
 
@@ -51,10 +56,11 @@ func WithDeadline(t time.Time) CallOption {
 // a request that may have reached the remote machine is never resent,
 // preserving the paper's exactly-once mailbox semantics.
 func WithRetryDial(n int) CallOption {
-	return func(o *callOptions) {
+	return func(o callOptions) callOptions {
 		if n > 0 {
 			o.retryDial = n
 		}
+		return o
 	}
 }
 
@@ -62,5 +68,5 @@ func WithRetryDial(n int) CallOption {
 // timeout/cancellation errors, making a failed future attributable when
 // hundreds are in flight.
 func WithLabel(label string) CallOption {
-	return func(o *callOptions) { o.label = label }
+	return func(o callOptions) callOptions { o.label = label; return o }
 }

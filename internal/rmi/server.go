@@ -121,7 +121,8 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	for _, e := range entries {
-		e.mb.push(func() { s.destroyObject(e) })
+		e := e
+		e.mb.push(funcTask(func() { s.destroyObject(e) }))
 		e.mb.close()
 	}
 	s.connWG.Wait()
@@ -183,19 +184,24 @@ func (s *Server) serveConn(conn transport.Conn) {
 	}
 }
 
-// dispatch decodes one request frame and routes it.
+// dispatch decodes one request frame and routes it. The pooled decoder
+// owns the frame; whichever handler path consumes the arguments is
+// responsible for releasing it once the handler is done.
 func (s *Server) dispatch(conn transport.Conn, frame []byte) {
-	d := wire.NewDecoder(frame)
+	d := wire.GetFrameDecoder(frame)
 	reqID := d.Uvarint()
 	op := d.Uvarint()
 	if d.Err() != nil {
 		// No usable request id: nothing sensible to reply to.
+		d.Release()
 		return
 	}
 	switch op {
 	case opPing:
+		d.Release()
 		s.reply(conn, reqID, nil, nil)
 	case opStat:
+		d.Release()
 		e := wire.NewEncoder(16)
 		s.mu.Lock()
 		e.PutUvarint(uint64(len(s.objects)))
@@ -205,7 +211,9 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 	case opNew:
 		class := d.String()
 		if d.Err() != nil {
-			s.reply(conn, reqID, nil, d.Err())
+			err := d.Err()
+			d.Release()
+			s.reply(conn, reqID, nil, err)
 			return
 		}
 		// Constructors may do arbitrary work (open devices, call other
@@ -214,24 +222,30 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		s.objWG.Add(1)
 		go func() {
 			defer s.objWG.Done()
+			defer d.Release()
 			s.handleNew(conn, reqID, class, d)
 		}()
 	case opCall:
 		objID := d.Uvarint()
-		method := d.String()
+		method := d.StringBytes() // view: valid until d.Release
 		if d.Err() != nil {
-			s.reply(conn, reqID, nil, d.Err())
+			err := d.Err()
+			d.Release()
+			s.reply(conn, reqID, nil, err)
 			return
 		}
 		s.handleCall(conn, reqID, objID, method, d)
 	case opDelete:
 		objID := d.Uvarint()
-		if d.Err() != nil {
-			s.reply(conn, reqID, nil, d.Err())
+		err := d.Err()
+		d.Release()
+		if err != nil {
+			s.reply(conn, reqID, nil, err)
 			return
 		}
 		s.handleDelete(conn, reqID, objID)
 	default:
+		d.Release()
 		s.reply(conn, reqID, nil, fmt.Errorf("rmi: unknown opcode %d", op))
 	}
 }
@@ -326,7 +340,7 @@ func (s *Server) TakeObject(id uint64) (any, error) {
 	}
 	// Let queued work finish, then stop the process goroutine.
 	done := make(chan struct{})
-	if entry.mb.push(func() { close(done) }) {
+	if entry.mb.push(funcTask(func() { close(done) })) {
 		<-done
 	}
 	entry.mb.close()
@@ -375,39 +389,94 @@ func (s *Server) Object(id uint64) (any, bool) {
 	return e.obj, true
 }
 
-func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method string, args *wire.Decoder) {
+// callTask is one method invocation queued for an object's process
+// goroutine — the hot-path task shape. Tasks recycle through a pool, so a
+// steady request stream enqueues, runs, and replies without allocating.
+// A zero me.fn marks the built-in ping (reply OK, nothing to run).
+type callTask struct {
+	s     *Server
+	conn  transport.Conn
+	entry *objEntry
+	me    methodEntry
+	args  *wire.Decoder // owns the request frame; nil for ping
+	reqID uint64
+}
+
+var callTaskPool = sync.Pool{New: func() any { return new(callTask) }}
+
+// run executes the method and sends the response as one pooled frame.
+// The response header (reqID, statusOK) is encoded optimistically so
+// method results append directly to the outgoing frame — no second
+// assembly copy; on error the frame is rewritten as a statusErr reply.
+func (t *callTask) run() {
+	s := t.s
+	reply := wire.GetEncoder(96)
+	reply.PutUvarint(t.reqID)
+	reply.PutUvarint(statusOK)
+	var err error
+	if t.me.fn != nil {
+		s.counters.CallsServed.Add(1)
+		err = s.invoke(t.me.fn, t.entry, t.args, reply)
+	}
+	t.args.Release() // handler done: recycle the request frame
+	if err != nil {
+		reply.Reset()
+		reply.PutUvarint(t.reqID)
+		reply.PutUvarint(statusErr)
+		reply.PutString(fmt.Sprintf("%s.%s: %v", t.entry.class.name, t.me.name, err))
+	}
+	frame := reply.Detach()
+	wire.PutEncoder(reply)
+	s.counters.MessagesSent.Add(1)
+	s.counters.BytesSent.Add(int64(len(frame)))
+	// Best effort: if the connection died the client sees ErrClosed.
+	_ = t.conn.Send(frame)
+	*t = callTask{}
+	callTaskPool.Put(t)
+}
+
+// handleCall routes one method invocation. It takes ownership of args
+// (and the frame under it); every path releases it exactly once — for
+// dispatched calls, inside callTask.run after the method returns, which
+// is what makes passing decoder views into handlers safe.
+func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder) {
 	s.mu.Lock()
 	entry, ok := s.objects[objID]
 	s.mu.Unlock()
 	if !ok {
+		args.Release()
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, objID))
 		return
 	}
 
-	// Built-in methods first.
-	if method == methodPing {
-		if !entry.mb.push(func() { s.reply(conn, reqID, nil, nil) }) {
+	t := callTaskPool.Get().(*callTask)
+	t.s, t.conn, t.entry, t.reqID = s, conn, entry, reqID
+
+	// Built-in methods first: the ping task carries no method and no
+	// arguments, its completion through the mailbox is the point.
+	if string(method) == methodPing {
+		args.Release()
+		t.me, t.args = methodEntry{}, nil
+		if !entry.mb.push(t) {
+			*t = callTask{}
+			callTaskPool.Put(t)
 			s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
 		}
 		return
 	}
 
-	me, ok := entry.class.lookup(method)
+	me, ok := entry.class.lookupBytes(method)
 	if !ok {
-		s.reply(conn, reqID, nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, entry.class.name, method))
+		// Format the error while `method` (a view of the request frame) is
+		// still valid, then release the frame.
+		err := fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, entry.class.name, method)
+		args.Release()
+		*t = callTask{}
+		callTaskPool.Put(t)
+		s.reply(conn, reqID, nil, err)
 		return
 	}
-
-	run := func() {
-		s.counters.CallsServed.Add(1)
-		reply := wire.NewEncoder(64)
-		err := s.invoke(me.fn, entry, args, reply)
-		if err != nil {
-			s.reply(conn, reqID, nil, fmt.Errorf("%s.%s: %w", entry.class.name, method, err))
-			return
-		}
-		s.reply(conn, reqID, reply, nil)
-	}
+	t.me, t.args = me, args
 
 	if me.concurrent {
 		// Concurrent method: runs outside the mailbox so the object can
@@ -415,11 +484,14 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		s.objWG.Add(1)
 		go func() {
 			defer s.objWG.Done()
-			run()
+			t.run()
 		}()
 		return
 	}
-	if !entry.mb.push(run) {
+	if !entry.mb.push(t) {
+		args.Release()
+		*t = callTask{}
+		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
 	}
 }
@@ -454,10 +526,10 @@ func (s *Server) handleDelete(conn transport.Conn, reqID uint64, objID uint64) {
 	// Destructor semantics (§2): pending communications complete (they are
 	// ahead of us in the mailbox), the destructor runs, the process
 	// terminates.
-	pushed := entry.mb.push(func() {
+	pushed := entry.mb.push(funcTask(func() {
 		err := s.destroyObject(entry)
 		s.reply(conn, reqID, nil, err)
-	})
+	}))
 	entry.mb.close()
 	if !pushed {
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (already terminating)", ErrNoSuchObject, s.machine, objID))
@@ -477,13 +549,15 @@ func (s *Server) destroyObject(entry *objEntry) (err error) {
 	return nil
 }
 
-// reply sends a response frame. result may be nil (empty payload).
+// reply sends a response frame on the cold paths (constructions, errors,
+// server pings); method calls reply inside callTask.run. result may be
+// nil (empty payload).
 func (s *Server) reply(conn transport.Conn, reqID uint64, result *wire.Encoder, err error) {
 	size := 32
 	if result != nil {
 		size += result.Len()
 	}
-	e := wire.NewEncoder(size)
+	e := wire.GetEncoder(size)
 	e.PutUvarint(reqID)
 	if err != nil {
 		e.PutUvarint(statusErr)
@@ -494,7 +568,8 @@ func (s *Server) reply(conn transport.Conn, reqID uint64, result *wire.Encoder, 
 			e.AppendRaw(result.Bytes())
 		}
 	}
-	frame := e.Bytes()
+	frame := e.Detach()
+	wire.PutEncoder(e)
 	s.counters.MessagesSent.Add(1)
 	s.counters.BytesSent.Add(int64(len(frame)))
 	// Best effort: if the connection died the client sees ErrClosed.

@@ -202,6 +202,7 @@ func InvokeOpts[R any](ctx context.Context, client *Client, ref Ref, method stri
 
 // InvokeVoid calls a tagged-encoding method with no result.
 func InvokeVoid(ctx context.Context, client *Client, ref Ref, method string, args ...any) error {
-	_, err := client.Call(ctx, ref, method, AnyArgs(args...))
+	d, err := client.Call(ctx, ref, method, AnyArgs(args...))
+	d.Release()
 	return err
 }

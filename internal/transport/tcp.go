@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"oopp/internal/bufpool"
 )
 
 // maxFrame bounds a single framed message (64 MiB). Anything larger is a
@@ -75,8 +77,16 @@ type tcpConn struct {
 	nc      net.Conn
 	sendMu  sync.Mutex
 	recvMu  sync.Mutex
-	lenBuf  [4]byte
-	sendBuf []byte
+	sendLen [4]byte // header scratch, guarded by sendMu
+	recvLen [4]byte // header scratch, guarded by recvMu
+	// iov/iovArr are the reusable scatter-gather list: length header plus
+	// payload segments go to the kernel in one vectored write, so frames
+	// are never joined in user space. iov is rebuilt from iovArr each send
+	// (WriteTo consumes the slice); both guarded by sendMu. iov is a field
+	// rather than a local so &iov escaping into the netpoll internals does
+	// not allocate per send.
+	iov    net.Buffers
+	iovArr [8][]byte
 }
 
 func newTCPConn(nc net.Conn) *tcpConn {
@@ -84,21 +94,53 @@ func newTCPConn(nc net.Conn) *tcpConn {
 }
 
 func (c *tcpConn) Send(msg []byte) error {
-	if len(msg) > maxFrame {
-		return fmt.Errorf("transport: frame too large (%d bytes)", len(msg))
+	err := c.writeFrame(msg, nil)
+	// Send owns msg either way; recycle it once the write is done.
+	bufpool.Put(msg)
+	return err
+}
+
+func (c *tcpConn) SendBuffers(bufs net.Buffers) error {
+	var err error
+	if len(bufs) == 0 {
+		err = c.writeFrame(nil, nil)
+	} else {
+		err = c.writeFrame(bufs[0], bufs[1:])
+	}
+	for _, b := range bufs {
+		bufpool.Put(b)
+	}
+	return err
+}
+
+// writeFrame sends one length-prefixed frame consisting of head followed
+// by the rest segments, as a single vectored write: the 4-byte header
+// lives in per-connection scratch, so no assembly buffer and no payload
+// copy are needed. It does not release the payload buffers.
+func (c *tcpConn) writeFrame(head []byte, rest net.Buffers) error {
+	n := len(head)
+	for _, b := range rest {
+		n += len(b)
+	}
+	if n > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", n)
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	// One write per frame: assemble header+payload to avoid a partial
-	// header racing with another sender and to halve syscalls.
-	need := 4 + len(msg)
-	if cap(c.sendBuf) < need {
-		c.sendBuf = make([]byte, need)
+	// One vectored write per frame: the header cannot interleave with
+	// another sender's, and small frames still reach the kernel in a
+	// single syscall.
+	binary.BigEndian.PutUint32(c.sendLen[:], uint32(n))
+	c.iov = append(net.Buffers(c.iovArr[:0]), c.sendLen[:])
+	if len(head) > 0 {
+		c.iov = append(c.iov, head)
 	}
-	buf := c.sendBuf[:need]
-	binary.BigEndian.PutUint32(buf, uint32(len(msg)))
-	copy(buf[4:], msg)
-	if _, err := c.nc.Write(buf); err != nil {
+	for _, b := range rest {
+		if len(b) > 0 {
+			c.iov = append(c.iov, b)
+		}
+	}
+	if _, err := c.iov.WriteTo(c.nc); err != nil {
 		return translateNetErr(err)
 	}
 	return nil
@@ -107,15 +149,18 @@ func (c *tcpConn) Send(msg []byte) error {
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	if _, err := io.ReadFull(c.nc, c.lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(c.nc, c.recvLen[:]); err != nil {
 		return nil, translateNetErr(err)
 	}
-	n := binary.BigEndian.Uint32(c.lenBuf[:])
+	n := binary.BigEndian.Uint32(c.recvLen[:])
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
 	}
-	msg := make([]byte, n)
+	// Frames come from the shared pool; the caller owns the result and
+	// recycles it with ReleaseFrame after decoding.
+	msg := bufpool.GetLen(int(n))
 	if _, err := io.ReadFull(c.nc, msg); err != nil {
+		bufpool.Put(msg)
 		return nil, translateNetErr(err)
 	}
 	return msg, nil

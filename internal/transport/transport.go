@@ -15,11 +15,34 @@
 //
 // Both satisfy the same interfaces, so every layer above — RMI runtime,
 // page devices, distributed arrays, parallel FFT — is transport-agnostic.
+//
+// # Buffer ownership
+//
+// Frames are owned by exactly one party at a time, which is what lets the
+// hot path run without copies or steady-state allocation:
+//
+//   - Send and SendBuffers take ownership of the buffers passed to them.
+//     The caller must not read, write, or resend a buffer after handing it
+//     over — the transport forwards it (inproc passes the very slice to
+//     the peer) or recycles it into the shared frame pool (tcp, after the
+//     socket write). Callers that need a sent payload again must keep
+//     their own copy before sending.
+//   - Recv transfers ownership of the returned frame to the caller. When
+//     the caller is done decoding it should hand the frame back with
+//     ReleaseFrame (directly or via wire.Decoder.Release) so the storage
+//     recycles; dropping it instead is safe but falls back to the garbage
+//     collector.
+//   - GetFrame is the matching allocator: a frame obtained from it, filled
+//     and passed to Send, completes a round trip with zero allocations in
+//     steady state.
 package transport
 
 import (
 	"errors"
 	"fmt"
+	"net"
+
+	"oopp/internal/bufpool"
 )
 
 // ErrClosed is returned by operations on a closed connection or listener.
@@ -29,10 +52,17 @@ var ErrClosed = errors.New("transport: closed")
 // Send and Recv are safe for concurrent use by multiple goroutines
 // (sends are serialized internally; typically one goroutine receives).
 type Conn interface {
-	// Send transmits one message. The callee does not retain msg.
+	// Send transmits one message and takes ownership of msg: the caller
+	// must not touch the buffer afterwards (see the package comment). The
+	// transport releases it to the shared frame pool once transmitted.
 	Send(msg []byte) error
+	// SendBuffers transmits the concatenation of bufs as one message —
+	// scatter-gather, so a header and a bulk payload need never be joined
+	// by the caller. Ownership of every buffer in bufs transfers to the
+	// transport, exactly as with Send.
+	SendBuffers(bufs net.Buffers) error
 	// Recv blocks until the next message arrives. The returned slice is
-	// owned by the caller.
+	// owned by the caller; pass it to ReleaseFrame when done to recycle.
 	Recv() ([]byte, error)
 	// Close tears the connection down. Pending and future calls fail with
 	// ErrClosed (or io.EOF translated to ErrClosed).
@@ -54,6 +84,16 @@ type Transport interface {
 	// Name identifies the transport ("inproc", "tcp") in logs and tables.
 	Name() string
 }
+
+// GetFrame returns a frame of length n from the shared pool, for callers
+// assembling messages to Send. Contents are unspecified; overwrite fully.
+func GetFrame(n int) []byte { return bufpool.GetLen(n) }
+
+// ReleaseFrame returns a frame to the shared pool — the hook for getting
+// a buffer's storage back into circulation once its owner is done with it
+// (typically after decoding a frame returned by Recv). The caller must
+// hold the only reference.
+func ReleaseFrame(b []byte) { bufpool.Put(b) }
 
 // New returns a transport by name. The inproc transport returned here has
 // no link model; use NewInproc for a modeled network.

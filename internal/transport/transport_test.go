@@ -69,6 +69,9 @@ func TestEchoRoundTrip(t *testing.T) {
 			bytes.Repeat([]byte("abc"), 10000),
 		}
 		for _, p := range payloads {
+			// Send takes ownership of its argument: keep a private copy to
+			// compare against.
+			want := append([]byte(nil), p...)
 			if err := c.Send(p); err != nil {
 				t.Fatalf("send: %v", err)
 			}
@@ -76,9 +79,10 @@ func TestEchoRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("recv: %v", err)
 			}
-			if !bytes.Equal(got, p) {
-				t.Fatalf("echo mismatch: got %d bytes, want %d", len(got), len(p))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("echo mismatch: got %d bytes, want %d", len(got), len(want))
 			}
+			ReleaseFrame(got)
 		}
 	})
 }
@@ -113,7 +117,10 @@ func TestMessageBoundariesPreserved(t *testing.T) {
 	})
 }
 
-func TestSenderDoesNotRetainBuffer(t *testing.T) {
+func TestSendTransfersOwnership(t *testing.T) {
+	// The pooled round trip: a frame from GetFrame, handed to Send (which
+	// takes ownership), echoes back intact; the received frame is released
+	// to the pool. This is the steady-state lifecycle of every RMI frame.
 	forEachTransport(t, func(t *testing.T, tr Transport) {
 		addr, stop := startEcho(t, tr)
 		defer stop()
@@ -123,19 +130,147 @@ func TestSenderDoesNotRetainBuffer(t *testing.T) {
 		}
 		defer c.Close()
 
-		buf := []byte("original")
-		if err := c.Send(buf); err != nil {
-			t.Fatalf("send: %v", err)
-		}
-		copy(buf, "CLOBBER!") // mutate after send
-		got, err := c.Recv()
-		if err != nil {
-			t.Fatalf("recv: %v", err)
-		}
-		if string(got) != "original" {
-			t.Fatalf("send aliased caller buffer: got %q", got)
+		for i := 0; i < 20; i++ {
+			frame := GetFrame(100)
+			for j := range frame {
+				frame[j] = byte(i + j)
+			}
+			want := append([]byte(nil), frame...)
+			if err := c.Send(frame); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatalf("recv %d: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: frame corrupted in flight", i)
+			}
+			ReleaseFrame(got)
 		}
 	})
+}
+
+func TestInprocSendIsZeroCopy(t *testing.T) {
+	// The whole point of the ownership-transfer contract on inproc: the
+	// receiver gets the sender's very slice, with no memcpy.
+	tr := NewInproc(LinkModel{})
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	msg := []byte("zero-copy")
+	if err := client.Send(msg); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if &got[0] != &msg[0] {
+		t.Fatal("inproc Send copied the frame; ownership transfer should pass the slice through")
+	}
+}
+
+func TestSendBuffersFramingEquivalence(t *testing.T) {
+	// A message sent as scattered segments must be indistinguishable on
+	// the wire from the same bytes sent joined — same framing, same
+	// boundaries, same order — on both transports.
+	forEachTransport(t, func(t *testing.T, tr Transport) {
+		addr, stop := startEcho(t, tr)
+		defer stop()
+		c, err := tr.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer c.Close()
+
+		cases := [][][]byte{
+			{[]byte("hdr"), []byte("payload")},
+			{{}, []byte("only-second")},
+			{[]byte("a"), []byte("b"), []byte("c"), bytes.Repeat([]byte("z"), 5000)},
+			{},
+			{[]byte("solo")},
+		}
+		for i, segs := range cases {
+			var want []byte
+			bufs := make([][]byte, len(segs))
+			for j, s := range segs {
+				want = append(want, s...)
+				bufs[j] = append([]byte(nil), s...) // SendBuffers takes ownership
+			}
+			if err := c.SendBuffers(bufs); err != nil {
+				t.Fatalf("case %d: SendBuffers: %v", i, err)
+			}
+			if err := c.Send(append([]byte(nil), want...)); err != nil {
+				t.Fatalf("case %d: Send: %v", i, err)
+			}
+			gotScattered, err := c.Recv()
+			if err != nil {
+				t.Fatalf("case %d: recv scattered: %v", i, err)
+			}
+			gotJoined, err := c.Recv()
+			if err != nil {
+				t.Fatalf("case %d: recv joined: %v", i, err)
+			}
+			if !bytes.Equal(gotScattered, want) {
+				t.Fatalf("case %d: scattered framing mismatch: got %q want %q", i, gotScattered, want)
+			}
+			if !bytes.Equal(gotJoined, gotScattered) {
+				t.Fatalf("case %d: SendBuffers and Send framed differently", i)
+			}
+			ReleaseFrame(gotScattered)
+			ReleaseFrame(gotJoined)
+		}
+	})
+}
+
+func TestInprocCloseDrainsQueuedMessages(t *testing.T) {
+	// Orderly shutdown: messages already delivered to the connection must
+	// all be receivable after Close — the close-race drain loops until the
+	// queue is empty instead of dropping everything past the first.
+	tr := NewInproc(LinkModel{})
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	client, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := client.Send([]byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	client.Close()
+	for i := 0; i < n; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %d after close: %v (dropped %d queued messages)", i, err, n-i)
+		}
+		if len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("recv %d: got %v", i, got)
+		}
+	}
+	if _, err := server.Recv(); err != ErrClosed {
+		t.Fatalf("recv after drain: %v, want ErrClosed", err)
+	}
 }
 
 func TestConcurrentClients(t *testing.T) {
@@ -377,14 +512,19 @@ func benchRoundTrip(b *testing.B, tr Transport) {
 		b.Fatalf("dial: %v", err)
 	}
 	defer c.Close()
-	msg := make([]byte, 64)
+	msg := GetFrame(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Ownership round trip: Send consumes the frame, the echoed frame
+		// received back becomes the next send's buffer.
 		if err := c.Send(msg); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.Recv(); err != nil {
+		got, err := c.Recv()
+		if err != nil {
 			b.Fatal(err)
 		}
+		msg = got
 	}
 }
