@@ -13,6 +13,7 @@ import (
 
 	"oopp"
 	"oopp/internal/cluster"
+	"oopp/internal/collection"
 	"oopp/internal/core"
 	"oopp/internal/disk"
 	"oopp/internal/exp"
@@ -507,4 +508,52 @@ func BenchmarkE11_DeepCopy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE12_Collective — §4: collective broadcast/reduce over a typed
+// Collection vs the sequential member-by-member Group.Call baseline. The
+// broadcast should cost ~one round trip regardless of member count (up
+// to the window); sequential costs one per member.
+func BenchmarkE12_Collective(b *testing.B) {
+	const hosts = 8
+	cl := benchCluster(b, hosts, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	for _, size := range []int{4, 8, 32} {
+		coll, err := collection.SpawnNamed[any](bg, client, collection.Cyclic(size, hosts), exp.ClassEcho, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := rmi.NewGroup(client, coll.Refs())
+		b.Run(fmt.Sprintf("seq/members=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := g.Call(bg, "noop", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("broadcast/members=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := coll.Broadcast(bg, "noop", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reduce/members=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := collection.Reduce(bg, coll, "one", nil, collection.DecodeInt, collection.SumInt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != size {
+					b.Fatalf("reduce = %d, want %d", n, size)
+				}
+			}
+		})
+		if err := coll.Destroy(bg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -46,13 +46,47 @@
 // the in-flight call promptly — and accepts CallOptions: WithTimeout /
 // WithDeadline (a per-call deadline that travels with the future),
 // WithRetryDial (redial on dial failure; requests are never resent), and
-// WithLabel (a trace label woven into failure text).
+// WithLabel (a trace label woven into failure text). The surface is
+// context-first throughout; the pre-context *NoCtx shims are gone.
+//
+// # Typed distributed collections
+//
+// The paper's unit of parallel computation is not a single remote object
+// but a collection of them — "FFT * fft[N]" operated on collectively
+// (§4). Collection[T] renders that generically:
+//
+//	// "HistShard * shard[8]", shard i on machine i mod 4
+//	coll, _ := oopp.SpawnClass(ctx, client, oopp.Cyclic(8, 4), shardClass, ctorArgs)
+//
+//	// concurrent broadcast: completes in ~max(member latency), not the sum
+//	_ = coll.Broadcast(ctx, "observe", func(m oopp.Member, e *oopp.Encoder) error {
+//	        e.PutFloat64s(data[m.Index*chunk : (m.Index+1)*chunk])
+//	        return nil
+//	})
+//	_ = coll.Barrier(ctx) // "shard->barrier()"
+//
+//	// combining reduction: per-member partials computed where the data
+//	// lives, merged client-side with a monoid, in member order
+//	total, _ := oopp.Reduce(ctx, coll, "count", nil, decodeInt, sumInt)
+//
+// Distribution descriptors (Block, Cyclic, OnMachines, optionally
+// .Replicate(k)) place members over machines the way PageMap layouts
+// place pages over devices. Collective operations fan out concurrently
+// with a bounded in-flight window and report errors.Join of all member
+// failures — each a MemberError carrying the member index
+// (FailedMembers extracts them) — never a silent first-error abort.
+// Views (Slice, OnMachine) are sub-collections sharing the same remote
+// objects; MapIndexed runs per-member work concurrently with the
+// member's index and owning machine in hand (owner-computes iteration).
+// The untyped Group remains as a thin adapter over the same engine; see
+// the migration table in the rmi package doc. examples/collection runs
+// a distributed histogram end to end on this surface.
 //
 // # Migrating from the pre-context API
 //
 // The old stringly surface maps onto the typed one mechanically:
 //
-//	old (deprecated)                          new
+//	old (removed)                             new
 //	----------------------------------------  ----------------------------------------------
 //	client.New(m, "pkg.Class", enc)           class.New(ctx, client, m, enc)  // typed handle
 //	client.NewArgs(m, "pkg.Class", a, b)      oopp.NewOn[T](ctx, client, m, a, b)
@@ -62,12 +96,8 @@
 //	fut.Wait() / fut.Err()                    fut.Wait(ctx) / fut.Err(ctx)
 //	oopp.WaitAll(futs)                        oopp.WaitAll(ctx, futs)
 //	oopp.NewDevice(client, ...)               oopp.NewDevice(ctx, client, ...)
-//	oopp.SpawnGroup(client, ms, "cls", f)     class.SpawnGroup(ctx, client, ms, f)
+//	oopp.SpawnGroup(client, ms, "cls", f)     oopp.SpawnClass(ctx, client, oopp.OnMachines(ms...), class, f)
 //	rmi.Register(name, ctor) + obj.(*T)       rmi.RegisterClass(name, typedCtor)  // no asserts
-//
-// Thin deprecated shims with the old context-free signatures remain under
-// *NoCtx names (NewDeviceNoCtx, WaitAllNoCtx, ...); they pass
-// context.Background() and exist only to stage migrations.
 //
 // # Performance & buffer ownership
 //
@@ -107,6 +137,9 @@
 //   - Client, Ref, Future, TypedFuture, Group, CallOption: the RMI
 //     runtime — remote new, remote method execution, typed futures,
 //     object groups with barriers, per-call policy.
+//   - Collection, Member, Distribution, Spawn/SpawnClass, Reduce,
+//     MapIndexed: typed distributed collections with concurrent
+//     collectives and combining reductions.
 //   - Float64Array, ByteArray: remote plain memory
 //     ("new(machine 2) double[1024]").
 //   - Device, ArrayDevice, Page, ArrayPage: the storage process hierarchy

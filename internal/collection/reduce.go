@@ -1,0 +1,105 @@
+package collection
+
+import (
+	"context"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// Reduce invokes method on every member concurrently (bounded by the
+// collection's window), decodes each member's reply into an R with dec,
+// and combines the per-member results client-side with the user monoid
+// — the paper's barrier+combine pattern ("the partial sums are computed
+// by the data server processes and combined together by the client",
+// §5) as one call.
+//
+// combine must be associative; results are combined in member order, so
+// a merely-associative (non-commutative) monoid still reduces
+// deterministically. An empty collection yields R's zero value.
+//
+// The decoder handed to dec owns a pooled response frame that is
+// recycled the moment dec returns: decode by value (Float64, Int,
+// Ints, BytesCopy ...) — views from BytesView/Bytes die with the frame
+// (see the buffer-ownership rules in the rmi package doc). On member
+// failures the partial result is discarded and the error is errors.Join
+// of all member failures.
+func Reduce[T, R any](ctx context.Context, c *Collection[T], method string, args MemberEncoder, dec func(m Member, d *wire.Decoder) (R, error), combine func(R, R) R, opts ...rmi.CallOption) (R, error) {
+	var acc R
+	first := true
+	err := c.CallAll(ctx, method, args, func(m Member, d *wire.Decoder) error {
+		v, err := dec(m, d)
+		if err != nil {
+			return err
+		}
+		if first {
+			acc, first = v, false
+		} else {
+			acc = combine(acc, v)
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	return acc, nil
+}
+
+// Common result decoders for Reduce.
+
+// DecodeFloat64 reads one float64 result.
+func DecodeFloat64(_ Member, d *wire.Decoder) (float64, error) {
+	v := d.Float64()
+	return v, d.Err()
+}
+
+// DecodeInt reads one varint result as an int.
+func DecodeInt(_ Member, d *wire.Decoder) (int, error) {
+	v := d.Int()
+	return v, d.Err()
+}
+
+// DecodeInts reads one packed []int result (copied out of the frame).
+func DecodeInts(_ Member, d *wire.Decoder) ([]int, error) {
+	v := d.Ints()
+	return v, d.Err()
+}
+
+// Common monoids for Reduce.
+
+// SumFloat64 is the addition monoid on float64.
+func SumFloat64(a, b float64) float64 { return a + b }
+
+// SumInt is the addition monoid on int.
+func SumInt(a, b int) int { return a + b }
+
+// MinFloat64 is the minimum monoid on float64.
+func MinFloat64(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// MaxFloat64 is the maximum monoid on float64.
+func MaxFloat64(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// SumInts adds integer vectors elementwise (the histogram-merge
+// monoid); the shorter operand is treated as zero-extended.
+func SumInts(a, b []int) []int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	out := make([]int, len(a))
+	copy(out, a)
+	for i, v := range b {
+		out[i] += v
+	}
+	return out
+}

@@ -36,8 +36,9 @@ type Array struct {
 	window   int
 }
 
-// DefaultWindow is the default bound on outstanding pipelined requests.
-const DefaultWindow = 32
+// DefaultWindow is the default bound on outstanding pipelined requests —
+// the same window discipline the collective fan-out engine uses.
+const DefaultWindow = rmi.DefaultWindow
 
 // NewArray validates geometry and capacity and returns an Array client.
 // Array dims must be multiples of the page dims; every device must have

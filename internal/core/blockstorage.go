@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"oopp/internal/collection"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
+	"oopp/internal/wire"
 )
 
 // BlockStorage is the paper's
@@ -15,50 +17,54 @@ import (
 // — the collection of storage device processes an Array spreads its pages
 // over. Each device should live on its own disk (ideally its own
 // machine); the PageMap decides which logical page goes to which device.
+//
+// Device-wide collectives (creation, fill, stat, barrier, teardown) run
+// over a typed Collection: concurrent with a bounded window, reporting
+// errors.Join of all member failures.
 type BlockStorage struct {
 	devices []*pagedev.ArrayDevice
+	coll    *collection.Collection[*pagedev.ArrayDevice]
 }
 
 // NewBlockStorage wraps existing device stubs. The slice is not copied.
 func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
-	return &BlockStorage{devices: devices}
+	refs := make([]rmi.Ref, len(devices))
+	for i, d := range devices {
+		refs[i] = d.Ref()
+	}
+	var client *rmi.Client
+	if len(devices) > 0 {
+		client = devices[0].Client()
+	}
+	return &BlockStorage{devices: devices, coll: collection.FromRefs[*pagedev.ArrayDevice](client, refs)}
 }
 
 // CreateBlockStorage constructs one ArrayPageDevice process per entry of
 // machines (the paper's "for i: device[i] = new(machine i)
 // ArrayPageDevice(...)" loop), each backed by the machine disk diskIndex
-// (or a private memory disk for DiskPrivate). Construction is pipelined.
+// (or a private memory disk for DiskPrivate). Construction is a
+// collective spawn: concurrent with a bounded window, and on partial
+// failure every already-constructed device is torn down — no process
+// leaks.
 func CreateBlockStorage(ctx context.Context, client *rmi.Client, machines []int, name string, pagesPerDevice, n1, n2, n3, diskIndex int) (*BlockStorage, error) {
-	devices := make([]*pagedev.ArrayDevice, len(machines))
-	type result struct {
-		i   int
-		dev *pagedev.ArrayDevice
-		err error
+	if len(machines) == 0 {
+		// Zero devices is a valid (empty) storage; the spawn path below
+		// would reject an empty distribution.
+		return NewBlockStorage(nil), nil
 	}
-	results := make(chan result, len(machines))
-	for i, m := range machines {
-		go func(i, m int) {
-			dev, err := pagedev.NewArrayDevice(ctx, client, m, fmt.Sprintf("%s/%d", name, i), pagesPerDevice, n1, n2, n3, diskIndex)
-			results <- result{i, dev, err}
-		}(i, m)
+	coll, err := collection.SpawnNamed[*pagedev.ArrayDevice](ctx, client, collection.OnMachines(machines...),
+		pagedev.ClassArrayPageDevice, func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeArrayDeviceCtor(e, fmt.Sprintf("%s/%d", name, m.Index), pagesPerDevice, n1, n2, n3, diskIndex)
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: creating block storage %q: %w", name, err)
 	}
-	var firstErr error
-	for range machines {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("core: creating device %d: %w", r.i, r.err)
-		}
-		devices[r.i] = r.dev
+	devices := make([]*pagedev.ArrayDevice, coll.Len())
+	for i := range devices {
+		devices[i] = pagedev.AttachArrayDevice(client, coll.Ref(i), n1, n2, n3)
 	}
-	if firstErr != nil {
-		for _, d := range devices {
-			if d != nil {
-				_ = d.Close(ctx)
-			}
-		}
-		return nil, firstErr
-	}
-	return &BlockStorage{devices: devices}, nil
+	return &BlockStorage{devices: devices, coll: coll}, nil
 }
 
 // Len returns the number of devices.
@@ -67,23 +73,52 @@ func (b *BlockStorage) Len() int { return len(b.devices) }
 // Device returns device i.
 func (b *BlockStorage) Device(i int) *pagedev.ArrayDevice { return b.devices[i] }
 
+// Collection exposes the device processes as a typed collection, for
+// further collectives (checkpoint binds, custom reductions).
+func (b *BlockStorage) Collection() *collection.Collection[*pagedev.ArrayDevice] { return b.coll }
+
 // Refs returns the remote pointers of all devices (for passing storage to
 // other processes).
-func (b *BlockStorage) Refs() []rmi.Ref {
-	refs := make([]rmi.Ref, len(b.devices))
-	for i, d := range b.devices {
-		refs[i] = d.Ref()
-	}
-	return refs
+func (b *BlockStorage) Refs() []rmi.Ref { return b.coll.Refs() }
+
+// FillAll sets every element of every page on every device to v — the
+// whole-storage fill broadcast: one message per device, no element data
+// on the wire. (Unlike Array.Fill it covers physical pages the PageMap
+// may leave unmapped; use it to initialize storage, not to fill a
+// subdomain.)
+func (b *BlockStorage) FillAll(ctx context.Context, v float64) error {
+	return b.coll.Broadcast(ctx, "fillAll", func(m collection.Member, e *wire.Encoder) error {
+		e.PutFloat64(v)
+		return nil
+	})
 }
 
-// Close deletes every device process.
-func (b *BlockStorage) Close(ctx context.Context) error {
-	var firstErr error
-	for _, d := range b.devices {
-		if err := d.Close(ctx); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	return firstErr
+// SumAll reduces the element sum of every page on every device — the
+// whole-storage combining reduction (partial sums computed by the data
+// server processes, combined client-side, §5).
+func (b *BlockStorage) SumAll(ctx context.Context) (float64, error) {
+	return collection.Reduce(ctx, b.coll, "sumAll", nil, collection.DecodeFloat64, collection.SumFloat64)
 }
+
+// IOStats aggregates the served (reads, writes) counters across all
+// devices — the stat reduction of the storage collective.
+func (b *BlockStorage) IOStats(ctx context.Context) (reads, writes int64, err error) {
+	type rw struct{ r, w int64 }
+	total, err := collection.Reduce(ctx, b.coll, "stats", nil,
+		func(_ collection.Member, d *wire.Decoder) (rw, error) {
+			v := rw{r: d.Varint(), w: d.Varint()}
+			return v, d.Err()
+		},
+		func(a, b rw) rw { return rw{a.r + b.r, a.w + b.w} })
+	if err != nil {
+		return 0, 0, err
+	}
+	return total.r, total.w, nil
+}
+
+// Barrier synchronizes with every device process: its completion proves
+// every earlier message to every device was processed.
+func (b *BlockStorage) Barrier(ctx context.Context) error { return b.coll.Barrier(ctx) }
+
+// Close deletes every device process, concurrently.
+func (b *BlockStorage) Close(ctx context.Context) error { return b.coll.Destroy(ctx) }

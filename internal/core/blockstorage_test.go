@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"oopp/internal/cluster"
+	"oopp/internal/pagedev"
+)
+
+var bgCtx = context.Background()
+
+func storageCluster(t *testing.T, machines int) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.NewLocal(machines, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Shutdown() })
+	return cl
+}
+
+func TestBlockStorageCollectives(t *testing.T) {
+	cl := storageCluster(t, 3)
+	const (
+		pages      = 2
+		n1, n2, n3 = 2, 2, 2
+	)
+	b, err := CreateBlockStorage(bgCtx, cl.Client(), []int{0, 1, 2}, "bs", pages, n1, n2, n3, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if b.Len() != 3 || b.Collection().Len() != 3 {
+		t.Fatalf("storage has %d devices", b.Len())
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Device(i).Ref().Machine != i {
+			t.Fatalf("device %d on machine %d", i, b.Device(i).Ref().Machine)
+		}
+	}
+
+	// FillAll broadcast: every element of every page of every device.
+	if err := b.FillAll(bgCtx, 1.5); err != nil {
+		t.Fatalf("fillAll: %v", err)
+	}
+	if err := b.Barrier(bgCtx); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	// SumAll reduction: partial sums on the devices, combined here.
+	sum, err := b.SumAll(bgCtx)
+	if err != nil {
+		t.Fatalf("sumAll: %v", err)
+	}
+	want := 1.5 * float64(3*pages*n1*n2*n3)
+	if sum != want {
+		t.Fatalf("sumAll = %v, want %v", sum, want)
+	}
+
+	// IOStats reduction aggregates device counters; fillAll wrote every
+	// page once and sumAll read every page once.
+	reads, writes, err := b.IOStats(bgCtx)
+	if err != nil {
+		t.Fatalf("ioStats: %v", err)
+	}
+	if reads != int64(3*pages) || writes != int64(3*pages) {
+		t.Fatalf("io = %d reads %d writes, want %d/%d", reads, writes, 3*pages, 3*pages)
+	}
+
+	if err := b.Close(bgCtx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for m := 0; m < 3; m++ {
+		live, _, err := cl.Client().Stat(bgCtx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live != 0 {
+			t.Fatalf("machine %d has %d live objects after close", m, live)
+		}
+	}
+}
+
+func TestCreateBlockStorageFailureCleansUp(t *testing.T) {
+	cl := storageCluster(t, 2)
+	// Invalid geometry: every constructor fails; nothing may leak.
+	if _, err := CreateBlockStorage(bgCtx, cl.Client(), []int{0, 1}, "bad", 2, -1, 2, 2, pagedev.DiskPrivate); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	for m := 0; m < 2; m++ {
+		live, _, err := cl.Client().Stat(bgCtx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live != 0 {
+			t.Fatalf("machine %d has %d live objects after failed create", m, live)
+		}
+	}
+}

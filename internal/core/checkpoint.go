@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"oopp/internal/collection"
 	"oopp/internal/pagedev"
 	"oopp/internal/persist"
 	"oopp/internal/rmi"
@@ -110,12 +111,14 @@ func PublishArray(ctx context.Context, mgr *persist.Manager, client *rmi.Client,
 	if err := mgr.Bind(ctx, metaAddr(base), metaRef); err != nil {
 		return err
 	}
-	for i := 0; i < arr.Storage().Len(); i++ {
-		if err := mgr.Bind(ctx, deviceAddr(base, i), arr.Storage().Device(i).Ref()); err != nil {
-			return err
-		}
-	}
-	return nil
+	// Bind the member devices concurrently: an owner-computes iteration
+	// over the storage collection, each member contributing one name-
+	// service bind for its own ref.
+	_, err = collection.MapIndexed(ctx, arr.Storage().Collection(),
+		func(ctx context.Context, m collection.Member) (struct{}, error) {
+			return struct{}{}, mgr.Bind(ctx, deviceAddr(base, m.Index), m.Ref)
+		})
+	return err
 }
 
 // OpenArray reassembles a published array from its symbolic address,

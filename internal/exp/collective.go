@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"oopp/internal/cluster"
+	"oopp/internal/collection"
+	"oopp/internal/rmi"
+	"oopp/internal/transport"
+)
+
+// E12Collective — §4: a collection of N objects operated on collectively
+// should pay ~max(member latency) per collective, not the sum. The old
+// sequential Group.Call is the §2 baseline (one completed round trip per
+// member before the next is issued); Collection.Broadcast issues the
+// member calls concurrently through the async lanes with a bounded
+// window, and Reduce adds client-side combining on top. Under the
+// modeled link the speedup at N members should approach N (until the
+// window or the client core saturates).
+func E12Collective(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Collective broadcast and reduce vs sequential member calls",
+		Claim: "§4: operating on a collection of objects costs ~max(member latency)" +
+			" when the member calls are issued concurrently, vs the sum when issued sequentially",
+		Columns: []string{"members", "seq µs/op", "bcast µs/op", "speedup", "reduce µs/op",
+			"seq allocs/op", "bcast allocs/op"},
+	}
+	const machines = 8
+	cl, err := cluster.New(cluster.Config{Machines: machines, Transport: transport.NewInproc(modeledLink())})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Shutdown()
+	client := cl.Client()
+	iters := cfg.iters(30, 300)
+
+	for _, size := range []int{1, 2, 4, 8, 16, 32} {
+		coll, err := collection.Spawn[*echoObj](bg, client, collection.Cyclic(size, machines))
+		if err != nil {
+			return nil, err
+		}
+		// The sequential baseline drives the very same member objects.
+		g := rmi.NewGroup(client, coll.Refs())
+
+		measure := func(op func() error) (time.Duration, float64, error) {
+			for i := 0; i < 3; i++ {
+				if err := op(); err != nil {
+					return 0, 0, err
+				}
+			}
+			var stats AllocTimer
+			stats.Start()
+			for i := 0; i < iters; i++ {
+				if err := op(); err != nil {
+					return 0, 0, err
+				}
+			}
+			per, allocs := stats.Stop(iters)
+			return per, allocs, nil
+		}
+
+		seqPer, seqAllocs, err := measure(func() error { return g.Call(bg, "noop", nil) })
+		if err != nil {
+			return nil, err
+		}
+		bcastPer, bcastAllocs, err := measure(func() error { return coll.Broadcast(bg, "noop", nil) })
+		if err != nil {
+			return nil, err
+		}
+		redPer, _, err := measure(func() error {
+			n, err := collection.Reduce(bg, coll, "one", nil, collection.DecodeInt, collection.SumInt)
+			if err != nil {
+				return err
+			}
+			if n != size {
+				return fmt.Errorf("E12: reduce over %d members returned %d", size, n)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(fmt.Sprintf("%d", size), usPrec(seqPer), usPrec(bcastPer),
+			fmt.Sprintf("%.2f", float64(seqPer)/float64(bcastPer)), usPrec(redPer),
+			fmt.Sprintf("%.1f", seqAllocs), fmt.Sprintf("%.1f", bcastAllocs))
+
+		if err := coll.Destroy(bg); err != nil {
+			return nil, err
+		}
+	}
+	t.Note("expected shape: speedup ~N while N <= window; broadcast µs/op stays near one RTT instead of N RTTs")
+	return t, nil
+}

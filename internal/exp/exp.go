@@ -121,6 +121,7 @@ var Experiments = []Experiment{
 	{"E9", "Barrier cost vs process group size", E9Barrier},
 	{"E10", "Persistent processes: passivation and activation", E10Persistence},
 	{"E11", "Deep copy vs remote dereference in SetGroup", E11DeepCopy},
+	{"E12", "Collective broadcast and reduce vs sequential member calls", E12Collective},
 }
 
 // Find returns the experiment with the given id.
@@ -154,6 +155,12 @@ func init() {
 			return args.Err()
 		}).
 		Method("noop", func(obj *echoObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			return nil
+		}).
+		Method("one", func(obj *echoObj, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// The unit of the counting monoid: reducing "one" over a
+			// collection counts its live members (E12's reduce lane).
+			reply.PutInt(1)
 			return nil
 		})
 }

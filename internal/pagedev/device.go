@@ -447,6 +447,27 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		}
 		return a.write(index, a.scratch)
 	})
+	c.Method("fillAll", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		// The whole-device fill: the broadcast half of a BlockStorage
+		// collective. One message per device fills every page it holds;
+		// no element data crosses the network.
+		v := args.Float64()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		for i := range a.elems {
+			a.elems[i] = v
+		}
+		if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+			return err
+		}
+		for idx := 0; idx < a.numPages; idx++ {
+			if err := a.write(idx, a.scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	c.Method("minmaxPage", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		index := args.Int()
 		if err := args.Err(); err != nil {

@@ -47,6 +47,9 @@ func AttachDevice(client *rmi.Client, ref rmi.Ref) *Device {
 // Ref returns the remote pointer.
 func (d *Device) Ref() rmi.Ref { return d.ref }
 
+// Client returns the RMI client the stub issues its calls through.
+func (d *Device) Client() *rmi.Client { return d.client }
+
 // Write stores page data at the given page index.
 func (d *Device) Write(ctx context.Context, index int, data []byte) error {
 	dec, err := d.client.Call(ctx, d.ref, "write", func(e *wire.Encoder) error {
@@ -210,6 +213,31 @@ func NewArrayDeviceFromProcess(ctx context.Context, client *rmi.Client, m int, s
 		return nil, err
 	}
 	return &ArrayDevice{Device: Device{client: client, ref: ref}, n1: n1, n2: n2, n3: n3}, nil
+}
+
+// EncodeArrayDeviceCtor appends the fresh-construction arguments of an
+// ArrayPageDevice to e — the constructor protocol NewArrayDevice speaks,
+// exported so collective spawns (core.CreateBlockStorage's collection)
+// can construct devices without going through one stub call per member.
+func EncodeArrayDeviceCtor(e *wire.Encoder, name string, numPages, n1, n2, n3, diskIndex int) {
+	e.PutInt(ctorFresh)
+	e.PutString(name)
+	e.PutInt(numPages)
+	e.PutInt(n1)
+	e.PutInt(n2)
+	e.PutInt(n3)
+	e.PutInt(diskIndex)
+}
+
+// FillAll sets every element of every page on the device to v with one
+// remote call (the broadcast half of BlockStorage.FillAll).
+func (d *ArrayDevice) FillAll(ctx context.Context, v float64) error {
+	dec, err := d.client.Call(ctx, d.ref, "fillAll", func(e *wire.Encoder) error {
+		e.PutFloat64(v)
+		return nil
+	})
+	dec.Release()
+	return err
 }
 
 // AttachArrayDevice wraps an existing remote pointer in an array stub.

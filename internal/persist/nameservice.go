@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"oopp/internal/collection"
 	"oopp/internal/rmi"
 	"oopp/internal/wire"
 )
@@ -168,20 +169,24 @@ type Manager struct {
 }
 
 // NewManager creates a name service on machine nsMachine and a store on
-// each listed machine.
+// each listed machine. The stores are spawned as a collection — one
+// concurrent, windowed fan-out with leak-free partial-failure cleanup —
+// instead of one blocking construction per machine.
 func NewManager(ctx context.Context, client *rmi.Client, nsMachine int, storeMachines []int) (*Manager, error) {
 	ns, err := NewNameService(ctx, client, nsMachine)
 	if err != nil {
 		return nil, err
 	}
 	m := &Manager{ns: ns, stores: make(map[int]*Store), client: client}
-	for _, sm := range storeMachines {
-		st, err := NewStore(ctx, client, sm)
+	if len(storeMachines) > 0 {
+		coll, err := collection.SpawnNamed[*Store](ctx, client, collection.OnMachines(storeMachines...), ClassStore, nil)
 		if err != nil {
 			m.Close(ctx)
 			return nil, err
 		}
-		m.stores[sm] = st
+		for i, sm := range storeMachines {
+			m.stores[sm] = AttachStore(client, coll.Ref(i))
+		}
 	}
 	return m, nil
 }

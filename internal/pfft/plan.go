@@ -4,15 +4,17 @@ import (
 	"context"
 	"fmt"
 
+	"oopp/internal/collection"
 	"oopp/internal/rmi"
 	"oopp/internal/wire"
 )
 
-// PFFT is the master-side handle for a group of FFT worker processes —
-// the paper's "FFT * fft[N]" array plus the orchestration loops of §4.
+// PFFT is the master-side handle for a collection of FFT worker
+// processes — the paper's "FFT * fft[N]" array plus the orchestration
+// loops of §4, expressed as collectives over a typed Collection.
 type PFFT struct {
 	client     *rmi.Client
-	group      *rmi.Group
+	workers    *collection.Collection[*worker]
 	n1, n2, n3 int
 	p          int
 	h1         int
@@ -40,31 +42,33 @@ func newPFFT(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3
 	if n1%p != 0 || n2%p != 0 {
 		return nil, fmt.Errorf("pfft: dims %dx%dx%d not divisible by %d workers", n1, n2, n3, p)
 	}
-	// The master process creates N parallel processes, assigning ids (§4).
-	g, err := rmi.SpawnGroup(ctx, client, machines, ClassWorker, func(i int, e *wire.Encoder) error {
-		e.PutInt(i)
-		e.PutInt(n1)
-		e.PutInt(n2)
-		e.PutInt(n3)
-		return nil
-	})
+	// The master process creates N parallel processes, assigning ids (§4):
+	// a typed collection spawn, placed by the explicit machine list.
+	workers, err := collection.SpawnClass(ctx, client, collection.OnMachines(machines...), workerClass,
+		func(m collection.Member, e *wire.Encoder) error {
+			e.PutInt(m.Index)
+			e.PutInt(n1)
+			e.PutInt(n2)
+			e.PutInt(n3)
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	f := &PFFT{client: client, group: g, n1: n1, n2: n2, n3: n3, p: p, h1: n1 / p}
+	f := &PFFT{client: client, workers: workers, n1: n1, n2: n2, n3: n3, p: p, h1: n1 / p}
 
 	if shallow {
 		// Create the RefTable process next to worker 0 and hand every
 		// worker the table's remote pointer only.
 		tableRef, err := client.New(ctx, machines[0], ClassRefTable, func(e *wire.Encoder) error {
-			e.PutRefs(g.Refs())
+			e.PutRefs(workers.Refs())
 			return nil
 		})
 		if err != nil {
 			f.Close(ctx)
 			return nil, err
 		}
-		err = g.CallParallel(ctx, "setGroupShallow", func(i int, e *wire.Encoder) error {
+		err = workers.Broadcast(ctx, "setGroupShallow", func(m collection.Member, e *wire.Encoder) error {
 			e.PutRef(tableRef)
 			return nil
 		})
@@ -80,9 +84,10 @@ func newPFFT(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3
 
 	// "It informs each process in the group that it is a part of a group
 	// of N concurrent processes" — deep copy of the remote pointer array.
-	if err := g.CallParallel(ctx, "setGroup", func(i int, e *wire.Encoder) error {
+	refs := workers.Refs()
+	if err := workers.Broadcast(ctx, "setGroup", func(m collection.Member, e *wire.Encoder) error {
 		e.PutInt(p)
-		e.PutRefs(g.Refs())
+		e.PutRefs(refs)
 		return nil
 	}); err != nil {
 		f.Close(ctx)
@@ -94,38 +99,33 @@ func newPFFT(ctx context.Context, client *rmi.Client, machines []int, n1, n2, n3
 // Workers returns the number of worker processes.
 func (f *PFFT) Workers() int { return f.p }
 
-// Group exposes the underlying process group (for barriers etc.).
-func (f *PFFT) Group() *rmi.Group { return f.group }
+// Refs exposes the worker remote pointers, in id order.
+func (f *PFFT) Refs() []rmi.Ref { return f.workers.Refs() }
 
 // Load scatters a full n1×n2×n3 row-major array to the workers' slabs
-// (pipelined).
+// (concurrent, windowed).
 func (f *PFFT) Load(ctx context.Context, x []complex128) error {
 	if len(x) != f.n1*f.n2*f.n3 {
 		return fmt.Errorf("pfft: array has %d elements, want %d", len(x), f.n1*f.n2*f.n3)
 	}
 	slabLen := f.h1 * f.n2 * f.n3
-	return f.group.CallParallel(ctx, "loadSlab", func(i int, e *wire.Encoder) error {
-		e.PutComplex128s(x[i*slabLen : (i+1)*slabLen])
+	return f.workers.Broadcast(ctx, "loadSlab", func(m collection.Member, e *wire.Encoder) error {
+		e.PutComplex128s(x[m.Index*slabLen : (m.Index+1)*slabLen])
 		return nil
 	})
 }
 
-// Gather collects the workers' slabs into x (pipelined).
+// Gather collects the workers' slabs into x (concurrent, windowed).
 func (f *PFFT) Gather(ctx context.Context, x []complex128) error {
 	if len(x) != f.n1*f.n2*f.n3 {
 		return fmt.Errorf("pfft: array has %d elements, want %d", len(x), f.n1*f.n2*f.n3)
 	}
 	slabLen := f.h1 * f.n2 * f.n3
-	return f.group.CallParallelResults(ctx, "readSlab", nil, func(i int, d *wire.Decoder) error {
-		slab := d.Complex128s()
-		if err := d.Err(); err != nil {
-			return err
-		}
-		if len(slab) != slabLen {
-			return fmt.Errorf("pfft: worker %d returned %d elements, want %d", i, len(slab), slabLen)
-		}
-		copy(x[i*slabLen:], slab)
-		return nil
+	return f.workers.CallAll(ctx, "readSlab", nil, func(m collection.Member, d *wire.Decoder) error {
+		// One-pass decode straight into the caller's slab slot; the
+		// response frame recycles when this returns.
+		d.Complex128sInto(x[m.Index*slabLen : (m.Index+1)*slabLen])
+		return d.Err()
 	})
 }
 
@@ -133,14 +133,14 @@ func (f *PFFT) Gather(ctx context.Context, x []complex128) error {
 // transform method concurrently, exchanging transpose blocks peer to
 // peer. sign=-1 forward, sign=+1 normalized inverse.
 func (f *PFFT) Transform(ctx context.Context, sign int) error {
-	return f.group.CallParallel(ctx, "transform", func(i int, e *wire.Encoder) error {
+	return f.workers.Broadcast(ctx, "transform", func(m collection.Member, e *wire.Encoder) error {
 		e.PutInt(sign)
 		return nil
 	})
 }
 
 // Barrier synchronizes with every worker process ("fft->barrier()", §4).
-func (f *PFFT) Barrier(ctx context.Context) error { return f.group.Barrier(ctx) }
+func (f *PFFT) Barrier(ctx context.Context) error { return f.workers.Barrier(ctx) }
 
 // Close deletes all worker processes.
-func (f *PFFT) Close(ctx context.Context) error { return f.group.Delete(ctx) }
+func (f *PFFT) Close(ctx context.Context) error { return f.workers.Destroy(ctx) }

@@ -249,8 +249,12 @@ type refTable struct {
 	refs []rmi.Ref
 }
 
-func init() {
-	rmi.RegisterClass(ClassWorker, func(env *rmi.Env, args *wire.Decoder) (*worker, error) {
+// workerClass is the typed handle to the FFT worker class; plan.go
+// spawns the worker collection through it.
+var workerClass = registerWorkerClass()
+
+func registerWorkerClass() *rmi.Class[*worker] {
+	return rmi.RegisterClass(ClassWorker, func(env *rmi.Env, args *wire.Decoder) (*worker, error) {
 		id := args.Int()
 		n1, n2, n3 := args.Int(), args.Int(), args.Int()
 		if err := args.Err(); err != nil {
@@ -337,7 +341,9 @@ func init() {
 			w.storeBlock(phase, from, block)
 			return nil
 		})
+}
 
+func init() {
 	rmi.RegisterClass(ClassRefTable, func(env *rmi.Env, args *wire.Decoder) (*refTable, error) {
 		refs := args.Refs()
 		if err := args.Err(); err != nil {

@@ -1,0 +1,247 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"oopp/internal/wire"
+)
+
+// This file is the collective fan-out engine: one windowed, concurrent
+// issue/collect loop shared by every aggregate surface in the repo —
+// the untyped Group adapter in this package and the typed Collection[T]
+// in internal/collection are both thin skins over it.
+//
+// Two properties define a collective here:
+//
+//   - Concurrency with a bounded window. Member calls are issued through
+//     the async lanes with at most `window` requests in flight (the same
+//     pipelining discipline as core.Array's DefaultWindow), so a
+//     broadcast over N members completes in ~max(member latency), not
+//     the sum, without unbounded client buffering.
+//   - Total error reporting. A collective attempts every member and
+//     returns errors.Join of all member failures, each wrapped in a
+//     MemberError carrying the member index — never a silent
+//     first-error abort that leaves the caller guessing which members
+//     ran.
+
+// DefaultWindow is the default bound on outstanding requests in a
+// collective fan-out. core.DefaultWindow aliases it.
+const DefaultWindow = 32
+
+// MemberError wraps a failure of one member of a collective operation,
+// carrying the member index and machine so callers can tell which
+// members of an errors.Join'd aggregate failed.
+type MemberError struct {
+	Index   int    // member index within the collective
+	Machine int    // machine hosting the member
+	Op      string // method or operation name
+	Err     error
+}
+
+// Error implements the error interface.
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("rmi: %s on member %d (machine %d): %v", e.Op, e.Index, e.Machine, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *MemberError) Unwrap() error { return e.Err }
+
+func memberErr(index, machine int, op string, err error) error {
+	return &MemberError{Index: index, Machine: machine, Op: op, Err: err}
+}
+
+// normWindow clamps a window to [1, ...], defaulting to DefaultWindow.
+func normWindow(w int) int {
+	if w < 1 {
+		return DefaultWindow
+	}
+	return w
+}
+
+// FanOut invokes method on every ref concurrently with at most window
+// requests in flight, collecting responses in member order. args (may be
+// nil) encodes member i's arguments; collect (may be nil) decodes member
+// i's reply — the decoder and any views of it are valid only until
+// collect returns, after which the response frame is recycled.
+//
+// Every member is attempted even after failures; the result is
+// errors.Join of one MemberError per failed member (nil if all
+// succeeded).
+func FanOut(ctx context.Context, client *Client, refs []Ref, method string, args func(i int, e *wire.Encoder) error, collect func(i int, d *wire.Decoder) error, window int, opts ...CallOption) error {
+	window = normWindow(window)
+	n := len(refs)
+	futs := make([]*Future, n)
+	var errs []error
+	issued := 0
+	for done := 0; done < n; done++ {
+		for issued < n && issued < done+window {
+			i := issued
+			var enc ArgEncoder
+			if args != nil {
+				enc = func(e *wire.Encoder) error { return args(i, e) }
+			}
+			futs[i] = client.CallAsync(ctx, refs[i], method, enc, opts...)
+			issued++
+		}
+		d, err := futs[done].Wait(ctx)
+		if err != nil {
+			errs = append(errs, memberErr(done, refs[done].Machine, method, err))
+			futs[done] = nil
+			continue
+		}
+		if collect != nil {
+			if err := collect(done, d); err != nil {
+				errs = append(errs, memberErr(done, refs[done].Machine, method, err))
+			}
+		}
+		futs[done].Release()
+		futs[done] = nil
+	}
+	return errors.Join(errs...)
+}
+
+// spawnDrainGrace bounds how long an aborted spawn waits for in-flight
+// constructions to resolve so their objects can be deleted; a
+// construction hung past it is abandoned (its object leaks only if the
+// constructor eventually succeeds after the grace).
+const spawnDrainGrace = 10 * time.Second
+
+// SpawnRefs constructs one object of class per entry of machines,
+// concurrently with at most window constructions in flight, and returns
+// the member refs in order. args (may be nil) encodes member i's
+// constructor arguments.
+//
+// On any failure no member object leaks: issuing stops, every
+// already-issued construction future is drained — including futures that
+// had not yet resolved when the failure surfaced — and every
+// successfully constructed member is deleted. Cleanup runs even when
+// ctx caused the failure: constructions are issued on a
+// cancellation-detached context (caller cancellation stops new work and
+// fails the spawn, but cannot orphan an in-flight construction, whose
+// ref the teardown needs), and the post-abort drain is bounded by
+// spawnDrainGrace. The returned error is errors.Join of one MemberError
+// per failed member.
+func SpawnRefs(ctx context.Context, client *Client, machines []int, class string, args func(i int, e *wire.Encoder) error, window int, opts ...CallOption) ([]Ref, error) {
+	window = normWindow(window)
+	n := len(machines)
+	refs := make([]Ref, n)
+	futs := make([]*Future, n)
+	var errs []error
+	issueCtx := context.WithoutCancel(ctx)
+	var graceDeadline time.Time
+	canceled := false
+	abort := func() {
+		canceled = true
+		errs = append(errs, fmt.Errorf("rmi: spawning %s aborted: %w", class, ctx.Err()))
+	}
+	issued, done := 0, 0
+	for done < issued || (issued < n && len(errs) == 0) {
+		if !canceled && ctx.Err() != nil {
+			abort()
+		}
+		for issued < n && issued < done+window && len(errs) == 0 {
+			i := issued
+			var enc ArgEncoder
+			if args != nil {
+				enc = func(e *wire.Encoder) error { return args(i, e) }
+			}
+			fut, err := client.NewAsync(issueCtx, machines[i], class, enc, opts...)
+			if err != nil {
+				errs = append(errs, memberErr(i, machines[i], "spawn "+class, err))
+				break
+			}
+			futs[i] = fut
+			issued++
+		}
+		if done < issued {
+			fut := futs[done]
+			resolved := false
+			if !canceled {
+				// Stay responsive to the caller without aborting the
+				// future itself (a Wait(ctx) abort would unregister the
+				// request and lose the constructed object's ref).
+				select {
+				case <-fut.Done():
+					resolved = true
+				case <-ctx.Done():
+					abort()
+				}
+			}
+			if !resolved {
+				// Aborted: wait out the (shared) grace for the in-flight
+				// construction so its object can still be deleted.
+				if graceDeadline.IsZero() {
+					graceDeadline = time.Now().Add(spawnDrainGrace)
+				}
+				timer := time.NewTimer(time.Until(graceDeadline))
+				select {
+				case <-fut.Done():
+					resolved = true
+				case <-timer.C:
+					// Hung past the grace: abandoned.
+				}
+				timer.Stop()
+			}
+			if resolved {
+				r, err := fut.Ref(issueCtx)
+				switch {
+				case err == nil:
+					refs[done] = r
+				case !canceled:
+					errs = append(errs, memberErr(done, machines[done], "spawn "+class, err))
+				}
+			}
+			done++
+		}
+	}
+	if len(errs) > 0 {
+		// Best-effort teardown of the members that did construct. The
+		// cleanup context survives cancellation of ctx: an aborted spawn
+		// must still not leak server-side objects.
+		for _, r := range refs {
+			if !r.IsNil() {
+				_ = client.Delete(issueCtx, r)
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+	return refs, nil
+}
+
+// BarrierRefs synchronizes with every member: it completes when each
+// member has processed all messages sent to it before the barrier (a
+// no-op message through each member's FIFO mailbox, fanned out with the
+// collective window).
+func BarrierRefs(ctx context.Context, client *Client, refs []Ref, window int) error {
+	return FanOut(ctx, client, refs, methodPing, nil, nil, window)
+}
+
+// DeleteRefs destroys every member concurrently (bounded by window) and
+// returns errors.Join of the per-member failures.
+func DeleteRefs(ctx context.Context, client *Client, refs []Ref, window int) error {
+	window = normWindow(window)
+	if window > len(refs) {
+		window = len(refs)
+	}
+	if window < 1 {
+		return nil
+	}
+	sem := make(chan struct{}, window)
+	errSlots := make([]error, len(refs))
+	for i, r := range refs {
+		sem <- struct{}{}
+		go func(i int, r Ref) {
+			defer func() { <-sem }()
+			if err := client.Delete(ctx, r); err != nil {
+				errSlots[i] = memberErr(i, r.Machine, "delete", err)
+			}
+		}(i, r)
+	}
+	for i := 0; i < cap(sem); i++ {
+		sem <- struct{}{}
+	}
+	return errors.Join(errSlots...)
+}

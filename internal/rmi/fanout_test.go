@@ -1,0 +1,202 @@
+package rmi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"oopp/internal/transport"
+	"oopp/internal/wire"
+)
+
+func init() {
+	// slowCtor stalls its constructor, so a failing sibling in the same
+	// spawn surfaces while this member's construction future is still
+	// unresolved — the cleanup path the fan-out engine must cover.
+	Register("test.SlowCtor", func(env *Env, args *wire.Decoder) (any, error) {
+		stallMs := args.Int()
+		fail := args.Bool()
+		if err := args.Err(); err != nil {
+			return nil, err
+		}
+		if stallMs > 0 {
+			time.Sleep(time.Duration(stallMs) * time.Millisecond)
+		}
+		if fail {
+			return nil, fmt.Errorf("slowctor: told to fail")
+		}
+		return &echo{}, nil
+	})
+}
+
+// TestGroupCallJoinsAllErrors verifies the collective error contract:
+// every member is attempted and every failure is reported with its
+// member index — no silent first-error abort.
+func TestGroupCallJoinsAllErrors(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 3)
+	defer stop()
+	c := nodes[0].client
+	g, err := SpawnGroup(bg, c, []int{0, 1, 2}, "test.Counter", func(i int, e *wire.Encoder) error {
+		e.PutInt(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("SpawnGroup: %v", err)
+	}
+	defer g.Delete(bg)
+
+	for _, call := range []struct {
+		name string
+		run  func() error
+	}{
+		{"Call", func() error { return g.Call(bg, "fail", nil) }},
+		{"CallParallel", func() error { return g.CallParallel(bg, "fail", nil) }},
+		{"CallParallelResults", func() error {
+			return g.CallParallelResults(bg, "fail", nil, func(i int, d *wire.Decoder) error { return nil })
+		}},
+	} {
+		err := call.run()
+		if err == nil {
+			t.Fatalf("%s: expected failure", call.name)
+		}
+		joined, ok := err.(interface{ Unwrap() []error })
+		if !ok {
+			t.Fatalf("%s: error is not a join: %v", call.name, err)
+		}
+		subs := joined.Unwrap()
+		if len(subs) != g.Len() {
+			t.Fatalf("%s: %d member errors, want %d: %v", call.name, len(subs), g.Len(), err)
+		}
+		seen := map[int]bool{}
+		for _, sub := range subs {
+			var me *MemberError
+			if !errors.As(sub, &me) {
+				t.Fatalf("%s: member error %v lacks index", call.name, sub)
+			}
+			seen[me.Index] = true
+		}
+		for i := 0; i < g.Len(); i++ {
+			if !seen[i] {
+				t.Fatalf("%s: member %d missing from %v", call.name, i, err)
+			}
+		}
+	}
+
+	// Counters on all members must still respond: the failed collective
+	// attempted every member rather than aborting.
+	if err := g.Barrier(bg); err != nil {
+		t.Fatalf("barrier after failures: %v", err)
+	}
+}
+
+// TestSpawnRefsFailureWithPendingFutures covers the leak path the
+// historic SpawnGroup missed: a member fails while sibling construction
+// futures have not resolved yet. Cleanup must wait for them and delete
+// every constructed member.
+func TestSpawnRefsFailureWithPendingFutures(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 3)
+	defer stop()
+	c := nodes[0].client
+
+	_, err := SpawnRefs(bg, c, []int{0, 1, 2}, "test.SlowCtor", func(i int, e *wire.Encoder) error {
+		if i == 1 {
+			e.PutInt(0) // fail fast...
+			e.PutBool(true)
+		} else {
+			e.PutInt(30) // ...while the siblings are still constructing
+			e.PutBool(false)
+		}
+		return nil
+	}, DefaultWindow)
+	if err == nil {
+		t.Fatal("expected spawn failure")
+	}
+	var me *MemberError
+	if !errors.As(err, &me) || me.Index != 1 {
+		t.Fatalf("failure does not name member 1: %v", err)
+	}
+	for m := 0; m < 3; m++ {
+		live, _, serr := c.Stat(bg, m)
+		if serr != nil {
+			t.Fatalf("stat %d: %v", m, serr)
+		}
+		if live != 0 {
+			t.Fatalf("machine %d has %d live objects after failed spawn", m, live)
+		}
+	}
+}
+
+// TestSpawnRefsCancellationCleansUp covers the abort path: the caller's
+// context is canceled while constructions are in flight. The spawn must
+// fail with the cancellation, yet still drain the in-flight futures
+// (issued on a detached context, so their refs are recoverable) and
+// delete every constructed object.
+func TestSpawnRefsCancellationCleansUp(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 3)
+	defer stop()
+	c := nodes[0].client
+
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := SpawnRefs(ctx, c, []int{0, 1, 2}, "test.SlowCtor", func(i int, e *wire.Encoder) error {
+		e.PutInt(40) // every constructor outlives the cancellation
+		e.PutBool(false)
+		return nil
+	}, DefaultWindow)
+	if err == nil {
+		t.Fatal("expected cancellation failure")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry the cancellation: %v", err)
+	}
+	for m := 0; m < 3; m++ {
+		live, _, serr := c.Stat(bg, m)
+		if serr != nil {
+			t.Fatalf("stat %d: %v", m, serr)
+		}
+		if live != 0 {
+			t.Fatalf("machine %d has %d live objects after canceled spawn", m, live)
+		}
+	}
+}
+
+// TestSpawnRefsWindowed checks a spawn wider than its window completes
+// and places members correctly.
+func TestSpawnRefsWindowed(t *testing.T) {
+	nodes, stop := startCluster(t, transport.NewInproc(transport.LinkModel{}), 2)
+	defer stop()
+	c := nodes[0].client
+	machines := []int{0, 1, 0, 1, 0, 1, 0}
+	refs, err := SpawnRefs(bg, c, machines, "test.Counter", func(i int, e *wire.Encoder) error {
+		e.PutInt(i)
+		return nil
+	}, 2)
+	if err != nil {
+		t.Fatalf("SpawnRefs: %v", err)
+	}
+	if len(refs) != len(machines) {
+		t.Fatalf("%d refs", len(refs))
+	}
+	for i, r := range refs {
+		if r.Machine != machines[i] {
+			t.Fatalf("member %d on machine %d, want %d", i, r.Machine, machines[i])
+		}
+	}
+	if err := DeleteRefs(bg, c, refs, 3); err != nil {
+		t.Fatalf("DeleteRefs: %v", err)
+	}
+	for m := 0; m < 2; m++ {
+		live, _, err := c.Stat(bg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live != 0 {
+			t.Fatalf("machine %d has %d live objects", m, live)
+		}
+	}
+}

@@ -2,64 +2,40 @@ package rmi
 
 import (
 	"context"
-	"fmt"
+	"errors"
 
 	"oopp/internal/wire"
 )
 
 // Group is an array of remote processes operated on collectively — the
-// paper's "FFT * fft[N]" pattern (§4). It provides the broadcast-call
-// idiom and the compiler-supported barrier the paper proposes.
+// paper's "FFT * fft[N]" pattern (§4). It is the untyped adapter over
+// the collective fan-out engine (see fanout.go); typed code should
+// prefer internal/collection's Collection[T], which runs on the same
+// engine with typed members, reductions, and distribution descriptors.
+//
+// Collective calls attempt every member and return errors.Join of all
+// member failures, each a MemberError carrying the member index — never
+// a silent first-error abort.
 type Group struct {
 	client *Client
 	refs   []Ref
+	window int
 }
 
 // NewGroup wraps refs into a group. The slice is not copied.
 func NewGroup(client *Client, refs []Ref) *Group {
-	return &Group{client: client, refs: refs}
+	return &Group{client: client, refs: refs, window: DefaultWindow}
 }
 
 // SpawnGroup constructs one object of class on each of the given machines
 // (the paper's "for id: fft[id] = new(machine id) FFT(id)" loop),
-// in parallel. args is invoked with the member index so each member can
-// receive distinct constructor arguments.
+// concurrently with a bounded window. args is invoked with the member
+// index so each member can receive distinct constructor arguments. On
+// failure no member object leaks (see SpawnRefs).
 func SpawnGroup(ctx context.Context, client *Client, machines []int, class string, args func(i int, e *wire.Encoder) error, opts ...CallOption) (*Group, error) {
-	futs := make([]*Future, len(machines))
-	for i, m := range machines {
-		var enc ArgEncoder
-		if args != nil {
-			i := i
-			enc = func(e *wire.Encoder) error { return args(i, e) }
-		}
-		fut, err := client.NewAsync(ctx, m, class, enc, opts...)
-		if err != nil {
-			// Best effort cleanup of the members already being built.
-			for j := 0; j < i; j++ {
-				if r, rerr := futs[j].Ref(ctx); rerr == nil {
-					_ = client.Delete(ctx, r)
-				}
-			}
-			return nil, err
-		}
-		futs[i] = fut
-	}
-	refs := make([]Ref, len(machines))
-	var firstErr error
-	for i, fut := range futs {
-		r, err := fut.Ref(ctx)
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rmi: spawning group member %d: %w", i, err)
-		}
-		refs[i] = r
-	}
-	if firstErr != nil {
-		for _, r := range refs {
-			if !r.IsNil() {
-				_ = client.Delete(ctx, r)
-			}
-		}
-		return nil, firstErr
+	refs, err := SpawnRefs(ctx, client, machines, class, args, DefaultWindow, opts...)
+	if err != nil {
+		return nil, err
 	}
 	return NewGroup(client, refs), nil
 }
@@ -73,9 +49,17 @@ func (g *Group) Len() int { return len(g.refs) }
 // Member returns the i-th member.
 func (g *Group) Member(i int) Ref { return g.refs[i] }
 
+// SetWindow bounds the number of outstanding requests in the group's
+// collective operations. Values < 1 reset to DefaultWindow.
+func (g *Group) SetWindow(w int) { g.window = normWindow(w) }
+
 // Call invokes method on every member sequentially — the paper's plain
-// "for (id...) fft[id]->transform(...)" loop with §2 semantics.
+// "for (id...) fft[id]->transform(...)" loop with §2 semantics: each
+// member's call completes before the next is issued. Unlike the historic
+// first-error abort, every member is attempted and the result is
+// errors.Join of all member failures.
 func (g *Group) Call(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, opts ...CallOption) error {
+	var errs []error
 	for i, ref := range g.refs {
 		var enc ArgEncoder
 		if args != nil {
@@ -85,85 +69,35 @@ func (g *Group) Call(ctx context.Context, method string, args func(i int, e *wir
 		d, err := g.client.Call(ctx, ref, method, enc, opts...)
 		d.Release()
 		if err != nil {
-			return fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
+			errs = append(errs, memberErr(i, ref.Machine, method, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// CallParallel is the §4 compiler-split version of Call: issue every
-// request (send loop), then collect every response (receive loop).
+// CallParallel is the §4 compiler-split version of Call: member calls are
+// issued concurrently through the async lanes with a bounded in-flight
+// window, and the group waits for all of them.
 func (g *Group) CallParallel(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, opts ...CallOption) error {
-	futs := make([]*Future, len(g.refs))
-	for i, ref := range g.refs {
-		var enc ArgEncoder
-		if args != nil {
-			i := i
-			enc = func(e *wire.Encoder) error { return args(i, e) }
-		}
-		futs[i] = g.client.CallAsync(ctx, ref, method, enc, opts...)
-	}
-	return WaitAll(ctx, futs)
+	return FanOut(ctx, g.client, g.refs, method, args, nil, g.window, opts...)
 }
 
 // CallParallelResults is CallParallel for methods with results: collect
-// applies each member's reply decoder in member order.
+// applies each member's reply decoder in member order. The decoder is
+// valid only until collect returns (the frame recycles afterwards).
 func (g *Group) CallParallelResults(ctx context.Context, method string, args func(i int, e *wire.Encoder) error, collect func(i int, d *wire.Decoder) error, opts ...CallOption) error {
-	futs := make([]*Future, len(g.refs))
-	for i, ref := range g.refs {
-		var enc ArgEncoder
-		if args != nil {
-			i := i
-			enc = func(e *wire.Encoder) error { return args(i, e) }
-		}
-		futs[i] = g.client.CallAsync(ctx, ref, method, enc, opts...)
-	}
-	var firstErr error
-	for i, fut := range futs {
-		d, err := fut.Wait(ctx)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rmi: group call %s on member %d: %w", method, i, err)
-			}
-			continue
-		}
-		if collect != nil && firstErr == nil {
-			if err := collect(i, d); err != nil {
-				firstErr = err
-			}
-		}
-		d.Release()
-	}
-	return firstErr
+	return FanOut(ctx, g.client, g.refs, method, args, collect, g.window, opts...)
 }
 
 // Barrier synchronizes with every member process: it completes when each
 // member has processed all messages sent to it before the barrier — the
-// paper's "fft->barrier()" (§4). Implementation: a no-op message through
-// each member's FIFO mailbox, issued in parallel.
+// paper's "fft->barrier()" (§4).
 func (g *Group) Barrier(ctx context.Context) error {
-	futs := make([]*Future, len(g.refs))
-	for i, ref := range g.refs {
-		futs[i] = g.client.CallAsync(ctx, ref, methodPing, nil)
-	}
-	err := WaitAll(ctx, futs)
-	for _, f := range futs {
-		f.Release() // ping responses are empty; recycle their frames
-	}
-	return err
+	return BarrierRefs(ctx, g.client, g.refs, g.window)
 }
 
-// Delete destroys every member, in parallel, returning the first error.
+// Delete destroys every member, concurrently, returning errors.Join of
+// the per-member failures.
 func (g *Group) Delete(ctx context.Context) error {
-	errs := make(chan error, len(g.refs))
-	for _, ref := range g.refs {
-		go func(r Ref) { errs <- g.client.Delete(ctx, r) }(ref)
-	}
-	var first error
-	for range g.refs {
-		if err := <-errs; err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return DeleteRefs(ctx, g.client, g.refs, g.window)
 }

@@ -155,6 +155,11 @@ func classSpecFor[T any]() (*ClassSpec, error) {
 	return spec, nil
 }
 
+// SpecFor resolves the ClassSpec registered for type T (accepting the
+// pointer type too, like NewOn). It is the resolver the typed
+// collection layer builds its Spawn[T] on.
+func SpecFor[T any]() (*ClassSpec, error) { return classSpecFor[T]() }
+
 // NewOn constructs an object of the class registered for type T on
 // machine m, encoding args with the tagged generic encoding — the typed
 // rendering of "new(machine m) T(args...)". The class's constructor must

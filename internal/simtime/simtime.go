@@ -2,7 +2,10 @@
 // hardware models (network links, disks).
 package simtime
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Sleep blocks for d, trading between two failure modes of modeled
 // delays:
@@ -28,6 +31,40 @@ func Sleep(d time.Duration) {
 		return
 	}
 	deadline := time.Now().Add(d)
+	spinUntil(deadline)
+}
+
+// spinUntil busy-waits to a deadline, yielding the processor every
+// iteration. The yield is what keeps many modeled delays concurrent on
+// few CPUs: a spinner that monopolized its P would starve other
+// runnable goroutines — including waiters whose deadlines have already
+// passed — serializing delays that are supposed to overlap. With the
+// yield, every runnable goroutine keeps progressing while the wall
+// clock runs down all outstanding deadlines together.
+func spinUntil(deadline time.Time) {
 	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// SleepUntil blocks until the monotonic clock reaches t, with the same
+// spin-vs-sleep policy as Sleep. Waiting on an instant (rather than a
+// duration) is what lets many goroutines share one modeled delay: all
+// waiters of the same deadline finish when the wall clock reaches it
+// once, so N concurrent modeled transfers cost ~one delay of wall time,
+// not N — even on a single CPU, where the spins interleave but the
+// clock advances for all of them together.
+func SleepUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		if d <= 0 {
+			return
+		}
+		if d >= time.Millisecond {
+			time.Sleep(d)
+			continue
+		}
+		spinUntil(t)
+		return
 	}
 }

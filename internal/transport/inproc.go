@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"oopp/internal/bufpool"
 )
@@ -63,15 +64,15 @@ func (t *Inproc) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
 	}
 
-	// A connection is two directed channels; each side sees (send, recv).
-	a2b := make(chan []byte, 64)
-	b2a := make(chan []byte, 64)
+	// A connection is two directed channels; each side sees (send, recv)
+	// and owns its outbound link direction (full-duplex occupancy).
+	a2b := make(chan inprocMsg, 64)
+	b2a := make(chan inprocMsg, 64)
 	shared := &inprocShared{
 		closed: make(chan struct{}),
-		link:   &link{model: t.model},
 	}
-	client := &inprocConn{send: a2b, recv: b2a, shared: shared}
-	server := &inprocConn{send: b2a, recv: a2b, shared: shared}
+	client := &inprocConn{send: a2b, recv: b2a, out: &link{model: t.model}, shared: shared}
+	server := &inprocConn{send: b2a, recv: a2b, out: &link{model: t.model}, shared: shared}
 
 	select {
 	case l.backlog <- server:
@@ -118,12 +119,21 @@ func (l *inprocListener) Addr() string { return l.addr }
 type inprocShared struct {
 	closed    chan struct{}
 	closeOnce sync.Once
-	link      *link
+}
+
+// inprocMsg is one in-flight message: the frame plus its modeled
+// arrival instant (zero for a free link). The delay is paid by the
+// receiver waiting for the instant, not by the sender's CPU — see
+// link.arrival.
+type inprocMsg struct {
+	frame   []byte
+	arrival time.Time
 }
 
 type inprocConn struct {
-	send   chan []byte
-	recv   chan []byte
+	send   chan inprocMsg
+	recv   chan inprocMsg
+	out    *link
 	shared *inprocShared
 }
 
@@ -132,10 +142,12 @@ func (c *inprocConn) Send(msg []byte) error {
 	// memcpy — the paper's point that remote invocation cost should be
 	// dominated by modeled data movement, not by runtime bookkeeping. The
 	// caller gave up the buffer, so on a closed connection it is recycled
-	// rather than returned.
-	c.shared.link.delay(len(msg))
+	// rather than returned. Send stamps the modeled arrival instant and
+	// returns: the sender is occupied only while the link transmits
+	// (bandwidth term), never for the propagation delay.
+	m := inprocMsg{frame: msg, arrival: c.out.arrival(len(msg))}
 	select {
-	case c.send <- msg:
+	case c.send <- m:
 		return nil
 	case <-c.shared.closed:
 		bufpool.Put(msg)
@@ -165,19 +177,25 @@ func (c *inprocConn) Recv() ([]byte, error) {
 	// cases race, and an arbitrary pick could report ErrClosed while
 	// responses sit in the channel. Polling the data channel first — and
 	// draining it until empty after close — means an orderly shutdown
-	// never drops an already-delivered message.
+	// never drops an already-delivered message. Delivery waits for the
+	// message's modeled arrival instant; waits on the same instant across
+	// connections overlap (see simtime.SleepUntil).
+	deliver := func(m inprocMsg) ([]byte, error) {
+		awaitArrival(m.arrival)
+		return m.frame, nil
+	}
 	select {
-	case msg := <-c.recv:
-		return msg, nil
+	case m := <-c.recv:
+		return deliver(m)
 	default:
 	}
 	select {
-	case msg := <-c.recv:
-		return msg, nil
+	case m := <-c.recv:
+		return deliver(m)
 	case <-c.shared.closed:
 		select {
-		case msg := <-c.recv:
-			return msg, nil
+		case m := <-c.recv:
+			return deliver(m)
 		default:
 			return nil, ErrClosed
 		}

@@ -25,10 +25,12 @@ type LinkModel struct {
 	// Bandwidth is the link throughput in bytes per second. Zero means
 	// infinite bandwidth.
 	Bandwidth float64
-	// Serialize, if true, makes the link half-duplex per direction: a
-	// message must finish transmitting before the next one starts, so
-	// concurrent senders queue. This models a shared NIC. If false each
-	// message is delayed independently (an idealized switch fabric).
+	// Serialize, if true, holds the link direction for a message's whole
+	// transfer (propagation included) before the next may start — a
+	// half-duplex NIC. If false only the transmission time (the
+	// bandwidth term) occupies the direction, and propagation delays
+	// overlap freely (an idealized switch fabric with finite injection
+	// rate).
 	Serialize bool
 }
 
@@ -46,23 +48,53 @@ func (m LinkModel) TransferTime(n int) time.Duration {
 	return d
 }
 
-// link applies a LinkModel to one direction of a connection.
+// link applies a LinkModel to one direction of a connection by deadline
+// accounting: a send computes the message's arrival instant and returns
+// immediately; the receiver waits for that instant before delivery.
+// Propagation therefore happens "in the network" — off every goroutine's
+// CPU — so modeled latencies on distinct links overlap, which is what
+// lets a collective broadcast over N machines complete in ~max(member
+// latency) instead of the sum even on one core. The bandwidth term is
+// transmission occupancy: it advances a per-direction busy clock, so
+// back-to-back messages on one link still serialize at the modeled
+// throughput (the E2 bulk ceiling).
 type link struct {
 	model LinkModel
-	mu    sync.Mutex // used only when model.Serialize
+
+	mu        sync.Mutex
+	busyUntil time.Time // the direction's transmitter is occupied until here
 }
 
-// delay blocks for the modeled transfer time of an n-byte message.
-func (l *link) delay(n int) {
+// arrival returns the modeled delivery instant of an n-byte message sent
+// now, advancing the link's occupancy clock. The zero time means "no
+// modeled delay" (free link).
+func (l *link) arrival(n int) time.Time {
 	if l.model.IsZero() {
+		return time.Time{}
+	}
+	total := l.model.TransferTime(n)
+	hold := total - l.model.Latency // transmission time: the serializing term
+	if l.model.Serialize {
+		// Half-duplex NIC: the whole transfer (propagation included)
+		// must finish before the next message starts transmitting.
+		hold = total
+	}
+	now := time.Now()
+	l.mu.Lock()
+	start := now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	l.busyUntil = start.Add(hold)
+	l.mu.Unlock()
+	return start.Add(total)
+}
+
+// awaitArrival blocks until a modeled arrival instant (no-op for the
+// zero instant of a free link).
+func awaitArrival(arrival time.Time) {
+	if arrival.IsZero() {
 		return
 	}
-	d := l.model.TransferTime(n)
-	if l.model.Serialize {
-		// Hold the link for the duration: concurrent senders queue up,
-		// which is what makes bandwidth contention observable.
-		l.mu.Lock()
-		defer l.mu.Unlock()
-	}
-	simtime.Sleep(d)
+	simtime.SleepUntil(arrival)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"oopp/internal/collection"
 	"oopp/internal/rmi"
 )
 
@@ -66,6 +67,75 @@ func InvokeAsync[R any](ctx context.Context, client *Client, ref Ref, method str
 func InvokeVoid(ctx context.Context, client *Client, ref Ref, method string, args ...any) error {
 	return rmi.InvokeVoid(ctx, client, ref, method, args...)
 }
+
+// ---- Typed distributed collections -----------------------------------------
+//
+// Collection[T] is the paper's "FFT * fft[N]" rendered generically: a
+// typed distributed collection of member objects with concurrent
+// broadcast, combining reductions and owner-computes iteration. See
+// internal/collection's package doc for the model; everything below is
+// a direct re-export.
+
+type (
+	// Collection is a typed distributed collection of member objects.
+	Collection[T any] = collection.Collection[T]
+	// Member identifies one collection element: index, owning machine,
+	// remote pointer.
+	Member = collection.Member
+	// MemberEncoder encodes one member's call arguments.
+	MemberEncoder = collection.MemberEncoder
+	// Distribution places collection members over machines (Block,
+	// Cyclic, OnMachines, optionally Replicate-d).
+	Distribution = collection.Distribution
+	// MemberError wraps one member's failure inside a collective
+	// operation's errors.Join aggregate.
+	MemberError = rmi.MemberError
+)
+
+// Block lays members out in contiguous runs over machines.
+func Block(members, machines int) Distribution { return collection.Block(members, machines) }
+
+// Cyclic deals members to machines round-robin.
+func Cyclic(members, machines int) Distribution { return collection.Cyclic(members, machines) }
+
+// OnMachines places one member per listed machine, in order.
+func OnMachines(machines ...int) Distribution { return collection.OnMachines(machines...) }
+
+// Spawn constructs a collection of the class registered for type T, one
+// member per slot of dist, with tagged constructor args — the
+// collective form of NewOn[T].
+func Spawn[T any](ctx context.Context, client *Client, dist Distribution, args ...any) (*Collection[T], error) {
+	return collection.Spawn[T](ctx, client, dist, args...)
+}
+
+// SpawnClass constructs a collection through a typed class handle with
+// per-member packed constructor arguments.
+func SpawnClass[T any](ctx context.Context, client *Client, dist Distribution, class *Class[T], args MemberEncoder, opts ...CallOption) (*Collection[T], error) {
+	return collection.SpawnClass(ctx, client, dist, class, args, opts...)
+}
+
+// AttachCollection wraps existing remote pointers into a collection
+// without constructing anything.
+func AttachCollection[T any](client *Client, refs []Ref) *Collection[T] {
+	return collection.FromRefs[T](client, refs)
+}
+
+// Reduce invokes method on every member concurrently and combines the
+// decoded per-member results with the monoid combine, in member order.
+func Reduce[T, R any](ctx context.Context, c *Collection[T], method string, args MemberEncoder, dec func(m Member, d *Decoder) (R, error), combine func(R, R) R, opts ...CallOption) (R, error) {
+	return collection.Reduce(ctx, c, method, args, dec, combine, opts...)
+}
+
+// MapIndexed runs fn once per member, concurrently with the
+// collection's window bound — owner-computes iteration with member
+// index and locality info.
+func MapIndexed[T, R any](ctx context.Context, c *Collection[T], fn func(ctx context.Context, m Member) (R, error)) ([]R, error) {
+	return collection.MapIndexed(ctx, c, fn)
+}
+
+// FailedMembers extracts the member indices from a collective
+// operation's errors.Join aggregate.
+func FailedMembers(err error) []int { return collection.Failed(err) }
 
 // WithTimeout bounds a remote operation (dial, send, remote execution,
 // response) to d. The deadline is armed at issue time and travels with
