@@ -1,0 +1,291 @@
+// benchcheck compares oppbench JSON snapshots against a committed
+// baseline and fails (exit 1) on regressions beyond a tolerance — the
+// performance gate CI runs on every change.
+//
+//	go run ./cmd/oppbench -quick -json BENCH_run1.json   # repeat 2-3x
+//	go run ./cmd/benchcheck -baseline BENCH_baseline.json BENCH_run*.json
+//
+// Several run files may be given: benchcheck takes the best value per
+// metric across them (min for latencies, max for throughputs), which
+// suppresses scheduler noise — the best of N runs of a modeled-link
+// benchmark is very stable, while a single run can be arbitrarily
+// unlucky on a busy CI host.
+//
+// Metrics are classified by column header:
+//
+//   - allocs and message counts ("allocs/op", "msgs") are deterministic
+//     and always compared — they are the allocation-trajectory gate;
+//   - latencies ("µs", "ms") compare lower-is-better, throughputs
+//     ("MB/s", "ops/s") higher-is-better;
+//   - derived columns (speedups, ratios, percentages) are skipped: their
+//     inputs are already compared, and double-counting doubles flakes;
+//   - experiments listed in -timing-skip compare only their
+//     deterministic columns. Use it for CPU-bound experiments (real FFT
+//     math, raw-socket latency) whose absolute numbers are hardware
+//     facts, not code properties, and would punish a slower CI host.
+//
+// Refresh the baseline after an intentional perf change:
+//
+//	go run ./cmd/benchcheck -write-baseline BENCH_baseline.json BENCH_run*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// table mirrors oppbench's JSON output shape.
+type table struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim,omitempty"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms,omitempty"`
+}
+
+// direction of a metric column.
+type direction int
+
+const (
+	skip direction = iota
+	lowerBetter
+	higherBetter
+)
+
+// classify maps a column header to a comparison direction, whether the
+// metric is deterministic (compared even in timing-skipped experiments),
+// and — for timing columns — the unit scale in microseconds, so an
+// absolute noise floor can be applied uniformly across µs and ms
+// columns.
+func classify(col string) (dir direction, deterministic bool, usScale float64) {
+	c := strings.ToLower(col)
+	switch {
+	case strings.Contains(c, "alloc"):
+		return lowerBetter, true, 0
+	case strings.Contains(c, "msgs"):
+		return lowerBetter, true, 0
+	case strings.Contains(c, "speedup"), strings.Contains(c, "ratio"),
+		strings.Contains(c, "vs "), strings.HasPrefix(c, "vs"),
+		strings.Contains(c, "ideal"), strings.Contains(c, "efficiency"):
+		return skip, false, 0
+	case strings.Contains(c, "mb/s"), strings.Contains(c, "ops/s"):
+		return higherBetter, false, 0
+	case strings.Contains(c, "µs"), strings.Contains(c, "us/"):
+		return lowerBetter, false, 1
+	case strings.Contains(c, "ms"), strings.Contains(c, "time"):
+		return lowerBetter, false, 1000
+	default:
+		return skip, false, 0
+	}
+}
+
+// parseCell extracts a float from a rendered cell ("43.5", "1.18x",
+// "98%"). Non-numeric cells (labels, "8/8") report ok=false.
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func load(path string) ([]table, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ts []table
+	if err := json.Unmarshal(b, &ts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ts, nil
+}
+
+// merge folds run b into accumulator a, keeping the better value per
+// metric cell. Shapes must match (same oppbench mode); mismatches keep a.
+func merge(a, b []table) []table {
+	byID := make(map[string]*table, len(a))
+	for i := range a {
+		byID[a[i].ID] = &a[i]
+	}
+	for _, tb := range b {
+		ta, ok := byID[tb.ID]
+		if !ok || len(ta.Rows) != len(tb.Rows) || len(ta.Columns) != len(tb.Columns) {
+			continue
+		}
+		for r := range ta.Rows {
+			for c := range ta.Columns {
+				if c >= len(ta.Rows[r]) || c >= len(tb.Rows[r]) {
+					continue
+				}
+				dir, _, _ := classify(ta.Columns[c])
+				if dir == skip {
+					continue
+				}
+				va, oka := parseCell(ta.Rows[r][c])
+				vb, okb := parseCell(tb.Rows[r][c])
+				if !oka || !okb {
+					continue
+				}
+				if (dir == lowerBetter && vb < va) || (dir == higherBetter && vb > va) {
+					ta.Rows[r][c] = tb.Rows[r][c]
+				}
+			}
+		}
+	}
+	return a
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON to compare against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = 25%)")
+	absSlack := flag.Float64("abs-slack", 1.0, "absolute slack added to deterministic metrics (allocs can jitter by a fraction)")
+	timingSlackUs := flag.Float64("timing-slack-us", 150, "absolute noise floor in µs: timing regressions smaller than this are ignored")
+	timingSkip := flag.String("timing-skip", "", "comma-separated experiment IDs whose timing columns are machine-bound and skipped (deterministic columns still compared)")
+	writeBaseline := flag.String("write-baseline", "", "write the merged best-of runs to this file and exit (baseline seeding)")
+	flag.Parse()
+
+	runs := flag.Args()
+	if len(runs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: need at least one run JSON (see -h)")
+		os.Exit(2)
+	}
+	current, err := load(runs[0])
+	if err != nil {
+		fatal(err)
+	}
+	for _, path := range runs[1:] {
+		next, err := load(path)
+		if err != nil {
+			fatal(err)
+		}
+		current = merge(current, next)
+	}
+
+	if *writeBaseline != "" {
+		blob, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*writeBaseline, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (best of %d runs, %d experiments)\n", *writeBaseline, len(runs), len(current))
+		return
+	}
+
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: need -baseline (or -write-baseline)")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	skipTiming := make(map[string]bool)
+	for _, id := range strings.Split(*timingSkip, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			skipTiming[id] = true
+		}
+	}
+
+	baseByID := make(map[string]table, len(base))
+	for _, t := range base {
+		baseByID[t.ID] = t
+	}
+	var regressions []string
+	compared := 0
+	for _, cur := range current {
+		b, ok := baseByID[cur.ID]
+		if !ok {
+			fmt.Printf("note: %s has no baseline (new experiment?) — skipped\n", cur.ID)
+			continue
+		}
+		if len(b.Rows) != len(cur.Rows) || len(b.Columns) != len(cur.Columns) {
+			fmt.Printf("note: %s changed shape vs baseline — skipped (refresh the baseline)\n", cur.ID)
+			continue
+		}
+		for r := range cur.Rows {
+			for c := range cur.Columns {
+				if c >= len(cur.Rows[r]) || c >= len(b.Rows[r]) {
+					continue
+				}
+				dir, deterministic, usScale := classify(cur.Columns[c])
+				if dir == skip || (skipTiming[cur.ID] && !deterministic) {
+					continue
+				}
+				vb, okb := parseCell(b.Rows[r][c])
+				vc, okc := parseCell(cur.Rows[r][c])
+				if !okb || !okc {
+					continue
+				}
+				compared++
+				limit := vb * (1 + *tolerance)
+				worse := vc > limit
+				if dir == higherBetter {
+					limit = vb * (1 - *tolerance)
+					worse = vc < limit
+				}
+				if deterministic && worse {
+					// Allocation counts jitter by fractions of an op near
+					// pool warm-up; absolute slack absorbs that.
+					worse = vc > vb+*absSlack
+				}
+				if worse && usScale > 0 && (vc-vb)*usScale < *timingSlackUs {
+					// Sub-noise-floor timing delta: a 25% swing on a
+					// 0.2ms wall-clock metric is scheduler jitter, not a
+					// regression. The floor is absolute, so meaningful
+					// regressions on meaningful magnitudes still fail.
+					worse = false
+				}
+				if worse {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s [%s] %s: baseline %s -> current %s (limit %.3g)",
+						cur.ID, strings.Join(rowKey(cur, r), "/"), cur.Columns[c],
+						b.Rows[r][c], cur.Rows[r][c], limit))
+				}
+			}
+		}
+	}
+	fmt.Printf("benchcheck: %d metrics compared across %d experiments (best of %d runs), tolerance %.0f%%\n",
+		compared, len(current), len(runs), *tolerance*100)
+	if len(regressions) > 0 {
+		fmt.Printf("REGRESSIONS (%d):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Println("  " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("no regressions")
+}
+
+// rowKey renders a row's leading label cells (non-numeric prefix) to
+// identify it in reports.
+func rowKey(t table, r int) []string {
+	var key []string
+	for c, cell := range t.Rows[r] {
+		if dir, _, _ := classify(t.Columns[c]); dir != skip {
+			break
+		}
+		key = append(key, cell)
+		if len(key) == 2 {
+			break
+		}
+	}
+	if len(key) == 0 && len(t.Rows[r]) > 0 {
+		key = t.Rows[r][:1]
+	}
+	return key
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -3,14 +3,28 @@
 // transport (classes, stubs, experiments) is identical to the in-process
 // simulation; only the Directory changes.
 //
-// Serve one machine per process (repeat on each host):
+// Serve one machine per process (repeat on each host), with a static
+// address list:
 //
 //	oppcluster -serve -machine 0 -addr 127.0.0.1:9100 -peers 127.0.0.1:9100,127.0.0.1:9101
 //	oppcluster -serve -machine 1 -addr 127.0.0.1:9101 -peers 127.0.0.1:9100,127.0.0.1:9101
 //
-// Then run the demo client against the address list:
+// or with a shared file registry and ephemeral ports (each server
+// publishes its address; clients resolve through the same directory):
+//
+//	oppcluster -serve -machine 0 -machines 2 -registry /shared/reg
+//	oppcluster -serve -machine 1 -machines 2 -registry /shared/reg
+//
+// Then run the demo client against the address list or registry:
 //
 //	oppcluster -demo -peers 127.0.0.1:9100,127.0.0.1:9101
+//	oppcluster -demo -machines 2 -registry /shared/reg
+//
+// A serving process shuts down gracefully on SIGINT/SIGTERM: it drains
+// (finishes in-flight calls, refuses new ones with a typed error) for up
+// to -drain, then closes. The exit status is 0 only for a clean
+// boot-serve-shutdown cycle, so supervisors and CI can detect failed
+// boots and failed drains.
 package main
 
 import (
@@ -22,8 +36,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
-	"oopp/internal/disk"
+	"oopp/internal/cluster"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
@@ -32,88 +47,141 @@ import (
 
 func main() {
 	serve := flag.Bool("serve", false, "run a machine server")
-	demo := flag.Bool("demo", false, "run the demo client against -peers")
+	demo := flag.Bool("demo", false, "run the demo client against the cluster")
 	machine := flag.Int("machine", 0, "this machine's index (serve mode)")
+	machines := flag.Int("machines", 0, "cluster size (defaults to the number of -peers)")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address (serve mode)")
 	peers := flag.String("peers", "", "comma-separated machine addresses, index order")
+	registry := flag.String("registry", "", "shared registry directory (alternative to -peers)")
 	disks := flag.Int("disks", 1, "simulated disks per machine (serve mode)")
 	diskMB := flag.Int64("diskmb", 64, "simulated disk size in MiB")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	flag.Parse()
 
-	peerList := []string{}
-	if *peers != "" {
-		peerList = strings.Split(*peers, ",")
-	}
-
+	var err error
 	switch {
 	case *serve:
-		runServer(*machine, *addr, peerList, *disks, *diskMB<<20)
+		err = runServer(*machine, *machines, *addr, *peers, *registry, *disks, *diskMB<<20, *drain)
 	case *demo:
-		runDemo(peerList)
+		err = runDemo(*machines, *peers, *registry)
 	default:
 		fmt.Fprintln(os.Stderr, "need -serve or -demo (see -h)")
 		os.Exit(2)
 	}
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
 }
 
-func runServer(machine int, addr string, peers []string, disks int, diskSize int64) {
-	env := rmi.NewEnv(machine)
-	env.Machines = len(peers)
-	for j := 0; j < disks; j++ {
-		d := disk.NewMem(fmt.Sprintf("m%d/disk%d", machine, j), diskSize, disk.Model{})
-		env.PutResource(fmt.Sprintf("disk/%d", j), d)
-	}
-	srv, err := rmi.NewServer(machine, transport.TCP{}, addr, env)
+// directoryFor builds the peer directory from -peers or -registry.
+// size 0 is inferred from the peer list.
+func directoryFor(size int, peers, registry string) (rmi.Directory, int, error) {
+	peerList, err := cluster.ParsePeers(peers)
 	if err != nil {
-		log.Fatal(err)
+		return nil, 0, err
 	}
-	env.PutResource(rmi.ResourceServer, srv)
-	if len(peers) > 0 {
-		env.Client = rmi.NewClient(transport.TCP{}, rmi.StaticDirectory(peers))
+	if size == 0 {
+		size = len(peerList)
 	}
-	log.Printf("machine %d serving on %s (classes: %s)", machine, srv.Addr(),
-		strings.Join(rmi.RegisteredClasses(), ", "))
+	switch {
+	case registry != "":
+		if size == 0 {
+			return nil, 0, fmt.Errorf("-registry needs -machines (cluster size)")
+		}
+		reg, err := cluster.NewFileRegistry(registry, size, 5*time.Second)
+		return reg, size, err
+	case len(peerList) > 0:
+		return rmi.StaticDirectory(peerList), size, nil
+	default:
+		return nil, size, nil
+	}
+}
 
+func runServer(machine, machines int, addr, peers, registry string, disks int, diskSize int64, drain time.Duration) error {
+	dir, size, err := directoryFor(machines, peers, registry)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.NodeConfig{
+		Machine:   machine,
+		Addr:      addr,
+		Directory: dir,
+		Machines:  size,
+		Disks:     disks,
+		DiskSize:  diskSize,
+	}
+	if reg, ok := dir.(*cluster.FileRegistry); ok {
+		cfg.Registry = reg
+	}
+	// Install the handler before the server is reachable: a supervisor
+	// that reacts to READY (or to the registry publish) with an immediate
+	// SIGTERM must hit the graceful path, not the default disposition.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("machine %d shutting down", machine)
-	if env.Client != nil {
-		env.Client.Close()
+	node, err := cluster.StartNode(cfg)
+	if err != nil {
+		return fmt.Errorf("machine %d boot: %w", machine, err)
 	}
-	srv.Close()
+	log.Printf("machine %d serving on %s (classes: %s)", machine, node.Addr(),
+		strings.Join(rmi.RegisteredClasses(), ", "))
+	// READY on stdout is the machine's liveness line for supervisors and
+	// the e2e harness; the address lets static-port-free deployments
+	// discover where an ephemeral listen landed.
+	fmt.Printf("READY machine=%d addr=%s\n", machine, node.Addr())
+
+	s := <-sig
+	log.Printf("machine %d: %v — draining (budget %v)", machine, s, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	drainErr := node.Drain(ctx)
+	if drainErr != nil {
+		log.Printf("machine %d drain incomplete: %v", machine, drainErr)
+	}
+	if err := node.Close(); err != nil {
+		return fmt.Errorf("machine %d close: %w", machine, err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("machine %d: %w", machine, drainErr)
+	}
+	log.Printf("machine %d shut down cleanly", machine)
+	return nil
 }
 
-func runDemo(peers []string) {
-	ctx := context.Background()
-	if len(peers) < 2 {
-		log.Fatal("demo needs at least 2 peers")
+func runDemo(machines int, peers, registry string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	dir, _, err := directoryFor(machines, peers, registry)
+	if err != nil {
+		return err
 	}
-	client := rmi.NewClient(transport.TCP{}, rmi.StaticDirectory(peers))
+	if dir == nil || dir.Size() < 2 {
+		return fmt.Errorf("demo needs at least 2 peers")
+	}
+	client := rmi.NewClient(transport.TCP{}, dir)
 	defer client.Close()
 
-	for i := range peers {
-		if err := client.Ping(ctx, i); err != nil {
-			log.Fatalf("machine %d unreachable: %v", i, err)
-		}
+	// Readiness barrier: don't race server start.
+	if err := cluster.WaitReady(ctx, client); err != nil {
+		return fmt.Errorf("cluster not ready: %w", err)
 	}
-	fmt.Printf("all %d machines reachable\n", len(peers))
+	fmt.Printf("all %d machines reachable\n", dir.Size())
 
 	// The §2 quickstart against real remote processes.
 	dev, err := pagedev.NewDevice(ctx, client, 1, "pagefile", 10, 1024, pagedev.DiskPrivate)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	page := make([]byte, 1024)
 	for i := range page {
 		page[i] = byte(i)
 	}
 	if err := dev.Write(ctx, 7, page); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	back, err := dev.Read(ctx, 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ok := true
 	for i := range page {
@@ -123,23 +191,24 @@ func runDemo(peers []string) {
 	}
 	fmt.Printf("page round trip through machine 1: identical=%v\n", ok)
 	if err := dev.Close(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	data, err := rmem.NewFloat64Array(ctx, client, 1, 1024)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := data.Set(ctx, 7, 3.1415); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	v, err := data.Get(ctx, 7)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("remote memory on machine 1: data[7] = %v\n", v)
 	if err := data.Free(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("demo complete")
+	return nil
 }

@@ -128,6 +128,55 @@
 // fill caller-owned buffers in a single pass — the bulk-data path the E2
 // experiment measures against the modeled link bandwidth.
 //
+// # Deployment: one process or many
+//
+// Everything above the transport is deployment-agnostic; a program moves
+// between three shapes without touching its classes or call sites:
+//
+//	shape                       transport        directory            used for
+//	--------------------------  ---------------  -------------------  ----------------------------
+//	one process, free links     inproc           addresses in-proc    unit tests, development
+//	one process, modeled links  inproc+LinkModel addresses in-proc    experiments, benchmarks
+//	one process per machine     tcp              static list or       production, integration
+//	                                             file registry        (cmd/oppcluster, e2e suite)
+//
+// The multi-process shape is the paper's multicomputer made literal:
+// cmd/oppcluster runs one machine per OS process, each hosting an object
+// server, an outbound client for its objects' peer calls, and its
+// disks. Peers are discovered either through a static -peers address
+// list or through a shared file registry (cluster.FileRegistry): every
+// server publishes its listen address into the registry directory
+// atomically, clients and peers resolve through the same directory, and
+// a machine that restarts on a new port is re-resolved on the next
+// dial. cluster.WaitReady is the readiness barrier — it pings every
+// machine with backoff until the cluster answers, so clients never race
+// server start.
+//
+// The runtime keeps the cluster usable when machines misbehave:
+//
+//   - Reconnect: a dropped connection fails its pending calls with a
+//     typed *rmi.MachineDownError and is evicted; the next operation to
+//     that machine redials (with exponential backoff), so a transient
+//     drop or a server restart needs no client surgery.
+//   - Failure detection: rmi.Client.StartHeartbeat probes machines
+//     periodically and, after consecutive misses, declares a machine
+//     down — pending and new calls fail fast with ErrMachineDown
+//     instead of burning timeouts, and a recovered machine is detected
+//     and marked up automatically. Collectives surface the verdict per
+//     member: collection.Failed(err) lists the failed member indices,
+//     collection.FailedMachines(err) the machines.
+//   - Graceful drain: rmi.Server.Drain finishes in-flight calls while
+//     refusing new work with ErrDraining (pings included, so probes see
+//     the machine leaving); oppcluster wires SIGINT/SIGTERM to
+//     drain-then-close and exits non-zero unless the cycle was clean.
+//
+// The internal/e2e package proves all of this over real OS processes
+// and real sockets in CI: typed RMI, collection collectives, and
+// BlockStorage run against 4-process TCP clusters, one server is
+// SIGKILLed under a live collection to assert failure detection and
+// partial success, and a killed machine is restarted to assert
+// registry re-resolution and reconnect.
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:

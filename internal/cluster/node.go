@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"oopp/internal/disk"
+	"oopp/internal/rmi"
+	"oopp/internal/transport"
+)
+
+// NodeConfig describes one machine of a multi-process cluster — the
+// per-process counterpart of Config, which brings up all machines inside
+// one process.
+type NodeConfig struct {
+	// Machine is this node's index.
+	Machine int
+	// Addr is the listen address ("127.0.0.1:0" for ephemeral).
+	Addr string
+	// Transport connects machines; nil defaults to TCP.
+	Transport transport.Transport
+	// Directory resolves peers for the node's outbound client. Nil falls
+	// back to Registry; if both are nil the node runs without an
+	// outbound client (its objects cannot call other machines).
+	Directory rmi.Directory
+	// Registry, when set, receives this node's listen address at startup
+	// (Publish) and doubles as the peer Directory when Directory is nil.
+	Registry *FileRegistry
+	// Machines is the cluster size recorded in the node's Env; 0 infers
+	// it from the directory.
+	Machines int
+	// Disks simulated disks are installed as "disk/0"... Default 0.
+	Disks int
+	// DiskSize is each simulated disk's capacity (default 64 MiB when
+	// Disks > 0).
+	DiskSize int64
+	// DiskModel sets seek/bandwidth simulation for the disks.
+	DiskModel disk.Model
+	// DataDir, when non-empty, backs disks with files under it and gives
+	// the machine a persistence scratch directory.
+	DataDir string
+}
+
+// Node is one running machine of a multi-process cluster: its object
+// server, outbound client, and local disks. It is what cmd/oppcluster
+// runs one-of-per-process, and what the e2e harness boots N of.
+type Node struct {
+	machine int
+	server  *rmi.Server
+	client  *rmi.Client
+	disks   []*disk.Disk
+}
+
+// StartNode brings one machine up: listen, install disks, create the
+// outbound client, and publish the listen address to the registry (if
+// any) so peers and clients can find it.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.TCP{}
+	}
+	dir := cfg.Directory
+	if dir == nil && cfg.Registry != nil {
+		dir = cfg.Registry
+	}
+	machines := cfg.Machines
+	if machines == 0 && dir != nil {
+		machines = dir.Size()
+	}
+	if cfg.Disks > 0 && cfg.DiskSize == 0 {
+		cfg.DiskSize = 64 << 20
+	}
+
+	env := rmi.NewEnv(cfg.Machine)
+	env.Machines = machines
+	n := &Node{machine: cfg.Machine}
+
+	for j := 0; j < cfg.Disks; j++ {
+		var d *disk.Disk
+		name := fmt.Sprintf("m%d/disk%d", cfg.Machine, j)
+		if cfg.DataDir != "" {
+			path := filepath.Join(cfg.DataDir, fmt.Sprintf("machine%d", cfg.Machine))
+			if err := mkdirAll(path); err != nil {
+				n.Close()
+				return nil, err
+			}
+			var err error
+			d, err = disk.NewFile(name, filepath.Join(path, fmt.Sprintf("disk%d.img", j)), cfg.DiskSize, cfg.DiskModel)
+			if err != nil {
+				n.Close()
+				return nil, err
+			}
+			env.DataDir = path
+		} else {
+			d = disk.NewMem(name, cfg.DiskSize, cfg.DiskModel)
+		}
+		env.PutResource(fmt.Sprintf("disk/%d", j), d)
+		n.disks = append(n.disks, d)
+	}
+
+	srv, err := rmi.NewServer(cfg.Machine, tr, cfg.Addr, env)
+	if err != nil {
+		n.Close()
+		return nil, err
+	}
+	n.server = srv
+	env.PutResource(rmi.ResourceServer, srv)
+
+	if dir != nil {
+		n.client = rmi.NewClient(tr, dir)
+		env.Client = n.client
+	}
+	if cfg.Registry != nil {
+		if err := cfg.Registry.Publish(cfg.Machine, srv.Addr()); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Machine returns the node's machine index.
+func (n *Node) Machine() int { return n.machine }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.server.Addr() }
+
+// Server returns the node's object server.
+func (n *Node) Server() *rmi.Server { return n.server }
+
+// Client returns the node's outbound client (nil without a directory).
+func (n *Node) Client() *rmi.Client { return n.client }
+
+// Env returns the node's environment.
+func (n *Node) Env() *rmi.Env { return n.server.Env() }
+
+// Drain gracefully refuses new work and waits (bounded by ctx) for
+// in-flight calls to finish — the first half of a SIGTERM shutdown.
+func (n *Node) Drain(ctx context.Context) error { return n.server.Drain(ctx) }
+
+// Close releases everything: outbound client, server (terminating object
+// processes), disks. Safe on a partially-started node.
+func (n *Node) Close() error {
+	var firstErr error
+	if n.client != nil {
+		if err := n.client.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if n.server != nil {
+		if err := n.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, d := range n.disks {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -335,3 +335,20 @@ func Failed(err error) []int {
 	walkMemberErrors(err, func(me *rmi.MemberError) { out = append(out, me.Index) })
 	return out
 }
+
+// FailedMachines returns the distinct machines named in an error
+// produced by a collective operation, in first-occurrence order. Paired
+// with errors.Is(err, rmi.ErrMachineDown) it answers the operational
+// question after a partial failure: which machines are gone. A nil error
+// yields nil.
+func FailedMachines(err error) []int {
+	seen := make(map[int]bool)
+	var out []int
+	walkMemberErrors(err, func(me *rmi.MemberError) {
+		if !seen[me.Machine] {
+			seen[me.Machine] = true
+			out = append(out, me.Machine)
+		}
+	})
+	return out
+}

@@ -1,0 +1,308 @@
+// Package e2e proves the cluster runtime over real OS processes and real
+// TCP sockets — the deployment shape the paper assumes ("multiple
+// computers machine 0, machine 1, ... are available") and the gap no
+// in-process test can cover: every byte crosses the kernel's socket
+// layer, every machine is a separate address space, and a machine can
+// genuinely die.
+//
+// The harness re-execs the test binary itself as the server processes
+// (TestMain dispatches on RoleEnv), so the e2e suite is self-contained:
+// no prebuilt helper binary, and every class registered by the test
+// binary's imports exists identically in the servers. Discovery and
+// readiness run through the same cluster.FileRegistry + WaitReady
+// bootstrap that cmd/oppcluster uses in production.
+//
+// Server logs land in one file per machine (OPP_E2E_LOG_DIR overrides
+// the location — CI points it at a workspace dir and dumps it when a job
+// fails) and are echoed through t.Log automatically when a test fails.
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"oopp/internal/cluster"
+	"oopp/internal/rmi"
+	"oopp/internal/transport"
+)
+
+// Environment variables of the parent<->server-process protocol.
+const (
+	// RoleEnv selects the process role; TestMain runs ServerMain and
+	// exits when it equals RoleServer.
+	RoleEnv    = "OPP_E2E_ROLE"
+	RoleServer = "server"
+
+	machineEnv  = "OPP_E2E_MACHINE"
+	machinesEnv = "OPP_E2E_MACHINES"
+	registryEnv = "OPP_E2E_REGISTRY"
+	addrEnv     = "OPP_E2E_ADDR"
+	logEnv      = "OPP_E2E_LOG"
+
+	// logDirEnv, when set (CI does), collects the per-machine server
+	// logs under a stable directory instead of the test's temp dir.
+	logDirEnv = "OPP_E2E_LOG_DIR"
+)
+
+// drainBudget bounds the graceful drain a server performs on SIGTERM.
+const drainBudget = 10 * time.Second
+
+// ServerMain is the server-process entry point: bring one machine up
+// from the environment, serve until SIGTERM/SIGINT, drain gracefully,
+// exit 0 only on a clean cycle. It never returns to the test runner.
+func ServerMain() int {
+	machine, _ := strconv.Atoi(os.Getenv(machineEnv))
+	machines, _ := strconv.Atoi(os.Getenv(machinesEnv))
+	regDir := os.Getenv(registryEnv)
+	if logPath := os.Getenv(logEnv); logPath != "" {
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			log.SetOutput(f)
+			os.Stdout = f
+			os.Stderr = f
+		}
+	}
+	log.SetPrefix(fmt.Sprintf("[machine %d] ", machine))
+	if machines < 1 || regDir == "" {
+		log.Printf("bad environment: machines=%d registry=%q", machines, regDir)
+		return 1
+	}
+	reg, err := cluster.NewFileRegistry(regDir, machines, 5*time.Second)
+	if err != nil {
+		log.Printf("registry: %v", err)
+		return 1
+	}
+	// Handler first: the harness may SIGTERM as soon as the registry
+	// publish makes this machine visible.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	node, err := cluster.StartNode(cluster.NodeConfig{
+		Machine:  machine,
+		Addr:     getenvDefault(addrEnv, "127.0.0.1:0"),
+		Registry: reg,
+		Disks:    1,
+		DiskSize: 8 << 20,
+	})
+	if err != nil {
+		log.Printf("boot: %v", err)
+		return 1
+	}
+	log.Printf("serving on %s", node.Addr())
+
+	s := <-sig
+	log.Printf("%v — draining", s)
+	ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	code := 0
+	if err := node.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		code = 1
+	}
+	if err := node.Close(); err != nil {
+		log.Printf("close: %v", err)
+		code = 1
+	}
+	log.Printf("shut down (exit %d)", code)
+	return code
+}
+
+func getenvDefault(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+// clusterSeq disambiguates log file names when one test boots several
+// clusters (or several tests share OPP_E2E_LOG_DIR).
+var clusterSeq atomic.Int64
+
+// Cluster is a running multi-process TCP cluster: n server processes
+// plus a client in the test process, discovered through a shared file
+// registry.
+type Cluster struct {
+	t        testing.TB
+	n        int
+	id       int64
+	exe      string
+	regDir   string
+	logDir   string
+	Registry *cluster.FileRegistry
+	Client   *rmi.Client
+
+	cmds   []*exec.Cmd // cmds[i] == nil once machine i was stopped/killed
+	waited []bool
+}
+
+// StartCluster boots n server processes and waits until every machine
+// answers pings. Stop is registered as cleanup (and asserts clean server
+// exits), as is dumping server logs if the test failed.
+func StartCluster(t testing.TB, n int) *Cluster {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process e2e cluster skipped in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("e2e: resolving test binary: %v", err)
+	}
+	logDir := os.Getenv(logDirEnv)
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatalf("e2e: log dir: %v", err)
+	}
+	regDir := t.TempDir()
+	reg, err := cluster.NewFileRegistry(regDir, n, 5*time.Second)
+	if err != nil {
+		t.Fatalf("e2e: registry: %v", err)
+	}
+	c := &Cluster{
+		t:        t,
+		n:        n,
+		id:       clusterSeq.Add(1),
+		exe:      exe,
+		regDir:   regDir,
+		logDir:   logDir,
+		Registry: reg,
+		cmds:     make([]*exec.Cmd, n),
+		waited:   make([]bool, n),
+	}
+	t.Cleanup(c.dumpLogsOnFailure)
+	t.Cleanup(c.Stop)
+	for i := 0; i < n; i++ {
+		c.startMachine(i, "")
+	}
+	c.Client = rmi.NewClient(transport.TCP{}, reg)
+	t.Cleanup(func() { c.Client.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cluster.WaitReady(ctx, c.Client); err != nil {
+		t.Fatalf("e2e: cluster of %d not ready: %v", n, err)
+	}
+	return c
+}
+
+// logPath returns machine i's log file (appended across restarts).
+func (c *Cluster) logPath(i int) string {
+	return filepath.Join(c.logDir, fmt.Sprintf("cluster%d-machine%d.log", c.id, i))
+}
+
+// startMachine forks one server process. addr pins the listen address
+// ("" lets the machine pick an ephemeral port and publish it).
+func (c *Cluster) startMachine(i int, addr string) {
+	c.t.Helper()
+	cmd := exec.Command(c.exe)
+	cmd.Env = append(os.Environ(),
+		RoleEnv+"="+RoleServer,
+		fmt.Sprintf("%s=%d", machineEnv, i),
+		fmt.Sprintf("%s=%d", machinesEnv, c.n),
+		registryEnv+"="+c.regDir,
+		addrEnv+"="+addr,
+		logEnv+"="+c.logPath(i),
+	)
+	if err := cmd.Start(); err != nil {
+		c.t.Fatalf("e2e: starting machine %d: %v", i, err)
+	}
+	c.cmds[i] = cmd
+	c.waited[i] = false
+}
+
+// Addr returns machine i's currently published address.
+func (c *Cluster) Addr(i int) string {
+	c.t.Helper()
+	addr, err := c.Registry.Addr(i)
+	if err != nil {
+		c.t.Fatalf("e2e: addr of machine %d: %v", i, err)
+	}
+	return addr
+}
+
+// Kill terminates machine i abruptly (SIGKILL) — the failure-injection
+// primitive. The process is reaped before returning.
+func (c *Cluster) Kill(i int) {
+	c.t.Helper()
+	cmd := c.cmds[i]
+	if cmd == nil {
+		c.t.Fatalf("e2e: machine %d is not running", i)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		c.t.Fatalf("e2e: killing machine %d: %v", i, err)
+	}
+	_ = cmd.Wait() // expected non-zero: it was SIGKILLed
+	c.cmds[i] = nil
+	c.waited[i] = true
+}
+
+// Restart boots a fresh process for a previously-killed machine index.
+// It publishes a new (ephemeral) address; clients re-resolve through the
+// registry on their next dial.
+func (c *Cluster) Restart(i int) {
+	c.t.Helper()
+	if c.cmds[i] != nil {
+		c.t.Fatalf("e2e: machine %d still running", i)
+	}
+	c.startMachine(i, "")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cluster.WaitReady(ctx, c.Client, i); err != nil {
+		c.t.Fatalf("e2e: machine %d not ready after restart: %v", i, err)
+	}
+}
+
+// Stop gracefully terminates every still-running server (SIGTERM) and
+// asserts a clean exit — the multi-process check of the drain path. It
+// is idempotent and registered as test cleanup.
+func (c *Cluster) Stop() {
+	for i, cmd := range c.cmds {
+		if cmd == nil || c.waited[i] {
+			continue
+		}
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for i, cmd := range c.cmds {
+		if cmd == nil || c.waited[i] {
+			continue
+		}
+		c.waited[i] = true
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				c.t.Errorf("e2e: machine %d did not exit cleanly on SIGTERM: %v", i, err)
+			}
+		case <-time.After(drainBudget + 20*time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+			c.t.Errorf("e2e: machine %d hung on SIGTERM past the drain budget", i)
+		}
+		c.cmds[i] = nil
+	}
+}
+
+// dumpLogsOnFailure replays every machine's server log through t.Log
+// when the test failed, so a red run carries the server-side story.
+func (c *Cluster) dumpLogsOnFailure() {
+	if !c.t.Failed() {
+		return
+	}
+	for i := 0; i < c.n; i++ {
+		b, err := os.ReadFile(c.logPath(i))
+		if err != nil {
+			continue
+		}
+		c.t.Logf("---- machine %d server log ----\n%s", i, b)
+	}
+}

@@ -21,6 +21,25 @@ type Directory interface {
 	Size() int
 }
 
+// ContextDirectory is implemented by directories whose resolution can
+// block (e.g. a registry polling for a not-yet-published machine). The
+// client prefers AddrContext when available, so per-call deadlines and
+// cancellation bound address resolution, not just dialing.
+type ContextDirectory interface {
+	Directory
+	// AddrContext is Addr bounded by ctx.
+	AddrContext(ctx context.Context, m int) (string, error)
+}
+
+// resolveAddr resolves machine m through dir, context-bounded when the
+// directory supports it.
+func resolveAddr(ctx context.Context, dir Directory, m int) (string, error) {
+	if cd, ok := dir.(ContextDirectory); ok {
+		return cd.AddrContext(ctx, m)
+	}
+	return dir.Addr(m)
+}
+
 // StaticDirectory is a fixed address list: machine i lives at addrs[i].
 type StaticDirectory []string
 
@@ -49,9 +68,28 @@ func AnyArgs(args ...any) ArgEncoder {
 	return func(e *wire.Encoder) error { return e.PutAnys(args) }
 }
 
-// dialBackoff is the base delay between dial retries (WithRetryDial);
-// attempt k waits k*dialBackoff, capped loosely by the call's context.
-const dialBackoff = 10 * time.Millisecond
+// Dial backoff tuning: retry k of a dial (WithRetryDial), offset by the
+// machine's persistent failure streak, waits dialBackoff << k capped at
+// dialBackoffMax — exponential backoff, so a machine that keeps refusing
+// connections is probed progressively less often while the call's
+// context still bounds the total wait.
+const (
+	dialBackoff    = 10 * time.Millisecond
+	dialBackoffMax = time.Second
+)
+
+// backoffDelay returns the exponential dial backoff for the given
+// failure count (streak + in-call attempt), capped at dialBackoffMax.
+func backoffDelay(failures int) time.Duration {
+	if failures > 7 {
+		failures = 7 // 10ms << 7 already exceeds the cap
+	}
+	d := dialBackoff << failures
+	if d > dialBackoffMax {
+		d = dialBackoffMax
+	}
+	return d
+}
 
 // Client issues remote constructions and method calls. One Client
 // multiplexes any number of concurrent calls over one connection per
@@ -78,6 +116,8 @@ type Client struct {
 
 	mu     sync.Mutex
 	conns  map[int]*clientConn
+	down   map[int]error // machines declared down by the failure detector
+	streak map[int]int   // consecutive dial failures per machine (backoff seed)
 	closed bool
 }
 
@@ -88,6 +128,8 @@ func NewClient(tr transport.Transport, dir Directory) *Client {
 		dir:      dir,
 		counters: metrics.Default,
 		conns:    make(map[int]*clientConn),
+		down:     make(map[int]error),
+		streak:   make(map[int]int),
 	}
 }
 
@@ -115,9 +157,14 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// conn returns (dialing if necessary) the connection to machine m,
-// retrying failed dials per opts and aborting on context cancellation.
-func (c *Client) conn(ctx context.Context, m int, retryDial int) (*clientConn, error) {
+// conn returns the connection to machine m, dialing (with per-attempt
+// exponential backoff seeded by the machine's failure streak) when none
+// is cached. A connection that died was evicted from the cache by its
+// receive loop, so the next call through here transparently reconnects —
+// a dropped link never strands a machine. Machines marked down by the
+// failure detector fail fast with the recorded *MachineDownError until a
+// probe (o.probe) or an explicit recovery clears the mark.
+func (c *Client) conn(ctx context.Context, m int, o *callOptions) (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -127,32 +174,45 @@ func (c *Client) conn(ctx context.Context, m int, retryDial int) (*clientConn, e
 		c.mu.Unlock()
 		return cc, nil
 	}
+	if !o.probe {
+		if cause, down := c.down[m]; down {
+			c.mu.Unlock()
+			return nil, cause
+		}
+	}
+	streak := c.streak[m]
 	c.mu.Unlock()
 
-	addr, err := c.dir.Addr(m)
-	if err != nil {
-		return nil, err
-	}
 	var raw transport.Conn
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
 		}
+		// Resolve inside the retry loop: a machine restarted at a new
+		// address (dynamic registries) becomes reachable mid-retry. The
+		// call's context bounds a blocking resolver.
+		addr, err := resolveAddr(ctx, c.dir, m)
+		if err != nil {
+			return nil, err
+		}
 		raw, err = c.tr.Dial(addr)
 		if err == nil {
 			break
 		}
-		if attempt >= retryDial {
-			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, err)
+		if attempt >= o.retryDial {
+			c.mu.Lock()
+			c.streak[m]++ // increment in place: a concurrent markUp must not be overwritten by a stale read
+			c.mu.Unlock()
+			return nil, &MachineDownError{Machine: m, Cause: fmt.Errorf("rmi: dial machine %d: %w", m, err)}
 		}
 		c.counters.DialRetries.Add(1)
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("rmi: dial machine %d: %w", m, ctx.Err())
-		case <-time.After(time.Duration(attempt+1) * dialBackoff):
+		case <-time.After(backoffDelay(streak + attempt)):
 		}
 	}
-	cc := newClientConn(raw, c.counters)
+	cc := newClientConn(raw, c, m)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -160,6 +220,8 @@ func (c *Client) conn(ctx context.Context, m int, retryDial int) (*clientConn, e
 		cc.close(ErrClientClosed)
 		return nil, ErrClientClosed
 	}
+	delete(c.streak, m)
+	delete(c.down, m) // a successful dial is proof of life
 	if existing, ok := c.conns[m]; ok {
 		// Lost the dial race; use the established connection.
 		cc.close(ErrClientClosed)
@@ -167,6 +229,70 @@ func (c *Client) conn(ctx context.Context, m int, retryDial int) (*clientConn, e
 	}
 	c.conns[m] = cc
 	return cc, nil
+}
+
+// forget evicts a dead connection from the cache (if it is still the
+// cached one), so the next operation to that machine redials.
+func (c *Client) forget(m int, cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[m] == cc {
+		delete(c.conns, m)
+	}
+	c.mu.Unlock()
+}
+
+// markDown records machine m as failed: its connection is closed (failing
+// every pending call with the typed cause) and, until markUp or a
+// successful probe, every new non-probe operation to m fails fast with
+// the same *MachineDownError instead of timing out against a dead host.
+//
+// closeConn distinguishes a crash verdict from an orderly departure: a
+// draining machine refuses new work but still answers the calls it
+// already accepted, so its connection must stay open for those replies.
+// While that connection lives, new work reaching the server is refused
+// by the server itself (typed ErrDraining — authoritative); the recorded
+// fast-fail verdict takes over once the link dies and the connection is
+// evicted.
+func (c *Client) markDown(m int, cause error, closeConn bool) {
+	down := &MachineDownError{Machine: m, Cause: cause}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.down[m] = down
+	var cc *clientConn
+	if closeConn {
+		cc = c.conns[m]
+		delete(c.conns, m)
+	}
+	c.mu.Unlock()
+	if cc != nil {
+		cc.close(down)
+	}
+}
+
+// markUp clears a down mark and the machine's dial-failure streak.
+func (c *Client) markUp(m int) {
+	c.mu.Lock()
+	delete(c.down, m)
+	delete(c.streak, m)
+	c.mu.Unlock()
+}
+
+// MarkUp manually clears a failure-detector verdict for machine m, so
+// traffic dials it again. Normally recovery is automatic — a successful
+// probe (heartbeat ping, cluster.WaitReady) clears the mark — but an
+// operator restarting machines with no detector running can use this
+// directly.
+func (c *Client) MarkUp(m int) { c.markUp(m) }
+
+// MachineDown returns the *MachineDownError recorded for machine m by the
+// failure detector, or nil while m is considered up.
+func (c *Client) MachineDown(m int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[m]
 }
 
 // New constructs an object of the registered class on machine m — the
@@ -241,7 +367,7 @@ func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncod
 		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	cc, err := c.conn(dialCtx, ref.Machine, o.retryDial)
+	cc, err := c.conn(dialCtx, ref.Machine, &o)
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +542,7 @@ func (c *Client) send(ctx context.Context, m int, reqID uint64, e *wire.Encoder,
 		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	cc, err := c.conn(dialCtx, m, o.retryDial)
+	cc, err := c.conn(dialCtx, m, o)
 	if err != nil {
 		wire.PutEncoder(e)
 		return err
@@ -514,18 +640,22 @@ func (w *callWaiter) describe() string {
 
 // clientConn is one multiplexed connection: a send side shared by callers
 // and a single receive loop matching responses to pending futures and
-// waiters.
+// waiters. It knows its owner and machine so connection death can evict
+// it from the owner's cache — the eviction is what makes reconnection
+// automatic.
 type clientConn struct {
 	conn     transport.Conn
 	counters *metrics.Counters
+	owner    *Client
+	machine  int
 
 	mu      sync.Mutex
 	pending map[uint64]pendingCall
 	dead    error
 }
 
-func newClientConn(conn transport.Conn, counters *metrics.Counters) *clientConn {
-	cc := &clientConn{conn: conn, counters: counters, pending: make(map[uint64]pendingCall)}
+func newClientConn(conn transport.Conn, owner *Client, machine int) *clientConn {
+	cc := &clientConn{conn: conn, counters: owner.counters, owner: owner, machine: machine, pending: make(map[uint64]pendingCall)}
 	go cc.recvLoop()
 	return cc
 }
@@ -552,7 +682,11 @@ func (cc *clientConn) recvLoop() {
 	for {
 		frame, err := cc.conn.Recv()
 		if err != nil {
-			cc.close(fmt.Errorf("rmi: connection lost: %w", err))
+			// The link is gone: evict this connection from the owner's
+			// cache first (so new operations redial instead of landing
+			// here), then fail every pending call with the typed cause.
+			cc.owner.forget(cc.machine, cc)
+			cc.close(&MachineDownError{Machine: cc.machine, Cause: fmt.Errorf("rmi: connection lost: %w", err)})
 			return
 		}
 		cc.counters.MessagesRecv.Add(1)

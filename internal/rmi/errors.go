@@ -20,6 +20,39 @@ var ErrNoSuchMethod = errors.New("rmi: no such method")
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("rmi: client closed")
 
+// ErrMachineDown is the sentinel for machine-level failure: a connection
+// died, dialing was exhausted, or the heartbeat detector declared the
+// machine failed. Match with errors.Is; the concrete error in the chain
+// is a *MachineDownError carrying the machine index and cause, so a
+// collective's errors.Join can be mined for exactly which machines
+// failed (collection.Failed / collection.FailedMachines).
+var ErrMachineDown = errors.New("rmi: machine down")
+
+// ErrDraining is reported by a server that is gracefully shutting down:
+// in-flight calls complete, but new constructions and calls are refused.
+// It crosses the wire as a RemoteError whose Is matches this sentinel.
+var ErrDraining = errors.New("rmi: machine draining")
+
+// MachineDownError reports that a machine is unreachable: its connection
+// was lost mid-call, every dial attempt failed, or the failure detector
+// (Client.StartHeartbeat) declared it down. It matches ErrMachineDown
+// under errors.Is.
+type MachineDownError struct {
+	Machine int   // the unreachable machine
+	Cause   error // what made it unreachable (dial error, read error, missed heartbeats)
+}
+
+// Error implements the error interface.
+func (e *MachineDownError) Error() string {
+	return fmt.Sprintf("rmi: machine %d down: %v", e.Machine, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *MachineDownError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrMachineDown sentinel.
+func (e *MachineDownError) Is(target error) bool { return target == ErrMachineDown }
+
 // RemoteError is an error that occurred on the remote machine while
 // constructing an object or executing a method. It travels back to the
 // caller as part of the response frame.
@@ -48,6 +81,8 @@ func (e *RemoteError) Is(target error) bool {
 		return containsSentinel(e.Msg, ErrNoSuchClass)
 	case ErrNoSuchMethod:
 		return containsSentinel(e.Msg, ErrNoSuchMethod)
+	case ErrDraining:
+		return containsSentinel(e.Msg, ErrDraining)
 	}
 	return false
 }

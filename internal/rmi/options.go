@@ -18,6 +18,19 @@ type callOptions struct {
 	timeout   time.Duration // per-call deadline, enforced even on async futures
 	retryDial int           // extra dial attempts on dial failure
 	label     string        // trace label woven into errors and drop accounting
+	probe     bool          // failure-detector probe: bypass the down-machine fast fail
+}
+
+// WithProbe marks an operation as a health probe: it may dial a machine
+// currently marked down by the failure detector — that is how recovery
+// is detected. The heartbeat monitor stamps it on its pings, and
+// cluster.WaitReady on its readiness pings, so a machine that restarts
+// after the detector stopped can still be revived (a successful probe
+// dial clears the down mark). Normal traffic should not use it: the
+// fast-fail on down machines is what keeps a dead machine from costing
+// every caller a timeout.
+func WithProbe() CallOption {
+	return func(o callOptions) callOptions { o.probe = true; return o }
 }
 
 func resolveOptions(opts []CallOption) callOptions {

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -26,12 +27,18 @@ type Server struct {
 	listener transport.Listener
 	counters *metrics.Counters
 
-	mu      sync.Mutex
-	objects map[uint64]*objEntry
-	nextID  uint64
-	total   uint64
-	closed  bool
-	conns   map[transport.Conn]struct{}
+	mu       sync.Mutex
+	objects  map[uint64]*objEntry
+	nextID   uint64
+	total    uint64
+	closed   bool
+	draining bool
+	conns    map[transport.Conn]struct{}
+
+	// calls counts in-flight accepted work (constructions and method
+	// calls, from acceptance to reply). Drain waits on it: once draining
+	// is set no new work is accepted, so the counter only falls.
+	calls sync.WaitGroup
 
 	// connWG tracks transport goroutines (accept loop, per-connection
 	// readers): Close always drains these. objWG tracks object work
@@ -94,6 +101,55 @@ func (s *Server) NumObjects() int {
 	defer s.mu.Unlock()
 	return len(s.objects)
 }
+
+// Drain puts the server into graceful-shutdown mode and waits (bounded
+// by ctx) for in-flight work to finish. From the moment Drain is called,
+// new constructions and method calls — pings included, so failure
+// detectors and readiness probes see the machine leaving — are refused
+// with ErrDraining (a typed RemoteError on the client side), while calls
+// already accepted run to completion and their replies are delivered.
+// Deletes and stats keep working, so clients can tear down state during
+// the drain window. Call Close afterwards to release the listener and
+// terminate object processes; the SIGTERM path of cmd/oppcluster is
+// exactly Drain-then-Close.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.calls.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("rmi: machine %d drain: %w", s.machine, ctx.Err())
+	}
+}
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// beginWork accepts one unit of in-flight work (a construction or call)
+// unless the server is draining or closed. Every true return must be
+// paired with exactly one endWork.
+func (s *Server) beginWork() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	s.calls.Add(1)
+	return true
+}
+
+func (s *Server) endWork() { s.calls.Done() }
 
 // Close shuts the server down: stop accepting, close connections,
 // terminate every object process (running destructors), wait for
@@ -199,6 +255,10 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 	switch op {
 	case opPing:
 		d.Release()
+		if s.Draining() {
+			s.reply(conn, reqID, nil, ErrDraining)
+			return
+		}
 		s.reply(conn, reqID, nil, nil)
 	case opStat:
 		d.Release()
@@ -216,12 +276,18 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 			s.reply(conn, reqID, nil, err)
 			return
 		}
+		if !s.beginWork() {
+			d.Release()
+			s.reply(conn, reqID, nil, ErrDraining)
+			return
+		}
 		// Constructors may do arbitrary work (open devices, call other
 		// machines), so they run on their own goroutine — this is the
 		// birth of the new process.
 		s.objWG.Add(1)
 		go func() {
 			defer s.objWG.Done()
+			defer s.endWork()
 			defer d.Release()
 			s.handleNew(conn, reqID, class, d)
 		}()
@@ -232,6 +298,11 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 			err := d.Err()
 			d.Release()
 			s.reply(conn, reqID, nil, err)
+			return
+		}
+		if !s.beginWork() {
+			d.Release()
+			s.reply(conn, reqID, nil, ErrDraining)
 			return
 		}
 		s.handleCall(conn, reqID, objID, method, d)
@@ -433,12 +504,18 @@ func (t *callTask) run() {
 	_ = t.conn.Send(frame)
 	*t = callTask{}
 	callTaskPool.Put(t)
+	// The work token taken at acceptance (beginWork) is released only
+	// after the reply is on the wire: Drain returning means every
+	// accepted call has answered.
+	s.endWork()
 }
 
 // handleCall routes one method invocation. It takes ownership of args
 // (and the frame under it); every path releases it exactly once — for
 // dispatched calls, inside callTask.run after the method returns, which
-// is what makes passing decoder views into handlers safe.
+// is what makes passing decoder views into handlers safe. It also owns
+// the drain work token taken in dispatch: tasks that reach run() release
+// it there, every early-exit path releases it here.
 func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder) {
 	s.mu.Lock()
 	entry, ok := s.objects[objID]
@@ -446,6 +523,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 	if !ok {
 		args.Release()
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, objID))
+		s.endWork()
 		return
 	}
 
@@ -461,6 +539,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 			*t = callTask{}
 			callTaskPool.Put(t)
 			s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
+			s.endWork()
 		}
 		return
 	}
@@ -474,6 +553,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		*t = callTask{}
 		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, err)
+		s.endWork()
 		return
 	}
 	t.me, t.args = me, args
@@ -493,6 +573,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		*t = callTask{}
 		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
+		s.endWork()
 	}
 }
 

@@ -2,7 +2,10 @@ package oopp
 
 import (
 	"context"
+	"time"
+
 	"oopp/internal/cluster"
+	"oopp/internal/collection"
 	"oopp/internal/core"
 	"oopp/internal/disk"
 	"oopp/internal/fft"
@@ -95,6 +98,62 @@ type (
 
 // DiskPrivate, as a disk index, gives a device a private in-memory disk.
 const DiskPrivate = pagedev.DiskPrivate
+
+// ---- Production cluster runtime ---------------------------------------------
+//
+// The multi-process deployment surface: per-machine Nodes discovered
+// through a registry, readiness barriers, typed machine-failure errors
+// and heartbeat failure detection. See the "Deployment" chapter of the
+// package doc.
+
+type (
+	// Node is one running machine of a multi-process cluster (the unit
+	// cmd/oppcluster runs one-of-per-process).
+	Node = cluster.Node
+	// NodeConfig configures a Node: machine index, listen address,
+	// directory/registry, disks.
+	NodeConfig = cluster.NodeConfig
+	// FileRegistry is a filesystem-backed machine-address directory for
+	// multi-process clusters.
+	FileRegistry = cluster.FileRegistry
+	// MachineDownError reports an unreachable machine (connection lost,
+	// dial exhausted, or heartbeat verdict). Matches ErrMachineDown.
+	MachineDownError = rmi.MachineDownError
+	// Heartbeat is a running machine-failure detector.
+	Heartbeat = rmi.Heartbeat
+	// HeartbeatConfig tunes a Heartbeat (interval, timeout, miss
+	// threshold, transition callbacks).
+	HeartbeatConfig = rmi.HeartbeatConfig
+	// Directory resolves machine indices to dialable addresses.
+	Directory = rmi.Directory
+	// StaticDirectory is a fixed machine address list.
+	StaticDirectory = rmi.StaticDirectory
+)
+
+// ErrMachineDown matches machine-level failures under errors.Is.
+var ErrMachineDown = rmi.ErrMachineDown
+
+// ErrDraining matches calls refused by a gracefully-draining server.
+var ErrDraining = rmi.ErrDraining
+
+// StartNode brings one machine of a multi-process cluster up.
+func StartNode(cfg NodeConfig) (*Node, error) { return cluster.StartNode(cfg) }
+
+// NewFileRegistry opens (creating if needed) a registry of n machine
+// addresses rooted at dir; Addr waits up to timeout for publication.
+func NewFileRegistry(dir string, n int, timeout time.Duration) (*FileRegistry, error) {
+	return cluster.NewFileRegistry(dir, n, timeout)
+}
+
+// WaitReady blocks until every listed machine (default: all) answers a
+// ping — the readiness barrier of multi-process bring-up.
+func WaitReady(ctx context.Context, client *Client, machines ...int) error {
+	return cluster.WaitReady(ctx, client, machines...)
+}
+
+// FailedMachines extracts the distinct machines named in a collective
+// operation's errors.Join aggregate.
+func FailedMachines(err error) []int { return collection.FailedMachines(err) }
 
 // NewCluster brings up a cluster per cfg.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
