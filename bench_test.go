@@ -510,6 +510,80 @@ func BenchmarkE11_DeepCopy(b *testing.B) {
 	})
 }
 
+// BenchmarkE13_OwnerComputes — one Jacobi sweep, client-side (halo
+// slab reads + interior writes through the client) vs owner-computes
+// (device-side sweeps, halo planes device-to-device).
+func BenchmarkE13_OwnerComputes(b *testing.B) {
+	const devices = 8
+	const N, n = 32, 4
+	cl := benchCluster(b, devices, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	grid := N / n
+	mk := func(name string, banks int) *core.Array {
+		pm, err := core.NewStripedMap(grid, grid, grid, devices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		storage, err := core.CreateBlockStorage(bg, client, machines(devices), name,
+			banks*pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return arr
+	}
+	seed := func(arr *core.Array) {
+		if err := arr.Fill(bg, arr.Bounds(), 0); err != nil {
+			b.Fatal(err)
+		}
+		hot := core.NewDomain(0, 1, 0, N, 0, N)
+		face := make([]float64, hot.Size())
+		for i := range face {
+			face[i] = 100
+		}
+		if err := arr.Write(bg, face, hot); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("client", func(b *testing.B) {
+		b.ReportAllocs()
+		ca, cb := mk("e13c-a", 1), mk("e13c-b", 1)
+		seed(ca)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Jacobi(bg, ca, cb, 1, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("owner", func(b *testing.B) {
+		b.ReportAllocs()
+		own := mk("e13o", 2)
+		seed(own)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.JacobiOwner(bg, own, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("owner-sum", func(b *testing.B) {
+		b.ReportAllocs()
+		arr := mk("e13s", 1)
+		seed(arr)
+		full := arr.Bounds()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := arr.Sum(bg, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE12_Collective — §4: collective broadcast/reduce over a typed
 // Collection vs the sequential member-by-member Group.Call baseline. The
 // broadcast should cost ~one round trip regardless of member count (up

@@ -70,6 +70,10 @@ func classify(col string) (dir direction, deterministic bool, usScale float64) {
 		return lowerBetter, true, 0
 	case strings.Contains(c, "msgs"):
 		return lowerBetter, true, 0
+	case strings.Contains(c, "moved"):
+		// Bytes-moved columns (E13): transport traffic is a code
+		// property, deterministic under the modeled links.
+		return lowerBetter, true, 0
 	case strings.Contains(c, "speedup"), strings.Contains(c, "ratio"),
 		strings.Contains(c, "vs "), strings.HasPrefix(c, "vs"),
 		strings.Contains(c, "ideal"), strings.Contains(c, "efficiency"):

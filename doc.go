@@ -82,6 +82,63 @@
 // the migration table in the rmi package doc. examples/collection runs
 // a distributed histogram end to end on this surface.
 //
+// # Owner-computes kernels
+//
+// The paper's central claim is that code should execute inside the
+// objects that hold the data. The Array takes that literally: Read and
+// Write move elements between client and devices, but every *compute*
+// operation — Fill, Scale, Sum, MinMax, Norm2, Dot, Axpy — is a kernel
+// collective that executes inside the storage device processes owning
+// the pages. The client sends one batched RMI per involved device (a
+// kernel name, a few float64 parameters, and the list of page regions
+// that device owns); the device runs the kernel where the data lives;
+// for reductions only a fixed-width (count, accumulator) partial
+// returns, merged client-side in device order. Compute cost therefore
+// scales with aggregate device CPU, not with the client's link.
+//
+// Kernels live in a process-global registry shared by client and
+// server (every process of a deployment runs the same binary, so —
+// like class registration — registering at init time keeps the two
+// sides agreed). Array.Apply / Reduce / ApplyBinary / ReduceBinary are
+// the escape hatch for user kernels:
+//
+//	oopp.RegisterMapKernel("app.clamp", oopp.MapKernel{
+//	        MinParams: 2, // arity-checked before any page is touched
+//	        Fn: func(row, p []float64) {
+//	                for i := range row { row[i] = math.Min(p[1], math.Max(p[0], row[i])) }
+//	        },
+//	})
+//	_ = arr.Apply(ctx, dom, "app.clamp", 0, 100)   // one RMI per device
+//	acc, n, _ := arr.Reduce(ctx, dom, oopp.KernelMinMax)
+//
+// Reduction partials carry element counts, and devices never fold
+// empty regions, so an identity accumulator (±Inf for min/max) cannot
+// poison a combined result; an empty domain returns the identity with
+// n == 0. Two-operand kernels (Axpy, Dot) run at the first operand's
+// devices, each pulling the co-indexed region of the second operand
+// directly from its device process — device to device; co-located page
+// pairs degrade to shared-address-space reads with no traffic at all.
+//
+// Data movement composes the same way: Array.CopyFrom copies a
+// subdomain between conformant arrays entirely device-to-device (the
+// §5 copyFrom generalized), and Array.HaloExchange transfers just the
+// ghost shell around a slab — O(surface) instead of the O(volume) a
+// client-side halo read moves. JacobiOwner builds the full solver on
+// this: sweeps execute inside the devices on the slabs they hold
+// (plane-aligned layout, i.e. striped), double-buffered in a second
+// on-device page bank (create the storage with 2×PagesPerDevice), with
+// halo planes pulled between neighbouring devices mid-sweep — served
+// by a concurrent method, so two devices both inside a sweep still
+// exchange. Per sweep, O(N²) halo bytes + O(devices) residual scalars
+// move, against the client path's O(N³); experiment E13 measures ~6×
+// fewer bytes and faster sweeps at 8 devices, and examples/heat3d runs
+// both paths (-owner flag).
+//
+// Client-side Read/Write remains the right tool when the client
+// actually needs the elements: seeding from host data, probing values,
+// interfacing with non-kernel code (the FFT), or any transform that is
+// not expressible as an elementwise/reduction kernel over rows.
+//
 // # Migrating from the pre-context API
 //
 // The old stringly surface maps onto the typed one mechanically:
@@ -195,6 +252,10 @@
 //     with process inheritance.
 //   - Array, Domain, PageMap, BlockStorage: the distributed 3D array, its
 //     subdomains, and the data layouts that determine I/O parallelism.
+//   - MapKernel, ReduceKernel, BinaryKernel, BinaryReduceKernel and the
+//     Register*Kernel functions: the owner-computes kernel registry
+//     behind the Array's compute surface and its Apply/Reduce escape
+//     hatch.
 //   - PFFT: the group of FFT processes jointly computing a 3D transform.
 //   - Address, NameService, Store, Manager: persistent processes with
 //     symbolic addresses.

@@ -1,11 +1,17 @@
 // Heat3d: steady-state heat conduction on the distributed Array — the
 // structured-grid workload the paper's §5 machinery exists for. One face
 // of a cube is held hot; Jacobi relaxation sweeps toward the harmonic
-// equilibrium. Every sweep reads slab subdomains with halos from the
-// storage device processes, computes locally in parallel Array clients,
-// and scatters the updates back.
+// equilibrium.
 //
-//	go run ./examples/heat3d [-n 32] [-iters 50] [-clients 4]
+// By default the sweeps are owner-computes (-owner): they execute
+// inside the storage device processes on the slabs they hold, and only
+// O(N²) halo planes move between neighbouring devices per sweep, pulled
+// device-to-device. With -owner=false the classic client-side path runs
+// instead: every sweep reads halo-expanded slab subdomains to parallel
+// Array clients, computes locally, and scatters the updates back —
+// O(N³) elements through the client per sweep.
+//
+//	go run ./examples/heat3d [-n 32] [-iters 50] [-owner=false] [-clients 4]
 package main
 
 import (
@@ -15,14 +21,14 @@ import (
 	"log"
 
 	"oopp"
-	"oopp/internal/core"
 )
 
 func main() {
 	ctx := context.Background()
 	nFlag := flag.Int("n", 32, "grid extent per axis (multiple of 8)")
 	iters := flag.Int("iters", 50, "Jacobi sweeps")
-	clients := flag.Int("clients", 4, "parallel Array clients")
+	owner := flag.Bool("owner", true, "owner-computes sweeps on the devices; false = client-side path")
+	clients := flag.Int("clients", 4, "parallel Array clients (client-side path only)")
 	flag.Parse()
 	N := *nFlag
 	const page = 8
@@ -40,12 +46,20 @@ func main() {
 	machines := []int{0, 1, 2, 3}
 
 	grid := N / page
+	// The owner-computes path wants a plane-aligned layout (striped) and
+	// a second on-device page bank for the in-place sweep scratch; the
+	// client-side path keeps the classic round-robin layout and a
+	// conformant scratch array.
+	layout, banks := "roundrobin", 1
+	if *owner {
+		layout, banks = "striped", 2
+	}
 	mkArray := func(name string) *oopp.Array {
-		pm, err := oopp.NewPageMap("roundrobin", grid, grid, grid, devices)
+		pm, err := oopp.NewPageMap(layout, grid, grid, grid, devices)
 		if err != nil {
 			log.Fatal(err)
 		}
-		storage, err := oopp.CreateBlockStorage(ctx, client, machines, name, pm.PagesPerDevice(), page, page, page, oopp.DiskPrivate)
+		storage, err := oopp.CreateBlockStorage(ctx, client, machines, name, banks*pm.PagesPerDevice(), page, page, page, oopp.DiskPrivate)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +70,10 @@ func main() {
 		return arr
 	}
 	u := mkArray("heat-u")
-	scratch := mkArray("heat-scratch")
+	var scratch *oopp.Array
+	if !*owner {
+		scratch = mkArray("heat-scratch")
+	}
 
 	// Boundary condition: face i=0 at 100°, everything else 0°.
 	full := oopp.Box(N, N, N)
@@ -72,11 +89,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("heat3d: %d^3 grid on %d storage devices, %d clients\n", N, devices, *clients)
+	path := fmt.Sprintf("owner-computes sweeps on %d devices", devices)
+	if !*owner {
+		path = fmt.Sprintf("client-side sweeps, %d clients", *clients)
+	}
+	fmt.Printf("heat3d: %d^3 grid on %d storage devices, %s\n", N, devices, path)
 	const batch = 10
 	for done := 0; done < *iters; done += batch {
 		steps := min(batch, *iters-done)
-		res, err := core.Jacobi(ctx, u, scratch, steps, *clients)
+		var res float64
+		var err error
+		if *owner {
+			res, err = oopp.JacobiOwner(ctx, u, steps)
+		} else {
+			res, err = oopp.Jacobi(ctx, u, scratch, steps, *clients)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

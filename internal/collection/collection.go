@@ -180,6 +180,19 @@ func (c *Collection[T]) Slice(lo, hi int) *Collection[T] {
 	return c.view(c.members[lo:hi])
 }
 
+// Select returns the view of the members at the listed positions (in
+// this collection), in the given order. Like every view, descriptors
+// keep their original Index, so collectives over the selection report
+// and encode global member identities — core.Array's kernel collectives
+// use this to address exactly the devices a domain's pages live on.
+func (c *Collection[T]) Select(positions ...int) *Collection[T] {
+	members := make([]Member, len(positions))
+	for i, p := range positions {
+		members[i] = c.members[p]
+	}
+	return c.view(members)
+}
+
 // OnMachine returns the view of the members hosted on machine m — the
 // locality filter of owner-computes iteration.
 func (c *Collection[T]) OnMachine(m int) *Collection[T] {

@@ -286,6 +286,23 @@ func TestViewsShareRefs(t *testing.T) {
 	if ms := coll.Machines(); len(ms) != 3 {
 		t.Fatalf("machines %v", ms)
 	}
+
+	// Select picks arbitrary positions, in order, sharing refs and
+	// keeping global indices — the addressing core.Array's kernel
+	// collectives use to hit exactly the involved devices.
+	sel := coll.Select(4, 0, 2)
+	if sel.Len() != 3 {
+		t.Fatalf("select len %d", sel.Len())
+	}
+	if sel.Ref(0) != coll.Ref(4) || sel.Ref(1) != coll.Ref(0) || sel.Ref(2) != coll.Ref(2) {
+		t.Fatal("select does not share refs in order")
+	}
+	if got := []int{sel.Member(0).Index, sel.Member(1).Index, sel.Member(2).Index}; got[0] != 4 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("select view indices %v", got)
+	}
+	if empty := coll.Select(); empty.Len() != 0 {
+		t.Fatalf("empty select has %d members", empty.Len())
+	}
 }
 
 func TestCollectiveErrorsJoinAllMembers(t *testing.T) {

@@ -3,8 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 
+	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
 )
@@ -18,12 +18,17 @@ import (
 // client process for performing computations on a small subdomain of the
 // array data" (§5). Multiple Array values over the same storage and map
 // may run in parallel (one per goroutine or per machine); experiment E8
-// measures that scaling. Write, Fill and Scale update partially covered
-// pages through sub-page methods that execute inside the device process's
-// serial mailbox, so concurrent clients updating disjoint element regions
-// are safe even when those regions share pages (the Jacobi solver depends
-// on this). Axpy's partial-page path is the one client-side
-// read-modify-write left: concurrent Axpy callers must not share pages.
+// measures that scaling.
+//
+// Read and Write move element data between the client and the devices.
+// Every compute operation (Fill, Scale, Sum, MinMax, Norm2, Dot, Axpy,
+// and the Apply/Reduce escape hatch for user kernels) is owner-computes:
+// it executes inside the device processes that hold the pages, one
+// batched RMI per involved device — see kernel.go and the package docs.
+// All mutating operations, partial pages included, run inside the device
+// process's serial mailbox, so concurrent clients updating disjoint
+// element regions are safe even when those regions share pages (the
+// Jacobi solver depends on this).
 type Array struct {
 	n [3]int // array dims N1,N2,N3
 	p [3]int // page dims n1,n2,n3
@@ -319,232 +324,41 @@ func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error
 	return flush()
 }
 
-// Sum reduces the subdomain dom — the paper's Array::sum. Fully covered
-// pages are summed *on their devices* ("the partial sums are computed by
+// Sum reduces the subdomain dom — the paper's Array::sum. Every page is
+// summed *on the device that owns it* ("the partial sums are computed by
 // the data server processes and combined together by the Array client",
-// §5); partial pages are fetched and the overlap summed locally.
+// §5): one reduceK call per involved device carries the batch of
+// regions, and only a (count, partial-sum) pair returns per device —
+// partial pages included, via the device-side sub-box fold.
 func (a *Array) Sum(ctx context.Context, dom Domain) (float64, error) {
-	if err := a.checkDomain(dom); err != nil {
+	acc, _, err := a.Reduce(ctx, dom, kernel.Sum)
+	if err != nil {
 		return 0, err
 	}
-	regs := a.regions(dom)
-	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-	var total float64
-
-	if !a.pipeline {
-		for _, r := range regs {
-			dev := a.storage.Device(r.addr.Device)
-			if r.full {
-				s, err := dev.Sum(ctx, r.addr.Index)
-				if err != nil {
-					return 0, err
-				}
-				total += s
-				continue
-			}
-			if err := dev.ReadPage(ctx, scratch, r.addr.Index); err != nil {
-				return 0, err
-			}
-			total += a.partialSum(scratch.Data, r)
-		}
-		return total, nil
-	}
-
-	futs := make([]*rmi.Future, len(regs))
-	issued := 0
-	issue := func(i int) {
-		r := regs[i]
-		dev := a.storage.Device(r.addr.Device)
-		if r.full {
-			futs[i] = dev.SumAsync(ctx, r.addr.Index)
-		} else {
-			futs[i] = dev.ReadPageAsync(ctx, r.addr.Index)
-		}
-	}
-	for done := 0; done < len(regs); done++ {
-		for issued < len(regs) && issued < done+a.window {
-			issue(issued)
-			issued++
-		}
-		r := regs[done]
-		if r.full {
-			s, err := pagedev.DecodeSum(ctx, futs[done])
-			if err != nil {
-				for i := done + 1; i < issued; i++ {
-					_ = futs[i].Err(ctx)
-				}
-				return 0, err
-			}
-			total += s
-		} else {
-			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
-				for i := done + 1; i < issued; i++ {
-					_ = futs[i].Err(ctx)
-				}
-				return 0, err
-			}
-			total += a.partialSum(scratch.Data, r)
-		}
-		futs[done] = nil
-	}
-	return total, nil
+	return acc[0], nil
 }
 
-func (a *Array) partialSum(page []float64, r region) float64 {
-	var s float64
-	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
-		li := i - r.box.Lo[0]
-		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
-			lj := j - r.box.Lo[1]
-			off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
-			for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
-				s += page[off+k]
-			}
-		}
-	}
-	return s
-}
-
-// Fill sets every element of dom to v. Full pages fill remotely (no
-// element data crosses the network); partial pages fill atomically on
-// their devices.
+// Fill sets every element of dom to v — one applyK broadcast per
+// involved device, no element data on the wire. Partial pages fill
+// atomically inside their device's serial mailbox.
 func (a *Array) Fill(ctx context.Context, dom Domain, v float64) error {
-	return a.rewrite(ctx, dom,
-		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.FillPageAsync(ctx, idx, v) },
-		func(dev *pagedev.ArrayDevice, idx int) error { return dev.FillPage(ctx, idx, v) },
-		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
-			return dev.FillSubAsync(ctx, idx, box, v)
-		},
-		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
-			return dev.FillSub(ctx, idx, box, v)
-		})
+	return a.Apply(ctx, dom, kernel.Fill, v)
 }
 
-// Scale multiplies every element of dom by alpha, remotely for full
-// pages and atomically on-device for partial pages.
+// Scale multiplies every element of dom by alpha, on the devices that
+// own the pages.
 func (a *Array) Scale(ctx context.Context, dom Domain, alpha float64) error {
-	return a.rewrite(ctx, dom,
-		func(dev *pagedev.ArrayDevice, idx int) *rmi.Future { return dev.ScalePageAsync(ctx, idx, alpha) },
-		func(dev *pagedev.ArrayDevice, idx int) error { return dev.ScalePage(ctx, idx, alpha) },
-		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) *rmi.Future {
-			return dev.ScaleSubAsync(ctx, idx, box, alpha)
-		},
-		func(dev *pagedev.ArrayDevice, idx int, box pagedev.SubBox) error {
-			return dev.ScaleSub(ctx, idx, box, alpha)
-		})
+	return a.Apply(ctx, dom, kernel.Scale, alpha)
 }
 
-// rewrite factors the Fill/Scale pattern: whole-page remote op on full
-// pages, atomic sub-page op on partial pages, both pipelined.
-func (a *Array) rewrite(ctx context.Context, dom Domain,
-	asyncFull func(*pagedev.ArrayDevice, int) *rmi.Future,
-	syncFull func(*pagedev.ArrayDevice, int) error,
-	asyncPartial func(*pagedev.ArrayDevice, int, pagedev.SubBox) *rmi.Future,
-	syncPartial func(*pagedev.ArrayDevice, int, pagedev.SubBox) error) error {
-
-	if err := a.checkDomain(dom); err != nil {
-		return err
-	}
-	regs := a.regions(dom)
-	var futs []*rmi.Future
-	push := func(fut *rmi.Future) error {
-		futs = append(futs, fut)
-		if len(futs) >= a.window {
-			err := rmi.WaitAllReleased(ctx, futs)
-			futs = futs[:0]
-			return err
-		}
-		return nil
-	}
-	for _, r := range regs {
-		dev := a.storage.Device(r.addr.Device)
-		if r.full {
-			if a.pipeline {
-				if err := push(asyncFull(dev, r.addr.Index)); err != nil {
-					return err
-				}
-			} else if err := syncFull(dev, r.addr.Index); err != nil {
-				return err
-			}
-			continue
-		}
-		if a.pipeline {
-			if err := push(asyncPartial(dev, r.addr.Index, subBoxFor(r))); err != nil {
-				return err
-			}
-		} else if err := syncPartial(dev, r.addr.Index, subBoxFor(r)); err != nil {
-			return err
-		}
-	}
-	return rmi.WaitAllReleased(ctx, futs)
-}
-
-func (a *Array) forEach(page []float64, r region, f func(float64) float64) {
-	for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
-		li := i - r.box.Lo[0]
-		for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
-			lj := j - r.box.Lo[1]
-			off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
-			for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
-				page[off+k] = f(page[off+k])
-			}
-		}
-	}
-}
-
-// MinMax returns the extrema over dom (remote per-page minmax for full
-// pages). An empty domain yields (+Inf, -Inf).
+// MinMax returns the extrema over dom, computed where the pages live
+// (one device-side minmax reduction per involved device). An empty
+// domain yields the reduction identity (+Inf, -Inf); devices fold no
+// empty regions, so the identity never contaminates a non-empty result.
 func (a *Array) MinMax(ctx context.Context, dom Domain) (lo, hi float64, err error) {
-	if err := a.checkDomain(dom); err != nil {
+	acc, _, err := a.Reduce(ctx, dom, kernel.MinMax)
+	if err != nil {
 		return 0, 0, err
 	}
-	lo, hi = math.Inf(1), math.Inf(-1)
-	regs := a.regions(dom)
-	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-
-	futs := make([]*rmi.Future, len(regs))
-	issued := 0
-	issue := func(i int) {
-		r := regs[i]
-		dev := a.storage.Device(r.addr.Device)
-		if r.full {
-			futs[i] = dev.MinMaxPageAsync(ctx, r.addr.Index)
-		} else {
-			futs[i] = dev.ReadPageAsync(ctx, r.addr.Index)
-		}
-	}
-	window := a.window
-	if !a.pipeline {
-		window = 1
-	}
-	for done := 0; done < len(regs); done++ {
-		for issued < len(regs) && issued < done+window {
-			issue(issued)
-			issued++
-		}
-		r := regs[done]
-		if r.full {
-			l, h, err := pagedev.DecodeMinMax(ctx, futs[done])
-			if err != nil {
-				for i := done + 1; i < issued; i++ {
-					_ = futs[i].Err(ctx)
-				}
-				return 0, 0, err
-			}
-			lo, hi = math.Min(lo, l), math.Max(hi, h)
-		} else {
-			if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
-				for i := done + 1; i < issued; i++ {
-					_ = futs[i].Err(ctx)
-				}
-				return 0, 0, err
-			}
-			a.forEach(scratch.Data, r, func(x float64) float64 {
-				lo, hi = math.Min(lo, x), math.Max(hi, x)
-				return x
-			})
-		}
-		futs[done] = nil
-	}
-	return lo, hi, nil
+	return acc[0], acc[1], nil
 }

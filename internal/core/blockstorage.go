@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"oopp/internal/collection"
+	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
 	"oopp/internal/wire"
@@ -81,23 +82,67 @@ func (b *BlockStorage) Collection() *collection.Collection[*pagedev.ArrayDevice]
 // other processes).
 func (b *BlockStorage) Refs() []rmi.Ref { return b.coll.Refs() }
 
-// FillAll sets every element of every page on every device to v — the
-// whole-storage fill broadcast: one message per device, no element data
-// on the wire. (Unlike Array.Fill it covers physical pages the PageMap
-// may leave unmapped; use it to initialize storage, not to fill a
-// subdomain.)
-func (b *BlockStorage) FillAll(ctx context.Context, v float64) error {
-	return b.coll.Broadcast(ctx, "fillAll", func(m collection.Member, e *wire.Encoder) error {
-		e.PutFloat64(v)
+// ApplyAll runs a registered map kernel over every element of every
+// physical page on every device — one broadcast message per device, no
+// element data on the wire. (Unlike Array.Apply it covers physical
+// pages the PageMap may leave unmapped; use it to initialize storage,
+// not to transform a subdomain.)
+func (b *BlockStorage) ApplyAll(ctx context.Context, name string, params ...float64) error {
+	if _, err := kernel.LookupMap(name, params); err != nil {
+		return err
+	}
+	return b.coll.Broadcast(ctx, "applyAllK", func(m collection.Member, e *wire.Encoder) error {
+		pagedev.EncodeKernelAll(e, name, params)
 		return nil
 	})
+}
+
+// ReduceAll folds a registered reduction kernel over every element of
+// every physical page on every device: per-device partials computed by
+// the data server processes, merged client-side in device order. It
+// returns the combined accumulator and the element count folded; an
+// empty storage returns the kernel identity with n == 0.
+func (b *BlockStorage) ReduceAll(ctx context.Context, name string, params ...float64) (acc []float64, n int64, err error) {
+	k, err := kernel.LookupReduce(name, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	if b.Len() == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	total, err := collection.Reduce(ctx, b.coll, "reduceAllK",
+		func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeKernelAll(e, name, params)
+			return nil
+		},
+		func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
+			return pagedev.DecodeReducePartial(d)
+		},
+		mergePartials(k.Merge))
+	if err != nil {
+		return nil, 0, err
+	}
+	if total.N == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	return total.Acc, total.N, nil
+}
+
+// FillAll sets every element of every page on every device to v — the
+// whole-storage fill broadcast, now a kernel collective.
+func (b *BlockStorage) FillAll(ctx context.Context, v float64) error {
+	return b.ApplyAll(ctx, kernel.Fill, v)
 }
 
 // SumAll reduces the element sum of every page on every device — the
 // whole-storage combining reduction (partial sums computed by the data
 // server processes, combined client-side, §5).
 func (b *BlockStorage) SumAll(ctx context.Context) (float64, error) {
-	return collection.Reduce(ctx, b.coll, "sumAll", nil, collection.DecodeFloat64, collection.SumFloat64)
+	acc, _, err := b.ReduceAll(ctx, kernel.Sum)
+	if err != nil {
+		return 0, err
+	}
+	return acc[0], nil
 }
 
 // IOStats aggregates the served (reads, writes) counters across all

@@ -57,7 +57,8 @@ func TestBlockStorageCollectives(t *testing.T) {
 	}
 
 	// IOStats reduction aggregates device counters; fillAll wrote every
-	// page once and sumAll read every page once.
+	// page once (the fill kernel is write-only: no page load) and
+	// sumAll read every page once.
 	reads, writes, err := b.IOStats(bgCtx)
 	if err != nil {
 		t.Fatalf("ioStats: %v", err)

@@ -92,27 +92,35 @@ func (d Domain) String() string {
 	return fmt.Sprintf("[%d,%d)x[%d,%d)x[%d,%d)", d.Lo[0], d.Hi[0], d.Lo[1], d.Hi[1], d.Lo[2], d.Hi[2])
 }
 
-// SplitAxis1 partitions d into parts contiguous slabs along the first
-// axis, as evenly as possible — the decomposition used to deploy multiple
-// Array clients in parallel (§5) and the parallel FFT's slab split.
-func (d Domain) SplitAxis1(parts int) []Domain {
-	n1 := d.Hi[0] - d.Lo[0]
-	if parts <= 0 {
+// SplitAxis partitions d into parts contiguous slabs along the given
+// axis (1, 2 or 3), as evenly as possible — the decomposition used to
+// deploy multiple Array clients in parallel (§5), generalized to every
+// axis because halo partitioning is not always first-axis-shaped.
+// Degenerate parts are dropped; parts outside [1, ∞) or an axis outside
+// [1, 3] yields nil.
+func (d Domain) SplitAxis(axis, parts int) []Domain {
+	if axis < 1 || axis > 3 || parts <= 0 {
 		return nil
 	}
-	if parts > n1 {
-		parts = n1
+	x := axis - 1
+	n := d.Hi[x] - d.Lo[x]
+	if parts > n {
+		parts = n
 	}
 	out := make([]Domain, 0, parts)
 	for p := 0; p < parts; p++ {
-		lo := d.Lo[0] + n1*p/parts
-		hi := d.Lo[0] + n1*(p+1)/parts
+		lo := d.Lo[x] + n*p/parts
+		hi := d.Lo[x] + n*(p+1)/parts
 		if hi <= lo {
 			continue
 		}
 		sub := d
-		sub.Lo[0], sub.Hi[0] = lo, hi
+		sub.Lo[x], sub.Hi[x] = lo, hi
 		out = append(out, sub)
 	}
 	return out
 }
+
+// SplitAxis1 is SplitAxis along the first axis — the slab split of the
+// parallel FFT and the multi-client Jacobi deployment.
+func (d Domain) SplitAxis1(parts int) []Domain { return d.SplitAxis(1, parts) }

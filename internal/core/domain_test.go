@@ -98,6 +98,96 @@ func TestSplitAxis1(t *testing.T) {
 	}
 }
 
+// SplitAxis generalizes the slab split to any axis; the halo
+// partitioning of owner-computes stencils needs axes 2 and 3, uneven
+// included.
+func TestSplitAxisOtherAxes(t *testing.T) {
+	d := NewDomain(2, 5, 1, 11, 3, 10) // extents 3, 10, 7
+
+	checkPartition := func(t *testing.T, axis, parts int, subs []Domain) {
+		t.Helper()
+		prev := d.Lo[axis-1]
+		total := 0
+		for _, s := range subs {
+			if s.Lo[axis-1] != prev || s.Hi[axis-1] <= s.Lo[axis-1] {
+				t.Fatalf("axis %d parts %d: non-contiguous split at %v", axis, parts, s)
+			}
+			prev = s.Hi[axis-1]
+			total += s.Size()
+			for x := 0; x < 3; x++ {
+				if x != axis-1 && (s.Lo[x] != d.Lo[x] || s.Hi[x] != d.Hi[x]) {
+					t.Fatalf("axis %d: split altered axis %d: %v", axis, x+1, s)
+				}
+			}
+		}
+		if prev != d.Hi[axis-1] || total != d.Size() {
+			t.Fatalf("axis %d parts %d: split does not cover: end=%d total=%d", axis, parts, prev, total)
+		}
+	}
+
+	// Uneven splits: 10 planes into 3/4 parts, 7 planes into 2/3/5 parts.
+	for _, parts := range []int{1, 3, 4} {
+		subs := d.SplitAxis(2, parts)
+		if len(subs) != parts {
+			t.Fatalf("axis 2 parts %d: got %d slabs", parts, len(subs))
+		}
+		checkPartition(t, 2, parts, subs)
+	}
+	for _, parts := range []int{2, 3, 5} {
+		subs := d.SplitAxis(3, parts)
+		if len(subs) != parts {
+			t.Fatalf("axis 3 parts %d: got %d slabs", parts, len(subs))
+		}
+		checkPartition(t, 3, parts, subs)
+	}
+
+	// More parts than planes: degenerate parts dropped (axis 1 extent 3).
+	if subs := d.SplitAxis(1, 9); len(subs) != 3 {
+		t.Fatalf("oversplit axis 1 = %d parts", len(subs))
+	}
+	// SplitAxis1 is exactly SplitAxis(1, ·).
+	a1 := d.SplitAxis1(2)
+	ax := d.SplitAxis(1, 2)
+	if len(a1) != len(ax) {
+		t.Fatalf("SplitAxis1 disagrees with SplitAxis(1): %v vs %v", a1, ax)
+	}
+	for i := range a1 {
+		if !a1[i].Equal(ax[i]) {
+			t.Fatalf("SplitAxis1 disagrees at %d: %v vs %v", i, a1[i], ax[i])
+		}
+	}
+	// Invalid axis or parts yields nil.
+	if d.SplitAxis(0, 2) != nil || d.SplitAxis(4, 2) != nil || d.SplitAxis(2, 0) != nil {
+		t.Fatal("invalid SplitAxis arguments accepted")
+	}
+}
+
+// Property: SplitAxis partitions exactly along every axis.
+func TestQuickSplitAxisPartition(t *testing.T) {
+	f := func(n uint8, parts uint8, axis uint8) bool {
+		ax := int(axis%3) + 1
+		nx := int(n%32) + 1
+		p := int(parts%8) + 1
+		dims := [3]int{3, 3, 3}
+		dims[ax-1] = nx
+		d := Box(dims[0], dims[1], dims[2])
+		subs := d.SplitAxis(ax, p)
+		covered := 0
+		prev := 0
+		for _, s := range subs {
+			if s.Lo[ax-1] != prev || s.Hi[ax-1] <= s.Lo[ax-1] {
+				return false
+			}
+			prev = s.Hi[ax-1]
+			covered += s.Size()
+		}
+		return prev == nx && covered == d.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: intersection is commutative, contained in both operands, and
 // idempotent wrt Within.
 func TestQuickIntersectProperties(t *testing.T) {

@@ -1,0 +1,97 @@
+package core
+
+// Owner-computes data movement between distributed arrays: CopyFrom is
+// the §5 copyFrom construct generalized from "pull N whole pages from
+// one device" to "pull any subdomain between two distributed arrays",
+// and HaloExchange builds the stencil client's ghost-shell transfer on
+// top of it. In both, element data moves directly between the device
+// processes that own it — the client only orchestrates region lists.
+
+import (
+	"context"
+
+	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
+)
+
+// CopyFrom copies the subdomain dom of the conformant array src into
+// the same subdomain of a, entirely device-to-device: each of a's
+// devices pulls its regions of dom straight from the src devices that
+// own them (one pullSubBatch call per destination/source device pair),
+// so no element data passes through the client. Co-located page pairs
+// degrade to shared-address-space copies.
+func (a *Array) CopyFrom(ctx context.Context, src *Array, dom Domain) error {
+	if err := a.conformant(src); err != nil {
+		return err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	// Group regions by (destination device, source device): one pull
+	// call moves everything a device pair exchanges.
+	type pair struct{ dst, src int }
+	groups := make(map[pair][]pagedev.PullRegion)
+	var order []pair
+	for _, r := range a.regions(dom) {
+		sAddr := src.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		p := pair{dst: r.addr.Device, src: sAddr.Device}
+		if _, ok := groups[p]; !ok {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], pagedev.PullRegion{
+			Index:     r.addr.Index,
+			Box:       subBoxFor(r),
+			PeerIndex: sAddr.Index,
+		})
+	}
+	window := a.window
+	if !a.pipeline {
+		window = 1
+	}
+	var futs []*rmi.Future
+	for _, p := range order {
+		futs = append(futs, a.storage.Device(p.dst).PullSubBatchAsync(ctx, src.storage.Device(p.src).Ref(), groups[p]))
+		if len(futs) >= window {
+			if err := rmi.WaitAllReleased(ctx, futs); err != nil {
+				return err
+			}
+			futs = futs[:0]
+		}
+	}
+	return rmi.WaitAllReleased(ctx, futs)
+}
+
+// HaloExchange pulls the ghost shell of width w around slab from the
+// conformant array src into a: for each axis, the face slabs directly
+// below and above slab (clamped to the array bounds) are copied
+// device-to-device — the ghost-plane transfer an owner-computes stencil
+// client performs between sweeps, costing O(surface) traffic instead of
+// the O(volume) a client-side halo read moves. Faces outside the array
+// are skipped; w < 1 defaults to 1.
+func (a *Array) HaloExchange(ctx context.Context, src *Array, slab Domain, w int) error {
+	if err := a.conformant(src); err != nil {
+		return err
+	}
+	if err := a.checkDomain(slab); err != nil {
+		return err
+	}
+	if w < 1 {
+		w = 1
+	}
+	bounds := a.Bounds()
+	for axis := 0; axis < 3; axis++ {
+		lo := slab
+		lo.Lo[axis], lo.Hi[axis] = slab.Lo[axis]-w, slab.Lo[axis]
+		hi := slab
+		hi.Lo[axis], hi.Hi[axis] = slab.Hi[axis], slab.Hi[axis]+w
+		for _, face := range []Domain{lo.Intersect(bounds), hi.Intersect(bounds)} {
+			if face.Empty() {
+				continue
+			}
+			if err := a.CopyFrom(ctx, src, face); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package core
+
+// The owner-computes kernel surface of the Array: every compute
+// operation is a windowed collective over the storage's device
+// collection — one RMI per involved *device* carrying the batch of page
+// regions that device owns, executed by the device-side kernel engine
+// (internal/pagedev) against kernels resolved in the process-global
+// registry (internal/kernel). Only kernel descriptors travel out and
+// only fixed-width accumulators travel back, so compute cost scales
+// with aggregate device CPU instead of the client's link bandwidth.
+//
+// Fill/Scale/Sum/MinMax/Norm2/Dot/Axpy are thin wrappers over the four
+// generic entry points below; Apply/Reduce/ApplyBinary/ReduceBinary are
+// the public escape hatch for user-registered kernels.
+
+import (
+	"context"
+
+	"oopp/internal/collection"
+	"oopp/internal/kernel"
+	"oopp/internal/pagedev"
+	"oopp/internal/wire"
+)
+
+// batches groups the pages overlapping dom by owning device, in
+// first-seen device order (row-major page order, so a round-robin map
+// yields balanced batches); the device list and per-device map feed
+// kernelView and the member encoders.
+func (a *Array) batches(dom Domain) (devs []int, byDev map[int][]pagedev.KernelRegion) {
+	byDev = make(map[int][]pagedev.KernelRegion)
+	for _, r := range a.regions(dom) {
+		if _, ok := byDev[r.addr.Device]; !ok {
+			devs = append(devs, r.addr.Device)
+		}
+		byDev[r.addr.Device] = append(byDev[r.addr.Device],
+			pagedev.KernelRegion{Index: r.addr.Index, Box: subBoxFor(r)})
+	}
+	return devs, byDev
+}
+
+// kernelView builds the collection view of exactly the listed devices,
+// honoring the array's pipelining configuration (window=1 recovers the
+// §2 sequential semantics).
+func (a *Array) kernelView(devs []int) *collection.Collection[*pagedev.ArrayDevice] {
+	view := a.storage.Collection().Select(devs...)
+	if a.pipeline {
+		view.SetWindow(a.window)
+	} else {
+		view.SetWindow(1)
+	}
+	return view
+}
+
+// Apply runs the registered map kernel name in place over dom, on the
+// devices that own the pages — one remote call per involved device, no
+// element data on the wire. Partially covered pages are transformed
+// through the same device-side sub-box path, so the read-modify-write
+// is atomic within each device's serial mailbox. Batches are not
+// transactional: a mid-operation failure can leave dom partially
+// transformed (exactly like the per-page surface this replaces).
+func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...float64) error {
+	if _, err := kernel.LookupMap(name, params); err != nil {
+		return err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	devs, byDev := a.batches(dom)
+	if len(devs) == 0 {
+		return nil
+	}
+	return a.kernelView(devs).Broadcast(ctx, "applyK", func(m collection.Member, e *wire.Encoder) error {
+		pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
+		return nil
+	})
+}
+
+// Reduce folds the registered reduction kernel name over dom: each
+// involved device folds its pages locally and ships only a fixed-width
+// (count, accumulator) partial; the partials merge client-side in
+// device order (deterministic for any associative kernel). It returns
+// the combined accumulator and the number of elements folded; an empty
+// dom folds nothing and returns the kernel's identity with n == 0 —
+// identity-only partials are never merged, so ±Inf-style identities
+// cannot poison the result.
+func (a *Array) Reduce(ctx context.Context, dom Domain, name string, params ...float64) (acc []float64, n int64, err error) {
+	k, err := kernel.LookupReduce(name, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return nil, 0, err
+	}
+	devs, byDev := a.batches(dom)
+	if len(devs) == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	total, err := collection.Reduce(ctx, a.kernelView(devs), "reduceK",
+		func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
+			return nil
+		},
+		func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
+			return pagedev.DecodeReducePartial(d)
+		},
+		mergePartials(k.Merge))
+	if err != nil {
+		return nil, 0, err
+	}
+	if total.N == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	return total.Acc, total.N, nil
+}
+
+// mergePartials lifts a kernel's accumulator merge to ReducePartial,
+// skipping identity-only (N == 0) partials.
+func mergePartials(merge func(acc, other []float64)) func(x, y pagedev.ReducePartial) pagedev.ReducePartial {
+	return func(x, y pagedev.ReducePartial) pagedev.ReducePartial {
+		if y.N == 0 {
+			return x
+		}
+		if x.N == 0 {
+			return y
+		}
+		merge(x.Acc, y.Acc)
+		x.N += y.N
+		return x
+	}
+}
+
+// binaryBatch is the two-operand slice of an operation owned by one
+// device of a.
+type binaryBatch struct {
+	device  int
+	regions []pagedev.BinaryRegion
+}
+
+// binaryBatches pairs each of a's regions over dom with the co-located
+// page of the conformant array b, grouped by a's owning device; the
+// returned device list and per-device map feed kernelView and the
+// member encoders.
+func (a *Array) binaryBatches(b *Array, dom Domain) (devs []int, byDev map[int][]pagedev.BinaryRegion) {
+	slot := make(map[int]int)
+	var out []binaryBatch
+	for _, r := range a.regions(dom) {
+		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		s, ok := slot[r.addr.Device]
+		if !ok {
+			s = len(out)
+			slot[r.addr.Device] = s
+			out = append(out, binaryBatch{device: r.addr.Device})
+		}
+		out[s].regions = append(out[s].regions, pagedev.BinaryRegion{
+			Index:     r.addr.Index,
+			Box:       subBoxFor(r),
+			Peer:      b.storage.Device(bAddr.Device).Ref(),
+			PeerIndex: bAddr.Index,
+		})
+	}
+	devs = make([]int, len(out))
+	byDev = make(map[int][]pagedev.BinaryRegion, len(out))
+	for i, bb := range out {
+		devs[i] = bb.device
+		byDev[bb.device] = bb.regions
+	}
+	return devs, byDev
+}
+
+// ApplyBinary runs the registered two-operand kernel name over dom:
+// each of a's devices transforms its regions in place, pulling the
+// co-indexed region of b directly from b's device process — device to
+// device, never through the client (the §5 pattern at kernel
+// generality). When a page of b is co-located with its partner (the
+// identical-layout case, e.g. Axpy between arrays sharing a map over
+// the same machines), the pull is a shared-address-space read and no
+// operand data touches the network at all.
+func (a *Array) ApplyBinary(ctx context.Context, dom Domain, name string, b *Array, params ...float64) error {
+	if _, err := kernel.LookupBinary(name, params); err != nil {
+		return err
+	}
+	if err := a.conformant(b); err != nil {
+		return err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return err
+	}
+	devs, byDev := a.binaryBatches(b, dom)
+	if len(devs) == 0 {
+		return nil
+	}
+	return a.kernelView(devs).Broadcast(ctx, "applyBinaryK", func(m collection.Member, e *wire.Encoder) error {
+		pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
+		return nil
+	})
+}
+
+// ReduceBinary folds the registered two-operand reduction kernel name
+// over the co-indexed regions of a and b — the dot-product shape: the
+// operand pages meet at a's devices, only scalars return.
+func (a *Array) ReduceBinary(ctx context.Context, dom Domain, name string, b *Array, params ...float64) (acc []float64, n int64, err error) {
+	k, err := kernel.LookupBinaryReduce(name, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := a.conformant(b); err != nil {
+		return nil, 0, err
+	}
+	if err := a.checkDomain(dom); err != nil {
+		return nil, 0, err
+	}
+	devs, byDev := a.binaryBatches(b, dom)
+	if len(devs) == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	total, err := collection.Reduce(ctx, a.kernelView(devs), "reduceBinaryK",
+		func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
+			return nil
+		},
+		func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
+			return pagedev.DecodeReducePartial(d)
+		},
+		mergePartials(k.Merge))
+	if err != nil {
+		return nil, 0, err
+	}
+	if total.N == 0 {
+		return k.NewAcc(params), 0, nil
+	}
+	return total.Acc, total.N, nil
+}

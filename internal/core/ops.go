@@ -5,18 +5,20 @@ import (
 	"fmt"
 	"math"
 
-	"oopp/internal/pagedev"
-	"oopp/internal/rmi"
+	"oopp/internal/kernel"
 )
 
 // This file extends the Array with two-operand operations (dot product,
 // AXPY). They showcase the §5 pattern at array scale: the operand pages
 // move *between device processes* over RMI, never through the client —
-// the client orchestrates page pairs and collects scalars.
+// the client sends one kernel batch per device and collects scalars.
 //
 // Both operations require the two arrays to be conformant: identical
 // array and page geometry. The arrays may live on entirely different
-// devices (that is the point).
+// devices (that is the point); when a page pair happens to be
+// co-located (identical layouts over the same machines), the operand
+// read is a shared-address-space fast path and no element data moves
+// at all.
 
 // conformant checks that two arrays share geometry.
 func (a *Array) conformant(b *Array) error {
@@ -27,139 +29,34 @@ func (a *Array) conformant(b *Array) error {
 	return nil
 }
 
-// Dot computes the inner product <a, b> over dom. Fully covered pages are
-// dotted on a's devices, each fetching its partner page directly from b's
-// device process; partially covered pages are fetched to the client and
-// dotted over the intersection.
+// Dot computes the inner product <a, b> over dom. Each region is dotted
+// on a's owning device, which pulls its partner region directly from
+// b's device process; per device, only a partial scalar returns to the
+// client — partial pages included.
 func (a *Array) Dot(ctx context.Context, b *Array, dom Domain) (float64, error) {
-	if err := a.conformant(b); err != nil {
-		return 0, err
-	}
-	if err := a.checkDomain(dom); err != nil {
-		return 0, err
-	}
-	regs := a.regions(dom)
-	scratchA := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-	scratchB := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-	var total float64
-
-	window := a.window
-	if !a.pipeline {
-		window = 1
-	}
-	futs := make([]*rmi.Future, len(regs))
-	issued := 0
-	issue := func(i int) {
-		r := regs[i]
-		if r.full {
-			devA := a.storage.Device(r.addr.Device)
-			bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-			futs[i] = devA.DotWithAsync(ctx, r.addr.Index, b.storage.Device(bAddr.Device).Ref(), bAddr.Index)
-		}
-	}
-	for done := 0; done < len(regs); done++ {
-		for issued < len(regs) && issued < done+window {
-			issue(issued)
-			issued++
-		}
-		r := regs[done]
-		if r.full {
-			s, err := pagedev.DecodeSum(ctx, futs[done])
-			if err != nil {
-				for i := done + 1; i < issued; i++ {
-					if futs[i] != nil {
-						_ = futs[i].Err(ctx)
-					}
-				}
-				return 0, err
-			}
-			total += s
-			futs[done] = nil
-			continue
-		}
-		// Partial page: fetch both pages, dot the intersection locally.
-		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-		if err := a.storage.Device(r.addr.Device).ReadPage(ctx, scratchA, r.addr.Index); err != nil {
-			return 0, err
-		}
-		if err := b.storage.Device(bAddr.Device).ReadPage(ctx, scratchB, bAddr.Index); err != nil {
-			return 0, err
-		}
-		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
-			li := i - r.box.Lo[0]
-			for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
-				lj := j - r.box.Lo[1]
-				off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
-				for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
-					total += scratchA.Data[off+k] * scratchB.Data[off+k]
-				}
-			}
-		}
-	}
-	return total, nil
-}
-
-// Axpy updates a += alpha*b over dom. Fully covered pages update on a's
-// devices, each pulling its partner page from b's device process;
-// partially covered pages go through client-side read-modify-write.
-func (a *Array) Axpy(ctx context.Context, alpha float64, b *Array, dom Domain) error {
-	if err := a.conformant(b); err != nil {
-		return err
-	}
-	if err := a.checkDomain(dom); err != nil {
-		return err
-	}
-	regs := a.regions(dom)
-	scratchA := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-	scratchB := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
-
-	var futs []*rmi.Future
-	for _, r := range regs {
-		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-		devA := a.storage.Device(r.addr.Device)
-		if r.full {
-			peer := b.storage.Device(bAddr.Device).Ref()
-			if a.pipeline {
-				futs = append(futs, devA.AxpyWithAsync(ctx, r.addr.Index, alpha, peer, bAddr.Index))
-				if len(futs) >= a.window {
-					if err := rmi.WaitAllReleased(ctx, futs); err != nil {
-						return err
-					}
-					futs = futs[:0]
-				}
-			} else if err := devA.AxpyWith(ctx, r.addr.Index, alpha, peer, bAddr.Index); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := devA.ReadPage(ctx, scratchA, r.addr.Index); err != nil {
-			return err
-		}
-		if err := b.storage.Device(bAddr.Device).ReadPage(ctx, scratchB, bAddr.Index); err != nil {
-			return err
-		}
-		for i := r.isect.Lo[0]; i < r.isect.Hi[0]; i++ {
-			li := i - r.box.Lo[0]
-			for j := r.isect.Lo[1]; j < r.isect.Hi[1]; j++ {
-				lj := j - r.box.Lo[1]
-				off := (li*a.p[1]+lj)*a.p[2] + (r.isect.Lo[2] - r.box.Lo[2])
-				for k := 0; k < r.isect.Hi[2]-r.isect.Lo[2]; k++ {
-					scratchA.Data[off+k] += alpha * scratchB.Data[off+k]
-				}
-			}
-		}
-		if err := devA.WritePage(ctx, scratchA, r.addr.Index); err != nil {
-			return err
-		}
-	}
-	return rmi.WaitAllReleased(ctx, futs)
-}
-
-// Norm2 returns sqrt(<a, a>) over dom.
-func (a *Array) Norm2(ctx context.Context, dom Domain) (float64, error) {
-	s, err := a.Dot(ctx, a, dom)
+	acc, _, err := a.ReduceBinary(ctx, dom, kernel.Dot, b)
 	if err != nil {
 		return 0, err
 	}
-	return math.Sqrt(s), nil
+	return acc[0], nil
+}
+
+// Axpy updates a += alpha*b over dom, computed at a's devices with the
+// b regions pulled device-to-device. The update — partial pages
+// included — runs inside each device's serial mailbox, so concurrent
+// Axpy callers over disjoint element regions are safe even when those
+// regions share pages.
+func (a *Array) Axpy(ctx context.Context, alpha float64, b *Array, dom Domain) error {
+	return a.ApplyBinary(ctx, dom, kernel.Axpy, b, alpha)
+}
+
+// Norm2 returns sqrt(<a, a>) over dom. It folds the sum of squares
+// where the pages live (a unary reduction — no operand traffic at all,
+// where the old client path shipped every page to compute Dot(a, a)).
+func (a *Array) Norm2(ctx context.Context, dom Domain) (float64, error) {
+	acc, _, err := a.Reduce(ctx, dom, kernel.SumSq)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(acc[0]), nil
 }

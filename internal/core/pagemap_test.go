@@ -158,6 +158,65 @@ func TestPageMapErrors(t *testing.T) {
 	}
 }
 
+// TestPageMapRoundTrip pins the NewPageMap/PageMapNames contract: every
+// registered name constructs a map that reports that name, locates every
+// page of an uneven grid in bounds, and whose PagesPerDevice is
+// consistent with the actual Locate fan-out — the per-device index
+// ranges are dense enough that no device needs more capacity than
+// PagesPerDevice promises, and at least one device uses the top index.
+func TestPageMapRoundTrip(t *testing.T) {
+	const p1, p2, p3, devices = 3, 5, 7, 4 // uneven everything
+	for _, name := range PageMapNames() {
+		m, err := NewPageMap(name, p1, p2, p3, devices)
+		if err != nil {
+			t.Fatalf("NewPageMap(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("map %q round-trips as %q", name, m.Name())
+		}
+		if m.Devices() != devices {
+			t.Errorf("%s: Devices = %d, want %d", name, m.Devices(), devices)
+		}
+		maxIdx := make([]int, devices)
+		for i := range maxIdx {
+			maxIdx[i] = -1
+		}
+		perDev := make([]int, devices)
+		for i := 0; i < p1; i++ {
+			for j := 0; j < p2; j++ {
+				for k := 0; k < p3; k++ {
+					a := m.Locate(i, j, k)
+					if a.Device < 0 || a.Device >= devices {
+						t.Fatalf("%s: page (%d,%d,%d) on device %d of %d", name, i, j, k, a.Device, devices)
+					}
+					if a.Index < 0 || a.Index >= m.PagesPerDevice() {
+						t.Fatalf("%s: page (%d,%d,%d) at index %d outside [0,%d)", name, i, j, k, a.Index, m.PagesPerDevice())
+					}
+					perDev[a.Device]++
+					if a.Index > maxIdx[a.Device] {
+						maxIdx[a.Device] = a.Index
+					}
+				}
+			}
+		}
+		// PagesPerDevice must be tight against the fan-out: some device
+		// actually uses index PagesPerDevice-1 (no over-claimed
+		// capacity), and no device holds more pages than promised.
+		top := 0
+		for d := 0; d < devices; d++ {
+			if perDev[d] > m.PagesPerDevice() {
+				t.Errorf("%s: device %d holds %d pages, PagesPerDevice is %d", name, d, perDev[d], m.PagesPerDevice())
+			}
+			if maxIdx[d]+1 > top {
+				top = maxIdx[d] + 1
+			}
+		}
+		if top != m.PagesPerDevice() {
+			t.Errorf("%s: max used index+1 = %d, PagesPerDevice = %d", name, top, m.PagesPerDevice())
+		}
+	}
+}
+
 func TestPageMapNamesComplete(t *testing.T) {
 	names := PageMapNames()
 	if len(names) != 4 {

@@ -122,6 +122,7 @@ var Experiments = []Experiment{
 	{"E10", "Persistent processes: passivation and activation", E10Persistence},
 	{"E11", "Deep copy vs remote dereference in SetGroup", E11DeepCopy},
 	{"E12", "Collective broadcast and reduce vs sequential member calls", E12Collective},
+	{"E13", "Owner-computes kernels vs client-side array math", E13OwnerComputes},
 }
 
 // Find returns the experiment with the given id.

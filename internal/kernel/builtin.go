@@ -1,0 +1,149 @@
+package kernel
+
+import "math"
+
+// Builtin kernel names — the vocabulary core.Array's algebra is built
+// from. User code may register additional kernels under its own names.
+const (
+	// Map kernels.
+	Fill  = "fill"  // row[i] = p[0]
+	Scale = "scale" // row[i] *= p[0]
+	AddC  = "addc"  // row[i] += p[0]
+
+	// Reduce kernels.
+	Sum    = "sum"    // [Σv]
+	MinMax = "minmax" // [min, max]
+	SumSq  = "sumsq"  // [Σv²] (Norm2 is its square root)
+	AbsMax = "absmax" // [max|v|]
+
+	// Binary kernels (dst row op= src row).
+	Axpy = "axpy" // dst[i] += p[0]*src[i]
+	Copy = "copy" // dst[i] = src[i]
+	Mul  = "mul"  // dst[i] *= src[i]
+
+	// BinaryReduce kernels.
+	Dot = "dot" // [Σ a[i]*b[i]]
+)
+
+func init() {
+	RegisterMap(Fill, Map{
+		MinParams:  1,
+		Overwrites: true, // write-only: full pages need no prior load
+		Fn: func(row, p []float64) {
+			v := p[0]
+			for i := range row {
+				row[i] = v
+			}
+		},
+	})
+	RegisterMap(Scale, Map{
+		MinParams: 1,
+		Fn: func(row, p []float64) {
+			a := p[0]
+			for i := range row {
+				row[i] *= a
+			}
+		},
+	})
+	RegisterMap(AddC, Map{
+		MinParams: 1,
+		Fn: func(row, p []float64) {
+			c := p[0]
+			for i := range row {
+				row[i] += c
+			}
+		},
+	})
+
+	RegisterReduce(Sum, Reduce{
+		Width: 1,
+		Init:  func(acc, _ []float64) { acc[0] = 0 },
+		Row: func(acc, row, _ []float64) {
+			s := acc[0]
+			for _, v := range row {
+				s += v
+			}
+			acc[0] = s
+		},
+		Merge: func(acc, other []float64) { acc[0] += other[0] },
+	})
+	RegisterReduce(MinMax, Reduce{
+		Width: 2,
+		Init:  func(acc, _ []float64) { acc[0], acc[1] = math.Inf(1), math.Inf(-1) },
+		Row: func(acc, row, _ []float64) {
+			lo, hi := acc[0], acc[1]
+			for _, v := range row {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			acc[0], acc[1] = lo, hi
+		},
+		Merge: func(acc, other []float64) {
+			acc[0] = math.Min(acc[0], other[0])
+			acc[1] = math.Max(acc[1], other[1])
+		},
+	})
+	RegisterReduce(SumSq, Reduce{
+		Width: 1,
+		Init:  func(acc, _ []float64) { acc[0] = 0 },
+		Row: func(acc, row, _ []float64) {
+			s := acc[0]
+			for _, v := range row {
+				s += v * v
+			}
+			acc[0] = s
+		},
+		Merge: func(acc, other []float64) { acc[0] += other[0] },
+	})
+	RegisterReduce(AbsMax, Reduce{
+		Width: 1,
+		Init:  func(acc, _ []float64) { acc[0] = 0 },
+		Row: func(acc, row, _ []float64) {
+			m := acc[0]
+			for _, v := range row {
+				if a := math.Abs(v); a > m {
+					m = a
+				}
+			}
+			acc[0] = m
+		},
+		Merge: func(acc, other []float64) { acc[0] = math.Max(acc[0], other[0]) },
+	})
+
+	RegisterBinary(Axpy, Binary{
+		MinParams: 1,
+		Fn: func(dst, src, p []float64) {
+			a := p[0]
+			for i := range dst {
+				dst[i] += a * src[i]
+			}
+		},
+	})
+	RegisterBinary(Copy, Binary{
+		Fn: func(dst, src, _ []float64) { copy(dst, src) },
+	})
+	RegisterBinary(Mul, Binary{
+		Fn: func(dst, src, _ []float64) {
+			for i := range dst {
+				dst[i] *= src[i]
+			}
+		},
+	})
+
+	RegisterBinaryReduce(Dot, BinaryReduce{
+		Width: 1,
+		Init:  func(acc, _ []float64) { acc[0] = 0 },
+		Row: func(acc, a, b, _ []float64) {
+			s := acc[0]
+			for i, v := range a {
+				s += v * b[i]
+			}
+			acc[0] = s
+		},
+		Merge: func(acc, other []float64) { acc[0] += other[0] },
+	})
+}

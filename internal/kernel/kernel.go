@@ -1,0 +1,205 @@
+// Package kernel is the compute vocabulary of the owner-computes array
+// surface: a process-global registry of named kernels that execute
+// *inside the storage device processes that own the pages* (the paper's
+// "moving the computation to the data", §3, promoted from a single
+// hand-written method to an extensible protocol).
+//
+// A kernel is identified on the wire by a stable name plus a small
+// vector of float64 parameters — the whole descriptor fits in a few
+// bytes, so shipping the computation costs nothing next to shipping the
+// data it replaces. Both sides of a deployment register the same
+// kernels at init time (exactly like rmi class registration: in a
+// multi-process cluster every machine runs the same binary, so the
+// registry is shared by construction); the client validates the name
+// before issuing, the device resolves it again before executing.
+//
+// Four kernel shapes cover the array algebra:
+//
+//   - Map: an in-place transform of a contiguous row of elements
+//     (Fill, Scale, user transforms via Array.Apply).
+//   - Reduce: a fixed-width accumulator folded over rows device-side,
+//     partials merged client-side (Sum, MinMax, Norm2, Array.Reduce).
+//   - Binary: an in-place transform of a destination row given a
+//     co-indexed source row pulled from a peer device (Axpy, copy).
+//   - BinaryReduce: a reduction over co-indexed row pairs (Dot).
+//
+// Kernels operate on rows (the contiguous axis-3 runs of a sub-box),
+// not single elements, so the per-call function overhead amortizes over
+// the run length. Reduction kernels never see empty sub-boxes — the
+// device engine skips them and reports an element count alongside each
+// partial, so an identity accumulator (+Inf for min, 0 for sum) cannot
+// poison a combined result (the ArrayPage.MinMax empty-page fix, done
+// structurally).
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Map transforms one contiguous row of elements in place. params is
+// the kernel's parameter vector, shared across the whole operation and
+// validated against MinParams before any page is touched (both
+// client-side at issue and device-side at execution), so a missing
+// parameter is a prompt error instead of a device-side panic.
+// Overwrites declares that Fn assigns every element without reading
+// the old values — the engine then skips the page load when a region
+// covers a whole page (Fill-style kernels stay write-only).
+type Map struct {
+	MinParams  int
+	Overwrites bool
+	Fn         func(row, params []float64)
+}
+
+// Reduce folds rows into a fixed-width accumulator. Init seeds the
+// accumulator (it may consult params); Row folds one contiguous row in;
+// Merge combines another partial accumulator into acc — it is used
+// client-side to combine per-device partials and must be associative.
+type Reduce struct {
+	Width     int
+	MinParams int
+	Init      func(acc, params []float64)
+	Row       func(acc, row, params []float64)
+	Merge     func(acc, other []float64)
+}
+
+// Binary transforms a destination row in place given the co-indexed
+// source row (dst and src have equal length and correspond element by
+// element).
+type Binary struct {
+	MinParams int
+	Fn        func(dst, src, params []float64)
+}
+
+// BinaryReduce folds co-indexed row pairs into a fixed-width
+// accumulator — the two-operand reduction shape (dot products).
+type BinaryReduce struct {
+	Width     int
+	MinParams int
+	Init      func(acc, params []float64)
+	Row       func(acc, a, b, params []float64)
+	Merge     func(acc, other []float64)
+}
+
+// CheckParams validates a parameter vector against a kernel's declared
+// arity.
+func CheckParams(name string, min int, params []float64) error {
+	if len(params) < min {
+		return fmt.Errorf("kernel: %q wants at least %d parameter(s), got %d", name, min, len(params))
+	}
+	return nil
+}
+
+// NewAcc returns a freshly initialized accumulator for the reduction.
+func (r Reduce) NewAcc(params []float64) []float64 {
+	acc := make([]float64, r.Width)
+	r.Init(acc, params)
+	return acc
+}
+
+// NewAcc returns a freshly initialized accumulator for the reduction.
+func (r BinaryReduce) NewAcc(params []float64) []float64 {
+	acc := make([]float64, r.Width)
+	r.Init(acc, params)
+	return acc
+}
+
+// The four namespaces are independent: a map kernel and a reduce kernel
+// may share a name without conflict.
+var (
+	mu            sync.RWMutex
+	maps          = map[string]Map{}
+	reduces       = map[string]Reduce{}
+	binaries      = map[string]Binary{}
+	binaryReduces = map[string]BinaryReduce{}
+)
+
+// RegisterMap installs a map kernel under name. Registering a name
+// twice panics: kernel names are wire identifiers and must be stable.
+func RegisterMap(name string, k Map) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := maps[name]; dup || k.Fn == nil {
+		panic(fmt.Sprintf("kernel: RegisterMap(%q): duplicate or nil kernel", name))
+	}
+	maps[name] = k
+}
+
+// RegisterReduce installs a reduction kernel under name.
+func RegisterReduce(name string, k Reduce) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := reduces[name]; dup || k.Width <= 0 || k.Init == nil || k.Row == nil || k.Merge == nil {
+		panic(fmt.Sprintf("kernel: RegisterReduce(%q): duplicate or malformed kernel", name))
+	}
+	reduces[name] = k
+}
+
+// RegisterBinary installs a two-operand map kernel under name.
+func RegisterBinary(name string, k Binary) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := binaries[name]; dup || k.Fn == nil {
+		panic(fmt.Sprintf("kernel: RegisterBinary(%q): duplicate or nil kernel", name))
+	}
+	binaries[name] = k
+}
+
+// RegisterBinaryReduce installs a two-operand reduction kernel.
+func RegisterBinaryReduce(name string, k BinaryReduce) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := binaryReduces[name]; dup || k.Width <= 0 || k.Init == nil || k.Row == nil || k.Merge == nil {
+		panic(fmt.Sprintf("kernel: RegisterBinaryReduce(%q): duplicate or malformed kernel", name))
+	}
+	binaryReduces[name] = k
+}
+
+// LookupMap resolves a map kernel by name and validates the parameter
+// vector against its declared arity — called on both sides of the
+// wire, so a missing parameter fails fast at the client and cannot
+// slip to a half-applied batch via a stale registry either.
+func LookupMap(name string, params []float64) (Map, error) {
+	mu.RLock()
+	k, ok := maps[name]
+	mu.RUnlock()
+	if !ok {
+		return Map{}, fmt.Errorf("kernel: unknown map kernel %q", name)
+	}
+	return k, CheckParams(name, k.MinParams, params)
+}
+
+// LookupReduce resolves a reduction kernel by name, validating params.
+func LookupReduce(name string, params []float64) (Reduce, error) {
+	mu.RLock()
+	k, ok := reduces[name]
+	mu.RUnlock()
+	if !ok {
+		return Reduce{}, fmt.Errorf("kernel: unknown reduce kernel %q", name)
+	}
+	return k, CheckParams(name, k.MinParams, params)
+}
+
+// LookupBinary resolves a two-operand map kernel by name, validating
+// params.
+func LookupBinary(name string, params []float64) (Binary, error) {
+	mu.RLock()
+	k, ok := binaries[name]
+	mu.RUnlock()
+	if !ok {
+		return Binary{}, fmt.Errorf("kernel: unknown binary kernel %q", name)
+	}
+	return k, CheckParams(name, k.MinParams, params)
+}
+
+// LookupBinaryReduce resolves a two-operand reduction kernel by name,
+// validating params.
+func LookupBinaryReduce(name string, params []float64) (BinaryReduce, error) {
+	mu.RLock()
+	k, ok := binaryReduces[name]
+	mu.RUnlock()
+	if !ok {
+		return BinaryReduce{}, fmt.Errorf("kernel: unknown binary reduce kernel %q", name)
+	}
+	return k, CheckParams(name, k.MinParams, params)
+}

@@ -3,6 +3,7 @@ package pagedev
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"oopp/internal/disk"
 	"oopp/internal/rmi"
@@ -98,15 +99,17 @@ func (b *remoteBacking) close() error { return nil }
 
 // pageDevice is the server-side object: the storage process of §2. Its
 // methods run serially through the object mailbox, so the scratch buffer
-// and counters need no locks — the object is its process.
+// needs no lock — the object is its process. The I/O counters are
+// atomic because the owner-computes halo-serving methods (readSubBatch)
+// run concurrently, outside the mailbox, with their own buffers.
 type pageDevice struct {
 	name      string
 	numPages  int
 	pageSize  int
 	diskIndex int // DiskPrivate, diskRemote, or a machine disk index
 	store     backing
-	reads     int64
-	writes    int64
+	reads     atomic.Int64
+	writes    atomic.Int64
 	scratch   []byte
 }
 
@@ -124,6 +127,9 @@ func (p *pageDevice) checkIndex(index int) error {
 	return nil
 }
 
+// readInto and write are safe for concurrent use (the backing store is
+// mutex-guarded, the counters atomic) provided dst/src are caller-owned
+// — the contract the concurrent halo-serving methods rely on.
 func (p *pageDevice) readInto(index int, dst []byte) error {
 	if err := p.checkIndex(index); err != nil {
 		return err
@@ -131,7 +137,7 @@ func (p *pageDevice) readInto(index int, dst []byte) error {
 	if err := p.store.readPage(index, dst); err != nil {
 		return err
 	}
-	p.reads++
+	p.reads.Add(1)
 	return nil
 }
 
@@ -145,7 +151,7 @@ func (p *pageDevice) write(index int, src []byte) error {
 	if err := p.store.writePage(index, src); err != nil {
 		return err
 	}
-	p.writes++
+	p.writes.Add(1)
 	return nil
 }
 
@@ -231,8 +237,8 @@ func registerBaseMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
 		}).
 		Method("stats", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			p := obj.base()
-			reply.PutVarint(p.reads)
-			reply.PutVarint(p.writes)
+			reply.PutVarint(p.reads.Load())
+			reply.PutVarint(p.writes.Load())
 			return nil
 		}).
 		Method("copyFrom", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
@@ -357,12 +363,7 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		})
 
 	// loadPage pulls page index into the scratch element buffer.
-	loadPage := func(a *arrayPageDevice, index int) error {
-		if err := a.readInto(index, a.scratch); err != nil {
-			return err
-		}
-		return BytesToFloat64s(a.elems, a.scratch)
-	}
+	loadPage := func(a *arrayPageDevice, index int) error { return a.loadPage(index) }
 
 	c.Method("sum", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 		// The §3 "move the computation to the data" method: the page never
@@ -477,7 +478,13 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 			return err
 		}
 		page := ArrayPage{N1: a.n1, N2: a.n2, N3: a.n3, Data: a.elems}
-		lo, hi := page.MinMax()
+		lo, hi, ok := page.MinMax()
+		if !ok {
+			// Unreachable for a constructed device (dims are validated
+			// positive), but an explicit failure beats shipping the ±Inf
+			// identity as if it were data.
+			return fmt.Errorf("pagedev: minmaxPage on empty page %d", index)
+		}
 		reply.PutFloat64(lo)
 		reply.PutFloat64(hi)
 		return nil
@@ -492,22 +499,7 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 	// decodeSubBox reads a sub-box header (origin + dims in local page
 	// coordinates) and validates it against the page geometry.
 	decodeSubBox := func(a *arrayPageDevice, args *wire.Decoder) (lo [3]int, dim [3]int, err error) {
-		for x := 0; x < 3; x++ {
-			lo[x] = args.Int()
-		}
-		for x := 0; x < 3; x++ {
-			dim[x] = args.Int()
-		}
-		if err := args.Err(); err != nil {
-			return lo, dim, err
-		}
-		page := [3]int{a.n1, a.n2, a.n3}
-		for x := 0; x < 3; x++ {
-			if lo[x] < 0 || dim[x] < 0 || lo[x]+dim[x] > page[x] {
-				return lo, dim, fmt.Errorf("pagedev: sub-box axis %d [%d,%d) outside page [0,%d)", x, lo[x], lo[x]+dim[x], page[x])
-			}
-		}
-		return lo, dim, nil
+		return a.decodeSubBox(args)
 	}
 
 	// The sub-page mutators below run as serial methods, so a read-modify-
@@ -609,25 +601,19 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 	// server-to-server RMI — data objects communicating with data objects
 	// (§5), no client in the data path.
 	//
-	// Self-reference fast path: when the peer is this very process (e.g.
-	// Dot(a, a) under a layout that maps both pages to one device), an RMI
+	// Co-location fast path: when the peer lives in this very address
+	// space (same machine — including this very object, e.g. Dot(a, a)
+	// under a layout that maps both pages to one device, where an RMI
 	// call would queue behind the running method in the object's own
-	// mailbox and deadlock; the page is read directly instead.
+	// mailbox and deadlock), the page is read directly through the
+	// peer's thread-safe store instead of crossing the loopback link.
 	fetchPeerPage := func(a *arrayPageDevice, env *rmi.Env, peer rmi.Ref, peerIdx int, dst []float64) error {
-		if peer.Machine == env.Machine {
-			if res, ok := env.Resource(rmi.ResourceServer); ok {
-				if srv, ok := res.(*rmi.Server); ok {
-					if inst, ok := srv.Object(peer.Object); ok {
-						if self, ok := inst.(*arrayPageDevice); ok && self == a {
-							buf := make([]byte, a.pageSize)
-							if err := a.readInto(peerIdx, buf); err != nil {
-								return err
-							}
-							return BytesToFloat64s(dst, buf)
-						}
-					}
-				}
+		if local, ok := localArrayDevice(env, peer); ok {
+			buf := make([]byte, local.pageSize)
+			if err := local.readInto(peerIdx, buf); err != nil {
+				return err
 			}
+			return BytesToFloat64s(dst, buf)
 		}
 		if env.Client == nil {
 			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
@@ -693,5 +679,71 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		}
 		return a.write(localIdx, a.scratch)
 	})
+	registerKernelMethods(c)
+	registerOwnerMethods(c)
 	return c
+}
+
+// loadPage pulls page index into the scratch element buffer. Serial
+// methods only: it uses the object-owned buffers.
+func (a *arrayPageDevice) loadPage(index int) error {
+	if err := a.readInto(index, a.scratch); err != nil {
+		return err
+	}
+	return BytesToFloat64s(a.elems, a.scratch)
+}
+
+// storePage packs the scratch element buffer back into page index.
+func (a *arrayPageDevice) storePage(index int) error {
+	if err := Float64sToBytes(a.scratch, a.elems); err != nil {
+		return err
+	}
+	return a.write(index, a.scratch)
+}
+
+// decodeSubBox reads a sub-box header (origin + dims in local page
+// coordinates) and validates it against the page geometry.
+func (a *arrayPageDevice) decodeSubBox(args *wire.Decoder) (lo [3]int, dim [3]int, err error) {
+	for x := 0; x < 3; x++ {
+		lo[x] = args.Int()
+	}
+	for x := 0; x < 3; x++ {
+		dim[x] = args.Int()
+	}
+	if err := args.Err(); err != nil {
+		return lo, dim, err
+	}
+	page := [3]int{a.n1, a.n2, a.n3}
+	for x := 0; x < 3; x++ {
+		if lo[x] < 0 || dim[x] < 0 || lo[x]+dim[x] > page[x] {
+			return lo, dim, fmt.Errorf("pagedev: sub-box axis %d [%d,%d) outside page [0,%d)", x, lo[x], lo[x]+dim[x], page[x])
+		}
+	}
+	return lo, dim, nil
+}
+
+// localArrayDevice resolves a ref to a co-located ArrayPageDevice object
+// when the ref points into this machine's own server — the shared
+// address-space fast path of the device-to-device transfers. Callers
+// may only use the peer's thread-safe surface (readInto/write with
+// caller-owned buffers), never its scratch buffers: the peer's mailbox
+// may be running a method of its own.
+func localArrayDevice(env *rmi.Env, ref rmi.Ref) (*arrayPageDevice, bool) {
+	if ref.Machine != env.Machine {
+		return nil, false
+	}
+	res, ok := env.Resource(rmi.ResourceServer)
+	if !ok {
+		return nil, false
+	}
+	srv, ok := res.(*rmi.Server)
+	if !ok {
+		return nil, false
+	}
+	inst, ok := srv.Object(ref.Object)
+	if !ok {
+		return nil, false
+	}
+	dev, ok := inst.(*arrayPageDevice)
+	return dev, ok
 }

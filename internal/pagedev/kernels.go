@@ -1,0 +1,506 @@
+package pagedev
+
+// The device-side kernel execution engine: the server half of the
+// owner-computes array surface. Each method receives a kernel name (a
+// wire identifier resolved in the process-global internal/kernel
+// registry) plus a batch of page regions, and runs the kernel where the
+// pages live — one RMI per *device* replaces one RMI per *page*, and
+// for reductions only a fixed-width accumulator crosses the network.
+//
+// Method concurrency classes (they matter — see the mailbox rules in
+// the rmi package doc):
+//
+//	applyK, reduceK, applyAllK, reduceAllK   serial (use object buffers)
+//	applyBinaryK, reduceBinaryK, pullSubBatch serial; pull peer operands
+//	                                          device-to-device
+//	readSubBatch                              CONCURRENT: serves peer
+//	                                          pulls while this object's
+//	                                          mailbox is busy (two
+//	                                          devices mid-sweep can
+//	                                          exchange halos without
+//	                                          deadlock); uses only
+//	                                          caller-owned buffers
+//
+// Batches are not transactional: a mid-batch failure leaves earlier
+// regions applied, exactly like a mid-loop failure of the per-page
+// surface it replaces.
+
+import (
+	"context"
+	"fmt"
+
+	"oopp/internal/kernel"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// subReq addresses one sub-box of one page for a batched read.
+type subReq struct {
+	idx int
+	lo  [3]int
+	dim [3]int
+}
+
+func (r subReq) size() int { return r.dim[0] * r.dim[1] * r.dim[2] }
+
+// forEachRow visits the contiguous axis-3 runs of a sub-box within an
+// n1×n2×n3 page buffer.
+func forEachRow(elems []float64, n2, n3 int, lo, dim [3]int, fn func(row []float64)) {
+	for i := 0; i < dim[0]; i++ {
+		for j := 0; j < dim[1]; j++ {
+			off := ((lo[0]+i)*n2+(lo[1]+j))*n3 + lo[2]
+			fn(elems[off : off+dim[2]])
+		}
+	}
+}
+
+// gatherRowsFromBytes unpacks just the rows of a sub-box straight from
+// little-endian page bytes into dst, row-major — the halo-serving hot
+// path converts O(box) elements, not O(page) (a halo plane is 1/n1 of
+// its page).
+func gatherRowsFromBytes(page []byte, n2, n3 int, lo, dim [3]int, dst []float64) error {
+	pos := 0
+	for i := 0; i < dim[0]; i++ {
+		for j := 0; j < dim[1]; j++ {
+			off := ((lo[0]+i)*n2+(lo[1]+j))*n3 + lo[2]
+			if err := BytesToFloat64s(dst[pos:pos+dim[2]], page[8*off:8*(off+dim[2])]); err != nil {
+				return err
+			}
+			pos += dim[2]
+		}
+	}
+	return nil
+}
+
+// decodeKernelHeader reads the (name, params) prefix shared by every
+// kernel method.
+func decodeKernelHeader(args *wire.Decoder) (name string, params []float64, err error) {
+	name = args.String()
+	params = args.Float64s()
+	return name, params, args.Err()
+}
+
+// fetchSubBatch pulls the row-packed values of each request from a peer
+// device into the caller-owned dst slices (dst[i] must have size
+// reqs[i].size()). Co-located peers are read directly through their
+// thread-safe store; remote peers are served by their concurrent
+// readSubBatch method, so a peer that is itself mid-method still
+// answers — this is what lets two devices exchange halos while both
+// are inside a sweep.
+func (a *arrayPageDevice) fetchSubBatch(env *rmi.Env, peer rmi.Ref, reqs []subReq, dst [][]float64) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	if local, ok := localArrayDevice(env, peer); ok {
+		buf := make([]byte, local.pageSize)
+		for i, rq := range reqs {
+			if rq.size() == 0 {
+				continue
+			}
+			if err := local.readInto(rq.idx, buf); err != nil {
+				return err
+			}
+			if err := gatherRowsFromBytes(buf, local.n2, local.n3, rq.lo, rq.dim, dst[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if env.Client == nil {
+		return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+	}
+	d, err := env.Client.Call(context.Background(), peer, "readSubBatch", func(e *wire.Encoder) error {
+		e.PutInt(len(reqs))
+		for _, rq := range reqs {
+			putSubBox(e, rq.idx, SubBox{Lo: rq.lo, Dim: rq.dim})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	for i := range reqs {
+		d.Float64sInto(dst[i])
+	}
+	return d.Err()
+}
+
+// fetchSub is fetchSubBatch for a single region.
+func (a *arrayPageDevice) fetchSub(env *rmi.Env, peer rmi.Ref, rq subReq, dst []float64) error {
+	return a.fetchSubBatch(env, peer, []subReq{rq}, [][]float64{dst})
+}
+
+// registerKernelMethods installs the kernel execution protocol on the
+// ArrayPageDevice class.
+func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
+	// applyK(name, params, count, count×(idx, box)): run a map kernel in
+	// place over each listed region. Replies with the element count
+	// touched.
+	c.Method("applyK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupMap(name, params)
+		if err != nil {
+			return err
+		}
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		touched := 0
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			rq := subReq{idx: idx, lo: lo, dim: dim}
+			if rq.size() == 0 {
+				continue
+			}
+			// A write-only kernel over a whole page needs no prior load
+			// (Fill stays write-only, as the per-page path it replaced).
+			wholePage := rq.size() == len(a.elems)
+			if !(k.Overwrites && wholePage) {
+				if err := a.loadPage(idx); err != nil {
+					return err
+				}
+			}
+			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) { k.Fn(row, params) })
+			if err := a.storePage(idx); err != nil {
+				return err
+			}
+			touched += rq.size()
+		}
+		reply.PutVarint(int64(touched))
+		return nil
+	})
+
+	// reduceK(name, params, count, count×(idx, box)): fold a reduction
+	// kernel over the listed regions; only (count, accumulator) returns.
+	// Empty regions are skipped — they contribute nothing, so the
+	// reduction identity (e.g. ±Inf for minmax) can never leak into a
+	// combined result.
+	c.Method("reduceK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupReduce(name, params)
+		if err != nil {
+			return err
+		}
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		acc := k.NewAcc(params)
+		folded := 0
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			rq := subReq{idx: idx, lo: lo, dim: dim}
+			if rq.size() == 0 {
+				continue
+			}
+			if err := a.loadPage(idx); err != nil {
+				return err
+			}
+			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) { k.Row(acc, row, params) })
+			folded += rq.size()
+		}
+		reply.PutVarint(int64(folded))
+		reply.PutFloat64s(acc)
+		return nil
+	})
+
+	// applyBinaryK(name, params, count, count×(idx, box, peerRef,
+	// peerIdx)): dst region op= the co-indexed region of a peer device's
+	// page, pulled device-to-device (locally when co-located).
+	c.Method("applyBinaryK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupBinary(name, params)
+		if err != nil {
+			return err
+		}
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		var peerBuf []float64
+		touched := 0
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			peer := args.Ref()
+			peerIdx := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			rq := subReq{idx: idx, lo: lo, dim: dim}
+			size := rq.size()
+			if size == 0 {
+				continue
+			}
+			if cap(peerBuf) < size {
+				peerBuf = make([]float64, size)
+			}
+			vals := peerBuf[:size]
+			if err := a.fetchSub(env, peer, subReq{idx: peerIdx, lo: lo, dim: dim}, vals); err != nil {
+				return err
+			}
+			if err := a.loadPage(idx); err != nil {
+				return err
+			}
+			pos := 0
+			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) {
+				k.Fn(row, vals[pos:pos+len(row)], params)
+				pos += len(row)
+			})
+			if err := a.storePage(idx); err != nil {
+				return err
+			}
+			touched += size
+		}
+		reply.PutVarint(int64(touched))
+		return nil
+	})
+
+	// reduceBinaryK: the two-operand reduction (dot products) — like
+	// applyBinaryK but folding into an accumulator instead of writing.
+	c.Method("reduceBinaryK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupBinaryReduce(name, params)
+		if err != nil {
+			return err
+		}
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		acc := k.NewAcc(params)
+		var peerBuf []float64
+		folded := 0
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			peer := args.Ref()
+			peerIdx := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			rq := subReq{idx: idx, lo: lo, dim: dim}
+			size := rq.size()
+			if size == 0 {
+				continue
+			}
+			if cap(peerBuf) < size {
+				peerBuf = make([]float64, size)
+			}
+			vals := peerBuf[:size]
+			if err := a.fetchSub(env, peer, subReq{idx: peerIdx, lo: lo, dim: dim}, vals); err != nil {
+				return err
+			}
+			if err := a.loadPage(idx); err != nil {
+				return err
+			}
+			pos := 0
+			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) {
+				k.Row(acc, row, vals[pos:pos+len(row)], params)
+				pos += len(row)
+			})
+			folded += size
+		}
+		reply.PutVarint(int64(folded))
+		reply.PutFloat64s(acc)
+		return nil
+	})
+
+	// applyAllK(name, params): run a map kernel over every physical page
+	// — the whole-device broadcast half of a storage-wide operation
+	// (FillAll generalized to any registered kernel).
+	c.Method("applyAllK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupMap(name, params)
+		if err != nil {
+			return err
+		}
+		for idx := 0; idx < a.numPages; idx++ {
+			// A whole page is one contiguous run; write-only kernels
+			// (Fill) skip the load entirely.
+			if !k.Overwrites {
+				if err := a.loadPage(idx); err != nil {
+					return err
+				}
+			}
+			k.Fn(a.elems, params)
+			if err := a.storePage(idx); err != nil {
+				return err
+			}
+		}
+		reply.PutVarint(int64(a.numPages * len(a.elems)))
+		return nil
+	})
+
+	// reduceAllK(name, params): fold a reduction kernel over every
+	// physical page; replies (count, accumulator).
+	c.Method("reduceAllK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name, params, err := decodeKernelHeader(args)
+		if err != nil {
+			return err
+		}
+		k, err := kernel.LookupReduce(name, params)
+		if err != nil {
+			return err
+		}
+		acc := k.NewAcc(params)
+		for idx := 0; idx < a.numPages; idx++ {
+			if err := a.loadPage(idx); err != nil {
+				return err
+			}
+			k.Row(acc, a.elems, params)
+		}
+		reply.PutVarint(int64(a.numPages * len(a.elems)))
+		reply.PutFloat64s(acc)
+		return nil
+	})
+
+	// readSubBatch(count, count×(idx, box)): serve the row-packed values
+	// of each region. CONCURRENT — runs outside the mailbox with its own
+	// buffers, so this device can serve peer pulls (halo planes, binary
+	// operands) even while one of its own serial methods is running.
+	c.ConcurrentMethod("readSubBatch", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		buf := make([]byte, a.pageSize)
+		var out []float64
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			rq := subReq{idx: idx, lo: lo, dim: dim}
+			size := rq.size()
+			if size == 0 {
+				reply.PutFloat64s(nil)
+				continue
+			}
+			if err := a.readInto(idx, buf); err != nil {
+				return err
+			}
+			if cap(out) < size {
+				out = make([]float64, size)
+			}
+			if err := gatherRowsFromBytes(buf, a.n2, a.n3, lo, dim, out[:size]); err != nil {
+				return err
+			}
+			reply.PutFloat64s(out[:size])
+		}
+		return nil
+	})
+
+	// pullSubBatch(peerRef, count, count×(localIdx, box, peerIdx)):
+	// overwrite each local region with the co-indexed region pulled from
+	// the peer device — the owner-computes transfer primitive (the §5
+	// copyFrom generalized from whole page runs to sub-box batches
+	// between two distributed arrays). One peer per call; the client
+	// groups regions by (destination device, source device).
+	c.Method("pullSubBatch", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		peer := args.Ref()
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		reqs := make([]subReq, 0, count)
+		local := make([]subReq, 0, count)
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			peerIdx := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			local = append(local, subReq{idx: idx, lo: lo, dim: dim})
+			reqs = append(reqs, subReq{idx: peerIdx, lo: lo, dim: dim})
+		}
+		// One batched pull for the whole call, then scatter locally.
+		vals := make([][]float64, len(reqs))
+		for i, rq := range reqs {
+			vals[i] = make([]float64, rq.size())
+		}
+		if err := a.fetchSubBatch(env, peer, reqs, vals); err != nil {
+			return err
+		}
+		touched := 0
+		for i, lr := range local {
+			if lr.size() == 0 {
+				continue
+			}
+			if err := a.loadPage(lr.idx); err != nil {
+				return err
+			}
+			pos := 0
+			forEachRow(a.elems, a.n2, a.n3, lr.lo, lr.dim, func(row []float64) {
+				copy(row, vals[i][pos:pos+len(row)])
+				pos += len(row)
+			})
+			if err := a.storePage(lr.idx); err != nil {
+				return err
+			}
+			touched += lr.size()
+		}
+		reply.PutVarint(int64(touched))
+		return nil
+	})
+
+	// copyPages(count, count×(srcIdx, dstIdx)): device-local page copies
+	// (bank moves of the owner-computes Jacobi; no data leaves the
+	// device).
+	c.Method("copyPages", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		for n := 0; n < count; n++ {
+			src := args.Int()
+			dst := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if err := a.readInto(src, a.scratch); err != nil {
+				return err
+			}
+			if err := a.write(dst, a.scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

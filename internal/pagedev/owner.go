@@ -1,0 +1,178 @@
+package pagedev
+
+// The owner-computes Jacobi sweep: the structured-grid workload
+// executed inside the storage devices that own the slabs. Each call
+// sweeps one page-plane (all pages sharing the first page-grid
+// coordinate, which a plane-aligned PageMap stores on one device): the
+// device assembles its slab plus one halo plane pulled from each
+// neighbouring device (served by their concurrent readSubBatch, so
+// neighbours mid-sweep still answer), applies the stencil, and writes
+// the result into a second page bank on the same device. Per sweep,
+// only the O(N²) halo planes and an O(1) residual scalar cross the
+// network — against the client-side path's O(N³) page traffic.
+
+import (
+	"fmt"
+	"math"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
+	// jacobiPlane(srcOff, dstOff, qbase, N1, N2, N3, P2, P3,
+	//             P2*P3×pageIdx,
+	//             hasLo [loRef, P2*P3×loIdx],
+	//             hasHi [hiRef, P2*P3×hiIdx]):
+	// sweep the page-plane whose global first-axis range is
+	// [qbase, qbase+n1), reading bank srcOff and writing bank dstOff
+	// (offsets added to every page index). Replies the plane's max
+	// |update| over interior points.
+	c.Method("jacobiPlane", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		srcOff, dstOff := args.Int(), args.Int()
+		qbase := args.Int()
+		N1, N2, N3 := args.Int(), args.Int(), args.Int()
+		P2, P3 := args.Int(), args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		n1, n2, n3 := a.n1, a.n2, a.n3
+		if P2 <= 0 || P3 <= 0 || n2*P2 != N2 || n3*P3 != N3 {
+			return fmt.Errorf("pagedev: jacobiPlane grid %dx%d of %dx%dx%d pages does not tile %dx%dx%d", P2, P3, n1, n2, n3, N1, N2, N3)
+		}
+		if qbase < 0 || qbase+n1 > N1 {
+			return fmt.Errorf("pagedev: jacobiPlane slab [%d,%d) outside [0,%d)", qbase, qbase+n1, N1)
+		}
+		pages := make([]int, P2*P3)
+		for i := range pages {
+			pages[i] = args.Int()
+		}
+		readHalo := func() (ref rmi.Ref, idxs []int, ok bool) {
+			ok = args.Bool()
+			if !ok {
+				return ref, nil, false
+			}
+			ref = args.Ref()
+			idxs = make([]int, P2*P3)
+			for i := range idxs {
+				idxs[i] = args.Int()
+			}
+			return ref, idxs, true
+		}
+		loRef, loPages, hasLo := readHalo()
+		hiRef, hiPages, hasHi := readHalo()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		if (qbase > 0) != hasLo || (qbase+n1 < N1) != hasHi {
+			return fmt.Errorf("pagedev: jacobiPlane halo presence inconsistent with slab [%d,%d) of [0,%d)", qbase, qbase+n1, N1)
+		}
+
+		// Assemble the source slab: n1 global planes plus the halo
+		// planes, indexed slab[(si*N2+gj)*N3+gk].
+		row0 := 0
+		H := n1
+		if hasLo {
+			row0, H = 1, H+1
+		}
+		if hasHi {
+			H++
+		}
+		slab := make([]float64, H*N2*N3)
+		pageBytes := make([]byte, a.pageSize)
+		pageElems := make([]float64, n1*n2*n3)
+		for p2 := 0; p2 < P2; p2++ {
+			for p3 := 0; p3 < P3; p3++ {
+				if err := a.readInto(pages[p2*P3+p3]+srcOff, pageBytes); err != nil {
+					return err
+				}
+				if err := BytesToFloat64s(pageElems, pageBytes); err != nil {
+					return err
+				}
+				for i := 0; i < n1; i++ {
+					for j := 0; j < n2; j++ {
+						src := pageElems[(i*n2+j)*n3 : (i*n2+j)*n3+n3]
+						off := ((row0+i)*N2+p2*n2+j)*N3 + p3*n3
+						copy(slab[off:off+n3], src)
+					}
+				}
+			}
+		}
+		// Halo planes: one batched device-to-device pull per neighbour.
+		pullHalo := func(peer rmi.Ref, idxs []int, peerPlane, slabRow int) error {
+			reqs := make([]subReq, 0, P2*P3)
+			vals := make([][]float64, 0, P2*P3)
+			for p2 := 0; p2 < P2; p2++ {
+				for p3 := 0; p3 < P3; p3++ {
+					reqs = append(reqs, subReq{
+						idx: idxs[p2*P3+p3] + srcOff,
+						lo:  [3]int{peerPlane, 0, 0},
+						dim: [3]int{1, n2, n3},
+					})
+					vals = append(vals, make([]float64, n2*n3))
+				}
+			}
+			if err := a.fetchSubBatch(env, peer, reqs, vals); err != nil {
+				return err
+			}
+			for p2 := 0; p2 < P2; p2++ {
+				for p3 := 0; p3 < P3; p3++ {
+					v := vals[p2*P3+p3]
+					for j := 0; j < n2; j++ {
+						off := (slabRow*N2+p2*n2+j)*N3 + p3*n3
+						copy(slab[off:off+n3], v[j*n3:(j+1)*n3])
+					}
+				}
+			}
+			return nil
+		}
+		if hasLo {
+			if err := pullHalo(loRef, loPages, n1-1, 0); err != nil {
+				return fmt.Errorf("pagedev: jacobiPlane lo halo: %w", err)
+			}
+		}
+		if hasHi {
+			if err := pullHalo(hiRef, hiPages, 0, H-1); err != nil {
+				return fmt.Errorf("pagedev: jacobiPlane hi halo: %w", err)
+			}
+		}
+
+		// Sweep: interior points average their six neighbours, boundary
+		// points carry over — the same arithmetic, in the same order, as
+		// the client-side sweep, so the two paths agree bit for bit.
+		at := func(si, gj, gk int) float64 { return slab[(si*N2+gj)*N3+gk] }
+		var residual float64
+		for p2 := 0; p2 < P2; p2++ {
+			for p3 := 0; p3 < P3; p3++ {
+				for i := 0; i < n1; i++ {
+					gi, si := qbase+i, row0+i
+					for j := 0; j < n2; j++ {
+						gj := p2*n2 + j
+						out := pageElems[(i*n2+j)*n3 : (i*n2+j)*n3+n3]
+						for k := 0; k < n3; k++ {
+							gk := p3*n3 + k
+							v := at(si, gj, gk)
+							if gi > 0 && gi < N1-1 && gj > 0 && gj < N2-1 && gk > 0 && gk < N3-1 {
+								avg := (at(si-1, gj, gk) + at(si+1, gj, gk) +
+									at(si, gj-1, gk) + at(si, gj+1, gk) +
+									at(si, gj, gk-1) + at(si, gj, gk+1)) / 6
+								out[k] = avg
+								residual = math.Max(residual, math.Abs(avg-v))
+							} else {
+								out[k] = v
+							}
+						}
+					}
+				}
+				if err := Float64sToBytes(pageBytes, pageElems); err != nil {
+					return err
+				}
+				if err := a.write(pages[p2*P3+p3]+dstOff, pageBytes); err != nil {
+					return err
+				}
+			}
+		}
+		reply.PutFloat64(residual)
+		return nil
+	})
+}

@@ -79,8 +79,11 @@ func (p *ArrayPage) Fill(v float64) {
 	}
 }
 
-// MinMax returns the extrema; for an empty page it returns (+Inf, -Inf).
-func (p *ArrayPage) MinMax() (min, max float64) {
+// MinMax returns the extrema. ok is false for an empty page, in which
+// case (min, max) is the reduction identity (+Inf, -Inf) — previously
+// that identity was returned indistinguishably from data and could
+// silently poison a combined reduction.
+func (p *ArrayPage) MinMax() (min, max float64, ok bool) {
 	min, max = math.Inf(1), math.Inf(-1)
 	for _, v := range p.Data {
 		if v < min {
@@ -90,7 +93,7 @@ func (p *ArrayPage) MinMax() (min, max float64) {
 			max = v
 		}
 	}
-	return min, max
+	return min, max, len(p.Data) > 0
 }
 
 // Elems returns the element count N1*N2*N3.

@@ -577,9 +577,19 @@ func TestArrayPageValueOps(t *testing.T) {
 	if s := p.Sum(); s != 24 {
 		t.Fatalf("scaled sum = %v", s)
 	}
-	lo, hi := p.MinMax()
-	if lo != 1 || hi != 1 {
-		t.Fatalf("minmax = %v,%v", lo, hi)
+	lo, hi, ok := p.MinMax()
+	if lo != 1 || hi != 1 || !ok {
+		t.Fatalf("minmax = %v,%v,%v", lo, hi, ok)
+	}
+	// An empty page reports !ok instead of silently returning the ±Inf
+	// identity as if it were data.
+	empty := &pagedev.ArrayPage{}
+	elo, ehi, eok := empty.MinMax()
+	if eok {
+		t.Fatal("empty page reported ok extrema")
+	}
+	if !math.IsInf(elo, 1) || !math.IsInf(ehi, -1) {
+		t.Fatalf("empty page identity = %v,%v", elo, ehi)
 	}
 	pg := pagedev.NewPage(16)
 	if pg.Len() != 16 {

@@ -64,14 +64,14 @@ func (p *pageDevice) LoadState(env *rmi.Env, d *wire.Decoder) error {
 		if env.Client == nil {
 			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
 		}
-		*p = pageDevice{
+		p.restoreFrom(&pageDevice{
 			name:      name,
 			numPages:  numPages,
 			pageSize:  pageSize,
 			diskIndex: diskRemote,
 			store:     &remoteBacking{client: env.Client, ref: src},
 			scratch:   make([]byte, pageSize),
-		}
+		})
 		return nil
 	default:
 		fresh, err := newPageDevice(env, name, numPages, pageSize, diskIndex)
@@ -92,9 +92,23 @@ func (p *pageDevice) LoadState(env *rmi.Env, d *wire.Decoder) error {
 				}
 			}
 		}
-		*p = *fresh
+		p.restoreFrom(fresh)
 		return nil
 	}
+}
+
+// restoreFrom adopts a freshly constructed device's state field by
+// field — the struct cannot be copied wholesale since the I/O counters
+// are atomics. An activated device starts with zeroed counters.
+func (p *pageDevice) restoreFrom(fresh *pageDevice) {
+	p.name = fresh.name
+	p.numPages = fresh.numPages
+	p.pageSize = fresh.pageSize
+	p.diskIndex = fresh.diskIndex
+	p.store = fresh.store
+	p.scratch = fresh.scratch
+	p.reads.Store(0)
+	p.writes.Store(0)
 }
 
 // SaveState implements persist.Persistable for the derived process.

@@ -9,6 +9,7 @@ import (
 	"oopp/internal/core"
 	"oopp/internal/disk"
 	"oopp/internal/fft"
+	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
 	"oopp/internal/persist"
 	"oopp/internal/pfft"
@@ -237,6 +238,74 @@ func CreateBlockStorage(ctx context.Context, client *Client, machines []int, nam
 // NewArray validates geometry and returns a distributed array client.
 func NewArray(ctx context.Context, storage *BlockStorage, pm PageMap, N1, N2, N3, n1, n2, n3 int) (*Array, error) {
 	return core.NewArray(ctx, storage, pm, N1, N2, N3, n1, n2, n3)
+}
+
+// ---- Owner-computes kernels --------------------------------------------------
+//
+// Array math executes inside the device processes that own the pages:
+// Fill/Scale/Sum/MinMax/Norm2/Dot/Axpy are kernel collectives (one RMI
+// per involved device), and Array.Apply/Reduce/ApplyBinary/ReduceBinary
+// run user-registered kernels the same way. See the "Owner-computes
+// kernels" chapter of the package doc.
+
+type (
+	// MapKernel transforms one contiguous row of elements in place.
+	MapKernel = kernel.Map
+	// ReduceKernel folds rows into a fixed-width accumulator
+	// device-side; partials merge client-side.
+	ReduceKernel = kernel.Reduce
+	// BinaryKernel transforms a destination row given the co-indexed
+	// source row pulled from a peer device.
+	BinaryKernel = kernel.Binary
+	// BinaryReduceKernel folds co-indexed row pairs (dot products).
+	BinaryReduceKernel = kernel.BinaryReduce
+)
+
+// Builtin kernel names, usable with Array.Apply/Reduce and
+// BlockStorage.ApplyAll/ReduceAll.
+const (
+	KernelFill   = kernel.Fill
+	KernelScale  = kernel.Scale
+	KernelAddC   = kernel.AddC
+	KernelSum    = kernel.Sum
+	KernelMinMax = kernel.MinMax
+	KernelSumSq  = kernel.SumSq
+	KernelAbsMax = kernel.AbsMax
+	KernelAxpy   = kernel.Axpy
+	KernelCopy   = kernel.Copy
+	KernelMul    = kernel.Mul
+	KernelDot    = kernel.Dot
+)
+
+// RegisterMapKernel installs a map kernel under a stable wire name.
+// Like class registration, kernels register at init time in every
+// process of a deployment (same binary ⇒ same registry).
+func RegisterMapKernel(name string, k MapKernel) { kernel.RegisterMap(name, k) }
+
+// RegisterReduceKernel installs a reduction kernel.
+func RegisterReduceKernel(name string, k ReduceKernel) { kernel.RegisterReduce(name, k) }
+
+// RegisterBinaryKernel installs a two-operand map kernel.
+func RegisterBinaryKernel(name string, k BinaryKernel) { kernel.RegisterBinary(name, k) }
+
+// RegisterBinaryReduceKernel installs a two-operand reduction kernel.
+func RegisterBinaryReduceKernel(name string, k BinaryReduceKernel) {
+	kernel.RegisterBinaryReduce(name, k)
+}
+
+// Jacobi runs the client-side Jacobi solver: sweeps read halo-expanded
+// slabs to the client, compute locally, and write interiors back.
+func Jacobi(ctx context.Context, a, b *Array, iters, clients int) (float64, error) {
+	return core.Jacobi(ctx, a, b, iters, clients)
+}
+
+// JacobiOwner runs the owner-computes Jacobi solver: sweeps execute
+// inside the storage devices on the slabs they hold, exchanging only
+// halo planes device-to-device. Requires a plane-aligned PageMap
+// (striped) and devices created with 2×PagesPerDevice capacity for the
+// in-place scratch bank.
+func JacobiOwner(ctx context.Context, a *Array, iters int) (float64, error) {
+	return core.JacobiOwner(ctx, a, iters)
 }
 
 // PublishArray registers arr as a collection of persistent processes

@@ -12,10 +12,15 @@ import (
 	"testing"
 
 	"oopp"
+	"oopp/internal/metrics"
 )
 
 // bg is the neutral context for call sites with no deadline.
 var bg = context.Background()
+
+// metricsSnapshot reads the cluster-wide payload-bytes-sent counter
+// (every frame counted once at its sender, server-to-server included).
+func metricsSnapshot() int64 { return metrics.Default.Snapshot().BytesSent }
 
 func TestFacadeQuickstartScenario(t *testing.T) {
 	cl, err := oopp.NewLocalCluster(3, 0)
@@ -398,4 +403,125 @@ func TestFacadeErrorsSurface(t *testing.T) {
 	if math.IsNaN(0) {
 		t.Error("unreachable")
 	}
+}
+
+// TestFacadeOwnerComputesScenario runs the owner-computes surface end
+// to end through the facade — user kernels via the Apply/Reduce escape
+// hatch, the owner-computes Jacobi against the client-side path, and
+// the E13 acceptance bound: at 8 devices the owner sweeps must move at
+// least 3x fewer bytes than the client-side sweeps.
+func TestFacadeOwnerComputesScenario(t *testing.T) {
+	const devices = 8
+	const N, page = 32, 4
+	cl, err := oopp.NewLocalCluster(devices, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Shutdown()
+	client := cl.Client()
+	machines := make([]int, devices)
+	for i := range machines {
+		machines[i] = i
+	}
+	grid := N / page
+	mk := func(name string, banks int) *oopp.Array {
+		pm, err := oopp.NewPageMap("striped", grid, grid, grid, devices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		storage, err := oopp.CreateBlockStorage(bg, client, machines, name, banks*pm.PagesPerDevice(), page, page, page, oopp.DiskPrivate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := oopp.NewArray(bg, storage, pm, N, N, N, page, page, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	own := mk("own", 2)
+	ca := mk("ca", 1)
+	cb := mk("cb", 1)
+
+	full := oopp.Box(N, N, N)
+	seed := func(arr *oopp.Array) {
+		if err := arr.Fill(bg, full, 0); err != nil {
+			t.Fatal(err)
+		}
+		hot := oopp.NewDomain(0, 1, 0, N, 0, N)
+		face := make([]float64, hot.Size())
+		for i := range face {
+			face[i] = 100
+		}
+		if err := arr.Write(bg, face, hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A user kernel through the escape hatch (registered in init below,
+	// like class registration: names are once-per-process).
+	seed(own)
+	if err := own.Apply(bg, oopp.NewDomain(0, 1, 0, N, 0, N), "facade.halve"); err != nil {
+		t.Fatalf("apply user kernel: %v", err)
+	}
+	if lo, hi, err := own.MinMax(bg, full); err != nil || lo != 0 || hi != 50 {
+		t.Fatalf("after halve: minmax = (%v,%v), %v", lo, hi, err)
+	}
+	acc, n, err := own.Reduce(bg, full, oopp.KernelAbsMax)
+	if err != nil || n != int64(full.Size()) || acc[0] != 50 {
+		t.Fatalf("absmax = %v (n=%d), %v", acc, n, err)
+	}
+
+	// Owner vs client Jacobi: identical results, >= 3x fewer bytes moved
+	// (the E13 acceptance bound; the measured margin is ~6x).
+	const iters = 4
+	seed(own)
+	seed(ca)
+	bytesDuring := func(f func()) int64 {
+		before := metricsSnapshot()
+		f()
+		return metricsSnapshot() - before
+	}
+	var ownRes, cliRes float64
+	ownBytes := bytesDuring(func() {
+		r, err := oopp.JacobiOwner(bg, own, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownRes = r
+	})
+	cliBytes := bytesDuring(func() {
+		r, err := oopp.Jacobi(bg, ca, cb, iters, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliRes = r
+	})
+	if math.Abs(ownRes-cliRes) > 1e-12 {
+		t.Fatalf("residuals diverge: owner %v client %v", ownRes, cliRes)
+	}
+	gotOwn := make([]float64, full.Size())
+	gotCli := make([]float64, full.Size())
+	if err := own.Read(bg, gotOwn, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.Read(bg, gotCli, full); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotOwn {
+		if math.Abs(gotOwn[i]-gotCli[i]) > 1e-12 {
+			t.Fatalf("element %d: owner %v client %v", i, gotOwn[i], gotCli[i])
+		}
+	}
+	if cliBytes < 3*ownBytes {
+		t.Fatalf("owner sweeps moved %d bytes, client %d — want >= 3x reduction", ownBytes, cliBytes)
+	}
+}
+
+func init() {
+	oopp.RegisterMapKernel("facade.halve", oopp.MapKernel{Fn: func(row, _ []float64) {
+		for i := range row {
+			row[i] /= 2
+		}
+	}})
 }
