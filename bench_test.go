@@ -22,6 +22,7 @@ import (
 	"oopp/internal/pfft"
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
+	"oopp/internal/serve"
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
@@ -582,6 +583,37 @@ func BenchmarkE13_OwnerComputes(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE14_ServingTier — the serving-tier hot path: a small echo
+// call through a pooled Session (front-door multiplexing plus admission
+// control on the server), the operation E14's hotpath phase gates at
+// zero allocations.
+func BenchmarkE14_ServingTier(b *testing.B) {
+	tr := transport.NewInproc(benchLink())
+	cl := benchCluster(b, 1, tr, 0, disk.Model{})
+	p, err := serve.NewPool(serve.PoolConfig{Transport: tr, Directory: cl.Directory(), Conns: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	sess := p.Session()
+	ref, err := sess.New(bg, 0, serve.ClassWork, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	args := serve.EchoArgs(payload)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := sess.Call(bg, ref, "echo", args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Release()
+	}
 }
 
 // BenchmarkE12_Collective — §4: collective broadcast/reduce over a typed

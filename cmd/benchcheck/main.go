@@ -74,6 +74,10 @@ func classify(col string) (dir direction, deterministic bool, usScale float64) {
 		// Bytes-moved columns (E13): transport traffic is a code
 		// property, deterministic under the modeled links.
 		return lowerBetter, true, 0
+	case strings.Contains(c, "shed"):
+		// Shed counts (E14): admission against a parked mailbox admits
+		// exactly capacity and sheds exactly the overflow — deterministic.
+		return lowerBetter, true, 0
 	case strings.Contains(c, "speedup"), strings.Contains(c, "ratio"),
 		strings.Contains(c, "vs "), strings.HasPrefix(c, "vs"),
 		strings.Contains(c, "ideal"), strings.Contains(c, "efficiency"):

@@ -42,6 +42,7 @@ import (
 	"oopp/internal/pagedev"
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
+	_ "oopp/internal/serve" // register the serving-tier Work class
 	"oopp/internal/transport"
 )
 
@@ -56,12 +57,20 @@ func main() {
 	disks := flag.Int("disks", 1, "simulated disks per machine (serve mode)")
 	diskMB := flag.Int64("diskmb", 64, "simulated disk size in MiB")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	admitHigh := flag.Int("admit-high", 0, "in-flight cap for high-priority calls (0 default, negative unbounded)")
+	admitNormal := flag.Int("admit-normal", 0, "in-flight cap for normal-priority calls (0 default, negative unbounded)")
+	admitBulk := flag.Int("admit-bulk", 0, "in-flight cap for bulk-priority calls (0 default, negative unbounded)")
 	flag.Parse()
+	admission := rmi.AdmissionConfig{Capacity: [rmi.NumPriorities]int{
+		rmi.PrioHigh:   *admitHigh,
+		rmi.PrioNormal: *admitNormal,
+		rmi.PrioBulk:   *admitBulk,
+	}}
 
 	var err error
 	switch {
 	case *serve:
-		err = runServer(*machine, *machines, *addr, *peers, *registry, *disks, *diskMB<<20, *drain)
+		err = runServer(*machine, *machines, *addr, *peers, *registry, *disks, *diskMB<<20, *drain, admission)
 	case *demo:
 		err = runDemo(*machines, *peers, *registry)
 	default:
@@ -98,7 +107,7 @@ func directoryFor(size int, peers, registry string) (rmi.Directory, int, error) 
 	}
 }
 
-func runServer(machine, machines int, addr, peers, registry string, disks int, diskSize int64, drain time.Duration) error {
+func runServer(machine, machines int, addr, peers, registry string, disks int, diskSize int64, drain time.Duration, admission rmi.AdmissionConfig) error {
 	dir, size, err := directoryFor(machines, peers, registry)
 	if err != nil {
 		return err
@@ -110,6 +119,7 @@ func runServer(machine, machines int, addr, peers, registry string, disks int, d
 		Machines:  size,
 		Disks:     disks,
 		DiskSize:  diskSize,
+		Admission: admission,
 	}
 	if reg, ok := dir.(*cluster.FileRegistry); ok {
 		cfg.Registry = reg

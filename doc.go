@@ -234,6 +234,55 @@
 // partial success, and a killed machine is restarted to assert
 // registry re-resolution and reconnect.
 //
+// # Serving tier
+//
+// A deployed cluster is a high-fan-in service: thousands of logical
+// callers against a handful of machines. The serving tier makes that
+// shape safe from both ends.
+//
+// On the client, a Pool multiplexes any number of Sessions over a
+// fixed socket budget (PoolConfig.Conns connections per machine, four
+// by default) — 10k concurrent callers do not mean 10k sockets,
+// because every connection already carries any number of concurrent
+// requests. Each call picks the pooled connection with the fewest
+// requests outstanding toward its target, so a connection stuck behind
+// a slow reply stops accumulating new work. Sessions are two words
+// plus their default CallOptions: open one per logical caller, drop it
+// when done.
+//
+//	pool, _ := oopp.NewPool(oopp.PoolConfig{Transport: tr, Directory: dir})
+//	sess := pool.Session(oopp.WithTimeout(5 * time.Second))
+//	fut := sess.CallAsync(ctx, ref, "work", args)
+//
+// On the server, admission control bounds the work each machine
+// accepts, per priority class (AdmissionConfig, set via
+// NodeConfig.Admission or Server.SetAdmission; oppcluster exposes
+// -admit-high/-admit-normal/-admit-bulk). Every request carries its
+// Priority in the wire header — PrioHigh for control traffic (pings,
+// stats, deletes default here), PrioNormal for calls and
+// constructions, PrioBulk for background work; WithPriority overrides
+// per call or per session. A request beyond its class's capacity is
+// shed before its arguments are decoded: the caller gets a typed
+// OverloadedError naming the machine, the saturated class, and a
+// retry-after hint derived from observed service times
+// (oopp.RetryAfter extracts it, locally or across the wire).
+//
+//	if _, err := sess.Call(ctx, ref, "work", args); errors.Is(err, oopp.ErrOverloaded) {
+//	        d, _ := oopp.RetryAfter(err)
+//	        time.Sleep(d) // back off and retry; the server is alive, just full
+//	}
+//
+// The classes keep failure modes separate: a machine saturated with
+// bulk work still answers pings immediately (control traffic never
+// queues behind a full normal class), so heartbeats do not declare a
+// busy machine down, and ErrOverloaded never masks ErrDraining — a
+// draining server says so even when it is also full. The open-loop
+// load generator cmd/opploadgen drives a live cluster through
+// saturation and reports goodput and latency quantiles; experiment E14
+// measures the tier end to end (10k concurrent in-flight calls, exact
+// shed counts against a parked mailbox, a zero-allocation hot path,
+// and goodput held within 20% of peak at twice the saturating load).
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:

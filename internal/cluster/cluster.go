@@ -40,6 +40,10 @@ type Config struct {
 	// DataDir/machine<i>/disk<j>.img and provides machines a scratch
 	// directory for persistence. Empty keeps everything in memory.
 	DataDir string
+	// Admission bounds each machine's in-flight work per priority class
+	// (see rmi.AdmissionConfig). The zero value selects the rmi defaults;
+	// use rmi.Unbounded() to disable shedding entirely.
+	Admission rmi.AdmissionConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +107,7 @@ func New(cfg Config) (*Cluster, error) {
 			c.Shutdown()
 			return nil, err
 		}
+		srv.SetAdmission(cfg.Admission)
 		m := &Machine{id: i, server: srv}
 		env.PutResource(rmi.ResourceServer, srv)
 

@@ -40,6 +40,9 @@ type NodeConfig struct {
 	// DataDir, when non-empty, backs disks with files under it and gives
 	// the machine a persistence scratch directory.
 	DataDir string
+	// Admission bounds the node's in-flight work per priority class (see
+	// rmi.AdmissionConfig). Zero selects the rmi defaults.
+	Admission rmi.AdmissionConfig
 }
 
 // Node is one running machine of a multi-process cluster: its object
@@ -104,6 +107,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		n.Close()
 		return nil, err
 	}
+	srv.SetAdmission(cfg.Admission)
 	n.server = srv
 	env.PutResource(rmi.ResourceServer, srv)
 

@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"testing"
@@ -48,6 +49,12 @@ const (
 	registryEnv = "OPP_E2E_REGISTRY"
 	addrEnv     = "OPP_E2E_ADDR"
 	logEnv      = "OPP_E2E_LOG"
+
+	// AdmitEnv caps the servers' per-priority in-flight work as
+	// "high,normal,bulk" integers (rmi.AdmissionConfig semantics: 0
+	// default, negative unbounded). Tests pass it through StartCluster's
+	// extra environment to run a cluster with tight admission budgets.
+	AdmitEnv = "OPP_E2E_ADMIT"
 
 	// logDirEnv, when set (CI does), collects the per-machine server
 	// logs under a stable directory instead of the test's temp dir.
@@ -82,16 +89,22 @@ func ServerMain() int {
 		log.Printf("registry: %v", err)
 		return 1
 	}
+	admission, err := parseAdmitEnv(os.Getenv(AdmitEnv))
+	if err != nil {
+		log.Printf("%s: %v", AdmitEnv, err)
+		return 1
+	}
 	// Handler first: the harness may SIGTERM as soon as the registry
 	// publish makes this machine visible.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	node, err := cluster.StartNode(cluster.NodeConfig{
-		Machine:  machine,
-		Addr:     getenvDefault(addrEnv, "127.0.0.1:0"),
-		Registry: reg,
-		Disks:    1,
-		DiskSize: 8 << 20,
+		Machine:   machine,
+		Addr:      getenvDefault(addrEnv, "127.0.0.1:0"),
+		Registry:  reg,
+		Disks:     1,
+		DiskSize:  8 << 20,
+		Admission: admission,
 	})
 	if err != nil {
 		log.Printf("boot: %v", err)
@@ -123,6 +136,26 @@ func getenvDefault(key, def string) string {
 	return def
 }
 
+// parseAdmitEnv reads "high,normal,bulk" caps; empty means rmi defaults.
+func parseAdmitEnv(s string) (rmi.AdmissionConfig, error) {
+	var cfg rmi.AdmissionConfig
+	if s == "" {
+		return cfg, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != int(rmi.NumPriorities) {
+		return cfg, fmt.Errorf("want %d comma-separated caps, got %q", rmi.NumPriorities, s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return cfg, fmt.Errorf("cap %d of %q: %w", i, s, err)
+		}
+		cfg.Capacity[i] = v
+	}
+	return cfg, nil
+}
+
 // clusterSeq disambiguates log file names when one test boots several
 // clusters (or several tests share OPP_E2E_LOG_DIR).
 var clusterSeq atomic.Int64
@@ -142,12 +175,15 @@ type Cluster struct {
 
 	cmds   []*exec.Cmd // cmds[i] == nil once machine i was stopped/killed
 	waited []bool
+	extra  []string // extra environment for every server process
 }
 
 // StartCluster boots n server processes and waits until every machine
 // answers pings. Stop is registered as cleanup (and asserts clean server
-// exits), as is dumping server logs if the test failed.
-func StartCluster(t testing.TB, n int) *Cluster {
+// exits), as is dumping server logs if the test failed. Extra "K=V"
+// environment entries are passed to every server process (including
+// restarts) — e.g. AdmitEnv to run the cluster with tight admission caps.
+func StartCluster(t testing.TB, n int, env ...string) *Cluster {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("multi-process e2e cluster skipped in -short mode")
@@ -177,6 +213,7 @@ func StartCluster(t testing.TB, n int) *Cluster {
 		Registry: reg,
 		cmds:     make([]*exec.Cmd, n),
 		waited:   make([]bool, n),
+		extra:    env,
 	}
 	t.Cleanup(c.dumpLogsOnFailure)
 	t.Cleanup(c.Stop)
@@ -212,6 +249,7 @@ func (c *Cluster) startMachine(i int, addr string) {
 		addrEnv+"="+addr,
 		logEnv+"="+c.logPath(i),
 	)
+	cmd.Env = append(cmd.Env, c.extra...)
 	if err := cmd.Start(); err != nil {
 		c.t.Fatalf("e2e: starting machine %d: %v", i, err)
 	}
@@ -243,6 +281,21 @@ func (c *Cluster) Kill(i int) {
 	_ = cmd.Wait() // expected non-zero: it was SIGKILLed
 	c.cmds[i] = nil
 	c.waited[i] = true
+}
+
+// Term sends machine i SIGTERM without waiting — the graceful half of
+// Kill. The process drains in the background while the test keeps
+// driving it; Stop (run by cleanup, or called explicitly) reaps it and
+// asserts the clean exit.
+func (c *Cluster) Term(i int) {
+	c.t.Helper()
+	cmd := c.cmds[i]
+	if cmd == nil {
+		c.t.Fatalf("e2e: machine %d is not running", i)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		c.t.Fatalf("e2e: terminating machine %d: %v", i, err)
+	}
 }
 
 // Restart boots a fresh process for a previously-killed machine index.

@@ -123,6 +123,7 @@ var Experiments = []Experiment{
 	{"E11", "Deep copy vs remote dereference in SetGroup", E11DeepCopy},
 	{"E12", "Collective broadcast and reduce vs sequential member calls", E12Collective},
 	{"E13", "Owner-computes kernels vs client-side array math", E13OwnerComputes},
+	{"E14", "Serving tier: admission control and graceful saturation", E14ServingTier},
 }
 
 // Find returns the experiment with the given id.

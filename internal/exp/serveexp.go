@@ -1,0 +1,354 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"oopp/internal/cluster"
+	"oopp/internal/metrics"
+	"oopp/internal/rmi"
+	"oopp/internal/serve"
+	"oopp/internal/transport"
+)
+
+// E14ServingTier exercises the high-fan-in serving tier end to end: the
+// paper's "many user programs share the machine room" picture (§5) with
+// the front door pieces PR 6 adds — connection pooling, per-priority
+// admission control, and typed overload rejection. Four phases, one row
+// each (plus the three-point load sweep):
+//
+//   - storm: park a Work object's mailbox and issue 10k+ calls through a
+//     pooled client — all of them must be held in flight on the server
+//     at once (the 10k-client claim), then drain to completion when the
+//     gate opens.
+//   - burst: shrink the bulk budget to 64 and throw 96 bulk calls at a
+//     parked mailbox — exactly 32 shed, each a typed ErrOverloaded
+//     carrying a retry-after hint; nothing else is disturbed.
+//   - hotpath: the small-call echo loop through a pooled Session must
+//     keep the zero-allocation RMI hot path (allocs/op is the gated
+//     metric).
+//   - sweep: open-loop arrivals at 0.5x/1x/2x of a 1ms-serial server's
+//     capacity. Admission keeps goodput at 2x within 20% of peak and
+//     rejects fail in well under one service time.
+//
+// The deterministic columns (shed msgs, allocs/op) are CI-gated; the
+// timing columns are machine facts reported for the record.
+func E14ServingTier(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "Serving tier: admission control and graceful saturation",
+		Claim: "§5 \"many user programs\": a pooled front door holds 10k calls in flight, " +
+			"sheds typed overloads in O(µs), and keeps goodput at 2x saturation",
+		Columns: []string{"phase", "load", "offered", "ok", "rejected", "shed msgs",
+			"p50 µs", "p99 µs", "p999 µs", "goodput ops/s", "allocs/op"},
+	}
+
+	tr := transport.NewInproc(transport.LinkModel{})
+	cl, err := cluster.New(cluster.Config{Machines: 1, Transport: tr})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Shutdown()
+	srv := cl.Machine(0).Server()
+	front := &e14Front{tr: tr, cl: cl}
+
+	if err := e14Storm(cfg, t, front, srv); err != nil {
+		return nil, fmt.Errorf("storm: %w", err)
+	}
+	if err := e14Burst(cfg, t, front, srv); err != nil {
+		return nil, fmt.Errorf("burst: %w", err)
+	}
+	if err := e14HotPath(cfg, t, front, srv); err != nil {
+		return nil, fmt.Errorf("hotpath: %w", err)
+	}
+	if err := e14Sweep(cfg, t, front, srv); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return t, nil
+}
+
+// e14Front bundles what a phase needs to stand up its own front door.
+type e14Front struct {
+	tr transport.Transport
+	cl *cluster.Cluster
+}
+
+// pool builds a pooled front door onto the experiment cluster.
+func (f *e14Front) pool(conns int) (*serve.Pool, error) {
+	return serve.NewPool(serve.PoolConfig{
+		Transport: f.tr,
+		Directory: f.cl.Directory(),
+		Conns:     conns,
+	})
+}
+
+// e14WaitDepth polls the server's admitted-depth gauge until cond holds.
+func e14WaitDepth(srv *rmi.Server, cond func([rmi.NumPriorities]int) bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cond(srv.QueueDepths()) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("queue depths %v never reached target", srv.QueueDepths())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// e14Quiesce waits for every admission slot to be released — the server
+// frees a slot just after sending the reply, so depths lag future
+// completion by a hair and phases must not read each other's leftovers.
+func e14Quiesce(srv *rmi.Server) error {
+	return e14WaitDepth(srv, func(d [rmi.NumPriorities]int) bool {
+		return d == [rmi.NumPriorities]int{}
+	})
+}
+
+// e14Storm holds stormCalls calls in flight on one machine at once.
+func e14Storm(cfg Config, t *Table, front *e14Front, srv *rmi.Server) error {
+	const stormCalls = 10240
+	srv.SetAdmission(rmi.AdmissionConfig{
+		Capacity: [rmi.NumPriorities]int{rmi.PrioNormal: stormCalls + 64},
+	})
+	p, err := front.pool(8)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	sess := p.Session()
+	ref, err := sess.New(bg, 0, serve.ClassWork, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Delete(bg, ref)
+
+	// Park the mailbox, and only start the storm once the dam is admitted
+	// so every later call is guaranteed to queue behind it.
+	futs := []*rmi.Future{sess.CallAsync(bg, ref, "wait", nil)}
+	if err := e14WaitDepth(srv, func(d [rmi.NumPriorities]int) bool {
+		return d[rmi.PrioNormal] >= 1
+	}); err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 1; i < stormCalls; i++ {
+		futs = append(futs, sess.CallAsync(bg, ref, "sleep", serve.SleepArgs(0)))
+	}
+	// Every storm call must be admitted and held — in flight on the
+	// server, not just pending on the client.
+	if err := e14WaitDepth(srv, func(d [rmi.NumPriorities]int) bool {
+		return d[rmi.PrioNormal] >= stormCalls
+	}); err != nil {
+		return fmt.Errorf("never reached %d concurrent in-flight: %w", stormCalls, err)
+	}
+	if got := p.InFlight(); got < stormCalls {
+		return fmt.Errorf("pool in-flight %d < %d", got, stormCalls)
+	}
+	if err := sess.CallAsync(bg, ref, "open", nil, rmi.WithPriority(rmi.PrioHigh)).Err(bg); err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for _, f := range futs {
+		if err := f.Err(bg); err != nil {
+			return fmt.Errorf("storm call: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := e14Quiesce(srv); err != nil {
+		return err
+	}
+	t.AddRow("storm", "-", fmt.Sprint(stormCalls), fmt.Sprint(stormCalls), "0", "0",
+		"-", "-", "-", fmt.Sprintf("%.0f", float64(stormCalls)/elapsed.Seconds()), "-")
+	t.Note("storm: %d calls held in flight simultaneously on one machine, drained in %v", stormCalls, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// e14Burst overflows a 64-slot bulk budget by exactly 32 calls.
+func e14Burst(cfg Config, t *Table, front *e14Front, srv *rmi.Server) error {
+	const bulkCap, overflow = 64, 32
+	srv.SetAdmission(rmi.AdmissionConfig{
+		Capacity: [rmi.NumPriorities]int{rmi.PrioBulk: bulkCap},
+	})
+	p, err := front.pool(8)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	sess := p.Session()
+	ref, err := sess.New(bg, 0, serve.ClassWork, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Delete(bg, ref)
+
+	futs := []*rmi.Future{sess.CallAsync(bg, ref, "wait", nil)}
+	if err := e14WaitDepth(srv, func(d [rmi.NumPriorities]int) bool {
+		return d[rmi.PrioNormal] >= 1
+	}); err != nil {
+		return err
+	}
+	bulk := p.Session(rmi.WithPriority(rmi.PrioBulk))
+	var bulkFuts []*rmi.Future
+	for i := 0; i < bulkCap+overflow; i++ {
+		bulkFuts = append(bulkFuts, bulk.CallAsync(bg, ref, "sleep", serve.SleepArgs(0)))
+	}
+	// The dam never opens until we say so, so no bulk call completes:
+	// exactly bulkCap are admitted and exactly overflow shed, no matter
+	// how the pooled connections interleave.
+	shed := 0
+	if err := e14WaitDepth(srv, func(d [rmi.NumPriorities]int) bool {
+		return d[rmi.PrioBulk] >= bulkCap
+	}); err != nil {
+		return err
+	}
+	if err := sess.CallAsync(bg, ref, "open", nil, rmi.WithPriority(rmi.PrioHigh)).Err(bg); err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	for i, f := range bulkFuts {
+		err := f.Err(bg)
+		switch {
+		case err == nil:
+		case errors.Is(err, rmi.ErrOverloaded):
+			if _, ok := rmi.RetryAfter(err); !ok {
+				return fmt.Errorf("bulk call %d: shed without retry-after hint: %v", i, err)
+			}
+			shed++
+		default:
+			return fmt.Errorf("bulk call %d: non-typed failure: %w", i, err)
+		}
+	}
+	for _, f := range futs {
+		if err := f.Err(bg); err != nil {
+			return fmt.Errorf("dam call: %w", err)
+		}
+	}
+	if shed != overflow {
+		return fmt.Errorf("shed %d of %d overflow calls, want exactly %d", shed, overflow, overflow)
+	}
+	if err := e14Quiesce(srv); err != nil {
+		return err
+	}
+	t.AddRow("burst", "bulk", fmt.Sprint(bulkCap+overflow), fmt.Sprint(bulkCap), fmt.Sprint(shed), fmt.Sprint(shed),
+		"-", "-", "-", "-", "-")
+	return nil
+}
+
+// e14HotPath runs the small-call echo loop through a pooled Session and
+// gates its allocation count.
+func e14HotPath(cfg Config, t *Table, front *e14Front, srv *rmi.Server) error {
+	srv.SetAdmission(rmi.AdmissionConfig{})
+	p, err := front.pool(2)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	sess := p.Session()
+	ref, err := sess.New(bg, 0, serve.ClassWork, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Delete(bg, ref)
+
+	payload := make([]byte, 64)
+	args := serve.EchoArgs(payload)
+	iters := cfg.iters(2000, 20000)
+	call := func() error {
+		d, err := sess.Call(bg, ref, "echo", args)
+		if err != nil {
+			return err
+		}
+		d.Release()
+		return nil
+	}
+	for i := 0; i < 200; i++ { // warm the pools off the clock
+		if err := call(); err != nil {
+			return err
+		}
+	}
+	var hist metrics.Hist
+	var timer AllocTimer
+	timer.Start()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := call(); err != nil {
+			return err
+		}
+		hist.Observe(time.Since(t0))
+	}
+	perOp, allocs := timer.Stop(iters)
+	if allocs > 0.5 {
+		return fmt.Errorf("echo hot path allocates: %.2f allocs/op", allocs)
+	}
+	t.AddRow("hotpath", "echo 64B", fmt.Sprint(iters), fmt.Sprint(iters), "0", "0",
+		fmt.Sprint(hist.QuantileUs(0.50)), fmt.Sprint(hist.QuantileUs(0.99)), fmt.Sprint(hist.QuantileUs(0.999)),
+		fmt.Sprintf("%.0f", float64(time.Second)/float64(perOp)), fmt.Sprintf("%.2f", allocs))
+	return nil
+}
+
+// e14Sweep drives open-loop load at 0.5x, 1x, and 2x of a 1ms-serial
+// server's capacity and checks the saturation story: goodput holds and
+// rejects fail fast.
+func e14Sweep(cfg Config, t *Table, front *e14Front, srv *rmi.Server) error {
+	const serviceUs = 1000 // 1ms serial service → capacity 1000 ops/s
+	const queueCap = 32
+	srv.SetAdmission(rmi.AdmissionConfig{
+		Capacity: [rmi.NumPriorities]int{rmi.PrioNormal: queueCap},
+	})
+	p, err := front.pool(4)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	sess := p.Session()
+	ref, err := sess.New(bg, 0, serve.ClassWork, nil)
+	if err != nil {
+		return err
+	}
+	defer sess.Delete(bg, ref)
+
+	scale := cfg.iters(1, 5) // quick: ~0.4s per load point; full: ~2s
+	type point struct {
+		label string
+		rate  float64
+	}
+	points := []point{{"0.5x", 500}, {"1x", 1000}, {"2x", 2000}}
+	var peak float64
+	var last *serve.LoadResult
+	for _, pt := range points {
+		res := serve.OpenLoop(serve.LoadConfig{
+			Rate:  pt.rate,
+			Count: int(pt.rate) * 2 * scale / 5,
+			Call: func(i int) error {
+				d, err := sess.Call(bg, ref, "sleep", serve.SleepArgs(serviceUs))
+				if err == nil {
+					d.Release()
+				}
+				return err
+			},
+		})
+		if res.Failed != 0 {
+			return fmt.Errorf("%s: %d non-typed failures (first: %v)", pt.label, res.Failed, res.FirstError)
+		}
+		if g := res.Goodput(); g > peak {
+			peak = g
+		}
+		shedCell := "-" // sheds here depend on scheduling: reported, not gated
+		t.AddRow("sweep", pt.label, fmt.Sprint(res.Offered), fmt.Sprint(res.OK), fmt.Sprint(res.Shed), shedCell,
+			fmt.Sprint(res.Latency.QuantileUs(0.50)), fmt.Sprint(res.Latency.QuantileUs(0.99)), fmt.Sprint(res.Latency.QuantileUs(0.999)),
+			fmt.Sprintf("%.0f", res.Goodput()), "-")
+		if res.Shed >= 20 {
+			rejP50, okP50 := res.Reject.QuantileUs(0.50), res.Latency.QuantileUs(0.50)
+			if rejP50 >= okP50 {
+				return fmt.Errorf("%s: rejects not fast: reject p50 %dµs >= success p50 %dµs", pt.label, rejP50, okP50)
+			}
+			t.Note("%s: reject p50 %dµs vs success p50 %dµs — shedding is cheaper than serving", pt.label, rejP50, okP50)
+		}
+		last = res
+	}
+	if g := last.Goodput(); g < 0.8*peak {
+		return fmt.Errorf("goodput collapsed at 2x: %.0f ops/s vs peak %.0f", g, peak)
+	}
+	t.Note("2x overload goodput %.0f ops/s within 20%% of peak %.0f — admission sheds instead of collapsing", last.Goodput(), peak)
+	return nil
+}

@@ -32,6 +32,11 @@ type Counters struct {
 	RespDropped   atomic.Int64 // response frames with unparseable headers, discarded
 	RespOrphaned  atomic.Int64 // responses to abandoned (canceled/timed-out) requests
 	DialRetries   atomic.Int64 // redials performed under the WithRetryDial call option
+	ReqAdmitted   atomic.Int64 // requests accepted by server admission control
+	ReqShed       atomic.Int64 // requests rejected at admission (ErrOverloaded)
+	QueueHigh     atomic.Int64 // gauge: in-flight high-priority requests (admission to reply)
+	QueueNormal   atomic.Int64 // gauge: in-flight normal-priority requests
+	QueueBulk     atomic.Int64 // gauge: in-flight bulk-priority requests
 }
 
 // Default is the process-wide counter set used when no explicit set is
@@ -55,6 +60,11 @@ type Snapshot struct {
 	RespDropped   int64
 	RespOrphaned  int64
 	DialRetries   int64
+	ReqAdmitted   int64
+	ReqShed       int64
+	QueueHigh     int64
+	QueueNormal   int64
+	QueueBulk     int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -75,6 +85,11 @@ func (c *Counters) Snapshot() Snapshot {
 		RespDropped:   c.RespDropped.Load(),
 		RespOrphaned:  c.RespOrphaned.Load(),
 		DialRetries:   c.DialRetries.Load(),
+		ReqAdmitted:   c.ReqAdmitted.Load(),
+		ReqShed:       c.ReqShed.Load(),
+		QueueHigh:     c.QueueHigh.Load(),
+		QueueNormal:   c.QueueNormal.Load(),
+		QueueBulk:     c.QueueBulk.Load(),
 	}
 }
 
@@ -95,6 +110,11 @@ func (c *Counters) Reset() {
 	c.RespDropped.Store(0)
 	c.RespOrphaned.Store(0)
 	c.DialRetries.Store(0)
+	c.ReqAdmitted.Store(0)
+	c.ReqShed.Store(0)
+	c.QueueHigh.Store(0)
+	c.QueueNormal.Store(0)
+	c.QueueBulk.Store(0)
 }
 
 // Sub returns the delta s - prev, counter-wise. Use around a measured
@@ -116,6 +136,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		RespDropped:   s.RespDropped - prev.RespDropped,
 		RespOrphaned:  s.RespOrphaned - prev.RespOrphaned,
 		DialRetries:   s.DialRetries - prev.DialRetries,
+		ReqAdmitted:   s.ReqAdmitted - prev.ReqAdmitted,
+		ReqShed:       s.ReqShed - prev.ReqShed,
+		QueueHigh:     s.QueueHigh - prev.QueueHigh,
+		QueueNormal:   s.QueueNormal - prev.QueueNormal,
+		QueueBulk:     s.QueueBulk - prev.QueueBulk,
 	}
 }
 
@@ -140,6 +165,11 @@ func (s Snapshot) String() string {
 	add("respDropped", s.RespDropped)
 	add("respOrphaned", s.RespOrphaned)
 	add("dialRetries", s.DialRetries)
+	add("admitted", s.ReqAdmitted)
+	add("shed", s.ReqShed)
+	add("qHigh", s.QueueHigh)
+	add("qNormal", s.QueueNormal)
+	add("qBulk", s.QueueBulk)
 	if len(parts) == 0 {
 		return "{}"
 	}

@@ -1,0 +1,167 @@
+package rmi
+
+import (
+	"sync/atomic"
+	"time"
+
+	"oopp/internal/metrics"
+)
+
+// AdmissionConfig bounds a server's in-flight work per priority class.
+// "In flight" spans acceptance to reply — decoded requests waiting in
+// object mailboxes count, so a slow object saturates its class instead
+// of growing an unbounded queue behind it. A zero capacity selects the
+// class's default; a negative capacity means unbounded (the pre-PR-6
+// behaviour). The zero value therefore selects all defaults.
+type AdmissionConfig struct {
+	Capacity [NumPriorities]int
+}
+
+// Default per-class in-flight budgets. High and normal are sized for a
+// high-fan-in front door (thousands of concurrent callers per machine);
+// bulk is kept an order of magnitude tighter so background sweeps are
+// the first — and usually only — traffic shed under pressure.
+const (
+	defaultCapHigh   = 1024
+	defaultCapNormal = 4096
+	defaultCapBulk   = 1024
+)
+
+// resolve fills zero capacities with the class defaults and returns the
+// effective per-class caps (negative = unbounded).
+func (a AdmissionConfig) resolve() [NumPriorities]int {
+	caps := a.Capacity
+	defaults := [NumPriorities]int{
+		PrioHigh:   defaultCapHigh,
+		PrioNormal: defaultCapNormal,
+		PrioBulk:   defaultCapBulk,
+	}
+	for p := range caps {
+		if caps[p] == 0 {
+			caps[p] = defaults[p]
+		}
+	}
+	return caps
+}
+
+// Unbounded returns an AdmissionConfig that disables admission control —
+// every class accepts unlimited in-flight work.
+func Unbounded() AdmissionConfig {
+	var a AdmissionConfig
+	for p := range a.Capacity {
+		a.Capacity[p] = -1
+	}
+	return a
+}
+
+// SetAdmission installs new per-class in-flight budgets. Safe to call on
+// a live server: work already admitted is unaffected, subsequent
+// admissions see the new caps (a cap below the current depth simply
+// sheds new arrivals until the class drains under it).
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	caps := cfg.resolve()
+	s.mu.Lock()
+	s.admitCap = caps
+	s.mu.Unlock()
+}
+
+// QueueDepths returns the current in-flight request count per priority
+// class — the live view behind the metrics gauges, for tests and stats.
+func (s *Server) QueueDepths() [NumPriorities]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitDepth
+}
+
+// admit accepts one unit of in-flight work in class prio, or explains
+// why not: ErrDraining when the server is going away (always checked
+// first, so drain and overload never mask each other), an
+// *OverloadedError when the class budget is spent. Every nil return must
+// be paired with exactly one release.
+func (s *Server) admit(prio Priority) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if c := s.admitCap[prio]; c >= 0 && s.admitDepth[prio] >= c {
+		depth := s.admitDepth[prio]
+		s.mu.Unlock()
+		s.counters.ReqShed.Add(1)
+		return &OverloadedError{
+			Machine:    s.machine,
+			Priority:   prio,
+			Queued:     depth,
+			RetryAfter: s.retryHint(prio),
+		}
+	}
+	s.admitDepth[prio]++
+	s.calls.Add(1)
+	s.mu.Unlock()
+	s.counters.ReqAdmitted.Add(1)
+	queueGauge(s.counters, prio).Add(1)
+	return nil
+}
+
+// release returns the work token taken by admit, folding the request's
+// service time (acceptance to reply) into the class's EWMA so future
+// rejections carry a current retry hint.
+func (s *Server) release(prio Priority, start time.Time) {
+	s.observeService(prio, time.Since(start))
+	s.mu.Lock()
+	s.admitDepth[prio]--
+	s.mu.Unlock()
+	queueGauge(s.counters, prio).Add(-1)
+	s.calls.Done()
+}
+
+// queueGauge maps a class to its live-depth gauge.
+func queueGauge(c *metrics.Counters, prio Priority) *atomic.Int64 {
+	switch prio {
+	case PrioHigh:
+		return &c.QueueHigh
+	case PrioBulk:
+		return &c.QueueBulk
+	default:
+		return &c.QueueNormal
+	}
+}
+
+// serviceEWMA tuning: new samples get 1/ewmaDiv weight, and hints are
+// clamped so a pathological sample can neither tell clients to hammer a
+// busy server nor to go away for minutes.
+const (
+	ewmaDiv      = 8
+	retryHintMin = 100 * time.Microsecond
+	retryHintMax = 5 * time.Second
+)
+
+// observeService folds one completed request's service time into the
+// class EWMA. Racy read-modify-write on purpose: lost updates only make
+// the hint marginally staler, and the hot path stays lock-free.
+func (s *Server) observeService(prio Priority, d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		ns = 1
+	}
+	old := s.ewmaNs[prio].Load()
+	if old == 0 {
+		s.ewmaNs[prio].Store(ns)
+		return
+	}
+	s.ewmaNs[prio].Store(old - old/ewmaDiv + ns/ewmaDiv)
+}
+
+// retryHint suggests how long a shed caller should back off: roughly one
+// recent service time of the saturated class — the expected horizon for
+// an in-flight slot to free — clamped to sane bounds.
+func (s *Server) retryHint(prio Priority) time.Duration {
+	d := time.Duration(s.ewmaNs[prio].Load())
+	if d < retryHintMin {
+		d = retryHintMin
+	}
+	if d > retryHintMax {
+		d = retryHintMax
+	}
+	return d
+}

@@ -295,6 +295,31 @@ func (c *Client) MachineDown(m int) error {
 	return c.down[m]
 }
 
+// InFlight returns the number of outstanding requests across all of the
+// client's connections — issued (or registered) and not yet answered,
+// failed, or abandoned. It is a live load signal: the serve package's
+// connection pool picks the least-loaded client with it.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, cc := range c.conns {
+		n += cc.inflight.Load()
+	}
+	return int(n)
+}
+
+// InFlightTo returns the number of outstanding requests on the
+// connection to machine m (0 when no connection is cached).
+func (c *Client) InFlightTo(m int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cc, ok := c.conns[m]; ok {
+		return int(cc.inflight.Load())
+	}
+	return 0
+}
+
 // New constructs an object of the registered class on machine m — the
 // paper's "new(machine m) Class(args)". It blocks until the remote
 // constructor finishes and returns the remote pointer.
@@ -313,6 +338,7 @@ func (c *Client) NewAsync(ctx context.Context, m int, class string, args ArgEnco
 	o := resolveOptions(opts)
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(o.priority(PrioNormal)))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opNew)
 	e.PutString(class)
@@ -374,6 +400,7 @@ func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncod
 
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(o.priority(PrioNormal)))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
 	e.PutUvarint(ref.Object)
@@ -426,6 +453,7 @@ func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args Arg
 	}
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(o.priority(PrioNormal)))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
 	e.PutUvarint(ref.Object)
@@ -468,6 +496,7 @@ func (c *Client) Delete(ctx context.Context, ref Ref, opts ...CallOption) error 
 	}
 	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(o.priority(PrioHigh)))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opDelete)
 	e.PutUvarint(ref.Object)
@@ -483,6 +512,7 @@ func (c *Client) Ping(ctx context.Context, m int, opts ...CallOption) error {
 	o := resolveOptions(opts)
 	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(o.priority(PrioHigh)))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opPing)
 	fut := newFuture(m, "", "", o.label)
@@ -505,6 +535,7 @@ func (c *Client) Stat(ctx context.Context, m int) (live, total uint64, err error
 	var o callOptions
 	e := wire.GetEncoder(16)
 	reqID := c.nextID.Add(1)
+	e.PutByte(byte(PrioHigh))
 	e.PutUvarint(reqID)
 	e.PutUvarint(opStat)
 	fut := newFuture(m, "", "", "")
@@ -649,6 +680,11 @@ type clientConn struct {
 	owner    *Client
 	machine  int
 
+	// inflight mirrors len(pending) behind an atomic so load-aware
+	// connection pickers (internal/serve) can read a connection's
+	// outstanding-request count without taking mu.
+	inflight atomic.Int64
+
 	mu      sync.Mutex
 	pending map[uint64]pendingCall
 	dead    error
@@ -669,12 +705,14 @@ func (cc *clientConn) register(reqID uint64, pc pendingCall) {
 		return
 	}
 	cc.pending[reqID] = pc
+	cc.inflight.Store(int64(len(cc.pending)))
 	cc.mu.Unlock()
 }
 
 func (cc *clientConn) unregister(reqID uint64) {
 	cc.mu.Lock()
 	delete(cc.pending, reqID)
+	cc.inflight.Store(int64(len(cc.pending)))
 	cc.mu.Unlock()
 }
 
@@ -706,6 +744,7 @@ func (cc *clientConn) recvLoop() {
 		cc.mu.Lock()
 		pc, ok := cc.pending[reqID]
 		delete(cc.pending, reqID)
+		cc.inflight.Store(int64(len(cc.pending)))
 		cc.mu.Unlock()
 		if !ok {
 			// Response to an abandoned request (canceled, timed out, or
@@ -734,6 +773,7 @@ func (cc *clientConn) close(cause error) {
 	cc.dead = cause
 	pending := cc.pending
 	cc.pending = make(map[uint64]pendingCall)
+	cc.inflight.Store(0)
 	cc.mu.Unlock()
 	cc.conn.Close()
 	for _, pc := range pending {

@@ -3,6 +3,8 @@ package rmi
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 )
 
 // ErrNoSuchObject is returned when a call targets an object that does not
@@ -33,6 +35,19 @@ var ErrMachineDown = errors.New("rmi: machine down")
 // It crosses the wire as a RemoteError whose Is matches this sentinel.
 var ErrDraining = errors.New("rmi: machine draining")
 
+// ErrOverloaded is the sentinel for admission-control rejection: the
+// target machine is up and healthy but the request's priority class has
+// no in-flight budget left, so the request was shed without being
+// executed. Match with errors.Is; the concrete error is an
+// *OverloadedError (locally) or a RemoteError wrapping its text (across
+// the wire), and RetryAfter extracts the server's backoff hint from
+// either. A shed request was never started — retrying it is always safe.
+//
+// Precedence: a machine that is both draining and saturated reports
+// ErrDraining, never ErrOverloaded — "going away" is the stronger fact,
+// and retrying against a draining machine is futile.
+var ErrOverloaded = errors.New("rmi: machine overloaded")
+
 // MachineDownError reports that a machine is unreachable: its connection
 // was lost mid-call, every dial attempt failed, or the failure detector
 // (Client.StartHeartbeat) declared it down. It matches ErrMachineDown
@@ -52,6 +67,62 @@ func (e *MachineDownError) Unwrap() error { return e.Cause }
 
 // Is matches the ErrMachineDown sentinel.
 func (e *MachineDownError) Is(target error) bool { return target == ErrMachineDown }
+
+// OverloadedError reports that a server shed a request at admission: the
+// in-flight budget of the request's priority class was exhausted. It
+// matches ErrOverloaded under errors.Is. RetryAfter is the server's
+// estimate of when a slot is likely to free (derived from its recent
+// service times) — a cooperative backoff hint, not a guarantee.
+type OverloadedError struct {
+	Machine    int           // machine that shed the request
+	Priority   Priority      // the saturated admission class
+	Queued     int           // in-flight requests of that class at rejection
+	RetryAfter time.Duration // suggested client backoff before retrying
+}
+
+// Error implements the error interface. The text embeds the ErrOverloaded
+// sentinel and the retry hint in a fixed grammar so both survive the trip
+// across the wire inside a RemoteError (see RetryAfter).
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("rmi: machine overloaded: machine %d %s class full (%d in flight); retry after %v",
+		e.Machine, e.Priority, e.Queued, e.RetryAfter)
+}
+
+// Is matches the ErrOverloaded sentinel.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// retryAfterMarker is the fixed phrase OverloadedError.Error uses ahead
+// of the hint, and RetryAfter parses after — the cross-wire contract.
+const retryAfterMarker = "retry after "
+
+// RetryAfter extracts the server's backoff hint from an overload
+// rejection, whether the error is a local *OverloadedError or a
+// RemoteError that carried one across the wire. ok is false when err is
+// not an overload rejection (or the hint did not survive transit);
+// callers should then fall back to their own backoff.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || !containsSentinel(re.Msg, ErrOverloaded) {
+		return 0, false
+	}
+	i := strings.LastIndex(re.Msg, retryAfterMarker)
+	if i < 0 {
+		return 0, false
+	}
+	hint := re.Msg[i+len(retryAfterMarker):]
+	// The hint is the tail of the message; trim any wrapper's trailing
+	// punctuation before parsing.
+	hint = strings.TrimRight(hint, " )].,;")
+	d, perr := time.ParseDuration(hint)
+	if perr != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}
 
 // RemoteError is an error that occurred on the remote machine while
 // constructing an object or executing a method. It travels back to the
@@ -83,6 +154,8 @@ func (e *RemoteError) Is(target error) bool {
 		return containsSentinel(e.Msg, ErrNoSuchMethod)
 	case ErrDraining:
 		return containsSentinel(e.Msg, ErrDraining)
+	case ErrOverloaded:
+		return containsSentinel(e.Msg, ErrOverloaded)
 	}
 	return false
 }

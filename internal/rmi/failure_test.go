@@ -113,8 +113,9 @@ func TestGarbageFramesDoNotKillServer(t *testing.T) {
 	// than silence. (Garbage frames whose headers happened to parse also
 	// earn error replies, so scan for ours.)
 	e := wire.NewEncoder(8)
-	e.PutUvarint(42)  // reqID
-	e.PutUvarint(200) // bogus op
+	e.PutByte(byte(PrioNormal)) // priority header byte
+	e.PutUvarint(42)            // reqID
+	e.PutUvarint(200)           // bogus op
 	if err := raw.Send(e.Bytes()); err != nil {
 		t.Fatalf("send bogus op: %v", err)
 	}

@@ -19,6 +19,17 @@ type callOptions struct {
 	retryDial int           // extra dial attempts on dial failure
 	label     string        // trace label woven into errors and drop accounting
 	probe     bool          // failure-detector probe: bypass the down-machine fast fail
+	prio      Priority      // admission class stamped on the wire header
+	prioSet   bool          // WithPriority was given; otherwise the op's default class applies
+}
+
+// priority resolves the admission class for an operation whose default
+// class is def: an explicit WithPriority wins, otherwise the default.
+func (o *callOptions) priority(def Priority) Priority {
+	if o.prioSet {
+		return o.prio
+	}
+	return def
 }
 
 // WithProbe marks an operation as a health probe: it may dial a machine
@@ -31,6 +42,23 @@ type callOptions struct {
 // every caller a timeout.
 func WithProbe() CallOption {
 	return func(o callOptions) callOptions { o.probe = true; return o }
+}
+
+// WithPriority stamps the operation's admission class into the request's
+// wire header. The server budgets in-flight work per class
+// (AdmissionConfig), so priorities decide who is shed first under
+// overload — they do not reorder work already accepted. Defaults when the
+// option is absent: Ping, Stat and Delete travel PrioHigh (control
+// plane), Call and New travel PrioNormal. Stamp batch traffic — page
+// sweeps, bulk reductions, backfills — with PrioBulk so a storm of it
+// exhausts only the bulk budget and heartbeats keep landing.
+func WithPriority(p Priority) CallOption {
+	return func(o callOptions) callOptions {
+		if p < NumPriorities {
+			o.prio, o.prioSet = p, true
+		}
+		return o
+	}
 }
 
 func resolveOptions(opts []CallOption) callOptions {

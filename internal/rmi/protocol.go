@@ -2,11 +2,16 @@ package rmi
 
 // Wire protocol opcodes. A request frame is:
 //
-//	reqID uvarint | op uvarint | op-specific header | argument payload
+//	prio byte | reqID uvarint | op uvarint | op-specific header | argument payload
 //
 // and a response frame is:
 //
 //	reqID uvarint | status uvarint | error string (status!=0) or results
+//
+// The priority byte leads the frame as a fixed-width field so a server
+// can classify — and, under overload, shed — a request by looking at
+// frame[0], before spending any decode work on it. Responses carry no
+// priority: they are answers to work already done.
 //
 // Frames ride on transport.Conn messages; framing is the transport's job.
 const (
@@ -22,6 +27,55 @@ const (
 	statusOK  = 0
 	statusErr = 1
 )
+
+// Priority is a request's admission class, carried in the leading byte
+// of every request frame. Lower values are more urgent. The server keeps
+// a separate bounded in-flight budget per class (see AdmissionConfig),
+// so a flood of bulk page sweeps can never starve the control plane:
+// heartbeat probes and readiness pings ride PrioHigh, ordinary method
+// calls PrioNormal, and batch/background traffic should be stamped
+// PrioBulk with WithPriority.
+type Priority uint8
+
+const (
+	// PrioHigh is the control-plane class: pings, stats, deletes, and
+	// anything stamped WithPriority(PrioHigh). The failure detector's
+	// probes ride here, which is what keeps them honest under load.
+	PrioHigh Priority = iota
+	// PrioNormal is the default class for method calls and constructions.
+	PrioNormal
+	// PrioBulk is the background class for batch work (page sweeps,
+	// bulk transfers); it gets the smallest default budget.
+	PrioBulk
+
+	// NumPriorities is the number of admission classes.
+	NumPriorities = 3
+)
+
+// String returns the class name used in errors and stats.
+func (p Priority) String() string {
+	switch p {
+	case PrioHigh:
+		return "high"
+	case PrioNormal:
+		return "normal"
+	case PrioBulk:
+		return "bulk"
+	default:
+		return "invalid"
+	}
+}
+
+// clampPriority maps an arbitrary wire byte onto a valid class. Unknown
+// values (a newer peer's class, a corrupt frame) degrade to PrioNormal
+// rather than failing the request: priority is a scheduling hint, not a
+// correctness bit.
+func clampPriority(b byte) Priority {
+	if b >= NumPriorities {
+		return PrioNormal
+	}
+	return Priority(b)
+}
 
 // Reserved method names, handled by the server ahead of the class method
 // table. Objects cannot register names starting with '_'.

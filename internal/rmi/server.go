@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oopp/internal/metrics"
@@ -34,6 +35,13 @@ type Server struct {
 	closed   bool
 	draining bool
 	conns    map[transport.Conn]struct{}
+
+	// Admission control state (see admission.go): per-class in-flight
+	// caps and depths, guarded by mu; ewmaNs tracks recent service time
+	// per class for the retry-after hint on rejections.
+	admitCap   [NumPriorities]int
+	admitDepth [NumPriorities]int
+	ewmaNs     [NumPriorities]atomic.Int64
 
 	// calls counts in-flight accepted work (constructions and method
 	// calls, from acceptance to reply). Drain waits on it: once draining
@@ -80,6 +88,7 @@ func NewServer(machine int, tr transport.Transport, addr string, env *Env) (*Ser
 		counters: metrics.Default,
 		objects:  make(map[uint64]*objEntry),
 		conns:    make(map[transport.Conn]struct{}),
+		admitCap: AdmissionConfig{}.resolve(),
 	}
 	s.connWG.Add(1)
 	go s.acceptLoop()
@@ -94,6 +103,11 @@ func (s *Server) Machine() int { return s.machine }
 
 // Env returns the server's environment (for installing resources).
 func (s *Server) Env() *Env { return s.env }
+
+// Counters returns the server's metrics, including the admission
+// statistics (ReqAdmitted, ReqShed) and the per-class queue-depth gauges
+// maintained by admit/release.
+func (s *Server) Counters() *metrics.Counters { return s.counters }
 
 // NumObjects returns the number of live objects.
 func (s *Server) NumObjects() int {
@@ -135,21 +149,6 @@ func (s *Server) Draining() bool {
 	defer s.mu.Unlock()
 	return s.draining
 }
-
-// beginWork accepts one unit of in-flight work (a construction or call)
-// unless the server is draining or closed. Every true return must be
-// paired with exactly one endWork.
-func (s *Server) beginWork() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining || s.closed {
-		return false
-	}
-	s.calls.Add(1)
-	return true
-}
-
-func (s *Server) endWork() { s.calls.Done() }
 
 // Close shuts the server down: stop accepting, close connections,
 // terminate every object process (running destructors), wait for
@@ -243,8 +242,16 @@ func (s *Server) serveConn(conn transport.Conn) {
 // dispatch decodes one request frame and routes it. The pooled decoder
 // owns the frame; whichever handler path consumes the arguments is
 // responsible for releasing it once the handler is done.
+//
+// Admission runs before the op-specific header is decoded: for calls and
+// constructions only the fixed-offset priority byte and the two leading
+// varints have been read when a shed decision is made, so a saturated
+// server spends near-zero work per rejected request. Pings, stats and
+// deletes are control plane and bypass admission entirely (pings still
+// observe draining, as before).
 func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 	d := wire.GetFrameDecoder(frame)
+	prio := clampPriority(d.Byte())
 	reqID := d.Uvarint()
 	op := d.Uvarint()
 	if d.Err() != nil {
@@ -269,16 +276,18 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		s.mu.Unlock()
 		s.reply(conn, reqID, e, nil)
 	case opNew:
+		if err := s.admit(prio); err != nil {
+			d.Release()
+			s.reply(conn, reqID, nil, err)
+			return
+		}
+		start := time.Now()
 		class := d.String()
 		if d.Err() != nil {
 			err := d.Err()
 			d.Release()
 			s.reply(conn, reqID, nil, err)
-			return
-		}
-		if !s.beginWork() {
-			d.Release()
-			s.reply(conn, reqID, nil, ErrDraining)
+			s.release(prio, start)
 			return
 		}
 		// Constructors may do arbitrary work (open devices, call other
@@ -287,25 +296,27 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		s.objWG.Add(1)
 		go func() {
 			defer s.objWG.Done()
-			defer s.endWork()
+			defer s.release(prio, start)
 			defer d.Release()
 			s.handleNew(conn, reqID, class, d)
 		}()
 	case opCall:
+		if err := s.admit(prio); err != nil {
+			d.Release()
+			s.reply(conn, reqID, nil, err)
+			return
+		}
+		start := time.Now()
 		objID := d.Uvarint()
 		method := d.StringBytes() // view: valid until d.Release
 		if d.Err() != nil {
 			err := d.Err()
 			d.Release()
 			s.reply(conn, reqID, nil, err)
+			s.release(prio, start)
 			return
 		}
-		if !s.beginWork() {
-			d.Release()
-			s.reply(conn, reqID, nil, ErrDraining)
-			return
-		}
-		s.handleCall(conn, reqID, objID, method, d)
+		s.handleCall(conn, reqID, objID, method, d, prio, start)
 	case opDelete:
 		objID := d.Uvarint()
 		err := d.Err()
@@ -471,6 +482,8 @@ type callTask struct {
 	me    methodEntry
 	args  *wire.Decoder // owns the request frame; nil for ping
 	reqID uint64
+	prio  Priority  // admission class of the work token held
+	start time.Time // admission instant, for the service-time EWMA
 }
 
 var callTaskPool = sync.Pool{New: func() any { return new(callTask) }}
@@ -502,33 +515,34 @@ func (t *callTask) run() {
 	s.counters.BytesSent.Add(int64(len(frame)))
 	// Best effort: if the connection died the client sees ErrClosed.
 	_ = t.conn.Send(frame)
+	prio, start := t.prio, t.start
 	*t = callTask{}
 	callTaskPool.Put(t)
-	// The work token taken at acceptance (beginWork) is released only
-	// after the reply is on the wire: Drain returning means every
-	// accepted call has answered.
-	s.endWork()
+	// The work token taken at acceptance (admit) is released only after
+	// the reply is on the wire: Drain returning means every accepted call
+	// has answered, and the admission depth counts queued work too.
+	s.release(prio, start)
 }
 
 // handleCall routes one method invocation. It takes ownership of args
 // (and the frame under it); every path releases it exactly once — for
 // dispatched calls, inside callTask.run after the method returns, which
 // is what makes passing decoder views into handlers safe. It also owns
-// the drain work token taken in dispatch: tasks that reach run() release
-// it there, every early-exit path releases it here.
-func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder) {
+// the admission work token taken in dispatch: tasks that reach run()
+// release it there, every early-exit path releases it here.
+func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder, prio Priority, start time.Time) {
 	s.mu.Lock()
 	entry, ok := s.objects[objID]
 	s.mu.Unlock()
 	if !ok {
 		args.Release()
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d", ErrNoSuchObject, s.machine, objID))
-		s.endWork()
+		s.release(prio, start)
 		return
 	}
 
 	t := callTaskPool.Get().(*callTask)
-	t.s, t.conn, t.entry, t.reqID = s, conn, entry, reqID
+	t.s, t.conn, t.entry, t.reqID, t.prio, t.start = s, conn, entry, reqID, prio, start
 
 	// Built-in methods first: the ping task carries no method and no
 	// arguments, its completion through the mailbox is the point.
@@ -539,7 +553,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 			*t = callTask{}
 			callTaskPool.Put(t)
 			s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
-			s.endWork()
+			s.release(prio, start)
 		}
 		return
 	}
@@ -553,7 +567,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		*t = callTask{}
 		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, err)
-		s.endWork()
+		s.release(prio, start)
 		return
 	}
 	t.me, t.args = me, args
@@ -573,7 +587,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		*t = callTask{}
 		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
-		s.endWork()
+		s.release(prio, start)
 	}
 }
 

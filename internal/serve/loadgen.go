@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"oopp/internal/metrics"
+	"oopp/internal/rmi"
+)
+
+// LoadConfig describes one open-loop load run.
+type LoadConfig struct {
+	// Rate is the offered load in arrivals per second (> 0).
+	Rate float64
+	// Count is the number of requests to issue.
+	Count int
+	// Call issues request i and returns its outcome. It runs on a fresh
+	// goroutine per arrival (the open-loop property: a slow server
+	// accumulates concurrency instead of slowing the arrival clock).
+	Call func(i int) error
+}
+
+// LoadResult aggregates an open-loop run. Latency histograms separate
+// successes from sheds: the headline claim of admission control is that
+// a rejection is much cheaper than a served call, and mixing the two
+// distributions would hide exactly that.
+type LoadResult struct {
+	Offered int // requests issued
+	OK      int // completed successfully
+	Shed    int // rejected with rmi.ErrOverloaded
+	Failed  int // any other error — should be zero in a healthy run
+
+	Latency metrics.Hist // latency of successful calls
+	Reject  metrics.Hist // latency of shed calls (time to fail fast)
+
+	Elapsed    time.Duration // first arrival to last completion
+	FirstError error         // first non-overload failure, for diagnosis
+}
+
+// Goodput returns completed requests per second over the run.
+func (r *LoadResult) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// OpenLoop issues cfg.Count requests at a fixed arrival rate and waits
+// for all of them. Arrivals are scheduled against the wall clock from
+// the run's start — if the generator falls behind (scheduler hiccup), it
+// issues immediately rather than stretching the schedule, preserving the
+// offered rate on average.
+func OpenLoop(cfg LoadConfig) *LoadResult {
+	res := &LoadResult{Offered: cfg.Count}
+	if cfg.Count <= 0 || cfg.Rate <= 0 || cfg.Call == nil {
+		return res
+	}
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex // guards the int counters and FirstError
+	)
+	interval := float64(time.Second) / cfg.Rate
+	start := time.Now()
+	for i := 0; i < cfg.Count; i++ {
+		if d := time.Until(start.Add(time.Duration(float64(i) * interval))); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			err := cfg.Call(i)
+			lat := time.Since(t0)
+			switch {
+			case err == nil:
+				res.Latency.Observe(lat)
+				mu.Lock()
+				res.OK++
+				mu.Unlock()
+			case errors.Is(err, rmi.ErrOverloaded):
+				res.Reject.Observe(lat)
+				mu.Lock()
+				res.Shed++
+				mu.Unlock()
+			default:
+				mu.Lock()
+				res.Failed++
+				if res.FirstError == nil {
+					res.FirstError = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// ClassWork is the registered name of the serving-tier workload class.
+const ClassWork = "serve.Work"
+
+// Work is a remote workload object with precisely-shaped service times,
+// used by the admission-control tests, experiment E14, cmd/opploadgen
+// and the e2e suite. Its serial methods:
+//
+//	echo(payload []byte) -> payload     — the small-call hot path
+//	sleep(us int)        -> ()          — off-CPU service time
+//	spin(us int)         -> ()          — on-CPU service time
+//	wait()               -> ()          — block until open is called
+//
+// and one concurrent method:
+//
+//	open()               -> ()          — release every wait, permanently
+//
+// wait/open build exact queue shapes: wait parks the object's serial
+// mailbox, every later serial call queues behind it (counting against
+// its priority class's in-flight budget), and open — concurrent, so it
+// bypasses the mailbox — releases the dam. That is how the tests fill an
+// admission class to exactly its capacity and how E14 holds 10k calls in
+// flight at once.
+type Work struct {
+	gate     chan struct{}
+	openOnce sync.Once
+}
+
+// Open releases the gate server-side (same effect as the remote "open").
+func (w *Work) Open() { w.openOnce.Do(func() { close(w.gate) }) }
+
+func init() {
+	rmi.Register(ClassWork, func(env *rmi.Env, args *wire.Decoder) (any, error) {
+		return &Work{gate: make(chan struct{})}, nil
+	}).
+		Method("echo", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutBytes(args.BytesView())
+			return nil
+		}).
+		Method("sleep", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			time.Sleep(time.Duration(args.Int()) * time.Microsecond)
+			return nil
+		}).
+		Method("spin", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			d := time.Duration(args.Int()) * time.Microsecond
+			for start := time.Now(); time.Since(start) < d; {
+			}
+			return nil
+		}).
+		Method("wait", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			<-obj.(*Work).gate
+			return nil
+		}).
+		ConcurrentMethod("open", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			obj.(*Work).Open()
+			return nil
+		})
+}
+
+// SleepArgs encodes the argument of Work.sleep/spin.
+func SleepArgs(us int) rmi.ArgEncoder {
+	return func(e *wire.Encoder) error { e.PutInt(us); return nil }
+}
+
+// EchoArgs encodes the argument of Work.echo. The payload is captured by
+// reference; it must stay unchanged until the call is issued.
+func EchoArgs(payload []byte) rmi.ArgEncoder {
+	return func(e *wire.Encoder) error { e.PutBytes(payload); return nil }
+}

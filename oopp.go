@@ -15,6 +15,7 @@ import (
 	"oopp/internal/pfft"
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
+	"oopp/internal/serve"
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
@@ -136,6 +137,62 @@ var ErrMachineDown = rmi.ErrMachineDown
 
 // ErrDraining matches calls refused by a gracefully-draining server.
 var ErrDraining = rmi.ErrDraining
+
+// ---- Serving tier ------------------------------------------------------------
+//
+// The high-fan-in front door: many logical Sessions multiplexed over a
+// small pooled set of connections on the client, per-priority admission
+// control with typed fail-fast overload errors on the server. See the
+// "Serving tier" chapter of the package doc.
+
+type (
+	// Priority is a request's admission class (high, normal, bulk). It
+	// travels in the wire header, so the server classifies a request
+	// before decoding it.
+	Priority = rmi.Priority
+	// AdmissionConfig bounds the in-flight requests a server admits per
+	// priority class (0 = class default, negative = unbounded).
+	AdmissionConfig = rmi.AdmissionConfig
+	// OverloadedError reports a request shed by admission control. It
+	// matches ErrOverloaded and carries the server's retry-after hint.
+	OverloadedError = rmi.OverloadedError
+	// Pool is a fixed set of multiplexed connections shared by many
+	// Sessions — the answer to "10k callers must not mean 10k sockets".
+	Pool = serve.Pool
+	// PoolConfig configures a Pool (transport, directory, socket budget).
+	PoolConfig = serve.PoolConfig
+	// Session is one logical client on a Pool; cheap, with its own
+	// default call options, picking the least-loaded connection per call.
+	Session = serve.Session
+)
+
+// Priority classes, highest first. Pings, stats, and deletes default to
+// PrioHigh; constructions and calls to PrioNormal; WithPriority
+// overrides per call or per session.
+const (
+	PrioHigh   = rmi.PrioHigh
+	PrioNormal = rmi.PrioNormal
+	PrioBulk   = rmi.PrioBulk
+)
+
+// ErrOverloaded matches requests shed by admission control under
+// errors.Is — locally and across the wire.
+var ErrOverloaded = rmi.ErrOverloaded
+
+// WithPriority stamps the request's admission class into the wire
+// header.
+func WithPriority(p Priority) CallOption { return rmi.WithPriority(p) }
+
+// RetryAfter extracts the server's backoff hint from an overload error,
+// local or remote.
+func RetryAfter(err error) (time.Duration, bool) { return rmi.RetryAfter(err) }
+
+// UnboundedAdmission returns an AdmissionConfig that admits everything —
+// the pre-admission-control behavior.
+func UnboundedAdmission() AdmissionConfig { return rmi.Unbounded() }
+
+// NewPool creates a connection pool for high-fan-in clients.
+func NewPool(cfg PoolConfig) (*Pool, error) { return serve.NewPool(cfg) }
 
 // StartNode brings one machine of a multi-process cluster up.
 func StartNode(cfg NodeConfig) (*Node, error) { return cluster.StartNode(cfg) }
