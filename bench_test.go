@@ -585,6 +585,60 @@ func BenchmarkE13_OwnerComputes(b *testing.B) {
 	})
 }
 
+// BenchmarkE15_Replication — the replicated write path: a full-array
+// write through a k-way replicated map fans every page out to all k
+// replicas (primary-ack), so k=2 should cost ~2x the k=1 bytes and
+// round trips; reads pick one live replica and stay at k=1 cost.
+func BenchmarkE15_Replication(b *testing.B) {
+	const devices = 4
+	const N, n = 16, 4
+	grid := N / n
+	cl := benchCluster(b, devices, transport.NewInproc(benchLink()), 0, disk.Model{})
+	mk := func(name string, k int) *core.Array {
+		base, err := core.NewRoundRobinMap(grid, grid, grid, devices)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, err := core.NewReplicatedMap(base, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		storage, err := core.CreateBlockStorage(bg, cl.Client(), machines(devices), name,
+			pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arr, err := core.NewArray(bg, storage, pm, N, N, N, n, n, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return arr
+	}
+	full := core.Box(N, N, N)
+	buf := make([]float64, full.Size())
+	for _, k := range []int{1, 2} {
+		arr := mk(fmt.Sprintf("e15-k%d", k), k)
+		b.Run(fmt.Sprintf("write/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * full.Size()))
+			for i := 0; i < b.N; i++ {
+				if err := arr.Write(bg, buf, full); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("read/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * full.Size()))
+			for i := 0; i < b.N; i++ {
+				if err := arr.Read(bg, buf, full); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE14_ServingTier — the serving-tier hot path: a small echo
 // call through a pooled Session (front-door multiplexing plus admission
 // control on the server), the operation E14's hotpath phase gates at

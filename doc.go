@@ -283,6 +283,58 @@
 // shed counts against a parked mailbox, a zero-allocation hot path,
 // and goodput held within 20% of peak at twice the saturating load).
 //
+// # Fault tolerance
+//
+// A distributed array is as mortal as its least reliable machine —
+// unless its pages live in more than one place. NewReplicatedMap wraps
+// any layout so every page occupies k distinct devices:
+//
+//	base, _ := oopp.NewPageMap("roundrobin", 4, 4, 4, devices)
+//	pm, _ := oopp.NewReplicatedMap(base, 2)
+//	storage, _ := oopp.CreateBlockStorage(ctx, client, machines, "a",
+//	        pm.PagesPerDevice()+spare, n, n, n, oopp.DiskPrivate)
+//	arr, _ := oopp.NewArray(ctx, storage, pm, N, N, N, n, n, n)
+//
+// Writes fan out to all k replicas with primary-ack semantics: a write
+// succeeds when at least one replica of every touched page acks, and a
+// replica lost to a down machine is tolerated and counted
+// (Array.DegradedWrites) rather than surfaced — any other failure is
+// still an error. The owner-computes kernels replay deterministic
+// mutations on every replica, so replicas stay bitwise identical
+// without a read-back. Reads cost the same as unreplicated reads: any
+// one live replica serves, and a down primary just routes the read to
+// the next replica in the chain. Experiment E15 pins the price: k=2
+// writes move ≤2.2× the k=1 bytes, reads 1.0×.
+//
+// Failover turns the heartbeat's down verdict into restored service:
+//
+//	hb := client.StartHeartbeat(oopp.HeartbeatConfig{...})
+//	// ... machine m dies; hb declares it down ...
+//	rep, err := arr.Failover(ctx, m)
+//
+// Failover drops the dead devices from every replica chain (promoting
+// the first survivor to acting primary), re-seeds each lost replica
+// onto a surviving device's spare page slots — copied device-to-device
+// from the acting primary, never through the client — and atomically
+// re-mints the page map so subsequent operations address only
+// survivors. The FailoverReport says what happened: pages promoted and
+// re-seeded, pages left degraded (no spare slots to re-seed into — the
+// array still serves, one replica short), and pages lost outright
+// (every replica dead; only then is data gone). Devices provisioned
+// with pagesPerDevice above the map's requirement are the re-seed
+// budget. A machine that restarts after failover is an empty peer, not
+// a stale replica: the re-minted map never addresses it, so no stale
+// page can serve — re-integrating it is a fresh spawn plus Failover's
+// re-seed lane, not a rejoin.
+//
+// For k=1 arrays the story is a checkpoint, not a failover:
+// CheckpointArray streams the geometry and every device's pages into a
+// persistence Store, and after any number of machine deaths
+// RecoverArray reconstructs the array from the store — cold state,
+// full data, on the store's machine. The kill-one-server e2e suite
+// runs both lanes against real processes and a real SIGKILL: with k=2
+// the run completes with zero failed calls and zero data loss.
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:
@@ -308,6 +360,9 @@
 //   - PFFT: the group of FFT processes jointly computing a 3D transform.
 //   - Address, NameService, Store, Manager: persistent processes with
 //     symbolic addresses.
+//   - ReplicaMap, ReplicatedMap, FailoverReport, CheckpointArray,
+//     RecoverArray: k-way page replication with failover, and
+//     persist-backed cold recovery.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // experiment suite; cmd/oppbench reproduces every experiment table.

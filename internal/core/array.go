@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
@@ -35,7 +38,17 @@ type Array struct {
 	g [3]int // page grid dims P1,P2,P3
 
 	storage *BlockStorage
-	pm      PageMap
+
+	// pm is guarded by pmMu: Failover re-mints the map while other
+	// goroutines may hold Array clients over the same storage. Every
+	// operation snapshots the map once (Map) and works against that
+	// snapshot.
+	pmMu sync.RWMutex
+	pm   PageMap
+
+	// degraded counts replica writes tolerated against down machines —
+	// see DegradedWrites in replica.go.
+	degraded atomic.Int64
 
 	pipeline bool
 	window   int
@@ -99,8 +112,19 @@ func (a *Array) Bounds() Domain { return Box(a.n[0], a.n[1], a.n[2]) }
 // Storage returns the underlying block storage.
 func (a *Array) Storage() *BlockStorage { return a.storage }
 
-// Map returns the page map.
-func (a *Array) Map() PageMap { return a.pm }
+// Map returns the page map (the current one — Failover re-mints it).
+func (a *Array) Map() PageMap {
+	a.pmMu.RLock()
+	defer a.pmMu.RUnlock()
+	return a.pm
+}
+
+// setMap atomically replaces the page map (Failover's final step).
+func (a *Array) setMap(pm PageMap) {
+	a.pmMu.Lock()
+	a.pm = pm
+	a.pmMu.Unlock()
+}
 
 // SetPipeline toggles the §4 split-loop pipelining. With it off every
 // page operation is a synchronous §2 round trip — the configuration the
@@ -119,15 +143,33 @@ func (a *Array) SetWindow(w int) {
 // region is one page overlapped by a domain operation.
 type region struct {
 	addr  PageAddress
-	box   Domain // the page's global element box
-	isect Domain // overlap with the operation's domain
-	full  bool   // the whole page is covered
+	addrs []PageAddress // full replica chain (primary first); nil on plain maps
+	box   Domain        // the page's global element box
+	isect Domain        // overlap with the operation's domain
+	full  bool          // the whole page is covered
+}
+
+// replicas returns the region's replica chain — addr alone on plain
+// maps.
+func (r *region) replicas() []PageAddress {
+	if r.addrs != nil {
+		return r.addrs
+	}
+	return []PageAddress{r.addr}
 }
 
 // regions enumerates the pages overlapping dom, with their physical
 // addresses. Page iteration order is row-major in page coordinates, which
 // under a round-robin map alternates devices — maximizing overlap.
 func (a *Array) regions(dom Domain) []region {
+	return a.regionsOf(a.Map(), dom)
+}
+
+// regionsOf is regions against an explicit map snapshot, so one
+// operation never mixes pre- and post-failover layouts. Under a
+// ReplicaMap each region carries its whole replica chain.
+func (a *Array) regionsOf(pm PageMap, dom Domain) []region {
+	rm, _ := pm.(ReplicaMap)
 	lo1, hi1 := dom.Lo[0]/a.p[0], (dom.Hi[0]-1)/a.p[0]
 	lo2, hi2 := dom.Lo[1]/a.p[1], (dom.Hi[1]-1)/a.p[1]
 	lo3, hi3 := dom.Lo[2]/a.p[2], (dom.Hi[2]-1)/a.p[2]
@@ -144,12 +186,18 @@ func (a *Array) regions(dom Domain) []region {
 				if isect.Empty() {
 					continue
 				}
-				out = append(out, region{
-					addr:  a.pm.Locate(p1, p2, p3),
+				r := region{
 					box:   box,
 					isect: isect,
 					full:  isect.Equal(box),
-				})
+				}
+				if rm != nil {
+					r.addrs = rm.LocateAll(p1, p2, p3)
+					r.addr = r.addrs[0]
+				} else {
+					r.addr = pm.Locate(p1, p2, p3)
+				}
+				out = append(out, r)
 			}
 		}
 	}
@@ -196,7 +244,10 @@ func (a *Array) copyRegion(sub []float64, dom Domain, page []float64, r region, 
 // Read gathers the subdomain dom into subarray (row-major, dom.Dims()
 // shaped) — the paper's Array::read. With pipelining on, page reads from
 // distinct devices overlap (§4); the PageMap decides how many devices
-// that engages (§5).
+// that engages (§5). Under a replicated map each page is read from its
+// first *live* replica (the failure detector's verdicts route around
+// down machines; a call-time machine-down failure falls back to the
+// next replica), so replication doubles as read scaling.
 func (a *Array) Read(ctx context.Context, subarray []float64, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
@@ -209,8 +260,7 @@ func (a *Array) Read(ctx context.Context, subarray []float64, dom Domain) error 
 
 	if !a.pipeline {
 		for _, r := range regs {
-			dev := a.storage.Device(r.addr.Device)
-			if err := dev.ReadPage(ctx, scratch, r.addr.Index); err != nil {
+			if err := a.readRegion(ctx, r, scratch, nil); err != nil {
 				return err
 			}
 			a.copyRegion(subarray, dom, scratch.Data, r, true)
@@ -219,24 +269,71 @@ func (a *Array) Read(ctx context.Context, subarray []float64, dom Domain) error 
 	}
 
 	futs := make([]*rmi.Future, len(regs))
+	picked := make([]PageAddress, len(regs))
 	issued := 0
 	for done := 0; done < len(regs); done++ {
 		for issued < len(regs) && issued < done+a.window {
 			r := regs[issued]
-			futs[issued] = a.storage.Device(r.addr.Device).ReadPageAsync(ctx, r.addr.Index)
+			addr, ok := a.pickLive(r.replicas(), nil)
+			if !ok {
+				addr = r.addr
+			}
+			picked[issued] = addr
+			futs[issued] = a.storage.Device(addr.Device).ReadPageAsync(ctx, addr.Index)
 			issued++
 		}
 		if err := pagedev.DecodeArrayPage(ctx, futs[done], scratch); err != nil {
-			// Drain remaining futures before returning.
-			for i := done + 1; i < issued; i++ {
-				_ = futs[i].Err(ctx)
+			// A replica dying between issue and decode: retry the page
+			// synchronously on its remaining replicas before giving up.
+			err = a.retryRead(ctx, regs[done], picked[done], scratch, err)
+			if err != nil {
+				// Drain remaining futures before returning.
+				for i := done + 1; i < issued; i++ {
+					_ = futs[i].Err(ctx)
+				}
+				return err
 			}
-			return err
 		}
 		a.copyRegion(subarray, dom, scratch.Data, regs[done], true)
 		futs[done] = nil
 	}
 	return nil
+}
+
+// readRegion reads one page region from the first live replica,
+// synchronously, falling back across the chain on typed machine-down
+// failures.
+func (a *Array) readRegion(ctx context.Context, r region, page *pagedev.ArrayPage, exclude map[int]bool) error {
+	addr, ok := a.pickLive(r.replicas(), exclude)
+	if !ok {
+		addr = r.addr
+	}
+	err := a.storage.Device(addr.Device).ReadPage(ctx, page, addr.Index)
+	if err == nil {
+		return nil
+	}
+	return a.retryRead(ctx, r, addr, page, err)
+}
+
+// retryRead walks the remaining replicas of r after a read from the
+// failed address errored: only typed machine-down failures are
+// retried; any other error (or running out of replicas) returns the
+// original error.
+func (a *Array) retryRead(ctx context.Context, r region, failed PageAddress, page *pagedev.ArrayPage, err error) error {
+	if !errors.Is(err, rmi.ErrMachineDown) {
+		return err
+	}
+	for _, addr := range r.replicas() {
+		if addr == failed || !a.machineUp(addr.Device) {
+			continue
+		}
+		if rerr := a.storage.Device(addr.Device).ReadPage(ctx, page, addr.Index); rerr == nil {
+			return nil
+		} else if !errors.Is(rerr, rmi.ErrMachineDown) {
+			return rerr
+		}
+	}
+	return err
 }
 
 // subBoxFor converts a region's intersection into the device-local
@@ -274,6 +371,13 @@ func (a *Array) extractRegion(sub []float64, dom Domain, r region) []float64 {
 // Array::write. Fully covered pages are written whole; partially covered
 // pages go through the device's atomic sub-page write. Both paths
 // pipeline.
+//
+// Under a replicated map every page write fans out to the whole replica
+// chain through the same pipeline, with primary-ack semantics: the
+// write succeeds iff at least one replica of every touched page
+// acknowledges; replicas failing with the typed machine-down error are
+// tolerated (counted in DegradedWrites), any other failure fails the
+// write.
 func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
@@ -284,28 +388,66 @@ func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error
 	regs := a.regions(dom)
 	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
 
-	var futs []*rmi.Future
-	flush := func() error {
-		err := rmi.WaitAllReleased(ctx, futs)
-		futs = futs[:0]
-		return err
+	// Each pending group is one region's replica fan-out; a group is
+	// acked when at least one of its futures succeeds and no future
+	// failed with anything but the typed machine-down error.
+	type group struct {
+		futs []*rmi.Future
 	}
-	push := func(fut *rmi.Future) error {
-		futs = append(futs, fut)
-		if len(futs) >= a.window {
-			return flush()
+	var pending []group
+	outstanding := 0
+	settle := func() error {
+		var hard error
+		for _, g := range pending {
+			acked := 0
+			var down error
+			for _, fut := range g.futs {
+				switch err := fut.Err(ctx); {
+				case err == nil:
+					acked++
+				case errors.Is(err, rmi.ErrMachineDown):
+					down = err
+				default:
+					if hard == nil {
+						hard = err
+					}
+				}
+			}
+			if hard == nil && acked == 0 && down != nil {
+				hard = down
+			}
+			if down != nil && acked > 0 {
+				a.degraded.Add(int64(len(g.futs) - acked))
+			}
+		}
+		pending = pending[:0]
+		outstanding = 0
+		return hard
+	}
+	push := func(futs []*rmi.Future) error {
+		pending = append(pending, group{futs: futs})
+		outstanding += len(futs)
+		if outstanding >= a.window {
+			return settle()
 		}
 		return nil
 	}
+
 	for _, r := range regs {
-		dev := a.storage.Device(r.addr.Device)
+		chain := r.replicas()
 		if r.full {
 			a.copyRegion(subarray, dom, scratch.Data, r, false)
 			if a.pipeline {
-				if err := push(dev.WritePageAsync(ctx, scratch, r.addr.Index)); err != nil {
+				futs := make([]*rmi.Future, len(chain))
+				for i, addr := range chain {
+					futs[i] = a.storage.Device(addr.Device).WritePageAsync(ctx, scratch, addr.Index)
+				}
+				if err := push(futs); err != nil {
 					return err
 				}
-			} else if err := dev.WritePage(ctx, scratch, r.addr.Index); err != nil {
+			} else if err := a.writeRegionSync(ctx, chain, func(addr PageAddress) error {
+				return a.storage.Device(addr.Device).WritePage(ctx, scratch, addr.Index)
+			}); err != nil {
 				return err
 			}
 			continue
@@ -313,15 +455,52 @@ func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error
 		// Partial page: atomic sub-page write on the device (only the
 		// region travels, and concurrent clients can share the page).
 		vals := a.extractRegion(subarray, dom, r)
+		box := subBoxFor(r)
 		if a.pipeline {
-			if err := push(dev.WriteSubAsync(ctx, r.addr.Index, subBoxFor(r), vals)); err != nil {
+			futs := make([]*rmi.Future, len(chain))
+			for i, addr := range chain {
+				futs[i] = a.storage.Device(addr.Device).WriteSubAsync(ctx, addr.Index, box, vals)
+			}
+			if err := push(futs); err != nil {
 				return err
 			}
-		} else if err := dev.WriteSub(ctx, r.addr.Index, subBoxFor(r), vals); err != nil {
+		} else if err := a.writeRegionSync(ctx, chain, func(addr PageAddress) error {
+			return a.storage.Device(addr.Device).WriteSub(ctx, addr.Index, box, vals)
+		}); err != nil {
 			return err
 		}
 	}
-	return flush()
+	return settle()
+}
+
+// writeRegionSync applies one region's write to every replica
+// synchronously, with the same primary-ack classification as the
+// pipelined path.
+func (a *Array) writeRegionSync(ctx context.Context, chain []PageAddress, write func(PageAddress) error) error {
+	acked := 0
+	var down, hard error
+	for _, addr := range chain {
+		switch err := write(addr); {
+		case err == nil:
+			acked++
+		case errors.Is(err, rmi.ErrMachineDown):
+			down = err
+		default:
+			if hard == nil {
+				hard = err
+			}
+		}
+	}
+	if hard != nil {
+		return hard
+	}
+	if acked == 0 && down != nil {
+		return down
+	}
+	if down != nil {
+		a.degraded.Add(int64(len(chain) - acked))
+	}
+	return nil
 }
 
 // Sum reduces the subdomain dom — the paper's Array::sum. Every page is

@@ -23,21 +23,24 @@ import (
 // over a typed Collection: concurrent with a bounded window, reporting
 // errors.Join of all member failures.
 type BlockStorage struct {
-	devices []*pagedev.ArrayDevice
-	coll    *collection.Collection[*pagedev.ArrayDevice]
+	devices  []*pagedev.ArrayDevice
+	machines []int // machines[i] hosts device i — the failover routing table
+	coll     *collection.Collection[*pagedev.ArrayDevice]
 }
 
 // NewBlockStorage wraps existing device stubs. The slice is not copied.
 func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
 	refs := make([]rmi.Ref, len(devices))
+	machines := make([]int, len(devices))
 	for i, d := range devices {
 		refs[i] = d.Ref()
+		machines[i] = d.Ref().Machine
 	}
 	var client *rmi.Client
 	if len(devices) > 0 {
 		client = devices[0].Client()
 	}
-	return &BlockStorage{devices: devices, coll: collection.FromRefs[*pagedev.ArrayDevice](client, refs)}
+	return &BlockStorage{devices: devices, machines: machines, coll: collection.FromRefs[*pagedev.ArrayDevice](client, refs)}
 }
 
 // CreateBlockStorage constructs one ArrayPageDevice process per entry of
@@ -62,10 +65,12 @@ func CreateBlockStorage(ctx context.Context, client *rmi.Client, machines []int,
 		return nil, fmt.Errorf("core: creating block storage %q: %w", name, err)
 	}
 	devices := make([]*pagedev.ArrayDevice, coll.Len())
+	devMachines := make([]int, coll.Len())
 	for i := range devices {
 		devices[i] = pagedev.AttachArrayDevice(client, coll.Ref(i), n1, n2, n3)
+		devMachines[i] = coll.Ref(i).Machine
 	}
-	return &BlockStorage{devices: devices, coll: coll}, nil
+	return &BlockStorage{devices: devices, machines: devMachines, coll: coll}, nil
 }
 
 // Len returns the number of devices.
@@ -73,6 +78,18 @@ func (b *BlockStorage) Len() int { return len(b.devices) }
 
 // Device returns device i.
 func (b *BlockStorage) Device(i int) *pagedev.ArrayDevice { return b.devices[i] }
+
+// MachineOf returns the machine hosting device i — the table replica
+// routing and failover use to translate the failure detector's
+// machine-level verdicts into device sets.
+func (b *BlockStorage) MachineOf(i int) int { return b.machines[i] }
+
+// Machines returns the per-device machine list (not a copy).
+func (b *BlockStorage) Machines() []int { return b.machines }
+
+// Client returns the RMI client the device stubs share (nil for an
+// empty storage).
+func (b *BlockStorage) Client() *rmi.Client { return b.coll.Client() }
 
 // Collection exposes the device processes as a typed collection, for
 // further collectives (checkpoint binds, custom reductions).

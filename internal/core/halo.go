@@ -9,6 +9,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
@@ -20,6 +22,12 @@ import (
 // own them (one pullSubBatch call per destination/source device pair),
 // so no element data passes through the client. Co-located page pairs
 // degrade to shared-address-space copies.
+//
+// Under replicated maps every destination replica pulls its copy (the
+// write fan-out), each from the source page's first live replica; a
+// destination replica failing with the typed machine-down error is
+// tolerated as long as every region landed on at least one live
+// destination replica (primary-ack, like Write).
 func (a *Array) CopyFrom(ctx context.Context, src *Array, dom Domain) error {
 	if err := a.conformant(src); err != nil {
 		return err
@@ -27,38 +35,88 @@ func (a *Array) CopyFrom(ctx context.Context, src *Array, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
-	// Group regions by (destination device, source device): one pull
-	// call moves everything a device pair exchanges.
+	spm := src.Map()
+	// Group pulls by (destination device, source device): one pull call
+	// moves everything a device pair exchanges. regIdx remembers which
+	// region each pull serves, for the per-region ack classification.
 	type pair struct{ dst, src int }
+	regs := a.regions(dom)
 	groups := make(map[pair][]pagedev.PullRegion)
+	regIdx := make(map[pair][]int)
 	var order []pair
-	for _, r := range a.regions(dom) {
-		sAddr := src.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-		p := pair{dst: r.addr.Device, src: sAddr.Device}
-		if _, ok := groups[p]; !ok {
-			order = append(order, p)
+	for i, r := range regs {
+		sChain := replicasOf(spm, r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		sAddr, ok := src.pickLive(sChain, nil)
+		if !ok {
+			return fmt.Errorf("core: source page %v: no replica left: %w", sChain[0], rmi.ErrMachineDown)
 		}
-		groups[p] = append(groups[p], pagedev.PullRegion{
-			Index:     r.addr.Index,
-			Box:       subBoxFor(r),
-			PeerIndex: sAddr.Index,
-		})
+		for _, dAddr := range r.replicas() {
+			p := pair{dst: dAddr.Device, src: sAddr.Device}
+			if _, seen := groups[p]; !seen {
+				order = append(order, p)
+			}
+			groups[p] = append(groups[p], pagedev.PullRegion{
+				Index:     dAddr.Index,
+				Box:       subBoxFor(r),
+				PeerIndex: sAddr.Index,
+			})
+			regIdx[p] = append(regIdx[p], i)
+		}
 	}
 	window := a.window
 	if !a.pipeline {
 		window = 1
 	}
-	var futs []*rmi.Future
+	acked := make([]int, len(regs))
+	missed := make([]int, len(regs))
+	var hard, down error
+	futs := make([]*rmi.Future, 0, window)
+	pairs := make([]pair, 0, window)
+	settle := func() {
+		for i, fut := range futs {
+			err := fut.Err(ctx)
+			for _, ri := range regIdx[pairs[i]] {
+				switch {
+				case err == nil:
+					acked[ri]++
+				case errors.Is(err, rmi.ErrMachineDown):
+					missed[ri]++
+					down = err
+				default:
+					if hard == nil {
+						hard = err
+					}
+				}
+			}
+		}
+		futs, pairs = futs[:0], pairs[:0]
+	}
 	for _, p := range order {
 		futs = append(futs, a.storage.Device(p.dst).PullSubBatchAsync(ctx, src.storage.Device(p.src).Ref(), groups[p]))
+		pairs = append(pairs, p)
 		if len(futs) >= window {
-			if err := rmi.WaitAllReleased(ctx, futs); err != nil {
-				return err
+			settle()
+			if hard != nil {
+				return hard
 			}
-			futs = futs[:0]
 		}
 	}
-	return rmi.WaitAllReleased(ctx, futs)
+	settle()
+	if hard != nil {
+		return hard
+	}
+	tolerated := 0
+	for i := range regs {
+		if acked[i] == 0 {
+			if down != nil {
+				return down
+			}
+			continue
+		}
+		tolerated += missed[i]
+	}
+	a.degraded.Add(int64(tolerated))
+	return nil
 }
 
 // HaloExchange pulls the ghost shell of width w around slab from the

@@ -40,7 +40,15 @@ func JacobiOwner(ctx context.Context, a *Array, iters int) (float64, error) {
 		return 0, fmt.Errorf("core: Jacobi needs at least 3 points per axis, have %dx%dx%d", N1, N2, N3)
 	}
 	P1, P2, P3 := a.g[0], a.g[1], a.g[2]
-	ppd := a.pm.PagesPerDevice()
+	pm := a.Map()
+	if replicaCount(pm) > 1 {
+		// The plane-sweep engine writes bank pages directly on the
+		// devices, bypassing the replica write fan-out — it would leave
+		// replicas stale. Run it on an unreplicated array (or after
+		// stripping replication) instead.
+		return 0, fmt.Errorf("core: JacobiOwner does not support replicated maps (%q) — sweep an unreplicated array", pm.Name())
+	}
+	ppd := pm.PagesPerDevice()
 
 	// Plane ownership: every page of plane q must live on one device.
 	planeDev := make([]int, P1)
@@ -50,11 +58,11 @@ func JacobiOwner(ctx context.Context, a *Array, iters int) (float64, error) {
 		dev := -1
 		for p2 := 0; p2 < P2; p2++ {
 			for p3 := 0; p3 < P3; p3++ {
-				addr := a.pm.Locate(q, p2, p3)
+				addr := pm.Locate(q, p2, p3)
 				if dev < 0 {
 					dev = addr.Device
 				} else if addr.Device != dev {
-					return 0, fmt.Errorf("core: JacobiOwner needs a plane-aligned layout (every page of page-plane %d on one device; %q splits it) — use the striped map", q, a.pm.Name())
+					return 0, fmt.Errorf("core: JacobiOwner needs a plane-aligned layout (every page of page-plane %d on one device; %q splits it) — use the striped map", q, pm.Name())
 				}
 				pages[p2*P3+p3] = addr.Index
 			}

@@ -15,27 +15,47 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"oopp/internal/collection"
 	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
+	"oopp/internal/rmi"
 	"oopp/internal/wire"
 )
 
 // batches groups the pages overlapping dom by owning device, in
 // first-seen device order (row-major page order, so a round-robin map
 // yields balanced batches); the device list and per-device map feed
-// kernelView and the member encoders.
-func (a *Array) batches(dom Domain) (devs []int, byDev map[int][]pagedev.KernelRegion) {
+// kernelView and the member encoders. Mutating kernels run on *every*
+// replica of a page (replicate=true): kernels are deterministic and
+// each device applies them inside its serial mailbox, so fanning the
+// same batch to the whole chain keeps replicas bitwise identical.
+// Read-only reductions (replicate=false) visit one live replica per
+// page, chosen by pickLive with the exclude set.
+func (a *Array) batches(regs []region, replicate bool, exclude map[int]bool) (devs []int, byDev map[int][]pagedev.KernelRegion, err error) {
 	byDev = make(map[int][]pagedev.KernelRegion)
-	for _, r := range a.regions(dom) {
-		if _, ok := byDev[r.addr.Device]; !ok {
-			devs = append(devs, r.addr.Device)
+	add := func(addr PageAddress, r region) {
+		if _, ok := byDev[addr.Device]; !ok {
+			devs = append(devs, addr.Device)
 		}
-		byDev[r.addr.Device] = append(byDev[r.addr.Device],
-			pagedev.KernelRegion{Index: r.addr.Index, Box: subBoxFor(r)})
+		byDev[addr.Device] = append(byDev[addr.Device],
+			pagedev.KernelRegion{Index: addr.Index, Box: subBoxFor(r)})
 	}
-	return devs, byDev
+	for _, r := range regs {
+		if replicate {
+			for _, addr := range r.replicas() {
+				add(addr, r)
+			}
+			continue
+		}
+		addr, ok := a.pickLive(r.replicas(), exclude)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: page %v: no replica left outside failed machines: %w", r.addr, rmi.ErrMachineDown)
+		}
+		add(addr, r)
+	}
+	return devs, byDev, nil
 }
 
 // kernelView builds the collection view of exactly the listed devices,
@@ -58,6 +78,11 @@ func (a *Array) kernelView(devs []int) *collection.Collection[*pagedev.ArrayDevi
 // is atomic within each device's serial mailbox. Batches are not
 // transactional: a mid-operation failure can leave dom partially
 // transformed (exactly like the per-page surface this replaces).
+// Under a replicated map the batch fans out to every replica of every
+// page, with primary-ack semantics: member failures that are the typed
+// machine-down error are tolerated as long as every page kept at least
+// one live replica (the write lands there; the dead copy is dropped and
+// re-seeded at Failover).
 func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...float64) error {
 	if _, err := kernel.LookupMap(name, params); err != nil {
 		return err
@@ -65,14 +90,23 @@ func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...fl
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
-	devs, byDev := a.batches(dom)
-	if len(devs) == 0 {
-		return nil
+	regs := a.regions(dom)
+	devs, byDev, err := a.batches(regs, true, nil)
+	if err != nil || len(devs) == 0 {
+		return err
 	}
-	return a.kernelView(devs).Broadcast(ctx, "applyK", func(m collection.Member, e *wire.Encoder) error {
+	err = a.kernelView(devs).Broadcast(ctx, "applyK", func(m collection.Member, e *wire.Encoder) error {
 		pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
 		return nil
 	})
+	if err == nil {
+		return nil
+	}
+	down := make(map[int]bool)
+	for _, dev := range collection.Failed(err) {
+		down[dev] = true
+	}
+	return a.coverDown(err, regs, down)
 }
 
 // Reduce folds the registered reduction kernel name over dom: each
@@ -83,6 +117,10 @@ func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...fl
 // dom folds nothing and returns the kernel's identity with n == 0 —
 // identity-only partials are never merged, so ±Inf-style identities
 // cannot poison the result.
+// Under a replicated map each page is folded on one *live* replica; a
+// device that fails with the typed machine-down error mid-reduction is
+// excluded and the whole fold retries against the surviving replicas
+// (reductions are read-only, so the retry is always safe).
 func (a *Array) Reduce(ctx context.Context, dom Domain, name string, params ...float64) (acc []float64, n int64, err error) {
 	k, err := kernel.LookupReduce(name, params)
 	if err != nil {
@@ -91,26 +129,40 @@ func (a *Array) Reduce(ctx context.Context, dom Domain, name string, params ...f
 	if err := a.checkDomain(dom); err != nil {
 		return nil, 0, err
 	}
-	devs, byDev := a.batches(dom)
-	if len(devs) == 0 {
+	regs := a.regions(dom)
+	if len(regs) == 0 {
 		return k.NewAcc(params), 0, nil
 	}
-	total, err := collection.Reduce(ctx, a.kernelView(devs), "reduceK",
-		func(m collection.Member, e *wire.Encoder) error {
-			pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
-			return nil
-		},
-		func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
-			return pagedev.DecodeReducePartial(d)
-		},
-		mergePartials(k.Merge))
-	if err != nil {
-		return nil, 0, err
+	replicas := replicaCount(a.Map())
+	exclude := make(map[int]bool)
+	for attempt := 0; ; attempt++ {
+		devs, byDev, berr := a.batches(regs, false, exclude)
+		if berr != nil {
+			return nil, 0, berr
+		}
+		total, rerr := collection.Reduce(ctx, a.kernelView(devs), "reduceK",
+			func(m collection.Member, e *wire.Encoder) error {
+				pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
+				return nil
+			},
+			func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
+				return pagedev.DecodeReducePartial(d)
+			},
+			mergePartials(k.Merge))
+		if rerr != nil {
+			if attempt+1 < replicas && allMachineDown(rerr) {
+				for _, dev := range collection.Failed(rerr) {
+					exclude[dev] = true
+				}
+				continue
+			}
+			return nil, 0, rerr
+		}
+		if total.N == 0 {
+			return k.NewAcc(params), 0, nil
+		}
+		return total.Acc, total.N, nil
 	}
-	if total.N == 0 {
-		return k.NewAcc(params), 0, nil
-	}
-	return total.Acc, total.N, nil
 }
 
 // mergePartials lifts a kernel's accumulator merge to ReducePartial,
@@ -139,24 +191,46 @@ type binaryBatch struct {
 // binaryBatches pairs each of a's regions over dom with the co-located
 // page of the conformant array b, grouped by a's owning device; the
 // returned device list and per-device map feed kernelView and the
-// member encoders.
-func (a *Array) binaryBatches(b *Array, dom Domain) (devs []int, byDev map[int][]pagedev.BinaryRegion) {
+// member encoders. With replicate=true (mutating kernels) a's regions
+// fan to a's whole replica chain; the peer page of b is always read
+// from b's first live replica; exclude filters a's devices on the
+// read-only retry path.
+func (a *Array) binaryBatches(b *Array, regs []region, replicate bool, exclude map[int]bool) (devs []int, byDev map[int][]pagedev.BinaryRegion, err error) {
+	bpm := b.Map()
 	slot := make(map[int]int)
 	var out []binaryBatch
-	for _, r := range a.regions(dom) {
-		bAddr := b.pm.Locate(r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
-		s, ok := slot[r.addr.Device]
+	add := func(addr PageAddress, breg pagedev.BinaryRegion) {
+		breg.Index = addr.Index
+		s, ok := slot[addr.Device]
 		if !ok {
 			s = len(out)
-			slot[r.addr.Device] = s
-			out = append(out, binaryBatch{device: r.addr.Device})
+			slot[addr.Device] = s
+			out = append(out, binaryBatch{device: addr.Device})
 		}
-		out[s].regions = append(out[s].regions, pagedev.BinaryRegion{
-			Index:     r.addr.Index,
+		out[s].regions = append(out[s].regions, breg)
+	}
+	for _, r := range regs {
+		bChain := replicasOf(bpm, r.box.Lo[0]/a.p[0], r.box.Lo[1]/a.p[1], r.box.Lo[2]/a.p[2])
+		bAddr, ok := b.pickLive(bChain, nil)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: operand page %v: no replica left: %w", bChain[0], rmi.ErrMachineDown)
+		}
+		breg := pagedev.BinaryRegion{
 			Box:       subBoxFor(r),
 			Peer:      b.storage.Device(bAddr.Device).Ref(),
 			PeerIndex: bAddr.Index,
-		})
+		}
+		if replicate {
+			for _, addr := range r.replicas() {
+				add(addr, breg)
+			}
+			continue
+		}
+		addr, ok := a.pickLive(r.replicas(), exclude)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: page %v: no replica left outside failed machines: %w", r.addr, rmi.ErrMachineDown)
+		}
+		add(addr, breg)
 	}
 	devs = make([]int, len(out))
 	byDev = make(map[int][]pagedev.BinaryRegion, len(out))
@@ -164,7 +238,7 @@ func (a *Array) binaryBatches(b *Array, dom Domain) (devs []int, byDev map[int][
 		devs[i] = bb.device
 		byDev[bb.device] = bb.regions
 	}
-	return devs, byDev
+	return devs, byDev, nil
 }
 
 // ApplyBinary runs the registered two-operand kernel name over dom:
@@ -185,14 +259,23 @@ func (a *Array) ApplyBinary(ctx context.Context, dom Domain, name string, b *Arr
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
-	devs, byDev := a.binaryBatches(b, dom)
-	if len(devs) == 0 {
-		return nil
+	regs := a.regions(dom)
+	devs, byDev, err := a.binaryBatches(b, regs, true, nil)
+	if err != nil || len(devs) == 0 {
+		return err
 	}
-	return a.kernelView(devs).Broadcast(ctx, "applyBinaryK", func(m collection.Member, e *wire.Encoder) error {
+	err = a.kernelView(devs).Broadcast(ctx, "applyBinaryK", func(m collection.Member, e *wire.Encoder) error {
 		pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
 		return nil
 	})
+	if err == nil {
+		return nil
+	}
+	down := make(map[int]bool)
+	for _, dev := range collection.Failed(err) {
+		down[dev] = true
+	}
+	return a.coverDown(err, regs, down)
 }
 
 // ReduceBinary folds the registered two-operand reduction kernel name
@@ -209,24 +292,38 @@ func (a *Array) ReduceBinary(ctx context.Context, dom Domain, name string, b *Ar
 	if err := a.checkDomain(dom); err != nil {
 		return nil, 0, err
 	}
-	devs, byDev := a.binaryBatches(b, dom)
-	if len(devs) == 0 {
+	regs := a.regions(dom)
+	if len(regs) == 0 {
 		return k.NewAcc(params), 0, nil
 	}
-	total, err := collection.Reduce(ctx, a.kernelView(devs), "reduceBinaryK",
-		func(m collection.Member, e *wire.Encoder) error {
-			pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
-			return nil
-		},
-		func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
-			return pagedev.DecodeReducePartial(d)
-		},
-		mergePartials(k.Merge))
-	if err != nil {
-		return nil, 0, err
+	replicas := replicaCount(a.Map())
+	exclude := make(map[int]bool)
+	for attempt := 0; ; attempt++ {
+		devs, byDev, berr := a.binaryBatches(b, regs, false, exclude)
+		if berr != nil {
+			return nil, 0, berr
+		}
+		total, rerr := collection.Reduce(ctx, a.kernelView(devs), "reduceBinaryK",
+			func(m collection.Member, e *wire.Encoder) error {
+				pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
+				return nil
+			},
+			func(_ collection.Member, d *wire.Decoder) (pagedev.ReducePartial, error) {
+				return pagedev.DecodeReducePartial(d)
+			},
+			mergePartials(k.Merge))
+		if rerr != nil {
+			if attempt+1 < replicas && allMachineDown(rerr) {
+				for _, dev := range collection.Failed(rerr) {
+					exclude[dev] = true
+				}
+				continue
+			}
+			return nil, 0, rerr
+		}
+		if total.N == 0 {
+			return k.NewAcc(params), 0, nil
+		}
+		return total.Acc, total.N, nil
 	}
-	if total.N == 0 {
-		return k.NewAcc(params), 0, nil
-	}
-	return total.Acc, total.N, nil
 }

@@ -196,20 +196,32 @@ func (m *hashMap) PagesPerDevice() int { return m.perDev }
 func (m *hashMap) Name() string { return "hash" }
 
 // NewPageMap builds a layout by name: "roundrobin", "blocked", "striped"
-// or "hash". Used by the experiment harness and cmd flags.
+// or "hash", optionally suffixed "+r<k>" for k-way replication (e.g.
+// "striped+r2" — the grammar ReplicatedMap.Name renders, so published
+// replicated arrays reopen with their replication factor intact). Used
+// by the experiment harness, checkpoint reopen, and cmd flags.
 func NewPageMap(name string, p1, p2, p3, devices int) (PageMap, error) {
-	switch name {
+	base, k, replicated := parseReplicaSuffix(name)
+	var (
+		pm  PageMap
+		err error
+	)
+	switch base {
 	case "roundrobin":
-		return NewRoundRobinMap(p1, p2, p3, devices)
+		pm, err = NewRoundRobinMap(p1, p2, p3, devices)
 	case "blocked":
-		return NewBlockedMap(p1, p2, p3, devices)
+		pm, err = NewBlockedMap(p1, p2, p3, devices)
 	case "striped":
-		return NewStripedMap(p1, p2, p3, devices)
+		pm, err = NewStripedMap(p1, p2, p3, devices)
 	case "hash":
-		return NewHashMap(p1, p2, p3, devices)
+		pm, err = NewHashMap(p1, p2, p3, devices)
 	default:
 		return nil, fmt.Errorf("core: unknown page map %q", name)
 	}
+	if err != nil || !replicated {
+		return pm, err
+	}
+	return NewReplicatedMap(pm, k)
 }
 
 // PageMapNames lists the available layouts.

@@ -398,6 +398,140 @@ func TestKillOneServerFailureDetection(t *testing.T) {
 	}
 }
 
+// TestKillOneServerReplicatedZeroLoss is the replication counterpart of
+// TestKillOneServerFailureDetection: the same SIGKILL under a live
+// array, but with 2-way replicated pages the outcome flips from
+// "partial success with typed errors" to "full success, degraded
+// replica count". Every read and write around the kill completes, the
+// data survives bit-for-bit, and failover re-seeds the dead machine's
+// pages onto the survivors' spare slots.
+func TestKillOneServerReplicatedZeroLoss(t *testing.T) {
+	cl := StartCluster(t, 4)
+	ctx := testCtx(t)
+
+	const N, n = 16, 4
+	grid := N / n
+	base, err := core.NewRoundRobinMap(grid, grid, grid, 4)
+	if err != nil {
+		t.Fatalf("pagemap: %v", err)
+	}
+	pm, err := core.NewReplicatedMap(base, 2)
+	if err != nil {
+		t.Fatalf("replicate: %v", err)
+	}
+	// Spare slots beyond the map's requirement are the failover budget:
+	// the dead machine's 2·16 bank slots re-seed across 3 survivors.
+	storage, err := core.CreateBlockStorage(ctx, cl.Client, []int{0, 1, 2, 3}, "e2erepl",
+		pm.PagesPerDevice()+16, n, n, n, 0)
+	if err != nil {
+		t.Fatalf("create storage: %v", err)
+	}
+	arr, err := core.NewArray(ctx, storage, pm, N, N, N, n, n, n)
+	if err != nil {
+		t.Fatalf("array: %v", err)
+	}
+
+	full := core.Box(N, N, N)
+	src := make([]float64, full.Size())
+	for i := range src {
+		src[i] = float64(i%1013) * 0.5
+	}
+	if err := arr.Write(ctx, src, full); err != nil {
+		t.Fatalf("write before kill: %v", err)
+	}
+	wantSum := 0.0
+	for _, v := range src {
+		wantSum += v
+	}
+
+	hb := cl.Client.StartHeartbeat(rmi.HeartbeatConfig{
+		Interval: 50 * time.Millisecond,
+		Timeout:  time.Second,
+		Misses:   2,
+	})
+	defer hb.Stop()
+
+	cl.Kill(2)
+	deadline := time.Now().Add(30 * time.Second)
+	for len(hb.Down()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if down := hb.Down(); len(down) != 1 || down[0] != 2 {
+		t.Fatalf("heartbeat detected down=%v, want [2]", down)
+	}
+
+	// Degraded service, zero failed calls: reads route around the dead
+	// replica, writes land on the survivors and count the tolerated ones.
+	got := make([]float64, full.Size())
+	if err := arr.Read(ctx, got, full); err != nil {
+		t.Fatalf("read with dead machine: %v", err)
+	}
+	if !reflect.DeepEqual(got, src) {
+		t.Fatal("degraded read lost data")
+	}
+	for i := range src {
+		src[i] += 1
+	}
+	if err := arr.Write(ctx, src, full); err != nil {
+		t.Fatalf("write with dead machine: %v", err)
+	}
+	if arr.DegradedWrites() == 0 {
+		t.Fatal("full-array write over a dead machine recorded no degraded pages")
+	}
+	wantSum += float64(full.Size())
+	if sum, err := arr.Sum(ctx, full); err != nil || !close64(sum, wantSum) {
+		t.Fatalf("degraded sum = %v, %v; want %v", sum, err, wantSum)
+	}
+
+	// Failover restores full replica count on the survivors: nothing
+	// lost, the dead machine's pages re-seeded, no page left degraded.
+	rep, err := arr.Failover(ctx, 2)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if len(rep.Lost) != 0 {
+		t.Fatalf("failover lost pages %v, want none", rep.Lost)
+	}
+	if rep.Reseeded == 0 || rep.Degraded != 0 {
+		t.Fatalf("failover report %+v, want re-seeds and zero degraded", rep)
+	}
+	if err := arr.Read(ctx, got, full); err != nil {
+		t.Fatalf("read after failover: %v", err)
+	}
+	if !reflect.DeepEqual(got, src) {
+		t.Fatal("failover lost data")
+	}
+
+	// Post-failover service is whole again: new writes fan out to full
+	// replica sets with nothing tolerated.
+	before := arr.DegradedWrites()
+	if err := arr.Fill(ctx, full, 2.0); err != nil {
+		t.Fatalf("fill after failover: %v", err)
+	}
+	if arr.DegradedWrites() != before {
+		t.Fatal("post-failover write still degraded")
+	}
+	if sum, err := arr.Sum(ctx, full); err != nil || !close64(sum, 2*float64(full.Size())) {
+		t.Fatalf("post-failover sum = %v, %v; want %v", sum, err, 2*float64(full.Size()))
+	}
+}
+
+// close64 compares floats to accumulation tolerance.
+func close64(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+mathAbs(want))
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // TestRestartReconnectsThroughRegistry: a killed machine comes back as a
 // new process on a new port; the registry republish plus the client's
 // automatic reconnect route traffic to it with no client surgery. The

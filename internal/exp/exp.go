@@ -124,6 +124,7 @@ var Experiments = []Experiment{
 	{"E12", "Collective broadcast and reduce vs sequential member calls", E12Collective},
 	{"E13", "Owner-computes kernels vs client-side array math", E13OwnerComputes},
 	{"E14", "Serving tier: admission control and graceful saturation", E14ServingTier},
+	{"E15", "Replicated pages: write fan-out cost and failover recovery", E15Replication},
 }
 
 // Find returns the experiment with the given id.

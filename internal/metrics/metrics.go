@@ -17,26 +17,27 @@ import (
 // Counters aggregates the runtime's communication counters. The zero value
 // is ready to use.
 type Counters struct {
-	MessagesSent  atomic.Int64 // frames handed to the transport
-	MessagesRecv  atomic.Int64 // frames received from the transport
-	BytesSent     atomic.Int64 // payload bytes sent
-	BytesRecv     atomic.Int64 // payload bytes received
-	CallsIssued   atomic.Int64 // remote method invocations started
-	CallsServed   atomic.Int64 // remote method invocations executed
-	ObjectsLive   atomic.Int64 // remote objects currently alive
-	ObjectsTotal  atomic.Int64 // remote objects ever constructed
-	DiskReads     atomic.Int64 // simulated disk read operations
-	DiskWrites    atomic.Int64 // simulated disk write operations
-	DiskBytesRead atomic.Int64
-	DiskBytesWrit atomic.Int64
-	RespDropped   atomic.Int64 // response frames with unparseable headers, discarded
-	RespOrphaned  atomic.Int64 // responses to abandoned (canceled/timed-out) requests
-	DialRetries   atomic.Int64 // redials performed under the WithRetryDial call option
-	ReqAdmitted   atomic.Int64 // requests accepted by server admission control
-	ReqShed       atomic.Int64 // requests rejected at admission (ErrOverloaded)
-	QueueHigh     atomic.Int64 // gauge: in-flight high-priority requests (admission to reply)
-	QueueNormal   atomic.Int64 // gauge: in-flight normal-priority requests
-	QueueBulk     atomic.Int64 // gauge: in-flight bulk-priority requests
+	MessagesSent    atomic.Int64 // frames handed to the transport
+	MessagesRecv    atomic.Int64 // frames received from the transport
+	BytesSent       atomic.Int64 // payload bytes sent
+	BytesRecv       atomic.Int64 // payload bytes received
+	CallsIssued     atomic.Int64 // remote method invocations started
+	CallsServed     atomic.Int64 // remote method invocations executed
+	ObjectsLive     atomic.Int64 // remote objects currently alive
+	ObjectsTotal    atomic.Int64 // remote objects ever constructed
+	DiskReads       atomic.Int64 // simulated disk read operations
+	DiskWrites      atomic.Int64 // simulated disk write operations
+	DiskBytesRead   atomic.Int64
+	DiskBytesWrit   atomic.Int64
+	RespDropped     atomic.Int64 // response frames with unparseable headers, discarded
+	RespOrphaned    atomic.Int64 // responses to abandoned (canceled/timed-out) requests
+	DialRetries     atomic.Int64 // redials performed under the WithRetryDial call option
+	OverloadRetries atomic.Int64 // call re-issues under the WithRetryOverload call option
+	ReqAdmitted     atomic.Int64 // requests accepted by server admission control
+	ReqShed         atomic.Int64 // requests rejected at admission (ErrOverloaded)
+	QueueHigh       atomic.Int64 // gauge: in-flight high-priority requests (admission to reply)
+	QueueNormal     atomic.Int64 // gauge: in-flight normal-priority requests
+	QueueBulk       atomic.Int64 // gauge: in-flight bulk-priority requests
 }
 
 // Default is the process-wide counter set used when no explicit set is
@@ -45,51 +46,53 @@ var Default = &Counters{}
 
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
-	MessagesSent  int64
-	MessagesRecv  int64
-	BytesSent     int64
-	BytesRecv     int64
-	CallsIssued   int64
-	CallsServed   int64
-	ObjectsLive   int64
-	ObjectsTotal  int64
-	DiskReads     int64
-	DiskWrites    int64
-	DiskBytesRead int64
-	DiskBytesWrit int64
-	RespDropped   int64
-	RespOrphaned  int64
-	DialRetries   int64
-	ReqAdmitted   int64
-	ReqShed       int64
-	QueueHigh     int64
-	QueueNormal   int64
-	QueueBulk     int64
+	MessagesSent    int64
+	MessagesRecv    int64
+	BytesSent       int64
+	BytesRecv       int64
+	CallsIssued     int64
+	CallsServed     int64
+	ObjectsLive     int64
+	ObjectsTotal    int64
+	DiskReads       int64
+	DiskWrites      int64
+	DiskBytesRead   int64
+	DiskBytesWrit   int64
+	RespDropped     int64
+	RespOrphaned    int64
+	DialRetries     int64
+	OverloadRetries int64
+	ReqAdmitted     int64
+	ReqShed         int64
+	QueueHigh       int64
+	QueueNormal     int64
+	QueueBulk       int64
 }
 
 // Snapshot returns a copy of the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		MessagesSent:  c.MessagesSent.Load(),
-		MessagesRecv:  c.MessagesRecv.Load(),
-		BytesSent:     c.BytesSent.Load(),
-		BytesRecv:     c.BytesRecv.Load(),
-		CallsIssued:   c.CallsIssued.Load(),
-		CallsServed:   c.CallsServed.Load(),
-		ObjectsLive:   c.ObjectsLive.Load(),
-		ObjectsTotal:  c.ObjectsTotal.Load(),
-		DiskReads:     c.DiskReads.Load(),
-		DiskWrites:    c.DiskWrites.Load(),
-		DiskBytesRead: c.DiskBytesRead.Load(),
-		DiskBytesWrit: c.DiskBytesWrit.Load(),
-		RespDropped:   c.RespDropped.Load(),
-		RespOrphaned:  c.RespOrphaned.Load(),
-		DialRetries:   c.DialRetries.Load(),
-		ReqAdmitted:   c.ReqAdmitted.Load(),
-		ReqShed:       c.ReqShed.Load(),
-		QueueHigh:     c.QueueHigh.Load(),
-		QueueNormal:   c.QueueNormal.Load(),
-		QueueBulk:     c.QueueBulk.Load(),
+		MessagesSent:    c.MessagesSent.Load(),
+		MessagesRecv:    c.MessagesRecv.Load(),
+		BytesSent:       c.BytesSent.Load(),
+		BytesRecv:       c.BytesRecv.Load(),
+		CallsIssued:     c.CallsIssued.Load(),
+		CallsServed:     c.CallsServed.Load(),
+		ObjectsLive:     c.ObjectsLive.Load(),
+		ObjectsTotal:    c.ObjectsTotal.Load(),
+		DiskReads:       c.DiskReads.Load(),
+		DiskWrites:      c.DiskWrites.Load(),
+		DiskBytesRead:   c.DiskBytesRead.Load(),
+		DiskBytesWrit:   c.DiskBytesWrit.Load(),
+		RespDropped:     c.RespDropped.Load(),
+		RespOrphaned:    c.RespOrphaned.Load(),
+		DialRetries:     c.DialRetries.Load(),
+		OverloadRetries: c.OverloadRetries.Load(),
+		ReqAdmitted:     c.ReqAdmitted.Load(),
+		ReqShed:         c.ReqShed.Load(),
+		QueueHigh:       c.QueueHigh.Load(),
+		QueueNormal:     c.QueueNormal.Load(),
+		QueueBulk:       c.QueueBulk.Load(),
 	}
 }
 
@@ -110,6 +113,7 @@ func (c *Counters) Reset() {
 	c.RespDropped.Store(0)
 	c.RespOrphaned.Store(0)
 	c.DialRetries.Store(0)
+	c.OverloadRetries.Store(0)
 	c.ReqAdmitted.Store(0)
 	c.ReqShed.Store(0)
 	c.QueueHigh.Store(0)
@@ -121,26 +125,27 @@ func (c *Counters) Reset() {
 // region: before := c.Snapshot(); ...; delta := c.Snapshot().Sub(before).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
-		MessagesSent:  s.MessagesSent - prev.MessagesSent,
-		MessagesRecv:  s.MessagesRecv - prev.MessagesRecv,
-		BytesSent:     s.BytesSent - prev.BytesSent,
-		BytesRecv:     s.BytesRecv - prev.BytesRecv,
-		CallsIssued:   s.CallsIssued - prev.CallsIssued,
-		CallsServed:   s.CallsServed - prev.CallsServed,
-		ObjectsLive:   s.ObjectsLive - prev.ObjectsLive,
-		ObjectsTotal:  s.ObjectsTotal - prev.ObjectsTotal,
-		DiskReads:     s.DiskReads - prev.DiskReads,
-		DiskWrites:    s.DiskWrites - prev.DiskWrites,
-		DiskBytesRead: s.DiskBytesRead - prev.DiskBytesRead,
-		DiskBytesWrit: s.DiskBytesWrit - prev.DiskBytesWrit,
-		RespDropped:   s.RespDropped - prev.RespDropped,
-		RespOrphaned:  s.RespOrphaned - prev.RespOrphaned,
-		DialRetries:   s.DialRetries - prev.DialRetries,
-		ReqAdmitted:   s.ReqAdmitted - prev.ReqAdmitted,
-		ReqShed:       s.ReqShed - prev.ReqShed,
-		QueueHigh:     s.QueueHigh - prev.QueueHigh,
-		QueueNormal:   s.QueueNormal - prev.QueueNormal,
-		QueueBulk:     s.QueueBulk - prev.QueueBulk,
+		MessagesSent:    s.MessagesSent - prev.MessagesSent,
+		MessagesRecv:    s.MessagesRecv - prev.MessagesRecv,
+		BytesSent:       s.BytesSent - prev.BytesSent,
+		BytesRecv:       s.BytesRecv - prev.BytesRecv,
+		CallsIssued:     s.CallsIssued - prev.CallsIssued,
+		CallsServed:     s.CallsServed - prev.CallsServed,
+		ObjectsLive:     s.ObjectsLive - prev.ObjectsLive,
+		ObjectsTotal:    s.ObjectsTotal - prev.ObjectsTotal,
+		DiskReads:       s.DiskReads - prev.DiskReads,
+		DiskWrites:      s.DiskWrites - prev.DiskWrites,
+		DiskBytesRead:   s.DiskBytesRead - prev.DiskBytesRead,
+		DiskBytesWrit:   s.DiskBytesWrit - prev.DiskBytesWrit,
+		RespDropped:     s.RespDropped - prev.RespDropped,
+		RespOrphaned:    s.RespOrphaned - prev.RespOrphaned,
+		DialRetries:     s.DialRetries - prev.DialRetries,
+		OverloadRetries: s.OverloadRetries - prev.OverloadRetries,
+		ReqAdmitted:     s.ReqAdmitted - prev.ReqAdmitted,
+		ReqShed:         s.ReqShed - prev.ReqShed,
+		QueueHigh:       s.QueueHigh - prev.QueueHigh,
+		QueueNormal:     s.QueueNormal - prev.QueueNormal,
+		QueueBulk:       s.QueueBulk - prev.QueueBulk,
 	}
 }
 
@@ -165,6 +170,7 @@ func (s Snapshot) String() string {
 	add("respDropped", s.RespDropped)
 	add("respOrphaned", s.RespOrphaned)
 	add("dialRetries", s.DialRetries)
+	add("overloadRetries", s.OverloadRetries)
 	add("admitted", s.ReqAdmitted)
 	add("shed", s.ReqShed)
 	add("qHigh", s.QueueHigh)

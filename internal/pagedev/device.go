@@ -266,6 +266,41 @@ func registerBaseMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
 				}
 			}
 			return nil
+		}).
+		Method("checkpointTo", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// checkpointTo(store Ref, name, class): serialize this
+			// device's full representation (the same SaveState blob
+			// passivation produces) and ship it to a persist store —
+			// typically on *another* machine, so the checkpoint survives
+			// losing this one. Runs in the serial mailbox, so the
+			// snapshot is consistent with every other device method; the
+			// device stays live throughout (unlike passivate).
+			p := obj.base()
+			store := args.Ref()
+			name := args.String()
+			class := args.String()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if env.Client == nil {
+				return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
+			}
+			sav, ok := obj.(interface{ SaveState(*wire.Encoder) error })
+			if !ok {
+				return fmt.Errorf("pagedev: %T cannot checkpoint", obj)
+			}
+			e := wire.NewEncoder(p.numPages*p.pageSize + 256)
+			if err := sav.SaveState(e); err != nil {
+				return err
+			}
+			d, err := env.Client.Call(context.Background(), store, "put", func(enc *wire.Encoder) error {
+				enc.PutString(name)
+				enc.PutString(class)
+				enc.PutBytes(e.Bytes())
+				return nil
+			})
+			d.Release()
+			return err
 		})
 }
 

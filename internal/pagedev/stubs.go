@@ -161,6 +161,26 @@ func (d *Device) CopyFrom(ctx context.Context, src rmi.Ref, count int) error {
 	return err
 }
 
+// CheckpointTo serializes the device's full representation inside its
+// serial mailbox and ships it to the persist store ref (usually on
+// another machine) under name — the checkpoint half of cold recovery.
+// The device stays live; the blob activates later like any passivated
+// process.
+func (d *Device) CheckpointTo(ctx context.Context, store rmi.Ref, name string) error {
+	return d.CheckpointToAsync(ctx, store, name).Err(ctx)
+}
+
+// CheckpointToAsync begins a device checkpoint (for windowed
+// whole-storage checkpoints).
+func (d *Device) CheckpointToAsync(ctx context.Context, store rmi.Ref, name string) *rmi.Future {
+	return d.client.CallAsync(ctx, d.ref, "checkpointTo", func(e *wire.Encoder) error {
+		e.PutRef(store)
+		e.PutString(name)
+		e.PutString(d.ref.Class)
+		return nil
+	})
+}
+
 // Close destroys the remote process — "delete PageStore".
 func (d *Device) Close(ctx context.Context) error { return d.client.Delete(ctx, d.ref) }
 

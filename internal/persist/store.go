@@ -170,6 +170,24 @@ func init() {
 			}
 			return s.put(name, blob{class: ref.Class, state: e.Bytes()})
 		}).
+		Method("put", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// put(name, class, state): accept an already-serialized blob
+			// over the wire — the checkpoint half of cold recovery. Unlike
+			// passivate it does not touch any live process; the sender
+			// (typically a device on *another* machine checkpointing to
+			// this one) stays up. The class must be a registered
+			// restorable class or the blob will never activate.
+			name := args.String()
+			class := args.String()
+			state := args.BytesCopy()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if _, ok := lookupRestorer(class); !ok {
+				return fmt.Errorf("persist: class %s has no registered restorer", class)
+			}
+			return s.put(name, blob{class: class, state: state})
+		}).
 		Method("activate", func(s *store, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			name := args.String()
 			if err := args.Err(); err != nil {
@@ -260,6 +278,21 @@ func (s *Store) Passivate(ctx context.Context, ref rmi.Ref, name string) error {
 	d, err := s.client.Call(ctx, s.ref, "passivate", func(e *wire.Encoder) error {
 		e.PutRef(ref)
 		e.PutString(name)
+		return nil
+	})
+	d.Release()
+	return err
+}
+
+// Put stores an already-serialized state blob under name without touching
+// any live process — the receiving half of a cross-machine checkpoint.
+// The blob lands in this store's memory (and DataDir mirror, when the
+// machine has one) and activates later exactly like a passivated process.
+func (s *Store) Put(ctx context.Context, name, class string, state []byte) error {
+	d, err := s.client.Call(ctx, s.ref, "put", func(e *wire.Encoder) error {
+		e.PutString(name)
+		e.PutString(class)
+		e.PutBytes(state)
 		return nil
 	})
 	d.Release()

@@ -2,7 +2,9 @@ package rmi
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -371,11 +373,56 @@ func (c *Client) NewArgs(ctx context.Context, m int, class string, args ...any) 
 // but allocates garbage instead of recycling.
 func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncoder, opts ...CallOption) (*wire.Decoder, error) {
 	o := resolveOptions(opts)
-	if ref.IsNil() {
-		return nil, fmt.Errorf("rmi: call %s on nil ref", method)
-	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if o.retryOverload <= 0 {
+		return c.callOnce(ctx, ref, method, args, &o)
+	}
+	// Overload retry (WithRetryOverload): re-issue a call the server shed
+	// with the typed overload error, waiting out the server's RetryAfter
+	// hint (jittered) between attempts. Only Call retries — a shed request
+	// never ran, so re-running it is safe for any method; New never takes
+	// this path because construction is not idempotent.
+	for attempt := 0; ; attempt++ {
+		d, err := c.callOnce(ctx, ref, method, args, &o)
+		if err == nil || attempt >= o.retryOverload || !errors.Is(err, ErrOverloaded) {
+			return d, err
+		}
+		c.counters.OverloadRetries.Add(1)
+		wait := overloadBackoff(err, attempt, o.retryMaxWait)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("rmi: overload retry of %s.%s aborted: %w", ref.Class, method, ctx.Err())
+		}
+	}
+}
+
+// overloadBackoff derives the wait before re-issuing a shed call, after
+// failed attempt attempt (0-based): the server's RetryAfter hint when the
+// error carries one, otherwise an exponential fallback from 5ms; either
+// way with ±25% jitter — a shed burst of callers must not return in
+// lockstep — and capped at maxWait when maxWait > 0.
+func overloadBackoff(err error, attempt int, maxWait time.Duration) time.Duration {
+	wait, ok := RetryAfter(err)
+	if !ok || wait <= 0 {
+		if attempt > 10 {
+			attempt = 10
+		}
+		wait = 5 * time.Millisecond << uint(attempt)
+	}
+	wait = wait*3/4 + time.Duration(rand.Int64N(int64(wait/2)+1))
+	if maxWait > 0 && wait > maxWait {
+		wait = maxWait
+	}
+	return wait
+}
+
+// callOnce is one attempt of Call: encode, send, wait.
+func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgEncoder, o *callOptions) (*wire.Decoder, error) {
+	if ref.IsNil() {
+		return nil, fmt.Errorf("rmi: call %s on nil ref", method)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("rmi: send to machine %d: %w", ref.Machine, err)
@@ -393,7 +440,7 @@ func (c *Client) Call(ctx context.Context, ref Ref, method string, args ArgEncod
 		dialCtx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	cc, err := c.conn(dialCtx, ref.Machine, &o)
+	cc, err := c.conn(dialCtx, ref.Machine, o)
 	if err != nil {
 		return nil, err
 	}

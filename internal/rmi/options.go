@@ -15,12 +15,14 @@ type CallOption func(callOptions) callOptions
 
 // callOptions is the resolved option set for one operation.
 type callOptions struct {
-	timeout   time.Duration // per-call deadline, enforced even on async futures
-	retryDial int           // extra dial attempts on dial failure
-	label     string        // trace label woven into errors and drop accounting
-	probe     bool          // failure-detector probe: bypass the down-machine fast fail
-	prio      Priority      // admission class stamped on the wire header
-	prioSet   bool          // WithPriority was given; otherwise the op's default class applies
+	timeout       time.Duration // per-call deadline, enforced even on async futures
+	retryDial     int           // extra dial attempts on dial failure
+	retryOverload int           // extra attempts when the server sheds with ErrOverloaded
+	retryMaxWait  time.Duration // cap on each overload backoff wait (0 = hint/backoff uncapped)
+	label         string        // trace label woven into errors and drop accounting
+	probe         bool          // failure-detector probe: bypass the down-machine fast fail
+	prio          Priority      // admission class stamped on the wire header
+	prioSet       bool          // WithPriority was given; otherwise the op's default class applies
 }
 
 // priority resolves the admission class for an operation whose default
@@ -100,6 +102,30 @@ func WithRetryDial(n int) CallOption {
 	return func(o callOptions) callOptions {
 		if n > 0 {
 			o.retryDial = n
+		}
+		return o
+	}
+}
+
+// WithRetryOverload re-issues a call the server shed at admission with
+// the typed overload error, up to budget extra attempts. Between
+// attempts the caller waits out the server's RetryAfter hint when the
+// error carries one (an OverloadedError made with NewOverloadedError),
+// falling back to exponential backoff from 5ms; either wait is jittered
+// by ±25% so a shed burst of callers does not return in lockstep, and
+// capped at maxWait when maxWait > 0.
+//
+// Only Call honors the option: a shed request was rejected before its
+// method ran, so re-issuing is safe for any method, but New never
+// retries — construction is not idempotent, and a duplicate attempt
+// could leak a second process if the first outcome was lost rather than
+// shed. The context still bounds the whole retried operation; each
+// individual attempt is bounded by WithTimeout as usual.
+func WithRetryOverload(budget int, maxWait time.Duration) CallOption {
+	return func(o callOptions) callOptions {
+		if budget > 0 {
+			o.retryOverload = budget
+			o.retryMaxWait = maxWait
 		}
 		return o
 	}

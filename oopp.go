@@ -297,6 +297,48 @@ func NewArray(ctx context.Context, storage *BlockStorage, pm PageMap, N1, N2, N3
 	return core.NewArray(ctx, storage, pm, N1, N2, N3, n1, n2, n3)
 }
 
+// ---- Fault tolerance ---------------------------------------------------------
+//
+// k-way page replication with heartbeat-triggered failover, and
+// persist-backed cold recovery for unreplicated arrays. See the "Fault
+// tolerance" chapter of the package doc.
+
+type (
+	// ReplicaMap is a PageMap that places every page on k devices.
+	ReplicaMap = core.ReplicaMap
+	// ReplicatedMap is the standard ReplicaMap: a base layout whose
+	// replica r is rotated r devices along.
+	ReplicatedMap = core.ReplicatedMap
+	// FailoverReport summarizes one Array.Failover: promotions,
+	// re-seeds, pages left degraded or lost.
+	FailoverReport = core.FailoverReport
+)
+
+// NewReplicatedMap wraps a base layout so every page lives on k distinct
+// devices. Arrays over it fan writes out to all replicas (primary-ack)
+// and serve reads from any live replica; devices need k× the base map's
+// pages-per-device, plus spare slots if Failover is to re-seed.
+func NewReplicatedMap(base PageMap, k int) (*ReplicatedMap, error) {
+	return core.NewReplicatedMap(base, k)
+}
+
+// CheckpointArray writes a cold copy of the array — geometry plus every
+// device's pages — into a persistence store under name.
+func CheckpointArray(ctx context.Context, arr *Array, store *Store, name string) error {
+	return core.CheckpointArray(ctx, arr, store, name)
+}
+
+// RecoverArray reconstructs a checkpointed array from the store,
+// activating the device blobs on the store's machine.
+func RecoverArray(ctx context.Context, client *Client, store *Store, name string) (*Array, error) {
+	return core.RecoverArray(ctx, client, store, name)
+}
+
+// RemoveCheckpoint deletes a checkpoint's blobs from the store.
+func RemoveCheckpoint(ctx context.Context, store *Store, name string, devices int) error {
+	return core.RemoveCheckpoint(ctx, store, name, devices)
+}
+
 // ---- Owner-computes kernels --------------------------------------------------
 //
 // Array math executes inside the device processes that own the pages:

@@ -150,6 +150,15 @@ func WithDeadline(t time.Time) CallOption { return rmi.WithDeadline(t) }
 // resent.
 func WithRetryDial(n int) CallOption { return rmi.WithRetryDial(n) }
 
+// WithRetryOverload re-issues a call shed by admission control, up to
+// budget extra attempts, waiting out the server's RetryAfter hint (or
+// an exponential fallback) with ±25% jitter between attempts, capped at
+// maxWait when maxWait > 0. Only Call honors it — construction is not
+// idempotent, so New never retries.
+func WithRetryOverload(budget int, maxWait time.Duration) CallOption {
+	return rmi.WithRetryOverload(budget, maxWait)
+}
+
 // WithLabel attaches a trace label that appears in timeout and
 // cancellation errors.
 func WithLabel(label string) CallOption { return rmi.WithLabel(label) }
