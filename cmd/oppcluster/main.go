@@ -20,6 +20,13 @@
 //	oppcluster -demo -peers 127.0.0.1:9100,127.0.0.1:9101
 //	oppcluster -demo -machines 2 -registry /shared/reg
 //
+// The cluster is elastic. A new machine joins by claiming the next free
+// index from the registry (no index coordination needed), and a drill
+// client migrates every array page off a machine before it is retired:
+//
+//	oppcluster -serve -join -machines 2 -registry /shared/reg
+//	oppcluster -drain-pages 1 -machines 3 -registry /shared/reg
+//
 // A serving process shuts down gracefully on SIGINT/SIGTERM: it drains
 // (finishes in-flight calls, refuses new ones with a typed error) for up
 // to -drain, then closes. The exit status is 0 only for a clean
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"oopp/internal/cluster"
+	"oopp/internal/core"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
@@ -49,6 +57,8 @@ import (
 func main() {
 	serve := flag.Bool("serve", false, "run a machine server")
 	demo := flag.Bool("demo", false, "run the demo client against the cluster")
+	join := flag.Bool("join", false, "serve mode: claim the next free machine index from -registry instead of using -machine")
+	drainPages := flag.Int("drain-pages", -1, "client mode: migrate every array page off machine N, verifying the data survives")
 	machine := flag.Int("machine", 0, "this machine's index (serve mode)")
 	machines := flag.Int("machines", 0, "cluster size (defaults to the number of -peers)")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address (serve mode)")
@@ -70,11 +80,13 @@ func main() {
 	var err error
 	switch {
 	case *serve:
-		err = runServer(*machine, *machines, *addr, *peers, *registry, *disks, *diskMB<<20, *drain, admission)
+		err = runServer(*machine, *join, *machines, *addr, *peers, *registry, *disks, *diskMB<<20, *drain, admission)
+	case *drainPages >= 0:
+		err = runDrainPages(*drainPages, *machines, *peers, *registry)
 	case *demo:
 		err = runDemo(*machines, *peers, *registry)
 	default:
-		fmt.Fprintln(os.Stderr, "need -serve or -demo (see -h)")
+		fmt.Fprintln(os.Stderr, "need -serve, -demo, or -drain-pages (see -h)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -107,7 +119,7 @@ func directoryFor(size int, peers, registry string) (rmi.Directory, int, error) 
 	}
 }
 
-func runServer(machine, machines int, addr, peers, registry string, disks int, diskSize int64, drain time.Duration, admission rmi.AdmissionConfig) error {
+func runServer(machine int, join bool, machines int, addr, peers, registry string, disks int, diskSize int64, drain time.Duration, admission rmi.AdmissionConfig) error {
 	dir, size, err := directoryFor(machines, peers, registry)
 	if err != nil {
 		return err
@@ -129,10 +141,23 @@ func runServer(machine, machines int, addr, peers, registry string, disks int, d
 	// SIGTERM must hit the graceful path, not the default disposition.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	node, err := cluster.StartNode(cfg)
+	var node *cluster.Node
+	if join {
+		// Joining a live cluster: the machine index comes from the
+		// registry's atomic claim, not the -machine flag, and the node's
+		// cluster size follows the grown registry.
+		if cfg.Registry == nil {
+			return fmt.Errorf("-join needs -registry (and -machines for the pre-join cluster size)")
+		}
+		cfg.Machines = 0
+		node, err = cluster.JoinNode(cfg)
+	} else {
+		node, err = cluster.StartNode(cfg)
+	}
 	if err != nil {
 		return fmt.Errorf("machine %d boot: %w", machine, err)
 	}
+	machine = node.Machine()
 	log.Printf("machine %d serving on %s (classes: %s)", machine, node.Addr(),
 		strings.Join(rmi.RegisteredClasses(), ", "))
 	// READY on stdout is the machine's liveness line for supervisors and
@@ -220,5 +245,76 @@ func runDemo(machines int, peers, registry string) error {
 		return err
 	}
 	fmt.Println("demo complete")
+	return nil
+}
+
+// runDrainPages is the elastic-cluster drill run as a client: build an
+// array striped over every machine, fill it with a known pattern,
+// migrate every page off the target machine (DrainMachine verifies the
+// machine ends empty), and prove the contents survived bitwise.
+func runDrainPages(target, machines int, peers, registry string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	dir, _, err := directoryFor(machines, peers, registry)
+	if err != nil {
+		return err
+	}
+	if dir == nil || dir.Size() < 2 {
+		return fmt.Errorf("-drain-pages needs at least 2 peers")
+	}
+	if target < 0 || target >= dir.Size() {
+		return fmt.Errorf("-drain-pages %d: no such machine (cluster size %d)", target, dir.Size())
+	}
+	client := rmi.NewClient(transport.TCP{}, dir)
+	defer client.Close()
+	if err := cluster.WaitReady(ctx, client); err != nil {
+		return fmt.Errorf("cluster not ready: %w", err)
+	}
+
+	D := dir.Size()
+	all := make([]int, D)
+	for i := range all {
+		all[i] = i
+	}
+	const N, n = 8, 2
+	pm, err := core.NewPageMap("roundrobin", N/n, N/n, N/n, D)
+	if err != nil {
+		return err
+	}
+	// Double the page slots so surviving machines can absorb the
+	// drained machine's pages.
+	storage, err := core.CreateBlockStorage(ctx, client, all, "drainpages",
+		2*pm.PagesPerDevice(), n, n, n, pagedev.DiskPrivate)
+	if err != nil {
+		return err
+	}
+	defer storage.Close(ctx)
+	arr, err := core.NewArray(ctx, storage, pm, N, N, N, n, n, n)
+	if err != nil {
+		return err
+	}
+	want := make([]float64, N*N*N)
+	for i := range want {
+		want[i] = float64(i)
+	}
+	if err := arr.Write(ctx, want, arr.Bounds()); err != nil {
+		return err
+	}
+
+	rep, err := arr.DrainMachine(ctx, target)
+	if err != nil {
+		return fmt.Errorf("draining machine %d: %w", target, err)
+	}
+	got := make([]float64, len(want))
+	if err := arr.Read(ctx, got, arr.Bounds()); err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("element %d = %v after drain, want %v", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("machine %d drained: %d pages (%d bytes) migrated, contents verified identical\n",
+		target, rep.Moved, rep.Bytes)
 	return nil
 }

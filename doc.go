@@ -335,6 +335,52 @@
 // runs both lanes against real processes and a real SIGKILL: with k=2
 // the run completes with zero failed calls and zero data loss.
 //
+// # Elasticity
+//
+// Failover reacts to machines dying; elasticity is the planned
+// counterpart: page placement is a live, mutable property of a running
+// array. The migration engine moves pages device-to-device over the
+// same pull lanes failover re-seeds through, under a brief per-page
+// write fence: a fenced page refuses mutations with a typed error the
+// client parks on and replays after the map flip, reads never block,
+// and the whole array keeps serving throughout. When the copies land,
+// the engine atomically re-mints the page map (its name gains a
+// "+resharded" marker that round-trips through NewPageMap) and retires
+// the source slots — a client still holding the pre-flip map gets the
+// typed fence error and re-resolves, never a silent write into a dead
+// slot.
+//
+// Three entry points drive it:
+//
+//	rep, _ := arr.MigratePages(ctx, []oopp.Move{{From: 0, To: 2, Pages: 4}})
+//	rrep, _ := arr.Rebalance(ctx, oopp.RebalanceConfig{})
+//	drep, _ := arr.DrainMachine(ctx, m)
+//
+// MigratePages executes an explicit plan. Rebalance observes per-device
+// occupancy and served-I/O gauges and executes the minimal-move plan
+// that levels page counts (hottest donors shed first, coolest receivers
+// fill first); DryRun returns the plan without moving anything.
+// DrainMachine empties every device on a machine, complete-or-fail —
+// the planned-decommission half: drain, then retire the machine for
+// free (the chaos suite SIGKILLs a drained machine and nothing
+// degrades).
+//
+// Clusters grow the same way. A new machine claims the next free index
+// from the shared registry atomically (no index coordination):
+//
+//	node, _ := oopp.JoinNode(oopp.NodeConfig{Addr: ":0", Registry: reg})
+//	idx, _ := storage.AddDevice(ctx, node.Machine(), pages, oopp.DiskPrivate)
+//	arr.Rebalance(ctx, oopp.RebalanceConfig{})
+//
+// and Rebalance flows its fair share of pages onto it; ReviveDevice is
+// the restart half, giving a dead device slot a fresh process that the
+// next Rebalance repopulates. cmd/oppcluster exposes both drills:
+// -join serves a machine on a claimed index, -drain-pages migrates
+// every page off a machine and verifies the contents survived.
+// Experiment E16 gates the cost: a rebalance ships only the moved
+// pages' payload (≤1.1×), nowhere near a full rebuild, and a drain
+// leaves exactly zero pages behind.
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:
@@ -363,6 +409,9 @@
 //   - ReplicaMap, ReplicatedMap, FailoverReport, CheckpointArray,
 //     RecoverArray: k-way page replication with failover, and
 //     persist-backed cold recovery.
+//   - Move, DeviceLoad, MigrateReport, RebalanceConfig, JoinNode,
+//     BalancePlan, DrainPlan: the elastic cluster — live page
+//     migration, the load-aware rebalancer, and machine join/drain.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // experiment suite; cmd/oppbench reproduces every experiment table.

@@ -59,6 +59,116 @@ func TestFileRegistryWaitsForLatePublish(t *testing.T) {
 	}
 }
 
+// TestFileRegistryClaimIndex pins the join contract: concurrent
+// claimers (separate registry instances over one shared dir, as
+// separate OS processes would be) get distinct indices, claims grow the
+// registry, and a static-size observer follows via Grow.
+func TestFileRegistryClaimIndex(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewFileRegistry(dir, 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	// Two joiners race from separate registry views of the same dir.
+	other, err := NewFileRegistry(dir, 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("second registry: %v", err)
+	}
+	type claim struct {
+		m   int
+		err error
+	}
+	results := make(chan claim, 2)
+	for _, r := range []*FileRegistry{reg, other} {
+		go func(r *FileRegistry) {
+			m, err := r.ClaimIndex()
+			results <- claim{m, err}
+		}(r)
+	}
+	a, b := <-results, <-results
+	if a.err != nil || b.err != nil {
+		t.Fatalf("claims: %v, %v", a.err, b.err)
+	}
+	if a.m == b.m {
+		t.Fatalf("concurrent joiners got the same index %d", a.m)
+	}
+	for _, c := range []claim{a, b} {
+		if c.m != 2 && c.m != 3 {
+			t.Fatalf("claimed index %d, want 2 or 3 (static indices are reserved)", c.m)
+		}
+	}
+
+	// Both claimers' registries grew; the joined indices are publishable.
+	if reg.Size() < 3 || other.Size() < 3 {
+		t.Fatalf("sizes after claims: %d, %d", reg.Size(), other.Size())
+	}
+	if err := reg.Publish(a.m, "127.0.0.1:9300"); err != nil {
+		t.Fatalf("publish claimed index: %v", err)
+	}
+	// The claim placeholder is empty, so an unpublished claimed index
+	// still times out rather than returning "".
+	unpub := b.m
+	if unpub == a.m {
+		unpub = a.m ^ 1 // the other of {2,3}
+	}
+	if _, err := reg.Addr(unpub); err == nil {
+		t.Fatal("empty claim placeholder resolved as an address")
+	}
+
+	// A static observer built at the original size follows via Grow.
+	obs, err := NewFileRegistry(dir, 2, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("observer registry: %v", err)
+	}
+	if _, err := obs.Addr(a.m); err == nil {
+		t.Fatal("observer resolved an index beyond its size without Grow")
+	}
+	obs.Grow(4)
+	if addr, err := obs.Addr(a.m); err != nil || addr != "127.0.0.1:9300" {
+		t.Fatalf("observer after Grow: %q, %v", addr, err)
+	}
+	obs.Grow(2) // never shrinks
+	if obs.Size() != 4 {
+		t.Fatalf("Grow shrank the registry to %d", obs.Size())
+	}
+}
+
+// TestJoinNode boots a one-node cluster and joins a second machine at
+// runtime: the joiner claims index 1, publishes, and is immediately
+// dialable by the original node's client.
+func TestJoinNode(t *testing.T) {
+	reg, err := NewFileRegistry(t.TempDir(), 1, 5*time.Second)
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	n0, err := StartNode(NodeConfig{Machine: 0, Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatalf("node 0: %v", err)
+	}
+	defer n0.Close()
+
+	joined, err := JoinNode(NodeConfig{Addr: "127.0.0.1:0", Registry: reg, Disks: 1, DiskSize: 1 << 16})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer joined.Close()
+	if joined.Machine() != 1 {
+		t.Fatalf("joined machine = %d, want 1", joined.Machine())
+	}
+	if reg.Size() != 2 {
+		t.Fatalf("registry size after join = %d", reg.Size())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := WaitReady(ctx, n0.Client(), joined.Machine()); err != nil {
+		t.Fatalf("newcomer not ready: %v", err)
+	}
+	if err := n0.Client().Ping(ctx, joined.Machine()); err != nil {
+		t.Fatalf("ping newcomer: %v", err)
+	}
+}
+
 func TestParsePeers(t *testing.T) {
 	got, err := ParsePeers("a:1, b:2,c:3")
 	if err != nil || len(got) != 3 || got[1] != "b:2" {

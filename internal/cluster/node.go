@@ -124,6 +124,24 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
+// JoinNode starts a node on the next free machine index claimed from
+// cfg.Registry — how a new machine enters a running cluster without
+// coordinating an index ahead of time. cfg.Machine is ignored; the
+// claimed index is authoritative (read it back with Machine()). The
+// node is immediately dialable by any process whose registry has grown
+// to cover it; flowing pages onto it is Array.Rebalance's job.
+func JoinNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: joining requires a registry")
+	}
+	m, err := cfg.Registry.ClaimIndex()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Machine = m
+	return StartNode(cfg)
+}
+
 // Machine returns the node's machine index.
 func (n *Node) Machine() int { return n.machine }
 

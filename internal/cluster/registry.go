@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"oopp/internal/rmi"
@@ -31,9 +32,15 @@ const registryPollInterval = 20 * time.Millisecond
 // on the next dial, which is what lets the client's automatic reconnect
 // follow it. Any shared filesystem works (one host's tmpdir for tests,
 // NFS for a rack).
+//
+// The registry is elastic: a machine beyond the configured size joins
+// the cluster by claiming the next free index (ClaimIndex — an atomic
+// O_EXCL create, so two simultaneous joiners get distinct indices) and
+// publishing its address there; running processes observe the newcomer
+// by calling Grow (or building their registry with the larger size).
 type FileRegistry struct {
 	dir     string
-	n       int
+	n       atomic.Int64
 	timeout time.Duration
 }
 
@@ -47,7 +54,9 @@ func NewFileRegistry(dir string, n int, timeout time.Duration) (*FileRegistry, e
 	if err := mkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("cluster: registry dir: %w", err)
 	}
-	return &FileRegistry{dir: dir, n: n, timeout: timeout}, nil
+	r := &FileRegistry{dir: dir, timeout: timeout}
+	r.n.Store(int64(n))
+	return r, nil
 }
 
 func (r *FileRegistry) addrPath(m int) string {
@@ -58,8 +67,8 @@ func (r *FileRegistry) addrPath(m int) string {
 // (temp file + rename), so readers never observe a torn address, and
 // republishing after a restart atomically replaces the old one.
 func (r *FileRegistry) Publish(m int, addr string) error {
-	if m < 0 || m >= r.n {
-		return fmt.Errorf("cluster: no machine %d (registry size %d)", m, r.n)
+	if m < 0 || m >= r.Size() {
+		return fmt.Errorf("cluster: no machine %d (registry size %d)", m, r.Size())
 	}
 	tmp, err := os.CreateTemp(r.dir, fmt.Sprintf(".machine%d-*", m))
 	if err != nil {
@@ -93,8 +102,8 @@ func (r *FileRegistry) Addr(m int) (string, error) {
 // deadline (WithTimeout, heartbeat probe budgets) caps the poll instead
 // of stalling behind an unpublished machine.
 func (r *FileRegistry) AddrContext(ctx context.Context, m int) (string, error) {
-	if m < 0 || m >= r.n {
-		return "", fmt.Errorf("cluster: no machine %d (registry size %d)", m, r.n)
+	if m < 0 || m >= r.Size() {
+		return "", fmt.Errorf("cluster: no machine %d (registry size %d)", m, r.Size())
 	}
 	deadline := time.Now().Add(r.timeout)
 	for {
@@ -117,7 +126,43 @@ func (r *FileRegistry) AddrContext(ctx context.Context, m int) (string, error) {
 }
 
 // Size implements rmi.Directory.
-func (r *FileRegistry) Size() int { return r.n }
+func (r *FileRegistry) Size() int { return int(r.n.Load()) }
+
+// Grow raises the registry's size so machine indices up to n-1 resolve —
+// how a running process (server or client) acknowledges machines that
+// joined after it built its registry. Growing never shrinks.
+func (r *FileRegistry) Grow(n int) {
+	for {
+		cur := r.n.Load()
+		if int64(n) <= cur || r.n.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// ClaimIndex atomically claims the next unassigned machine index — the
+// join half of the elastic cluster. The claim is an O_EXCL create of
+// the index's address file (empty: readers poll until the real address
+// is published), so two machines joining simultaneously get distinct
+// indices. Indices below the configured size are never claimed — they
+// belong to machines of the static bootstrap, published or not.
+func (r *FileRegistry) ClaimIndex() (int, error) {
+	for m := r.Size(); ; m++ {
+		f, err := os.OpenFile(r.addrPath(m), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		switch {
+		case err == nil:
+			f.Close()
+			r.Grow(m + 1)
+			return m, nil
+		case os.IsExist(err):
+			// A concurrent joiner beat us to m; its file also proves the
+			// registry is at least m+1 machines.
+			r.Grow(m + 1)
+		default:
+			return 0, fmt.Errorf("cluster: claiming machine index %d: %w", m, err)
+		}
+	}
+}
 
 // Dir returns the registry's root directory.
 func (r *FileRegistry) Dir() string { return r.dir }

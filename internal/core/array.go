@@ -50,6 +50,11 @@ type Array struct {
 	// see DegradedWrites in replica.go.
 	degraded atomic.Int64
 
+	// rr rotates read traffic across a page's live replicas (pickLive):
+	// replication doubles as read scaling, so a hot page's reads spread
+	// over its whole chain instead of hammering the chain primary.
+	rr atomic.Uint64
+
 	pipeline bool
 	window   int
 }
@@ -378,6 +383,12 @@ func (a *Array) extractRegion(sub []float64, dom Domain, r region) []float64 {
 // acknowledges; replicas failing with the typed machine-down error are
 // tolerated (counted in DegradedWrites), any other failure fails the
 // write.
+//
+// A write racing a live migration of this Array value never fails from
+// it: pages mid-migration refuse writes typed (rmi.ErrFenced), and
+// Write parks until the map flips, then replays against the fresh
+// layout — writes are pure overwrites, so replaying regions that
+// already landed is harmless.
 func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error {
 	if err := a.checkDomain(dom); err != nil {
 		return err
@@ -385,7 +396,23 @@ func (a *Array) Write(ctx context.Context, subarray []float64, dom Domain) error
 	if len(subarray) != dom.Size() {
 		return fmt.Errorf("core: subarray has %d elements, domain %v has %d", len(subarray), dom, dom.Size())
 	}
-	regs := a.regions(dom)
+	var err error
+	for attempt := 0; attempt <= maxFenceRetries; attempt++ {
+		pm := a.Map()
+		err = a.writeWith(ctx, pm, subarray, dom)
+		if err == nil || !errors.Is(err, rmi.ErrFenced) {
+			return err
+		}
+		if _, werr := a.waitMapFlip(ctx, pm); werr != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// writeWith is one Write attempt against an explicit map snapshot.
+func (a *Array) writeWith(ctx context.Context, pm PageMap, subarray []float64, dom Domain) error {
+	regs := a.regionsOf(pm, dom)
 	scratch := pagedev.NewArrayPage(a.p[0], a.p[1], a.p[2])
 
 	// Each pending group is one region's replica fan-out; a group is

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"oopp/internal/collection"
 	"oopp/internal/kernel"
@@ -22,25 +24,54 @@ import (
 // Device-wide collectives (creation, fill, stat, barrier, teardown) run
 // over a typed Collection: concurrent with a bounded window, reporting
 // errors.Join of all member failures.
+//
+// Membership is elastic: AddDevice appends a freshly spawned device
+// (the join half of the elastic cluster) and ReviveDevice respawns a
+// dead one in place. Both swap an immutable membership snapshot
+// (copy-on-write), so Array clients running operations concurrently
+// with a join never observe a half-updated device table — they keep
+// using the snapshot their page-map snapshot was built against.
 type BlockStorage struct {
+	name  string     // base name spawned devices derive theirs from
+	mu    sync.Mutex // serializes membership changes, not reads
+	state atomic.Pointer[storageState]
+}
+
+// storageState is one immutable membership snapshot.
+type storageState struct {
 	devices  []*pagedev.ArrayDevice
 	machines []int // machines[i] hosts device i — the failover routing table
 	coll     *collection.Collection[*pagedev.ArrayDevice]
 }
 
-// NewBlockStorage wraps existing device stubs. The slice is not copied.
-func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
+func (b *BlockStorage) snap() *storageState { return b.state.Load() }
+
+// swap installs a new membership snapshot built from the device list.
+func (b *BlockStorage) swap(devices []*pagedev.ArrayDevice, machines []int) {
 	refs := make([]rmi.Ref, len(devices))
-	machines := make([]int, len(devices))
 	for i, d := range devices {
 		refs[i] = d.Ref()
-		machines[i] = d.Ref().Machine
 	}
 	var client *rmi.Client
 	if len(devices) > 0 {
 		client = devices[0].Client()
 	}
-	return &BlockStorage{devices: devices, machines: machines, coll: collection.FromRefs[*pagedev.ArrayDevice](client, refs)}
+	b.state.Store(&storageState{
+		devices:  devices,
+		machines: machines,
+		coll:     collection.FromRefs[*pagedev.ArrayDevice](client, refs),
+	})
+}
+
+// NewBlockStorage wraps existing device stubs. The slice is not copied.
+func NewBlockStorage(devices []*pagedev.ArrayDevice) *BlockStorage {
+	machines := make([]int, len(devices))
+	for i, d := range devices {
+		machines[i] = d.Ref().Machine
+	}
+	b := &BlockStorage{}
+	b.swap(devices, machines)
+	return b
 }
 
 // CreateBlockStorage constructs one ArrayPageDevice process per entry of
@@ -70,34 +101,102 @@ func CreateBlockStorage(ctx context.Context, client *rmi.Client, machines []int,
 		devices[i] = pagedev.AttachArrayDevice(client, coll.Ref(i), n1, n2, n3)
 		devMachines[i] = coll.Ref(i).Machine
 	}
-	return &BlockStorage{devices: devices, machines: devMachines, coll: coll}, nil
+	b := &BlockStorage{name: name}
+	b.state.Store(&storageState{devices: devices, machines: devMachines, coll: coll})
+	return b, nil
+}
+
+// AddDevice spawns a fresh ArrayPageDevice with pages page slots on
+// machine, backed by diskIndex, and appends it to the storage — the
+// join half of the elastic cluster. The new device starts empty and
+// unmapped; Array.Rebalance is what flows pages onto it. Returns the
+// new device's index.
+//
+// Existing Array clients over this storage keep working throughout: a
+// join only appends (no existing index changes meaning), and their
+// next Rebalance observes the newcomer.
+func (b *BlockStorage) AddDevice(ctx context.Context, machine, pages, diskIndex int) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.snap()
+	if len(s.devices) == 0 {
+		return 0, fmt.Errorf("core: cannot join a device to an empty storage")
+	}
+	n1, n2, n3 := s.devices[0].Dims()
+	idx := len(s.devices)
+	name := b.name
+	if name == "" {
+		name = "storage"
+	}
+	dev, err := pagedev.NewArrayDevice(ctx, s.coll.Client(), machine,
+		fmt.Sprintf("%s/%d", name, idx), pages, n1, n2, n3, diskIndex)
+	if err != nil {
+		return 0, fmt.Errorf("core: joining device on machine %d: %w", machine, err)
+	}
+	devices := append(append([]*pagedev.ArrayDevice(nil), s.devices...), dev)
+	machines := append(append([]int(nil), s.machines...), machine)
+	b.swap(devices, machines)
+	return idx, nil
+}
+
+// ReviveDevice respawns device i's process — the rejoin half: after a
+// machine restart (its old process died and Failover routed around it),
+// revive gives the device slot a fresh, empty process on machine, and
+// a following Array.Rebalance flows pages back onto it. The old process
+// must be gone; revive does not reap it.
+func (b *BlockStorage) ReviveDevice(ctx context.Context, i, machine, pages, diskIndex int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.snap()
+	if i < 0 || i >= len(s.devices) {
+		return fmt.Errorf("core: revive: no device %d in storage of %d", i, len(s.devices))
+	}
+	n1, n2, n3 := s.devices[i].Dims()
+	name := b.name
+	if name == "" {
+		name = "storage"
+	}
+	dev, err := pagedev.NewArrayDevice(ctx, s.coll.Client(), machine,
+		fmt.Sprintf("%s/%d", name, i), pages, n1, n2, n3, diskIndex)
+	if err != nil {
+		return fmt.Errorf("core: reviving device %d on machine %d: %w", i, machine, err)
+	}
+	devices := append([]*pagedev.ArrayDevice(nil), s.devices...)
+	machines := append([]int(nil), s.machines...)
+	devices[i] = dev
+	machines[i] = machine
+	b.swap(devices, machines)
+	return nil
 }
 
 // Len returns the number of devices.
-func (b *BlockStorage) Len() int { return len(b.devices) }
+func (b *BlockStorage) Len() int { return len(b.snap().devices) }
 
 // Device returns device i.
-func (b *BlockStorage) Device(i int) *pagedev.ArrayDevice { return b.devices[i] }
+func (b *BlockStorage) Device(i int) *pagedev.ArrayDevice { return b.snap().devices[i] }
 
 // MachineOf returns the machine hosting device i — the table replica
 // routing and failover use to translate the failure detector's
 // machine-level verdicts into device sets.
-func (b *BlockStorage) MachineOf(i int) int { return b.machines[i] }
+func (b *BlockStorage) MachineOf(i int) int { return b.snap().machines[i] }
 
 // Machines returns the per-device machine list (not a copy).
-func (b *BlockStorage) Machines() []int { return b.machines }
+func (b *BlockStorage) Machines() []int { return b.snap().machines }
 
 // Client returns the RMI client the device stubs share (nil for an
 // empty storage).
-func (b *BlockStorage) Client() *rmi.Client { return b.coll.Client() }
+func (b *BlockStorage) Client() *rmi.Client { return b.snap().coll.Client() }
 
 // Collection exposes the device processes as a typed collection, for
-// further collectives (checkpoint binds, custom reductions).
-func (b *BlockStorage) Collection() *collection.Collection[*pagedev.ArrayDevice] { return b.coll }
+// further collectives (checkpoint binds, custom reductions). The
+// returned collection is an immutable membership snapshot.
+func (b *BlockStorage) Collection() *collection.Collection[*pagedev.ArrayDevice] {
+	return b.snap().coll
+}
 
 // Refs returns the remote pointers of all devices (for passing storage to
 // other processes).
-func (b *BlockStorage) Refs() []rmi.Ref { return b.coll.Refs() }
+func (b *BlockStorage) Refs() []rmi.Ref { return b.snap().coll.Refs() }
 
 // ApplyAll runs a registered map kernel over every element of every
 // physical page on every device — one broadcast message per device, no
@@ -108,7 +207,7 @@ func (b *BlockStorage) ApplyAll(ctx context.Context, name string, params ...floa
 	if _, err := kernel.LookupMap(name, params); err != nil {
 		return err
 	}
-	return b.coll.Broadcast(ctx, "applyAllK", func(m collection.Member, e *wire.Encoder) error {
+	return b.snap().coll.Broadcast(ctx, "applyAllK", func(m collection.Member, e *wire.Encoder) error {
 		pagedev.EncodeKernelAll(e, name, params)
 		return nil
 	})
@@ -127,7 +226,7 @@ func (b *BlockStorage) ReduceAll(ctx context.Context, name string, params ...flo
 	if b.Len() == 0 {
 		return k.NewAcc(params), 0, nil
 	}
-	total, err := collection.Reduce(ctx, b.coll, "reduceAllK",
+	total, err := collection.Reduce(ctx, b.snap().coll, "reduceAllK",
 		func(m collection.Member, e *wire.Encoder) error {
 			pagedev.EncodeKernelAll(e, name, params)
 			return nil
@@ -166,7 +265,7 @@ func (b *BlockStorage) SumAll(ctx context.Context) (float64, error) {
 // devices — the stat reduction of the storage collective.
 func (b *BlockStorage) IOStats(ctx context.Context) (reads, writes int64, err error) {
 	type rw struct{ r, w int64 }
-	total, err := collection.Reduce(ctx, b.coll, "stats", nil,
+	total, err := collection.Reduce(ctx, b.snap().coll, "stats", nil,
 		func(_ collection.Member, d *wire.Decoder) (rw, error) {
 			v := rw{r: d.Varint(), w: d.Varint()}
 			return v, d.Err()
@@ -180,7 +279,7 @@ func (b *BlockStorage) IOStats(ctx context.Context) (reads, writes int64, err er
 
 // Barrier synchronizes with every device process: its completion proves
 // every earlier message to every device was processed.
-func (b *BlockStorage) Barrier(ctx context.Context) error { return b.coll.Barrier(ctx) }
+func (b *BlockStorage) Barrier(ctx context.Context) error { return b.snap().coll.Barrier(ctx) }
 
 // Close deletes every device process, concurrently.
-func (b *BlockStorage) Close(ctx context.Context) error { return b.coll.Destroy(ctx) }
+func (b *BlockStorage) Close(ctx context.Context) error { return b.snap().coll.Destroy(ctx) }

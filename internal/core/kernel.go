@@ -83,6 +83,12 @@ func (a *Array) kernelView(devs []int) *collection.Collection[*pagedev.ArrayDevi
 // machine-down error are tolerated as long as every page kept at least
 // one live replica (the write lands there; the dead copy is dropped and
 // re-seeded at Failover).
+//
+// A batch racing a live migration of this Array value is refused
+// all-or-nothing per device (rmi.ErrFenced): Apply parks until the map
+// flips and replays exactly the refused batches at the copies' new
+// addresses — each page copy sees the kernel exactly once, fenced or
+// not.
 func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...float64) error {
 	if _, err := kernel.LookupMap(name, params); err != nil {
 		return err
@@ -90,15 +96,31 @@ func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...fl
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
-	regs := a.regions(dom)
+	pm := a.Map()
+	regs := a.regionsOf(pm, dom)
 	devs, byDev, err := a.batches(regs, true, nil)
 	if err != nil || len(devs) == 0 {
 		return err
 	}
-	err = a.kernelView(devs).Broadcast(ctx, "applyK", func(m collection.Member, e *wire.Encoder) error {
-		pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
-		return nil
-	})
+	broadcast := func(devs []int, byDev map[int][]pagedev.KernelRegion) error {
+		return a.kernelView(devs).Broadcast(ctx, "applyK", func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeApplyK(e, name, params, byDev[m.Index])
+			return nil
+		})
+	}
+	err = broadcast(devs, byDev)
+	for attempt := 0; err != nil && allFenced(err) && attempt < maxFenceRetries; attempt++ {
+		newPM, werr := a.waitMapFlip(ctx, pm)
+		if werr != nil {
+			return err
+		}
+		pm = newPM
+		devs, byDev = relocateKernelBatches(pm, collection.Failed(err), byDev)
+		if len(devs) == 0 {
+			return nil
+		}
+		err = broadcast(devs, byDev)
+	}
 	if err == nil {
 		return nil
 	}
@@ -259,15 +281,33 @@ func (a *Array) ApplyBinary(ctx context.Context, dom Domain, name string, b *Arr
 	if err := a.checkDomain(dom); err != nil {
 		return err
 	}
-	regs := a.regions(dom)
+	pm := a.Map()
+	regs := a.regionsOf(pm, dom)
 	devs, byDev, err := a.binaryBatches(b, regs, true, nil)
 	if err != nil || len(devs) == 0 {
 		return err
 	}
-	err = a.kernelView(devs).Broadcast(ctx, "applyBinaryK", func(m collection.Member, e *wire.Encoder) error {
-		pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
-		return nil
-	})
+	broadcast := func(devs []int, byDev map[int][]pagedev.BinaryRegion) error {
+		return a.kernelView(devs).Broadcast(ctx, "applyBinaryK", func(m collection.Member, e *wire.Encoder) error {
+			pagedev.EncodeApplyBinaryK(e, name, params, byDev[m.Index])
+			return nil
+		})
+	}
+	err = broadcast(devs, byDev)
+	// Fenced batches park and replay at the copies' post-flip addresses,
+	// exactly like Apply (the peer read side is never fenced).
+	for attempt := 0; err != nil && allFenced(err) && attempt < maxFenceRetries; attempt++ {
+		newPM, werr := a.waitMapFlip(ctx, pm)
+		if werr != nil {
+			return err
+		}
+		pm = newPM
+		devs, byDev = relocateBinaryBatches(pm, collection.Failed(err), byDev)
+		if len(devs) == 0 {
+			return nil
+		}
+		err = broadcast(devs, byDev)
+	}
 	if err == nil {
 		return nil
 	}

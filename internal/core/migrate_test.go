@@ -1,0 +1,340 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"oopp/internal/cluster"
+	"oopp/internal/core"
+	"oopp/internal/elastic"
+	"oopp/internal/metrics"
+	"oopp/internal/pagedev"
+)
+
+// devicePages counts page copies per device in the array's current map.
+func devicePages(t *testing.T, arr *core.Array) map[int]int {
+	t.Helper()
+	pm := arr.Map()
+	P1, P2, P3 := arr.GridDims()
+	pages := make(map[int]int)
+	for p1 := 0; p1 < P1; p1++ {
+		for p2 := 0; p2 < P2; p2++ {
+			for p3 := 0; p3 < P3; p3++ {
+				if rm, ok := pm.(core.ReplicaMap); ok {
+					for _, addr := range rm.LocateAll(p1, p2, p3) {
+						pages[addr.Device]++
+					}
+				} else {
+					pages[pm.Locate(p1, p2, p3).Device]++
+				}
+			}
+		}
+	}
+	return pages
+}
+
+// fillPattern writes a distinct value per element, returning the data.
+func fillPattern(t *testing.T, arr *core.Array, seed float64) []float64 {
+	t.Helper()
+	N1, N2, N3 := arr.Dims()
+	data := make([]float64, N1*N2*N3)
+	for i := range data {
+		data[i] = seed + float64(i)
+	}
+	if err := arr.Write(bg, data, arr.Bounds()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return data
+}
+
+func checkPattern(t *testing.T, arr *core.Array, want []float64, when string) {
+	t.Helper()
+	got := make([]float64, len(want))
+	if err := arr.Read(bg, got, arr.Bounds()); err != nil {
+		t.Fatalf("Read %s: %v", when, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %v, want %v", when, i, got[i], want[i])
+		}
+	}
+}
+
+// TestMigratePagesPreservesContents pins the fence→copy→flip→retire
+// cycle: an explicit move plan relocates pages between devices with
+// contents bitwise intact, the map re-mints with the "+resharded"
+// marker, the migration gauges settle, and the array stays fully
+// writable afterwards (including pages at their new homes).
+func TestMigratePagesPreservesContents(t *testing.T) {
+	_, arr, stop := buildReplicated(t, "striped", 3, 1, 4, 4, 4, 2, 2, 2, 4)
+	defer stop()
+	want := fillPattern(t, arr, 1000)
+
+	before := devicePages(t, arr)
+	mBefore := metrics.Default.Snapshot()
+	rep, err := arr.MigratePages(bg, []elastic.Move{{From: 0, To: 2, Pages: 2}})
+	if err != nil {
+		t.Fatalf("MigratePages: %v", err)
+	}
+	if rep.Moved != 2 || rep.Skipped != 0 {
+		t.Fatalf("moved %d skipped %d, want 2/0", rep.Moved, rep.Skipped)
+	}
+	if rep.Bytes != 2*2*2*2*8 {
+		t.Fatalf("bytes = %d, want %d", rep.Bytes, 2*2*2*2*8)
+	}
+	d := metrics.Default.Snapshot().Sub(mBefore)
+	if d.PagesMigrated != 2 || d.BytesMigrated != rep.Bytes || d.PagesHeld != 0 {
+		t.Fatalf("gauges migrated=%d bytes=%d held=%d, want 2/%d/0",
+			d.PagesMigrated, d.BytesMigrated, d.PagesHeld, rep.Bytes)
+	}
+
+	after := devicePages(t, arr)
+	if after[0] != before[0]-2 || after[2] != before[2]+2 {
+		t.Fatalf("occupancy before %v after %v, want 2 pages moved 0→2", before, after)
+	}
+	if name := arr.Map().Name(); name != "striped+resharded" {
+		t.Fatalf("resharded map name = %q", name)
+	}
+	checkPattern(t, arr, want, "after migration")
+
+	// The array is fully live post-flip: overwrite everything (the
+	// moved pages now land at their new addresses, the retired source
+	// slots must not swallow anything) and read it back.
+	want = fillPattern(t, arr, 5000)
+	checkPattern(t, arr, want, "after post-migration rewrite")
+
+	// A second migration may reuse the retired source slots.
+	if _, err := arr.MigratePages(bg, []elastic.Move{{From: 2, To: 0, Pages: 2}}); err != nil {
+		t.Fatalf("reverse MigratePages: %v", err)
+	}
+	checkPattern(t, arr, want, "after reverse migration")
+	if name := arr.Map().Name(); name != "striped+resharded" {
+		t.Fatalf("reshard marker must not stack: %q", name)
+	}
+}
+
+// TestDrainThenRebalance pins the two planner-driven entry points
+// against each other: DrainMachine empties a machine's devices
+// completely (data intact), then Rebalance flows pages back onto the
+// drained device with the minimal-move plan.
+func TestDrainThenRebalance(t *testing.T) {
+	_, arr, stop := buildReplicated(t, "roundrobin", 3, 1, 4, 4, 4, 2, 2, 2, 8)
+	defer stop()
+	want := fillPattern(t, arr, 300)
+
+	rep, err := arr.DrainMachine(bg, 2)
+	if err != nil {
+		t.Fatalf("DrainMachine: %v", err)
+	}
+	pages := devicePages(t, arr)
+	if pages[2] != 0 {
+		t.Fatalf("drained device still holds %d pages (%v)", pages[2], pages)
+	}
+	if rep.Moved == 0 {
+		t.Fatal("drain reported zero moved pages")
+	}
+	checkPattern(t, arr, want, "after drain")
+
+	// Rebalance pulls the drained device back into service: every
+	// device lands within the occupancy band and only the minimal page
+	// count moves (8 pages over 3 devices: the empty device needs its
+	// ⌊mean⌋ = 2).
+	rrep, err := arr.Rebalance(bg, core.RebalanceConfig{})
+	if err != nil {
+		t.Fatalf("Rebalance: %v", err)
+	}
+	if rrep.Moved != elastic.MovedPages(rrep.Plan) || rrep.Skipped != 0 {
+		t.Fatalf("rebalance executed %d of planned %d (skipped %d)",
+			rrep.Moved, elastic.MovedPages(rrep.Plan), rrep.Skipped)
+	}
+	if rrep.Moved != 2 {
+		t.Fatalf("rebalance moved %d pages, want minimal 2", rrep.Moved)
+	}
+	pages = devicePages(t, arr)
+	for d := 0; d < 3; d++ {
+		if pages[d] < 2 || pages[d] > 3 {
+			t.Fatalf("device %d at %d pages after rebalance, want within [2,3] (%v)", d, pages[d], pages)
+		}
+	}
+	checkPattern(t, arr, want, "after rebalance")
+
+	// A balanced array plans nothing.
+	again, err := arr.Rebalance(bg, core.RebalanceConfig{DryRun: true})
+	if err != nil {
+		t.Fatalf("DryRun Rebalance: %v", err)
+	}
+	if len(again.Plan) != 0 {
+		t.Fatalf("balanced array produced plan %v", again.Plan)
+	}
+}
+
+// TestDrainRefusedWithoutCapacity pins the complete-or-fail contract:
+// with zero spare slots the drain must refuse up front, not half-move.
+func TestDrainRefusedWithoutCapacity(t *testing.T) {
+	_, arr, stop := buildReplicated(t, "striped", 2, 1, 4, 4, 2, 2, 2, 2, 0)
+	defer stop()
+	want := fillPattern(t, arr, 70)
+	if _, err := arr.DrainMachine(bg, 0); err == nil {
+		t.Fatal("drain without spare capacity must fail")
+	}
+	checkPattern(t, arr, want, "after refused drain")
+}
+
+// TestJoinDeviceAndRebalance is the elastic-growth contract: a device
+// joins a running storage (AddDevice on a machine that had none),
+// Rebalance flows its fair share of pages onto it with data intact,
+// and after a drain ReviveDevice gives the slot a fresh process that
+// Rebalance repopulates — the full leave/rejoin cycle.
+func TestJoinDeviceAndRebalance(t *testing.T) {
+	cl, err := cluster.NewLocal(3, 0)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer cl.Shutdown()
+	// 8 pages over 2 devices; machine 2 starts with no device at all.
+	pm, err := core.NewPageMap("roundrobin", 2, 2, 2, 2)
+	if err != nil {
+		t.Fatalf("pagemap: %v", err)
+	}
+	const spare = 8
+	storage, err := core.CreateBlockStorage(bg, cl.Client(), []int{0, 1}, "earr",
+		pm.PagesPerDevice()+spare, 2, 2, 2, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("storage: %v", err)
+	}
+	defer storage.Close(bg)
+	arr, err := core.NewArray(bg, storage, pm, 4, 4, 4, 2, 2, 2)
+	if err != nil {
+		t.Fatalf("array: %v", err)
+	}
+	want := fillPattern(t, arr, 9000)
+
+	idx, err := storage.AddDevice(bg, 2, spare, pagedev.DiskPrivate)
+	if err != nil {
+		t.Fatalf("AddDevice: %v", err)
+	}
+	if idx != 2 || storage.Len() != 3 || storage.MachineOf(2) != 2 {
+		t.Fatalf("join: idx=%d len=%d machine=%d", idx, storage.Len(), storage.MachineOf(2))
+	}
+
+	// Rebalance flows the newcomer its floor share: 8 pages over 3
+	// devices puts at least ⌊8/3⌋ = 2 pages on device 2.
+	rep, err := arr.Rebalance(bg, core.RebalanceConfig{})
+	if err != nil {
+		t.Fatalf("Rebalance onto newcomer: %v", err)
+	}
+	if rep.Skipped != 0 || rep.Moved == 0 {
+		t.Fatalf("rebalance moved %d skipped %d", rep.Moved, rep.Skipped)
+	}
+	pages := devicePages(t, arr)
+	if pages[2] < 2 {
+		t.Fatalf("newcomer holds %d pages after rebalance (%v)", pages[2], pages)
+	}
+	checkPattern(t, arr, want, "after join rebalance")
+
+	// Leave: drain the newcomer empty, then rejoin its slot with a
+	// fresh process (the restart story) and flow pages back.
+	if _, err := arr.DrainMachine(bg, 2); err != nil {
+		t.Fatalf("DrainMachine: %v", err)
+	}
+	if pages = devicePages(t, arr); pages[2] != 0 {
+		t.Fatalf("drained newcomer still holds %d pages", pages[2])
+	}
+	if err := storage.ReviveDevice(bg, 2, 2, spare, pagedev.DiskPrivate); err != nil {
+		t.Fatalf("ReviveDevice: %v", err)
+	}
+	if _, err := arr.Rebalance(bg, core.RebalanceConfig{}); err != nil {
+		t.Fatalf("Rebalance after revive: %v", err)
+	}
+	if pages = devicePages(t, arr); pages[2] < 2 {
+		t.Fatalf("revived device holds %d pages (%v)", pages[2], pages)
+	}
+	checkPattern(t, arr, want, "after revive rebalance")
+}
+
+// TestMigrateUnderConcurrentLoad is the live-reshard contract at unit
+// scale: while client goroutines continuously write, fill (an
+// owner-computes kernel), and sum the replicated array, pages migrate
+// back and forth between devices. Not one call may fail — fenced work
+// parks and replays — and the running sums prove no window ever
+// exposed lost or double-applied updates.
+func TestMigrateUnderConcurrentLoad(t *testing.T) {
+	_, arr, stop := buildReplicated(t, "roundrobin", 3, 2, 4, 4, 4, 2, 2, 2, 8)
+	defer stop()
+
+	N := 4
+	half := core.NewDomain(0, N/2, 0, N, 0, N)
+	rest := core.NewDomain(N/2, N, 0, N, 0, N)
+	// Invariant state: the low slab holds 3s, the high slab 5s, and the
+	// workers rewrite those same constants — so any observed sum other
+	// than 256 means a migration tore, lost, or double-applied data.
+	const wantSum = 32*3 + 32*5
+	slab := make([]float64, half.Size())
+	for i := range slab {
+		slab[i] = 3
+	}
+	if err := arr.Write(bg, slab, half); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	if err := arr.Fill(bg, rest, 5); err != nil {
+		t.Fatalf("seed fill: %v", err)
+	}
+
+	var failed atomic.Value
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	worker := func(op func() error, name string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := op(); err != nil {
+				failed.Store(fmt.Errorf("%s: %w", name, err))
+				return
+			}
+		}
+	}
+	wg.Add(3)
+	go worker(func() error { return arr.Write(bg, slab, half) }, "write")
+	go worker(func() error { return arr.Fill(bg, rest, 5) }, "fill")
+	go worker(func() error {
+		s, err := arr.Sum(bg, arr.Bounds())
+		if err == nil && s != wantSum {
+			return fmt.Errorf("sum = %v, want %v", s, wantSum)
+		}
+		return err
+	}, "sum")
+
+	for round := 0; round < 6; round++ {
+		from, to := round%3, (round+1)%3
+		if _, err := arr.MigratePages(bg, []elastic.Move{{From: from, To: to, Pages: 2}}); err != nil {
+			close(done)
+			wg.Wait()
+			t.Fatalf("migration round %d: %v", round, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := failed.Load(); err != nil {
+		t.Fatalf("client op failed during live migration: %v", err)
+	}
+
+	got := make([]float64, N*N*N)
+	if err := arr.Read(bg, got, arr.Bounds()); err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	for i, v := range got {
+		want := 3.0
+		if i >= len(got)/2 {
+			want = 5.0
+		}
+		if v != want {
+			t.Fatalf("element %d = %v, want %v after live migrations", i, v, want)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // PageAddress is the physical location of a logical array page: which
 // storage device process holds it, and at which page index — the paper's
@@ -200,8 +203,22 @@ func (m *hashMap) Name() string { return "hash" }
 // "striped+r2" — the grammar ReplicatedMap.Name renders, so published
 // replicated arrays reopen with their replication factor intact). Used
 // by the experiment harness, checkpoint reopen, and cmd flags.
+//
+// Maps that were mutated at runtime render trailing "+failover"
+// (Array.Failover re-mint) and/or "+resharded" (migration-engine
+// re-mint) markers, in mutation order — e.g. "striped+r2+failover" or
+// "roundrobin+resharded+resharded". Their per-page tables are not
+// name-encodable, so NewPageMap reconstructs the NOMINAL layout the
+// mutations started from and preserves the full name (an alias
+// wrapper), keeping Name() round-trippable and Locate total and in
+// bounds: a checkpoint taken after a failover or reshard reopens with
+// data addressed by the nominal layout, which is exactly what the
+// checkpoint writer stored it under.
 func NewPageMap(name string, p1, p2, p3, devices int) (PageMap, error) {
-	base, k, replicated := parseReplicaSuffix(name)
+	// Mutation suffixes strip first: "+resharded" itself contains "+r",
+	// which the replica-suffix parser must never see.
+	nominal, mutated := splitMutationSuffix(name)
+	base, k, replicated := parseReplicaSuffix(nominal)
 	var (
 		pm  PageMap
 		err error
@@ -218,10 +235,48 @@ func NewPageMap(name string, p1, p2, p3, devices int) (PageMap, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown page map %q", name)
 	}
-	if err != nil || !replicated {
+	if err == nil && replicated {
+		pm, err = NewReplicatedMap(pm, k)
+	}
+	if err != nil || !mutated {
 		return pm, err
 	}
-	return NewReplicatedMap(pm, k)
+	return &aliasMap{PageMap: pm, alias: name}, nil
+}
+
+// splitMutationSuffix strips any run of trailing "+failover" /
+// "+resharded" markers, returning the nominal layout name and whether
+// anything was stripped.
+func splitMutationSuffix(name string) (nominal string, mutated bool) {
+	nominal = name
+	for {
+		switch {
+		case strings.HasSuffix(nominal, "+failover"):
+			nominal = strings.TrimSuffix(nominal, "+failover")
+		case strings.HasSuffix(nominal, "+resharded"):
+			nominal = strings.TrimSuffix(nominal, "+resharded")
+		default:
+			return nominal, nominal != name
+		}
+	}
+}
+
+// aliasMap serves a reconstructed nominal layout under the mutated
+// map's full name, so Name() round-trips through NewPageMap even for
+// maps whose runtime tables cannot be encoded in a name.
+type aliasMap struct {
+	PageMap
+	alias string
+}
+
+func (m *aliasMap) Name() string { return m.alias }
+
+// Replicas and LocateAll delegate so a replicated nominal layout keeps
+// its ReplicaMap surface through the alias.
+func (m *aliasMap) Replicas() int { return replicaCount(m.PageMap) }
+
+func (m *aliasMap) LocateAll(p1, p2, p3 int) []PageAddress {
+	return replicasOf(m.PageMap, p1, p2, p3)
 }
 
 // PageMapNames lists the available layouts.

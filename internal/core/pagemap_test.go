@@ -217,6 +217,70 @@ func TestPageMapRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMutatedNameRoundTrip extends the round-trip contract to runtime-
+// mutated names: every composition of base layout, "+r<k>" replication,
+// and trailing "+failover"/"+resharded" markers (single, repeated, and
+// interleaved) reconstructs via NewPageMap with the full name preserved,
+// every page located in bounds, and the ReplicaMap surface intact when
+// the nominal layout is replicated.
+func TestMutatedNameRoundTrip(t *testing.T) {
+	const p1, p2, p3, devices = 3, 5, 7, 4
+	suffixes := []string{
+		"+failover",
+		"+resharded",
+		"+resharded+resharded",
+		"+failover+resharded",
+		"+resharded+failover",
+		"+failover+resharded+failover",
+	}
+	var names []string
+	for _, base := range PageMapNames() {
+		for _, nominal := range []string{base, base + "+r2"} {
+			for _, suf := range suffixes {
+				names = append(names, nominal+suf)
+			}
+		}
+	}
+	for _, name := range names {
+		m, err := NewPageMap(name, p1, p2, p3, devices)
+		if err != nil {
+			t.Fatalf("NewPageMap(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("map %q round-trips as %q", name, m.Name())
+		}
+		if err := checkMapInvariants(m, p1, p2, p3); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+		nominal, mutated := splitMutationSuffix(name)
+		if !mutated {
+			t.Fatalf("%q: mutation suffix not detected", name)
+		}
+		_, k, _ := parseReplicaSuffix(nominal)
+		if got := replicaCount(m); got != k {
+			t.Errorf("%q: replicaCount = %d, want %d", name, got, k)
+		}
+		if k > 1 {
+			rm, ok := m.(ReplicaMap)
+			if !ok {
+				t.Fatalf("%q: replicated nominal lost ReplicaMap surface", name)
+			}
+			if chain := rm.LocateAll(1, 2, 3); len(chain) != k || chain[0] != m.Locate(1, 2, 3) {
+				t.Errorf("%q: LocateAll chain %v inconsistent with Locate", name, chain)
+			}
+		}
+	}
+
+	// A mutated name still rejects unknown nominal layouts, and the
+	// marker must be a suffix, not an infix the parser scrambles on.
+	if _, err := NewPageMap("mystery+failover", 2, 2, 2, 2); err == nil {
+		t.Error("unknown nominal layout accepted under +failover")
+	}
+	if m, err := NewPageMap("striped", 2, 2, 2, 2); err != nil || m.Name() != "striped" {
+		t.Errorf("unmutated name disturbed: %v, %v", m, err)
+	}
+}
+
 func TestPageMapNamesComplete(t *testing.T) {
 	names := PageMapNames()
 	if len(names) != 4 {

@@ -20,11 +20,12 @@ package core
 // are deterministic, so applying the same batch at every replica keeps
 // replica contents bitwise identical without a coordination round.
 //
-// Read semantics: element reads and reductions are served by the first
-// *live* replica in the chain (the failure detector's verdicts choose;
-// a call-time race that still hits a dying machine retries on the next
-// replica). Replication therefore doubles as read scaling for hot
-// pages: distinct Array clients can prefer distinct replicas.
+// Read semantics: element reads and reductions are served by a *live*
+// replica of the chain, rotated per call (the failure detector's
+// verdicts narrow the candidates; a call-time race that still hits a
+// dying machine retries on the next replica). Replication therefore
+// doubles as read scaling for hot pages: one client's repeated reads of
+// the same page spread across its whole replica set.
 //
 // Failover (Array.Failover) re-mints the page map after the heartbeat
 // declares machines down: dead devices are dropped from every chain
@@ -143,6 +144,11 @@ type remintedMap struct {
 	// chain died keeps its pre-failover chain so operations against it
 	// fail typed (ErrMachineDown) instead of panicking.
 	table [][]PageAddress
+	// moved maps each migrated copy's pre-flip address to its new home
+	// (migration mints only; nil after failover). The park-and-replay
+	// path uses it to re-aim work a fence refused — see relocatedAddr
+	// in migrate.go.
+	moved map[PageAddress]PageAddress
 }
 
 func (m *remintedMap) Locate(p1, p2, p3 int) PageAddress {
@@ -204,13 +210,17 @@ func (a *Array) machineUp(dev int) bool {
 	return client.MachineDown(a.storage.MachineOf(dev)) == nil
 }
 
-// pickLive returns the first replica in the chain whose device is not
-// excluded and whose machine is not marked down; when every replica is
-// down it returns the first non-excluded one (so the operation fails
-// with the typed machine-down error instead of inventing its own), and
-// ok=false only when exclusion leaves no replica at all.
+// pickLive returns a replica in the chain whose device is not excluded
+// and whose machine is not marked down, rotating across the live
+// candidates (per-Array round-robin counter) so a hot page's read load
+// spreads over its whole replica set instead of hammering the chain
+// primary. When every replica is down it returns the first non-excluded
+// one (so the operation fails with the typed machine-down error instead
+// of inventing its own), and ok=false only when exclusion leaves no
+// replica at all.
 func (a *Array) pickLive(chain []PageAddress, exclude map[int]bool) (PageAddress, bool) {
 	var fallback *PageAddress
+	live := make([]PageAddress, 0, len(chain))
 	for i := range chain {
 		if exclude[chain[i].Device] {
 			continue
@@ -219,13 +229,20 @@ func (a *Array) pickLive(chain []PageAddress, exclude map[int]bool) (PageAddress
 			fallback = &chain[i]
 		}
 		if a.machineUp(chain[i].Device) {
-			return chain[i], true
+			live = append(live, chain[i])
 		}
 	}
-	if fallback != nil {
-		return *fallback, true
+	switch len(live) {
+	case 0:
+		if fallback != nil {
+			return *fallback, true
+		}
+		return PageAddress{}, false
+	case 1:
+		return live[0], true
+	default:
+		return live[a.rr.Add(1)%uint64(len(live))], true
 	}
-	return PageAddress{}, false
 }
 
 // coverDown classifies a replica fan-out failure: it returns nil —

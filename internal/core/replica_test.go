@@ -116,6 +116,67 @@ func buildReplicated(t testing.TB, layout string, devices, k, N1, N2, N3, n1, n2
 	}
 }
 
+// TestReplicaReadsRotateAcrossChain pins the read-scaling half of
+// replication: repeated reads of the same hot page spread across its
+// k=2 replica chain instead of hammering the chain primary — both
+// devices of the chain serve a healthy share of the traffic.
+func TestReplicaReadsRotateAcrossChain(t *testing.T) {
+	const N, n = 8, 4
+	_, arr, done := buildReplicated(t, "roundrobin", 2, 2, N, N, N, n, n, n, 0)
+	defer done()
+
+	full := core.Box(N, N, N)
+	src := make([]float64, full.Size())
+	for i := range src {
+		src[i] = float64(i)
+	}
+	if err := arr.Write(bg, src, full); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	chain := arr.Map().(core.ReplicaMap).LocateAll(0, 0, 0)
+	if len(chain) != 2 || chain[0].Device == chain[1].Device {
+		t.Fatalf("unexpected chain %v", chain)
+	}
+	storage := arr.Storage()
+	baseReads := make(map[int]int64, 2)
+	for _, addr := range chain {
+		r, _, err := storage.Device(addr.Device).Stats(bg)
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		baseReads[addr.Device] = r
+	}
+
+	// Hammer page (0,0,0): each Read covers exactly that one page.
+	const hits = 12
+	hot := core.NewDomain(0, n, 0, n, 0, n)
+	got := make([]float64, hot.Size())
+	for i := 0; i < hits; i++ {
+		if err := arr.Read(bg, got, hot); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+
+	total := int64(0)
+	for _, addr := range chain {
+		r, _, err := storage.Device(addr.Device).Stats(bg)
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		served := r - baseReads[addr.Device]
+		total += served
+		// Strict round-robin gives hits/2 each; any healthy rotation
+		// gives every chain member a real share, not a stray one-off.
+		if served < hits/4 {
+			t.Errorf("device %d served %d of %d hot reads — chain not rotated", addr.Device, served, hits)
+		}
+	}
+	if total < hits {
+		t.Errorf("chain served %d reads, expected at least %d", total, hits)
+	}
+}
+
 // TestReplicatedWriteFansOut pins the physical contract behind failover:
 // after writes and kernels through the replicated surface, every replica
 // bank holds bitwise-identical page contents (verified by reading the

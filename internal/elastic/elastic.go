@@ -1,0 +1,239 @@
+// Package elastic plans page movement for a live cluster: which device
+// sheds how many pages to which other device, so that a join, a drain,
+// or plain load skew is corrected with the *minimum* number of page
+// moves. It is a pure planner — it knows nothing about devices, RMI, or
+// arrays; it consumes observed per-device page counts and load gauges
+// and emits a move list for the migration engine (core.MigratePages) to
+// execute.
+//
+// The planner is deliberately minimal-move: a plan never moves a page
+// that could have stayed. Balance moves exactly
+// max(surplus above ⌈mean⌉, deficit below ⌊mean⌋) pages — the
+// mathematical lower bound for reaching the target occupancy band —
+// so rebalancing after a join ships ~total/D pages, not the
+// whole array the way a tear-down-and-rebuild would. Load gauges break
+// ties, they do not add moves: the hottest overfull device sheds first
+// and the coolest underfull device fills first, which drains queued I/O
+// pressure fastest for the same move budget.
+package elastic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeviceLoad is one device's observed state, the planner's input row.
+type DeviceLoad struct {
+	Device int   // device index in the storage collective
+	Pages  int   // pages of the array this device currently holds
+	Free   int   // spare page slots usable as migration destinations
+	Load   int64 // load gauge (served I/O ops); ties only, any scale
+}
+
+// Move directs the migration engine to relocate Pages pages from one
+// device to another. Which logical pages move is the engine's choice;
+// the planner fixes only the counts.
+type Move struct {
+	From, To int
+	Pages    int
+}
+
+// Balance plans the minimal page moves that bring every device's count
+// into [⌊mean⌋, ⌈mean⌉] of the total page population, where capacity
+// allows. Devices above the even share shed their surplus, hottest
+// first; devices below it fill, coolest first, each capped by its Free
+// slots. A device whose Free space cannot absorb its fair share simply
+// receives less — Balance never fails, it returns the best plan the
+// capacity admits (possibly empty).
+func Balance(loads []DeviceLoad) []Move {
+	if len(loads) < 2 {
+		return nil
+	}
+	total := 0
+	for _, l := range loads {
+		total += l.Pages
+	}
+	lo := total / len(loads)                    // ⌊mean⌋: nobody needs to drop below this
+	hi := (total + len(loads) - 1) / len(loads) // ⌈mean⌉: nobody needs to exceed this
+
+	// Both sides carry two tiers. A donor MUST shed its surplus above
+	// ⌈mean⌉ and MAY shed further down to ⌊mean⌋; a receiver MUST fill
+	// its deficit below ⌊mean⌋ and MAY absorb up to ⌈mean⌉. The optional
+	// tiers exist because Σ surplus and Σ deficit differ when the
+	// population doesn't divide evenly: a leftover mandatory donation
+	// lands in some receiver's optional headroom, and a leftover
+	// mandatory deficit is covered from some donor's optional slack.
+	// Optional never matches optional, so the plan stays at the minimum,
+	// max(Σ surplus, Σ deficit) pages, within Free capacity.
+	type side struct {
+		dev       int
+		must, may int
+		load      int64
+	}
+	var donors, receivers []side
+	for _, l := range loads {
+		switch {
+		case l.Pages > lo:
+			must := l.Pages - hi
+			if must < 0 {
+				must = 0
+			}
+			donors = append(donors, side{dev: l.Device, must: must, may: l.Pages - lo - must, load: l.Load})
+		case l.Pages < hi:
+			must := lo - l.Pages
+			if must < 0 {
+				must = 0
+			}
+			may := hi - l.Pages - must
+			if must > l.Free {
+				must = l.Free
+			}
+			if may > l.Free-must {
+				may = l.Free - must
+			}
+			if must > 0 || may > 0 {
+				receivers = append(receivers, side{dev: l.Device, must: must, may: may, load: l.Load})
+			}
+		}
+	}
+	// Hottest donors shed first; coolest receivers fill first. Device
+	// index is the final tie-break so plans are deterministic.
+	sort.Slice(donors, func(i, j int) bool {
+		if donors[i].load != donors[j].load {
+			return donors[i].load > donors[j].load
+		}
+		return donors[i].dev < donors[j].dev
+	})
+	sort.Slice(receivers, func(i, j int) bool {
+		if receivers[i].load != receivers[j].load {
+			return receivers[i].load < receivers[j].load
+		}
+		return receivers[i].dev < receivers[j].dev
+	})
+
+	var plan []Move
+	phase := func(avail func(*side) *int, need func(*side) *int) {
+		ri := 0
+		for di := range donors {
+			a := avail(&donors[di])
+			for *a > 0 && ri < len(receivers) {
+				w := need(&receivers[ri])
+				n := *a
+				if *w < n {
+					n = *w
+				}
+				if n > 0 {
+					plan = append(plan, Move{From: donors[di].dev, To: receivers[ri].dev, Pages: n})
+					*a -= n
+					*w -= n
+				}
+				if *w == 0 {
+					ri++
+				}
+			}
+		}
+	}
+	must := func(s *side) *int { return &s.must }
+	may := func(s *side) *int { return &s.may }
+	phase(must, must) // surplus into deficit: the core of the plan
+	phase(must, may)  // leftover surplus into optional headroom
+	phase(may, must)  // leftover deficit from optional slack
+	return mergeMoves(plan)
+}
+
+// DrainPlan plans moving every page off the drained device, spreading
+// them across the remaining devices lowest-occupancy-first (coolest
+// first among equals) within their Free capacity. It fails if the rest
+// of the cluster cannot absorb the drained device's pages — a drain
+// must be complete or not happen.
+func DrainPlan(loads []DeviceLoad, drain int) ([]Move, error) {
+	var src *DeviceLoad
+	rest := make([]DeviceLoad, 0, len(loads)-1)
+	for i := range loads {
+		if loads[i].Device == drain {
+			src = &loads[i]
+		} else {
+			rest = append(rest, loads[i])
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("elastic: device %d not in load set", drain)
+	}
+	if src.Pages == 0 {
+		return nil, nil
+	}
+	free := 0
+	for _, l := range rest {
+		free += l.Free
+	}
+	if free < src.Pages {
+		return nil, fmt.Errorf("elastic: draining device %d needs %d free slots, cluster has %d", drain, src.Pages, free)
+	}
+
+	// Fill emptiest first so the drain itself leaves a balanced layout;
+	// among equals prefer the coolest device.
+	left := src.Pages
+	var plan []Move
+	for left > 0 {
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].Pages != rest[j].Pages {
+				return rest[i].Pages < rest[j].Pages
+			}
+			if rest[i].Load != rest[j].Load {
+				return rest[i].Load < rest[j].Load
+			}
+			return rest[i].Device < rest[j].Device
+		})
+		// Give the emptiest device pages until it catches up with the
+		// next emptiest (or runs out of Free/pages) — a textbook
+		// water-filling pass, O(D) rounds.
+		r := &rest[0]
+		n := left
+		if len(rest) > 1 && rest[1].Pages-r.Pages < n {
+			n = rest[1].Pages - r.Pages
+		}
+		if n < 1 {
+			n = 1
+		}
+		if r.Free < n {
+			n = r.Free
+		}
+		if n == 0 {
+			// Emptiest device is out of slots: take it out of rotation.
+			rest = rest[1:]
+			continue
+		}
+		plan = append(plan, Move{From: drain, To: r.Device, Pages: n})
+		r.Pages += n
+		r.Free -= n
+		left -= n
+	}
+	return mergeMoves(plan), nil
+}
+
+// mergeMoves coalesces repeated (From,To) pairs the water-filling loop
+// emits into single moves, preserving first-appearance order.
+func mergeMoves(plan []Move) []Move {
+	type key struct{ from, to int }
+	idx := make(map[key]int, len(plan))
+	out := plan[:0]
+	for _, m := range plan {
+		k := key{m.From, m.To}
+		if i, ok := idx[k]; ok {
+			out[i].Pages += m.Pages
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, m)
+	}
+	return out
+}
+
+// MovedPages sums the pages a plan relocates.
+func MovedPages(plan []Move) int {
+	n := 0
+	for _, m := range plan {
+		n += m.Pages
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package elastic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// apply executes a plan against the load set and returns the resulting
+// per-device page counts, failing the test on any impossible move.
+func apply(t *testing.T, loads []DeviceLoad, plan []Move) map[int]int {
+	t.Helper()
+	pages := make(map[int]int)
+	free := make(map[int]int)
+	for _, l := range loads {
+		pages[l.Device] = l.Pages
+		free[l.Device] = l.Free
+	}
+	for _, m := range plan {
+		if m.Pages <= 0 {
+			t.Fatalf("non-positive move %+v", m)
+		}
+		if m.From == m.To {
+			t.Fatalf("self-move %+v", m)
+		}
+		if pages[m.From] < m.Pages {
+			t.Fatalf("move %+v exceeds source pages %d", m, pages[m.From])
+		}
+		if free[m.To] < m.Pages {
+			t.Fatalf("move %+v exceeds destination free %d", m, free[m.To])
+		}
+		pages[m.From] -= m.Pages
+		pages[m.To] += m.Pages
+		free[m.To] -= m.Pages
+	}
+	return pages
+}
+
+func TestBalanceJoinMovesOnlyFairShare(t *testing.T) {
+	// Three devices at 8 pages each; a fresh joiner at 0. Mean is 6, so
+	// the minimal plan ships exactly 6 pages total — a full rebuild
+	// would ship all 24.
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 8, Free: 8},
+		{Device: 1, Pages: 8, Free: 8},
+		{Device: 2, Pages: 8, Free: 8},
+		{Device: 3, Pages: 0, Free: 16},
+	}
+	plan := Balance(loads)
+	if got := MovedPages(plan); got != 6 {
+		t.Fatalf("join plan moves %d pages, want 6 (minimal)", got)
+	}
+	after := apply(t, loads, plan)
+	for d, n := range after {
+		if n < 6 || n > 6 {
+			t.Errorf("device %d at %d pages after join-balance, want 6", d, n)
+		}
+	}
+}
+
+func TestBalanceAlreadyEven(t *testing.T) {
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 5, Free: 3},
+		{Device: 1, Pages: 5, Free: 3},
+		{Device: 2, Pages: 5, Free: 3},
+	}
+	if plan := Balance(loads); len(plan) != 0 {
+		t.Fatalf("even cluster produced plan %v", plan)
+	}
+	// Uneven totals: 7 pages over 3 devices — [3,2,2] is balanced, no
+	// move can improve it.
+	loads = []DeviceLoad{
+		{Device: 0, Pages: 3, Free: 3},
+		{Device: 1, Pages: 2, Free: 3},
+		{Device: 2, Pages: 2, Free: 3},
+	}
+	if plan := Balance(loads); len(plan) != 0 {
+		t.Fatalf("⌈mean⌉-balanced cluster produced plan %v", plan)
+	}
+}
+
+func TestBalanceLoadBreaksTies(t *testing.T) {
+	// Two equally overfull donors: the hotter one sheds first. Two
+	// equally underfull receivers: the cooler one fills first.
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 10, Free: 0, Load: 100},
+		{Device: 1, Pages: 10, Free: 0, Load: 900},
+		{Device: 2, Pages: 0, Free: 10, Load: 50},
+		{Device: 3, Pages: 0, Free: 10, Load: 5},
+	}
+	plan := Balance(loads)
+	if len(plan) == 0 {
+		t.Fatal("no plan")
+	}
+	if plan[0].From != 1 {
+		t.Errorf("first donor is device %d, want hottest (1): %v", plan[0].From, plan)
+	}
+	if plan[0].To != 3 {
+		t.Errorf("first receiver is device %d, want coolest (3): %v", plan[0].To, plan)
+	}
+	apply(t, loads, plan)
+}
+
+func TestBalanceRespectsCapacity(t *testing.T) {
+	// Receiver can only absorb 2 of its fair share of 5: the plan moves
+	// what fits and leaves the rest in place rather than failing.
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 10, Free: 0},
+		{Device: 1, Pages: 0, Free: 2},
+	}
+	plan := Balance(loads)
+	if got := MovedPages(plan); got != 2 {
+		t.Fatalf("capacity-limited plan moves %d, want 2", got)
+	}
+	apply(t, loads, plan)
+}
+
+func TestDrainPlanComplete(t *testing.T) {
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 6, Free: 2},
+		{Device: 1, Pages: 2, Free: 8},
+		{Device: 2, Pages: 4, Free: 8},
+	}
+	plan, err := DrainPlan(loads, 0)
+	if err != nil {
+		t.Fatalf("DrainPlan: %v", err)
+	}
+	after := apply(t, loads, plan)
+	if after[0] != 0 {
+		t.Fatalf("drained device still holds %d pages", after[0])
+	}
+	if after[1]+after[2] != 12 {
+		t.Fatalf("pages lost: %v", after)
+	}
+	// Water-filling should leave the survivors even: 6 and 6.
+	if after[1] != 6 || after[2] != 6 {
+		t.Errorf("drain left %v, want even 6/6", after)
+	}
+}
+
+func TestDrainPlanRefusesWhenFull(t *testing.T) {
+	loads := []DeviceLoad{
+		{Device: 0, Pages: 5, Free: 0},
+		{Device: 1, Pages: 5, Free: 2},
+	}
+	if _, err := DrainPlan(loads, 0); err == nil {
+		t.Fatal("drain with insufficient capacity accepted")
+	}
+	if _, err := DrainPlan(loads, 9); err == nil {
+		t.Fatal("draining unknown device accepted")
+	}
+	if plan, err := DrainPlan([]DeviceLoad{{Device: 0, Pages: 0}, {Device: 1, Free: 1}}, 0); err != nil || len(plan) != 0 {
+		t.Fatalf("empty drain: %v, %v", plan, err)
+	}
+}
+
+// Property: for arbitrary occupancies with ample capacity, Balance
+// always lands every device in [⌊mean⌋, ⌈mean⌉] and never moves more
+// than the theoretical minimum (the total surplus above ⌈mean⌉).
+func TestQuickBalanceConverges(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		loads := make([]DeviceLoad, len(raw))
+		total := 0
+		for i, v := range raw {
+			loads[i] = DeviceLoad{Device: i, Pages: int(v % 40), Free: 64}
+			total += loads[i].Pages
+		}
+		lo, hi := total/len(raw), (total+len(raw)-1)/len(raw)
+		surplus, deficit := 0, 0
+		for _, l := range loads {
+			if l.Pages > hi {
+				surplus += l.Pages - hi
+			}
+			if l.Pages < lo {
+				deficit += lo - l.Pages
+			}
+		}
+		minMoves := surplus
+		if deficit > minMoves {
+			minMoves = deficit
+		}
+		plan := Balance(loads)
+		if MovedPages(plan) != minMoves {
+			t.Logf("moved %d, minimal %d for %v", MovedPages(plan), minMoves, loads)
+			return false
+		}
+		after := apply(t, loads, plan)
+		for d, n := range after {
+			if n < lo || n > hi {
+				t.Logf("device %d at %d outside [⌊mean⌋,⌈mean⌉] = [%d,%d], after %v", d, n, lo, hi, after)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -125,6 +125,7 @@ var Experiments = []Experiment{
 	{"E13", "Owner-computes kernels vs client-side array math", E13OwnerComputes},
 	{"E14", "Serving tier: admission control and graceful saturation", E14ServingTier},
 	{"E15", "Replicated pages: write fan-out cost and failover recovery", E15Replication},
+	{"E16", "Elastic cluster: join, load-aware rebalance, and machine drain", E16Elasticity},
 }
 
 // Find returns the experiment with the given id.

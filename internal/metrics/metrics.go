@@ -38,6 +38,10 @@ type Counters struct {
 	QueueHigh       atomic.Int64 // gauge: in-flight high-priority requests (admission to reply)
 	QueueNormal     atomic.Int64 // gauge: in-flight normal-priority requests
 	QueueBulk       atomic.Int64 // gauge: in-flight bulk-priority requests
+	ReqExpired      atomic.Int64 // admitted requests shed because the client deadline had passed
+	PagesHeld       atomic.Int64 // gauge: pages this process's devices hold per the live map
+	PagesMigrated   atomic.Int64 // pages moved device-to-device by the migration engine
+	BytesMigrated   atomic.Int64 // payload bytes moved by the migration engine
 }
 
 // Default is the process-wide counter set used when no explicit set is
@@ -67,6 +71,10 @@ type Snapshot struct {
 	QueueHigh       int64
 	QueueNormal     int64
 	QueueBulk       int64
+	ReqExpired      int64
+	PagesHeld       int64
+	PagesMigrated   int64
+	BytesMigrated   int64
 }
 
 // Snapshot returns a copy of the current counter values.
@@ -93,6 +101,10 @@ func (c *Counters) Snapshot() Snapshot {
 		QueueHigh:       c.QueueHigh.Load(),
 		QueueNormal:     c.QueueNormal.Load(),
 		QueueBulk:       c.QueueBulk.Load(),
+		ReqExpired:      c.ReqExpired.Load(),
+		PagesHeld:       c.PagesHeld.Load(),
+		PagesMigrated:   c.PagesMigrated.Load(),
+		BytesMigrated:   c.BytesMigrated.Load(),
 	}
 }
 
@@ -119,6 +131,10 @@ func (c *Counters) Reset() {
 	c.QueueHigh.Store(0)
 	c.QueueNormal.Store(0)
 	c.QueueBulk.Store(0)
+	c.ReqExpired.Store(0)
+	c.PagesHeld.Store(0)
+	c.PagesMigrated.Store(0)
+	c.BytesMigrated.Store(0)
 }
 
 // Sub returns the delta s - prev, counter-wise. Use around a measured
@@ -146,6 +162,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		QueueHigh:       s.QueueHigh - prev.QueueHigh,
 		QueueNormal:     s.QueueNormal - prev.QueueNormal,
 		QueueBulk:       s.QueueBulk - prev.QueueBulk,
+		ReqExpired:      s.ReqExpired - prev.ReqExpired,
+		PagesHeld:       s.PagesHeld - prev.PagesHeld,
+		PagesMigrated:   s.PagesMigrated - prev.PagesMigrated,
+		BytesMigrated:   s.BytesMigrated - prev.BytesMigrated,
 	}
 }
 
@@ -176,6 +196,10 @@ func (s Snapshot) String() string {
 	add("qHigh", s.QueueHigh)
 	add("qNormal", s.QueueNormal)
 	add("qBulk", s.QueueBulk)
+	add("expired", s.ReqExpired)
+	add("pagesHeld", s.PagesHeld)
+	add("pagesMigrated", s.PagesMigrated)
+	add("bytesMigrated", s.BytesMigrated)
 	if len(parts) == 0 {
 		return "{}"
 	}

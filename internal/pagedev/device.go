@@ -111,6 +111,12 @@ type pageDevice struct {
 	reads     atomic.Int64
 	writes    atomic.Int64
 	scratch   []byte
+
+	// fence holds page indices mid-migration: mutators targeting a
+	// fenced page are refused typed (rmi.ErrFenced) so the caller can
+	// park and replay against the flipped map; reads are never fenced.
+	// Accessed only from serial mailbox methods — no lock (see fence.go).
+	fence map[int]struct{}
 }
 
 // base lets inherited method implementations reach the embedded
@@ -143,6 +149,14 @@ func (p *pageDevice) readInto(index int, dst []byte) error {
 
 func (p *pageDevice) write(index int, src []byte) error {
 	if err := p.checkIndex(index); err != nil {
+		return err
+	}
+	// The single mutation choke point: every single-page mutator funnels
+	// through here, so the fence check is all-or-nothing for them (the
+	// method's element buffers may be dirty, but no page changed).
+	// Batched mutators additionally pre-scan (checkFenceBatch) before
+	// touching their first page.
+	if err := p.checkFence(index); err != nil {
 		return err
 	}
 	if len(src) != p.pageSize {
@@ -305,7 +319,7 @@ func registerBaseMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
 }
 
 // PageDeviceClass is the registered base class.
-var PageDeviceClass = registerBaseMethods(rmi.RegisterClass(ClassPageDevice,
+var PageDeviceClass = registerFenceMethods(registerBaseMethods(rmi.RegisterClass(ClassPageDevice,
 	func(env *rmi.Env, args *wire.Decoder) (baser, error) {
 		name := args.String()
 		numPages := args.Int()
@@ -315,7 +329,7 @@ var PageDeviceClass = registerBaseMethods(rmi.RegisterClass(ClassPageDevice,
 			return nil, err
 		}
 		return newPageDevice(env, name, numPages, pageSize, diskIndex)
-	}))
+	})))
 
 // arrayPageDevice is the derived process (§3): same storage protocol,
 // plus structure-aware computation. Embedding pageDevice is Go's
@@ -489,6 +503,9 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		// no element data crosses the network.
 		v := args.Float64()
 		if err := args.Err(); err != nil {
+			return err
+		}
+		if err := a.checkFenceAll(); err != nil {
 			return err
 		}
 		for i := range a.elems {

@@ -1,0 +1,211 @@
+package pagedev
+
+// The migration write fence: the device half of live page migration.
+//
+// While a page is being copied to another device, writes to it must not
+// land here (they would be lost when the page map flips to the new
+// owner), but they must not be lost either. The contract:
+//
+//   - fencePages marks a set of page indices as mid-migration. It is a
+//     serial method, so every mutator already in the mailbox ahead of it
+//     completes first — once fencePages returns, the fenced pages are
+//     immutable and the copy reads a consistent snapshot (served by the
+//     thread-safe read surface; reads are never fenced).
+//   - Mutators targeting a fenced page are refused with a typed
+//     rmi.ErrFenced before any page of the request is touched. Single-
+//     page mutators get this from the write choke point; batched kernel
+//     mutators pre-scan their whole region list (checkFenceBatch), so a
+//     batch either fully applies or applies nowhere — the caller can
+//     re-issue the identical batch after the flip without double-
+//     applying a non-idempotent kernel.
+//   - The Array write path catches ErrFenced, parks until the map
+//     flips, re-locates the page, and replays — callers observe a brief
+//     latency bump, never an error.
+//   - unfencePages ends a migration. release=false ABORTS: the fence
+//     clears and the page is owned here again. release=true RETIRES:
+//     the page has left for good, so the fence entry is kept — a client
+//     still holding the pre-flip map keeps getting the typed refusal
+//     instead of silently writing into a dead slot. Retired slots are
+//     reclaimed when a later migration picks them as destinations (the
+//     engine clears them with release=false before copying).
+//     adoptPages is the destination-side accounting hook. Both feed the
+//     process-wide gauges (metrics.PagesHeld/PagesMigrated/BytesMigrated).
+//
+// The fence set lives on pageDevice and is touched only by serial
+// mailbox methods, so it needs no lock.
+
+import (
+	"context"
+	"fmt"
+
+	"oopp/internal/metrics"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// checkFence refuses mutation of a fenced page.
+func (p *pageDevice) checkFence(index int) error {
+	if len(p.fence) == 0 {
+		return nil
+	}
+	if _, bad := p.fence[index]; bad {
+		return fmt.Errorf("%w: page %d of %q", rmi.ErrFenced, index, p.name)
+	}
+	return nil
+}
+
+// checkFenceBatch refuses a batched mutation if ANY target page is
+// fenced — before the caller touches its first page (all-or-nothing).
+func (p *pageDevice) checkFenceBatch(indices []int) error {
+	if len(p.fence) == 0 {
+		return nil
+	}
+	for _, idx := range indices {
+		if _, bad := p.fence[idx]; bad {
+			return fmt.Errorf("%w: page %d of %q (batch refused whole)", rmi.ErrFenced, idx, p.name)
+		}
+	}
+	return nil
+}
+
+// checkFenceAll refuses whole-device mutators while any fence is up.
+func (p *pageDevice) checkFenceAll() error {
+	if len(p.fence) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %d pages of %q mid-migration (whole-device op refused)", rmi.ErrFenced, len(p.fence), p.name)
+}
+
+// registerFenceMethods installs the migration-fence protocol on a class
+// (both PageDevice and, via Extend, ArrayPageDevice carry it).
+func registerFenceMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
+	return c.
+		Method("fencePages", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// fencePages(count, count×idx): serial, so returning proves
+			// every earlier mutator has completed — the fenced pages are
+			// now a consistent, immutable snapshot for the copy.
+			p := obj.base()
+			count := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			if p.fence == nil {
+				p.fence = make(map[int]struct{}, count)
+			}
+			for n := 0; n < count; n++ {
+				idx := args.Int()
+				if err := args.Err(); err != nil {
+					return err
+				}
+				if err := p.checkIndex(idx); err != nil {
+					return err
+				}
+				p.fence[idx] = struct{}{}
+			}
+			return nil
+		}).
+		Method("unfencePages", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// unfencePages(release, count, count×idx). release=false
+			// aborts: the fence clears and the pages are writable here
+			// again. release=true retires: the pages moved away for good,
+			// so the pages-held gauge drops — but the fence entries are
+			// KEPT so a stale pre-flip map cannot silently write into the
+			// dead slots; a later migration reusing a slot clears its
+			// retired fence with release=false first.
+			p := obj.base()
+			release := args.Bool()
+			count := args.Int()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			for n := 0; n < count; n++ {
+				idx := args.Int()
+				if err := args.Err(); err != nil {
+					return err
+				}
+				if !release {
+					delete(p.fence, idx)
+				}
+			}
+			if release {
+				metrics.Default.PagesHeld.Add(int64(-count))
+			}
+			return nil
+		}).
+		Method("adoptPages", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			// adoptPages(count, bytes): destination-side accounting after
+			// a migration copy lands — count pages (bytes payload bytes)
+			// now live here per the flipped map.
+			count := args.Int()
+			bytes := args.Varint()
+			if err := args.Err(); err != nil {
+				return err
+			}
+			metrics.Default.PagesHeld.Add(int64(count))
+			metrics.Default.PagesMigrated.Add(int64(count))
+			metrics.Default.BytesMigrated.Add(bytes)
+			return nil
+		}).
+		Method("fencedPages", func(obj baser, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			reply.PutInt(len(obj.base().fence))
+			return nil
+		})
+}
+
+// FencePages marks the given page indices mid-migration on the device:
+// once it returns, mutators targeting them are refused typed
+// (rmi.ErrFenced) until UnfencePages, while reads keep flowing.
+func (d *Device) FencePages(ctx context.Context, indices []int) error {
+	dec, err := d.client.Call(ctx, d.ref, "fencePages", func(e *wire.Encoder) error {
+		e.PutInt(len(indices))
+		for _, idx := range indices {
+			e.PutInt(idx)
+		}
+		return nil
+	})
+	dec.Release()
+	return err
+}
+
+// UnfencePages ends a migration on the given indices. release=false
+// aborts it: the fence clears and the pages are owned here again.
+// release=true retires the slots: the pages have permanently left this
+// device (the pages-held gauge drops) and the fence entries persist so
+// stale writers get the typed refusal instead of losing data; the slots
+// become reusable when a later migration clears them (release=false).
+func (d *Device) UnfencePages(ctx context.Context, indices []int, release bool) error {
+	dec, err := d.client.Call(ctx, d.ref, "unfencePages", func(e *wire.Encoder) error {
+		e.PutBool(release)
+		e.PutInt(len(indices))
+		for _, idx := range indices {
+			e.PutInt(idx)
+		}
+		return nil
+	})
+	dec.Release()
+	return err
+}
+
+// AdoptPages records that count migrated pages (bytes payload bytes)
+// now live on this device — the destination half of the migration
+// gauges.
+func (d *Device) AdoptPages(ctx context.Context, count int, bytes int64) error {
+	dec, err := d.client.Call(ctx, d.ref, "adoptPages", func(e *wire.Encoder) error {
+		e.PutInt(count)
+		e.PutVarint(bytes)
+		return nil
+	})
+	dec.Release()
+	return err
+}
+
+// FencedPages returns how many pages are currently fenced on the device.
+func (d *Device) FencedPages(ctx context.Context) (int, error) {
+	dec, err := d.client.Call(ctx, d.ref, "fencedPages", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer dec.Release()
+	n := dec.Int()
+	return n, dec.Err()
+}

@@ -23,7 +23,11 @@ package pagedev
 //
 // Batches are not transactional: a mid-batch failure leaves earlier
 // regions applied, exactly like a mid-loop failure of the per-page
-// surface it replaces.
+// surface it replaces. The one all-or-nothing guarantee is the
+// migration fence (fence.go): every mutating batch pre-scans its
+// destination pages and refuses the WHOLE batch typed (rmi.ErrFenced)
+// if any is mid-migration, so a caller can replay the identical batch
+// after the page map flips without double-applying a kernel.
 
 import (
 	"context"
@@ -42,6 +46,16 @@ type subReq struct {
 }
 
 func (r subReq) size() int { return r.dim[0] * r.dim[1] * r.dim[2] }
+
+// reqIndices projects a region batch to its page indices, for the
+// migration-fence pre-scan.
+func reqIndices(reqs []subReq) []int {
+	idx := make([]int, len(reqs))
+	for i, rq := range reqs {
+		idx[i] = rq.idx
+	}
+	return idx
+}
 
 // forEachRow visits the contiguous axis-3 runs of a sub-box within an
 // n1×n2×n3 page buffer.
@@ -150,14 +164,24 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 		if err := args.Err(); err != nil {
 			return err
 		}
-		touched := 0
+		// Decode the whole batch, then fence-scan it before touching any
+		// page: a batch refused by the migration fence applies nowhere, so
+		// the caller can replay it verbatim against the flipped map without
+		// double-applying a non-idempotent kernel.
+		regions := make([]subReq, 0, count)
 		for n := 0; n < count; n++ {
 			idx := args.Int()
 			lo, dim, err := a.decodeSubBox(args)
 			if err != nil {
 				return err
 			}
-			rq := subReq{idx: idx, lo: lo, dim: dim}
+			regions = append(regions, subReq{idx: idx, lo: lo, dim: dim})
+		}
+		if err := a.checkFenceBatch(reqIndices(regions)); err != nil {
+			return err
+		}
+		touched := 0
+		for _, rq := range regions {
 			if rq.size() == 0 {
 				continue
 			}
@@ -165,12 +189,12 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 			// (Fill stays write-only, as the per-page path it replaced).
 			wholePage := rq.size() == len(a.elems)
 			if !(k.Overwrites && wholePage) {
-				if err := a.loadPage(idx); err != nil {
+				if err := a.loadPage(rq.idx); err != nil {
 					return err
 				}
 			}
-			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) { k.Fn(row, params) })
-			if err := a.storePage(idx); err != nil {
+			forEachRow(a.elems, a.n2, a.n3, rq.lo, rq.dim, func(row []float64) { k.Fn(row, params) })
+			if err := a.storePage(rq.idx); err != nil {
 				return err
 			}
 			touched += rq.size()
@@ -236,8 +260,15 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 		if err := args.Err(); err != nil {
 			return err
 		}
-		var peerBuf []float64
-		touched := 0
+		// Decode-all-then-fence-scan, like applyK: the batch mutates no
+		// page unless every destination page is unfenced.
+		type binReq struct {
+			rq      subReq
+			peer    rmi.Ref
+			peerIdx int
+		}
+		regions := make([]binReq, 0, count)
+		dst := make([]int, 0, count)
 		for n := 0; n < count; n++ {
 			idx := args.Int()
 			lo, dim, err := a.decodeSubBox(args)
@@ -249,8 +280,16 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 			if err := args.Err(); err != nil {
 				return err
 			}
-			rq := subReq{idx: idx, lo: lo, dim: dim}
-			size := rq.size()
+			regions = append(regions, binReq{rq: subReq{idx: idx, lo: lo, dim: dim}, peer: peer, peerIdx: peerIdx})
+			dst = append(dst, idx)
+		}
+		if err := a.checkFenceBatch(dst); err != nil {
+			return err
+		}
+		var peerBuf []float64
+		touched := 0
+		for _, br := range regions {
+			size := br.rq.size()
 			if size == 0 {
 				continue
 			}
@@ -258,18 +297,18 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 				peerBuf = make([]float64, size)
 			}
 			vals := peerBuf[:size]
-			if err := a.fetchSub(env, peer, subReq{idx: peerIdx, lo: lo, dim: dim}, vals); err != nil {
+			if err := a.fetchSub(env, br.peer, subReq{idx: br.peerIdx, lo: br.rq.lo, dim: br.rq.dim}, vals); err != nil {
 				return err
 			}
-			if err := a.loadPage(idx); err != nil {
+			if err := a.loadPage(br.rq.idx); err != nil {
 				return err
 			}
 			pos := 0
-			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) {
+			forEachRow(a.elems, a.n2, a.n3, br.rq.lo, br.rq.dim, func(row []float64) {
 				k.Fn(row, vals[pos:pos+len(row)], params)
 				pos += len(row)
 			})
-			if err := a.storePage(idx); err != nil {
+			if err := a.storePage(br.rq.idx); err != nil {
 				return err
 			}
 			touched += size
@@ -344,6 +383,9 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 		}
 		k, err := kernel.LookupMap(name, params)
 		if err != nil {
+			return err
+		}
+		if err := a.checkFenceAll(); err != nil {
 			return err
 		}
 		for idx := 0; idx < a.numPages; idx++ {
@@ -450,6 +492,9 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 			local = append(local, subReq{idx: idx, lo: lo, dim: dim})
 			reqs = append(reqs, subReq{idx: peerIdx, lo: lo, dim: dim})
 		}
+		if err := a.checkFenceBatch(reqIndices(local)); err != nil {
+			return err
+		}
 		// One batched pull for the whole call, then scatter locally.
 		vals := make([][]float64, len(reqs))
 		for i, rq := range reqs {
@@ -488,16 +533,25 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 		if err := args.Err(); err != nil {
 			return err
 		}
+		pairs := make([][2]int, 0, count)
+		dsts := make([]int, 0, count)
 		for n := 0; n < count; n++ {
 			src := args.Int()
 			dst := args.Int()
 			if err := args.Err(); err != nil {
 				return err
 			}
-			if err := a.readInto(src, a.scratch); err != nil {
+			pairs = append(pairs, [2]int{src, dst})
+			dsts = append(dsts, dst)
+		}
+		if err := a.checkFenceBatch(dsts); err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if err := a.readInto(p[0], a.scratch); err != nil {
 				return err
 			}
-			if err := a.write(dst, a.scratch); err != nil {
+			if err := a.write(p[1], a.scratch); err != nil {
 				return err
 			}
 		}

@@ -452,6 +452,7 @@ func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgE
 	e.PutUvarint(opCall)
 	e.PutUvarint(ref.Object)
 	e.PutString(method)
+	e.PutVarint(callDeadline(ctx, o))
 	if args != nil {
 		if err := args(e); err != nil {
 			wire.PutEncoder(e)
@@ -489,6 +490,26 @@ func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgE
 	}
 }
 
+// callDeadline computes the absolute deadline stamped into the opCall
+// header (unix nanoseconds, 0 = none): the sooner of the per-call
+// timeout — converted from relative to absolute at encode time — and
+// the context's own deadline. The server sheds admitted requests whose
+// deadline has already passed instead of executing work nobody is
+// waiting for.
+func callDeadline(ctx context.Context, o *callOptions) int64 {
+	var dl time.Time
+	if o.timeout > 0 {
+		dl = time.Now().Add(o.timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	if dl.IsZero() {
+		return 0
+	}
+	return dl.UnixNano()
+}
+
 // CallAsync begins a method invocation and returns a Future immediately.
 // This is the primitive under the paper's §4 loop-splitting transformation.
 func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args ArgEncoder, opts ...CallOption) *Future {
@@ -505,6 +526,7 @@ func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args Arg
 	e.PutUvarint(opCall)
 	e.PutUvarint(ref.Object)
 	e.PutString(method)
+	e.PutVarint(callDeadline(ctx, &o))
 	if args != nil {
 		if err := args(e); err != nil {
 			wire.PutEncoder(e)

@@ -1,6 +1,7 @@
 package rmi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -47,6 +48,16 @@ var ErrDraining = errors.New("rmi: machine draining")
 // ErrDraining, never ErrOverloaded — "going away" is the stronger fact,
 // and retrying against a draining machine is futile.
 var ErrOverloaded = errors.New("rmi: machine overloaded")
+
+// ErrFenced is the sentinel for a write rejected by a migration fence:
+// the target page is mid-migration to another device, so mutating it
+// here would be lost when the page map flips. The write was applied
+// nowhere (fenced methods check their whole batch before touching any
+// page), so after the flip the caller re-locates the page in the fresh
+// map and re-issues — the park-and-replay the Array write path performs
+// automatically. Reads are never fenced. It crosses the wire as a
+// RemoteError whose Is matches this sentinel.
+var ErrFenced = errors.New("rmi: page fenced for migration")
 
 // MachineDownError reports that a machine is unreachable: its connection
 // was lost mid-call, every dial attempt failed, or the failure detector
@@ -156,6 +167,13 @@ func (e *RemoteError) Is(target error) bool {
 		return containsSentinel(e.Msg, ErrDraining)
 	case ErrOverloaded:
 		return containsSentinel(e.Msg, ErrOverloaded)
+	case ErrFenced:
+		return containsSentinel(e.Msg, ErrFenced)
+	case context.DeadlineExceeded:
+		// A server-side deadline shed (see the opCall deadline field)
+		// reports the same type the client's own timer would have: the
+		// request missed its deadline, whichever side noticed first.
+		return containsSentinel(e.Msg, context.DeadlineExceeded)
 	}
 	return false
 }

@@ -14,9 +14,14 @@ package rmi
 // priority: they are answers to work already done.
 //
 // Frames ride on transport.Conn messages; framing is the transport's job.
+// The opCall header carries the client's absolute deadline (unix
+// nanoseconds as a varint, 0 = none) after the method name: a request
+// whose deadline passes while it is parked in a mailbox is shed before
+// execution (typed context.DeadlineExceeded) instead of burning server
+// time on a result nobody is waiting for.
 const (
 	opNew    = 1 // class string, ctor args        -> object id
-	opCall   = 2 // object uvarint, method string, args -> results
+	opCall   = 2 // object uvarint, method string, deadline varint, args -> results
 	opDelete = 3 // object uvarint                 -> (empty)
 	opPing   = 4 // (empty)                        -> (empty)
 	opStat   = 5 // (empty)                        -> live uvarint, total uvarint

@@ -309,6 +309,7 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		start := time.Now()
 		objID := d.Uvarint()
 		method := d.StringBytes() // view: valid until d.Release
+		deadline := d.Varint()    // absolute unix nanos; 0 = none
 		if d.Err() != nil {
 			err := d.Err()
 			d.Release()
@@ -316,7 +317,7 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 			s.release(prio, start)
 			return
 		}
-		s.handleCall(conn, reqID, objID, method, d, prio, start)
+		s.handleCall(conn, reqID, objID, method, d, prio, start, deadline)
 	case opDelete:
 		objID := d.Uvarint()
 		err := d.Err()
@@ -476,14 +477,15 @@ func (s *Server) Object(id uint64) (any, bool) {
 // steady request stream enqueues, runs, and replies without allocating.
 // A zero me.fn marks the built-in ping (reply OK, nothing to run).
 type callTask struct {
-	s     *Server
-	conn  transport.Conn
-	entry *objEntry
-	me    methodEntry
-	args  *wire.Decoder // owns the request frame; nil for ping
-	reqID uint64
-	prio  Priority  // admission class of the work token held
-	start time.Time // admission instant, for the service-time EWMA
+	s        *Server
+	conn     transport.Conn
+	entry    *objEntry
+	me       methodEntry
+	args     *wire.Decoder // owns the request frame; nil for ping
+	reqID    uint64
+	prio     Priority  // admission class of the work token held
+	start    time.Time // admission instant, for the service-time EWMA
+	deadline int64     // client deadline, unix nanos (0 = none)
 }
 
 var callTaskPool = sync.Pool{New: func() any { return new(callTask) }}
@@ -499,8 +501,18 @@ func (t *callTask) run() {
 	reply.PutUvarint(statusOK)
 	var err error
 	if t.me.fn != nil {
-		s.counters.CallsServed.Add(1)
-		err = s.invoke(t.me.fn, t.entry, t.args, reply)
+		if t.deadline != 0 && time.Now().UnixNano() > t.deadline {
+			// The client's deadline passed while the request sat in the
+			// mailbox: nobody is waiting for the result, so executing it
+			// would be pure waste. Shed with the same typed error the
+			// client's own timer reports (errors.Is matches
+			// context.DeadlineExceeded across the wire).
+			s.counters.ReqExpired.Add(1)
+			err = fmt.Errorf("expired before execution: %v", context.DeadlineExceeded)
+		} else {
+			s.counters.CallsServed.Add(1)
+			err = s.invoke(t.me.fn, t.entry, t.args, reply)
+		}
 	}
 	t.args.Release() // handler done: recycle the request frame
 	if err != nil {
@@ -530,7 +542,7 @@ func (t *callTask) run() {
 // is what makes passing decoder views into handlers safe. It also owns
 // the admission work token taken in dispatch: tasks that reach run()
 // release it there, every early-exit path releases it here.
-func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder, prio Priority, start time.Time) {
+func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder, prio Priority, start time.Time, deadline int64) {
 	s.mu.Lock()
 	entry, ok := s.objects[objID]
 	s.mu.Unlock()
@@ -543,6 +555,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 
 	t := callTaskPool.Get().(*callTask)
 	t.s, t.conn, t.entry, t.reqID, t.prio, t.start = s, conn, entry, reqID, prio, start
+	t.deadline = deadline
 
 	// Built-in methods first: the ping task carries no method and no
 	// arguments, its completion through the mailbox is the point.

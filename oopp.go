@@ -8,6 +8,7 @@ import (
 	"oopp/internal/collection"
 	"oopp/internal/core"
 	"oopp/internal/disk"
+	"oopp/internal/elastic"
 	"oopp/internal/fft"
 	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
@@ -337,6 +338,49 @@ func RecoverArray(ctx context.Context, client *Client, store *Store, name string
 // RemoveCheckpoint deletes a checkpoint's blobs from the store.
 func RemoveCheckpoint(ctx context.Context, store *Store, name string, devices int) error {
 	return core.RemoveCheckpoint(ctx, store, name, devices)
+}
+
+// ---- Elastic cluster ---------------------------------------------------------
+//
+// Page placement is a live, mutable property of a running array: pages
+// migrate device-to-device under a brief per-page write fence (reads
+// never block; fenced writes park and replay after the map flip), a
+// load-aware rebalancer plans minimal moves, and machines join by
+// claiming a registry index or leave by draining every page off first.
+// See the "Elasticity" chapter of the package doc.
+
+type (
+	// Move is one migration-plan instruction: relocate Pages page
+	// copies from device From to device To.
+	Move = elastic.Move
+	// DeviceLoad is the rebalance planner's per-device observation:
+	// page occupancy, free slots, and served I/O.
+	DeviceLoad = elastic.DeviceLoad
+	// MigrateReport summarizes one Array.MigratePages or
+	// Array.DrainMachine run: pages and bytes moved, moves skipped.
+	MigrateReport = core.MigrateReport
+	// RebalanceConfig tunes Array.Rebalance (DryRun plans only).
+	RebalanceConfig = core.RebalanceConfig
+	// RebalanceReport carries the rebalancer's plan and what executing
+	// it actually moved.
+	RebalanceReport = core.RebalanceReport
+)
+
+// JoinNode starts a node on the next free machine index claimed
+// atomically from cfg.Registry — how a new machine enters a running
+// multi-process cluster without index coordination. Pair it with
+// BlockStorage.AddDevice and Array.Rebalance to flow pages onto it.
+func JoinNode(cfg NodeConfig) (*Node, error) { return cluster.JoinNode(cfg) }
+
+// BalancePlan computes the minimal-move plan leveling page occupancy
+// across devices, hottest donors first (Array.Rebalance observes the
+// cluster and runs this for you; use it directly for custom loads).
+func BalancePlan(loads []DeviceLoad) []Move { return elastic.Balance(loads) }
+
+// DrainPlan computes the complete-or-fail plan moving every page off
+// the drained device onto the emptiest survivors.
+func DrainPlan(loads []DeviceLoad, drain int) ([]Move, error) {
+	return elastic.DrainPlan(loads, drain)
 }
 
 // ---- Owner-computes kernels --------------------------------------------------
