@@ -82,7 +82,8 @@ func classify(col string) (dir direction, deterministic bool, usScale float64) {
 		strings.Contains(c, "vs "), strings.HasPrefix(c, "vs"),
 		strings.Contains(c, "ideal"), strings.Contains(c, "efficiency"):
 		return skip, false, 0
-	case strings.Contains(c, "mb/s"), strings.Contains(c, "ops/s"):
+	case strings.Contains(c, "mb/s"), strings.Contains(c, "ops/s"),
+		strings.Contains(c, "rows/s"):
 		return higherBetter, false, 0
 	case strings.Contains(c, "µs"), strings.Contains(c, "us/"):
 		return lowerBetter, false, 1

@@ -139,6 +139,71 @@
 // interfacing with non-kernel code (the FFT), or any transform that is
 // not expressible as an elementwise/reduction kernel over rows.
 //
+// # Kernel pipeline
+//
+// Each kernel collective costs one fan-out round and one page pass per
+// stage: chain Scale, then Axpy, then Sum and every device pays three
+// RMI round-trips and loads and stores every page three times. A
+// Pipeline fuses the chain. Register an ordered stage list once — each
+// stage names an already-registered Map, Binary, or Reduce kernel —
+// and Array.ApplyPipeline ships the whole chain in ONE batched RMI per
+// involved device; the device loads each page region once, walks the
+// stages in order while the data sits in the page buffer, and stores
+// once. Stage parameters travel out, fixed-width reduce partials travel
+// back, element data never moves.
+//
+//	oopp.RegisterPipeline("app.scaled-dot-step", oopp.Pipeline{Stages: []oopp.PipelineStage{
+//	        oopp.MapStage(oopp.KernelScale),    // u *= p
+//	        oopp.BinaryStage(oopp.KernelAxpy),  // u += a*v
+//	        oopp.ReduceStage(oopp.KernelSum),   // Σu
+//	}})
+//	res, _ := u.ApplyPipeline(ctx, dom, "app.scaled-dot-step",
+//	        []*oopp.Array{v},                   // one operand per binary stage, in order
+//	        []float64{0.5}, []float64{2}, nil)  // one param vector per stage
+//	total := res[0].Acc[0]                      // one StageResult per reduce stage
+//
+// Fusion changes the cost, not the semantics. Stages apply strictly in
+// chain order to each region, with the same row arithmetic the
+// standalone collectives use, so the outcome is bitwise-identical to
+// issuing the stages as separate Apply/ApplyBinary/Reduce calls — the
+// chain just stays resident between stages. The engine is
+// read-modify-write: pages load before the first stage touches them and
+// partial-page regions only write back the sub-box rows. The one
+// special case is a chain whose FIRST stage is an overwriting map
+// (Fill): whole-page regions then skip the load, exactly as Fill alone
+// does; an overwriting stage later in the chain gains nothing, since
+// the page is already resident. Under a replicated map, mutating stages
+// fan to every replica (the deterministic chain keeps replica banks
+// bitwise identical), while each page's reduce stages fold on exactly
+// one live replica — so replication never double-counts a partial, and
+// reduce results merge in device order, deterministic for associative
+// kernels. Failure tolerance follows the chain's shape: pure-map
+// chains degrade like Apply, pure-reduce chains retry surviving
+// replicas like Reduce, and a chain that both mutates and reduces
+// returns the failure rather than risk re-applying its mutations.
+//
+// Migrating a chained-collective hot loop onto the fused path:
+//
+//	chained (one RMI round per stage)         fused (one RMI round per chain)
+//	----------------------------------------  ----------------------------------------------
+//	u.Scale(ctx, dom, 0.5)                    register Pipeline{MapStage(KernelScale),
+//	u.Axpy(ctx, dom, 2, v)                      BinaryStage(KernelAxpy), ReduceStage(KernelSum)}
+//	s, _ := u.Sum(ctx, dom)                   res, _ := u.ApplyPipeline(ctx, dom, name,
+//	                                            []*oopp.Array{v}, []float64{0.5}, []float64{2}, nil)
+//	u.Apply(ctx, dom, "app.clamp", 0, 100)    MapStage("app.clamp") — user kernels chain too
+//	acc, n, _ := u.Reduce(ctx, dom, name)     res[i].Acc, res[i].N — i-th reduce stage, stage order
+//
+// The same release also overlapped JacobiOwner's halo traffic: each
+// device posts its edge-plane pulls asynchronously on the concurrent
+// read lane, sweeps interior planes while the halos fly, and finishes
+// the boundary planes on arrival. Overlap reorders when work happens,
+// never a value — JacobiOwnerSync keeps the fetch-then-sweep reference
+// schedule, pinned bitwise-equal in the tests, and examples/heat3d
+// exposes both (-synchalo). Experiment E13 measures all of it: fused
+// chains run one RMI per device per iteration (a third of the unfused
+// messages, ≥2× faster on a latency-dominated link) and overlapped
+// sweeps shave µs/iter at identical traffic.
+//
 // # Migrating from the pre-context API
 //
 // The old stringly surface maps onto the typed one mechanically:

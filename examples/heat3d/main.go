@@ -11,7 +11,13 @@
 // Array clients, computes locally, and scatters the updates back —
 // O(N³) elements through the client per sweep.
 //
-//	go run ./examples/heat3d [-n 32] [-iters 50] [-owner=false] [-clients 4]
+// Owner-computes sweeps overlap their halo pulls by default: each
+// device posts its edge-plane reads asynchronously and sweeps the
+// interior while they fly. -synchalo selects the fetch-every-edge-
+// then-sweep reference schedule instead — same results to the bit,
+// just no overlap.
+//
+//	go run ./examples/heat3d [-n 32] [-iters 50] [-owner=false] [-synchalo] [-clients 4]
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 	nFlag := flag.Int("n", 32, "grid extent per axis (multiple of 8)")
 	iters := flag.Int("iters", 50, "Jacobi sweeps")
 	owner := flag.Bool("owner", true, "owner-computes sweeps on the devices; false = client-side path")
+	synchalo := flag.Bool("synchalo", false, "synchronous halo pulls instead of overlapped (owner path only)")
 	clients := flag.Int("clients", 4, "parallel Array clients (client-side path only)")
 	flag.Parse()
 	N := *nFlag
@@ -89,8 +96,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	path := fmt.Sprintf("owner-computes sweeps on %d devices", devices)
-	if !*owner {
+	path := fmt.Sprintf("owner-computes sweeps on %d devices, overlapped halos", devices)
+	switch {
+	case *owner && *synchalo:
+		path = fmt.Sprintf("owner-computes sweeps on %d devices, synchronous halos", devices)
+	case !*owner:
 		path = fmt.Sprintf("client-side sweeps, %d clients", *clients)
 	}
 	fmt.Printf("heat3d: %d^3 grid on %d storage devices, %s\n", N, devices, path)
@@ -99,9 +109,12 @@ func main() {
 		steps := min(batch, *iters-done)
 		var res float64
 		var err error
-		if *owner {
+		switch {
+		case *owner && *synchalo:
+			res, err = oopp.JacobiOwnerSync(ctx, u, steps)
+		case *owner:
 			res, err = oopp.JacobiOwner(ctx, u, steps)
-		} else {
+		default:
 			res, err = oopp.Jacobi(ctx, u, scratch, steps, *clients)
 		}
 		if err != nil {

@@ -33,8 +33,24 @@ import (
 // problem on a, entirely owner-computes, and returns the final residual
 // (max |update|). It is semantically identical to Jacobi — the same
 // stencil arithmetic in the same order — differing only in where the
-// computation runs and what moves.
+// computation runs and what moves. Devices overlap their halo pulls
+// with the interior sweep (posting the reads, computing on the planes
+// they already hold, finishing the boundary planes on arrival); the
+// overlap changes only the schedule, never a value, so the result is
+// bitwise-equal to [JacobiOwnerSync].
 func JacobiOwner(ctx context.Context, a *Array, iters int) (float64, error) {
+	return jacobiOwner(ctx, a, iters, false)
+}
+
+// JacobiOwnerSync is JacobiOwner with the fetch-then-sweep reference
+// schedule: every device waits for its halo planes before any stencil
+// arithmetic. It exists as the bitwise baseline the overlapped path is
+// pinned against (and for measuring what the overlap buys in E13).
+func JacobiOwnerSync(ctx context.Context, a *Array, iters int) (float64, error) {
+	return jacobiOwner(ctx, a, iters, true)
+}
+
+func jacobiOwner(ctx context.Context, a *Array, iters int, syncHalo bool) (float64, error) {
 	N1, N2, N3 := a.Dims()
 	if N1 < 3 || N2 < 3 || N3 < 3 {
 		return 0, fmt.Errorf("core: Jacobi needs at least 3 points per axis, have %dx%dx%d", N1, N2, N3)

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"oopp/internal/core"
+)
+
+// The halo-overlap pin: JacobiOwner (pulls posted asynchronously,
+// interior swept while edges fly, boundary planes finished on arrival)
+// must agree BITWISE — residual and every element — with
+// JacobiOwnerSync's fetch-then-sweep reference schedule. Overlap may
+// only change when work happens, never a value.
+func TestJacobiOwnerOverlapBitwiseEqualsSync(t *testing.T) {
+	const N, n = 8, 2
+	// devices=2: P1(4) = 2×devices, remote and same-device halos.
+	// devices=3: P1(4) > devices — planes 0 and 3 share a device, so the
+	// overlap path also covers the co-located (latency-free) pull.
+	for _, devices := range []int{2, 3} {
+		for _, iters := range []int{1, 2, 5} {
+			over, doneO := buildOwnerArray(t, devices, N, n)
+			sync, doneS := buildOwnerArray(t, devices, N, n)
+			u := seedHotFace(N)
+			full := core.Box(N, N, N)
+			if err := over.Write(bg, u, full); err != nil {
+				t.Fatal(err)
+			}
+			if err := sync.Write(bg, u, full); err != nil {
+				t.Fatal(err)
+			}
+			resO, err := core.JacobiOwner(bg, over, iters)
+			if err != nil {
+				t.Fatalf("devices=%d iters=%d overlap: %v", devices, iters, err)
+			}
+			resS, err := core.JacobiOwnerSync(bg, sync, iters)
+			if err != nil {
+				t.Fatalf("devices=%d iters=%d sync: %v", devices, iters, err)
+			}
+			if math.Float64bits(resO) != math.Float64bits(resS) {
+				t.Fatalf("devices=%d iters=%d residual: overlap %v, sync %v", devices, iters, resO, resS)
+			}
+			gotO := make([]float64, full.Size())
+			gotS := make([]float64, full.Size())
+			if err := over.Read(bg, gotO, full); err != nil {
+				t.Fatal(err)
+			}
+			if err := sync.Read(bg, gotS, full); err != nil {
+				t.Fatal(err)
+			}
+			for i := range gotO {
+				if math.Float64bits(gotO[i]) != math.Float64bits(gotS[i]) {
+					t.Fatalf("devices=%d iters=%d element %d: overlap %v, sync %v", devices, iters, i, gotO[i], gotS[i])
+				}
+			}
+			doneO()
+			doneS()
+		}
+	}
+}

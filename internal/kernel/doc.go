@@ -1,0 +1,109 @@
+// Package kernel is the compute vocabulary of the owner-computes array
+// surface: a process-global registry of named kernels that execute
+// *inside the storage device processes that own the pages* (the paper's
+// "moving the computation to the data", §3, promoted from a single
+// hand-written method to an extensible protocol).
+//
+// # Registry model
+//
+// A kernel is identified on the wire by a stable name plus a small
+// vector of float64 parameters — the whole descriptor fits in a few
+// bytes, so shipping the computation costs nothing next to shipping the
+// data it replaces. Both sides of a deployment register the same
+// kernels at init time (exactly like rmi class registration: in a
+// multi-process cluster every machine runs the same binary, so the
+// registry is shared by construction); the client validates the name
+// before issuing, the device resolves it again before executing.
+// Registration is panic-on-duplicate — kernel names are wire
+// identifiers and must be stable for the life of a deployment.
+//
+// The five shapes live in independent namespaces: a map kernel and a
+// reduce kernel may share a name without conflict. [RegisterMap],
+// [RegisterReduce], [RegisterBinary], [RegisterBinaryReduce] and
+// [RegisterPipeline] install them; the matching Lookup functions
+// ([LookupMap], [LookupReduce], [LookupBinary], [LookupBinaryReduce],
+// [LookupPipeline]) resolve a name AND validate the parameter vector in
+// one step.
+//
+// # Kernel shapes
+//
+// Four elementary shapes cover the array algebra:
+//
+//   - [Map]: an in-place transform of a contiguous run of elements
+//     (fill, scale, user transforms via Array.Apply).
+//   - [Reduce]: a fixed-width accumulator folded over runs device-side,
+//     partials merged client-side (sum, minmax, Array.Reduce). Merge
+//     must be associative: partials combine in device order, so a
+//     merely-associative merge still reduces deterministically.
+//   - [Binary]: an in-place transform of a destination run given the
+//     co-indexed source run pulled from a peer device (axpy, copy).
+//   - [BinaryReduce]: a reduction over co-indexed run pairs (dot).
+//
+// The fifth shape composes them: a [Pipeline] is an ordered chain of
+// map/binary/reduce [Stage] values registered under its own name and
+// executed device-side as ONE page pass — each page region is loaded
+// once, every stage applied in order, and stored once, over one batched
+// RMI per device. A chain of k Apply/Reduce calls costs k RMIs and k
+// page load+store cycles per device; the fused pipeline costs one of
+// each, which is where its throughput win comes from (operator-oriented
+// composition; see the "Kernel pipeline" chapter in the root package
+// doc for client-side semantics and the migration table).
+//
+// # Parameter-arity validation
+//
+// Every kernel declares MinParams, the least number of float64
+// parameters its function consumes. Lookup validates the caller's
+// vector against it via [CheckParams] — client-side at issue time and
+// device-side at execution time — so a forgotten parameter is a typed
+// error on the calling machine, never an index-out-of-range panic
+// inside a storage device. Pipelines validate per stage: params[i]
+// belongs to Stages[i], and [LookupPipeline] requires exactly one
+// vector per stage (nil is fine for parameterless stages).
+//
+// # Row engine
+//
+// Kernels operate on contiguous element runs, not single elements, so
+// the per-call function overhead amortizes over the run length. The
+// device engine is stride-aware: when a sub-box covers whole rows of a
+// page it coalesces them into longer runs — up to the full page as one
+// flat []float64 slab — so a kernel's inner loop walks memory
+// sequentially and auto-vectorizes. Coalescing preserves element order
+// exactly, which keeps sequential folds (sum, dot) bitwise identical to
+// the row-at-a-time schedule. Kernel functions must therefore accept
+// runs of ANY length ≥ 1 and must not assume a run is one page row.
+//
+// # Builtin catalog
+//
+// Map kernels (row[i] op= p...):
+//
+//	fill   row[i] = p[0]    Overwrites: full pages skip the prior load
+//	scale  row[i] *= p[0]   scale(0) zeroes; scale(1) is the identity
+//	addc   row[i] += p[0]
+//
+// Reduce kernels (identity → accumulator):
+//
+//	sum     [0] → [Σv]
+//	minmax  [+Inf, -Inf] → [min, max]
+//	sumsq   [0] → [Σv²]   (Norm2 is its square root)
+//	absmax  [0] → [max|v|]
+//
+// Binary kernels (dst[i] op= src[i]):
+//
+//	axpy  dst[i] += p[0]*src[i]
+//	copy  dst[i] = src[i]
+//	mul   dst[i] *= src[i]
+//
+// BinaryReduce kernels:
+//
+//	dot  [0] → [Σ a[i]*b[i]]
+//
+// Edge cases the engine guarantees around this catalog: reduction
+// kernels never see empty sub-boxes — the device engine skips them and
+// reports an element count alongside each partial, so an identity
+// accumulator (+Inf for min, 0 for sum) cannot poison a combined result
+// (the ArrayPage.MinMax empty-page fix, done structurally). The same
+// skip applies to reduce stages inside a fused pipeline: a stage that
+// folded zero rows reports N == 0 and its identity partial is never
+// merged. ±Inf and NaN element values pass through map kernels
+// untouched and fold by IEEE rules (math.Min/math.Max order NaN last).
+package kernel

@@ -1,35 +1,3 @@
-// Package kernel is the compute vocabulary of the owner-computes array
-// surface: a process-global registry of named kernels that execute
-// *inside the storage device processes that own the pages* (the paper's
-// "moving the computation to the data", §3, promoted from a single
-// hand-written method to an extensible protocol).
-//
-// A kernel is identified on the wire by a stable name plus a small
-// vector of float64 parameters — the whole descriptor fits in a few
-// bytes, so shipping the computation costs nothing next to shipping the
-// data it replaces. Both sides of a deployment register the same
-// kernels at init time (exactly like rmi class registration: in a
-// multi-process cluster every machine runs the same binary, so the
-// registry is shared by construction); the client validates the name
-// before issuing, the device resolves it again before executing.
-//
-// Four kernel shapes cover the array algebra:
-//
-//   - Map: an in-place transform of a contiguous row of elements
-//     (Fill, Scale, user transforms via Array.Apply).
-//   - Reduce: a fixed-width accumulator folded over rows device-side,
-//     partials merged client-side (Sum, MinMax, Norm2, Array.Reduce).
-//   - Binary: an in-place transform of a destination row given a
-//     co-indexed source row pulled from a peer device (Axpy, copy).
-//   - BinaryReduce: a reduction over co-indexed row pairs (Dot).
-//
-// Kernels operate on rows (the contiguous axis-3 runs of a sub-box),
-// not single elements, so the per-call function overhead amortizes over
-// the run length. Reduction kernels never see empty sub-boxes — the
-// device engine skips them and reports an element count alongside each
-// partial, so an identity accumulator (+Inf for min, 0 for sum) cannot
-// poison a combined result (the ArrayPage.MinMax empty-page fix, done
-// structurally).
 package kernel
 
 import (

@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StageKind selects which registry a pipeline stage's name resolves in.
+type StageKind int
+
+const (
+	// StageMap applies a registered map kernel in place.
+	StageMap StageKind = iota
+	// StageBinary applies a registered two-operand kernel; the second
+	// operand row is pulled from a peer device per region.
+	StageBinary
+	// StageReduce folds a registered reduction kernel over the region's
+	// values *as they stand at this point of the chain* and reports a
+	// (count, accumulator) partial per device.
+	StageReduce
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case StageMap:
+		return "map"
+	case StageBinary:
+		return "binary"
+	case StageReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("StageKind(%d)", int(k))
+	}
+}
+
+// Stage names one step of a fused pipeline: a kind and the kernel name
+// it resolves to (in that kind's registry).
+type Stage struct {
+	Kind StageKind
+	Name string
+}
+
+// MapStage, BinaryStage and ReduceStage are the Stage constructors.
+func MapStage(name string) Stage    { return Stage{Kind: StageMap, Name: name} }
+func BinaryStage(name string) Stage { return Stage{Kind: StageBinary, Name: name} }
+func ReduceStage(name string) Stage { return Stage{Kind: StageReduce, Name: name} }
+
+// Pipeline is the fused-kernel shape: an ordered chain of stages
+// executed device-side as ONE page pass — each page region is loaded
+// once, every stage applied to it in order, and stored once — over one
+// batched RMI per device, where the equivalent chain of Apply/Reduce
+// calls costs one RMI and one page load+store per stage.
+//
+// A pipeline is registered under a stable wire name exactly like the
+// four elementary shapes; every stage must already be registered in its
+// own registry at RegisterPipeline time, so a pipeline can never name a
+// kernel that only one side of the wire knows.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// Mutates reports whether the pipeline writes pages back (it contains
+// at least one map or binary stage). A pure-reduce pipeline is
+// read-only and never stores.
+func (p Pipeline) Mutates() bool {
+	for _, s := range p.Stages {
+		if s.Kind != StageReduce {
+			return true
+		}
+	}
+	return false
+}
+
+// Reduces counts the reduce stages — the number of (count, accumulator)
+// partials each device reports per call.
+func (p Pipeline) Reduces() int {
+	n := 0
+	for _, s := range p.Stages {
+		if s.Kind == StageReduce {
+			n++
+		}
+	}
+	return n
+}
+
+// Binaries counts the binary stages — the number of peer operands each
+// region of a fused batch must carry.
+func (p Pipeline) Binaries() int {
+	n := 0
+	for _, s := range p.Stages {
+		if s.Kind == StageBinary {
+			n++
+		}
+	}
+	return n
+}
+
+// ResolvedStage is a stage with its kernel resolved — the executable
+// form the device engine walks. Exactly one of Map/Bin/Red is live,
+// selected by Kind.
+type ResolvedStage struct {
+	Kind StageKind
+	Name string
+	Map  Map
+	Bin  Binary
+	Red  Reduce
+}
+
+var (
+	pipeMu    sync.RWMutex
+	pipelines = map[string]Pipeline{}
+)
+
+// RegisterPipeline installs a fused pipeline under name. It panics on a
+// duplicate name, an empty chain, or a stage whose kernel is not yet
+// registered in its kind's registry — pipelines compose only the shared
+// vocabulary, so both sides of the wire resolve them identically.
+func RegisterPipeline(name string, p Pipeline) {
+	if len(p.Stages) == 0 {
+		panic(fmt.Sprintf("kernel: RegisterPipeline(%q): empty stage chain", name))
+	}
+	for i, s := range p.Stages {
+		var ok bool
+		mu.RLock()
+		switch s.Kind {
+		case StageMap:
+			_, ok = maps[s.Name]
+		case StageBinary:
+			_, ok = binaries[s.Name]
+		case StageReduce:
+			_, ok = reduces[s.Name]
+		}
+		mu.RUnlock()
+		if !ok {
+			panic(fmt.Sprintf("kernel: RegisterPipeline(%q): stage %d names unregistered %s kernel %q", name, i, s.Kind, s.Name))
+		}
+	}
+	pipeMu.Lock()
+	defer pipeMu.Unlock()
+	if _, dup := pipelines[name]; dup {
+		panic(fmt.Sprintf("kernel: RegisterPipeline(%q): duplicate pipeline", name))
+	}
+	pipelines[name] = p
+}
+
+// LookupPipeline resolves a pipeline by name and validates the
+// per-stage parameter vectors against each stage kernel's declared
+// arity — params[i] belongs to Stages[i] and must hold at least its
+// MinParams values. Like the elementary lookups it runs on both sides
+// of the wire, so a missing stage parameter fails at the client before
+// any RMI is issued and again at the device before any page is touched.
+func LookupPipeline(name string, params [][]float64) (Pipeline, []ResolvedStage, error) {
+	pipeMu.RLock()
+	p, ok := pipelines[name]
+	pipeMu.RUnlock()
+	if !ok {
+		return Pipeline{}, nil, fmt.Errorf("kernel: unknown pipeline %q", name)
+	}
+	if len(params) != len(p.Stages) {
+		return Pipeline{}, nil, fmt.Errorf("kernel: pipeline %q has %d stages, got %d parameter vectors", name, len(p.Stages), len(params))
+	}
+	resolved := make([]ResolvedStage, len(p.Stages))
+	for i, s := range p.Stages {
+		rs := ResolvedStage{Kind: s.Kind, Name: s.Name}
+		var err error
+		switch s.Kind {
+		case StageMap:
+			rs.Map, err = LookupMap(s.Name, params[i])
+		case StageBinary:
+			rs.Bin, err = LookupBinary(s.Name, params[i])
+		case StageReduce:
+			rs.Red, err = LookupReduce(s.Name, params[i])
+		default:
+			err = fmt.Errorf("kernel: pipeline %q stage %d has unknown kind %d", name, i, int(s.Kind))
+		}
+		if err != nil {
+			return Pipeline{}, nil, fmt.Errorf("kernel: pipeline %q stage %d: %w", name, i, err)
+		}
+		resolved[i] = rs
+	}
+	return p, resolved, nil
+}
+
+// PipelineOverwrites reports whether the fused pass may skip the page
+// load for whole-page regions: only when the FIRST stage is a map
+// kernel that overwrites every element — later stages then read what
+// earlier stages wrote, never the stale page.
+func PipelineOverwrites(stages []ResolvedStage) bool {
+	return len(stages) > 0 && stages[0].Kind == StageMap && stages[0].Map.Overwrites
+}

@@ -732,6 +732,7 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		return a.write(localIdx, a.scratch)
 	})
 	registerKernelMethods(c)
+	registerPipelineMethod(c)
 	registerOwnerMethods(c)
 	return c
 }

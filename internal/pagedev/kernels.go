@@ -68,11 +68,50 @@ func forEachRow(elems []float64, n2, n3 int, lo, dim [3]int, fn func(row []float
 	}
 }
 
+// forEachRun is the stride-aware row engine: it visits the same
+// elements as forEachRow, in the same order, but coalesces rows that
+// are adjacent in memory into maximal contiguous runs — whole j-planes
+// when the box spans full axis-3 rows, the whole page as one flat
+// []float64 slab when it spans full planes. Kernels then run one long
+// sequential loop instead of dim[0]*dim[1] short ones: the per-call
+// overhead vanishes and the inner loops auto-vectorize. Element order
+// is preserved exactly, so sequential folds (sum, dot) stay bitwise
+// identical to the row-at-a-time schedule.
+func forEachRun(elems []float64, n2, n3 int, lo, dim [3]int, fn func(run []float64)) {
+	if lo[2] == 0 && dim[2] == n3 {
+		if lo[1] == 0 && dim[1] == n2 {
+			off := lo[0] * n2 * n3
+			fn(elems[off : off+dim[0]*n2*n3])
+			return
+		}
+		for i := 0; i < dim[0]; i++ {
+			off := ((lo[0]+i)*n2 + lo[1]) * n3
+			fn(elems[off : off+dim[1]*n3])
+		}
+		return
+	}
+	forEachRow(elems, n2, n3, lo, dim, fn)
+}
+
 // gatherRowsFromBytes unpacks just the rows of a sub-box straight from
 // little-endian page bytes into dst, row-major — the halo-serving hot
 // path converts O(box) elements, not O(page) (a halo plane is 1/n1 of
-// its page).
+// its page). Contiguous boxes (full axis-3 rows) convert as one run per
+// plane instead of one per row, same stride-aware coalescing as
+// forEachRun.
 func gatherRowsFromBytes(page []byte, n2, n3 int, lo, dim [3]int, dst []float64) error {
+	if lo[2] == 0 && dim[2] == n3 {
+		pos := 0
+		runLen := dim[1] * n3
+		for i := 0; i < dim[0]; i++ {
+			off := ((lo[0]+i)*n2 + lo[1]) * n3
+			if err := BytesToFloat64s(dst[pos:pos+runLen], page[8*off:8*(off+runLen)]); err != nil {
+				return err
+			}
+			pos += runLen
+		}
+		return nil
+	}
 	pos := 0
 	for i := 0; i < dim[0]; i++ {
 		for j := 0; j < dim[1]; j++ {
@@ -145,6 +184,44 @@ func (a *arrayPageDevice) fetchSub(env *rmi.Env, peer rmi.Ref, rq subReq, dst []
 	return a.fetchSubBatch(env, peer, []subReq{rq}, [][]float64{dst})
 }
 
+// fetchSubBatchAsync begins a fetchSubBatch and returns a wait
+// function that fills dst and reports the outcome — the overlap half
+// of the halo lane: the caller posts its pulls, computes on data it
+// already holds while the peer's concurrent readSubBatch serves them,
+// and only joins when it needs the edges. Co-located peers have no
+// latency to hide, so their pull completes before returning and the
+// wait is a no-op.
+func (a *arrayPageDevice) fetchSubBatchAsync(env *rmi.Env, peer rmi.Ref, reqs []subReq, dst [][]float64) (wait func() error) {
+	done := func(err error) func() error { return func() error { return err } }
+	if len(reqs) == 0 {
+		return done(nil)
+	}
+	if _, ok := localArrayDevice(env, peer); ok {
+		return done(a.fetchSubBatch(env, peer, reqs, dst))
+	}
+	if env.Client == nil {
+		return done(fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine))
+	}
+	fut := env.Client.CallAsync(context.Background(), peer, "readSubBatch", func(e *wire.Encoder) error {
+		e.PutInt(len(reqs))
+		for _, rq := range reqs {
+			putSubBox(e, rq.idx, SubBox{Lo: rq.lo, Dim: rq.dim})
+		}
+		return nil
+	})
+	return func() error {
+		d, err := fut.Wait(context.Background())
+		if err != nil {
+			return err
+		}
+		defer d.Release()
+		for i := range reqs {
+			d.Float64sInto(dst[i])
+		}
+		return d.Err()
+	}
+}
+
 // registerKernelMethods installs the kernel execution protocol on the
 // ArrayPageDevice class.
 func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
@@ -193,7 +270,7 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 					return err
 				}
 			}
-			forEachRow(a.elems, a.n2, a.n3, rq.lo, rq.dim, func(row []float64) { k.Fn(row, params) })
+			forEachRun(a.elems, a.n2, a.n3, rq.lo, rq.dim, func(run []float64) { k.Fn(run, params) })
 			if err := a.storePage(rq.idx); err != nil {
 				return err
 			}
@@ -236,7 +313,7 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 			if err := a.loadPage(idx); err != nil {
 				return err
 			}
-			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) { k.Row(acc, row, params) })
+			forEachRun(a.elems, a.n2, a.n3, lo, dim, func(run []float64) { k.Row(acc, run, params) })
 			folded += rq.size()
 		}
 		reply.PutVarint(int64(folded))
@@ -304,9 +381,9 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 				return err
 			}
 			pos := 0
-			forEachRow(a.elems, a.n2, a.n3, br.rq.lo, br.rq.dim, func(row []float64) {
-				k.Fn(row, vals[pos:pos+len(row)], params)
-				pos += len(row)
+			forEachRun(a.elems, a.n2, a.n3, br.rq.lo, br.rq.dim, func(run []float64) {
+				k.Fn(run, vals[pos:pos+len(run)], params)
+				pos += len(run)
 			})
 			if err := a.storePage(br.rq.idx); err != nil {
 				return err
@@ -362,9 +439,9 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 				return err
 			}
 			pos := 0
-			forEachRow(a.elems, a.n2, a.n3, lo, dim, func(row []float64) {
-				k.Row(acc, row, vals[pos:pos+len(row)], params)
-				pos += len(row)
+			forEachRun(a.elems, a.n2, a.n3, lo, dim, func(run []float64) {
+				k.Row(acc, run, vals[pos:pos+len(run)], params)
+				pos += len(run)
 			})
 			folded += size
 		}
@@ -512,9 +589,9 @@ func registerKernelMethods(c *rmi.Class[*arrayPageDevice]) {
 				return err
 			}
 			pos := 0
-			forEachRow(a.elems, a.n2, a.n3, lr.lo, lr.dim, func(row []float64) {
-				copy(row, vals[i][pos:pos+len(row)])
-				pos += len(row)
+			forEachRun(a.elems, a.n2, a.n3, lr.lo, lr.dim, func(run []float64) {
+				copy(run, vals[i][pos:pos+len(run)])
+				pos += len(run)
 			})
 			if err := a.storePage(lr.idx); err != nil {
 				return err

@@ -30,6 +30,27 @@ type BinaryRegion struct {
 	PeerIndex int
 }
 
+// PipePeer names the second operand of one binary stage of a fused
+// pipeline for one region: the peer device process and the page index
+// holding the co-indexed box.
+type PipePeer struct {
+	Ref   rmi.Ref
+	Index int
+}
+
+// PipeRegion addresses one sub-box of one page for a fused pipeline
+// call. Fold gates the pipeline's reduce stages for this region: under
+// replication every replica executes the mutating stages, but exactly
+// one live replica per page sets Fold and reports partials, so the
+// client-side merge never double-counts. Peers carries one operand per
+// binary stage of the pipeline, in stage order.
+type PipeRegion struct {
+	Index int
+	Box   SubBox
+	Fold  bool
+	Peers []PipePeer
+}
+
 // PullRegion names a local region and the peer page it is pulled from
 // (the box is shared: conformant arrays tile identically).
 type PullRegion struct {
@@ -64,6 +85,38 @@ func EncodeApplyBinaryK(e *wire.Encoder, name string, params []float64, regions 
 		e.PutRef(r.Peer)
 		e.PutInt(r.PeerIndex)
 	}
+}
+
+// EncodeApplyPipelineK packs an applyPipelineK request: pipeline name,
+// one parameter vector per stage, and the region batch with fold flags
+// and per-binary-stage peer operands.
+func EncodeApplyPipelineK(e *wire.Encoder, name string, params [][]float64, regions []PipeRegion) {
+	e.PutString(name)
+	e.PutInt(len(params))
+	for _, p := range params {
+		e.PutFloat64s(p)
+	}
+	e.PutInt(len(regions))
+	for _, r := range regions {
+		putSubBox(e, r.Index, r.Box)
+		e.PutBool(r.Fold)
+		for _, pe := range r.Peers {
+			e.PutRef(pe.Ref)
+			e.PutInt(pe.Index)
+		}
+	}
+}
+
+// DecodePipelinePartials reads an applyPipelineK reply: the element
+// count touched, then one ReducePartial per reduce stage in stage
+// order.
+func DecodePipelinePartials(d *wire.Decoder, reduces int) (touched int64, partials []ReducePartial, err error) {
+	touched = d.Varint()
+	partials = make([]ReducePartial, reduces)
+	for i := range partials {
+		partials[i] = ReducePartial{N: d.Varint(), Acc: d.Float64s()}
+	}
+	return touched, partials, d.Err()
 }
 
 // EncodeKernelAll packs an applyAllK/reduceAllK request.
@@ -158,6 +211,22 @@ func (d *ArrayDevice) ReduceBinaryK(ctx context.Context, name string, params []f
 	return DecodeReducePartial(dec)
 }
 
+// ApplyPipelineK runs a registered fused pipeline over the listed
+// regions with one remote call: each region's page is loaded once,
+// every stage applied in order, and stored once. reduces is the
+// pipeline's reduce-stage count (it sizes the reply decode).
+func (d *ArrayDevice) ApplyPipelineK(ctx context.Context, name string, params [][]float64, regions []PipeRegion, reduces int) (int64, []ReducePartial, error) {
+	dec, err := d.client.Call(ctx, d.ref, "applyPipelineK", func(e *wire.Encoder) error {
+		EncodeApplyPipelineK(e, name, params, regions)
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer dec.Release()
+	return DecodePipelinePartials(dec, reduces)
+}
+
 // ReadSubBatch fetches the row-packed values of each region (dst[i]
 // must have Box.Size() elements). Served by a concurrent method: it
 // answers even while the device is inside a serial method.
@@ -215,12 +284,15 @@ type JacobiHalo struct {
 // JacobiPlaneArgs describes one page-plane sweep (see the jacobiPlane
 // method): bank offsets, the slab's global position, the page grid, the
 // plane's page indices, and the neighbour planes (nil at the array
-// boundary).
+// boundary). SyncHalo forces the fetch-then-sweep reference schedule;
+// the default (false) posts halo pulls asynchronously and sweeps the
+// interior while they are in flight — bitwise-equal by construction.
 type JacobiPlaneArgs struct {
 	SrcOff, DstOff int
 	QBase          int
 	N1, N2, N3     int
 	P2, P3         int
+	SyncHalo       bool
 	Pages          []int
 	Lo, Hi         *JacobiHalo
 }
@@ -240,6 +312,7 @@ func (d *ArrayDevice) JacobiPlaneAsync(ctx context.Context, a JacobiPlaneArgs) *
 		e.PutInt(a.N3)
 		e.PutInt(a.P2)
 		e.PutInt(a.P3)
+		e.PutBool(a.SyncHalo)
 		for _, p := range a.Pages {
 			e.PutInt(p)
 		}

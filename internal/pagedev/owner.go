@@ -4,12 +4,16 @@ package pagedev
 // executed inside the storage devices that own the slabs. Each call
 // sweeps one page-plane (all pages sharing the first page-grid
 // coordinate, which a plane-aligned PageMap stores on one device): the
-// device assembles its slab plus one halo plane pulled from each
-// neighbouring device (served by their concurrent readSubBatch, so
-// neighbours mid-sweep still answer), applies the stencil, and writes
-// the result into a second page bank on the same device. Per sweep,
-// only the O(N²) halo planes and an O(1) residual scalar cross the
-// network — against the client-side path's O(N³) page traffic.
+// device posts its halo pulls (served by the neighbours' concurrent
+// readSubBatch, so neighbours mid-sweep still answer), assembles its
+// slab and sweeps the interior planes while the edges are in flight,
+// then finishes the boundary planes when the halos arrive, writing the
+// result into a second page bank on the same device. Per sweep, only
+// the O(N²) halo planes and an O(1) residual scalar cross the network —
+// against the client-side path's O(N³) page traffic — and with overlap
+// the halo round-trip costs nothing unless it outlasts the interior
+// sweep. A sync flag forces the fetch-then-sweep schedule (the
+// reference the overlap path is pinned bitwise-equal against).
 
 import (
 	"fmt"
@@ -20,7 +24,7 @@ import (
 )
 
 func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
-	// jacobiPlane(srcOff, dstOff, qbase, N1, N2, N3, P2, P3,
+	// jacobiPlane(srcOff, dstOff, qbase, N1, N2, N3, P2, P3, sync,
 	//             P2*P3×pageIdx,
 	//             hasLo [loRef, P2*P3×loIdx],
 	//             hasHi [hiRef, P2*P3×hiIdx]):
@@ -33,6 +37,7 @@ func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
 		qbase := args.Int()
 		N1, N2, N3 := args.Int(), args.Int(), args.Int()
 		P2, P3 := args.Int(), args.Int()
+		sync := args.Bool()
 		if err := args.Err(); err != nil {
 			return err
 		}
@@ -68,8 +73,9 @@ func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
 			return fmt.Errorf("pagedev: jacobiPlane halo presence inconsistent with slab [%d,%d) of [0,%d)", qbase, qbase+n1, N1)
 		}
 
-		// Assemble the source slab: n1 global planes plus the halo
-		// planes, indexed slab[(si*N2+gj)*N3+gk].
+		// The slab holds n1 global planes plus the halo planes, indexed
+		// slab[(si*N2+gj)*N3+gk]; the sweep writes into a separate output
+		// slab so plane order is free.
 		row0 := 0
 		H := n1
 		if hasLo {
@@ -79,6 +85,67 @@ func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
 			H++
 		}
 		slab := make([]float64, H*N2*N3)
+
+		// Post the halo pulls FIRST: each neighbour's concurrent
+		// readSubBatch serves them while this device assembles its local
+		// pages and sweeps the interior. scatter() may only run after
+		// wait() succeeds.
+		type haloPull struct {
+			what    string
+			wait    func() error
+			scatter func()
+		}
+		postHalo := func(peer rmi.Ref, idxs []int, peerPlane, slabRow int, what string) haloPull {
+			reqs := make([]subReq, 0, P2*P3)
+			vals := make([][]float64, 0, P2*P3)
+			for p2 := 0; p2 < P2; p2++ {
+				for p3 := 0; p3 < P3; p3++ {
+					reqs = append(reqs, subReq{
+						idx: idxs[p2*P3+p3] + srcOff,
+						lo:  [3]int{peerPlane, 0, 0},
+						dim: [3]int{1, n2, n3},
+					})
+					vals = append(vals, make([]float64, n2*n3))
+				}
+			}
+			wait := a.fetchSubBatchAsync(env, peer, reqs, vals)
+			scatter := func() {
+				for p2 := 0; p2 < P2; p2++ {
+					for p3 := 0; p3 < P3; p3++ {
+						v := vals[p2*P3+p3]
+						for j := 0; j < n2; j++ {
+							off := (slabRow*N2+p2*n2+j)*N3 + p3*n3
+							copy(slab[off:off+n3], v[j*n3:(j+1)*n3])
+						}
+					}
+				}
+			}
+			return haloPull{what: what, wait: wait, scatter: scatter}
+		}
+		join := func(h haloPull) error {
+			if err := h.wait(); err != nil {
+				return fmt.Errorf("pagedev: jacobiPlane %s halo: %w", h.what, err)
+			}
+			h.scatter()
+			return nil
+		}
+		var pulls []haloPull
+		if hasLo {
+			pulls = append(pulls, postHalo(loRef, loPages, n1-1, 0, "lo"))
+		}
+		if hasHi {
+			pulls = append(pulls, postHalo(hiRef, hiPages, 0, H-1, "hi"))
+		}
+		if sync {
+			// Reference schedule: all edges in hand before any arithmetic.
+			for _, h := range pulls {
+				if err := join(h); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Assemble the local planes of the source slab.
 		pageBytes := make([]byte, a.pageSize)
 		pageElems := make([]float64, n1*n2*n3)
 		for p2 := 0; p2 < P2; p2++ {
@@ -98,70 +165,71 @@ func registerOwnerMethods(c *rmi.Class[*arrayPageDevice]) {
 				}
 			}
 		}
-		// Halo planes: one batched device-to-device pull per neighbour.
-		pullHalo := func(peer rmi.Ref, idxs []int, peerPlane, slabRow int) error {
-			reqs := make([]subReq, 0, P2*P3)
-			vals := make([][]float64, 0, P2*P3)
-			for p2 := 0; p2 < P2; p2++ {
-				for p3 := 0; p3 < P3; p3++ {
-					reqs = append(reqs, subReq{
-						idx: idxs[p2*P3+p3] + srcOff,
-						lo:  [3]int{peerPlane, 0, 0},
-						dim: [3]int{1, n2, n3},
-					})
-					vals = append(vals, make([]float64, n2*n3))
-				}
-			}
-			if err := a.fetchSubBatch(env, peer, reqs, vals); err != nil {
-				return err
-			}
-			for p2 := 0; p2 < P2; p2++ {
-				for p3 := 0; p3 < P3; p3++ {
-					v := vals[p2*P3+p3]
-					for j := 0; j < n2; j++ {
-						off := (slabRow*N2+p2*n2+j)*N3 + p3*n3
-						copy(slab[off:off+n3], v[j*n3:(j+1)*n3])
+
+		// Sweep, one global plane at a time: interior points average
+		// their six neighbours, boundary points carry over — the same
+		// arithmetic, in the same order, as the client-side sweep, so the
+		// paths agree bit for bit. Each output value depends only on the
+		// source slab and the residual is a max (order-independent), so
+		// the plane ORDER is free: the overlap schedule sweeps every
+		// plane that needs no halo while the pulls are in flight, then
+		// finishes the boundary planes on arrival, and still produces
+		// bitwise-identical pages and residual.
+		at := func(si, gj, gk int) float64 { return slab[(si*N2+gj)*N3+gk] }
+		out := make([]float64, n1*N2*N3)
+		var residual float64
+		sweepPlane := func(i int) {
+			gi, si := qbase+i, row0+i
+			for gj := 0; gj < N2; gj++ {
+				base := (i*N2 + gj) * N3
+				for gk := 0; gk < N3; gk++ {
+					v := at(si, gj, gk)
+					if gi > 0 && gi < N1-1 && gj > 0 && gj < N2-1 && gk > 0 && gk < N3-1 {
+						avg := (at(si-1, gj, gk) + at(si+1, gj, gk) +
+							at(si, gj-1, gk) + at(si, gj+1, gk) +
+							at(si, gj, gk-1) + at(si, gj, gk+1)) / 6
+						out[base+gk] = avg
+						residual = math.Max(residual, math.Abs(avg-v))
+					} else {
+						out[base+gk] = v
 					}
 				}
 			}
-			return nil
 		}
-		if hasLo {
-			if err := pullHalo(loRef, loPages, n1-1, 0); err != nil {
-				return fmt.Errorf("pagedev: jacobiPlane lo halo: %w", err)
+		// Plane i reads the lo halo iff it is the slab's first plane and
+		// the hi halo iff it is the last (both, when n1 == 1).
+		needsHalo := func(i int) bool {
+			return (hasLo && i == 0) || (hasHi && i == n1-1)
+		}
+		if sync {
+			for i := 0; i < n1; i++ {
+				sweepPlane(i)
 			}
-		}
-		if hasHi {
-			if err := pullHalo(hiRef, hiPages, 0, H-1); err != nil {
-				return fmt.Errorf("pagedev: jacobiPlane hi halo: %w", err)
+		} else {
+			for i := 0; i < n1; i++ {
+				if !needsHalo(i) {
+					sweepPlane(i)
+				}
+			}
+			for _, h := range pulls {
+				if err := join(h); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < n1; i++ {
+				if needsHalo(i) {
+					sweepPlane(i)
+				}
 			}
 		}
 
-		// Sweep: interior points average their six neighbours, boundary
-		// points carry over — the same arithmetic, in the same order, as
-		// the client-side sweep, so the two paths agree bit for bit.
-		at := func(si, gj, gk int) float64 { return slab[(si*N2+gj)*N3+gk] }
-		var residual float64
+		// Pack the output slab back into pages and write bank dstOff.
 		for p2 := 0; p2 < P2; p2++ {
 			for p3 := 0; p3 < P3; p3++ {
 				for i := 0; i < n1; i++ {
-					gi, si := qbase+i, row0+i
 					for j := 0; j < n2; j++ {
-						gj := p2*n2 + j
-						out := pageElems[(i*n2+j)*n3 : (i*n2+j)*n3+n3]
-						for k := 0; k < n3; k++ {
-							gk := p3*n3 + k
-							v := at(si, gj, gk)
-							if gi > 0 && gi < N1-1 && gj > 0 && gj < N2-1 && gk > 0 && gk < N3-1 {
-								avg := (at(si-1, gj, gk) + at(si+1, gj, gk) +
-									at(si, gj-1, gk) + at(si, gj+1, gk) +
-									at(si, gj, gk-1) + at(si, gj, gk+1)) / 6
-								out[k] = avg
-								residual = math.Max(residual, math.Abs(avg-v))
-							} else {
-								out[k] = v
-							}
-						}
+						off := (i*N2+p2*n2+j)*N3 + p3*n3
+						copy(pageElems[(i*n2+j)*n3:(i*n2+j)*n3+n3], out[off:off+n3])
 					}
 				}
 				if err := Float64sToBytes(pageBytes, pageElems); err != nil {

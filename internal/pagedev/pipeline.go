@@ -1,0 +1,190 @@
+package pagedev
+
+// The fused-pipeline half of the kernel execution engine: one batched
+// RMI carries a whole stage chain, and each page region is loaded once,
+// walked through every stage in order, and stored once — where the
+// equivalent chain of applyK/reduceK calls costs one RMI and one page
+// load+store per stage.
+//
+// applyPipelineK is a SERIAL method (it uses the object's page
+// buffers), but its binary stages pull peer operands through the
+// concurrent readSubBatch lane exactly like applyBinaryK, so two
+// devices mid-pipeline can still exchange operands without deadlock.
+
+import (
+	"fmt"
+
+	"oopp/internal/kernel"
+	"oopp/internal/rmi"
+	"oopp/internal/wire"
+)
+
+// pipePeer names the second operand of one binary stage for one region:
+// the peer device process and the page index holding the co-indexed
+// box.
+type pipePeer struct {
+	ref rmi.Ref
+	idx int
+}
+
+// pipeReq is one region of a fused batch. fold gates the reduce stages:
+// under replication every replica executes the mutating stages (the
+// deterministic chain keeps replica banks bitwise identical) but
+// exactly one live replica per page folds and reports, so client-side
+// merges never double-count.
+type pipeReq struct {
+	rq    subReq
+	fold  bool
+	peers []pipePeer
+}
+
+// registerPipelineMethod installs applyPipelineK on the
+// ArrayPageDevice class.
+func registerPipelineMethod(c *rmi.Class[*arrayPageDevice]) {
+	// applyPipelineK(name, nstages, nstages×params, count,
+	//                count×(idx, box, fold, binaries×(peerRef, peerIdx))):
+	// run a registered pipeline over each listed region as one page
+	// pass. Replies with the element count touched, then one
+	// (count, accumulator) partial per reduce stage in stage order.
+	c.Method("applyPipelineK", func(a *arrayPageDevice, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+		name := args.String()
+		nstages := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		params := make([][]float64, nstages)
+		for i := range params {
+			params[i] = args.Float64s()
+		}
+		if err := args.Err(); err != nil {
+			return err
+		}
+		// Resolve name and validate every stage's parameter arity before
+		// any page is touched — same both-sides validation as the
+		// elementary kernels.
+		p, stages, err := kernel.LookupPipeline(name, params)
+		if err != nil {
+			return err
+		}
+		nbin := p.Binaries()
+		count := args.Int()
+		if err := args.Err(); err != nil {
+			return err
+		}
+		// Decode the whole batch, then fence-scan it before touching any
+		// page (mutating pipelines only): a batch refused by the
+		// migration fence applies nowhere, so the caller can replay it
+		// verbatim — fold flags included — without double-applying.
+		regions := make([]pipeReq, 0, count)
+		for n := 0; n < count; n++ {
+			idx := args.Int()
+			lo, dim, err := a.decodeSubBox(args)
+			if err != nil {
+				return err
+			}
+			pr := pipeReq{rq: subReq{idx: idx, lo: lo, dim: dim}, fold: args.Bool()}
+			if nbin > 0 {
+				pr.peers = make([]pipePeer, nbin)
+				for b := range pr.peers {
+					pr.peers[b] = pipePeer{ref: args.Ref(), idx: args.Int()}
+				}
+			}
+			if err := args.Err(); err != nil {
+				return err
+			}
+			regions = append(regions, pr)
+		}
+		if p.Mutates() {
+			dst := make([]int, len(regions))
+			for i, pr := range regions {
+				dst[i] = pr.rq.idx
+			}
+			if err := a.checkFenceBatch(dst); err != nil {
+				return err
+			}
+		}
+		// One accumulator per reduce stage, alive across the whole batch;
+		// folded counts let an untouched stage (every region empty or
+		// fold=false) report N == 0 so its identity is never merged.
+		var accs [][]float64
+		var folded []int64
+		for si, st := range stages {
+			if st.Kind == kernel.StageReduce {
+				accs = append(accs, st.Red.NewAcc(params[si]))
+				folded = append(folded, 0)
+			}
+		}
+		overwrites := kernel.PipelineOverwrites(stages)
+		var peerBuf []float64
+		touched := 0
+		for _, pr := range regions {
+			size := pr.rq.size()
+			if size == 0 {
+				// An empty sub-box reaches no stage at all: map stages have
+				// nothing to write and reduce stages must skip, not fold —
+				// folding zero rows would still report this region as
+				// covered and (for fold=false replicas) is moot anyway.
+				continue
+			}
+			// Load once. A pipeline whose first stage overwrites every
+			// element may skip the load for whole-page regions; every later
+			// stage then reads what earlier stages wrote, never the stale
+			// page.
+			wholePage := size == len(a.elems)
+			if !(overwrites && wholePage) {
+				if err := a.loadPage(pr.rq.idx); err != nil {
+					return err
+				}
+			}
+			bin, red := 0, 0
+			for si, st := range stages {
+				sp := params[si]
+				switch st.Kind {
+				case kernel.StageMap:
+					fn := st.Map.Fn
+					forEachRun(a.elems, a.n2, a.n3, pr.rq.lo, pr.rq.dim, func(run []float64) { fn(run, sp) })
+				case kernel.StageBinary:
+					if bin >= len(pr.peers) {
+						return fmt.Errorf("pagedev: applyPipelineK(%q): region %d carries %d peer operands for %d binary stages", name, pr.rq.idx, len(pr.peers), nbin)
+					}
+					pe := pr.peers[bin]
+					if cap(peerBuf) < size {
+						peerBuf = make([]float64, size)
+					}
+					vals := peerBuf[:size]
+					if err := a.fetchSub(env, pe.ref, subReq{idx: pe.idx, lo: pr.rq.lo, dim: pr.rq.dim}, vals); err != nil {
+						return err
+					}
+					fn := st.Bin.Fn
+					pos := 0
+					forEachRun(a.elems, a.n2, a.n3, pr.rq.lo, pr.rq.dim, func(run []float64) {
+						fn(run, vals[pos:pos+len(run)], sp)
+						pos += len(run)
+					})
+					bin++
+				case kernel.StageReduce:
+					if pr.fold {
+						row := st.Red.Row
+						acc := accs[red]
+						forEachRun(a.elems, a.n2, a.n3, pr.rq.lo, pr.rq.dim, func(run []float64) { row(acc, run, sp) })
+						folded[red] += int64(size)
+					}
+					red++
+				}
+			}
+			// Store once — only pipelines that mutate write back.
+			if p.Mutates() {
+				if err := a.storePage(pr.rq.idx); err != nil {
+					return err
+				}
+			}
+			touched += size
+		}
+		reply.PutVarint(int64(touched))
+		for r := range accs {
+			reply.PutVarint(folded[r])
+			reply.PutFloat64s(accs[r])
+		}
+		return nil
+	})
+}

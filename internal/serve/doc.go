@@ -10,7 +10,7 @@
 //
 // # Pieces
 //
-//   - Pool: a fixed set of rmi.Clients over one transport. Each client
+//   - Pool: a fixed set of rmi.Client instances over one transport. Each client
 //     keeps at most one connection per machine, so a Pool of k clients
 //     bounds the process at k sockets per target machine no matter how
 //     many callers it serves. ClientFor picks the least-loaded client

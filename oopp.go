@@ -402,6 +402,15 @@ type (
 	BinaryKernel = kernel.Binary
 	// BinaryReduceKernel folds co-indexed row pairs (dot products).
 	BinaryReduceKernel = kernel.BinaryReduce
+	// Pipeline is the fused-kernel shape: an ordered stage chain
+	// executed device-side as one page pass over one RMI per device.
+	Pipeline = kernel.Pipeline
+	// PipelineStage names one step of a fused pipeline (see MapStage,
+	// BinaryStage, ReduceStage).
+	PipelineStage = kernel.Stage
+	// StageResult is one reduce stage's merged (accumulator, count)
+	// outcome from Array.ApplyPipeline.
+	StageResult = core.StageResult
 )
 
 // Builtin kernel names, usable with Array.Apply/Reduce and
@@ -436,6 +445,22 @@ func RegisterBinaryReduceKernel(name string, k BinaryReduceKernel) {
 	kernel.RegisterBinaryReduce(name, k)
 }
 
+// MapStage names a registered map kernel as one pipeline stage.
+func MapStage(name string) PipelineStage { return kernel.MapStage(name) }
+
+// BinaryStage names a registered two-operand kernel as one pipeline
+// stage; Array.ApplyPipeline supplies its operand array.
+func BinaryStage(name string) PipelineStage { return kernel.BinaryStage(name) }
+
+// ReduceStage names a registered reduction kernel as one pipeline
+// stage, folding the chain's values as they stand at that point.
+func ReduceStage(name string) PipelineStage { return kernel.ReduceStage(name) }
+
+// RegisterPipeline installs a fused stage chain under a stable wire
+// name; every stage must already be registered. See the "Kernel
+// pipeline" chapter of the package doc.
+func RegisterPipeline(name string, p Pipeline) { kernel.RegisterPipeline(name, p) }
+
 // Jacobi runs the client-side Jacobi solver: sweeps read halo-expanded
 // slabs to the client, compute locally, and write interiors back.
 func Jacobi(ctx context.Context, a, b *Array, iters, clients int) (float64, error) {
@@ -449,6 +474,13 @@ func Jacobi(ctx context.Context, a, b *Array, iters, clients int) (float64, erro
 // in-place scratch bank.
 func JacobiOwner(ctx context.Context, a *Array, iters int) (float64, error) {
 	return core.JacobiOwner(ctx, a, iters)
+}
+
+// JacobiOwnerSync is JacobiOwner with the fetch-then-sweep reference
+// schedule (no halo/compute overlap) — the bitwise baseline the
+// overlapped path is pinned against.
+func JacobiOwnerSync(ctx context.Context, a *Array, iters int) (float64, error) {
+	return core.JacobiOwnerSync(ctx, a, iters)
 }
 
 // PublishArray registers arr as a collection of persistent processes
