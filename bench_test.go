@@ -6,6 +6,7 @@
 package oopp_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -23,6 +24,7 @@ import (
 	"oopp/internal/rmem"
 	"oopp/internal/rmi"
 	"oopp/internal/serve"
+	"oopp/internal/trace"
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
@@ -715,5 +717,45 @@ func BenchmarkE12_Collective(b *testing.B) {
 		if err := coll.Destroy(bg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE17_Tracing — the observability tax, lane by lane: the same
+// small echo call untraced (must stay zero-allocation), with an
+// unsampled trace context propagating over the wire, and fully sampled
+// (client + server spans captured into the ring). E17's allocs column
+// gates the same trajectory in CI.
+func BenchmarkE17_Tracing(b *testing.B) {
+	cl := benchCluster(b, 2, transport.NewInproc(benchLink()), 0, disk.Model{})
+	client := cl.Client()
+	ref, err := client.New(bg, 1, exp.ClassEcho, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	args := func(e *wire.Encoder) error {
+		e.PutBytes(payload)
+		return nil
+	}
+	lanes := []struct {
+		name string
+		ctx  context.Context
+		opts []rmi.CallOption
+	}{
+		{"untraced", bg, nil},
+		{"unsampled", trace.ContextWith(bg, trace.NewRoot(false)), nil},
+		{"sampled", bg, []rmi.CallOption{rmi.WithSampled()}},
+	}
+	for _, lane := range lanes {
+		b.Run(lane.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := client.Call(lane.ctx, ref, "echo", args, lane.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d.Release()
+			}
+		})
 	}
 }

@@ -19,6 +19,14 @@
 //	spin   — on-CPU service time (-service-us), normal priority
 //	bulk   — sleep issued at bulk priority (the sweep traffic)
 //	ping   — liveness probe, high priority (never queues behind bulk)
+//	relay  — echo routed through a peer machine (two-hop), normal priority
+//
+// The RESULT line reports overall and per-priority-class latency
+// quantiles (high/normal/bulk), because under overload the per-class
+// split is the claim being tested: high keeps its latency while bulk
+// absorbs the queue. With -sample a fraction of calls is issued
+// rmi.WithSampled, so a cluster's span rings fill with real-workload
+// traces for cmd/opptrace to pull.
 //
 // Exit status is 0 only for a clean run: any non-typed error fails the
 // run, and with -expect-sheds the run also fails if the server never
@@ -57,10 +65,11 @@ func main() {
 	size := flag.Int("size", 64, "echo payload bytes")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
 	expectSheds := flag.Bool("expect-sheds", false, "fail unless the server shed at least one call (overload smoke tests)")
+	sample := flag.Float64("sample", 0, "fraction of calls issued with span capture on (0..1, deterministic)")
 	flag.Parse()
 
 	if err := run(*peers, *registry, *machines, *conns, *sessions, *rate, *duration,
-		*mix, *serviceUs, *size, *timeout, *expectSheds); err != nil {
+		*mix, *serviceUs, *size, *timeout, *expectSheds, *sample); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
@@ -92,9 +101,9 @@ func parseMix(s string) ([]string, error) {
 			}
 		}
 		switch name {
-		case "echo", "sleep", "spin", "bulk", "ping":
+		case "echo", "sleep", "spin", "bulk", "ping", "relay":
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown kind (echo, sleep, spin, bulk, ping)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown kind (echo, sleep, spin, bulk, ping, relay)", part)
 		}
 		kinds = append(kinds, kind{name, weight})
 	}
@@ -131,8 +140,20 @@ func directoryFor(size int, peers, registry string) (rmi.Directory, error) {
 	}
 }
 
+// classOf maps a mix kind to the admission class its call travels at.
+func classOf(kind string) rmi.Priority {
+	switch kind {
+	case "ping":
+		return rmi.PrioHigh
+	case "bulk":
+		return rmi.PrioBulk
+	default:
+		return rmi.PrioNormal
+	}
+}
+
 func run(peers, registry string, machines, conns, sessions int, rate float64,
-	duration time.Duration, mix string, serviceUs, size int, timeout time.Duration, expectSheds bool) error {
+	duration time.Duration, mix string, serviceUs, size int, timeout time.Duration, expectSheds bool, sample float64) error {
 	ring, err := parseMix(mix)
 	if err != nil {
 		return err
@@ -170,8 +191,33 @@ func run(peers, registry string, machines, conns, sessions int, rate float64,
 			return fmt.Errorf("machine %d: new %s: %w", m, serve.ClassWork, err)
 		}
 	}
+	var peerRefs []rmi.Ref
+	if strings.Contains(mix, "relay") {
+		// Bind each Work to a DEDICATED echo peer on its ring successor,
+		// not to the successor's front object: the front objects take
+		// relay calls, and serial relays waiting on each other's serial
+		// echoes ring-deadlock under load. The peers only ever serve the
+		// relayed echo, so the wait graph stays acyclic.
+		peerRefs = make([]rmi.Ref, len(refs))
+		for m := range refs {
+			peerRefs[m], err = boot.New(ctx, (m+1)%len(refs), serve.ClassWork, nil)
+			if err != nil {
+				return fmt.Errorf("machine %d: new relay peer: %w", (m+1)%len(refs), err)
+			}
+		}
+		for m, ref := range refs {
+			if d, err := boot.Call(ctx, ref, "bind", serve.BindArgs(peerRefs[m])); err != nil {
+				return fmt.Errorf("machine %d: bind relay peer: %w", m, err)
+			} else {
+				d.Release()
+			}
+		}
+	}
 	defer func() {
 		for _, ref := range refs {
+			_ = boot.Delete(ctx, ref)
+		}
+		for _, ref := range peerRefs {
 			_ = boot.Delete(ctx, ref)
 		}
 	}()
@@ -187,27 +233,44 @@ func run(peers, registry string, machines, conns, sessions int, rate float64,
 	echoArgs := serve.EchoArgs(payload)
 	sleepArgs := serve.SleepArgs(serviceUs)
 
-	fmt.Printf("offering %d calls at %.0f/s over %d sessions x %d conns to %d machines (mix %s)\n",
-		count, rate, sessions, conns, dir.Size(), mix)
+	// Deterministic sampling: every sampleEvery-th arrival carries
+	// rmi.WithSampled (1 = all). No RNG, same flags → same sampled set.
+	sampleEvery := 0
+	if sample > 0 {
+		sampleEvery = int(1 / sample)
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+
+	fmt.Printf("offering %d calls at %.0f/s over %d sessions x %d conns to %d machines (mix %s, sample %.3g)\n",
+		count, rate, sessions, conns, dir.Size(), mix, sample)
 	res := serve.OpenLoop(serve.LoadConfig{
-		Rate:  rate,
-		Count: count,
+		Rate:    rate,
+		Count:   count,
+		ClassOf: func(i int) rmi.Priority { return classOf(ring[i%len(ring)]) },
 		Call: func(i int) error {
 			s := sess[i%len(sess)]
 			ref := refs[i%len(refs)]
+			var opts []rmi.CallOption
+			if sampleEvery > 0 && i%sampleEvery == 0 {
+				opts = append(opts, rmi.WithSampled())
+			}
 			var d *wire.Decoder
 			var err error
 			switch ring[i%len(ring)] {
 			case "echo":
-				d, err = s.Call(ctx, ref, "echo", echoArgs)
+				d, err = s.Call(ctx, ref, "echo", echoArgs, opts...)
 			case "sleep":
-				d, err = s.Call(ctx, ref, "sleep", sleepArgs)
+				d, err = s.Call(ctx, ref, "sleep", sleepArgs, opts...)
 			case "spin":
-				d, err = s.Call(ctx, ref, "spin", sleepArgs)
+				d, err = s.Call(ctx, ref, "spin", sleepArgs, opts...)
 			case "bulk":
-				d, err = s.Call(ctx, ref, "sleep", sleepArgs, rmi.WithPriority(rmi.PrioBulk))
+				d, err = s.Call(ctx, ref, "sleep", sleepArgs, append(opts, rmi.WithPriority(rmi.PrioBulk))...)
 			case "ping":
-				err = s.Ping(ctx, ref.Machine)
+				err = s.Ping(ctx, ref.Machine, opts...)
+			case "relay":
+				d, err = s.Call(ctx, ref, "relay", echoArgs, opts...)
 			}
 			if d != nil {
 				d.Release()
@@ -221,6 +284,14 @@ func run(peers, registry string, machines, conns, sessions int, rate float64,
 		res.Offered, res.OK, res.Shed, res.Failed, res.Elapsed.Round(time.Millisecond), res.Goodput(),
 		res.Latency.QuantileUs(0.50), res.Latency.QuantileUs(0.99), res.Latency.QuantileUs(0.999),
 		res.Reject.QuantileUs(0.50))
+	for p := rmi.Priority(0); p < rmi.NumPriorities; p++ {
+		h := &res.ByClass[p]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("RESULT class=%s n=%d p50=%dµs p99=%dµs p999=%dµs\n",
+			p, h.Count(), h.QuantileUs(0.50), h.QuantileUs(0.99), h.QuantileUs(0.999))
+	}
 	if res.Failed > 0 {
 		return fmt.Errorf("%d non-typed failures (first: %v)", res.Failed, res.FirstError)
 	}

@@ -1,0 +1,269 @@
+// opptrace is the cluster introspection client: it pulls every
+// machine's debug snapshot (per-method latency histograms, outcome
+// counters, and the sampled-span flight recorder) over the RMI debug
+// plane, merges them, and prints
+//
+//   - a per-method table: calls, outcome split, p50/p99 — the
+//     histograms are merged across machines, so the quantiles describe
+//     the cluster, not one server;
+//   - a tree view of one trace: spans from every machine stitched by
+//     parent links, indented by causality — a cross-machine method
+//     chain reads top to bottom like a call stack.
+//
+// Point it at a running cluster the same way opploadgen is pointed:
+//
+//	opptrace -peers 127.0.0.1:9100,127.0.0.1:9101
+//	opptrace -registry /tmp/reg -machines 2 -trace 0x1a2b
+//
+// With no -trace it prints the table plus a summary line per captured
+// trace (id, span count, machines touched) — pick an id from there.
+// -assert-cross-machine exits nonzero unless at least one captured
+// trace has a child span whose parent ran on a different machine; the
+// CI trace-smoke job uses it to prove wire propagation end to end.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"oopp/internal/cluster"
+	"oopp/internal/metrics"
+	"oopp/internal/rmi"
+	"oopp/internal/trace"
+	"oopp/internal/transport"
+)
+
+func main() {
+	peers := flag.String("peers", "", "comma-separated machine addresses, index order")
+	registry := flag.String("registry", "", "shared registry directory (alternative to -peers)")
+	machines := flag.Int("machines", 0, "cluster size (defaults to the number of -peers)")
+	traceID := flag.String("trace", "", "trace id to print as a tree (hex with 0x prefix, or decimal)")
+	assertCross := flag.Bool("assert-cross-machine", false, "exit nonzero unless a trace spans two machines with a parent link")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-machine pull timeout")
+	flag.Parse()
+
+	if err := run(*peers, *registry, *machines, *traceID, *assertCross, *timeout); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func directoryFor(size int, peers, registry string) (rmi.Directory, error) {
+	peerList, err := cluster.ParsePeers(peers)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		size = len(peerList)
+	}
+	switch {
+	case registry != "":
+		if size == 0 {
+			return nil, fmt.Errorf("-registry needs -machines (cluster size)")
+		}
+		return cluster.NewFileRegistry(registry, size, 5*time.Second)
+	case len(peerList) > 0:
+		return rmi.StaticDirectory(peerList), nil
+	default:
+		return nil, fmt.Errorf("need -peers or -registry")
+	}
+}
+
+// mergedMethod is one class.method aggregated across machines.
+type mergedMethod struct {
+	name                      string
+	ok, errs, expired, fenced int64
+	hist                      metrics.Hist
+}
+
+func run(peers, registry string, machines int, traceIDStr string, assertCross bool, timeout time.Duration) error {
+	dir, err := directoryFor(machines, peers, registry)
+	if err != nil {
+		return err
+	}
+	client := rmi.NewClient(transport.TCP{}, dir)
+	defer client.Close()
+
+	// Pull every machine's snapshot. A machine that cannot be reached
+	// fails the run: a debug plane that silently drops machines would
+	// report misleading cluster-wide quantiles.
+	snaps := make([]trace.Snapshot, dir.Size())
+	for m := 0; m < dir.Size(); m++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		buf, err := client.Debug(ctx, m)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("machine %d: debug pull: %w", m, err)
+		}
+		if err := json.Unmarshal(buf, &snaps[m]); err != nil {
+			return fmt.Errorf("machine %d: decoding snapshot: %w", m, err)
+		}
+	}
+
+	printMethodTable(snaps)
+
+	spans := make([]trace.SpanRecord, 0, 256)
+	for _, s := range snaps {
+		spans = append(spans, s.Spans...)
+	}
+	byTrace := make(map[uint64][]trace.SpanRecord)
+	for _, sp := range spans {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+
+	if traceIDStr != "" {
+		tid, err := strconv.ParseUint(traceIDStr, 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad -trace %q: %w", traceIDStr, err)
+		}
+		tspans, ok := byTrace[tid]
+		if !ok {
+			return fmt.Errorf("trace %#x not found in any machine's span ring", tid)
+		}
+		printTree(tid, tspans)
+	} else {
+		printTraceSummary(byTrace)
+	}
+
+	if assertCross {
+		tid, ok := crossMachineTrace(byTrace)
+		if !ok {
+			return fmt.Errorf("assert-cross-machine: no captured trace has a parent link crossing machines (%d traces, %d spans)", len(byTrace), len(spans))
+		}
+		fmt.Printf("CROSS-MACHINE OK trace=%#x\n", tid)
+		if traceIDStr == "" {
+			printTree(tid, byTrace[tid])
+		}
+	}
+	return nil
+}
+
+func printMethodTable(snaps []trace.Snapshot) {
+	merged := make(map[string]*mergedMethod)
+	var shed int64
+	for _, s := range snaps {
+		shed += s.Shed
+		for _, ms := range s.Methods {
+			mm := merged[ms.Name]
+			if mm == nil {
+				mm = &mergedMethod{name: ms.Name}
+				merged[ms.Name] = mm
+			}
+			mm.ok += ms.OK
+			mm.errs += ms.Errs
+			mm.expired += ms.Expired
+			mm.fenced += ms.Fenced
+			mm.hist.Merge(ms.Hist)
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %10s %8s %8s %8s %10s %10s\n",
+		"METHOD", "OK", "ERRS", "EXPIRED", "FENCED", "P50(µs)", "P99(µs)")
+	for _, n := range names {
+		mm := merged[n]
+		fmt.Printf("%-40s %10d %8d %8d %8d %10d %10d\n",
+			mm.name, mm.ok, mm.errs, mm.expired, mm.fenced,
+			mm.hist.QuantileUs(0.50), mm.hist.QuantileUs(0.99))
+	}
+	fmt.Printf("cluster sheds: %d\n", shed)
+}
+
+func printTraceSummary(byTrace map[uint64][]trace.SpanRecord) {
+	type row struct {
+		tid      uint64
+		start    int64
+		spans    int
+		machines int
+	}
+	rows := make([]row, 0, len(byTrace))
+	for tid, tspans := range byTrace {
+		ms := make(map[int]bool)
+		var start int64
+		for _, sp := range tspans {
+			ms[sp.Machine] = true
+			if start == 0 || sp.StartUnixNs < start {
+				start = sp.StartUnixNs
+			}
+		}
+		rows = append(rows, row{tid, start, len(tspans), len(ms)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].start > rows[j].start })
+	fmt.Printf("\n%d traces captured (most recent first, -trace <id> for a tree):\n", len(rows))
+	for i, r := range rows {
+		if i >= 20 {
+			fmt.Printf("  ... and %d more\n", len(rows)-i)
+			break
+		}
+		fmt.Printf("  trace %#018x  spans=%-4d machines=%d\n", r.tid, r.spans, r.machines)
+	}
+}
+
+// printTree renders one trace's spans as an indented causality tree.
+// Spans whose parent is not in the captured set (the ring may have
+// evicted it) print as roots, so a partially-evicted trace still
+// renders instead of vanishing.
+func printTree(tid uint64, tspans []trace.SpanRecord) {
+	byID := make(map[uint64]trace.SpanRecord, len(tspans))
+	children := make(map[uint64][]trace.SpanRecord)
+	for _, sp := range tspans {
+		byID[sp.SpanID] = sp
+	}
+	var roots []trace.SpanRecord
+	for _, sp := range tspans {
+		if _, ok := byID[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	order := func(s []trace.SpanRecord) {
+		sort.Slice(s, func(i, j int) bool { return s[i].StartUnixNs < s[j].StartUnixNs })
+	}
+	order(roots)
+	fmt.Printf("\ntrace %#x:\n", tid)
+	var walk func(sp trace.SpanRecord, depth int)
+	walk = func(sp trace.SpanRecord, depth int) {
+		status := ""
+		if sp.Err {
+			status = "  ERR"
+		}
+		fmt.Printf("  %*s[m%d] %-32s %8.1fµs%s\n",
+			2*depth, "", sp.Machine, sp.Name, float64(sp.DurationNs)/1e3, status)
+		kids := children[sp.SpanID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// crossMachineTrace finds a trace with a child span whose resolved
+// parent ran on a different machine — the wire-propagation proof.
+func crossMachineTrace(byTrace map[uint64][]trace.SpanRecord) (uint64, bool) {
+	for tid, tspans := range byTrace {
+		byID := make(map[uint64]trace.SpanRecord, len(tspans))
+		for _, sp := range tspans {
+			byID[sp.SpanID] = sp
+		}
+		for _, sp := range tspans {
+			if parent, ok := byID[sp.ParentID]; ok && parent.Machine != sp.Machine && sp.Machine >= 0 && parent.Machine >= 0 {
+				return tid, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -446,6 +446,46 @@
 // pages' payload (≤1.1×), nowhere near a full rebuild, and a drain
 // leaves exactly zero pages behind.
 //
+// # Observability
+//
+// A cluster of object processes is only debuggable if causality
+// survives the hops. The observability plane has an always-on half and
+// a sampled half, priced so that the paper's zero-allocation hot path
+// is untouched when nobody is watching.
+//
+// Always on: every server keeps a per-method registry — a latency
+// histogram plus OK / error / expired-deadline / fenced counters per
+// class.method — updated on every dispatch, allocation-free after the
+// first call of a method. The debug plane (a dedicated introspection
+// op that, like Stat, bypasses admission control) serializes the whole
+// registry as a self-describing JSON snapshot.
+//
+// Sampled: requests carry a trace context (trace id, parent span id,
+// sampled bit) in the wire header. WithSampled at any call site mints
+// a trace; servers restore the context into the handler's Env.Ctx(),
+// so when the handler calls a peer through Env.Client the same trace
+// extends across machines with correctly-parented spans. Sampled spans
+// land in a fixed-size per-process ring (trace.Spans reads it, the
+// debug snapshot carries it); unsampled requests propagate the ids and
+// capture nothing. The runtime opens spans around its own phases too —
+// kernel collectives and pipelines, migration fence/copy/flip,
+// failover, checkpoint and recovery, admission sheds — so a slow batch
+// shows where the time went.
+//
+//	ref, _ := sess.New(ctx, 0, "app.Work", nil)
+//	d, _ := sess.Call(ctx, ref, "relay", args, oopp.WithSampled())
+//
+// cmd/opptrace is the introspection client: it pulls every machine's
+// snapshot, merges the histograms into cluster-wide per-method
+// p50/p99 tables, and stitches one trace's spans from all machines
+// into a causality tree ("-trace 0x1a2b"); -assert-cross-machine is
+// the CI gate that a child span's parent ran on another machine.
+// cmd/opploadgen drives sampled load ("-sample 0.01") and reports
+// per-priority-class latency quantiles. Experiment E17 prices the
+// three lanes — untraced stays zero-allocation (hard-gated), an
+// unsampled trace context costs a few small allocations, only sampled
+// calls pay for capture.
+//
 // # Layers
 //
 // The public surface re-exports the layered implementation:
@@ -477,6 +517,9 @@
 //   - Move, DeviceLoad, MigrateReport, RebalanceConfig, JoinNode,
 //     BalancePlan, DrainPlan: the elastic cluster — live page
 //     migration, the load-aware rebalancer, and machine join/drain.
+//   - WithSampled, Client.Debug, trace.Snapshot: the observability
+//     plane — wire-propagated trace context, per-method telemetry, and
+//     the sampled span ring, pulled and stitched by cmd/opptrace.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // experiment suite; cmd/oppbench reproduces every experiment table.

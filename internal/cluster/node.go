@@ -7,6 +7,7 @@ import (
 
 	"oopp/internal/disk"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 	"oopp/internal/transport"
 )
 
@@ -77,6 +78,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	env := rmi.NewEnv(cfg.Machine)
 	env.Machines = machines
+	// One machine per process here, so the process-default span machine
+	// stamp is simply this node's index (server spans stamp their own).
+	trace.SetMachine(cfg.Machine)
 	n := &Node{machine: cfg.Machine}
 
 	for j := 0; j < cfg.Disks; j++ {

@@ -21,6 +21,7 @@ import (
 	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 	"oopp/internal/wire"
 )
 
@@ -90,6 +91,15 @@ func (a *Array) kernelView(devs []int) *collection.Collection[*pagedev.ArrayDevi
 // addresses — each page copy sees the kernel exactly once, fenced or
 // not.
 func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...float64) error {
+	// On a sampled trace the whole kernel application is one span whose
+	// children are the per-device applyK batches.
+	ctx, sp := trace.StartSpan(ctx, "kernel.apply")
+	err := a.apply(ctx, dom, name, params...)
+	sp.End(err != nil)
+	return err
+}
+
+func (a *Array) apply(ctx context.Context, dom Domain, name string, params ...float64) error {
 	if _, err := kernel.LookupMap(name, params); err != nil {
 		return err
 	}
@@ -144,6 +154,13 @@ func (a *Array) Apply(ctx context.Context, dom Domain, name string, params ...fl
 // excluded and the whole fold retries against the surviving replicas
 // (reductions are read-only, so the retry is always safe).
 func (a *Array) Reduce(ctx context.Context, dom Domain, name string, params ...float64) (acc []float64, n int64, err error) {
+	ctx, sp := trace.StartSpan(ctx, "kernel.reduce")
+	acc, n, err = a.reduce(ctx, dom, name, params...)
+	sp.End(err != nil)
+	return acc, n, err
+}
+
+func (a *Array) reduce(ctx context.Context, dom Domain, name string, params ...float64) (acc []float64, n int64, err error) {
 	k, err := kernel.LookupReduce(name, params)
 	if err != nil {
 		return nil, 0, err

@@ -44,6 +44,7 @@ import (
 	"oopp/internal/elastic"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 )
 
 const (
@@ -233,14 +234,18 @@ func (a *Array) MigratePages(ctx context.Context, plan []elastic.Move) (*Migrate
 
 	// Fence the sources. fencePages is serial, so each return proves
 	// every earlier mutator on that device completed: from here the
-	// source pages are an immutable, consistent snapshot.
+	// source pages are an immutable, consistent snapshot. Each migration
+	// phase gets its own span when the caller's trace is sampled, so a
+	// slow migration shows *which* phase ate the time.
 	abort := func(upto int) {
 		for _, d := range srcDevs[:upto] {
 			_ = a.storage.Device(d).UnfencePages(ctx, srcIdx[d], false)
 		}
 	}
+	fenceCtx, fenceSp := trace.StartSpan(ctx, "migrate.fence")
 	for i, d := range srcDevs {
-		if err := a.storage.Device(d).FencePages(ctx, srcIdx[d]); err != nil {
+		if err := a.storage.Device(d).FencePages(fenceCtx, srcIdx[d]); err != nil {
+			fenceSp.End(true)
 			abort(i)
 			return rep, fmt.Errorf("core: migrate: fencing device %d: %w", d, err)
 		}
@@ -248,38 +253,45 @@ func (a *Array) MigratePages(ctx context.Context, plan []elastic.Move) (*Migrate
 	// Reclaim destination slots retired by earlier migrations: clearing
 	// a fence that isn't set is a no-op, so this is safe to run blanket.
 	for _, d := range dstDevs {
-		if err := a.storage.Device(d).UnfencePages(ctx, dstIdx[d], false); err != nil {
+		if err := a.storage.Device(d).UnfencePages(fenceCtx, dstIdx[d], false); err != nil {
+			fenceSp.End(true)
 			abort(len(srcDevs))
 			return rep, fmt.Errorf("core: migrate: reclaiming slots on device %d: %w", d, err)
 		}
 	}
+	fenceSp.End(false)
 
 	// Copy device-to-device, batched per (dst, src) pair and windowed —
 	// the failover re-seed lane, no element data through the client.
+	copyCtx, copySp := trace.StartSpan(ctx, "migrate.copy")
 	var futs []*rmi.Future
 	flush := func() error {
-		err := rmi.WaitAllReleased(ctx, futs)
+		err := rmi.WaitAllReleased(copyCtx, futs)
 		futs = futs[:0]
 		return err
 	}
 	for _, p := range order {
-		futs = append(futs, a.storage.Device(p.dst).PullSubBatchAsync(ctx,
+		futs = append(futs, a.storage.Device(p.dst).PullSubBatchAsync(copyCtx,
 			a.storage.Device(p.src).Ref(), groups[p]))
 		if len(futs) >= a.window {
 			if err := flush(); err != nil {
+				copySp.End(true)
 				abort(len(srcDevs))
 				return rep, fmt.Errorf("core: migrate: copying pages: %w", err)
 			}
 		}
 	}
 	if err := flush(); err != nil {
+		copySp.End(true)
 		abort(len(srcDevs))
 		return rep, fmt.Errorf("core: migrate: copying pages: %w", err)
 	}
+	copySp.End(false)
 
 	// Flip: the re-minted table becomes the layout in one atomic swap.
 	// The moved index lets parked operations translate a refused copy's
 	// pre-flip address to its new home (relocatedAddr).
+	flipCtx, flipSp := trace.StartSpan(ctx, "migrate.flip")
 	moved := make(map[PageAddress]PageAddress, len(relocs))
 	for _, rl := range relocs {
 		moved[rl.src] = rl.dst
@@ -305,15 +317,18 @@ func (a *Array) MigratePages(ctx context.Context, plan []elastic.Move) (*Migrate
 	// entries persist — see the package comment in pagedev/fence.go).
 	pageBytes := int64(a.p[0]) * int64(a.p[1]) * int64(a.p[2]) * 8
 	for _, d := range dstDevs {
-		if err := a.storage.Device(d).AdoptPages(ctx, len(dstIdx[d]), int64(len(dstIdx[d]))*pageBytes); err != nil {
+		if err := a.storage.Device(d).AdoptPages(flipCtx, len(dstIdx[d]), int64(len(dstIdx[d]))*pageBytes); err != nil {
+			flipSp.End(true)
 			return rep, fmt.Errorf("core: migrate: adopting on device %d: %w", d, err)
 		}
 	}
 	for _, d := range srcDevs {
-		if err := a.storage.Device(d).UnfencePages(ctx, srcIdx[d], true); err != nil {
+		if err := a.storage.Device(d).UnfencePages(flipCtx, srcIdx[d], true); err != nil {
+			flipSp.End(true)
 			return rep, fmt.Errorf("core: migrate: retiring on device %d: %w", d, err)
 		}
 	}
+	flipSp.End(false)
 	rep.Moved = len(relocs)
 	rep.Bytes = int64(len(relocs)) * pageBytes
 	return rep, nil

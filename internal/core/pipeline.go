@@ -16,6 +16,7 @@ import (
 	"oopp/internal/kernel"
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 	"oopp/internal/wire"
 )
 
@@ -134,6 +135,13 @@ func relocatePipeBatches(pm PageMap, failed []int, byDev map[int][]pagedev.PipeR
 // reduces returns the failure — its mutations cannot be safely
 // re-executed to recover the lost partials.
 func (a *Array) ApplyPipeline(ctx context.Context, dom Domain, name string, operands []*Array, params ...[]float64) ([]StageResult, error) {
+	ctx, sp := trace.StartSpan(ctx, "kernel.pipeline")
+	res, err := a.applyPipeline(ctx, dom, name, operands, params...)
+	sp.End(err != nil)
+	return res, err
+}
+
+func (a *Array) applyPipeline(ctx context.Context, dom Domain, name string, operands []*Array, params ...[]float64) ([]StageResult, error) {
 	p, stages, err := kernel.LookupPipeline(name, params)
 	if err != nil {
 		return nil, err

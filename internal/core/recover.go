@@ -18,6 +18,7 @@ import (
 	"oopp/internal/pagedev"
 	"oopp/internal/persist"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 	"oopp/internal/wire"
 )
 
@@ -36,6 +37,13 @@ func checkpointDevName(name string, i int) string { return fmt.Sprintf("%s/dev/%
 // devices. The store should live on a machine the array does not — a
 // checkpoint on the array's own machine dies with it.
 func CheckpointArray(ctx context.Context, arr *Array, store *persist.Store, name string) error {
+	ctx, sp := trace.StartSpan(ctx, "checkpoint")
+	err := checkpointArray(ctx, arr, store, name)
+	sp.End(err != nil)
+	return err
+}
+
+func checkpointArray(ctx context.Context, arr *Array, store *persist.Store, name string) error {
 	N1, N2, N3 := arr.Dims()
 	p1, p2, p3 := arr.PageDims()
 	meta := &arrayMeta{
@@ -77,6 +85,13 @@ func CheckpointArray(ctx context.Context, arr *Array, store *persist.Store, name
 // survivor — degraded locality, full data). The blobs stay in the store,
 // so recovery is repeatable.
 func RecoverArray(ctx context.Context, client *rmi.Client, store *persist.Store, name string) (*Array, error) {
+	ctx, sp := trace.StartSpan(ctx, "recover")
+	arr, err := recoverArray(ctx, client, store, name)
+	sp.End(err != nil)
+	return arr, err
+}
+
+func recoverArray(ctx context.Context, client *rmi.Client, store *persist.Store, name string) (*Array, error) {
 	metaRef, err := store.Activate(ctx, checkpointMetaName(name))
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering descriptor: %w", err)

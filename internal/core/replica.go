@@ -46,6 +46,7 @@ import (
 
 	"oopp/internal/pagedev"
 	"oopp/internal/rmi"
+	"oopp/internal/trace"
 )
 
 // ReplicaMap is a PageMap that places each page on a *set* of devices.
@@ -314,6 +315,16 @@ type FailoverReport struct {
 // value* (separate Array clients over the same storage are fine; each
 // runs its own failover when it observes the verdict).
 func (a *Array) Failover(ctx context.Context, deadMachines ...int) (*FailoverReport, error) {
+	// One span brackets the whole repair (drop + re-seed + flip): on a
+	// sampled trace, the recovery cost shows as a single block whose
+	// children are the device-to-device re-seed batches.
+	ctx, sp := trace.StartSpan(ctx, "failover")
+	rep, err := a.failover(ctx, deadMachines...)
+	sp.End(err != nil)
+	return rep, err
+}
+
+func (a *Array) failover(ctx context.Context, deadMachines ...int) (*FailoverReport, error) {
 	dead := make(map[int]bool, len(deadMachines))
 	for _, m := range deadMachines {
 		dead[m] = true

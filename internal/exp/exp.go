@@ -126,6 +126,7 @@ var Experiments = []Experiment{
 	{"E14", "Serving tier: admission control and graceful saturation", E14ServingTier},
 	{"E15", "Replicated pages: write fan-out cost and failover recovery", E15Replication},
 	{"E16", "Elastic cluster: join, load-aware rebalance, and machine drain", E16Elasticity},
+	{"E17", "Tracing overhead: untraced, unsampled, and sampled calls", E17Tracing},
 }
 
 // Find returns the experiment with the given id.

@@ -114,6 +114,59 @@ func (h *Hist) QuantileUs(q float64) int64 {
 	return h.maxUs.Load()
 }
 
+// HistSnapshot is the serializable state of a Hist: a sparse bucket
+// list plus the scalar moments. It is the shape per-machine histograms
+// travel in through the opDebug introspection plane, and the input to
+// Merge — cmd/opptrace pulls one per machine per method and folds them
+// into cluster-wide distributions.
+type HistSnapshot struct {
+	Count   int64      `json:"count"`
+	SumUs   int64      `json:"sum_us"`
+	MaxUs   int64      `json:"max_us"`
+	Buckets [][2]int64 `json:"buckets,omitempty"` // [bucket index, count], occupied buckets only
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observes
+// during the scan can skew the copy by the in-flight samples, same as
+// QuantileUs; callers quiesce first when exactness matters.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		SumUs: h.sumUs.Load(),
+		MaxUs: h.maxUs.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot into h, adding its bucket counts and moments.
+// Out-of-range bucket indices (a peer built with different histogram
+// geometry) clamp into the last bucket rather than corrupting memory.
+func (h *Hist) Merge(s HistSnapshot) {
+	for _, b := range s.Buckets {
+		i := b[0]
+		if i < 0 {
+			i = 0
+		}
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+		h.buckets[i].Add(b[1])
+	}
+	h.count.Add(s.Count)
+	h.sumUs.Add(s.SumUs)
+	for {
+		old := h.maxUs.Load()
+		if s.MaxUs <= old || h.maxUs.CompareAndSwap(old, s.MaxUs) {
+			break
+		}
+	}
+}
+
 // Reset zeroes the histogram.
 func (h *Hist) Reset() {
 	for i := range h.buckets {

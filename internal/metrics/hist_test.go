@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// An empty histogram must answer every quantile (and the moments) with
+// zero rather than scanning garbage — opptrace renders tables straight
+// from merged snapshots and a method nobody called yet is empty.
+func TestHistEmptyQuantiles(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0.0001, 0.5, 0.99, 0.999, 1} {
+		if got := h.QuantileUs(q); got != 0 {
+			t.Errorf("empty hist QuantileUs(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.MeanUs() != 0 || h.MaxUs() != 0 {
+		t.Errorf("empty hist moments: count=%d mean=%v max=%d, want zeros", h.Count(), h.MeanUs(), h.MaxUs())
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty hist snapshot not empty: %+v", s)
+	}
+}
+
+// Bucket boundaries: the first octave is exact (one bucket per µs), and
+// every value must land in a bucket whose lower bound does not exceed it
+// by construction — bucketLow(bucketOf(v)) <= v, within one sub-bucket.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []int64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 127, 128, 1000, 4095, 4096, 1 << 20, (1 << 20) + 1}
+	for _, us := range cases {
+		i := bucketOf(us)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", us, i)
+		}
+		low := bucketLow(i)
+		if low > us {
+			t.Errorf("bucketLow(bucketOf(%d)) = %d > value", us, low)
+		}
+		if us < histSub && low != us {
+			t.Errorf("first octave must be exact: value %d mapped to lower bound %d", us, low)
+		}
+	}
+	// A negative duration (clock skew) clamps into bucket 0.
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+
+	var h Hist
+	h.Observe(37 * time.Microsecond)
+	if p50 := h.QuantileUs(0.5); p50 > 37 || p50 < 32 {
+		t.Errorf("single-sample p50 = %d, want in (32, 37]", p50)
+	}
+}
+
+// Snapshot/Merge must round-trip through JSON (the opDebug wire shape)
+// and two merged snapshots must equal observing both sample sets into
+// one histogram.
+func TestHistSnapshotMerge(t *testing.T) {
+	var a, b, want Hist
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		a.Observe(d)
+		want.Observe(d)
+	}
+	for i := 1; i <= 50; i++ {
+		d := time.Duration(i) * time.Millisecond
+		b.Observe(d)
+		want.Observe(d)
+	}
+
+	blob, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var sa HistSnapshot
+	if err := json.Unmarshal(blob, &sa); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	var merged Hist
+	merged.Merge(sa)
+	merged.Merge(b.Snapshot())
+
+	if merged.Count() != want.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), want.Count())
+	}
+	if merged.MaxUs() != want.MaxUs() {
+		t.Errorf("merged max = %d, want %d", merged.MaxUs(), want.MaxUs())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, exp := merged.QuantileUs(q), want.QuantileUs(q); got != exp {
+			t.Errorf("merged QuantileUs(%v) = %d, want %d", q, got, exp)
+		}
+	}
+
+	// Out-of-range bucket indices from a foreign peer clamp, not crash.
+	var c Hist
+	c.Merge(HistSnapshot{Count: 2, Buckets: [][2]int64{{-3, 1}, {1 << 20, 1}}})
+	if c.Count() != 2 {
+		t.Errorf("clamped merge count = %d, want 2", c.Count())
+	}
+}

@@ -307,7 +307,7 @@ func registerBaseMethods(c *rmi.Class[baser]) *rmi.Class[baser] {
 			if err := sav.SaveState(e); err != nil {
 				return err
 			}
-			d, err := env.Client.Call(context.Background(), store, "put", func(enc *wire.Encoder) error {
+			d, err := env.Client.Call(env.Ctx(), store, "put", func(enc *wire.Encoder) error {
 				enc.PutString(name)
 				enc.PutString(class)
 				enc.PutBytes(e.Bytes())
@@ -670,7 +670,7 @@ func newArrayClass() *rmi.Class[*arrayPageDevice] {
 		if env.Client == nil {
 			return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
 		}
-		d, err := env.Client.Call(context.Background(), peer, "readArray", func(e *wire.Encoder) error {
+		d, err := env.Client.Call(env.Ctx(), peer, "readArray", func(e *wire.Encoder) error {
 			e.PutInt(peerIdx)
 			return nil
 		})

@@ -162,7 +162,7 @@ func (a *arrayPageDevice) fetchSubBatch(env *rmi.Env, peer rmi.Ref, reqs []subRe
 	if env.Client == nil {
 		return fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine)
 	}
-	d, err := env.Client.Call(context.Background(), peer, "readSubBatch", func(e *wire.Encoder) error {
+	d, err := env.Client.Call(env.Ctx(), peer, "readSubBatch", func(e *wire.Encoder) error {
 		e.PutInt(len(reqs))
 		for _, rq := range reqs {
 			putSubBox(e, rq.idx, SubBox{Lo: rq.lo, Dim: rq.dim})
@@ -202,7 +202,7 @@ func (a *arrayPageDevice) fetchSubBatchAsync(env *rmi.Env, peer rmi.Ref, reqs []
 	if env.Client == nil {
 		return done(fmt.Errorf("pagedev: machine %d has no outbound client", env.Machine))
 	}
-	fut := env.Client.CallAsync(context.Background(), peer, "readSubBatch", func(e *wire.Encoder) error {
+	fut := env.Client.CallAsync(env.Ctx(), peer, "readSubBatch", func(e *wire.Encoder) error {
 		e.PutInt(len(reqs))
 		for _, rq := range reqs {
 			putSubBox(e, rq.idx, SubBox{Lo: rq.lo, Dim: rq.dim})

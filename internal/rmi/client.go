@@ -10,9 +10,41 @@ import (
 	"time"
 
 	"oopp/internal/metrics"
+	"oopp/internal/trace"
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
+
+// traceContext resolves the trace identity for one outbound operation:
+// the context's trace if it carries one, promoted to sampled (or minted
+// fresh, with this call as root) under WithSampled. ok reports whether a
+// trace header should ride the wire at all — false keeps the frame
+// byte-identical to the pre-trace format.
+func traceContext(ctx context.Context, o *callOptions) (sc trace.SpanContext, ok bool) {
+	if ctx != nil {
+		sc, ok = trace.FromContext(ctx)
+	}
+	if o.sampled {
+		if !ok {
+			sc, ok = trace.NewRoot(true), true
+		}
+		sc.Sampled = true
+	}
+	return sc, ok
+}
+
+// clientSpan opens the client-side span of one sampled operation and
+// re-parents sc to it, so the server span on the far machine hangs off
+// this hop rather than off the caller's span directly. Returns a nil
+// span (and sc unchanged) when the trace is unsampled.
+func clientSpan(sc *trace.SpanContext, name string) *trace.Span {
+	if !sc.Sampled {
+		return nil
+	}
+	sp := trace.StartChild(*sc, name)
+	sc.SpanID = sp.ID()
+	return sp
+}
 
 // Directory resolves machine indices to dialable addresses. The cluster
 // package implements it; a static list is provided for daemon deployments.
@@ -338,20 +370,35 @@ func (c *Client) New(ctx context.Context, m int, class string, args ArgEncoder, 
 // pending future later; per-call deadlines travel via WithTimeout.
 func (c *Client) NewAsync(ctx context.Context, m int, class string, args ArgEncoder, opts ...CallOption) (*Future, error) {
 	o := resolveOptions(opts)
+	sc, traced := traceContext(ctx, &o)
+	var span *trace.Span
+	if traced {
+		span = clientSpan(&sc, "new "+class)
+	}
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
-	e.PutByte(byte(o.priority(PrioNormal)))
+	lead := byte(o.priority(PrioNormal))
+	if traced {
+		lead |= leadTraceFlag
+	}
+	e.PutByte(lead)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opNew)
+	if traced {
+		putTraceHeader(e, sc)
+	}
 	e.PutString(class)
 	if args != nil {
 		if err := args(e); err != nil {
 			wire.PutEncoder(e)
+			span.End(true)
 			return nil, err
 		}
 	}
 	fut := newFuture(m, class, "", o.label)
+	fut.span = span
 	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
+		fut.fail(err) // ends the span exactly once even if send already failed it
 		return nil, err
 	}
 	return fut, nil
@@ -445,17 +492,30 @@ func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgE
 		return nil, err
 	}
 
+	sc, traced := traceContext(ctx, o)
+	var span *trace.Span
+	if traced {
+		span = clientSpan(&sc, "call "+ref.Class+"."+method)
+	}
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
-	e.PutByte(byte(o.priority(PrioNormal)))
+	lead := byte(o.priority(PrioNormal))
+	if traced {
+		lead |= leadTraceFlag
+	}
+	e.PutByte(lead)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
+	if traced {
+		putTraceHeader(e, sc)
+	}
 	e.PutUvarint(ref.Object)
 	e.PutString(method)
 	e.PutVarint(callDeadline(ctx, o))
 	if args != nil {
 		if err := args(e); err != nil {
 			wire.PutEncoder(e)
+			span.End(true)
 			return nil, err
 		}
 	}
@@ -472,6 +532,7 @@ func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgE
 	c.counters.BytesSent.Add(int64(len(frame)))
 	if err := cc.conn.Send(frame); err != nil {
 		cc.unregister(reqID)
+		span.End(true)
 		// The waiter is not pooled here: a connection-death failure may
 		// race in behind the unregister and deliver into its channel.
 		return nil, fmt.Errorf("rmi: send to machine %d: %w", ref.Machine, err)
@@ -480,12 +541,15 @@ func (c *Client) callOnce(ctx context.Context, ref Ref, method string, args ArgE
 	select {
 	case r := <-w.ch:
 		putWaiter(w)
+		span.End(r.err != nil)
 		return r.d, r.err
 	case <-ctx.Done():
 		cc.unregister(reqID)
+		span.End(true)
 		return nil, fmt.Errorf("rmi: %s aborted: %w", w.describe(), ctx.Err())
 	case <-timeoutCh:
 		cc.unregister(reqID)
+		span.End(true)
 		return nil, fmt.Errorf("rmi: %s aborted: %w", w.describe(), context.DeadlineExceeded)
 	}
 }
@@ -519,11 +583,22 @@ func (c *Client) CallAsync(ctx context.Context, ref Ref, method string, args Arg
 		fut.fail(fmt.Errorf("rmi: call %s on nil ref", method))
 		return fut
 	}
+	sc, traced := traceContext(ctx, &o)
+	if traced {
+		fut.span = clientSpan(&sc, "call "+ref.Class+"."+method)
+	}
 	e := wire.GetEncoder(64)
 	reqID := c.nextID.Add(1)
-	e.PutByte(byte(o.priority(PrioNormal)))
+	lead := byte(o.priority(PrioNormal))
+	if traced {
+		lead |= leadTraceFlag
+	}
+	e.PutByte(lead)
 	e.PutUvarint(reqID)
 	e.PutUvarint(opCall)
+	if traced {
+		putTraceHeader(e, sc)
+	}
 	e.PutUvarint(ref.Object)
 	e.PutString(method)
 	e.PutVarint(callDeadline(ctx, &o))
@@ -619,6 +694,31 @@ func (c *Client) Stat(ctx context.Context, m int) (live, total uint64, err error
 	live = d.Uvarint()
 	total = d.Uvarint()
 	return live, total, d.Err()
+}
+
+// Debug pulls machine m's introspection snapshot: a JSON-encoded
+// trace.Snapshot carrying the per-method latency histograms and outcome
+// counters plus the machine's captured span ring. It rides PrioHigh and
+// bypasses admission control on the server — a debug plane that goes
+// dark under overload would be useless exactly when it matters.
+func (c *Client) Debug(ctx context.Context, m int) ([]byte, error) {
+	var o callOptions
+	e := wire.GetEncoder(16)
+	reqID := c.nextID.Add(1)
+	e.PutByte(byte(PrioHigh))
+	e.PutUvarint(reqID)
+	e.PutUvarint(opDebug)
+	fut := newFuture(m, "", "", "")
+	if err := c.send(ctx, m, reqID, e, fut, &o); err != nil {
+		return nil, err
+	}
+	d, err := fut.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer fut.Release()
+	buf := d.BytesCopy()
+	return buf, d.Err()
 }
 
 // send transmits the request in e — whose ownership it takes — and wires

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"oopp/internal/trace"
 	"oopp/internal/wire"
 )
 
@@ -40,6 +41,10 @@ type Future struct {
 	once   sync.Once
 	result *wire.Decoder
 	err    error
+
+	// span is the client-side span of a sampled operation; complete ends
+	// it exactly once (behind f.once). Nil for untraced/unsampled calls.
+	span *trace.Span
 
 	// released latches the one Release of the response frame. It cannot be
 	// inferred from the decoder itself: once released, the pooled decoder
@@ -168,6 +173,7 @@ func (f *Future) complete(d *wire.Decoder, err error) {
 		}
 		f.result = d
 		f.err = err
+		f.span.End(err != nil)
 		close(f.done)
 	})
 }

@@ -21,6 +21,7 @@ type callOptions struct {
 	retryMaxWait  time.Duration // cap on each overload backoff wait (0 = hint/backoff uncapped)
 	label         string        // trace label woven into errors and drop accounting
 	probe         bool          // failure-detector probe: bypass the down-machine fast fail
+	sampled       bool          // WithSampled: force span capture (minting a trace if the context has none)
 	prio          Priority      // admission class stamped on the wire header
 	prioSet       bool          // WithPriority was given; otherwise the op's default class applies
 }
@@ -129,6 +130,19 @@ func WithRetryOverload(budget int, maxWait time.Duration) CallOption {
 		}
 		return o
 	}
+}
+
+// WithSampled turns span capture on for this operation. If the caller's
+// context already carries a trace (trace.FromContext), that trace is
+// promoted to sampled from this hop on; otherwise a fresh sampled trace
+// is minted with this call as its root. Either way the trace context
+// rides the request's wire header, the server restores it into the
+// handler's Env.Ctx, and every downstream peer hop extends the same
+// trace — one WithSampled at the edge lights up the whole causal tree.
+// Sampling is what allocates: unsampled calls stay on the
+// zero-allocation hot path.
+func WithSampled() CallOption {
+	return func(o callOptions) callOptions { o.sampled = true; return o }
 }
 
 // WithLabel attaches a trace label to the operation. The label appears in

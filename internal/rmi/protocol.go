@@ -1,17 +1,25 @@
 package rmi
 
+import (
+	"oopp/internal/trace"
+	"oopp/internal/wire"
+)
+
 // Wire protocol opcodes. A request frame is:
 //
-//	prio byte | reqID uvarint | op uvarint | op-specific header | argument payload
+//	lead byte | reqID uvarint | op uvarint | [trace header] | op-specific header | argument payload
 //
 // and a response frame is:
 //
 //	reqID uvarint | status uvarint | error string (status!=0) or results
 //
-// The priority byte leads the frame as a fixed-width field so a server
-// can classify — and, under overload, shed — a request by looking at
-// frame[0], before spending any decode work on it. Responses carry no
-// priority: they are answers to work already done.
+// The lead byte carries the priority class in its low bits and the
+// trace-presence flag in bit 7 (leadTraceFlag); when the flag is set a
+// trace header follows the op uvarint. The lead byte heads the frame as
+// a fixed-width field so a server can classify — and, under overload,
+// shed — a request by looking at frame[0], before spending any decode
+// work on it. Responses carry no priority: they are answers to work
+// already done.
 //
 // Frames ride on transport.Conn messages; framing is the transport's job.
 // The opCall header carries the client's absolute deadline (unix
@@ -25,7 +33,51 @@ const (
 	opDelete = 3 // object uvarint                 -> (empty)
 	opPing   = 4 // (empty)                        -> (empty)
 	opStat   = 5 // (empty)                        -> live uvarint, total uvarint
+	opDebug  = 6 // (empty)                        -> JSON trace.Snapshot bytes
 )
+
+// leadTraceFlag is bit 7 of the leading byte: when set, a trace header
+//
+//	traceID uvarint | spanID uvarint | flags byte (bit 0 = sampled)
+//
+// follows the op uvarint, ahead of the op-specific header. The flag
+// shares the lead byte with the priority class (which only ever uses
+// values 0..NumPriorities-1), so old-format frames — whose lead byte is
+// a bare priority — decode as "no trace" on a new server, and a client
+// with no trace in its context emits frames byte-identical to the old
+// format. Version tolerance costs one bit, not a protocol revision.
+const leadTraceFlag = 0x80
+
+// decodeTraceHeader reads the optional trace header announced by lead.
+// A frame without the flag, and a frame whose trace fields are truncated
+// or corrupt, both decode as the zero ("untraced") SpanContext — tracing
+// is an observability hint, never a reason to fail a request. The
+// decoder's sticky error is left for the op-specific decode to surface
+// if the frame is genuinely truncated.
+func decodeTraceHeader(lead byte, d *wire.Decoder) trace.SpanContext {
+	if lead&leadTraceFlag == 0 {
+		return trace.SpanContext{}
+	}
+	tid := d.Uvarint()
+	sid := d.Uvarint()
+	flags := d.Byte()
+	if d.Err() != nil {
+		return trace.SpanContext{}
+	}
+	return trace.SpanContext{TraceID: tid, SpanID: sid, Sampled: flags&1 != 0}
+}
+
+// putTraceHeader appends the trace header fields (the caller has already
+// set leadTraceFlag on the lead byte and written reqID and op).
+func putTraceHeader(e *wire.Encoder, sc trace.SpanContext) {
+	e.PutUvarint(sc.TraceID)
+	e.PutUvarint(sc.SpanID)
+	var flags byte
+	if sc.Sampled {
+		flags = 1
+	}
+	e.PutByte(flags)
+}
 
 // Response status codes.
 const (
@@ -71,11 +123,13 @@ func (p Priority) String() string {
 	}
 }
 
-// clampPriority maps an arbitrary wire byte onto a valid class. Unknown
-// values (a newer peer's class, a corrupt frame) degrade to PrioNormal
-// rather than failing the request: priority is a scheduling hint, not a
-// correctness bit.
+// clampPriority maps an arbitrary wire byte onto a valid class. The
+// trace-presence flag is masked off first; remaining unknown values (a
+// newer peer's class, a corrupt frame) degrade to PrioNormal rather than
+// failing the request: priority is a scheduling hint, not a correctness
+// bit.
 func clampPriority(b byte) Priority {
+	b &^= leadTraceFlag
 	if b >= NumPriorities {
 		return PrioNormal
 	}

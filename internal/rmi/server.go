@@ -2,12 +2,15 @@ package rmi
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oopp/internal/metrics"
+	"oopp/internal/trace"
 	"oopp/internal/transport"
 	"oopp/internal/wire"
 )
@@ -27,6 +30,11 @@ type Server struct {
 	env      *Env
 	listener transport.Listener
 	counters *metrics.Counters
+
+	// methods is the always-on per-method telemetry registry: one latency
+	// histogram plus outcome counters per class.method, served raw by the
+	// opDebug introspection op.
+	methods trace.Methods
 
 	mu       sync.Mutex
 	objects  map[uint64]*objEntry
@@ -251,7 +259,8 @@ func (s *Server) serveConn(conn transport.Conn) {
 // observe draining, as before).
 func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 	d := wire.GetFrameDecoder(frame)
-	prio := clampPriority(d.Byte())
+	lead := d.Byte()
+	prio := clampPriority(lead)
 	reqID := d.Uvarint()
 	op := d.Uvarint()
 	if d.Err() != nil {
@@ -259,6 +268,10 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		d.Release()
 		return
 	}
+	// The optional trace header sits between the op and the op-specific
+	// header; decoding it is three fields, and only when the lead byte
+	// announces one — untraced frames pay nothing here.
+	tc := decodeTraceHeader(lead, d)
 	switch op {
 	case opPing:
 		d.Release()
@@ -275,9 +288,17 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 		e.PutUvarint(s.total)
 		s.mu.Unlock()
 		s.reply(conn, reqID, e, nil)
+	case opDebug:
+		// The debug plane bypasses admission like opStat: introspection
+		// that goes dark under overload is useless exactly when needed.
+		d.Release()
+		s.replyDebug(conn, reqID)
 	case opNew:
 		if err := s.admit(prio); err != nil {
 			d.Release()
+			if tc.Sampled {
+				trace.Emit(tc, s.machine, "shed new")
+			}
 			s.reply(conn, reqID, nil, err)
 			return
 		}
@@ -298,11 +319,14 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 			defer s.objWG.Done()
 			defer s.release(prio, start)
 			defer d.Release()
-			s.handleNew(conn, reqID, class, d)
+			s.handleNew(conn, reqID, class, d, tc)
 		}()
 	case opCall:
 		if err := s.admit(prio); err != nil {
 			d.Release()
+			if tc.Sampled {
+				trace.Emit(tc, s.machine, "shed call")
+			}
 			s.reply(conn, reqID, nil, err)
 			return
 		}
@@ -317,7 +341,7 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 			s.release(prio, start)
 			return
 		}
-		s.handleCall(conn, reqID, objID, method, d, prio, start, deadline)
+		s.handleCall(conn, reqID, objID, method, d, prio, start, deadline, tc)
 	case opDelete:
 		objID := d.Uvarint()
 		err := d.Err()
@@ -333,18 +357,41 @@ func (s *Server) dispatch(conn transport.Conn, frame []byte) {
 	}
 }
 
-func (s *Server) handleNew(conn transport.Conn, reqID uint64, class string, args *wire.Decoder) {
+// callEnv derives the environment a handler runs under. Untraced
+// requests get the machine's base environment (no copy, no allocation);
+// a request carrying trace context gets a per-call view whose Ctx
+// carries it, so peer hops through env.Client extend the caller's trace.
+// For sampled requests a server span is opened as the new parent; the
+// returned span is nil otherwise (nameIfSampled is called only when a
+// span is actually opened, keeping name concatenation off the
+// unsampled path).
+func (s *Server) callEnv(tc trace.SpanContext, nameIfSampled func() string) (*Env, *trace.Span) {
+	if tc.TraceID == 0 {
+		return s.env, nil
+	}
+	if !tc.Sampled {
+		return s.env.withCtx(trace.ContextWith(context.Background(), tc)), nil
+	}
+	sp := trace.StartChild(tc, nameIfSampled())
+	sp.SetMachine(s.machine)
+	return s.env.withCtx(trace.ContextWith(context.Background(), sp.Context())), sp
+}
+
+func (s *Server) handleNew(conn transport.Conn, reqID uint64, class string, args *wire.Decoder, tc trace.SpanContext) {
 	cl, ok := LookupClass(class)
 	if !ok {
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: %q", ErrNoSuchClass, class))
 		return
 	}
-	obj, err := s.construct(cl, args)
+	env, span := s.callEnv(tc, func() string { return "serve new " + class })
+	obj, err := s.construct(cl, env, args)
 	if err != nil {
+		span.End(true)
 		s.reply(conn, reqID, nil, fmt.Errorf("constructing %s: %w", class, err))
 		return
 	}
 	id, err := s.adopt(cl, obj)
+	span.End(err != nil)
 	if err != nil {
 		s.reply(conn, reqID, nil, err)
 		return
@@ -356,13 +403,13 @@ func (s *Server) handleNew(conn transport.Conn, reqID uint64, class string, args
 
 // construct runs a constructor, converting panics into errors: a buggy
 // remote constructor must not take down the machine.
-func (s *Server) construct(cl *ClassSpec, args *wire.Decoder) (obj any, err error) {
+func (s *Server) construct(cl *ClassSpec, env *Env, args *wire.Decoder) (obj any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("constructor panic: %v", r)
 		}
 	}()
-	return cl.ctor(s.env, args)
+	return cl.ctor(env, args)
 }
 
 // adopt registers an already-built object and starts its process
@@ -486,6 +533,10 @@ type callTask struct {
 	prio     Priority  // admission class of the work token held
 	start    time.Time // admission instant, for the service-time EWMA
 	deadline int64     // client deadline, unix nanos (0 = none)
+
+	env   *Env               // handler environment (per-call view when traced)
+	span  *trace.Span        // server span of a sampled request; nil otherwise
+	stats *trace.MethodStats // telemetry slot for me.full; nil for ping
 }
 
 var callTaskPool = sync.Pool{New: func() any { return new(callTask) }}
@@ -500,6 +551,7 @@ func (t *callTask) run() {
 	reply.PutUvarint(t.reqID)
 	reply.PutUvarint(statusOK)
 	var err error
+	var expired bool
 	if t.me.fn != nil {
 		if t.deadline != 0 && time.Now().UnixNano() > t.deadline {
 			// The client's deadline passed while the request sat in the
@@ -508,10 +560,11 @@ func (t *callTask) run() {
 			// client's own timer reports (errors.Is matches
 			// context.DeadlineExceeded across the wire).
 			s.counters.ReqExpired.Add(1)
+			expired = true
 			err = fmt.Errorf("expired before execution: %v", context.DeadlineExceeded)
 		} else {
 			s.counters.CallsServed.Add(1)
-			err = s.invoke(t.me.fn, t.entry, t.args, reply)
+			err = s.invoke(t.me.fn, t.env, t.entry, t.args, reply)
 		}
 	}
 	t.args.Release() // handler done: recycle the request frame
@@ -527,6 +580,23 @@ func (t *callTask) run() {
 	s.counters.BytesSent.Add(int64(len(frame)))
 	// Best effort: if the connection died the client sees ErrClosed.
 	_ = t.conn.Send(frame)
+	// Telemetry: latency from admission to reply (queueing included —
+	// that is what the caller experienced), outcome classified the same
+	// way the local branch above decided it.
+	if t.stats != nil {
+		t.stats.Hist.Observe(time.Since(t.start))
+		switch {
+		case expired:
+			t.stats.Expired.Add(1)
+		case err == nil:
+			t.stats.OK.Add(1)
+		case errors.Is(err, ErrFenced):
+			t.stats.Fenced.Add(1)
+		default:
+			t.stats.Errs.Add(1)
+		}
+	}
+	t.span.End(err != nil)
 	prio, start := t.prio, t.start
 	*t = callTask{}
 	callTaskPool.Put(t)
@@ -542,7 +612,7 @@ func (t *callTask) run() {
 // is what makes passing decoder views into handlers safe. It also owns
 // the admission work token taken in dispatch: tasks that reach run()
 // release it there, every early-exit path releases it here.
-func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder, prio Priority, start time.Time, deadline int64) {
+func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, method []byte, args *wire.Decoder, prio Priority, start time.Time, deadline int64, tc trace.SpanContext) {
 	s.mu.Lock()
 	entry, ok := s.objects[objID]
 	s.mu.Unlock()
@@ -561,7 +631,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 	// arguments, its completion through the mailbox is the point.
 	if string(method) == methodPing {
 		args.Release()
-		t.me, t.args = methodEntry{}, nil
+		t.me, t.args, t.env = methodEntry{}, nil, s.env
 		if !entry.mb.push(t) {
 			*t = callTask{}
 			callTaskPool.Put(t)
@@ -584,6 +654,8 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 		return
 	}
 	t.me, t.args = me, args
+	t.stats = s.methods.Get(me.full)
+	t.env, t.span = s.callEnv(tc, func() string { return "serve " + me.full })
 
 	if me.concurrent {
 		// Concurrent method: runs outside the mailbox so the object can
@@ -597,6 +669,7 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 	}
 	if !entry.mb.push(t) {
 		args.Release()
+		t.span.End(true)
 		*t = callTask{}
 		callTaskPool.Put(t)
 		s.reply(conn, reqID, nil, fmt.Errorf("%w: machine %d object %d (terminated)", ErrNoSuchObject, s.machine, objID))
@@ -604,14 +677,16 @@ func (s *Server) handleCall(conn transport.Conn, reqID uint64, objID uint64, met
 	}
 }
 
-// invoke runs a method, converting panics into errors.
-func (s *Server) invoke(fn MethodFunc, entry *objEntry, args *wire.Decoder, reply *wire.Encoder) (err error) {
+// invoke runs a method, converting panics into errors. env is the
+// handler's environment — the per-call traced view when the request
+// carried trace context, the machine's base environment otherwise.
+func (s *Server) invoke(fn MethodFunc, env *Env, entry *objEntry, args *wire.Decoder, reply *wire.Encoder) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("method panic: %v", r)
 		}
 	}()
-	if err := fn(entry.obj, s.env, args, reply); err != nil {
+	if err := fn(entry.obj, env, args, reply); err != nil {
 		return err
 	}
 	if args.Err() != nil {
@@ -682,4 +757,26 @@ func (s *Server) reply(conn transport.Conn, reqID uint64, result *wire.Encoder, 
 	s.counters.BytesSent.Add(int64(len(frame)))
 	// Best effort: if the connection died the client sees ErrClosed.
 	_ = conn.Send(frame)
+}
+
+// replyDebug answers an opDebug request with the machine's introspection
+// snapshot: the per-method telemetry registry, the admission shed count,
+// and the process span ring, JSON-encoded. The snapshot is
+// self-describing (field names, sparse histogram buckets), so the debug
+// plane never needs a protocol revision to grow a field.
+func (s *Server) replyDebug(conn transport.Conn, reqID uint64) {
+	snap := trace.Snapshot{
+		Machine: s.machine,
+		Shed:    s.counters.ReqShed.Load(),
+		Methods: s.methods.Snapshot(),
+		Spans:   trace.Spans(),
+	}
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		s.reply(conn, reqID, nil, err)
+		return
+	}
+	e := wire.NewEncoder(len(buf) + 8)
+	e.PutBytes(buf)
+	s.reply(conn, reqID, e, nil)
 }

@@ -19,6 +19,10 @@ type LoadConfig struct {
 	// goroutine per arrival (the open-loop property: a slow server
 	// accumulates concurrency instead of slowing the arrival clock).
 	Call func(i int) error
+	// ClassOf maps arrival i to the admission class its call travels at,
+	// for the per-class latency split in LoadResult.ByClass. Nil records
+	// everything under rmi.PrioNormal.
+	ClassOf func(i int) rmi.Priority
 }
 
 // LoadResult aggregates an open-loop run. Latency histograms separate
@@ -33,6 +37,12 @@ type LoadResult struct {
 
 	Latency metrics.Hist // latency of successful calls
 	Reject  metrics.Hist // latency of shed calls (time to fail fast)
+
+	// ByClass splits successful-call latency by admission class (indexed
+	// by rmi.Priority): under overload the whole point of priorities is
+	// that the high class keeps its latency while bulk absorbs the queue,
+	// and only a per-class split can show that.
+	ByClass [rmi.NumPriorities]metrics.Hist
 
 	Elapsed    time.Duration // first arrival to last completion
 	FirstError error         // first non-overload failure, for diagnosis
@@ -75,6 +85,13 @@ func OpenLoop(cfg LoadConfig) *LoadResult {
 			switch {
 			case err == nil:
 				res.Latency.Observe(lat)
+				cls := rmi.PrioNormal
+				if cfg.ClassOf != nil {
+					if c := cfg.ClassOf(i); c < rmi.NumPriorities {
+						cls = c
+					}
+				}
+				res.ByClass[cls].Observe(lat)
 				mu.Lock()
 				res.OK++
 				mu.Unlock()

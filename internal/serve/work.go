@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -19,6 +20,8 @@ const ClassWork = "serve.Work"
 //	sleep(us int)        -> ()          — off-CPU service time
 //	spin(us int)         -> ()          — on-CPU service time
 //	wait()               -> ()          — block until open is called
+//	bind(peer Ref)       -> ()          — set the relay target
+//	relay(payload)       -> payload     — echo via the bound peer's machine
 //
 // and one concurrent method:
 //
@@ -30,9 +33,15 @@ const ClassWork = "serve.Work"
 // bypasses the mailbox — releases the dam. That is how the tests fill an
 // admission class to exactly its capacity and how E14 holds 10k calls in
 // flight at once.
+//
+// bind/relay build exact peer-hop shapes: relay re-issues its payload as
+// an echo on the bound peer through the machine's outbound client,
+// passing env.Ctx() so a trace riding the inbound request extends across
+// the hop — the two-machine causality check of the tracing plane.
 type Work struct {
 	gate     chan struct{}
 	openOnce sync.Once
+	peer     rmi.Ref // relay target; set by bind (serial, like relay)
 }
 
 // Open releases the gate server-side (same effect as the remote "open").
@@ -60,6 +69,27 @@ func init() {
 			<-obj.(*Work).gate
 			return nil
 		}).
+		Method("bind", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			obj.(*Work).peer = args.Ref()
+			return nil
+		}).
+		Method("relay", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
+			w := obj.(*Work)
+			if w.peer.IsNil() {
+				return fmt.Errorf("serve: relay with no bound peer (call bind first)")
+			}
+			if env.Client == nil {
+				return fmt.Errorf("serve: relay needs an outbound client")
+			}
+			payload := args.BytesView()
+			d, err := env.Client.Call(env.Ctx(), w.peer, "echo", EchoArgs(payload))
+			if err != nil {
+				return err
+			}
+			reply.PutBytes(d.BytesView())
+			d.Release()
+			return nil
+		}).
 		ConcurrentMethod("open", func(obj any, env *rmi.Env, args *wire.Decoder, reply *wire.Encoder) error {
 			obj.(*Work).Open()
 			return nil
@@ -75,4 +105,10 @@ func SleepArgs(us int) rmi.ArgEncoder {
 // reference; it must stay unchanged until the call is issued.
 func EchoArgs(payload []byte) rmi.ArgEncoder {
 	return func(e *wire.Encoder) error { e.PutBytes(payload); return nil }
+}
+
+// BindArgs encodes the argument of Work.bind: the peer the object will
+// relay through.
+func BindArgs(peer rmi.Ref) rmi.ArgEncoder {
+	return func(e *wire.Encoder) error { e.PutRef(peer); return nil }
 }

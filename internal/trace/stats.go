@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"oopp/internal/metrics"
+)
+
+// MethodStats is the always-on telemetry of one remote method on one
+// server: a latency histogram (admission to reply, so queueing counts)
+// and outcome counters. Observation is allocation-free; the RMI server
+// classifies outcomes because the typed errors live above this package.
+type MethodStats struct {
+	Hist metrics.Hist
+	// OK counts successful invocations; Errs every other failure not
+	// counted below.
+	OK   atomic.Int64
+	Errs atomic.Int64
+	// Expired counts requests shed in the mailbox because the client's
+	// deadline passed before execution; Fenced counts the typed migration
+	// fence refusals clients park on and replay.
+	Expired atomic.Int64
+	Fenced  atomic.Int64
+}
+
+// Methods is a per-server registry of MethodStats keyed by
+// "class.method". The hot path is a lock-free sync.Map load on a
+// precomputed key; the entry is created once, on a method's first call.
+type Methods struct {
+	m sync.Map // string -> *MethodStats
+}
+
+// Get returns the stats entry for full ("class.method"), creating it on
+// first use. The Load fast path does not allocate.
+func (ms *Methods) Get(full string) *MethodStats {
+	if v, ok := ms.m.Load(full); ok {
+		return v.(*MethodStats)
+	}
+	v, _ := ms.m.LoadOrStore(full, new(MethodStats))
+	return v.(*MethodStats)
+}
+
+// MethodSnapshot is the serialized telemetry of one method.
+type MethodSnapshot struct {
+	Name    string               `json:"name"`
+	OK      int64                `json:"ok"`
+	Errs    int64                `json:"errs,omitempty"`
+	Expired int64                `json:"expired,omitempty"`
+	Fenced  int64                `json:"fenced,omitempty"`
+	Hist    metrics.HistSnapshot `json:"hist"`
+}
+
+// Snapshot captures every method's telemetry, sorted by name.
+func (ms *Methods) Snapshot() []MethodSnapshot {
+	var out []MethodSnapshot
+	ms.m.Range(func(k, v any) bool {
+		st := v.(*MethodStats)
+		out = append(out, MethodSnapshot{
+			Name:    k.(string),
+			OK:      st.OK.Load(),
+			Errs:    st.Errs.Load(),
+			Expired: st.Expired.Load(),
+			Fenced:  st.Fenced.Load(),
+			Hist:    st.Hist.Snapshot(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot is one machine's full debug-plane answer: its identity, its
+// per-method telemetry, server-level shed count, and the span ring. It
+// is self-describing JSON — the opDebug op returns exactly this, and
+// cmd/opptrace merges one per machine.
+type Snapshot struct {
+	Machine int              `json:"machine"`
+	Shed    int64            `json:"shed,omitempty"`
+	Methods []MethodSnapshot `json:"methods,omitempty"`
+	Spans   []SpanRecord     `json:"spans,omitempty"`
+}

@@ -1,0 +1,250 @@
+// Package trace is the observability substrate of the OOPP runtime:
+// wire-propagated trace contexts, sampled span capture, and the
+// per-method telemetry registry the RMI server feeds.
+//
+// The design follows the paper's premise that every interesting event in
+// an objects-as-processes system is a remote method invocation: the
+// trace context (SpanContext) rides in the RMI request header exactly
+// like the priority byte, the server restores it into the handler's
+// context (rmi.Env.Ctx), and peer hops through the machine's outbound
+// client extend the same trace with correctly-parented spans — causal,
+// cross-machine visibility with no separate event bus.
+//
+// Overhead contract: an untraced call touches none of this package
+// beyond one context.Value lookup, and a traced-but-unsampled call only
+// propagates two integers — neither path allocates. Only Sampled traces
+// record spans, through pooled Span handles into a fixed-size lock-free
+// ring per process (Spans reads it; a full ring overwrites the oldest).
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the trace identity carried across the wire: which trace
+// a request belongs to, which span is its immediate parent, and whether
+// span capture is on. The zero value means "untraced".
+type SpanContext struct {
+	// TraceID names the whole causal tree. 0 means untraced.
+	TraceID uint64
+	// SpanID is the caller's span — the parent of whatever span the
+	// callee opens.
+	SpanID uint64
+	// Sampled turns span capture on for every hop of the trace. Unsampled
+	// traces still propagate identity (so a later hop can log it) at zero
+	// allocation cost.
+	Sampled bool
+}
+
+// ctxKey keys the SpanContext in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying sc.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the trace context, reporting whether one is set.
+// The lookup is allocation-free; on an untraced context it is a single
+// Value call returning nil.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.TraceID != 0
+}
+
+// idSeq mints process-unique ids: a random 32-bit epoch (so ids from
+// different processes of one cluster don't collide) advanced by an
+// atomic counter.
+var idSeq atomic.Uint64
+
+func init() {
+	idSeq.Store(uint64(rand.Uint32()) << 32)
+}
+
+// NewID returns a fresh non-zero trace or span id.
+func NewID() uint64 {
+	for {
+		if id := idSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewRoot mints the context of a fresh trace whose root span is the
+// caller itself.
+func NewRoot(sampled bool) SpanContext {
+	return SpanContext{TraceID: NewID(), SpanID: NewID(), Sampled: sampled}
+}
+
+// procMachine is the machine index spans default to; -1 until SetMachine
+// (a pure client process, or a test harness).
+var procMachine atomic.Int64
+
+func init() { procMachine.Store(-1) }
+
+// SetMachine records this process's machine index, stamped on every span
+// the process captures (server spans override it with their server's
+// index, which keeps in-process multi-machine clusters honest).
+// cluster.StartNode calls it at machine bring-up.
+func SetMachine(m int) { procMachine.Store(int64(m)) }
+
+// Machine returns the process-default machine index (-1 if never set).
+func Machine() int { return int(procMachine.Load()) }
+
+// SpanRecord is one captured span, the unit the ring stores and the
+// debug plane serializes.
+type SpanRecord struct {
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Machine  int    `json:"machine"`
+	Name     string `json:"name"`
+	// StartUnixNs is the span's start on the capturing process's clock;
+	// cross-machine ordering within a trace comes from parent links, not
+	// from comparing clocks.
+	StartUnixNs int64 `json:"start_unix_ns"`
+	DurationNs  int64 `json:"duration_ns"`
+	Err         bool  `json:"err,omitempty"`
+}
+
+// Span is an in-flight sampled span. Handles recycle through a pool, so
+// the sampled path allocates only the captured record itself. A nil
+// *Span is valid and inert everywhere — callers never branch on
+// sampling.
+type Span struct {
+	rec   SpanRecord
+	start time.Time
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// StartChild opens a span under parent (ignoring parent.Sampled is the
+// caller's responsibility: call only for sampled contexts). name should
+// describe the operation ("call serve.Work.echo", "migrate.copy").
+func StartChild(parent SpanContext, name string) *Span {
+	sp := spanPool.Get().(*Span)
+	sp.rec = SpanRecord{
+		TraceID:  parent.TraceID,
+		SpanID:   NewID(),
+		ParentID: parent.SpanID,
+		Machine:  Machine(),
+		Name:     name,
+	}
+	sp.start = time.Now()
+	sp.rec.StartUnixNs = sp.start.UnixNano()
+	return sp
+}
+
+// StartSpan opens a span under the context's trace when that trace is
+// sampled, returning a derived context (the span is the new parent) and
+// the span handle. On an untraced or unsampled context it returns ctx
+// unchanged and a nil span — zero allocations.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sc, ok := FromContext(ctx)
+	if !ok || !sc.Sampled {
+		return ctx, nil
+	}
+	sp := StartChild(sc, name)
+	sc.SpanID = sp.ID()
+	return ContextWith(ctx, sc), sp
+}
+
+// ID returns the span's id (0 on nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.rec.SpanID
+}
+
+// Context returns the SpanContext for propagating this span as parent.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID, Sampled: true}
+}
+
+// SetMachine overrides the span's machine stamp (servers stamp their own
+// index so in-process clusters attribute spans correctly).
+func (s *Span) SetMachine(m int) {
+	if s != nil {
+		s.rec.Machine = m
+	}
+}
+
+// End closes the span, records it into the process ring, and recycles
+// the handle. failed marks the span as covering a failed operation. End
+// on nil is a no-op; a Span must not be used after End.
+func (s *Span) End(failed bool) {
+	if s == nil {
+		return
+	}
+	s.rec.DurationNs = time.Since(s.start).Nanoseconds()
+	s.rec.Err = failed
+	publish(&s.rec)
+	*s = Span{}
+	spanPool.Put(s)
+}
+
+// Emit records an instant (zero-duration) span under parent — the shape
+// used for point events like an admission shed, where there is no
+// bracketed operation to time.
+func Emit(parent SpanContext, machine int, name string) {
+	publish(&SpanRecord{
+		TraceID:     parent.TraceID,
+		SpanID:      NewID(),
+		ParentID:    parent.SpanID,
+		Machine:     machine,
+		Name:        name,
+		StartUnixNs: time.Now().UnixNano(),
+	})
+}
+
+// ringSize is the per-process span capacity. Records beyond it overwrite
+// the oldest — the ring is a flight recorder, not a database.
+const ringSize = 4096
+
+// ring is the process-wide lock-free span buffer: a cursor picks the
+// slot, an atomic pointer swap publishes the record. Readers copy
+// records out by value; evicted records are left to the garbage
+// collector (recycling them would race a concurrent reader's copy).
+var ring struct {
+	cursor atomic.Uint64
+	slots  [ringSize]atomic.Pointer[SpanRecord]
+}
+
+// publish stores one finished record into the ring. The record is
+// copied: callers may recycle their struct after publish returns.
+func publish(rec *SpanRecord) {
+	cp := *rec
+	i := (ring.cursor.Add(1) - 1) % ringSize
+	ring.slots[i].Store(&cp)
+}
+
+// Spans returns a copy of every span currently in the process ring, in
+// unspecified order. The debug plane serves this through opDebug.
+func Spans() []SpanRecord {
+	out := make([]SpanRecord, 0, 256)
+	for i := range ring.slots {
+		if p := ring.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// ResetSpans clears the ring (tests and experiment harnesses).
+func ResetSpans() {
+	for i := range ring.slots {
+		ring.slots[i].Store(nil)
+	}
+	ring.cursor.Store(0)
+}

@@ -188,6 +188,14 @@ func WithPriority(p Priority) CallOption { return rmi.WithPriority(p) }
 // local or remote.
 func RetryAfter(err error) (time.Duration, bool) { return rmi.RetryAfter(err) }
 
+// WithSampled turns distributed-trace span capture on for this
+// operation (minting a new trace if the context carries none). One
+// WithSampled at the edge lights up the whole causal tree: the trace
+// context rides the wire header, every peer hop extends it, and
+// cmd/opptrace stitches the captured spans back together. See the
+// "Observability" chapter of the package doc.
+func WithSampled() CallOption { return rmi.WithSampled() }
+
 // UnboundedAdmission returns an AdmissionConfig that admits everything —
 // the pre-admission-control behavior.
 func UnboundedAdmission() AdmissionConfig { return rmi.Unbounded() }
